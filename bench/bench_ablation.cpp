@@ -1,0 +1,141 @@
+// Ablations of the design choices called out in DESIGN.md §6, on one
+// monitor-friendly circuit:
+//   A. pessimistic pulse filtering (glitch threshold) on/off,
+//   B. candidate policy: representative midpoints vs. boundary points
+//      (robustness under +-2 % delay scaling),
+//   C. PLL realizability: quantizing the ideal periods onto a clock
+//      generator grid (coverage kept, relock cost),
+//   D. two-step schedule optimization vs. naive application.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "schedule/clock_gen.hpp"
+#include "schedule/robustness.hpp"
+
+int main() {
+    using namespace fastmon;
+    const bench::BenchSettings settings = bench::BenchSettings::from_env();
+    settings.print_header("Ablations — DESIGN.md design choices");
+
+    GeneratorConfig gc;
+    gc.name = "ablation";
+    gc.n_gates = settings.fast ? 600 : 1500;
+    gc.n_ffs = gc.n_gates / 10;
+    gc.n_inputs = 24;
+    gc.n_outputs = 24;
+    gc.depth = 20;
+    gc.spread = 0.8;
+    gc.seed = 4711;
+    const Netlist netlist = generate_circuit(gc);
+
+    HdfFlowConfig config;
+    config.seed = 4711;
+    config.max_simulated_faults = settings.fast ? 800 : 2000;
+    config.atpg.max_random_batches = settings.fast ? 30 : 100;
+    config.atpg.max_podem_faults = 200;
+
+    // --- A: pulse filtering --------------------------------------------
+    std::printf("\n[A] pessimistic pulse filtering (Sec. II-A)\n");
+    std::size_t prop_filtered = 0;
+    std::size_t prop_raw = 0;
+    {
+        HdfFlow flow(netlist, config);
+        flow.prepare();
+        for (std::size_t i = 0; i < flow.ranges().size(); ++i) {
+            if (!flow.full_range_in_window(i).empty()) ++prop_filtered;
+        }
+        HdfFlowConfig raw_cfg = config;
+        // Threshold 0: count glitch-width intervals as detections; also
+        // disable the gate-level inertial filter.
+        raw_cfg.glitch_threshold = 0.0;
+        raw_cfg.wave.inertial_fraction = 0.0;
+        HdfFlow raw_flow(netlist, raw_cfg);
+        raw_flow.prepare();
+        for (std::size_t i = 0; i < raw_flow.ranges().size(); ++i) {
+            if (!raw_flow.full_range_in_window(i).empty()) ++prop_raw;
+        }
+        std::printf("    detected with filtering:    %zu\n", prop_filtered);
+        std::printf("    detected without filtering: %zu "
+                    "(optimistic: counts glitch-width detections a tester"
+                    " cannot rely on)\n",
+                    prop_raw);
+    }
+
+    // --- B/C/D on the filtered flow -------------------------------------
+    HdfFlow flow(netlist, config);
+    flow.prepare();
+    std::vector<IntervalSet> target_ranges;
+    for (std::uint32_t pos : flow.target_positions()) {
+        target_ranges.push_back(flow.full_range_in_window(pos));
+    }
+    FrequencySelectOptions fopts;
+    const FrequencySelection sel = select_frequencies(target_ranges, fopts);
+
+    std::printf("\n[B] candidate policy robustness (+-2%% delay scaling)\n");
+    {
+        // Boundary variant: snap each selected period to the nearest
+        // covering-range upper boundary.
+        std::vector<Time> boundary = sel.periods;
+        for (Time& t : boundary) {
+            Time best = t;
+            Time best_dist = 1e18;
+            for (const IntervalSet& r : target_ranges) {
+                for (const Interval& iv : r.intervals()) {
+                    if (iv.contains(t) && iv.hi - t < best_dist) {
+                        best_dist = iv.hi - t;
+                        best = iv.hi - 1e-6 * iv.length();
+                    }
+                }
+            }
+            t = best;
+        }
+        const double mid =
+            std::min(coverage_under_scaling(target_ranges, sel.periods, 1.02),
+                     coverage_under_scaling(target_ranges, sel.periods, 0.98));
+        const double bnd =
+            std::min(coverage_under_scaling(target_ranges, boundary, 1.02),
+                     coverage_under_scaling(target_ranges, boundary, 0.98));
+        const RobustnessReport margins =
+            selection_margins(target_ranges, sel.periods);
+        std::printf("    midpoint candidates:  worst-case retained %.1f%%,"
+                    " min margin %.2f ps\n",
+                    100.0 * mid, margins.min_margin);
+        std::printf("    boundary candidates:  worst-case retained %.1f%%\n",
+                    100.0 * bnd);
+    }
+
+    std::printf("\n[C] PLL realizability (clock-generator grid)\n");
+    {
+        const ClockGenerator gen;  // 100 MHz reference, dense grid
+        const QuantizedSelection q =
+            quantize_selection(gen, sel.periods, target_ranges);
+        std::printf("    %zu ideal periods -> %zu realizable settings,"
+                    " %zu unrealizable, %zu faults lost\n",
+                    sel.periods.size(), q.settings.size(), q.unrealizable,
+                    q.coverage_lost.size());
+        std::printf("    max relative grid error in the FAST window: %.4f%%\n",
+                    100.0 * gen.max_relative_error(
+                                flow.sta().clock_period / 3.0,
+                                flow.sta().clock_period));
+        std::printf("    relock cost per switch: %.0f ps (%.1f nominal"
+                    " cycles)\n",
+                    gen.relock_time(),
+                    gen.relock_time() / flow.sta().clock_period);
+    }
+
+    std::printf("\n[D] two-step optimization vs naive application\n");
+    {
+        const HdfFlowResult r = flow.run();
+        std::printf("    naive |P x C x F| = %zu, optimized |S| = %zu"
+                    " (reduction %.1f%%)\n",
+                    r.orig_pc, r.opti_pc, r.pc_reduction_percent);
+        const TestTimeModel model;
+        std::printf("    test-time model: %.0f vs %.0f cycles\n",
+                    model.naive_cycles(r.freq_prop, r.num_patterns, 5),
+                    model.relock_cycles * static_cast<double>(r.freq_prop) +
+                        model.cycles_per_pattern *
+                            static_cast<double>(r.opti_pc));
+    }
+    return 0;
+}

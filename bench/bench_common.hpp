@@ -1,0 +1,52 @@
+// Shared infrastructure of the table/figure benches.
+//
+// Every bench reproduces one table or figure of the paper on the twelve
+// benchmark profiles (Sec. V).  Because the underlying flow (ATPG +
+// timing-accurate fault simulation + scheduling) is identical across
+// Tables I-III, results are cached on disk per (profile, configuration)
+// so the three table benches share one computation.
+//
+// Environment knobs (all printed in the bench header):
+//   FASTMON_MAX_GATES   per-circuit gate cap; profiles larger than this
+//                       are scaled down proportionally (default 3500)
+//   FASTMON_MAX_FAULTS  cap on simulated candidate faults (default 3000)
+//   FASTMON_FAST        =1: small fast mode for smoke runs
+//   FASTMON_PROFILES    comma-separated profile subset (default: all 12)
+//   FASTMON_NO_CACHE    =1: ignore and overwrite the on-disk cache
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "flow/hdf_flow.hpp"
+#include "netlist/generator.hpp"
+
+namespace fastmon::bench {
+
+struct BenchSettings {
+    std::size_t max_gates = 3500;
+    std::size_t max_faults = 3000;
+    bool fast = false;
+    bool no_cache = false;
+    std::vector<std::string> profiles;  ///< empty = all
+
+    static BenchSettings from_env();
+    void print_header(const std::string& bench_name) const;
+};
+
+/// Flow configuration used by all benches for a given profile.
+HdfFlowConfig bench_flow_config(const BenchSettings& settings,
+                                const CircuitProfile& profile);
+
+/// Effective generator scale for a profile under the settings.
+double profile_scale(const BenchSettings& settings,
+                     const CircuitProfile& profile);
+
+/// Runs (or loads from cache) the full flow for every selected profile.
+std::vector<HdfFlowResult> run_all_profiles(const BenchSettings& settings);
+
+/// Cache round trip, exposed for tests.
+std::string serialize_result(const HdfFlowResult& result);
+bool deserialize_result(const std::string& text, HdfFlowResult& result);
+
+}  // namespace fastmon::bench

@@ -1,0 +1,70 @@
+// BIST-based FAST — the alternative the paper contrasts with.
+//
+// Over-clocked responses cannot be streamed to an ATE, so FAST-BIST
+// ([16]) compacts them on-chip: an LFSR (PRPG) feeds pseudo-random
+// pattern pairs, a MISR folds the per-cycle responses into a signature,
+// and a fault is detected when the faulty signature differs at some
+// FAST period.  This example runs the full loop on a registered design,
+// sweeps the observation period across the FAST window, reports MISR
+// aliasing, and closes with a pattern-set quality report — then points
+// at the monitor-reuse flow that achieves observation without any of
+// this infrastructure (the paper's argument).
+#include <cstdio>
+#include <iostream>
+
+#include "atpg/bist.hpp"
+#include "fault/fault.hpp"
+#include "atpg/metrics.hpp"
+#include "netlist/structures.hpp"
+#include "timing/sta.hpp"
+
+int main() {
+    using namespace fastmon;
+
+    // A registered design with regular structure: an 8-bit LFSR datapath
+    // circuit under test (its own logic, not the BIST hardware).
+    const Netlist netlist = make_lfsr(8, maximal_lfsr_taps(8), "dut_lfsr8");
+    const DelayAnnotation delays = DelayAnnotation::nominal(netlist);
+    const StaResult sta = run_sta(netlist, delays);
+    const WaveSim sim(netlist, delays);
+    std::cout << "DUT " << netlist.name() << ": "
+              << netlist.num_comb_gates() << " gates, clk = "
+              << sta.clock_period << " ps\n\n";
+
+    // On-chip pattern source: 32-bit PRPG.
+    Prpg prpg(32, 0xBEEF);
+    const auto patterns = prpg.generate(netlist.comb_sources().size(), 96);
+
+    // Fault universe for the sweep.
+    const FaultUniverse universe = FaultUniverse::generate(netlist, delays);
+    const std::vector<DelayFault> faults(universe.faults().begin(),
+                                         universe.faults().end());
+    std::printf("%zu small delay faults, %zu PRPG pattern pairs, 32-bit "
+                "MISR (aliasing bound %.1e)\n\n",
+                faults.size(), patterns.size(),
+                Misr(32).aliasing_probability());
+
+    std::printf("%12s %10s %14s %8s\n", "period/clk", "detected",
+                "response-diff", "aliased");
+    for (double f : {1.0, 0.8, 0.65, 0.5, 0.4, 0.35}) {
+        const BistCoverage c = misr_fault_coverage(
+            sim, patterns, faults, f * sta.clock_period);
+        std::printf("%12.2f %10zu %14zu %8zu\n", f, c.detected,
+                    c.response_diffs, c.aliased);
+    }
+
+    std::cout << "\nPattern-set quality (transition-fault metrics):\n";
+    const PatternSetMetrics m = evaluate_pattern_set(netlist, patterns);
+    std::printf("  TDF coverage %.1f%% with %zu patterns, mean toggle rate"
+                " %.2f\n",
+                100.0 * m.coverage, m.num_patterns, m.mean_toggle_rate);
+    std::printf("  N-detect: ");
+    for (std::size_t n = 0; n < m.n_detect_histogram.size(); ++n) {
+        std::printf("%zu>=%zu  ", m.n_detect_histogram[n], n + 1);
+    }
+    std::printf("\n\nFAST-BIST needs the PRPG, the MISR and X-free responses"
+                " on chip;\nthe paper's monitor reuse gets the same"
+                " over-clocked observability\nfrom hardware the design"
+                " already carries for aging prediction.\n");
+    return 0;
+}

@@ -1,0 +1,91 @@
+// FAST-BIST substrate: on-chip pattern generation and response
+// compaction.
+//
+// The paper positions monitor reuse against BIST-based FAST
+// (FAST-BIST [16]): over-clocked responses cannot go to an ATE, so
+// they are compacted on chip.  This module provides the two on-chip
+// blocks as software models:
+//   * Prpg — a Fibonacci-LFSR pseudo-random pattern generator whose
+//     bit stream fills pattern pairs for the combinational core;
+//   * Misr — a multiple-input signature register compacting per-cycle
+//     output responses; fault detection = signature mismatch.
+// misr_fault_coverage ties them to the timing-accurate simulator: for a
+// chosen FAST observation period, responses are sampled at that period
+// and a fault is BIST-detected iff its faulty signature differs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/fault_sim.hpp"
+#include "sim/pattern.hpp"
+
+namespace fastmon {
+
+/// Software Fibonacci LFSR over a dense polynomial; period 2^width - 1
+/// for the built-in maximal polynomials (width 16, 24, 32).
+class Prpg {
+public:
+    explicit Prpg(std::uint32_t width = 32, std::uint64_t seed = 1);
+
+    /// Next pseudo-random bit (the LFSR output stage).
+    Bit next_bit();
+
+    /// Fills a pattern pair for `num_sources` core inputs.
+    PatternPair next_pattern(std::size_t num_sources);
+
+    /// A whole BIST session worth of patterns.
+    std::vector<PatternPair> generate(std::size_t num_sources,
+                                      std::size_t count);
+
+    [[nodiscard]] std::uint64_t state() const { return state_; }
+
+private:
+    std::uint32_t width_;
+    std::uint64_t taps_;
+    std::uint64_t state_;
+};
+
+/// Multiple-input signature register (type-2 MISR): per cycle the
+/// response word is XORed into an LFSR state.
+class Misr {
+public:
+    explicit Misr(std::uint32_t width = 32);
+
+    /// Absorbs one response word (bit i = output i, wrapped mod width).
+    void absorb(std::span<const Bit> response);
+    void absorb_word(std::uint64_t response_bits);
+
+    [[nodiscard]] std::uint64_t signature() const { return state_; }
+    void reset(std::uint64_t seed = 0) { state_ = seed; }
+
+    /// Aliasing probability estimate for `cycles` absorbed responses:
+    /// classic 2^-width bound (independent of cycles for cycles >= width).
+    [[nodiscard]] double aliasing_probability() const;
+
+private:
+    std::uint32_t width_;
+    std::uint64_t taps_;
+    std::uint64_t state_;
+};
+
+/// BIST evaluation result for one observation period.
+struct BistCoverage {
+    Time period = 0.0;
+    std::uint64_t good_signature = 0;
+    std::size_t detected = 0;       ///< faults with differing signature
+    std::size_t response_diffs = 0; ///< faults with any differing response bit
+    std::size_t aliased = 0;        ///< differing responses, equal signature
+};
+
+/// Runs `patterns` through the timing-accurate simulator, samples every
+/// observation point at `period`, and compares good vs faulty MISR
+/// signatures per fault.  (Responses are also compared directly to
+/// count aliasing.)
+BistCoverage misr_fault_coverage(const WaveSim& sim,
+                                 std::span<const PatternPair> patterns,
+                                 std::span<const DelayFault> faults,
+                                 Time period, std::uint32_t misr_width = 32);
+
+}  // namespace fastmon

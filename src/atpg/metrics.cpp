@@ -1,0 +1,78 @@
+#include "atpg/metrics.hpp"
+
+#include <bit>
+
+namespace fastmon {
+
+PatternSetMetrics evaluate_pattern_set(const Netlist& netlist,
+                                       std::span<const PatternPair> patterns,
+                                       std::uint32_t n_detect_cap) {
+    PatternSetMetrics m;
+    const std::vector<TdfFault> faults = enumerate_tdf_faults(netlist);
+    m.num_patterns = patterns.size();
+    m.num_faults = faults.size();
+    m.detect_counts.assign(faults.size(), 0);
+    m.cumulative_detected.assign(patterns.size(), 0);
+    if (patterns.empty()) return m;
+
+    TransitionFaultSim sim(netlist);
+    std::vector<std::size_t> first_detect(faults.size(), SIZE_MAX);
+
+    for (std::size_t base = 0; base < patterns.size(); base += 64) {
+        const auto batch = sim.pack(patterns, base);
+        const auto values = sim.evaluate(batch);
+        const std::uint64_t valid =
+            batch.count == 64 ? ~0ULL : ((1ULL << batch.count) - 1);
+        for (std::size_t fi = 0; fi < faults.size(); ++fi) {
+            if (m.detect_counts[fi] >= n_detect_cap) continue;
+            const std::uint64_t mask =
+                sim.detect_mask(faults[fi], values) & valid;
+            if (mask == 0) continue;
+            m.detect_counts[fi] = std::min<std::uint32_t>(
+                n_detect_cap,
+                m.detect_counts[fi] +
+                    static_cast<std::uint32_t>(std::popcount(mask)));
+            if (first_detect[fi] == SIZE_MAX) {
+                first_detect[fi] =
+                    base + static_cast<std::size_t>(std::countr_zero(mask));
+            }
+        }
+    }
+
+    // Coverage curve from first-detection indices.
+    for (std::size_t fd : first_detect) {
+        if (fd != SIZE_MAX) {
+            ++m.detected;
+            ++m.cumulative_detected[fd];
+        }
+    }
+    for (std::size_t p = 1; p < m.cumulative_detected.size(); ++p) {
+        m.cumulative_detected[p] += m.cumulative_detected[p - 1];
+    }
+    m.coverage = m.num_faults == 0
+                     ? 1.0
+                     : static_cast<double>(m.detected) /
+                           static_cast<double>(m.num_faults);
+
+    m.n_detect_histogram.assign(n_detect_cap, 0);
+    for (std::uint32_t c : m.detect_counts) {
+        for (std::uint32_t n = 1; n <= c && n <= n_detect_cap; ++n) {
+            ++m.n_detect_histogram[n - 1];
+        }
+    }
+
+    double toggles = 0.0;
+    for (const PatternPair& p : patterns) {
+        std::size_t t = 0;
+        for (std::size_t s = 0; s < p.v1.size(); ++s) {
+            if (p.v1[s] != p.v2[s]) ++t;
+        }
+        toggles += p.v1.empty() ? 0.0
+                                : static_cast<double>(t) /
+                                      static_cast<double>(p.v1.size());
+    }
+    m.mean_toggle_rate = toggles / static_cast<double>(patterns.size());
+    return m;
+}
+
+}  // namespace fastmon

@@ -1,0 +1,42 @@
+// Pattern-set quality metrics.
+//
+// Tools a test engineer runs on a pattern set before committing tester
+// time: per-pattern marginal coverage (the compaction profile), TDF
+// N-detect counts (how often each fault is independently detected — a
+// proxy for coverage of unmodeled defects), and source-toggle activity.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "atpg/tfault_sim.hpp"
+
+namespace fastmon {
+
+struct PatternSetMetrics {
+    std::size_t num_patterns = 0;
+    std::size_t num_faults = 0;
+    std::size_t detected = 0;
+    /// detected faults / total faults.
+    double coverage = 0.0;
+    /// Cumulative detected-fault count after each pattern (fault-drop
+    /// order) — the classic coverage curve.
+    std::vector<std::size_t> cumulative_detected;
+    /// Per fault: number of patterns that detect it (capped at
+    /// `n_detect_cap`).
+    std::vector<std::uint32_t> detect_counts;
+    /// Faults with detect count >= n for n = 1..cap.
+    std::vector<std::size_t> n_detect_histogram;
+    /// Mean fraction of sources toggling between v1 and v2 per pattern.
+    double mean_toggle_rate = 0.0;
+};
+
+/// Computes all metrics in one fault-simulation sweep.
+/// `n_detect_cap` bounds the per-fault counting (default 5: the common
+/// N-detect target).
+PatternSetMetrics evaluate_pattern_set(const Netlist& netlist,
+                                       std::span<const PatternPair> patterns,
+                                       std::uint32_t n_detect_cap = 5);
+
+}  // namespace fastmon

@@ -1,0 +1,66 @@
+#include "atpg/pattern.hpp"
+
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace fastmon {
+
+void write_patterns(std::ostream& os, const TestSet& set) {
+    for (const PatternPair& p : set.patterns) {
+        for (Bit b : p.v1) os << (b != 0 ? '1' : '0');
+        os << ' ';
+        for (Bit b : p.v2) os << (b != 0 ? '1' : '0');
+        os << '\n';
+    }
+}
+
+std::string write_patterns_string(const TestSet& set) {
+    std::ostringstream os;
+    write_patterns(os, set);
+    return os.str();
+}
+
+TestSet read_patterns(std::istream& is, std::size_t num_sources) {
+    TestSet set;
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(is, line)) {
+        ++line_no;
+        if (line.empty() || line[0] == '#') continue;
+        std::istringstream ls(line);
+        std::string a;
+        std::string b;
+        if (!(ls >> a >> b) || a.size() != num_sources ||
+            b.size() != num_sources) {
+            throw std::runtime_error("pattern parse error at line " +
+                                     std::to_string(line_no));
+        }
+        PatternPair p;
+        p.v1.reserve(num_sources);
+        p.v2.reserve(num_sources);
+        for (char c : a) {
+            if (c != '0' && c != '1') {
+                throw std::runtime_error("invalid bit at line " +
+                                         std::to_string(line_no));
+            }
+            p.v1.push_back(c == '1' ? 1 : 0);
+        }
+        for (char c : b) {
+            if (c != '0' && c != '1') {
+                throw std::runtime_error("invalid bit at line " +
+                                         std::to_string(line_no));
+            }
+            p.v2.push_back(c == '1' ? 1 : 0);
+        }
+        set.patterns.push_back(std::move(p));
+    }
+    return set;
+}
+
+TestSet read_patterns_string(const std::string& text, std::size_t num_sources) {
+    std::istringstream is(text);
+    return read_patterns(is, num_sources);
+}
+
+}  // namespace fastmon

@@ -1,0 +1,32 @@
+// Test set container and text I/O.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/pattern.hpp"
+
+namespace fastmon {
+
+struct TestSet {
+    std::vector<PatternPair> patterns;
+
+    [[nodiscard]] std::size_t size() const { return patterns.size(); }
+    [[nodiscard]] bool empty() const { return patterns.empty(); }
+    [[nodiscard]] const PatternPair& operator[](std::size_t i) const {
+        return patterns[i];
+    }
+};
+
+/// Writes one pattern pair per line: "<v1 bits> <v2 bits>" over the
+/// combinational sources (PIs then PPIs), MSB-first in source order.
+void write_patterns(std::ostream& os, const TestSet& set);
+std::string write_patterns_string(const TestSet& set);
+
+/// Parses the format written by write_patterns.  `num_sources` is
+/// validated against every line.
+TestSet read_patterns(std::istream& is, std::size_t num_sources);
+TestSet read_patterns_string(const std::string& text, std::size_t num_sources);
+
+}  // namespace fastmon

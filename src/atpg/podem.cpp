@@ -1,0 +1,516 @@
+#include "atpg/podem.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <optional>
+
+namespace fastmon {
+
+namespace {
+
+// Ternary logic values.
+constexpr std::uint8_t T0 = 0;
+constexpr std::uint8_t T1 = 1;
+constexpr std::uint8_t TX = 2;
+
+/// Five-valued signal as a (good, faulty) ternary pair:
+/// D = (1,0), D-bar = (0,1), X = (X,X).
+struct V5 {
+    std::uint8_t good = TX;
+    std::uint8_t faulty = TX;
+
+    [[nodiscard]] bool is_d() const {
+        return good != TX && faulty != TX && good != faulty;
+    }
+    friend bool operator==(const V5&, const V5&) = default;
+};
+
+std::uint8_t t_not(std::uint8_t v) {
+    return v == TX ? TX : (v == T1 ? T0 : T1);
+}
+
+std::uint8_t t_and(std::uint8_t a, std::uint8_t b) {
+    if (a == T0 || b == T0) return T0;
+    if (a == T1 && b == T1) return T1;
+    return TX;
+}
+
+std::uint8_t t_or(std::uint8_t a, std::uint8_t b) {
+    if (a == T1 || b == T1) return T1;
+    if (a == T0 && b == T0) return T0;
+    return TX;
+}
+
+std::uint8_t t_xor(std::uint8_t a, std::uint8_t b) {
+    if (a == TX || b == TX) return TX;
+    return a == b ? T0 : T1;
+}
+
+/// Ternary (three-valued) gate evaluation with controlling values.
+std::uint8_t ternary_eval(CellType type, std::span<const std::uint8_t> ins) {
+    switch (type) {
+        case CellType::Buf:
+        case CellType::Output:
+            return ins[0];
+        case CellType::Inv:
+            return t_not(ins[0]);
+        case CellType::And:
+        case CellType::Nand: {
+            std::uint8_t acc = T1;
+            for (std::uint8_t v : ins) acc = t_and(acc, v);
+            return type == CellType::And ? acc : t_not(acc);
+        }
+        case CellType::Or:
+        case CellType::Nor: {
+            std::uint8_t acc = T0;
+            for (std::uint8_t v : ins) acc = t_or(acc, v);
+            return type == CellType::Or ? acc : t_not(acc);
+        }
+        case CellType::Xor:
+        case CellType::Xnor: {
+            std::uint8_t acc = T0;
+            for (std::uint8_t v : ins) acc = t_xor(acc, v);
+            return type == CellType::Xor ? acc : t_not(acc);
+        }
+        case CellType::Mux2: {
+            if (ins[0] == T0) return ins[1];
+            if (ins[0] == T1) return ins[2];
+            // Select unknown: defined only if both data inputs agree.
+            return (ins[1] == ins[2] && ins[1] != TX) ? ins[1] : TX;
+        }
+        case CellType::Aoi21:
+            return t_not(t_or(t_and(ins[0], ins[1]), ins[2]));
+        case CellType::Oai21:
+            return t_not(t_and(t_or(ins[0], ins[1]), ins[2]));
+        default:
+            return TX;
+    }
+}
+
+/// Does this cell type invert the chosen input on a sensitized path?
+/// (Heuristic for backtrace; correctness is preserved by backtracking.)
+bool inverting(CellType type) {
+    switch (type) {
+        case CellType::Inv:
+        case CellType::Nand:
+        case CellType::Nor:
+        case CellType::Xnor:
+        case CellType::Aoi21:
+        case CellType::Oai21:
+            return true;
+        default:
+            return false;
+    }
+}
+
+/// Non-controlling input value used to sensitize a gate (heuristic).
+bool noncontrolling(CellType type) {
+    switch (type) {
+        case CellType::And:
+        case CellType::Nand:
+            return true;
+        case CellType::Or:
+        case CellType::Nor:
+            return false;
+        default:
+            return false;
+    }
+}
+
+struct Objective {
+    GateId signal = kNoGate;
+    bool value = false;
+};
+
+}  // namespace
+
+/// Cache of per-source fanout cones, shared across PODEM runs on the
+/// same netlist (cone extraction is the dominant setup cost otherwise).
+using ConeCache = std::vector<std::vector<GateId>>;
+
+struct PodemEngine {
+    const Netlist& nl;
+    const FaultSite site;
+    const bool stuck_value;
+    const bool propagate;  ///< false for pure justification
+    const std::size_t backtrack_limit;
+    ConeCache& cones;
+
+    std::vector<V5> values;
+    std::vector<Bit> source_vals;      // only meaningful where source_set
+    std::vector<bool> source_set;
+    std::vector<GateId> site_cone;
+    std::size_t backtracks = 0;
+
+    PodemEngine(const Netlist& netlist, const FaultSite& s, bool sv,
+                bool prop, std::size_t limit, ConeCache& cone_cache)
+        : nl(netlist),
+          site(s),
+          stuck_value(sv),
+          propagate(prop),
+          backtrack_limit(limit),
+          cones(cone_cache),
+          values(netlist.size()),
+          source_vals(netlist.comb_sources().size(), 0),
+          source_set(netlist.comb_sources().size(), false),
+          site_cone(netlist.fanout_cone(s.gate)) {}
+
+    const std::vector<GateId>& source_cone(std::uint32_t src) {
+        if (cones.size() != nl.comb_sources().size()) {
+            cones.assign(nl.comb_sources().size(), {});
+        }
+        std::vector<GateId>& cone = cones[src];
+        if (cone.empty()) {
+            cone = nl.fanout_cone(nl.comb_sources()[src]);
+        }
+        return cone;
+    }
+
+    /// Signal whose good value must become !stuck_value to activate.
+    [[nodiscard]] GateId faulted_line_driver() const {
+        if (site.pin == FaultSite::kOutputPin) return site.gate;
+        return nl.gate(site.gate).fanin[site.pin];
+    }
+
+    /// Recomputes the value of one non-source node from its fanins,
+    /// applying the fault injection at the site.
+    void eval_node(GateId id) {
+        const Gate& g = nl.gate(id);
+        const auto arity = static_cast<std::uint32_t>(g.fanin.size());
+        std::uint8_t gin[8];
+        std::uint8_t fin[8];
+        for (std::uint32_t p = 0; p < arity; ++p) {
+            gin[p] = values[g.fanin[p]].good;
+            fin[p] = values[g.fanin[p]].faulty;
+        }
+        // Branch fault injection: the faulty circuit sees the stuck
+        // value on this one pin.
+        if (propagate && id == site.gate &&
+            site.pin != FaultSite::kOutputPin) {
+            fin[site.pin] = stuck_value ? T1 : T0;
+        }
+        V5 v;
+        if (g.type == CellType::Output) {
+            v = V5{gin[0], fin[0]};
+        } else {
+            v.good = ternary_eval(g.type,
+                                  std::span<const std::uint8_t>(gin, arity));
+            v.faulty = ternary_eval(g.type,
+                                    std::span<const std::uint8_t>(fin, arity));
+        }
+        // Stem fault injection at the gate output.
+        if (propagate && id == site.gate &&
+            site.pin == FaultSite::kOutputPin) {
+            v.faulty = stuck_value ? T1 : T0;
+        }
+        values[id] = v;
+    }
+
+    [[nodiscard]] V5 source_value(std::uint32_t src) const {
+        const std::uint8_t v =
+            source_set[src] ? (source_vals[src] != 0 ? T1 : T0) : TX;
+        return V5{v, v};
+    }
+
+    /// Full forward implication (used once at start).
+    void imply() {
+        for (GateId id : nl.topo_order()) {
+            const std::uint32_t src = nl.source_index(id);
+            if (src != std::numeric_limits<std::uint32_t>::max()) {
+                values[id] = source_value(src);
+                continue;
+            }
+            eval_node(id);
+        }
+    }
+
+    /// Incremental implication after (un)assigning one source: only the
+    /// source's fanout cone can change.
+    void imply_from(std::uint32_t src) {
+        values[nl.comb_sources()[src]] = source_value(src);
+        for (GateId id : source_cone(src)) {
+            if (nl.source_index(id) !=
+                std::numeric_limits<std::uint32_t>::max()) {
+                continue;  // the source itself / register sinks
+            }
+            eval_node(id);
+        }
+    }
+
+    [[nodiscard]] bool effect_at_output() const {
+        for (const ObservePoint& op : nl.observe_points()) {
+            if (values[op.signal].is_d()) return true;
+        }
+        return false;
+    }
+
+    /// True once the fault is activated (good side of the faulted line
+    /// at the non-stuck value).
+    [[nodiscard]] std::uint8_t line_good_value() const {
+        if (site.pin == FaultSite::kOutputPin) {
+            return values[site.gate].good;
+        }
+        return values[faulted_line_driver()].good;
+    }
+
+    /// X-path check: for every node in the site cone, can a change still
+    /// reach an observation point through X-valued (or D-carrying)
+    /// signals?  Computed in one reverse sweep over the cone.
+    [[nodiscard]] std::vector<std::int8_t> x_path_map() const {
+        std::vector<std::int8_t> reach(nl.size(), 0);
+        for (auto it = site_cone.rbegin(); it != site_cone.rend(); ++it) {
+            const GateId id = *it;
+            const Gate& g = nl.gate(id);
+            if (g.type == CellType::Output || g.type == CellType::Dff) {
+                reach[id] = 1;  // observation point (D pin / pad)
+                continue;
+            }
+            for (GateId out : g.fanout) {
+                const Gate& og = nl.gate(out);
+                if (og.type == CellType::Output || og.type == CellType::Dff) {
+                    reach[id] = 1;
+                    break;
+                }
+                const V5& ov = values[out];
+                const bool open = ov.good == TX || ov.faulty == TX;
+                if (open && reach[out] != 0) {
+                    reach[id] = 1;
+                    break;
+                }
+            }
+        }
+        return reach;
+    }
+
+    [[nodiscard]] std::optional<Objective> next_objective() const {
+        const std::uint8_t lv = line_good_value();
+        const std::uint8_t want = stuck_value ? T0 : T1;
+        if (lv == TX) {
+            return Objective{faulted_line_driver(), want == T1};
+        }
+        if (lv != want) return std::nullopt;  // activation conflict
+        if (!propagate) return std::nullopt;  // justification done/failed
+        // D-frontier: X-output gates with a D on some input; pick the
+        // shallowest one that still has an X-path to an observation
+        // point.  The frontier can only live in the fanout cone of the
+        // fault site.
+        const std::vector<std::int8_t> x_path = x_path_map();
+        GateId best = kNoGate;
+        for (GateId id : site_cone) {
+            const Gate& g = nl.gate(id);
+            if (!is_combinational(g.type)) continue;
+            const V5& out = values[id];
+            if (out.good != TX && out.faulty != TX) continue;
+            bool has_d = false;
+            for (GateId f : g.fanin) {
+                if (values[f].is_d()) {
+                    has_d = true;
+                    break;
+                }
+            }
+            // The faulted gate's injected branch D is not visible in
+            // values[]; treat it as a frontier member when activated.
+            if (id == site.gate && site.pin != FaultSite::kOutputPin) {
+                has_d = true;
+            }
+            if (!has_d) continue;
+            if (x_path[id] == 0) continue;  // effect can no longer reach
+            if (best == kNoGate || nl.level(id) < nl.level(best)) best = id;
+        }
+        if (best == kNoGate) return std::nullopt;
+        const Gate& g = nl.gate(best);
+        for (GateId f : g.fanin) {
+            if (values[f].good == TX) {
+                return Objective{f, noncontrolling(g.type)};
+            }
+        }
+        return std::nullopt;
+    }
+
+    /// X-valued fanin with extreme logic level: `hardest` selects the
+    /// deepest (to satisfy all-inputs objectives early), otherwise the
+    /// shallowest (easiest single-input objective).
+    [[nodiscard]] GateId pick_x_fanin(const Gate& g, bool hardest) const {
+        GateId pick = kNoGate;
+        for (GateId f : g.fanin) {
+            if (values[f].good != TX) continue;
+            if (pick == kNoGate ||
+                (hardest ? nl.level(f) > nl.level(pick)
+                         : nl.level(f) < nl.level(pick))) {
+                pick = f;
+            }
+        }
+        return pick;
+    }
+
+    /// Maps an objective to a source assignment through X-valued lines
+    /// using the classic goal-directed heuristic: descend into the
+    /// easiest input when any controlling value suffices, the hardest
+    /// when all inputs must be non-controlling.
+    [[nodiscard]] std::optional<std::pair<std::uint32_t, bool>> backtrace(
+        Objective obj) const {
+        GateId s = obj.signal;
+        bool v = obj.value;
+        for (std::size_t guard = 0; guard < nl.size() + 1; ++guard) {
+            const std::uint32_t src = nl.source_index(s);
+            if (src != std::numeric_limits<std::uint32_t>::max()) {
+                if (source_set[src]) return std::nullopt;
+                return std::make_pair(src, v);
+            }
+            const Gate& g = nl.gate(s);
+            GateId next = kNoGate;
+            bool next_v = v;
+            switch (g.type) {
+                case CellType::And:
+                case CellType::Nand: {
+                    const bool out_and = g.type == CellType::And ? v : !v;
+                    // 1: all inputs 1 (hardest first); 0: any input 0.
+                    next = pick_x_fanin(g, out_and);
+                    next_v = out_and;
+                    break;
+                }
+                case CellType::Or:
+                case CellType::Nor: {
+                    const bool out_or = g.type == CellType::Or ? v : !v;
+                    // 1: any input 1 (easiest); 0: all inputs 0.
+                    next = pick_x_fanin(g, !out_or);
+                    next_v = out_or;
+                    break;
+                }
+                case CellType::Inv:
+                    next = values[g.fanin[0]].good == TX ? g.fanin[0] : kNoGate;
+                    next_v = !v;
+                    break;
+                case CellType::Buf:
+                case CellType::Output:
+                    next = values[g.fanin[0]].good == TX ? g.fanin[0] : kNoGate;
+                    break;
+                case CellType::Xor:
+                case CellType::Xnor: {
+                    // Choose an X input; if it is the only X, its value
+                    // is determined by the parity of the known inputs.
+                    next = pick_x_fanin(g, false);
+                    if (next == kNoGate) break;
+                    bool parity = g.type == CellType::Xnor ? !v : v;
+                    std::size_t n_x = 0;
+                    for (GateId f : g.fanin) {
+                        if (values[f].good == TX) {
+                            ++n_x;
+                        } else if (values[f].good == T1) {
+                            parity = !parity;
+                        }
+                    }
+                    next_v = n_x == 1 ? parity : v;
+                    break;
+                }
+                case CellType::Mux2: {
+                    // Select known: descend the selected data input.
+                    if (values[g.fanin[0]].good == T0 &&
+                        values[g.fanin[1]].good == TX) {
+                        next = g.fanin[1];
+                    } else if (values[g.fanin[0]].good == T1 &&
+                               values[g.fanin[2]].good == TX) {
+                        next = g.fanin[2];
+                    } else {
+                        next = pick_x_fanin(g, false);
+                    }
+                    break;
+                }
+                default:
+                    // AOI/OAI: heuristic descent with inversion.
+                    next = pick_x_fanin(g, false);
+                    next_v = inverting(g.type) ? !v : v;
+                    break;
+            }
+            if (next == kNoGate) return std::nullopt;
+            v = next_v;
+            s = next;
+        }
+        return std::nullopt;
+    }
+
+    [[nodiscard]] PodemStatus run() {
+        struct Decision {
+            std::uint32_t src;
+            bool tried_both;
+        };
+        std::vector<Decision> stack;
+        imply();
+
+        for (;;) {
+            // Success?
+            if (propagate) {
+                if (effect_at_output()) return PodemStatus::Success;
+            } else {
+                const std::uint8_t lv = line_good_value();
+                const std::uint8_t want = stuck_value ? T0 : T1;
+                if (lv == want) return PodemStatus::Success;
+            }
+
+            const auto obj = next_objective();
+            std::optional<std::pair<std::uint32_t, bool>> assign;
+            if (obj) assign = backtrace(*obj);
+
+            if (assign) {
+                source_set[assign->first] = true;
+                source_vals[assign->first] = assign->second ? 1 : 0;
+                stack.push_back(Decision{assign->first, false});
+                imply_from(assign->first);
+                continue;
+            }
+
+            // Dead end: backtrack.
+            for (;;) {
+                if (stack.empty()) return PodemStatus::Untestable;
+                if (++backtracks > backtrack_limit) {
+                    return PodemStatus::Aborted;
+                }
+                Decision& d = stack.back();
+                if (!d.tried_both) {
+                    d.tried_both = true;
+                    source_vals[d.src] ^= 1;
+                    imply_from(d.src);
+                    break;
+                }
+                source_set[d.src] = false;
+                imply_from(d.src);
+                stack.pop_back();
+            }
+        }
+    }
+};
+
+Podem::Podem(const Netlist& netlist, std::size_t backtrack_limit)
+    : netlist_(&netlist), backtrack_limit_(backtrack_limit) {}
+
+namespace {
+
+PodemResult finish(const PodemEngine& engine, PodemStatus status) {
+    PodemResult r;
+    r.status = status;
+    r.backtracks = engine.backtracks;
+    r.vector = engine.source_vals;
+    r.assigned = engine.source_set;
+    return r;
+}
+
+}  // namespace
+
+PodemResult Podem::generate_test(const FaultSite& site,
+                                 bool stuck_value) const {
+    PodemEngine engine(*netlist_, site, stuck_value, true, backtrack_limit_,
+                       cone_cache_);
+    const PodemStatus status = engine.run();
+    return finish(engine, status);
+}
+
+PodemResult Podem::justify(const FaultSite& site, bool value) const {
+    // Justification of "line = value" is PODEM for stuck-at !value with
+    // the propagation requirement dropped.
+    PodemEngine engine(*netlist_, site, !value, false, backtrack_limit_,
+                       cone_cache_);
+    const PodemStatus status = engine.run();
+    return finish(engine, status);
+}
+
+}  // namespace fastmon

@@ -1,0 +1,187 @@
+#include "atpg/tdf_atpg.hpp"
+
+#include <algorithm>
+
+#include "util/log.hpp"
+#include "util/prng.hpp"
+
+namespace fastmon {
+
+namespace {
+
+PatternPair random_pair(std::size_t n_src, Prng& rng) {
+    PatternPair p;
+    p.v1.resize(n_src);
+    p.v2.resize(n_src);
+    for (std::size_t s = 0; s < n_src; ++s) {
+        p.v1[s] = rng.chance(0.5) ? 1 : 0;
+        p.v2[s] = rng.chance(0.5) ? 1 : 0;
+    }
+    return p;
+}
+
+/// Greedy lane cover: choose a minimal-ish subset of the 64 lanes that
+/// covers all faults newly detected by this batch.
+std::vector<std::size_t> select_lanes(
+    const std::vector<std::uint64_t>& masks, std::size_t lane_count) {
+    std::vector<std::size_t> chosen;
+    std::vector<bool> covered(masks.size(), false);
+    std::size_t remaining = masks.size();
+    while (remaining > 0) {
+        std::size_t best_lane = SIZE_MAX;
+        std::size_t best_gain = 0;
+        for (std::size_t lane = 0; lane < lane_count; ++lane) {
+            std::size_t gain = 0;
+            for (std::size_t f = 0; f < masks.size(); ++f) {
+                if (!covered[f] && ((masks[f] >> lane) & 1) != 0) ++gain;
+            }
+            if (gain > best_gain) {
+                best_gain = gain;
+                best_lane = lane;
+            }
+        }
+        if (best_lane == SIZE_MAX) break;  // leftover faults uncoverable
+        chosen.push_back(best_lane);
+        for (std::size_t f = 0; f < masks.size(); ++f) {
+            if (((masks[f] >> best_lane) & 1) != 0 && !covered[f]) {
+                covered[f] = true;
+                --remaining;
+            }
+        }
+    }
+    return chosen;
+}
+
+}  // namespace
+
+AtpgResult generate_tdf_tests(const Netlist& netlist,
+                              const AtpgConfig& config) {
+    AtpgResult result;
+    const std::vector<TdfFault> faults = enumerate_tdf_faults(netlist);
+    result.num_faults = faults.size();
+    std::vector<bool> detected(faults.size(), false);
+
+    const std::size_t n_src = netlist.comb_sources().size();
+    TransitionFaultSim sim(netlist);
+    Prng rng(config.seed ^ 0xA7B6ULL);
+
+    // --- Phase 1: random patterns -------------------------------------
+    std::size_t idle = 0;
+    for (std::size_t batch_no = 0;
+         batch_no < config.max_random_batches && idle < config.max_idle_batches;
+         ++batch_no) {
+        std::vector<PatternPair> cand;
+        cand.reserve(64);
+        for (int i = 0; i < 64; ++i) cand.push_back(random_pair(n_src, rng));
+        const auto batch = sim.pack(cand, 0);
+        const auto values = sim.evaluate(batch);
+
+        std::vector<std::uint64_t> masks;
+        std::vector<std::size_t> mask_fault;
+        for (std::size_t fi = 0; fi < faults.size(); ++fi) {
+            if (detected[fi]) continue;
+            const std::uint64_t m = sim.detect_mask(faults[fi], values);
+            if (m != 0) {
+                masks.push_back(m);
+                mask_fault.push_back(fi);
+            }
+        }
+        if (masks.empty()) {
+            ++idle;
+            continue;
+        }
+        idle = 0;
+        for (std::size_t lane : select_lanes(masks, batch.count)) {
+            result.test_set.patterns.push_back(cand[lane]);
+            for (std::size_t k = 0; k < masks.size(); ++k) {
+                if (((masks[k] >> lane) & 1) != 0) detected[mask_fault[k]] = true;
+            }
+        }
+    }
+
+    // --- Phase 2: deterministic PODEM ---------------------------------
+    if (config.deterministic_phase) {
+        const Podem podem(netlist, config.podem_backtrack_limit);
+        std::size_t targeted = 0;
+        for (std::size_t fi = 0; fi < faults.size(); ++fi) {
+            if (detected[fi]) continue;
+            if (config.max_podem_faults != 0 &&
+                targeted >= config.max_podem_faults) {
+                break;
+            }
+            ++targeted;
+            const TdfFault& f = faults[fi];
+            // v2 must detect "site stuck at the initial value".
+            const bool initial = !f.slow_rising;  // STR: 0 -> 1
+            const PodemResult v2 = podem.generate_test(f.site, initial);
+            if (v2.status == PodemStatus::Untestable) {
+                ++result.num_untestable;
+                continue;
+            }
+            if (v2.status == PodemStatus::Aborted) {
+                ++result.num_aborted;
+                continue;
+            }
+            // v1 must set the site to the initial value.
+            const PodemResult v1 = podem.justify(f.site, initial);
+            if (v1.status == PodemStatus::Untestable) {
+                ++result.num_untestable;
+                continue;
+            }
+            if (v1.status == PodemStatus::Aborted) {
+                ++result.num_aborted;
+                continue;
+            }
+            PatternPair p;
+            p.v1.resize(n_src);
+            p.v2.resize(n_src);
+            for (std::size_t s = 0; s < n_src; ++s) {
+                p.v1[s] = v1.assigned[s] ? v1.vector[s]
+                                         : (rng.chance(0.5) ? 1 : 0);
+                p.v2[s] = v2.assigned[s] ? v2.vector[s]
+                                         : (rng.chance(0.5) ? 1 : 0);
+            }
+            // Confirm and drop any other faults the pattern catches.
+            const std::vector<PatternPair> one{p};
+            const auto batch = sim.pack(one, 0);
+            const auto values = sim.evaluate(batch);
+            bool confirms = false;
+            for (std::size_t fj = 0; fj < faults.size(); ++fj) {
+                if (detected[fj]) continue;
+                if ((sim.detect_mask(faults[fj], values) & 1ULL) != 0) {
+                    detected[fj] = true;
+                    confirms = true;
+                }
+            }
+            if (confirms) result.test_set.patterns.push_back(std::move(p));
+        }
+    }
+
+    // --- Phase 3: reverse-order compaction -----------------------------
+    {
+        std::vector<PatternPair>& pats = result.test_set.patterns;
+        std::reverse(pats.begin(), pats.end());
+        const std::vector<std::size_t> first =
+            fault_simulate_tdf(netlist, faults, pats);
+        std::vector<bool> keep(pats.size(), false);
+        for (std::size_t fd : first) {
+            if (fd != SIZE_MAX) keep[fd] = true;
+        }
+        std::vector<PatternPair> compacted;
+        for (std::size_t i = 0; i < pats.size(); ++i) {
+            if (keep[i]) compacted.push_back(std::move(pats[i]));
+        }
+        pats = std::move(compacted);
+    }
+
+    result.num_detected =
+        static_cast<std::size_t>(std::count(detected.begin(), detected.end(), true));
+    log_info() << "ATPG " << netlist.name() << ": " << result.num_detected
+               << "/" << result.num_faults << " TDF detected ("
+               << result.test_set.size() << " patterns, "
+               << result.num_untestable << " untestable, "
+               << result.num_aborted << " aborted)";
+    return result;
+}
+
+}  // namespace fastmon

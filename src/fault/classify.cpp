@@ -1,0 +1,95 @@
+#include "fault/classify.hpp"
+
+#include <algorithm>
+
+namespace fastmon {
+
+std::vector<FaultId> StructuralClassification::candidates() const {
+    std::vector<FaultId> ids;
+    ids.reserve(num_candidates);
+    for (FaultId i = 0; i < klass.size(); ++i) {
+        if (klass[i] == StructuralClass::Candidate) ids.push_back(i);
+    }
+    return ids;
+}
+
+Time path_through_site(const Netlist& netlist, const DelayAnnotation& delays,
+                       const StaResult& sta, const FaultSite& site) {
+    if (site.pin == FaultSite::kOutputPin) {
+        return sta.path_through[site.gate];
+    }
+    const Gate& g = netlist.gate(site.gate);
+    const GateId driver = g.fanin[site.pin];
+    const PinDelay arc = delays.arc(site.gate, site.pin);
+    return sta.max_arrival[driver] + std::max(arc.rise, arc.fall) +
+           sta.downstream[site.gate];
+}
+
+StructuralClassification classify_structural(
+    const Netlist& netlist, const DelayAnnotation& delays,
+    const StaResult& sta, const FaultUniverse& universe,
+    const StructuralClassifyConfig& config) {
+    StructuralClassification out;
+    out.klass.resize(universe.size(), StructuralClass::Candidate);
+
+    const Time t_nom = sta.clock_period;
+    const Time t_min = t_nom / config.fmax_factor;
+
+    // Per-gate: does the fanout cone reach a monitored observation point?
+    // (Cached per gate; all faults of a gate share the cone.)
+    // node id -> "is a monitored observe node", computed once.
+    std::vector<bool> node_monitored(netlist.size(), false);
+    if (!config.monitored_observe.empty()) {
+        const auto ops = netlist.observe_points();
+        for (std::uint32_t oi = 0; oi < ops.size(); ++oi) {
+            if (config.monitored_observe[oi]) node_monitored[ops[oi].node] = true;
+        }
+    }
+    // Reverse-topological propagation: a gate reaches a monitored
+    // observation point iff one of its sink fanouts is monitored or a
+    // combinational fanout reaches one.
+    std::vector<bool> reaches_monitor(netlist.size(), false);
+    {
+        const auto order = netlist.topo_order();
+        for (auto it = order.rbegin(); it != order.rend(); ++it) {
+            const GateId id = *it;
+            for (GateId out : netlist.gate(id).fanout) {
+                const Gate& og = netlist.gate(out);
+                if (og.type == CellType::Output || og.type == CellType::Dff) {
+                    if (node_monitored[out]) reaches_monitor[id] = true;
+                } else if (reaches_monitor[out]) {
+                    reaches_monitor[id] = true;
+                }
+            }
+        }
+    }
+    auto monitored_in_cone = [&](GateId gate) { return reaches_monitor[gate]; };
+
+    for (FaultId fid = 0; fid < universe.size(); ++fid) {
+        const DelayFault& f = universe.fault(fid);
+        const Time path = path_through_site(netlist, delays, sta, f.site);
+
+        // At-speed detectable: slack at the site below the fault size.
+        if (t_nom - path < f.delta) {
+            out.klass[fid] = StructuralClass::AtSpeedDetectable;
+            ++out.num_at_speed;
+            continue;
+        }
+
+        // Timing redundant: even the slowest faulty transition through
+        // the site (path + delta), shifted by the largest monitor delay
+        // where a monitor is reachable, settles before t_min — nothing
+        // observable remains inside [t_min, t_nom].
+        const Time shift =
+            monitored_in_cone(f.site.gate) ? config.max_monitor_delay : 0.0;
+        if (path + f.delta + shift < t_min) {
+            out.klass[fid] = StructuralClass::TimingRedundant;
+            ++out.num_redundant;
+            continue;
+        }
+        ++out.num_candidates;
+    }
+    return out;
+}
+
+}  // namespace fastmon

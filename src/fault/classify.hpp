@@ -1,0 +1,55 @@
+// Structural (pre-simulation) fault classification — step (1) of the
+// paper's test flow (Fig. 4).
+//
+// Using STA timing, faults are sorted into:
+//  * AtSpeedDetectable — the minimum slack at the site is smaller than
+//    the fault size, so an ordinary at-speed test catches them; they are
+//    removed from the FAST fault list.
+//  * TimingRedundant — even through the longest path and with the
+//    maximum monitor delay added, the fault effect cannot reach the
+//    observable window [t_min, t_nom]; undetectable, removed.
+//  * Candidate — needs timing-accurate fault simulation.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "timing/sta.hpp"
+
+namespace fastmon {
+
+enum class StructuralClass : std::uint8_t {
+    AtSpeedDetectable,
+    TimingRedundant,
+    Candidate,
+};
+
+struct StructuralClassification {
+    std::vector<StructuralClass> klass;  ///< per FaultId
+    std::size_t num_at_speed = 0;
+    std::size_t num_redundant = 0;
+    std::size_t num_candidates = 0;
+
+    [[nodiscard]] std::vector<FaultId> candidates() const;
+};
+
+struct StructuralClassifyConfig {
+    double fmax_factor = 3.0;       ///< f_max = factor * f_nom
+    Time max_monitor_delay = 0.0;   ///< largest configurable monitor delay
+    /// Per observe-point index: carries a monitor (empty = no monitors).
+    std::vector<bool> monitored_observe;
+};
+
+StructuralClassification classify_structural(
+    const Netlist& netlist, const DelayAnnotation& delays,
+    const StaResult& sta, const FaultUniverse& universe,
+    const StructuralClassifyConfig& config);
+
+/// Longest path through the fault site (launch to capture), the quantity
+/// whose slack against the clock decides at-speed detectability.
+Time path_through_site(const Netlist& netlist, const DelayAnnotation& delays,
+                       const StaResult& sta, const FaultSite& site);
+
+}  // namespace fastmon

@@ -1,0 +1,144 @@
+#include "fault/detection_range.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <mutex>
+#include <thread>
+
+namespace fastmon {
+
+namespace {
+
+std::size_t worker_count(std::size_t work_items) {
+    const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
+    return std::max<std::size_t>(1, std::min({hw, work_items, std::size_t{16}}));
+}
+
+/// Runs fn(begin, end) on `workers` threads over [0, total).
+template <typename Fn>
+void parallel_chunks(std::size_t total, Fn&& fn) {
+    const std::size_t workers = worker_count(total);
+    if (workers <= 1) {
+        fn(std::size_t{0}, total);
+        return;
+    }
+    std::vector<std::thread> threads;
+    threads.reserve(workers);
+    const std::size_t chunk = (total + workers - 1) / workers;
+    for (std::size_t w = 0; w < workers; ++w) {
+        const std::size_t begin = w * chunk;
+        const std::size_t end = std::min(total, begin + chunk);
+        if (begin >= end) break;
+        threads.emplace_back([&fn, begin, end] { fn(begin, end); });
+    }
+    for (std::thread& t : threads) t.join();
+}
+
+}  // namespace
+
+DetectionAnalyzer::DetectionAnalyzer(const WaveSim& wave_sim,
+                                     std::span<const PatternPair> patterns,
+                                     const std::vector<bool>& monitored,
+                                     DetectionAnalysisConfig config)
+    : wave_sim_(&wave_sim),
+      patterns_(patterns),
+      monitored_(monitored),
+      config_(config) {
+    if (monitored_.empty()) {
+        monitored_.assign(wave_sim.netlist().observe_points().size(), false);
+    }
+    assert(monitored_.size() == wave_sim.netlist().observe_points().size());
+}
+
+DetectionAnalyzer::PairRanges DetectionAnalyzer::ranges_for_pattern(
+    const DelayFault& fault, std::span<const Waveform> good) const {
+    PairRanges out;
+    const FaultSim fsim(*wave_sim_);
+    for (const ObserveDiff& od : fsim.simulate(fault, good)) {
+        IntervalSet ivals = od.diff.ones(config_.horizon);
+        ivals.filter_glitches(config_.glitch_threshold);
+        if (ivals.empty()) continue;
+        out.ff.unite(ivals);
+        if (monitored_[od.observe_index]) out.sr.unite(ivals);
+    }
+    return out;
+}
+
+std::vector<FaultRanges> DetectionAnalyzer::analyze(
+    std::span<const DelayFault> faults) const {
+    std::vector<FaultRanges> result(faults.size());
+    const FaultSim fsim(*wave_sim_);
+
+    for (std::uint32_t pi = 0; pi < patterns_.size(); ++pi) {
+        const PatternPair& p = patterns_[pi];
+        const std::vector<Waveform> good = wave_sim_->simulate(p.v1, p.v2);
+        parallel_chunks(faults.size(), [&](std::size_t begin, std::size_t end) {
+            for (std::size_t fi = begin; fi < end; ++fi) {
+                if (!fsim.activated(faults[fi], good)) continue;
+                PairRanges pr = ranges_for_pattern(faults[fi], good);
+                if (pr.ff.empty() && pr.sr.empty()) continue;
+                result[fi].ff.unite(pr.ff);
+                result[fi].sr.unite(pr.sr);
+                result[fi].active_patterns.push_back(pi);
+            }
+        });
+    }
+    return result;
+}
+
+std::vector<DetectionEntry> DetectionAnalyzer::detection_table(
+    std::span<const DelayFault> faults, std::span<const FaultRanges> ranges,
+    std::span<const Time> periods, std::span<const Time> config_delays) const {
+    assert(ranges.size() == faults.size());
+
+    // Invert: pattern -> fault indices with that pattern active.
+    std::vector<std::vector<std::uint32_t>> by_pattern(patterns_.size());
+    for (std::uint32_t fi = 0; fi < ranges.size(); ++fi) {
+        for (std::uint32_t pi : ranges[fi].active_patterns) {
+            by_pattern[pi].push_back(fi);
+        }
+    }
+
+    std::vector<DetectionEntry> entries;
+    std::mutex entries_mutex;
+
+    for (std::uint32_t pi = 0; pi < patterns_.size(); ++pi) {
+        if (by_pattern[pi].empty()) continue;
+        const PatternPair& p = patterns_[pi];
+        const std::vector<Waveform> good = wave_sim_->simulate(p.v1, p.v2);
+        const auto& flist = by_pattern[pi];
+        parallel_chunks(flist.size(), [&](std::size_t begin, std::size_t end) {
+            std::vector<DetectionEntry> local;
+            for (std::size_t k = begin; k < end; ++k) {
+                const std::uint32_t fi = flist[k];
+                const PairRanges pr = ranges_for_pattern(faults[fi], good);
+                for (std::uint16_t ti = 0; ti < periods.size(); ++ti) {
+                    const Time t = periods[ti];
+                    for (std::uint16_t ci = 0; ci < config_delays.size(); ++ci) {
+                        const Time shifted = t - config_delays[ci];
+                        const bool det =
+                            (ci == 0 && pr.ff.contains(t)) ||
+                            (ci != 0 && (pr.ff.contains(t) ||
+                                         pr.sr.contains(shifted)));
+                        if (det) {
+                            local.push_back(DetectionEntry{fi, pi, ci, ti});
+                        }
+                    }
+                }
+            }
+            const std::lock_guard<std::mutex> lock(entries_mutex);
+            entries.insert(entries.end(), local.begin(), local.end());
+        });
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const DetectionEntry& a, const DetectionEntry& b) {
+                  if (a.fault_index != b.fault_index)
+                      return a.fault_index < b.fault_index;
+                  if (a.period != b.period) return a.period < b.period;
+                  if (a.pattern != b.pattern) return a.pattern < b.pattern;
+                  return a.config < b.config;
+              });
+    return entries;
+}
+
+}  // namespace fastmon

@@ -1,0 +1,97 @@
+// Detection-range computation by timing-accurate fault simulation —
+// steps (2)-(4) of the paper's test flow (Fig. 4).
+//
+// Pass A (analyze): for every candidate fault and every pattern pair,
+// the fanout cone is re-simulated; the XOR of fault-free and faulty
+// waveforms at each observation point yields detection intervals, which
+// are pulse-filtered (Sec. II-A) and accumulated into two aggregates per
+// fault: the range observable by standard flip-flops (all observation
+// points) and the unshifted range observable by monitor shadow
+// registers (monitored observation points only).  Patterns that produce
+// any difference are remembered for pass B.
+//
+// Pass B (detection_table): re-simulates only (fault, active pattern)
+// pairs and evaluates detection at a small set of selected observation
+// times under every monitor configuration — the input of the second
+// scheduling step (pattern x configuration selection).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "sim/pattern.hpp"
+
+namespace fastmon {
+
+/// Aggregated (pass A) detection data per fault.
+struct FaultRanges {
+    /// Detection range via standard flip-flops, union over all patterns
+    /// and all observation points; raw observation times in [0, horizon).
+    IntervalSet ff;
+    /// Unshifted detection range at monitored observation points; the
+    /// shadow-register range under configuration delay d is (sr + d).
+    IntervalSet sr;
+    /// Pattern indices that produced any output difference.
+    std::vector<std::uint32_t> active_patterns;
+};
+
+/// One confirmed detection opportunity (pass B).
+struct DetectionEntry {
+    std::uint32_t fault_index = 0;    ///< index into the analyzed fault list
+    std::uint32_t pattern = 0;        ///< pattern index
+    std::uint16_t config = 0;         ///< monitor configuration index
+    std::uint16_t period = 0;         ///< index into the period list
+};
+
+struct DetectionAnalysisConfig {
+    /// Pulse-filtering threshold for detection intervals (Sec. II-A);
+    /// intervals shorter than this are pessimistically dropped.
+    Time glitch_threshold = 0.0;
+    /// Upper bound of recorded observation times (>= t_nom + max
+    /// monitor delay).
+    Time horizon = 0.0;
+};
+
+class DetectionAnalyzer {
+public:
+    /// `monitored` flags each observation point carrying a monitor (may
+    /// be empty: no monitors).
+    DetectionAnalyzer(const WaveSim& wave_sim,
+                      std::span<const PatternPair> patterns,
+                      const std::vector<bool>& monitored,
+                      DetectionAnalysisConfig config);
+
+    /// Pass A over `faults` (parallelized over patterns internally).
+    [[nodiscard]] std::vector<FaultRanges> analyze(
+        std::span<const DelayFault> faults) const;
+
+    /// Pass B: for each fault (with its active pattern list from pass A),
+    /// tests detection at each observation time in `periods` under each
+    /// monitor configuration delay in `config_delays` (index 0 is the
+    /// monitor-off configuration with delay 0).
+    [[nodiscard]] std::vector<DetectionEntry> detection_table(
+        std::span<const DelayFault> faults,
+        std::span<const FaultRanges> ranges,
+        std::span<const Time> periods,
+        std::span<const Time> config_delays) const;
+
+    [[nodiscard]] const WaveSim& wave_sim() const { return *wave_sim_; }
+
+private:
+    /// FF/SR interval pair for one fault under one pattern.
+    struct PairRanges {
+        IntervalSet ff;
+        IntervalSet sr;
+    };
+    [[nodiscard]] PairRanges ranges_for_pattern(
+        const DelayFault& fault, std::span<const Waveform> good) const;
+
+    const WaveSim* wave_sim_;
+    std::span<const PatternPair> patterns_;
+    std::vector<bool> monitored_;
+    DetectionAnalysisConfig config_;
+};
+
+}  // namespace fastmon

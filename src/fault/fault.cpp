@@ -1,0 +1,60 @@
+#include "fault/fault.hpp"
+
+#include <algorithm>
+
+#include "util/prng.hpp"
+
+namespace fastmon {
+
+FaultUniverse FaultUniverse::generate(const Netlist& netlist,
+                                      const DelayAnnotation& delays,
+                                      double delta_factor) {
+    FaultUniverse u;
+    for (GateId id = 0; id < netlist.size(); ++id) {
+        const Gate& g = netlist.gate(id);
+        if (!is_combinational(g.type)) continue;
+        const Time delta = delta_factor * delays.nominal_gate_delay(id);
+        if (delta <= 0.0) continue;
+        for (bool rising : {true, false}) {
+            u.faults_.push_back(DelayFault{
+                FaultSite{id, FaultSite::kOutputPin}, rising, delta});
+            for (std::uint32_t pin = 0;
+                 pin < static_cast<std::uint32_t>(g.fanin.size()); ++pin) {
+                u.faults_.push_back(
+                    DelayFault{FaultSite{id, pin}, rising, delta});
+            }
+        }
+    }
+    return u;
+}
+
+std::string FaultUniverse::fault_name(const Netlist& netlist,
+                                      FaultId id) const {
+    const DelayFault& f = faults_[id];
+    std::string name = netlist.gate(f.site.gate).name;
+    if (f.site.pin == FaultSite::kOutputPin) {
+        name += "/out";
+    } else {
+        name += "/in" + std::to_string(f.site.pin);
+    }
+    name += f.slow_rising ? ":STR" : ":STF";
+    return name;
+}
+
+std::vector<FaultId> FaultUniverse::sample(std::size_t max_count,
+                                           std::uint64_t seed) const {
+    std::vector<FaultId> ids(faults_.size());
+    for (FaultId i = 0; i < ids.size(); ++i) ids[i] = i;
+    if (ids.size() <= max_count) return ids;
+    // Deterministic partial Fisher-Yates.
+    Prng rng(seed ^ 0x5A11F00DULL);
+    for (std::size_t i = 0; i < max_count; ++i) {
+        const std::size_t j = i + rng.next_below(ids.size() - i);
+        std::swap(ids[i], ids[j]);
+    }
+    ids.resize(max_count);
+    std::sort(ids.begin(), ids.end());
+    return ids;
+}
+
+}  // namespace fastmon

@@ -1,0 +1,48 @@
+// Small delay fault universe.
+//
+// Following Sec. V of the paper, two small delay faults (slow-to-rise
+// and slow-to-fall) are modelled at every input and output pin of every
+// combinational gate.  The fault size is delta = 6 sigma with
+// sigma = 0.2 x the nominal delay of the faulted gate — the size regime
+// of marginal (early-life) and aging-degraded devices.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sim/fault_sim.hpp"
+#include "timing/delay_model.hpp"
+
+namespace fastmon {
+
+using FaultId = std::uint32_t;
+
+class FaultUniverse {
+public:
+    /// Enumerates the faults of `netlist`.  `delta_factor` scales the
+    /// nominal gate delay into the fault size (paper: 6 * 0.2 = 1.2).
+    static FaultUniverse generate(const Netlist& netlist,
+                                  const DelayAnnotation& delays,
+                                  double delta_factor = 1.2);
+
+    [[nodiscard]] std::size_t size() const { return faults_.size(); }
+    [[nodiscard]] const DelayFault& fault(FaultId id) const { return faults_[id]; }
+    [[nodiscard]] std::span<const DelayFault> faults() const { return faults_; }
+
+    /// Stable human-readable name, e.g. "g42/in1:STR".
+    [[nodiscard]] std::string fault_name(const Netlist& netlist, FaultId id) const;
+
+    /// Deterministic stratified sample of `max_count` fault ids (used by
+    /// the benches to bound simulation time on the largest profiles; the
+    /// sampling rate is always reported).  Returns all ids if the
+    /// universe is smaller than max_count.
+    [[nodiscard]] std::vector<FaultId> sample(std::size_t max_count,
+                                              std::uint64_t seed) const;
+
+private:
+    std::vector<DelayFault> faults_;
+};
+
+}  // namespace fastmon

@@ -1,0 +1,54 @@
+#include "fault/fault_report.hpp"
+
+#include <ostream>
+#include <unordered_map>
+
+namespace fastmon {
+
+std::string_view to_string(StructuralClass klass) {
+    switch (klass) {
+        case StructuralClass::AtSpeedDetectable: return "at-speed";
+        case StructuralClass::TimingRedundant: return "redundant";
+        case StructuralClass::Candidate: return "candidate";
+    }
+    return "?";
+}
+
+void write_fault_report_csv(std::ostream& os, const Netlist& netlist,
+                            const FaultUniverse& universe,
+                            const StructuralClassification& classification,
+                            std::span<const FaultId> simulated,
+                            std::span<const FaultRanges> ranges) {
+    os << "fault,site,direction,delta_ps,class,ff_lo,ff_hi,sr_lo,sr_hi,"
+          "active_patterns\n";
+    std::unordered_map<FaultId, std::size_t> position;
+    for (std::size_t i = 0; i < simulated.size(); ++i) {
+        position.emplace(simulated[i], i);
+    }
+    for (FaultId id = 0; id < universe.size(); ++id) {
+        const DelayFault& f = universe.fault(id);
+        os << id << ',' << universe.fault_name(netlist, id) << ','
+           << (f.slow_rising ? "STR" : "STF") << ',' << f.delta << ','
+           << to_string(classification.klass[id]) << ',';
+        auto it = position.find(id);
+        if (it != position.end()) {
+            const FaultRanges& r = ranges[it->second];
+            if (r.ff.empty()) {
+                os << ",,";
+            } else {
+                os << r.ff.min() << ',' << r.ff.max() << ',';
+            }
+            if (r.sr.empty()) {
+                os << ",,";
+            } else {
+                os << r.sr.min() << ',' << r.sr.max() << ',';
+            }
+            os << r.active_patterns.size();
+        } else {
+            os << ",,,,0";
+        }
+        os << '\n';
+    }
+}
+
+}  // namespace fastmon

@@ -1,0 +1,28 @@
+// Fault-level reporting: a per-fault CSV dump of the classification and
+// detection analysis, the artifact a test engineer diffs between
+// silicon revisions.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+
+#include "fault/classify.hpp"
+#include "fault/detection_range.hpp"
+
+namespace fastmon {
+
+/// CSV columns:
+///   fault, site, direction, delta_ps, class,
+///   ff_lo, ff_hi, sr_lo, sr_hi, active_patterns
+/// One row per fault of the universe.  `simulated` and `ranges` map the
+/// simulated subset (ids parallel to ranges); faults outside it carry
+/// empty range columns.
+void write_fault_report_csv(std::ostream& os, const Netlist& netlist,
+                            const FaultUniverse& universe,
+                            const StructuralClassification& classification,
+                            std::span<const FaultId> simulated,
+                            std::span<const FaultRanges> ranges);
+
+std::string_view to_string(StructuralClass klass);
+
+}  // namespace fastmon

@@ -1,0 +1,341 @@
+#include "flow/hdf_flow.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/log.hpp"
+
+namespace fastmon {
+
+HdfFlow::HdfFlow(const Netlist& netlist, HdfFlowConfig config)
+    : netlist_(&netlist), config_(std::move(config)) {}
+
+Interval HdfFlow::window_for(double fmax_factor) const {
+    return fast_window(sta_.clock_period, fmax_factor);
+}
+
+void HdfFlow::prepare() {
+    if (prepared_) return;
+    const Netlist& nl = *netlist_;
+
+    // (0) Timing annotation and STA.
+    delays_ = config_.variation_sigma > 0.0
+                  ? DelayAnnotation::with_variation(nl, config_.variation_sigma,
+                                                    config_.seed)
+                  : DelayAnnotation::nominal(nl);
+    sta_ = run_sta(nl, *delays_, config_.clock_margin);
+
+    // Monitor insertion at long path ends.
+    placement_ = place_monitors(nl, sta_, config_.monitor_fraction,
+                                config_.monitor_delay_fractions);
+
+    // Test set: supplied or ATPG-generated.
+    if (config_.test_set.has_value()) {
+        test_set_ = *config_.test_set;
+        atpg_coverage_ = 0.0;
+    } else {
+        AtpgConfig atpg = config_.atpg;
+        atpg.seed ^= config_.seed;
+        const AtpgResult ar = generate_tdf_tests(nl, atpg);
+        test_set_ = ar.test_set;
+        atpg_coverage_ = ar.coverage();
+    }
+
+    // (1) Fault universe and structural classification.
+    universe_ = FaultUniverse::generate(nl, *delays_, config_.delta_factor);
+    StructuralClassifyConfig scc;
+    scc.fmax_factor = config_.fmax_factor;
+    scc.max_monitor_delay = placement_.max_delay();
+    scc.monitored_observe = placement_.monitored;
+    structural_ = classify_structural(nl, *delays_, sta_, universe_, scc);
+
+    // Sampling cap for the heavy simulation phase.
+    std::vector<FaultId> candidates = structural_.candidates();
+    if (config_.max_simulated_faults != 0 &&
+        candidates.size() > config_.max_simulated_faults) {
+        // Stratified subsample of the candidate list (deterministic).
+        std::vector<FaultId> sampled;
+        const std::size_t n = candidates.size();
+        const std::size_t k = config_.max_simulated_faults;
+        for (std::size_t i = 0; i < k; ++i) {
+            sampled.push_back(candidates[i * n / k]);
+        }
+        sampled.erase(std::unique(sampled.begin(), sampled.end()),
+                      sampled.end());
+        simulated_ = std::move(sampled);
+        sample_scale_ = static_cast<double>(candidates.size()) /
+                        static_cast<double>(simulated_.size());
+        log_info() << "flow " << nl.name() << ": sampling "
+                   << simulated_.size() << " of " << candidates.size()
+                   << " candidate faults";
+    } else {
+        simulated_ = std::move(candidates);
+        sample_scale_ = 1.0;
+    }
+
+    // (2)-(3) Pass-A detection analysis.
+    const WaveSim wave_sim(nl, *delays_, config_.wave);
+    DetectionAnalysisConfig dac;
+    dac.glitch_threshold = config_.glitch_threshold >= 0.0
+                               ? config_.glitch_threshold
+                               : delays_->glitch_threshold();
+    dac.horizon = sta_.clock_period * 1.02;
+    const DetectionAnalyzer analyzer(wave_sim, test_set_.patterns,
+                                     placement_.monitored, dac);
+    std::vector<DelayFault> faults;
+    faults.reserve(simulated_.size());
+    for (FaultId id : simulated_) faults.push_back(universe_.fault(id));
+    ranges_ = analyzer.analyze(faults);
+
+    // (4)-(5) Target fault set.
+    const Interval window = window_for(config_.fmax_factor);
+    targets_.clear();
+    for (std::uint32_t i = 0; i < ranges_.size(); ++i) {
+        const IntervalSet full = full_detection_range(
+            ranges_[i], placement_.config_delays);
+        IntervalSet in_window = full;
+        in_window.clip(window.lo, window.hi);
+        if (in_window.empty()) continue;            // not prop-detectable
+        if (detects_at_speed(full, sta_.clock_period)) continue;
+        targets_.push_back(i);
+    }
+    prepared_ = true;
+}
+
+IntervalSet HdfFlow::full_range_in_window(std::size_t i) const {
+    IntervalSet full =
+        full_detection_range(ranges_[i], placement_.config_delays);
+    const Interval w = window_for(config_.fmax_factor);
+    full.clip(w.lo, w.hi);
+    return full;
+}
+
+IntervalSet HdfFlow::ff_range_in_window(std::size_t i) const {
+    IntervalSet ff = ranges_[i].ff;
+    const Interval w = window_for(config_.fmax_factor);
+    ff.clip(w.lo, w.hi);
+    return ff;
+}
+
+std::vector<CoverageBySpeed> HdfFlow::coverage_curve(
+    std::span<const double> fmax_factors) const {
+    // Denominator: all hidden delay faults (everything that survives
+    // at-speed removal; timing-redundant faults count as undetected).
+    const double hdf_universe = static_cast<double>(
+        universe_.size() - structural_.num_at_speed);
+    std::vector<CoverageBySpeed> curve;
+    for (double fmax : fmax_factors) {
+        const Interval w = window_for(fmax);
+        std::size_t conv = 0;
+        std::size_t prop = 0;
+        for (const FaultRanges& r : ranges_) {
+            IntervalSet ff = r.ff;
+            ff.clip(w.lo, w.hi);
+            if (!ff.empty()) ++conv;
+            IntervalSet full =
+                full_detection_range(r, placement_.config_delays);
+            full.clip(w.lo, w.hi);
+            if (!full.empty()) ++prop;
+        }
+        CoverageBySpeed point;
+        point.fmax_factor = fmax;
+        if (hdf_universe > 0) {
+            point.conv = sample_scale_ * static_cast<double>(conv) / hdf_universe;
+            point.prop = sample_scale_ * static_cast<double>(prop) / hdf_universe;
+        }
+        curve.push_back(point);
+    }
+    return curve;
+}
+
+HdfFlowResult HdfFlow::run() {
+    prepare();
+    const Netlist& nl = *netlist_;
+    HdfFlowResult res;
+    res.circuit = nl.name();
+    res.num_gates = nl.num_comb_gates();
+    res.num_ffs = nl.flip_flops().size();
+    res.num_patterns = test_set_.size();
+    res.num_monitors = placement_.num_monitors();
+    res.fault_universe = universe_.size();
+    res.at_speed_detectable = structural_.num_at_speed;
+    res.timing_redundant = structural_.num_redundant;
+    res.candidate_faults = structural_.num_candidates;
+    res.simulated_faults = simulated_.size();
+    res.clock_period = sta_.clock_period;
+    res.t_min = sta_.clock_period / config_.fmax_factor;
+    res.atpg_coverage = atpg_coverage_;
+
+    auto scaled = [this](std::size_t n) {
+        return static_cast<std::size_t>(
+            std::llround(sample_scale_ * static_cast<double>(n)));
+    };
+
+    // --- Table I ---
+    std::size_t conv_detected = 0;
+    std::size_t prop_detected = 0;
+    std::size_t at_speed_monitor = 0;
+    for (std::uint32_t i = 0; i < ranges_.size(); ++i) {
+        if (!ff_range_in_window(i).empty()) ++conv_detected;
+        const IntervalSet full =
+            full_detection_range(ranges_[i], placement_.config_delays);
+        IntervalSet in_window = full;
+        const Interval w = window_for(config_.fmax_factor);
+        in_window.clip(w.lo, w.hi);
+        if (in_window.empty()) continue;
+        ++prop_detected;
+        if (detects_at_speed(full, sta_.clock_period)) ++at_speed_monitor;
+    }
+    res.detected_conv = scaled(conv_detected);
+    res.detected_prop = scaled(prop_detected);
+    res.monitor_at_speed = scaled(at_speed_monitor);
+    res.target_faults = scaled(targets_.size());
+    res.gain_percent =
+        conv_detected == 0
+            ? 0.0
+            : (static_cast<double>(prop_detected) /
+                   static_cast<double>(conv_detected) -
+               1.0) *
+                  100.0;
+
+    // --- Table II: frequency selection ---
+    // Conventional FAST: cover the conventionally detectable faults
+    // using flip-flop ranges only.
+    std::vector<IntervalSet> conv_ranges(ranges_.size());
+    for (std::uint32_t i = 0; i < ranges_.size(); ++i) {
+        conv_ranges[i] = ff_range_in_window(i);
+    }
+    FrequencySelectOptions fopts;
+    fopts.discretize = config_.discretize;
+    fopts.solver = config_.solver;
+    fopts.method = SelectMethod::BranchAndBound;
+    const FrequencySelection sel_conv = select_frequencies(conv_ranges, fopts);
+    res.freq_conv = sel_conv.periods.size();
+
+    // Target fault ranges (monitored).
+    std::vector<IntervalSet> target_ranges;
+    target_ranges.reserve(targets_.size());
+    for (std::uint32_t pos : targets_) {
+        target_ranges.push_back(full_range_in_window(pos));
+    }
+    FrequencySelectOptions heur_opts = fopts;
+    heur_opts.method = SelectMethod::Greedy;
+    const FrequencySelection sel_heur =
+        select_frequencies(target_ranges, heur_opts);
+    res.freq_heur = sel_heur.periods.size();
+    const FrequencySelection sel_prop =
+        select_frequencies(target_ranges, fopts);
+    res.freq_prop = sel_prop.periods.size();
+    res.freq_reduction_percent =
+        res.freq_conv == 0
+            ? 0.0
+            : (1.0 - static_cast<double>(res.freq_prop) /
+                         static_cast<double>(res.freq_conv)) *
+                  100.0;
+
+    // --- Pass B over the union of all periods we will need ---
+    std::vector<Time> all_periods = sel_prop.periods;
+    std::vector<FrequencySelection> cov_selections;
+    for (double cov : config_.coverage_targets) {
+        FrequencySelectOptions copts = fopts;
+        copts.coverage = cov;
+        cov_selections.push_back(select_frequencies(target_ranges, copts));
+        for (Time t : cov_selections.back().periods) all_periods.push_back(t);
+    }
+    std::sort(all_periods.begin(), all_periods.end());
+    all_periods.erase(
+        std::unique(all_periods.begin(), all_periods.end(),
+                    [](Time a, Time b) { return std::abs(a - b) <= kTimeEps; }),
+        all_periods.end());
+
+    std::vector<DelayFault> target_faults;
+    std::vector<FaultRanges> target_fault_ranges;
+    for (std::uint32_t pos : targets_) {
+        target_faults.push_back(universe_.fault(simulated_[pos]));
+        target_fault_ranges.push_back(ranges_[pos]);
+    }
+    const WaveSim wave_sim(nl, *delays_, config_.wave);
+    DetectionAnalysisConfig dac;
+    dac.glitch_threshold = config_.glitch_threshold >= 0.0
+                               ? config_.glitch_threshold
+                               : delays_->glitch_threshold();
+    dac.horizon = sta_.clock_period * 1.02;
+    const DetectionAnalyzer analyzer(wave_sim, test_set_.patterns,
+                                     placement_.monitored, dac);
+    const std::vector<DetectionEntry> all_entries = analyzer.detection_table(
+        target_faults, target_fault_ranges, all_periods,
+        placement_.config_delays);
+
+    // Helper: restrict the table to one period subset (remapped).
+    auto entries_for = [&all_entries, &all_periods](
+                           std::span<const Time> periods) {
+        std::vector<std::uint16_t> remap(all_periods.size(), UINT16_MAX);
+        for (std::uint16_t j = 0; j < periods.size(); ++j) {
+            for (std::uint16_t k = 0; k < all_periods.size(); ++k) {
+                if (std::abs(all_periods[k] - periods[j]) <= kTimeEps) {
+                    remap[k] = j;
+                    break;
+                }
+            }
+        }
+        std::vector<DetectionEntry> out;
+        for (DetectionEntry e : all_entries) {
+            if (e.period < remap.size() && remap[e.period] != UINT16_MAX) {
+                e.period = remap[e.period];
+                out.push_back(e);
+            }
+        }
+        return out;
+    };
+
+    const std::size_t num_configs = placement_.config_delays.size();
+
+    // --- Table II: pattern x config selection at full coverage ---
+    PatternConfigOptions pco;
+    pco.method = SelectMethod::BranchAndBound;
+    pco.solver = config_.solver;
+    {
+        std::vector<std::uint32_t> all_targets(target_faults.size());
+        for (std::uint32_t i = 0; i < all_targets.size(); ++i) {
+            all_targets[i] = i;
+        }
+        const auto entries = entries_for(sel_prop.periods);
+        const PatternConfigResult pc = select_pattern_configs(
+            entries, sel_prop.periods, all_targets, pco);
+        res.orig_pc = test_set_.size() * num_configs * sel_prop.periods.size();
+        res.opti_pc = pc.schedule.size();
+        res.pc_reduction_percent =
+            schedule_reduction_percent(res.opti_pc, res.orig_pc);
+        res.schedule_proven_optimal =
+            pc.proven_optimal && sel_prop.proven_optimal;
+        res.schedule_uncovered = pc.uncovered_faults.size();
+    }
+
+    // --- Table III ---
+    for (std::size_t k = 0; k < config_.coverage_targets.size(); ++k) {
+        const FrequencySelection& sel = cov_selections[k];
+        CoverageRow row;
+        row.coverage = config_.coverage_targets[k];
+        row.num_frequencies = sel.periods.size();
+        row.naive_pc = test_set_.size() * num_configs * sel.periods.size();
+        // Faults actually covered by this (partial) selection.
+        std::vector<bool> in_cover(target_faults.size(), false);
+        for (const auto& covered : sel.covered) {
+            for (std::uint32_t fi : covered) in_cover[fi] = true;
+        }
+        std::vector<std::uint32_t> cov_targets;
+        for (std::uint32_t i = 0; i < in_cover.size(); ++i) {
+            if (in_cover[i]) cov_targets.push_back(i);
+        }
+        const auto entries = entries_for(sel.periods);
+        const PatternConfigResult pc =
+            select_pattern_configs(entries, sel.periods, cov_targets, pco);
+        row.schedule_size = pc.schedule.size();
+        row.reduction_percent =
+            schedule_reduction_percent(row.schedule_size, row.naive_pc);
+        res.coverage_rows.push_back(row);
+    }
+    return res;
+}
+
+}  // namespace fastmon

@@ -1,0 +1,23 @@
+// Rendering of flow results in the paper's table formats.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+
+#include "flow/hdf_flow.hpp"
+
+namespace fastmon {
+
+/// Table I: circuit statistics and targeted hidden delay faults.
+void print_table1(std::ostream& os, std::span<const HdfFlowResult> rows);
+
+/// Table II: selected test frequencies and test time.
+void print_table2(std::ostream& os, std::span<const HdfFlowResult> rows);
+
+/// Table III: test time reduction per coverage target.
+void print_table3(std::ostream& os, std::span<const HdfFlowResult> rows);
+
+/// Fig. 3: HDF coverage over f_max as an ASCII series.
+void print_fig3(std::ostream& os, std::span<const CoverageBySpeed> curve);
+
+}  // namespace fastmon

@@ -1,0 +1,111 @@
+#include "monitor/aging.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "timing/sta.hpp"
+#include "util/prng.hpp"
+
+namespace fastmon {
+
+double AgingModel::factor(double years) const {
+    if (years <= 0.0) return 1.0;
+    return 1.0 + amplitude * std::pow(years / t_ref_years, exponent);
+}
+
+Time MarginalDefect::delta_at(double years) const {
+    const Time d = delta0 * std::exp(growth_per_year * std::max(years, 0.0));
+    return delta_max > 0.0 ? std::min(d, delta_max) : d;
+}
+
+LifetimeSimulator::LifetimeSimulator(const Netlist& netlist,
+                                     const DelayAnnotation& base,
+                                     Time clock_period, AgingModel model,
+                                     std::uint64_t seed)
+    : netlist_(&netlist),
+      base_(&base),
+      clock_period_(clock_period),
+      model_(model) {
+    // Per-gate aging-rate jitter: gates with high switching activity
+    // (HCI) or high duty cycle (BTI) degrade faster; modelled as a
+    // uniform +-50 % spread around the nominal rate.
+    Prng rng(seed ^ 0xA61713ULL);
+    activity_.resize(netlist.size());
+    for (double& a : activity_) a = rng.uniform(0.5, 1.5);
+}
+
+DelayAnnotation LifetimeSimulator::degraded(double years) const {
+    DelayAnnotation ann = *base_;
+    const double base_factor = model_.factor(years) - 1.0;
+    for (GateId id = 0; id < netlist_->size(); ++id) {
+        if (!is_combinational(netlist_->gate(id).type)) continue;
+        ann.scale_gate(id, 1.0 + base_factor * activity_[id]);
+    }
+    for (const MarginalDefect& defect : defects_) {
+        const Time extra = defect.delta_at(years);
+        if (extra <= 0.0) continue;
+        const Gate& g = netlist_->gate(defect.site.gate);
+        if (defect.site.pin == FaultSite::kOutputPin) {
+            for (std::uint32_t pin = 0; pin < g.fanin.size(); ++pin) {
+                PinDelay d = ann.arc(defect.site.gate, pin);
+                d.rise += extra;
+                d.fall += extra;
+                ann.set_arc(defect.site.gate, pin, d);
+            }
+        } else {
+            PinDelay d = ann.arc(defect.site.gate, defect.site.pin);
+            d.rise += extra;
+            d.fall += extra;
+            ann.set_arc(defect.site.gate, defect.site.pin, d);
+        }
+    }
+    return ann;
+}
+
+LifetimePoint LifetimeSimulator::evaluate(
+    double years, const MonitorPlacement& placement) const {
+    const DelayAnnotation ann = degraded(years);
+    const StaResult sta = run_sta(*netlist_, ann, 1.0);
+
+    LifetimePoint point;
+    point.years = years;
+    const auto ops = netlist_->observe_points();
+    for (std::uint32_t oi = 0; oi < ops.size(); ++oi) {
+        const Time arrival = sta.max_arrival[ops[oi].signal];
+        point.worst_arrival = std::max(point.worst_arrival, arrival);
+        if (oi < placement.monitored.size() && placement.monitored[oi]) {
+            point.worst_monitored_arrival =
+                std::max(point.worst_monitored_arrival, arrival);
+        }
+    }
+    point.alerts.assign(placement.config_delays.size(), false);
+    for (std::size_t c = 1; c < placement.config_delays.size(); ++c) {
+        // Guard-band check: the latest monitored transition falls inside
+        // the detection window (clk - d, clk].
+        point.alerts[c] = point.worst_monitored_arrival >
+                          clock_period_ - placement.config_delays[c];
+    }
+    point.timing_failure = point.worst_arrival > clock_period_;
+    return point;
+}
+
+std::vector<LifetimePoint> LifetimeSimulator::sweep(
+    std::span<const double> years, const MonitorPlacement& placement) const {
+    std::vector<LifetimePoint> points;
+    points.reserve(years.size());
+    for (double y : years) points.push_back(evaluate(y, placement));
+    return points;
+}
+
+std::vector<double> LifetimeSimulator::first_alert_years(
+    std::span<const double> years, const MonitorPlacement& placement) const {
+    std::vector<double> first(placement.config_delays.size(), -1.0);
+    for (const LifetimePoint& p : sweep(years, placement)) {
+        for (std::size_t c = 0; c < p.alerts.size(); ++c) {
+            if (p.alerts[c] && first[c] < 0.0) first[c] = p.years;
+        }
+    }
+    return first;
+}
+
+}  // namespace fastmon

@@ -1,0 +1,95 @@
+// Wear-out and early-life degradation model — the prediction side of
+// the paper's title.
+//
+// Aging mechanisms (BTI/HCI, Sec. I) gradually increase gate delays; a
+// marginal device additionally carries a small defect whose delay grows
+// quickly after deployment (the "hidden delay fault" that magnifies,
+// Sec. I).  The LifetimeSimulator degrades an annotated netlist over
+// operational time and evaluates the programmable monitors' guard-band
+// checks: with a wide window (large delay element) the first alert
+// fires early in the degradation (Fig. 2 (b)); after reconfiguration to
+// a smaller element, the next alert indicates imminent failure
+// (Fig. 2 (c)).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "monitor/placement.hpp"
+#include "sim/fault_sim.hpp"
+
+namespace fastmon {
+
+/// Power-law delay degradation: factor(t) = 1 + A * (t / t_ref)^n.
+/// Typical BTI fits use n around 0.2-0.3 and A around 10 % at ten
+/// years [1].
+struct AgingModel {
+    double amplitude = 0.10;
+    double exponent = 0.25;
+    double t_ref_years = 10.0;
+
+    [[nodiscard]] double factor(double years) const;
+};
+
+/// An early-life marginal defect: initial extra delay delta0 at a fault
+/// site, growing exponentially with operational time until saturation.
+struct MarginalDefect {
+    FaultSite site;
+    Time delta0 = 0.0;              ///< extra delay at deployment
+    double growth_per_year = 1.0;   ///< exponential growth rate
+    Time delta_max = 0.0;           ///< saturation (0 = unbounded)
+
+    [[nodiscard]] Time delta_at(double years) const;
+};
+
+/// State of the device at one point of its lifetime.
+struct LifetimePoint {
+    double years = 0.0;
+    Time worst_monitored_arrival = 0.0;  ///< max arrival at monitored PPOs
+    Time worst_arrival = 0.0;            ///< max arrival at any endpoint
+    std::vector<bool> alerts;            ///< per configuration index
+    bool timing_failure = false;         ///< worst_arrival exceeds the clock
+};
+
+class LifetimeSimulator {
+public:
+    /// `base` must be the annotation the clock was derived from;
+    /// `clock_period` stays fixed over the lifetime (the deployed f_nom).
+    LifetimeSimulator(const Netlist& netlist, const DelayAnnotation& base,
+                      Time clock_period, AgingModel model,
+                      std::uint64_t seed = 1);
+
+    void add_defect(MarginalDefect defect) { defects_.push_back(defect); }
+
+    /// Degraded annotation at `years` (aging factors plus defects).
+    [[nodiscard]] DelayAnnotation degraded(double years) const;
+
+    /// Evaluates monitors at `years`: a configuration alerts when the
+    /// latest monitored transition violates its guard band, i.e.
+    /// worst monitored arrival > clk - d_c.
+    [[nodiscard]] LifetimePoint evaluate(double years,
+                                         const MonitorPlacement& placement) const;
+
+    [[nodiscard]] std::vector<LifetimePoint> sweep(
+        std::span<const double> years,
+        const MonitorPlacement& placement) const;
+
+    /// First time (on the given grid) each configuration alerts;
+    /// -1 if it never does.  Index 0 (off) never alerts.
+    [[nodiscard]] std::vector<double> first_alert_years(
+        std::span<const double> years,
+        const MonitorPlacement& placement) const;
+
+    [[nodiscard]] Time clock_period() const { return clock_period_; }
+
+private:
+    const Netlist* netlist_;
+    const DelayAnnotation* base_;
+    Time clock_period_;
+    AgingModel model_;
+    std::vector<double> activity_;  ///< per-gate aging-rate jitter
+    std::vector<MarginalDefect> defects_;
+};
+
+}  // namespace fastmon

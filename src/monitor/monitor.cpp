@@ -1,0 +1,63 @@
+#include "monitor/monitor.hpp"
+
+#include <algorithm>
+#include <array>
+#include <stdexcept>
+
+namespace fastmon {
+
+ProgrammableDelayMonitor::ProgrammableDelayMonitor(
+    std::vector<Time> delay_elements) {
+    delays_.reserve(delay_elements.size() + 1);
+    delays_.push_back(0.0);
+    for (Time d : delay_elements) {
+        if (d <= 0.0) {
+            throw std::invalid_argument("monitor delay elements must be > 0");
+        }
+        delays_.push_back(d);
+    }
+    std::sort(delays_.begin(), delays_.end());
+}
+
+bool ProgrammableDelayMonitor::capture_main(const Waveform& d, Time t) {
+    return d.value_at(t);
+}
+
+bool ProgrammableDelayMonitor::capture_shadow(const Waveform& d, Time t,
+                                              ConfigIndex c) const {
+    return d.value_at(t - delays_.at(c));
+}
+
+bool ProgrammableDelayMonitor::alert(const Waveform& d, Time t,
+                                     ConfigIndex c) const {
+    return capture_main(d, t) != capture_shadow(d, t, c);
+}
+
+bool ProgrammableDelayMonitor::window_violation(const Waveform& d, Time t,
+                                                ConfigIndex c) const {
+    // Odd number of toggles in (t - delay, t] flips the value between
+    // the two captures.
+    const Time lo = t - delays_.at(c);
+    std::size_t toggles = 0;
+    for (Time tt : d.transitions()) {
+        if (tt > lo + kTimeEps && tt <= t + kTimeEps) ++toggles;
+        if (tt > t + kTimeEps) break;
+    }
+    return (toggles % 2) == 1;
+}
+
+ProgrammableDelayMonitor make_paper_monitor(Time clock_period) {
+    std::vector<Time> elements;
+    for (double f : paper_delay_fractions()) {
+        elements.push_back(f * clock_period);
+    }
+    return ProgrammableDelayMonitor(std::move(elements));
+}
+
+std::span<const double> paper_delay_fractions() {
+    static constexpr std::array<double, 4> kFractions = {0.05, 0.10, 0.15,
+                                                         1.0 / 3.0};
+    return kFractions;
+}
+
+}  // namespace fastmon

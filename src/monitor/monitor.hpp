@@ -1,0 +1,67 @@
+// Behavioral model of the programmable delay monitor (Fig. 2 of the
+// paper, after Saliva et al. [6]).
+//
+// A monitor extends a standard capture flip-flop with a programmable
+// delay element (MUX-selected), a shadow flip-flop sampling the delayed
+// data signal D' = D(t - d), and an XOR comparing the two captures.
+// In aging-prediction mode an alert means the signal toggled inside the
+// detection window (guard band) of width d before the capture edge; in
+// FAST reuse the shadow register acts as an extra observation point
+// whose detection range is the flip-flop range shifted right by d.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/waveform.hpp"
+
+namespace fastmon {
+
+/// Monitor configuration index; 0 is the "monitor off" configuration
+/// (delay 0: the shadow register mirrors the main flip-flop).
+using ConfigIndex = std::uint16_t;
+
+class ProgrammableDelayMonitor {
+public:
+    /// Creates a monitor with the given selectable delay elements
+    /// (excluding the implicit off state).
+    explicit ProgrammableDelayMonitor(std::vector<Time> delay_elements);
+
+    /// Number of selectable configurations including "off".
+    [[nodiscard]] std::size_t num_configs() const { return delays_.size(); }
+
+    /// Delay of configuration c (0 for c == 0).
+    [[nodiscard]] Time delay(ConfigIndex c) const { return delays_.at(c); }
+
+    /// All configuration delays, index 0 first.
+    [[nodiscard]] std::span<const Time> delays() const { return delays_; }
+
+    /// Main flip-flop capture of data waveform `d` at capture time t.
+    [[nodiscard]] static bool capture_main(const Waveform& d, Time t);
+
+    /// Shadow register capture: the delayed signal D'(t) = D(t - delay).
+    [[nodiscard]] bool capture_shadow(const Waveform& d, Time t,
+                                      ConfigIndex c) const;
+
+    /// Aging alert: XOR of main and shadow captures (Fig. 2 (a)).
+    [[nodiscard]] bool alert(const Waveform& d, Time t, ConfigIndex c) const;
+
+    /// Detection-window view of the same check: true iff the signal
+    /// toggles an odd number of times within (t - delay, t]; equivalent
+    /// to alert().
+    [[nodiscard]] bool window_violation(const Waveform& d, Time t,
+                                        ConfigIndex c) const;
+
+private:
+    std::vector<Time> delays_;  ///< [0, d1, d2, ...]
+};
+
+/// The paper's monitor: four delay elements
+/// {0.05, 0.1, 0.15, 1/3} x clk (Sec. V).
+ProgrammableDelayMonitor make_paper_monitor(Time clock_period);
+
+/// The delay fractions of the paper's monitor.
+std::span<const double> paper_delay_fractions();
+
+}  // namespace fastmon

@@ -1,0 +1,62 @@
+#include "monitor/overhead.hpp"
+
+namespace fastmon {
+
+namespace {
+
+/// Rough NAND2-equivalent area per cell type.
+double cell_ge(CellType type, std::size_t arity) {
+    switch (type) {
+        case CellType::Inv: return 0.7;
+        case CellType::Buf: return 1.0;
+        case CellType::Nand:
+        case CellType::Nor:
+            return 1.0 + 0.5 * static_cast<double>(arity > 2 ? arity - 2 : 0);
+        case CellType::And:
+        case CellType::Or:
+            return 1.5 + 0.5 * static_cast<double>(arity > 2 ? arity - 2 : 0);
+        case CellType::Xor:
+        case CellType::Xnor:
+            return 2.5 + 1.0 * static_cast<double>(arity > 2 ? arity - 2 : 0);
+        case CellType::Mux2: return 2.25;
+        case CellType::Aoi21:
+        case CellType::Oai21: return 1.75;
+        case CellType::Dff: return 4.5;
+        default: return 0.0;  // pads
+    }
+}
+
+}  // namespace
+
+double MonitorCostModel::monitor_ge(std::size_t num_elements) const {
+    return shadow_register_ge + xor_ge +
+           delay_element_ge * static_cast<double>(num_elements) +
+           mux_ge_per_input * static_cast<double>(num_elements) + control_ge;
+}
+
+double circuit_gate_equivalents(const Netlist& netlist) {
+    double total = 0.0;
+    for (const Gate& g : netlist.gates()) {
+        total += cell_ge(g.type, g.fanin.size());
+    }
+    return total;
+}
+
+OverheadReport estimate_overhead(const Netlist& netlist,
+                                 const MonitorPlacement& placement,
+                                 const MonitorCostModel& model) {
+    OverheadReport report;
+    report.circuit_ge = circuit_gate_equivalents(netlist);
+    report.num_monitors = placement.num_monitors();
+    // config_delays holds the off state at index 0.
+    report.delay_elements_per_monitor =
+        placement.config_delays.empty() ? 0 : placement.config_delays.size() - 1;
+    report.monitors_ge =
+        static_cast<double>(report.num_monitors) *
+        model.monitor_ge(report.delay_elements_per_monitor);
+    report.area_overhead =
+        report.circuit_ge > 0.0 ? report.monitors_ge / report.circuit_ge : 0.0;
+    return report;
+}
+
+}  // namespace fastmon

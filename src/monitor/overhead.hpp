@@ -1,0 +1,47 @@
+// Hardware overhead estimation for monitor insertion.
+//
+// The appeal of the paper's approach is *reuse*: the monitors are
+// already in the design for aging prediction, so FAST gets their
+// observability for free.  This model quantifies what that existing
+// investment costs — shadow register, XOR comparator, delay elements
+// and the selection MUX per monitor — in gate-equivalent area and
+// leakage-power proxies, relative to the mission logic.  Useful for
+// placement-fraction trade-off studies (see the config_sweep example).
+#pragma once
+
+#include <cstddef>
+
+#include "monitor/placement.hpp"
+#include "netlist/netlist.hpp"
+
+namespace fastmon {
+
+/// Per-monitor cost in gate equivalents (GE; 1 GE = one NAND2).
+struct MonitorCostModel {
+    double shadow_register_ge = 4.5;  ///< scan-capable FF
+    double xor_ge = 2.5;
+    double delay_element_ge = 1.5;    ///< per selectable element
+    double mux_ge_per_input = 0.75;   ///< selection MUX
+    double control_ge = 2.0;          ///< per-monitor config latch share
+
+    /// GE cost of one monitor with `num_elements` delay elements.
+    [[nodiscard]] double monitor_ge(std::size_t num_elements) const;
+};
+
+struct OverheadReport {
+    double circuit_ge = 0.0;        ///< mission logic area (GE)
+    double monitors_ge = 0.0;       ///< total monitor area (GE)
+    double area_overhead = 0.0;     ///< monitors_ge / circuit_ge
+    std::size_t num_monitors = 0;
+    std::size_t delay_elements_per_monitor = 0;
+};
+
+/// Gate-equivalent area of the mission logic (sums per-cell GE factors).
+double circuit_gate_equivalents(const Netlist& netlist);
+
+/// Overhead of a placement on a circuit.
+OverheadReport estimate_overhead(const Netlist& netlist,
+                                 const MonitorPlacement& placement,
+                                 const MonitorCostModel& model = {});
+
+}  // namespace fastmon

@@ -1,0 +1,45 @@
+#include "monitor/placement.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fastmon {
+
+MonitorPlacement place_monitors(const Netlist& netlist, const StaResult& sta,
+                                double fraction,
+                                std::span<const double> delay_fractions) {
+    MonitorPlacement placement;
+    const auto ops = netlist.observe_points();
+    placement.monitored.assign(ops.size(), false);
+
+    // Rank pseudo primary outputs by arrival time (long path ends).
+    std::vector<std::uint32_t> pseudo;
+    for (std::uint32_t oi = 0; oi < ops.size(); ++oi) {
+        if (ops[oi].is_pseudo) pseudo.push_back(oi);
+    }
+    std::stable_sort(pseudo.begin(), pseudo.end(),
+                     [&](std::uint32_t a, std::uint32_t b) {
+                         return sta.max_arrival[ops[a].signal] >
+                                sta.max_arrival[ops[b].signal];
+                     });
+    const auto count = static_cast<std::size_t>(
+        std::llround(fraction * static_cast<double>(pseudo.size())));
+    for (std::size_t i = 0; i < std::min(count, pseudo.size()); ++i) {
+        placement.monitored[pseudo[i]] = true;
+        placement.monitor_observes.push_back(pseudo[i]);
+    }
+
+    placement.config_delays.push_back(0.0);
+    for (double f : delay_fractions) {
+        placement.config_delays.push_back(f * sta.clock_period);
+    }
+    std::sort(placement.config_delays.begin(), placement.config_delays.end());
+    return placement;
+}
+
+MonitorPlacement place_paper_monitors(const Netlist& netlist,
+                                      const StaResult& sta) {
+    return place_monitors(netlist, sta, 0.25, paper_delay_fractions());
+}
+
+}  // namespace fastmon

@@ -1,0 +1,47 @@
+// Monitor insertion.
+//
+// Following Sec. V (after Agarwal et al. [25]), monitors are integrated
+// at "long path ends": the pseudo primary outputs (flip-flop D inputs)
+// with the largest STA arrival times, covering a configurable fraction
+// (paper: 25 %) of all pseudo primary outputs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "monitor/monitor.hpp"
+#include "timing/sta.hpp"
+
+namespace fastmon {
+
+struct MonitorPlacement {
+    /// Per observation-point index: carries a monitor?
+    std::vector<bool> monitored;
+    /// Indices (into Netlist::observe_points()) of monitored points,
+    /// in decreasing path-length order.
+    std::vector<std::uint32_t> monitor_observes;
+    /// Shared configuration delays, index 0 = off (all monitors share
+    /// one setting per test application, as assumed in Sec. IV-B).
+    std::vector<Time> config_delays;
+
+    [[nodiscard]] std::size_t num_monitors() const {
+        return monitor_observes.size();
+    }
+    [[nodiscard]] Time max_delay() const {
+        return config_delays.empty() ? 0.0 : config_delays.back();
+    }
+};
+
+/// Places monitors on the top `fraction` of pseudo primary outputs by
+/// arrival time.  `delay_fractions` are multiplied by the nominal clock
+/// to obtain the configurable delay elements.
+MonitorPlacement place_monitors(const Netlist& netlist, const StaResult& sta,
+                                double fraction,
+                                std::span<const double> delay_fractions);
+
+/// Paper defaults: fraction 0.25, delays {0.05, 0.1, 0.15, 1/3} x clk.
+MonitorPlacement place_paper_monitors(const Netlist& netlist,
+                                      const StaResult& sta);
+
+}  // namespace fastmon

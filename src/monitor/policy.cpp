@@ -1,0 +1,87 @@
+#include "monitor/policy.hpp"
+
+#include <algorithm>
+
+namespace fastmon {
+
+std::string to_string(PolicyEventKind kind) {
+    switch (kind) {
+        case PolicyEventKind::Alert: return "alert";
+        case PolicyEventKind::Countermeasure: return "countermeasure";
+        case PolicyEventKind::Reconfigure: return "reconfigure";
+        case PolicyEventKind::ImminentFailure: return "imminent-failure";
+        case PolicyEventKind::TimingFailure: return "timing-failure";
+    }
+    return "?";
+}
+
+PolicyRun run_adaptive_policy(const LifetimeSimulator& simulator,
+                              const MonitorPlacement& placement,
+                              const PolicyConfig& config) {
+    PolicyRun run;
+    if (placement.config_delays.size() < 2) return run;  // no guard bands
+
+    // Start with the widest guard band (Fig. 2 (b)).
+    auto active = static_cast<ConfigIndex>(placement.config_delays.size() - 1);
+    double aging_rate = 1.0;
+    double effective_age = 0.0;
+    const Time clk = simulator.clock_period();
+
+    // Arrival history for the trend-based prediction.
+    double prev_years = 0.0;
+    Time prev_arrival = 0.0;
+    bool have_prev = false;
+    bool predicted = false;
+
+    for (double t = 0.0; t <= config.horizon_years + 1e-9;
+         t += config.step_years) {
+        const LifetimePoint point =
+            simulator.evaluate(effective_age, placement);
+
+        if (point.timing_failure) {
+            run.events.push_back(
+                PolicyEvent{t, PolicyEventKind::TimingFailure, active});
+            run.failure_years = t;
+            break;
+        }
+
+        if (point.alerts[active]) {
+            run.events.push_back(PolicyEvent{t, PolicyEventKind::Alert, active});
+            if (!predicted && have_prev &&
+                point.worst_monitored_arrival > prev_arrival + 1e-12) {
+                // Linear extrapolation of the monitored arrival trend to
+                // the clock period.
+                const double slope =
+                    (point.worst_monitored_arrival - prev_arrival) /
+                    (t - prev_years);
+                run.predicted_failure_years =
+                    t + (clk - point.worst_monitored_arrival) / slope;
+                predicted = true;
+            }
+            if (active == 1) {
+                // Narrowest band: imminent failure (Fig. 2 (c) endpoint).
+                if (run.imminent_failure_years < 0.0) {
+                    run.events.push_back(PolicyEvent{
+                        t, PolicyEventKind::ImminentFailure, active});
+                    run.imminent_failure_years = t;
+                }
+            } else {
+                // Mitigate and narrow the guard band.
+                aging_rate *= config.countermeasure_rate_scale;
+                run.events.push_back(
+                    PolicyEvent{t, PolicyEventKind::Countermeasure, active});
+                --active;
+                run.events.push_back(
+                    PolicyEvent{t, PolicyEventKind::Reconfigure, active});
+            }
+        }
+
+        prev_years = t;
+        prev_arrival = point.worst_monitored_arrival;
+        have_prev = true;
+        effective_age += config.step_years * aging_rate;
+    }
+    return run;
+}
+
+}  // namespace fastmon

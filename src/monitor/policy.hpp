@@ -1,0 +1,72 @@
+// Closed-loop in-field monitoring policy.
+//
+// Implements the operating procedure the paper sketches around Fig. 2:
+// start with the widest guard band to sense the initial degradation
+// state; on an alert, (a) trigger an aging countermeasure — frequency
+// or voltage scaling that slows further degradation — and (b)
+// reconfigure the monitor to the next narrower guard band to track the
+// remaining margin; the final (narrowest) band's alert flags imminent
+// failure.  The policy also produces a remaining-useful-life estimate
+// from the observed arrival trend.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "monitor/aging.hpp"
+
+namespace fastmon {
+
+struct PolicyConfig {
+    /// Fraction by which each triggered countermeasure slows subsequent
+    /// aging (0.5 = the degradation rate halves).
+    double countermeasure_rate_scale = 0.5;
+    /// Lifetime grid step (years).
+    double step_years = 0.1;
+    double horizon_years = 15.0;
+};
+
+enum class PolicyEventKind : std::uint8_t {
+    Alert,              ///< guard band violated at the current config
+    Countermeasure,     ///< aging mitigation engaged
+    Reconfigure,        ///< switched to a narrower guard band
+    ImminentFailure,    ///< narrowest guard band violated
+    TimingFailure,      ///< worst arrival exceeded the clock
+};
+
+struct PolicyEvent {
+    double years = 0.0;
+    PolicyEventKind kind = PolicyEventKind::Alert;
+    ConfigIndex config = 0;  ///< active configuration at the event
+};
+
+std::string to_string(PolicyEventKind kind);
+
+struct PolicyRun {
+    std::vector<PolicyEvent> events;
+    /// -1 if the device survives the horizon.
+    double failure_years = -1.0;
+    double imminent_failure_years = -1.0;
+    /// Linear-trend remaining-useful-life estimate made at the first
+    /// alert (-1 if never alerted or trend flat).
+    double predicted_failure_years = -1.0;
+
+    [[nodiscard]] bool failed() const { return failure_years >= 0.0; }
+    /// Warning time between the imminent-failure alert and the actual
+    /// failure (-1 if either never happened).
+    [[nodiscard]] double warning_years() const {
+        if (failure_years < 0.0 || imminent_failure_years < 0.0) return -1.0;
+        return failure_years - imminent_failure_years;
+    }
+};
+
+/// Runs the adaptive policy over the device lifetime.  `simulator`
+/// provides the degradation physics; countermeasures are modelled by
+/// stretching the effective aging time (rate scaling), so the
+/// simulator itself stays immutable.
+PolicyRun run_adaptive_policy(const LifetimeSimulator& simulator,
+                              const MonitorPlacement& placement,
+                              const PolicyConfig& config = {});
+
+}  // namespace fastmon

@@ -1,0 +1,39 @@
+#include "monitor/shifting.hpp"
+
+#include <algorithm>
+
+namespace fastmon {
+
+IntervalSet shifted_union(const IntervalSet& base,
+                          std::span<const Time> config_delays) {
+    IntervalSet out;
+    for (Time d : config_delays) {
+        IntervalSet shifted = base;
+        shifted.shift(d);
+        out.unite(shifted);
+    }
+    return out;
+}
+
+IntervalSet full_detection_range(const FaultRanges& ranges,
+                                 std::span<const Time> config_delays) {
+    IntervalSet out = ranges.ff;
+    out.unite(shifted_union(ranges.sr, config_delays));
+    return out;
+}
+
+Interval fast_window(Time t_nom, double fmax_factor) {
+    // Half-open [lo, hi) approximating (t_min, t_nom]: nudge so that
+    // t_min itself is excluded and t_nom itself is included.  The min()
+    // keeps the window non-empty when fmax == fnom, where it degenerates
+    // to (essentially) the single at-speed observation time t_nom.
+    const Time t_min = t_nom / fmax_factor;
+    const Time nudge = 1e-6 * t_nom;
+    return Interval{std::min(t_min + nudge, t_nom), t_nom + nudge};
+}
+
+bool detects_at_speed(const IntervalSet& range, Time t_nom) {
+    return range.contains(t_nom);
+}
+
+}  // namespace fastmon

@@ -1,0 +1,37 @@
+// Detection-range shifting (Sec. III-B).
+//
+// The shadow register of a monitor observes the data signal delayed by
+// the selected element d, so its detection range is the flip-flop range
+// shifted right:  I_SR(phi, o) = I_FF(phi, o) + d.  Across all
+// configurations C:  I_SR(phi, o) = U_{d in C} [I_FF(phi, o) + d], and
+// the full observable range of a fault is I_FF U I_SR.
+#pragma once
+
+#include <span>
+
+#include "fault/detection_range.hpp"
+#include "monitor/placement.hpp"
+
+namespace fastmon {
+
+/// Union of `base` shifted by every configuration delay (index 0, the
+/// off state, contributes the unshifted set).
+IntervalSet shifted_union(const IntervalSet& base,
+                          std::span<const Time> config_delays);
+
+/// Full observable detection range of a fault with monitors:
+/// I_FF  U  U_c (I_SR + d_c).
+IntervalSet full_detection_range(const FaultRanges& ranges,
+                                 std::span<const Time> config_delays);
+
+/// The FAST observation window (t_min, t_nom]: times t with
+/// t_nom / fmax_factor < t <= t_nom, as a (half-open, epsilon-padded)
+/// interval usable with IntervalSet::intersects.
+Interval fast_window(Time t_nom, double fmax_factor);
+
+/// True iff the range allows detection exactly at the nominal period
+/// (at-speed detection, relevant for removing monitor-at-speed
+/// detectable faults from the FAST target set).
+bool detects_at_speed(const IntervalSet& range, Time t_nom);
+
+}  // namespace fastmon

@@ -1,0 +1,202 @@
+#include "netlist/bench_io.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+
+namespace fastmon {
+
+namespace {
+
+std::string trim(std::string_view sv) {
+    const auto* begin = sv.data();
+    const auto* end = sv.data() + sv.size();
+    while (begin < end && std::isspace(static_cast<unsigned char>(*begin))) ++begin;
+    while (end > begin && std::isspace(static_cast<unsigned char>(end[-1]))) --end;
+    return std::string(begin, end);
+}
+
+std::string upper(std::string s) {
+    std::transform(s.begin(), s.end(), s.begin(),
+                   [](unsigned char c) { return std::toupper(c); });
+    return s;
+}
+
+std::optional<CellType> gate_type_from_name(const std::string& name) {
+    static const std::map<std::string, CellType> kMap = {
+        {"AND", CellType::And},   {"NAND", CellType::Nand},
+        {"OR", CellType::Or},     {"NOR", CellType::Nor},
+        {"XOR", CellType::Xor},   {"XNOR", CellType::Xnor},
+        {"NOT", CellType::Inv},   {"INV", CellType::Inv},
+        {"BUFF", CellType::Buf},  {"BUF", CellType::Buf},
+        {"DFF", CellType::Dff},   {"MUX", CellType::Mux2},
+        {"AOI21", CellType::Aoi21}, {"OAI21", CellType::Oai21},
+    };
+    auto it = kMap.find(name);
+    if (it == kMap.end()) return std::nullopt;
+    return it->second;
+}
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& msg) {
+    throw std::runtime_error("bench parse error, line " +
+                             std::to_string(line_no) + ": " + msg);
+}
+
+struct ParsedGate {
+    std::string output;
+    CellType type;
+    std::vector<std::string> inputs;
+    std::size_t line_no;
+};
+
+}  // namespace
+
+Netlist read_bench(std::istream& is, std::string circuit_name) {
+    std::vector<std::string> input_signals;
+    std::vector<std::string> output_signals;
+    std::vector<ParsedGate> parsed;
+
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(is, line)) {
+        ++line_no;
+        if (const auto hash = line.find('#'); hash != std::string::npos) {
+            line.erase(hash);
+        }
+        const std::string stripped = trim(line);
+        if (stripped.empty()) continue;
+
+        const auto open = stripped.find('(');
+        const auto eq = stripped.find('=');
+        if (eq == std::string::npos) {
+            // INPUT(sig) or OUTPUT(sig)
+            if (open == std::string::npos || stripped.back() != ')') {
+                fail(line_no, "expected INPUT(...)/OUTPUT(...) or assignment");
+            }
+            const std::string kw = upper(trim(stripped.substr(0, open)));
+            const std::string sig =
+                trim(stripped.substr(open + 1, stripped.size() - open - 2));
+            if (sig.empty()) fail(line_no, "empty signal name");
+            if (kw == "INPUT") {
+                input_signals.push_back(sig);
+            } else if (kw == "OUTPUT") {
+                output_signals.push_back(sig);
+            } else {
+                fail(line_no, "unknown directive: " + kw);
+            }
+            continue;
+        }
+
+        // sig = GATE(a, b, ...)
+        const std::string lhs = trim(stripped.substr(0, eq));
+        const std::string rhs = trim(stripped.substr(eq + 1));
+        const auto rhs_open = rhs.find('(');
+        if (lhs.empty() || rhs_open == std::string::npos || rhs.back() != ')') {
+            fail(line_no, "malformed assignment");
+        }
+        const std::string gate_name = upper(trim(rhs.substr(0, rhs_open)));
+        const auto type = gate_type_from_name(gate_name);
+        if (!type) fail(line_no, "unknown gate type: " + gate_name);
+
+        std::vector<std::string> ins;
+        std::string arg;
+        std::istringstream args(rhs.substr(rhs_open + 1, rhs.size() - rhs_open - 2));
+        while (std::getline(args, arg, ',')) {
+            const std::string t = trim(arg);
+            if (t.empty()) fail(line_no, "empty fanin name");
+            ins.push_back(t);
+        }
+        if (ins.empty()) fail(line_no, "gate without fanins");
+        parsed.push_back(ParsedGate{lhs, *type, std::move(ins), line_no});
+    }
+
+    Netlist netlist(std::move(circuit_name));
+    std::map<std::string, GateId> signals;
+
+    for (const std::string& sig : input_signals) {
+        if (signals.contains(sig)) fail(0, "duplicate INPUT " + sig);
+        signals.emplace(sig, netlist.add_gate(CellType::Input, sig, {}));
+    }
+
+    // Two passes: first create all defined signals (DFF outputs may be
+    // referenced before their definition), then wire fanins.
+    // Pass 1: declare.
+    std::vector<GateId> ids(parsed.size());
+    for (std::size_t i = 0; i < parsed.size(); ++i) {
+        const ParsedGate& pg = parsed[i];
+        if (signals.contains(pg.output)) {
+            fail(pg.line_no, "signal defined twice: " + pg.output);
+        }
+        ids[i] = netlist.add_gate(pg.type, pg.output, {});
+        signals.emplace(pg.output, ids[i]);
+    }
+    // Pass 2: wire.
+    for (std::size_t i = 0; i < parsed.size(); ++i) {
+        const ParsedGate& pg = parsed[i];
+        for (const std::string& in : pg.inputs) {
+            auto it = signals.find(in);
+            if (it == signals.end()) {
+                fail(pg.line_no, "undefined signal: " + in);
+            }
+            netlist.append_fanin(ids[i], it->second);
+        }
+    }
+
+    for (const std::string& sig : output_signals) {
+        auto it = signals.find(sig);
+        if (it == signals.end()) fail(0, "OUTPUT references undefined " + sig);
+        netlist.add_gate(CellType::Output, sig + "$po", {it->second});
+    }
+
+    netlist.finalize();
+    return netlist;
+}
+
+Netlist read_bench_file(const std::string& path) {
+    std::ifstream is(path);
+    if (!is) throw std::runtime_error("cannot open bench file: " + path);
+    // Circuit name: basename without extension.
+    auto slash = path.find_last_of('/');
+    std::string base = slash == std::string::npos ? path : path.substr(slash + 1);
+    if (auto dot = base.find_last_of('.'); dot != std::string::npos) {
+        base.erase(dot);
+    }
+    return read_bench(is, base);
+}
+
+Netlist read_bench_string(const std::string& text, std::string circuit_name) {
+    std::istringstream is(text);
+    return read_bench(is, std::move(circuit_name));
+}
+
+void write_bench(std::ostream& os, const Netlist& netlist) {
+    os << "# " << netlist.name() << " — written by fastmon\n";
+    for (GateId id : netlist.primary_inputs()) {
+        os << "INPUT(" << netlist.gate(id).name << ")\n";
+    }
+    for (GateId id : netlist.primary_outputs()) {
+        const Gate& pad = netlist.gate(id);
+        os << "OUTPUT(" << netlist.gate(pad.fanin[0]).name << ")\n";
+    }
+    for (const Gate& g : netlist.gates()) {
+        if (g.type == CellType::Input || g.type == CellType::Output) continue;
+        os << g.name << " = " << cell_type_name(g.type) << '(';
+        for (std::size_t i = 0; i < g.fanin.size(); ++i) {
+            if (i > 0) os << ", ";
+            os << netlist.gate(g.fanin[i]).name;
+        }
+        os << ")\n";
+    }
+}
+
+std::string write_bench_string(const Netlist& netlist) {
+    std::ostringstream os;
+    write_bench(os, netlist);
+    return os.str();
+}
+
+}  // namespace fastmon

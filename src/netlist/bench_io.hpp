@@ -1,0 +1,31 @@
+// Reader/writer for the ISCAS'89 ".bench" netlist format.
+//
+// Supported constructs:
+//   INPUT(sig)   OUTPUT(sig)
+//   sig = GATE(a, b, ...)   with GATE in {AND, NAND, OR, NOR, XOR, XNOR,
+//                                         NOT, BUFF, DFF, MUX, AOI21, OAI21}
+//   '#' starts a comment.
+//
+// OUTPUT(sig) references a signal; the reader materializes it as an
+// Output node named "<sig>$po" so that output pads are explicit nodes.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace fastmon {
+
+/// Parses a .bench description.  Throws std::runtime_error with a
+/// line-numbered message on malformed input.
+Netlist read_bench(std::istream& is, std::string circuit_name);
+Netlist read_bench_file(const std::string& path);
+Netlist read_bench_string(const std::string& text, std::string circuit_name);
+
+/// Writes `netlist` in .bench format (inverse of read_bench up to node
+/// ordering and the "$po" pad suffix).
+void write_bench(std::ostream& os, const Netlist& netlist);
+std::string write_bench_string(const Netlist& netlist);
+
+}  // namespace fastmon

@@ -1,0 +1,55 @@
+#include "netlist/builder.hpp"
+
+#include <stdexcept>
+
+namespace fastmon {
+
+GateId NetlistBuilder::resolve(const std::string& name) const {
+    const GateId id = netlist_.find(name);
+    if (id == kNoGate) {
+        throw std::runtime_error("NetlistBuilder: undefined signal " + name);
+    }
+    return id;
+}
+
+NetlistBuilder& NetlistBuilder::input(const std::string& name) {
+    netlist_.add_gate(CellType::Input, name, {});
+    return *this;
+}
+
+NetlistBuilder& NetlistBuilder::gate(CellType type, const std::string& sig,
+                                     const std::vector<std::string>& fanins) {
+    std::vector<GateId> ids;
+    ids.reserve(fanins.size());
+    for (const std::string& f : fanins) ids.push_back(resolve(f));
+    netlist_.add_gate(type, sig, std::move(ids));
+    return *this;
+}
+
+NetlistBuilder& NetlistBuilder::dff(const std::string& q, const std::string& d) {
+    netlist_.add_gate(CellType::Dff, q, {resolve(d)});
+    return *this;
+}
+
+NetlistBuilder& NetlistBuilder::dff_declare(const std::string& q) {
+    netlist_.add_gate(CellType::Dff, q, {});
+    return *this;
+}
+
+NetlistBuilder& NetlistBuilder::dff_connect(const std::string& q,
+                                            const std::string& d) {
+    netlist_.append_fanin(resolve(q), resolve(d));
+    return *this;
+}
+
+NetlistBuilder& NetlistBuilder::output(const std::string& sig) {
+    netlist_.add_gate(CellType::Output, sig + "$po", {resolve(sig)});
+    return *this;
+}
+
+Netlist NetlistBuilder::build() {
+    netlist_.finalize();
+    return std::move(netlist_);
+}
+
+}  // namespace fastmon

@@ -1,0 +1,76 @@
+// Fluent programmatic construction of netlists (tests, examples).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace fastmon {
+
+/// Thin convenience wrapper around Netlist that tracks names, so small
+/// circuits can be written as a sequence of named equations.
+class NetlistBuilder {
+public:
+    explicit NetlistBuilder(std::string circuit_name)
+        : netlist_(std::move(circuit_name)) {}
+
+    /// Declares a primary input.
+    NetlistBuilder& input(const std::string& name);
+
+    /// Declares `sig` as driven by `type` over the named fanins.
+    NetlistBuilder& gate(CellType type, const std::string& sig,
+                         const std::vector<std::string>& fanins);
+
+    /// Declares a flip-flop: q = DFF(d).  `d` must already be defined;
+    /// for feedback loops declare with dff_declare() and wire the D input
+    /// later with dff_connect().
+    NetlistBuilder& dff(const std::string& q, const std::string& d);
+
+    /// Declares a flip-flop output `q` whose D input is wired later.
+    NetlistBuilder& dff_declare(const std::string& q);
+
+    /// Wires the D input of a previously declared flip-flop.
+    NetlistBuilder& dff_connect(const std::string& q, const std::string& d);
+
+    /// Marks a signal as primary output (creates the pad node).
+    NetlistBuilder& output(const std::string& sig);
+
+    // Shorthands.
+    NetlistBuilder& inv(const std::string& out, const std::string& in) {
+        return gate(CellType::Inv, out, {in});
+    }
+    NetlistBuilder& buf(const std::string& out, const std::string& in) {
+        return gate(CellType::Buf, out, {in});
+    }
+    NetlistBuilder& and2(const std::string& out, const std::string& a,
+                         const std::string& b) {
+        return gate(CellType::And, out, {a, b});
+    }
+    NetlistBuilder& nand2(const std::string& out, const std::string& a,
+                          const std::string& b) {
+        return gate(CellType::Nand, out, {a, b});
+    }
+    NetlistBuilder& or2(const std::string& out, const std::string& a,
+                        const std::string& b) {
+        return gate(CellType::Or, out, {a, b});
+    }
+    NetlistBuilder& nor2(const std::string& out, const std::string& a,
+                         const std::string& b) {
+        return gate(CellType::Nor, out, {a, b});
+    }
+    NetlistBuilder& xor2(const std::string& out, const std::string& a,
+                         const std::string& b) {
+        return gate(CellType::Xor, out, {a, b});
+    }
+
+    /// Finalizes and returns the netlist (builder becomes unusable).
+    Netlist build();
+
+private:
+    GateId resolve(const std::string& name) const;
+
+    Netlist netlist_;
+};
+
+}  // namespace fastmon

@@ -1,0 +1,254 @@
+#include "netlist/cell_library.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace fastmon {
+
+std::string_view cell_type_name(CellType type) {
+    switch (type) {
+        case CellType::Input: return "INPUT";
+        case CellType::Output: return "OUTPUT";
+        case CellType::Dff: return "DFF";
+        case CellType::Buf: return "BUFF";
+        case CellType::Inv: return "NOT";
+        case CellType::And: return "AND";
+        case CellType::Nand: return "NAND";
+        case CellType::Or: return "OR";
+        case CellType::Nor: return "NOR";
+        case CellType::Xor: return "XOR";
+        case CellType::Xnor: return "XNOR";
+        case CellType::Mux2: return "MUX";
+        case CellType::Aoi21: return "AOI21";
+        case CellType::Oai21: return "OAI21";
+    }
+    return "?";
+}
+
+bool is_interface(CellType type) {
+    return type == CellType::Input || type == CellType::Output ||
+           type == CellType::Dff;
+}
+
+bool is_combinational(CellType type) {
+    return !is_interface(type);
+}
+
+std::uint32_t min_arity(CellType type) {
+    switch (type) {
+        case CellType::Input: return 0;
+        case CellType::Output:
+        case CellType::Dff:
+        case CellType::Buf:
+        case CellType::Inv: return 1;
+        case CellType::Mux2:
+        case CellType::Aoi21:
+        case CellType::Oai21: return 3;
+        default: return 2;
+    }
+}
+
+std::uint32_t max_arity(CellType type) {
+    switch (type) {
+        case CellType::Input: return 0;
+        case CellType::Output:
+        case CellType::Dff:
+        case CellType::Buf:
+        case CellType::Inv: return 1;
+        case CellType::Mux2:
+        case CellType::Aoi21:
+        case CellType::Oai21: return 3;
+        case CellType::And:
+        case CellType::Nand:
+        case CellType::Or:
+        case CellType::Nor: return 8;
+        case CellType::Xor:
+        case CellType::Xnor: return 4;
+    }
+    return 0;
+}
+
+bool eval_cell(CellType type, std::span<const bool> inputs) {
+    switch (type) {
+        case CellType::Input:
+            throw std::logic_error("eval_cell: Input node has no function");
+        case CellType::Output:
+        case CellType::Dff:
+        case CellType::Buf:
+            return inputs[0];
+        case CellType::Inv:
+            return !inputs[0];
+        case CellType::And: {
+            for (bool v : inputs)
+                if (!v) return false;
+            return true;
+        }
+        case CellType::Nand: {
+            for (bool v : inputs)
+                if (!v) return true;
+            return false;
+        }
+        case CellType::Or: {
+            for (bool v : inputs)
+                if (v) return true;
+            return false;
+        }
+        case CellType::Nor: {
+            for (bool v : inputs)
+                if (v) return false;
+            return true;
+        }
+        case CellType::Xor: {
+            bool acc = false;
+            for (bool v : inputs) acc ^= v;
+            return acc;
+        }
+        case CellType::Xnor: {
+            bool acc = true;
+            for (bool v : inputs) acc ^= v;
+            return acc;
+        }
+        case CellType::Mux2:
+            return inputs[0] ? inputs[2] : inputs[1];
+        case CellType::Aoi21:
+            return !((inputs[0] && inputs[1]) || inputs[2]);
+        case CellType::Oai21:
+            return !((inputs[0] || inputs[1]) && inputs[2]);
+    }
+    return false;
+}
+
+std::uint64_t eval_cell64(CellType type, std::span<const std::uint64_t> inputs) {
+    switch (type) {
+        case CellType::Input:
+            throw std::logic_error("eval_cell64: Input node has no function");
+        case CellType::Output:
+        case CellType::Dff:
+        case CellType::Buf:
+            return inputs[0];
+        case CellType::Inv:
+            return ~inputs[0];
+        case CellType::And: {
+            std::uint64_t acc = ~0ULL;
+            for (std::uint64_t v : inputs) acc &= v;
+            return acc;
+        }
+        case CellType::Nand: {
+            std::uint64_t acc = ~0ULL;
+            for (std::uint64_t v : inputs) acc &= v;
+            return ~acc;
+        }
+        case CellType::Or: {
+            std::uint64_t acc = 0;
+            for (std::uint64_t v : inputs) acc |= v;
+            return acc;
+        }
+        case CellType::Nor: {
+            std::uint64_t acc = 0;
+            for (std::uint64_t v : inputs) acc |= v;
+            return ~acc;
+        }
+        case CellType::Xor: {
+            std::uint64_t acc = 0;
+            for (std::uint64_t v : inputs) acc ^= v;
+            return acc;
+        }
+        case CellType::Xnor: {
+            std::uint64_t acc = 0;
+            for (std::uint64_t v : inputs) acc ^= v;
+            return ~acc;
+        }
+        case CellType::Mux2:
+            return (inputs[0] & inputs[2]) | (~inputs[0] & inputs[1]);
+        case CellType::Aoi21:
+            return ~((inputs[0] & inputs[1]) | inputs[2]);
+        case CellType::Oai21:
+            return ~((inputs[0] | inputs[1]) & inputs[2]);
+    }
+    return 0;
+}
+
+namespace {
+
+/// Base propagation delay of the cell family, in picoseconds.
+Time base_delay(CellType type) {
+    switch (type) {
+        case CellType::Buf: return 22.0;
+        case CellType::Inv: return 10.0;
+        case CellType::And: return 24.0;
+        case CellType::Nand: return 14.0;
+        case CellType::Or: return 28.0;
+        case CellType::Nor: return 17.0;
+        case CellType::Xor: return 34.0;
+        case CellType::Xnor: return 36.0;
+        case CellType::Mux2: return 30.0;
+        case CellType::Aoi21: return 20.0;
+        case CellType::Oai21: return 22.0;
+        case CellType::Output: return 0.0;
+        default: return 0.0;
+    }
+}
+
+/// Extra delay per fanin above two (wider stacks are slower).
+Time arity_penalty(CellType type) {
+    switch (type) {
+        case CellType::And:
+        case CellType::Nand: return 3.5;
+        case CellType::Or:
+        case CellType::Nor: return 4.5;
+        case CellType::Xor:
+        case CellType::Xnor: return 12.0;
+        default: return 0.0;
+    }
+}
+
+}  // namespace
+
+const CellLibrary& CellLibrary::nangate45() {
+    static const CellLibrary lib;
+    return lib;
+}
+
+PinDelay CellLibrary::nominal_delay(CellType type, std::uint32_t arity,
+                                    std::uint32_t pin) const {
+    assert(pin < std::max(arity, 1u));
+    Time base = base_delay(type);
+    if (arity > 2) {
+        base += arity_penalty(type) * static_cast<Time>(arity - 2);
+    }
+    // Stack-position effect: the pin closest to the output rail is a bit
+    // faster; later pins up to ~15 % slower.
+    const Time pin_factor =
+        1.0 + 0.05 * static_cast<Time>(pin % 4);
+    base *= pin_factor;
+    // NAND/AND pull up slower than down; NOR/OR the opposite, mirroring
+    // typical P/N strength ratios.
+    Time rise_skew = 1.0;
+    Time fall_skew = 1.0;
+    switch (type) {
+        case CellType::Nand:
+        case CellType::And:
+            rise_skew = 1.08;
+            fall_skew = 0.92;
+            break;
+        case CellType::Nor:
+        case CellType::Or:
+            rise_skew = 0.94;
+            fall_skew = 1.10;
+            break;
+        default:
+            rise_skew = 1.02;
+            fall_skew = 0.98;
+            break;
+    }
+    return PinDelay{base * rise_skew, base * fall_skew};
+}
+
+Time CellLibrary::min_gate_delay() const {
+    // The fastest arc in the library: first pin of an inverter, fall.
+    const PinDelay d = nominal_delay(CellType::Inv, 1, 0);
+    return std::min(d.rise, d.fall);
+}
+
+}  // namespace fastmon

@@ -1,0 +1,101 @@
+// Cell library: gate types, logic functions and nominal pin-to-pin delays.
+//
+// The delay numbers are inspired by the NanGate 45nm Open Cell Library
+// (the library the paper synthesizes with): inverters around 10 ps,
+// 2-input NAND/NOR in the 15-20 ps range, XOR roughly 3x an inverter,
+// plus a small per-fanout load penalty.  Absolute values only set the
+// time scale; every quantity in the reproduction is relative to the
+// nominal clock (1.05 x critical path length).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "util/interval.hpp"
+
+namespace fastmon {
+
+/// Node kinds in a netlist.  Input/Output are interface nodes without
+/// logic; Dff is the sequential element (its Q pin acts as a pseudo
+/// primary input, its D pin as a pseudo primary output of the
+/// combinational core).
+enum class CellType : std::uint8_t {
+    Input,
+    Output,
+    Dff,
+    Buf,
+    Inv,
+    And,
+    Nand,
+    Or,
+    Nor,
+    Xor,
+    Xnor,
+    Mux2,   // fanin order: select, a (sel=0), b (sel=1)
+    Aoi21,  // !((a & b) | c)
+    Oai21,  // !((a | b) & c)
+};
+
+/// Human-readable name ("NAND", "DFF", ...).
+std::string_view cell_type_name(CellType type);
+
+/// True for Input/Output/Dff (no combinational logic function).
+bool is_interface(CellType type);
+
+/// True if the cell computes a combinational function of its fanins.
+bool is_combinational(CellType type);
+
+/// Valid fanin counts.
+std::uint32_t min_arity(CellType type);
+std::uint32_t max_arity(CellType type);
+
+/// Single-bit logic evaluation.  `inputs` holds the fanin values in pin
+/// order.  Interface cells pass through their single input (Input has
+/// none and must not be evaluated).
+bool eval_cell(CellType type, std::span<const bool> inputs);
+
+/// 64-way bit-parallel evaluation (one pattern per bit lane); used by the
+/// parallel-pattern transition fault simulator.
+std::uint64_t eval_cell64(CellType type, std::span<const std::uint64_t> inputs);
+
+/// Rise/fall propagation delay of one input-to-output arc.
+struct PinDelay {
+    Time rise = 0.0;  ///< delay when the *output* transitions to 1
+    Time fall = 0.0;  ///< delay when the *output* transitions to 0
+};
+
+/// Nominal (pre-variation) delay model of the library.
+class CellLibrary {
+public:
+    /// The default NanGate-45nm-inspired library.
+    static const CellLibrary& nangate45();
+
+    /// Nominal delay of the arc from fanin pin `pin` to the output of a
+    /// cell with `arity` fanins.  Later pins are slightly slower,
+    /// matching the stack position effect in CMOS gates.
+    [[nodiscard]] PinDelay nominal_delay(CellType type, std::uint32_t arity,
+                                         std::uint32_t pin) const;
+
+    /// Additional delay per fanout branch beyond the first (load).
+    [[nodiscard]] Time load_delay_per_fanout() const { return load_per_fanout_; }
+
+    /// Clock-to-Q delay of a flip-flop.
+    [[nodiscard]] Time dff_clk_to_q() const { return dff_clk_to_q_; }
+
+    /// Setup time of a flip-flop (and of a monitor shadow register).
+    [[nodiscard]] Time dff_setup() const { return dff_setup_; }
+
+    /// Smallest combinational cell delay in the library; used as the
+    /// default glitch-filtering threshold (Sec. II-A).
+    [[nodiscard]] Time min_gate_delay() const;
+
+private:
+    CellLibrary() = default;
+
+    Time load_per_fanout_ = 1.5;
+    Time dff_clk_to_q_ = 28.0;
+    Time dff_setup_ = 18.0;
+};
+
+}  // namespace fastmon

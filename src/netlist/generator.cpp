@@ -1,0 +1,344 @@
+#include "netlist/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/prng.hpp"
+
+namespace fastmon {
+
+namespace {
+
+/// Weighted choice of a combinational cell type, roughly matching the
+/// type mix of NanGate-mapped ISCAS circuits.
+CellType pick_type(Prng& rng) {
+    const double r = rng.next_double();
+    if (r < 0.22) return CellType::Nand;
+    if (r < 0.38) return CellType::Nor;
+    if (r < 0.52) return CellType::Inv;
+    if (r < 0.62) return CellType::And;
+    if (r < 0.72) return CellType::Or;
+    if (r < 0.78) return CellType::Xor;
+    if (r < 0.82) return CellType::Xnor;
+    if (r < 0.87) return CellType::Buf;
+    if (r < 0.92) return CellType::Mux2;
+    if (r < 0.96) return CellType::Aoi21;
+    return CellType::Oai21;
+}
+
+std::uint32_t pick_arity(CellType type, Prng& rng) {
+    const std::uint32_t lo = min_arity(type);
+    const std::uint32_t hi = max_arity(type);
+    if (lo == hi) return lo;
+    // Mostly minimum arity, occasionally wider (3- and 4-input gates).
+    const double r = rng.next_double();
+    if (r < 0.70) return lo;
+    if (r < 0.92) return std::min(lo + 1, hi);
+    return std::min(lo + 2, hi);
+}
+
+double gaussian_weight(double x, double mu, double sigma) {
+    const double d = (x - mu) / sigma;
+    return std::exp(-0.5 * d * d);
+}
+
+}  // namespace
+
+Netlist generate_circuit(const GeneratorConfig& config) {
+    if (config.n_inputs == 0 || config.n_gates == 0 || config.depth == 0) {
+        throw std::invalid_argument("generate_circuit: degenerate config");
+    }
+    Prng rng(config.seed ^ 0xFA57F00DULL);
+    Netlist netlist(config.name);
+
+    // Sources: primary inputs and flip-flop outputs (D wired later).
+    std::vector<std::vector<GateId>> by_level(config.depth + 1);
+    for (std::size_t i = 0; i < config.n_inputs; ++i) {
+        by_level[0].push_back(
+            netlist.add_gate(CellType::Input, "pi" + std::to_string(i), {}));
+    }
+    std::vector<GateId> ffs;
+    ffs.reserve(config.n_ffs);
+    for (std::size_t i = 0; i < config.n_ffs; ++i) {
+        const GateId q =
+            netlist.add_gate(CellType::Dff, "ff" + std::to_string(i), {});
+        ffs.push_back(q);
+        by_level[0].push_back(q);
+    }
+
+    // Budget split: `spread` diverts part of the gates into shallow
+    // "late-merge" branches — short chains from sources that merge into
+    // the deep capture cones right before the flip-flops, modelling
+    // control/enable logic.  Faults in those branches reach their FF
+    // exclusively over short paths, the population whose detection the
+    // programmable monitors unlock (Sec. III).
+    const std::size_t n_shallow = static_cast<std::size_t>(
+        std::floor(0.45 * config.spread *
+                   static_cast<double>(config.n_gates)));
+    const std::size_t n_main = config.n_gates - n_shallow;
+
+    // Distribute the main gates over levels 1..depth.  The histogram is
+    // a two-component Gaussian mixture: a near-critical bulk plus a
+    // moderate mid-depth population.
+    const std::size_t depth = config.depth;
+    std::vector<double> weights(depth + 1, 0.0);
+    double total_weight = 0.0;
+    const double main_spread = 0.15 + 0.3 * config.spread;
+    for (std::size_t l = 1; l <= depth; ++l) {
+        const double x = static_cast<double>(l) / static_cast<double>(depth);
+        const double deep = gaussian_weight(x, 0.78, 0.14);
+        const double shallow = gaussian_weight(x, 0.30, 0.26);
+        weights[l] = (1.0 - main_spread) * deep + main_spread * shallow;
+        total_weight += weights[l];
+    }
+    std::vector<std::size_t> gates_per_level(depth + 1, 0);
+    std::size_t assigned = 0;
+    for (std::size_t l = 1; l <= depth; ++l) {
+        gates_per_level[l] = static_cast<std::size_t>(
+            std::floor(static_cast<double>(n_main) * weights[l] /
+                       total_weight));
+        assigned += gates_per_level[l];
+    }
+    // Guarantee a chain to full depth and place the rounding remainder.
+    for (std::size_t l = 1; l <= depth; ++l) {
+        if (gates_per_level[l] == 0) {
+            gates_per_level[l] = 1;
+            ++assigned;
+        }
+    }
+    while (assigned < n_main) {
+        const std::size_t l = 1 + rng.next_below(depth);
+        ++gates_per_level[l];
+        ++assigned;
+    }
+    while (assigned > n_main) {
+        const std::size_t l = 1 + rng.next_below(depth);
+        if (gates_per_level[l] > 1) {
+            --gates_per_level[l];
+            --assigned;
+        }
+    }
+
+    // Create gates level by level.  fanin[0] comes from the directly
+    // preceding level (enforcing the level structure); the remaining pins
+    // are drawn from earlier levels with a geometric bias toward nearby
+    // levels, which yields realistic reconvergence.
+    std::size_t gate_counter = 0;
+    for (std::size_t l = 1; l <= depth; ++l) {
+        for (std::size_t k = 0; k < gates_per_level[l]; ++k) {
+            const CellType type = pick_type(rng);
+            const std::uint32_t arity = pick_arity(type, rng);
+            std::vector<GateId> fanin;
+            fanin.reserve(arity);
+            const std::vector<GateId>& prev = by_level[l - 1];
+            fanin.push_back(prev[rng.next_below(prev.size())]);
+            for (std::uint32_t pin = 1; pin < arity; ++pin) {
+                // Geometric hop backwards from level l-1.
+                std::size_t src_level = l - 1;
+                while (src_level > 0 && rng.chance(0.45)) --src_level;
+                const std::vector<GateId>& pool = by_level[src_level];
+                fanin.push_back(pool[rng.next_below(pool.size())]);
+            }
+            const GateId id = netlist.add_gate(
+                type, "g" + std::to_string(gate_counter++), std::move(fanin));
+            by_level[l].push_back(id);
+        }
+    }
+
+    // Late-merge shallow branches: short chains fed by sources, each
+    // merged through a dedicated XOR stage directly in front of a
+    // capture flip-flop (parity/mask-style capture logic).  The XOR is
+    // sensitized regardless of its other input, so every path from a
+    // chain gate to its FF is short and live: their small-delay-fault
+    // effects settle long before t_min = t_nom/3 — undetectable by
+    // conventional FAST, detectable through the monitors' detection
+    // range shift (the population behind the paper's Fig. 3 gap).
+    // Deep random logic cannot serve as merge point: its signal
+    // probabilities collapse toward constants and block propagation.
+    std::vector<GateId> merged_driver(config.n_ffs, kNoGate);
+    if (n_shallow > 0) {
+        const std::vector<GateId>& sources = by_level[0];
+        // Concentrate the capture-XOR stages on a quarter of the
+        // flip-flops: exactly the long-path-end fraction that receives
+        // monitors (Sec. V inserts monitors at 25 % of the PPOs).
+        const std::size_t n_slots =
+            std::max<std::size_t>(2, config.n_ffs / 4);
+        std::vector<std::size_t> stack_height(config.n_ffs, 0);
+        std::size_t built = 0;
+        std::size_t chain_counter = 0;
+        std::size_t ff_cursor = 0;
+        while (built + 2 <= n_shallow) {
+            // Build up to three chains feeding one XOR stage (an XOR is
+            // sensitized on every input, so all of them stay live).
+            std::vector<GateId> chain_ends;
+            while (chain_ends.size() < 3 && built + 2 <= n_shallow) {
+                const std::size_t len = std::min<std::size_t>(
+                    1 + rng.next_below(3), n_shallow - built - 1);
+                GateId prev = sources[rng.next_below(sources.size())];
+                for (std::size_t k = 0; k < len; ++k) {
+                    const double r = rng.next_double();
+                    const std::string name = "sc" +
+                                             std::to_string(chain_counter) +
+                                             "_" + std::to_string(k);
+                    GateId id = kNoGate;
+                    if (r < 0.3) {
+                        id = netlist.add_gate(CellType::Inv, name, {prev});
+                    } else if (r < 0.45) {
+                        id = netlist.add_gate(CellType::Buf, name, {prev});
+                    } else if (r < 0.75) {
+                        id = netlist.add_gate(
+                            CellType::Nand, name,
+                            {prev, sources[rng.next_below(sources.size())]});
+                    } else {
+                        id = netlist.add_gate(
+                            CellType::Nor, name,
+                            {prev, sources[rng.next_below(sources.size())]});
+                    }
+                    by_level[std::min(k + 1, depth)].push_back(id);
+                    prev = id;
+                    ++built;
+                }
+                chain_ends.push_back(prev);
+                ++chain_counter;
+            }
+            // Merge slot: round-robin over the reserved flip-flops,
+            // stacking at most three XOR stages to keep paths short.
+            std::size_t tries = 0;
+            while (stack_height[ff_cursor % n_slots] >= 3 &&
+                   tries++ < n_slots) {
+                ++ff_cursor;
+            }
+            const std::size_t slot = ff_cursor % n_slots;
+            ++ff_cursor;
+            if (stack_height[slot] >= 3) break;  // all slots saturated
+            GateId deep = merged_driver[slot];
+            if (deep == kNoGate) {
+                const std::vector<GateId>& pool = by_level[depth];
+                deep = pool[rng.next_below(pool.size())];
+            }
+            std::vector<GateId> xin{deep};
+            xin.insert(xin.end(), chain_ends.begin(), chain_ends.end());
+            const GateId x = netlist.add_gate(
+                CellType::Xor, "mx" + std::to_string(chain_counter),
+                std::move(xin));
+            merged_driver[slot] = x;
+            ++stack_height[slot];
+            ++built;
+        }
+    }
+
+    // Sinks.  Flip-flop D inputs and primary outputs tap gates with a
+    // bias toward deeper levels (long path ends), as in placed designs.
+    auto pick_sink_driver = [&]() -> GateId {
+        for (;;) {
+            // Quadratic bias toward deep levels.
+            const double r = rng.next_double();
+            const auto l = static_cast<std::size_t>(
+                1 + std::floor(std::sqrt(r) * static_cast<double>(depth)));
+            const std::size_t lv = std::min(l, depth);
+            if (!by_level[lv].empty()) {
+                return by_level[lv][rng.next_below(by_level[lv].size())];
+            }
+        }
+    };
+    for (std::size_t i = 0; i < config.n_ffs; ++i) {
+        netlist.append_fanin(ffs[i], merged_driver[i] != kNoGate
+                                         ? merged_driver[i]
+                                         : pick_sink_driver());
+    }
+    for (std::size_t i = 0; i < config.n_outputs; ++i) {
+        netlist.add_gate(CellType::Output, "po" + std::to_string(i) + "$po",
+                         {pick_sink_driver()});
+    }
+
+    // Sink dangling gates: first try to absorb them as extra fanins of
+    // compatible deeper gates, then fall back to extra output pads.
+    std::vector<std::size_t> level_of(netlist.size(), 0);
+    for (std::size_t l = 0; l <= depth; ++l) {
+        for (GateId id : by_level[l]) level_of[id] = l;
+    }
+    std::vector<bool> has_fanout(netlist.size(), false);
+    for (const Gate& g : netlist.gates()) {
+        for (GateId f : g.fanin) has_fanout[f] = true;
+    }
+    std::size_t extra_pads = 0;
+    for (std::size_t l = 0; l <= depth; ++l) {
+        for (GateId id : by_level[l]) {
+            if (has_fanout[id]) continue;
+            bool absorbed = false;
+            for (int attempt = 0; attempt < 8 && !absorbed; ++attempt) {
+                if (l >= depth) break;
+                const std::size_t tl = l + 1 + rng.next_below(depth - l);
+                if (by_level[tl].empty()) continue;
+                const GateId target =
+                    by_level[tl][rng.next_below(by_level[tl].size())];
+                const Gate& tg = netlist.gate(target);
+                // Cap at 4 fanins: wider cells do not exist in mapped
+                // NanGate designs and make justification needlessly hard.
+                if (tg.fanin.size() <
+                    std::min<std::uint32_t>(max_arity(tg.type), 4)) {
+                    netlist.append_fanin(target, id);
+                    absorbed = true;
+                }
+            }
+            if (!absorbed) {
+                netlist.add_gate(
+                    CellType::Output,
+                    "px" + std::to_string(extra_pads++) + "$po", {id});
+            }
+        }
+    }
+
+    netlist.finalize();
+    return netlist;
+}
+
+const std::vector<CircuitProfile>& paper_profiles() {
+    // Sizes from Table I.  Depth/spread are chosen per circuit to match
+    // its qualitative regime: small conventional-vs-monitor gain for
+    // narrow path histograms (s9234, s35932, p78k), large gain for wide
+    // ones (s13207, s15850, p89k, p100k).
+    static const std::vector<CircuitProfile> kProfiles = {
+        {"s9234", 1766, 228, 36, 39, 24, 0.35, 9234},
+        {"s13207", 2867, 669, 62, 152, 26, 0.80, 13207},
+        {"s15850", 3324, 597, 77, 150, 28, 0.82, 15850},
+        {"s35932", 11168, 1728, 35, 320, 12, 0.15, 35932},
+        {"s38417", 9796, 1636, 28, 106, 22, 0.45, 38417},
+        {"s38584", 12213, 1450, 38, 304, 24, 0.60, 38584},
+        {"p35k", 23294, 2173, 120, 220, 30, 0.70, 35000},
+        {"p45k", 25406, 2331, 150, 260, 28, 0.68, 45000},
+        {"p78k", 70495, 2977, 220, 320, 14, 0.18, 78000},
+        {"p89k", 58726, 4301, 200, 360, 32, 0.85, 89000},
+        {"p100k", 60767, 5735, 220, 380, 30, 0.75, 100000},
+        {"p141k", 107655, 10501, 280, 480, 30, 0.62, 141000},
+    };
+    return kProfiles;
+}
+
+const CircuitProfile& find_profile(const std::string& name) {
+    for (const CircuitProfile& p : paper_profiles()) {
+        if (p.name == name) return p;
+    }
+    throw std::runtime_error("unknown circuit profile: " + name);
+}
+
+GeneratorConfig profile_config(const CircuitProfile& profile, double scale) {
+    auto scaled = [scale](std::size_t v, std::size_t lo) {
+        return std::max<std::size_t>(
+            lo, static_cast<std::size_t>(std::llround(
+                    static_cast<double>(v) * scale)));
+    };
+    GeneratorConfig config;
+    config.name = profile.name;
+    config.n_gates = scaled(profile.gates, 50);
+    config.n_ffs = scaled(profile.ffs, 8);
+    config.n_inputs = scaled(profile.inputs, 4);
+    config.n_outputs = scaled(profile.outputs, 4);
+    config.depth = profile.depth;  // depth is structural; never scaled
+    config.spread = profile.spread;
+    config.seed = profile.seed;
+    return config;
+}
+
+}  // namespace fastmon

@@ -1,0 +1,66 @@
+// Synthetic sequential benchmark circuit generation.
+//
+// The paper evaluates on ISCAS'89 circuits and industrial "p"-designs
+// synthesized with a commercial flow.  Neither the exact netlists nor
+// the commercial ATPG are available here, so this generator produces
+// deterministic ISCAS-like sequential circuits whose headline statistics
+// (gate count, flip-flop count, interface width, logic depth and path
+// depth *spread*) are matched per circuit.  The path-depth spread is the
+// structural property the paper's results hinge on: circuits with many
+// short paths relative to the clock have fault effects below the FAST
+// window (monitors gain much coverage), while circuits with tightly
+// distributed near-critical paths are mostly testable conventionally.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace fastmon {
+
+struct GeneratorConfig {
+    std::string name = "gen";
+    std::size_t n_gates = 1000;   ///< combinational gates
+    std::size_t n_ffs = 100;
+    std::size_t n_inputs = 20;
+    std::size_t n_outputs = 20;
+    std::size_t depth = 20;       ///< target logic depth
+    /// Path-depth spread in [0,1]: 0 places almost all logic close to the
+    /// target depth (narrow path histogram), 1 mixes a large population
+    /// of shallow logic under a thin deep tail.
+    double spread = 0.5;
+    std::uint64_t seed = 1;
+};
+
+/// Generates a connected, acyclic sequential circuit per `config`.
+/// Deterministic for a fixed config.  The result is finalized.
+Netlist generate_circuit(const GeneratorConfig& config);
+
+/// One row of the paper's Table I, as generation parameters.
+struct CircuitProfile {
+    std::string name;
+    std::size_t gates;
+    std::size_t ffs;
+    std::size_t inputs;
+    std::size_t outputs;
+    std::size_t depth;
+    double spread;
+    std::uint64_t seed;
+};
+
+/// The twelve benchmark profiles of the evaluation (s9234 ... p141k),
+/// with sizes from Table I and spreads chosen to match each circuit's
+/// qualitative coverage-gain regime.
+const std::vector<CircuitProfile>& paper_profiles();
+
+/// Profile lookup by name; throws if unknown.
+const CircuitProfile& find_profile(const std::string& name);
+
+/// Converts a profile to a GeneratorConfig, scaling gate/FF/interface
+/// counts by `scale` (benches use scale < 1 to bound CPU fault-simulation
+/// time; the scale used is always printed with the results).
+GeneratorConfig profile_config(const CircuitProfile& profile, double scale = 1.0);
+
+}  // namespace fastmon

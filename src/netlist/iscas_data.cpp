@@ -1,0 +1,119 @@
+#include "netlist/iscas_data.hpp"
+
+#include <stdexcept>
+
+#include "netlist/bench_io.hpp"
+#include "netlist/builder.hpp"
+
+namespace fastmon {
+
+namespace {
+
+constexpr const char* kS27Bench = R"(# s27 — ISCAS'89 benchmark
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NOR(G2, G12)
+)";
+
+}  // namespace
+
+Netlist make_s27() {
+    return read_bench_string(kS27Bench, "s27");
+}
+
+Netlist make_mini_adder() {
+    NetlistBuilder b("mini_adder");
+    // Operand registers a0..a3, b0..b3 loaded from primary inputs through
+    // a load-enable mux; sum is registered combinationally visible at POs.
+    for (int i = 0; i < 4; ++i) {
+        b.input("ia" + std::to_string(i));
+        b.input("ib" + std::to_string(i));
+    }
+    b.input("cin");
+    for (int i = 0; i < 4; ++i) {
+        b.dff("a" + std::to_string(i), "ia" + std::to_string(i));
+        b.dff("b" + std::to_string(i), "ib" + std::to_string(i));
+    }
+    std::string carry = "cin";
+    for (int i = 0; i < 4; ++i) {
+        const std::string ai = "a" + std::to_string(i);
+        const std::string bi = "b" + std::to_string(i);
+        const std::string n = std::to_string(i);
+        b.xor2("p" + n, ai, bi);
+        b.xor2("s" + n, "p" + n, carry);
+        b.and2("g" + n, ai, bi);
+        b.and2("t" + n, "p" + n, carry);
+        b.or2("c" + n, "g" + n, "t" + n);
+        carry = "c" + n;
+        b.output("s" + n);
+    }
+    b.output(carry);
+    return b.build();
+}
+
+Netlist make_mini_alu() {
+    NetlistBuilder b("mini_alu");
+    for (int i = 0; i < 4; ++i) {
+        b.input("x" + std::to_string(i));
+        b.input("y" + std::to_string(i));
+    }
+    b.input("op0");
+    b.input("op1");
+    std::string carry;
+    for (int i = 0; i < 4; ++i) {
+        const std::string n = std::to_string(i);
+        const std::string xi = "x" + n;
+        const std::string yi = "y" + n;
+        b.and2("and" + n, xi, yi);
+        b.or2("or" + n, xi, yi);
+        b.xor2("xor" + n, xi, yi);
+        // Adder bit (carry chain).
+        if (i == 0) {
+            b.buf("sum0", "xor0");
+            b.buf("c0", "and0");
+        } else {
+            b.xor2("sum" + n, "xor" + n, carry);
+            b.and2("t" + n, "xor" + n, carry);
+            b.or2("c" + n, "and" + n, "t" + n);
+        }
+        carry = "c" + n;
+        // Result mux: op = 00 -> AND, 01 -> OR, 10 -> XOR, 11 -> ADD.
+        b.gate(CellType::Mux2, "m0_" + n, {"op0", "and" + n, "or" + n});
+        b.gate(CellType::Mux2, "m1_" + n, {"op0", "xor" + n, "sum" + n});
+        b.gate(CellType::Mux2, "r" + n, {"op1", "m0_" + n, "m1_" + n});
+        b.dff("q" + n, "r" + n);
+        b.output("q" + n);
+    }
+    b.output(carry);
+    return b.build();
+}
+
+const std::vector<std::string>& embedded_circuit_names() {
+    static const std::vector<std::string> kNames = {"s27", "mini_adder",
+                                                    "mini_alu"};
+    return kNames;
+}
+
+Netlist make_embedded_circuit(const std::string& name) {
+    if (name == "s27") return make_s27();
+    if (name == "mini_adder") return make_mini_adder();
+    if (name == "mini_alu") return make_mini_alu();
+    throw std::runtime_error("unknown embedded circuit: " + name);
+}
+
+}  // namespace fastmon

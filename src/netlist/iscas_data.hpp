@@ -1,0 +1,32 @@
+// Embedded public-domain benchmark circuits.
+//
+// s27 is the smallest ISCAS'89 sequential benchmark and is embedded
+// verbatim; it anchors the test suite to a real, published netlist.
+// The two "mini" circuits are hand-written designs (a registered
+// ripple-carry adder and a small ALU slice) used by tests and examples.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace fastmon {
+
+/// The ISCAS'89 s27 benchmark (4 PIs, 1 PO, 3 DFFs, 10 gates).
+Netlist make_s27();
+
+/// A registered 4-bit ripple-carry adder (9 PIs, 8 DFFs feeding 5 POs).
+Netlist make_mini_adder();
+
+/// A small registered ALU slice: 2x4-bit operands, 2-bit opcode
+/// (AND/OR/XOR/ADD), registered result.
+Netlist make_mini_alu();
+
+/// Names of all embedded circuits.
+const std::vector<std::string>& embedded_circuit_names();
+
+/// Lookup by name; throws on unknown names.
+Netlist make_embedded_circuit(const std::string& name);
+
+}  // namespace fastmon

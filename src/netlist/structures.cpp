@@ -1,0 +1,131 @@
+#include "netlist/structures.hpp"
+
+#include <stdexcept>
+
+#include "netlist/builder.hpp"
+
+namespace fastmon {
+
+namespace {
+
+std::string bit_name(const std::string& base, std::size_t i) {
+    return base + std::to_string(i);
+}
+
+}  // namespace
+
+std::vector<std::size_t> maximal_lfsr_taps(std::size_t width) {
+    // Classic primitive-polynomial tap sets (XOR form, 1-based, the
+    // highest tap == width is implicit in make_lfsr).
+    switch (width) {
+        case 4: return {3};            // x^4 + x^3 + 1
+        case 8: return {6, 5, 4};      // x^8 + x^6 + x^5 + x^4 + 1
+        case 16: return {15, 13, 4};   // x^16 + x^15 + x^13 + x^4 + 1
+        default:
+            throw std::invalid_argument(
+                "maximal_lfsr_taps: unsupported width " +
+                std::to_string(width));
+    }
+}
+
+Netlist make_lfsr(std::size_t width, const std::vector<std::size_t>& taps,
+                  const std::string& name) {
+    if (width < 2) throw std::invalid_argument("make_lfsr: width < 2");
+    for (std::size_t t : taps) {
+        if (t == 0 || t >= width) {
+            throw std::invalid_argument("make_lfsr: tap out of range");
+        }
+    }
+    NetlistBuilder b(name);
+    b.input("enable");
+    for (std::size_t i = 0; i < width; ++i) b.dff_declare(bit_name("q", i));
+
+    // Feedback: XOR of q[width-1] and the taps (bit positions are
+    // 1-based over q[0..width-1], so tap t reads q[t-1]).
+    std::string fb = bit_name("q", width - 1);
+    std::size_t k = 0;
+    for (std::size_t t : taps) {
+        const std::string x = "fb" + std::to_string(k++);
+        b.xor2(x, fb, bit_name("q", t - 1));
+        fb = x;
+    }
+    // enable ? feedback : hold q0.
+    b.gate(CellType::Mux2, "d0", {"enable", bit_name("q", 0), fb});
+    b.dff_connect(bit_name("q", 0), "d0");
+    for (std::size_t i = 1; i < width; ++i) {
+        const std::string d = "d" + std::to_string(i);
+        b.gate(CellType::Mux2, d,
+               {"enable", bit_name("q", i), bit_name("q", i - 1)});
+        b.dff_connect(bit_name("q", i), d);
+    }
+    for (std::size_t i = 0; i < width; ++i) b.output(bit_name("q", i));
+    return b.build();
+}
+
+Netlist make_counter(std::size_t width, const std::string& name) {
+    if (width < 1) throw std::invalid_argument("make_counter: width < 1");
+    NetlistBuilder b(name);
+    b.input("enable");
+    for (std::size_t i = 0; i < width; ++i) b.dff_declare(bit_name("q", i));
+
+    // carry[0] = enable; q[i]' = q[i] ^ carry[i]; carry[i+1] = q[i] & carry[i].
+    std::string carry = "enable";
+    for (std::size_t i = 0; i < width; ++i) {
+        const std::string d = "d" + std::to_string(i);
+        b.xor2(d, bit_name("q", i), carry);
+        b.dff_connect(bit_name("q", i), d);
+        if (i + 1 < width) {
+            const std::string c = "c" + std::to_string(i + 1);
+            b.and2(c, bit_name("q", i), carry);
+            carry = c;
+        }
+    }
+    for (std::size_t i = 0; i < width; ++i) b.output(bit_name("q", i));
+    return b.build();
+}
+
+Netlist make_shift_register(std::size_t depth, const std::string& name) {
+    if (depth < 1) throw std::invalid_argument("make_shift_register: depth < 1");
+    NetlistBuilder b(name);
+    b.input("sin");
+    std::string prev = "sin";
+    for (std::size_t i = 0; i < depth; ++i) {
+        // A buffer between stages gives the combinational core at least
+        // one gate per stage (and a fault site).
+        const std::string stage = "s" + std::to_string(i);
+        b.buf(stage, prev);
+        b.dff(bit_name("q", i), stage);
+        prev = bit_name("q", i);
+    }
+    b.output(prev);
+    return b.build();
+}
+
+Netlist make_parity_tree(std::size_t levels, const std::string& name) {
+    if (levels < 1 || levels > 10) {
+        throw std::invalid_argument("make_parity_tree: levels out of range");
+    }
+    NetlistBuilder b(name);
+    const std::size_t n = std::size_t{1} << levels;
+    std::vector<std::string> layer;
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::string in = bit_name("in", i);
+        b.input(in);
+        layer.push_back(in);
+    }
+    std::size_t counter = 0;
+    while (layer.size() > 1) {
+        std::vector<std::string> next;
+        for (std::size_t i = 0; i + 1 < layer.size(); i += 2) {
+            const std::string x = "x" + std::to_string(counter++);
+            b.xor2(x, layer[i], layer[i + 1]);
+            next.push_back(x);
+        }
+        layer = std::move(next);
+    }
+    b.dff("parity", layer[0]);
+    b.output("parity");
+    return b.build();
+}
+
+}  // namespace fastmon

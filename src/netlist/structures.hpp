@@ -1,0 +1,41 @@
+// Parameterized real-world circuit structures.
+//
+// Deterministic generators for classic sequential blocks — LFSRs,
+// binary counters, shift registers and a pipelined parity tree — used
+// as additional realistic testbenches beside the random ISCAS-like
+// generator: their logic is regular, their functional behaviour is
+// known in closed form (and property-tested), and their path-depth
+// profiles differ sharply from random logic.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace fastmon {
+
+/// Fibonacci LFSR: `width` bits, feedback XOR over `taps` (1-based bit
+/// positions, tap `width` is implicit).  An `enable` primary input
+/// gates the feedback into bit 0 (so the combinational core has primary
+/// inputs).  Output pads expose all state bits.
+Netlist make_lfsr(std::size_t width, const std::vector<std::size_t>& taps,
+                  const std::string& name = "lfsr");
+
+/// Maximal-length taps for a few common widths (4, 8, 16); throws for
+/// unsupported widths.
+std::vector<std::size_t> maximal_lfsr_taps(std::size_t width);
+
+/// Synchronous binary up-counter with enable: `width` bits of
+/// toggle-carry logic.
+Netlist make_counter(std::size_t width, const std::string& name = "counter");
+
+/// Serial-in shift register of `depth` stages with a serial output.
+Netlist make_shift_register(std::size_t depth,
+                            const std::string& name = "shiftreg");
+
+/// Registered parity (XOR) tree over 2^levels primary inputs.
+Netlist make_parity_tree(std::size_t levels,
+                         const std::string& name = "parity");
+
+}  // namespace fastmon

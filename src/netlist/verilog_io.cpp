@@ -1,0 +1,386 @@
+#include "netlist/verilog_io.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace fastmon {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& msg) {
+    throw std::runtime_error("verilog parse error, line " +
+                             std::to_string(line) + ": " + msg);
+}
+
+/// Strips // and /* */ comments, tracking line numbers per character.
+struct Source {
+    std::string text;
+    std::vector<std::size_t> line_of;
+};
+
+Source strip_comments(std::istream& is) {
+    Source src;
+    std::string raw((std::istreambuf_iterator<char>(is)),
+                    std::istreambuf_iterator<char>());
+    std::size_t line = 1;
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+        if (raw[i] == '\n') ++line;
+        if (raw[i] == '/' && i + 1 < raw.size() && raw[i + 1] == '/') {
+            while (i < raw.size() && raw[i] != '\n') ++i;
+            if (i < raw.size()) ++line;
+            src.text.push_back('\n');
+            src.line_of.push_back(line);
+            continue;
+        }
+        if (raw[i] == '/' && i + 1 < raw.size() && raw[i + 1] == '*') {
+            i += 2;
+            while (i + 1 < raw.size() && !(raw[i] == '*' && raw[i + 1] == '/')) {
+                if (raw[i] == '\n') ++line;
+                ++i;
+            }
+            ++i;
+            continue;
+        }
+        src.text.push_back(raw[i]);
+        src.line_of.push_back(line);
+    }
+    return src;
+}
+
+/// A statement (text up to ';' / 'endmodule') with its starting line.
+struct Statement {
+    std::string text;
+    std::size_t line;
+};
+
+std::vector<Statement> split_statements(const Source& src) {
+    std::vector<Statement> out;
+    std::string cur;
+    std::size_t cur_line = 1;
+    bool in_stmt = false;
+    for (std::size_t i = 0; i < src.text.size(); ++i) {
+        const char c = src.text[i];
+        if (c == ';') {
+            out.push_back(Statement{cur, cur_line});
+            cur.clear();
+            in_stmt = false;
+            continue;
+        }
+        if (!in_stmt && !std::isspace(static_cast<unsigned char>(c))) {
+            in_stmt = true;
+            cur_line = src.line_of[i];
+        }
+        cur.push_back(c);
+    }
+    // Trailing text (e.g. "endmodule") as a last pseudo-statement.
+    out.push_back(Statement{cur, cur_line});
+    return out;
+}
+
+std::vector<std::string> tokens_of(const std::string& stmt) {
+    std::vector<std::string> tok;
+    std::string cur;
+    bool escaped = false;  // inside a \escaped identifier
+    auto flush = [&] {
+        if (!cur.empty()) {
+            tok.push_back(cur);
+            cur.clear();
+        }
+        escaped = false;
+    };
+    for (char c : stmt) {
+        if (escaped) {
+            if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+                flush();
+            } else {
+                cur.push_back(c);
+            }
+            continue;
+        }
+        if (c == '\\') {
+            flush();
+            escaped = true;
+        } else if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+                   c == '$' || c == '[' || c == ']' || c == ':') {
+            cur.push_back(c);
+        } else if (c == '(' || c == ')' || c == ',' || c == '=' || c == '~') {
+            flush();
+            tok.emplace_back(1, c);
+        } else {
+            flush();
+        }
+    }
+    flush();
+    return tok;
+}
+
+std::optional<CellType> primitive_type(const std::string& kw) {
+    static const std::map<std::string, CellType> kMap = {
+        {"and", CellType::And},     {"nand", CellType::Nand},
+        {"or", CellType::Or},       {"nor", CellType::Nor},
+        {"xor", CellType::Xor},     {"xnor", CellType::Xnor},
+        {"not", CellType::Inv},     {"buf", CellType::Buf},
+        {"dff", CellType::Dff},     {"mux2", CellType::Mux2},
+        {"aoi21", CellType::Aoi21}, {"oai21", CellType::Oai21},
+    };
+    auto it = kMap.find(kw);
+    if (it == kMap.end()) return std::nullopt;
+    return it->second;
+}
+
+/// Expands "name" or a bus range decl into scalar signal names.
+/// decl tokens after the keyword: optional [m:l] then comma list.
+std::vector<std::string> expand_decl(const std::vector<std::string>& tok,
+                                     std::size_t begin, std::size_t line) {
+    std::vector<std::string> names;
+    std::optional<std::pair<long, long>> range;
+    std::size_t i = begin;
+    if (i < tok.size() && tok[i].front() == '[') {
+        const std::string& r = tok[i];
+        const auto colon = r.find(':');
+        if (colon == std::string::npos || r.back() != ']') {
+            fail(line, "malformed bus range " + r);
+        }
+        range = std::make_pair(std::stol(r.substr(1, colon - 1)),
+                               std::stol(r.substr(colon + 1,
+                                                  r.size() - colon - 2)));
+        ++i;
+    }
+    for (; i < tok.size(); ++i) {
+        if (tok[i] == ",") continue;
+        if (!range) {
+            names.push_back(tok[i]);
+            continue;
+        }
+        long lo = range->second;
+        long hi = range->first;
+        if (lo > hi) std::swap(lo, hi);
+        for (long b = lo; b <= hi; ++b) {
+            names.push_back(tok[i] + "[" + std::to_string(b) + "]");
+        }
+    }
+    return names;
+}
+
+}  // namespace
+
+Netlist read_verilog(std::istream& is) {
+    const Source src = strip_comments(is);
+    const std::vector<Statement> stmts = split_statements(src);
+
+    std::string module_name = "verilog";
+    std::vector<std::string> inputs;
+    std::vector<std::string> outputs;
+    struct Inst {
+        CellType type;
+        std::vector<std::string> ports;  // output first (dff: q, d)
+        std::size_t line;
+    };
+    std::vector<Inst> insts;
+    struct Assign {
+        std::string lhs;
+        std::string rhs;
+        bool invert;
+        std::size_t line;
+    };
+    std::vector<Assign> assigns;
+
+    for (const Statement& st : stmts) {
+        const std::vector<std::string> tok = tokens_of(st.text);
+        if (tok.empty()) continue;
+        const std::string& kw = tok[0];
+        if (kw == "module") {
+            if (tok.size() < 2) fail(st.line, "module without a name");
+            module_name = tok[1];
+        } else if (kw == "endmodule") {
+            break;
+        } else if (kw == "input") {
+            for (auto& n : expand_decl(tok, 1, st.line)) inputs.push_back(n);
+        } else if (kw == "output") {
+            for (auto& n : expand_decl(tok, 1, st.line)) outputs.push_back(n);
+        } else if (kw == "wire" || kw == "reg") {
+            // Declarations only; signals materialize at their driver.
+        } else if (kw == "assign") {
+            // assign lhs = [~] rhs
+            std::size_t i = 1;
+            if (i >= tok.size()) fail(st.line, "empty assign");
+            Assign a;
+            a.lhs = tok[i++];
+            if (i >= tok.size() || tok[i] != "=") {
+                fail(st.line, "assign without '='");
+            }
+            ++i;
+            a.invert = i < tok.size() && tok[i] == "~";
+            if (a.invert) ++i;
+            if (i >= tok.size()) fail(st.line, "assign without source");
+            a.rhs = tok[i];
+            a.line = st.line;
+            assigns.push_back(std::move(a));
+        } else if (auto type = primitive_type(kw)) {
+            // TYPE [inst_name] ( p0, p1, ... )
+            std::size_t i = 1;
+            if (i < tok.size() && tok[i] != "(") ++i;  // instance name
+            if (i >= tok.size() || tok[i] != "(") {
+                fail(st.line, "primitive without port list");
+            }
+            ++i;
+            Inst inst;
+            inst.type = *type;
+            inst.line = st.line;
+            for (; i < tok.size() && tok[i] != ")"; ++i) {
+                if (tok[i] == ",") continue;
+                inst.ports.push_back(tok[i]);
+            }
+            if (inst.ports.size() < 2) {
+                fail(st.line, "primitive needs at least two ports");
+            }
+            // Benchmark-style 3-port flip-flop: (clk, q, d).
+            if (inst.type == CellType::Dff && inst.ports.size() == 3) {
+                inst.ports.erase(inst.ports.begin());
+            }
+            insts.push_back(std::move(inst));
+        } else {
+            fail(st.line, "unsupported construct: " + kw);
+        }
+    }
+
+    Netlist netlist(module_name);
+    std::map<std::string, GateId> signals;
+    for (const std::string& in : inputs) {
+        if (signals.contains(in)) fail(0, "duplicate input " + in);
+        signals.emplace(in, netlist.add_gate(CellType::Input, in, {}));
+    }
+    // Declare every driven signal, then wire (forward refs through FFs).
+    std::vector<GateId> inst_ids(insts.size());
+    for (std::size_t k = 0; k < insts.size(); ++k) {
+        const Inst& inst = insts[k];
+        const std::string& out = inst.ports[0];
+        if (signals.contains(out)) fail(inst.line, "signal driven twice: " + out);
+        inst_ids[k] = netlist.add_gate(inst.type, out, {});
+        signals.emplace(out, inst_ids[k]);
+    }
+    std::vector<GateId> assign_ids(assigns.size());
+    for (std::size_t k = 0; k < assigns.size(); ++k) {
+        const Assign& a = assigns[k];
+        if (signals.contains(a.lhs)) fail(a.line, "signal driven twice: " + a.lhs);
+        assign_ids[k] =
+            netlist.add_gate(a.invert ? CellType::Inv : CellType::Buf,
+                             a.lhs, {});
+        signals.emplace(a.lhs, assign_ids[k]);
+    }
+    auto resolve = [&signals](const std::string& name, std::size_t line) {
+        auto it = signals.find(name);
+        if (it == signals.end()) fail(line, "undriven signal: " + name);
+        return it->second;
+    };
+    for (std::size_t k = 0; k < insts.size(); ++k) {
+        const Inst& inst = insts[k];
+        for (std::size_t p = 1; p < inst.ports.size(); ++p) {
+            netlist.append_fanin(inst_ids[k], resolve(inst.ports[p], inst.line));
+        }
+    }
+    for (std::size_t k = 0; k < assigns.size(); ++k) {
+        netlist.append_fanin(assign_ids[k],
+                             resolve(assigns[k].rhs, assigns[k].line));
+    }
+    for (const std::string& out : outputs) {
+        netlist.add_gate(CellType::Output, out + "$po",
+                         {resolve(out, 0)});
+    }
+    netlist.finalize();
+    return netlist;
+}
+
+Netlist read_verilog_file(const std::string& path) {
+    std::ifstream is(path);
+    if (!is) throw std::runtime_error("cannot open verilog file: " + path);
+    return read_verilog(is);
+}
+
+Netlist read_verilog_string(const std::string& text) {
+    std::istringstream is(text);
+    return read_verilog(is);
+}
+
+namespace {
+
+const char* primitive_name(CellType type) {
+    switch (type) {
+        case CellType::And: return "and";
+        case CellType::Nand: return "nand";
+        case CellType::Or: return "or";
+        case CellType::Nor: return "nor";
+        case CellType::Xor: return "xor";
+        case CellType::Xnor: return "xnor";
+        case CellType::Inv: return "not";
+        case CellType::Buf: return "buf";
+        case CellType::Dff: return "dff";
+        case CellType::Mux2: return "mux2";
+        case CellType::Aoi21: return "aoi21";
+        case CellType::Oai21: return "oai21";
+        default: return "?";
+    }
+}
+
+/// Verilog identifiers cannot contain '$' or '['; escape with '\ '.
+std::string escape(const std::string& name) {
+    const bool plain = std::all_of(name.begin(), name.end(), [](char c) {
+        return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+    });
+    if (plain && !name.empty() &&
+        std::isdigit(static_cast<unsigned char>(name[0])) == 0) {
+        return name;
+    }
+    return "\\" + name + " ";
+}
+
+}  // namespace
+
+void write_verilog(std::ostream& os, const Netlist& netlist) {
+    os << "// " << netlist.name() << " — written by fastmon\n";
+    os << "module " << escape(netlist.name()) << " (";
+    bool first = true;
+    for (GateId id : netlist.primary_inputs()) {
+        os << (first ? "" : ", ") << escape(netlist.gate(id).name);
+        first = false;
+    }
+    for (GateId id : netlist.primary_outputs()) {
+        const Gate& pad = netlist.gate(id);
+        os << (first ? "" : ", ")
+           << escape(netlist.gate(pad.fanin[0]).name);
+        first = false;
+    }
+    os << ");\n";
+    for (GateId id : netlist.primary_inputs()) {
+        os << "  input " << escape(netlist.gate(id).name) << ";\n";
+    }
+    for (GateId id : netlist.primary_outputs()) {
+        const Gate& pad = netlist.gate(id);
+        os << "  output " << escape(netlist.gate(pad.fanin[0]).name) << ";\n";
+    }
+    std::size_t counter = 0;
+    for (const Gate& g : netlist.gates()) {
+        if (g.type == CellType::Input || g.type == CellType::Output) continue;
+        os << "  " << primitive_name(g.type) << " g" << counter++ << " ("
+           << escape(g.name);
+        for (GateId f : g.fanin) {
+            os << ", " << escape(netlist.gate(f).name);
+        }
+        os << ");\n";
+    }
+    os << "endmodule\n";
+}
+
+std::string write_verilog_string(const Netlist& netlist) {
+    std::ostringstream os;
+    write_verilog(os, netlist);
+    return os.str();
+}
+
+}  // namespace fastmon

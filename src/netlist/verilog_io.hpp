@@ -1,0 +1,38 @@
+// Structural (gate-level) Verilog subset reader/writer.
+//
+// Benchmark suites (ISCAS, ITC'99) and synthesis flows commonly
+// exchange netlists as structural Verilog; this module supports the
+// subset such netlists use:
+//
+//   module NAME (port, ...);
+//     input  a, b;            // also input [3:0] bus;
+//     output y;
+//     wire   w1, w2;
+//     nand   g1 (y, a, b);    // output first, primitive gates
+//     not    g2 (w1, a);
+//     dff    g3 (q, d);       // non-standard but customary in benchmarks
+//   endmodule
+//
+// Buses are scalarized to name[i] wires.  Assign statements of the form
+// `assign y = a;` become buffers.  Writer emits the same subset.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace fastmon {
+
+/// Parses a single structural module.  Throws std::runtime_error with a
+/// line-numbered message on anything outside the subset.
+Netlist read_verilog(std::istream& is);
+Netlist read_verilog_file(const std::string& path);
+Netlist read_verilog_string(const std::string& text);
+
+/// Writes `netlist` as a structural module (inverse of read_verilog up
+/// to ordering; pad nodes become output ports).
+void write_verilog(std::ostream& os, const Netlist& netlist);
+std::string write_verilog_string(const Netlist& netlist);
+
+}  // namespace fastmon

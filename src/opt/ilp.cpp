@@ -1,0 +1,325 @@
+#include "opt/ilp.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+
+namespace fastmon {
+
+namespace {
+
+constexpr double kEps = 1e-6;
+constexpr std::int8_t kFree = -1;
+
+using Clock = std::chrono::steady_clock;
+
+struct Search {
+    const IlpProblem& p;
+    const IlpConfig& cfg;
+    Clock::time_point deadline;
+    bool all_integer_costs = true;
+
+    std::vector<std::int8_t> fixed;  // -1 free, 0, 1
+    double best_obj = std::numeric_limits<double>::infinity();
+    std::vector<std::uint8_t> best_x;
+    std::size_t nodes = 0;
+    bool budget_exhausted = false;
+
+    explicit Search(const IlpProblem& problem, const IlpConfig& config)
+        : p(problem), cfg(config) {
+        deadline = Clock::now() +
+                   std::chrono::duration_cast<Clock::duration>(
+                       std::chrono::duration<double>(config.time_limit_sec));
+        fixed.assign(p.num_vars, kFree);
+        for (double c : p.objective) {
+            if (std::abs(c - std::round(c)) > kEps) all_integer_costs = false;
+        }
+    }
+
+    [[nodiscard]] bool out_of_budget() {
+        if (nodes > cfg.max_nodes || Clock::now() > deadline) {
+            budget_exhausted = true;
+            return true;
+        }
+        return false;
+    }
+
+    [[nodiscard]] double fixed_cost() const {
+        double c = 0.0;
+        for (std::size_t j = 0; j < p.num_vars; ++j) {
+            if (fixed[j] == 1) c += p.objective[j];
+        }
+        return c;
+    }
+
+    /// Max achievable LHS of a row given current fixing.
+    [[nodiscard]] double row_max(const LpRow& row) const {
+        double v = 0.0;
+        for (const auto& [j, c] : row.coeffs) {
+            if (fixed[j] == kFree) {
+                if (c > 0) v += c;
+            } else if (fixed[j] == 1) {
+                v += c;
+            }
+        }
+        return v;
+    }
+
+    /// One round of feasibility check + unit propagation.  Returns false
+    /// on proven infeasibility; `trail` records vars fixed here.
+    bool propagate(std::vector<std::uint32_t>& trail) {
+        bool changed = true;
+        while (changed) {
+            changed = false;
+            for (const LpRow& row : p.rows) {
+                const double mx = row_max(row);
+                if (mx < row.rhs - kEps) return false;
+                // If dropping one free positive coefficient (or raising a
+                // free negative one) breaks the row, that variable is
+                // forced.
+                for (const auto& [j, c] : row.coeffs) {
+                    if (fixed[j] != kFree) continue;
+                    if (c > 0 && mx - c < row.rhs - kEps) {
+                        fixed[j] = 1;
+                        trail.push_back(j);
+                        changed = true;
+                    } else if (c < 0 && mx + c < row.rhs - kEps) {
+                        fixed[j] = 0;
+                        trail.push_back(j);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        return true;
+    }
+
+    /// Greedy completion of the current partial assignment into a
+    /// feasible point; returns infinity cost on failure.
+    void try_greedy_incumbent() {
+        std::vector<std::uint8_t> x(p.num_vars, 0);
+        for (std::size_t j = 0; j < p.num_vars; ++j) {
+            x[j] = fixed[j] == 1 ? 1 : 0;
+            if (fixed[j] == kFree && p.objective[j] < -kEps) x[j] = 1;
+        }
+        auto lhs = [&](const LpRow& row) {
+            double v = 0.0;
+            for (const auto& [j, c] : row.coeffs) {
+                if (x[j] != 0) v += c;
+            }
+            return v;
+        };
+        // Repair violated rows greedily: flip the free variable with the
+        // best violation-reduction per cost.
+        for (std::size_t round = 0; round < p.num_vars + 1; ++round) {
+            double worst = 0.0;
+            const LpRow* worst_row = nullptr;
+            for (const LpRow& row : p.rows) {
+                const double v = row.rhs - lhs(row);
+                if (v > worst + kEps) {
+                    worst = v;
+                    worst_row = &row;
+                }
+            }
+            if (worst_row == nullptr) break;  // feasible
+            double best_score = -1.0;
+            std::size_t best_j = SIZE_MAX;
+            std::uint8_t best_val = 0;
+            for (const auto& [j, c] : worst_row->coeffs) {
+                if (fixed[j] != kFree) continue;
+                // Raising LHS: set to 1 if c > 0 and currently 0, or to
+                // 0 if c < 0 and currently 1.
+                double gain = 0.0;
+                std::uint8_t val = x[j];
+                if (c > 0 && x[j] == 0) {
+                    gain = c;
+                    val = 1;
+                } else if (c < 0 && x[j] == 1) {
+                    gain = -c;
+                    val = 0;
+                } else {
+                    continue;
+                }
+                const double cost_delta =
+                    val == 1 ? p.objective[j] : -p.objective[j];
+                const double score = gain / (1.0 + std::max(cost_delta, 0.0));
+                if (score > best_score) {
+                    best_score = score;
+                    best_j = j;
+                    best_val = val;
+                }
+            }
+            if (best_j == SIZE_MAX) return;  // cannot repair
+            x[best_j] = best_val;
+        }
+        for (const LpRow& row : p.rows) {
+            if (lhs(row) < row.rhs - kEps) return;
+        }
+        double obj = 0.0;
+        for (std::size_t j = 0; j < p.num_vars; ++j) {
+            if (x[j] != 0) obj += p.objective[j];
+        }
+        if (obj < best_obj - kEps) {
+            best_obj = obj;
+            best_x = std::move(x);
+        }
+    }
+
+    /// LP relaxation over the free variables; returns the global lower
+    /// bound and (optionally) the fractional solution for branching.
+    [[nodiscard]] double lp_bound(std::vector<double>* frac_out) {
+        std::size_t n_free = 0;
+        std::vector<std::uint32_t> var_map(p.num_vars, UINT32_MAX);
+        for (std::size_t j = 0; j < p.num_vars; ++j) {
+            if (fixed[j] == kFree) {
+                var_map[j] = static_cast<std::uint32_t>(n_free++);
+            }
+        }
+        if (n_free == 0 || n_free > cfg.lp_bound_max_vars ||
+            p.rows.size() > cfg.lp_bound_max_rows) {
+            // Cheap bound: fixed cost plus all profitable frees.
+            double b = fixed_cost();
+            for (std::size_t j = 0; j < p.num_vars; ++j) {
+                if (fixed[j] == kFree && p.objective[j] < 0) {
+                    b += p.objective[j];
+                }
+            }
+            return b;
+        }
+        LpProblem sub;
+        sub.num_vars = n_free;
+        sub.objective.resize(n_free);
+        for (std::size_t j = 0; j < p.num_vars; ++j) {
+            if (var_map[j] != UINT32_MAX) {
+                sub.objective[var_map[j]] = p.objective[j];
+            }
+        }
+        for (const LpRow& row : p.rows) {
+            LpRow r;
+            r.rhs = row.rhs;
+            bool any_free = false;
+            for (const auto& [j, c] : row.coeffs) {
+                if (fixed[j] == kFree) {
+                    r.coeffs.emplace_back(var_map[j], c);
+                    any_free = true;
+                } else if (fixed[j] == 1) {
+                    r.rhs -= c;
+                }
+            }
+            if (any_free && r.rhs > -1e18) sub.rows.push_back(std::move(r));
+        }
+        // x <= 1 boxes (as -x >= -1).
+        for (std::uint32_t j = 0; j < n_free; ++j) {
+            LpRow r;
+            r.coeffs.emplace_back(j, -1.0);
+            r.rhs = -1.0;
+            sub.rows.push_back(std::move(r));
+        }
+        const LpSolution sol = solve_lp(sub);
+        if (sol.status == LpStatus::Infeasible) {
+            return std::numeric_limits<double>::infinity();
+        }
+        if (sol.status != LpStatus::Optimal) {
+            double b = fixed_cost();
+            for (std::size_t j = 0; j < p.num_vars; ++j) {
+                if (fixed[j] == kFree && p.objective[j] < 0) {
+                    b += p.objective[j];
+                }
+            }
+            return b;
+        }
+        if (frac_out != nullptr) {
+            frac_out->assign(p.num_vars, 0.0);
+            for (std::size_t j = 0; j < p.num_vars; ++j) {
+                if (var_map[j] != UINT32_MAX) {
+                    (*frac_out)[j] = sol.x[var_map[j]];
+                } else {
+                    (*frac_out)[j] = fixed[j] == 1 ? 1.0 : 0.0;
+                }
+            }
+        }
+        return fixed_cost() + sol.objective;
+    }
+
+    void dfs() {
+        ++nodes;
+        if (out_of_budget()) return;
+
+        std::vector<std::uint32_t> trail;
+        if (!propagate(trail)) {
+            undo(trail);
+            return;
+        }
+
+        std::vector<double> frac;
+        double bound = lp_bound(&frac);
+        if (all_integer_costs) bound = std::ceil(bound - kEps);
+        if (bound >= best_obj - kEps) {
+            undo(trail);
+            return;
+        }
+
+        // Fully fixed and feasible (propagate succeeded, no frees)?
+        std::size_t branch_var = SIZE_MAX;
+        double branch_frac = -1.0;
+        for (std::size_t j = 0; j < p.num_vars; ++j) {
+            if (fixed[j] != kFree) continue;
+            const double f = frac.empty() ? 0.5 : frac[j];
+            const double dist = 0.5 - std::abs(f - 0.5);
+            if (dist > branch_frac) {
+                branch_frac = dist;
+                branch_var = j;
+            }
+        }
+        if (branch_var == SIZE_MAX) {
+            // Integral: record.
+            double obj = fixed_cost();
+            if (obj < best_obj - kEps) {
+                best_obj = obj;
+                best_x.assign(p.num_vars, 0);
+                for (std::size_t j = 0; j < p.num_vars; ++j) {
+                    best_x[j] = fixed[j] == 1 ? 1 : 0;
+                }
+            }
+            undo(trail);
+            return;
+        }
+
+        if (nodes % 64 == 1) try_greedy_incumbent();
+
+        const double f = frac.empty() ? 1.0 : frac[branch_var];
+        const std::int8_t first = f >= 0.5 ? 1 : 0;
+        for (std::int8_t v : {first, static_cast<std::int8_t>(1 - first)}) {
+            fixed[branch_var] = v;
+            dfs();
+            if (budget_exhausted) break;
+        }
+        fixed[branch_var] = kFree;
+        undo(trail);
+    }
+
+    void undo(const std::vector<std::uint32_t>& trail) {
+        for (std::uint32_t j : trail) fixed[j] = kFree;
+    }
+};
+
+}  // namespace
+
+IlpSolution solve_01_ilp(const IlpProblem& problem, const IlpConfig& config) {
+    Search s(problem, config);
+    s.try_greedy_incumbent();
+    s.dfs();
+
+    IlpSolution sol;
+    sol.nodes_explored = s.nodes;
+    if (std::isfinite(s.best_obj)) {
+        sol.feasible = true;
+        sol.objective = s.best_obj;
+        sol.x = s.best_x;
+        sol.proven_optimal = !s.budget_exhausted;
+    }
+    return sol;
+}
+
+}  // namespace fastmon

@@ -1,0 +1,39 @@
+// Zero-one integer linear programming by branch and bound.
+//
+// The paper's scheduling steps are formulated as 0-1 programs solved by
+// a commercial tool with a one-hour timeout (Sec. IV-C / V).  This
+// solver substitutes: depth-first branch and bound with simplex LP
+// relaxation bounds, greedy rounding for incumbents, and a node/time
+// budget mirroring the paper's timeout (results within budget are
+// proven optimal; on exhaustion the best incumbent is returned and
+// flagged).
+#pragma once
+
+#include <cstdint>
+
+#include "opt/lp.hpp"
+
+namespace fastmon {
+
+/// min objective . x  subject to  rows (>=)  and  x in {0,1}^n.
+using IlpProblem = LpProblem;
+
+struct IlpConfig {
+    std::size_t max_nodes = 200000;
+    double time_limit_sec = 30.0;
+    /// LP bounding is skipped above this size (greedy bound only).
+    std::size_t lp_bound_max_vars = 400;
+    std::size_t lp_bound_max_rows = 400;
+};
+
+struct IlpSolution {
+    bool feasible = false;
+    bool proven_optimal = false;
+    double objective = 0.0;
+    std::vector<std::uint8_t> x;
+    std::size_t nodes_explored = 0;
+};
+
+IlpSolution solve_01_ilp(const IlpProblem& problem, const IlpConfig& config = {});
+
+}  // namespace fastmon

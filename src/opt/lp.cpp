@@ -1,0 +1,206 @@
+#include "opt/lp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace fastmon {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+/// Dense simplex tableau.  Columns: structural vars, surplus vars,
+/// artificial vars, RHS.  One row per constraint plus the objective row.
+class Tableau {
+public:
+    Tableau(const LpProblem& p) {
+        m_ = p.rows.size();
+        n_ = p.num_vars;
+        n_surplus_ = m_;
+        // Artificial variables only for rows whose canonical form
+        // (b >= 0) cannot use the surplus as the initial basic variable.
+        art_of_row_.assign(m_, SIZE_MAX);
+        std::size_t n_art = 0;
+        for (std::size_t r = 0; r < m_; ++r) {
+            if (p.rows[r].rhs > kEps) art_of_row_[r] = n_art++;
+        }
+        n_art_ = n_art;
+        cols_ = n_ + n_surplus_ + n_art_ + 1;
+        a_.assign(m_ + 1, std::vector<double>(cols_, 0.0));
+        basis_.assign(m_, 0);
+
+        for (std::size_t r = 0; r < m_; ++r) {
+            const LpRow& row = p.rows[r];
+            const double b = row.rhs;
+            // a.x - s = b  (s surplus >= 0).
+            const double sign = b > kEps ? 1.0 : -1.0;  // canonicalize rhs >= 0
+            for (const auto& [v, c] : row.coeffs) {
+                a_[r][v] += sign * c;
+            }
+            a_[r][n_ + r] = -sign;  // surplus
+            a_[r][cols_ - 1] = sign * b;
+            if (art_of_row_[r] != SIZE_MAX) {
+                a_[r][n_ + n_surplus_ + art_of_row_[r]] = 1.0;
+                basis_[r] = n_ + n_surplus_ + art_of_row_[r];
+            } else {
+                // rhs <= 0 canonicalized: the (negated) surplus column has
+                // coefficient +1 and can start basic.
+                basis_[r] = n_ + r;
+            }
+        }
+    }
+
+    /// Phase 1: minimize the sum of artificials.
+    LpStatus phase1(std::size_t& iters, std::size_t max_iters) {
+        if (n_art_ == 0) return LpStatus::Optimal;
+        auto& z = a_[m_];
+        std::fill(z.begin(), z.end(), 0.0);
+        for (std::size_t j = n_ + n_surplus_; j < cols_ - 1; ++j) z[j] = 1.0;
+        price_out();
+        const LpStatus st = iterate(iters, max_iters);
+        if (st != LpStatus::Optimal) return st;
+        if (-a_[m_][cols_ - 1] > 1e-6) return LpStatus::Infeasible;
+        // Pivot any artificial still (degenerately) in the basis out.
+        for (std::size_t r = 0; r < m_; ++r) {
+            if (basis_[r] < n_ + n_surplus_) continue;
+            bool pivoted = false;
+            for (std::size_t j = 0; j < n_ + n_surplus_ && !pivoted; ++j) {
+                if (std::abs(a_[r][j]) > kEps) {
+                    pivot(r, j);
+                    pivoted = true;
+                }
+            }
+            // A row with no eligible column is redundant; leave it.
+        }
+        return LpStatus::Optimal;
+    }
+
+    LpStatus phase2(const LpProblem& p, std::size_t& iters,
+                    std::size_t max_iters) {
+        auto& z = a_[m_];
+        std::fill(z.begin(), z.end(), 0.0);
+        for (std::size_t j = 0; j < n_; ++j) z[j] = p.objective[j];
+        // Forbid artificials from re-entering.
+        for (std::size_t j = n_ + n_surplus_; j < cols_ - 1; ++j) {
+            z[j] = std::numeric_limits<double>::infinity();
+        }
+        price_out();
+        return iterate(iters, max_iters);
+    }
+
+    [[nodiscard]] std::vector<double> extract(std::size_t num_vars) const {
+        std::vector<double> x(num_vars, 0.0);
+        for (std::size_t r = 0; r < m_; ++r) {
+            if (basis_[r] < num_vars) x[basis_[r]] = a_[r][cols_ - 1];
+        }
+        return x;
+    }
+
+    [[nodiscard]] double objective_value() const { return -a_[m_][cols_ - 1]; }
+
+private:
+    void price_out() {
+        // Make reduced costs of basic columns zero.
+        for (std::size_t r = 0; r < m_; ++r) {
+            const std::size_t j = basis_[r];
+            const double cj = a_[m_][j];
+            if (std::isinf(cj)) continue;  // artificial basic after phase 1
+            if (std::abs(cj) <= kEps) continue;
+            for (std::size_t k = 0; k < cols_; ++k) {
+                a_[m_][k] -= cj * a_[r][k];
+            }
+        }
+    }
+
+    void pivot(std::size_t row, std::size_t col) {
+        const double piv = a_[row][col];
+        for (std::size_t k = 0; k < cols_; ++k) a_[row][k] /= piv;
+        for (std::size_t r = 0; r <= m_; ++r) {
+            if (r == row) continue;
+            const double f = a_[r][col];
+            if (std::abs(f) <= kEps || std::isinf(f)) continue;
+            for (std::size_t k = 0; k < cols_; ++k) {
+                a_[r][k] -= f * a_[row][k];
+            }
+        }
+        basis_[row] = col;
+    }
+
+    LpStatus iterate(std::size_t& iters, std::size_t max_iters) {
+        for (;;) {
+            if (iters++ > max_iters) return LpStatus::IterationLimit;
+            // Bland's rule: first column with negative reduced cost.
+            std::size_t enter = SIZE_MAX;
+            for (std::size_t j = 0; j < cols_ - 1; ++j) {
+                const double rc = a_[m_][j];
+                if (!std::isinf(rc) && rc < -kEps) {
+                    enter = j;
+                    break;
+                }
+            }
+            if (enter == SIZE_MAX) return LpStatus::Optimal;
+            // Ratio test, Bland tie-break on basis index.
+            std::size_t leave = SIZE_MAX;
+            double best = std::numeric_limits<double>::infinity();
+            for (std::size_t r = 0; r < m_; ++r) {
+                if (a_[r][enter] > kEps) {
+                    const double ratio = a_[r][cols_ - 1] / a_[r][enter];
+                    if (ratio < best - kEps ||
+                        (ratio < best + kEps &&
+                         (leave == SIZE_MAX || basis_[r] < basis_[leave]))) {
+                        best = ratio;
+                        leave = r;
+                    }
+                }
+            }
+            if (leave == SIZE_MAX) return LpStatus::Unbounded;
+            pivot(leave, enter);
+        }
+    }
+
+    std::size_t m_ = 0;
+    std::size_t n_ = 0;
+    std::size_t n_surplus_ = 0;
+    std::size_t n_art_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<std::vector<double>> a_;
+    std::vector<std::size_t> basis_;
+    std::vector<std::size_t> art_of_row_;
+};
+
+}  // namespace
+
+LpSolution solve_lp(const LpProblem& problem, std::size_t max_iterations) {
+    LpSolution sol;
+    if (problem.num_vars == 0) {
+        // Feasible iff no row demands a positive rhs.
+        for (const LpRow& r : problem.rows) {
+            if (r.rhs > kEps) {
+                sol.status = LpStatus::Infeasible;
+                return sol;
+            }
+        }
+        sol.status = LpStatus::Optimal;
+        return sol;
+    }
+    Tableau t(problem);
+    std::size_t iters = 0;
+    LpStatus st = t.phase1(iters, max_iterations);
+    if (st != LpStatus::Optimal) {
+        sol.status = st;
+        return sol;
+    }
+    st = t.phase2(problem, iters, max_iterations);
+    sol.status = st;
+    if (st == LpStatus::Optimal) {
+        sol.x = t.extract(problem.num_vars);
+        sol.objective = 0.0;
+        for (std::size_t j = 0; j < problem.num_vars; ++j) {
+            sol.objective += problem.objective[j] * sol.x[j];
+        }
+    }
+    return sol;
+}
+
+}  // namespace fastmon

@@ -1,0 +1,43 @@
+// Dense two-phase primal simplex.
+//
+// Solves  min c.x  s.t.  A x >= b,  x >= 0  — the linear relaxation of
+// the zero-one covering programs of Sec. IV-C.  The paper uses a
+// commercial solver; this self-contained implementation (Bland's rule,
+// two phases with artificial variables) replaces it for the problem
+// sizes that survive the set-cover reductions.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace fastmon {
+
+struct LpRow {
+    /// Sparse coefficients: (variable index, value).
+    std::vector<std::pair<std::uint32_t, double>> coeffs;
+    double rhs = 0.0;  ///< constraint is  coeffs . x >= rhs
+};
+
+struct LpProblem {
+    std::size_t num_vars = 0;
+    std::vector<double> objective;  ///< minimized; size == num_vars
+    std::vector<LpRow> rows;
+};
+
+enum class LpStatus : std::uint8_t {
+    Optimal,
+    Infeasible,
+    Unbounded,
+    IterationLimit,
+};
+
+struct LpSolution {
+    LpStatus status = LpStatus::IterationLimit;
+    double objective = 0.0;
+    std::vector<double> x;
+};
+
+/// Solves the LP; `max_iterations` bounds total pivots over both phases.
+LpSolution solve_lp(const LpProblem& problem, std::size_t max_iterations = 50000);
+
+}  // namespace fastmon

@@ -1,0 +1,466 @@
+#include "opt/set_cover.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <map>
+#include <numeric>
+
+namespace fastmon {
+
+std::uint64_t SetCoverInstance::total_weight() const {
+    if (element_weight.empty()) return num_elements;
+    return std::accumulate(element_weight.begin(), element_weight.end(),
+                           std::uint64_t{0});
+}
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t coverage_target(const SetCoverInstance& inst, double coverage) {
+    const double t = coverage * static_cast<double>(inst.total_weight());
+    return static_cast<std::uint64_t>(std::ceil(t - 1e-9));
+}
+
+}  // namespace
+
+SetCoverResult greedy_set_cover(const SetCoverInstance& instance,
+                                const SetCoverOptions& options) {
+    SetCoverResult result;
+    const std::uint64_t target = coverage_target(instance, options.coverage);
+    std::vector<bool> covered(instance.num_elements, false);
+    std::vector<bool> used(instance.sets.size(), false);
+    std::uint64_t covered_weight = 0;
+
+    while (covered_weight < target) {
+        std::size_t best = SIZE_MAX;
+        std::uint64_t best_gain = 0;
+        for (std::size_t s = 0; s < instance.sets.size(); ++s) {
+            if (used[s]) continue;
+            std::uint64_t gain = 0;
+            for (std::uint32_t e : instance.sets[s]) {
+                if (!covered[e]) gain += instance.weight_of(e);
+            }
+            if (gain > best_gain) {
+                best_gain = gain;
+                best = s;
+            }
+        }
+        if (best == SIZE_MAX) break;  // nothing improves coverage
+        used[best] = true;
+        result.chosen.push_back(static_cast<std::uint32_t>(best));
+        for (std::uint32_t e : instance.sets[best]) {
+            if (!covered[e]) {
+                covered[e] = true;
+                covered_weight += instance.weight_of(e);
+            }
+        }
+    }
+    std::sort(result.chosen.begin(), result.chosen.end());
+    result.covered_weight = covered_weight;
+    result.feasible = covered_weight >= target;
+    return result;
+}
+
+namespace {
+
+/// Reduced instance after preprocessing, with maps back to the original.
+struct Reduced {
+    SetCoverInstance inst;                ///< merged elements, pruned sets
+    std::vector<std::uint32_t> set_map;   ///< reduced set -> original set
+    std::vector<std::uint32_t> forced;    ///< original sets forced (essential)
+    std::uint64_t forced_weight = 0;      ///< weight covered by forced sets
+    std::uint64_t uncoverable_weight = 0; ///< weight no set covers
+};
+
+Reduced preprocess(const SetCoverInstance& instance, bool full_cover) {
+    Reduced red;
+
+    // element -> covering sets.
+    std::vector<std::vector<std::uint32_t>> cover_by(instance.num_elements);
+    for (std::uint32_t s = 0; s < instance.sets.size(); ++s) {
+        for (std::uint32_t e : instance.sets[s]) cover_by[e].push_back(s);
+    }
+
+    std::vector<bool> element_removed(instance.num_elements, false);
+    std::vector<bool> set_forced(instance.sets.size(), false);
+
+    for (std::uint32_t e = 0; e < instance.num_elements; ++e) {
+        if (cover_by[e].empty()) {
+            element_removed[e] = true;
+            red.uncoverable_weight += instance.weight_of(e);
+        }
+    }
+
+    // Essential sets (full cover only): an element with exactly one
+    // covering set forces that set; iterate to closure.
+    if (full_cover) {
+        bool changed = true;
+        while (changed) {
+            changed = false;
+            for (std::uint32_t e = 0; e < instance.num_elements; ++e) {
+                if (element_removed[e] || cover_by[e].size() != 1) continue;
+                const std::uint32_t s = cover_by[e][0];
+                if (set_forced[s]) {
+                    element_removed[e] = true;
+                    red.forced_weight += instance.weight_of(e);
+                    continue;
+                }
+                set_forced[s] = true;
+                changed = true;
+                for (std::uint32_t ce : instance.sets[s]) {
+                    if (!element_removed[ce]) {
+                        element_removed[ce] = true;
+                        red.forced_weight += instance.weight_of(ce);
+                    }
+                }
+            }
+        }
+        for (std::uint32_t s = 0; s < instance.sets.size(); ++s) {
+            if (set_forced[s]) red.forced.push_back(s);
+        }
+    }
+
+    // Merge elements with identical covering-set signatures (restricted
+    // to non-forced sets).
+    std::map<std::vector<std::uint32_t>, std::uint32_t> signature_to_new;
+    std::vector<std::uint32_t> new_weight;
+    std::vector<std::vector<std::uint32_t>> new_cover_by;
+    for (std::uint32_t e = 0; e < instance.num_elements; ++e) {
+        if (element_removed[e]) continue;
+        std::vector<std::uint32_t> sig;
+        for (std::uint32_t s : cover_by[e]) {
+            if (!set_forced[s]) sig.push_back(s);
+        }
+        if (sig.empty()) continue;  // only coverable by forced sets
+        auto [it, inserted] = signature_to_new.emplace(
+            std::move(sig), static_cast<std::uint32_t>(new_weight.size()));
+        if (inserted) {
+            new_weight.push_back(instance.weight_of(e));
+            new_cover_by.push_back(it->first);
+        } else {
+            new_weight[it->second] += instance.weight_of(e);
+        }
+    }
+
+    // Rebuild sets over merged elements.
+    std::vector<std::vector<std::uint32_t>> new_sets(instance.sets.size());
+    for (std::uint32_t ne = 0; ne < new_cover_by.size(); ++ne) {
+        for (std::uint32_t s : new_cover_by[ne]) new_sets[s].push_back(ne);
+    }
+
+    // Drop empty and dominated sets (unit costs: a subset of another set
+    // is never needed).  Subset checks only for moderate set counts.
+    std::vector<std::uint32_t> alive;
+    for (std::uint32_t s = 0; s < new_sets.size(); ++s) {
+        if (!new_sets[s].empty() && !set_forced[s]) alive.push_back(s);
+    }
+    // Exact-duplicate removal.
+    {
+        std::map<std::vector<std::uint32_t>, std::uint32_t> seen;
+        std::vector<std::uint32_t> kept;
+        for (std::uint32_t s : alive) {
+            auto [it, inserted] = seen.emplace(new_sets[s], s);
+            if (inserted) kept.push_back(s);
+        }
+        alive = std::move(kept);
+    }
+    if (alive.size() <= 768) {
+        std::vector<bool> dominated(new_sets.size(), false);
+        for (std::uint32_t a : alive) {
+            for (std::uint32_t b : alive) {
+                if (a == b || dominated[a] || dominated[b]) continue;
+                if (new_sets[a].size() < new_sets[b].size() ||
+                    (new_sets[a].size() == new_sets[b].size() && a > b)) {
+                    continue;
+                }
+                if (std::includes(new_sets[a].begin(), new_sets[a].end(),
+                                  new_sets[b].begin(), new_sets[b].end())) {
+                    dominated[b] = true;
+                }
+            }
+        }
+        std::erase_if(alive,
+                      [&dominated](std::uint32_t s) { return dominated[s]; });
+    }
+
+    red.inst.num_elements = static_cast<std::uint32_t>(new_weight.size());
+    red.inst.element_weight = std::move(new_weight);
+    for (std::uint32_t s : alive) {
+        red.set_map.push_back(s);
+        red.inst.sets.push_back(std::move(new_sets[s]));
+    }
+    return red;
+}
+
+/// Exact branch and bound on a (preprocessed) instance.
+struct CoverSearch {
+    const SetCoverInstance& inst;
+    std::uint64_t target;
+    Clock::time_point deadline;
+    std::size_t max_nodes;
+
+    std::vector<std::vector<std::uint32_t>> cover_by;
+    std::vector<bool> covered;
+    std::vector<bool> chosen;
+    std::vector<std::uint64_t> set_weight;  // static total weight per set
+    std::uint64_t covered_weight = 0;
+    std::size_t chosen_count = 0;
+
+    std::size_t best_count = SIZE_MAX;
+    std::vector<bool> best_chosen;
+    std::size_t nodes = 0;
+    bool exhausted = false;
+    std::uint64_t max_set_weight = 1;
+
+    CoverSearch(const SetCoverInstance& instance, std::uint64_t tgt,
+                const SetCoverOptions& options)
+        : inst(instance), target(tgt) {
+        deadline = Clock::now() +
+                   std::chrono::duration_cast<Clock::duration>(
+                       std::chrono::duration<double>(options.time_limit_sec));
+        max_nodes = options.max_nodes;
+        cover_by.resize(inst.num_elements);
+        for (std::uint32_t s = 0; s < inst.sets.size(); ++s) {
+            std::uint64_t w = 0;
+            for (std::uint32_t e : inst.sets[s]) {
+                cover_by[e].push_back(s);
+                w += inst.weight_of(e);
+            }
+            set_weight.push_back(w);
+            max_set_weight = std::max(max_set_weight, std::max<std::uint64_t>(w, 1));
+        }
+        covered.assign(inst.num_elements, false);
+        chosen.assign(inst.sets.size(), false);
+    }
+
+    [[nodiscard]] bool out_of_budget() {
+        if (nodes > max_nodes || Clock::now() > deadline) {
+            exhausted = true;
+            return true;
+        }
+        return false;
+    }
+
+    void seed_incumbent(const SetCoverResult& greedy) {
+        if (!greedy.feasible) return;
+        best_count = greedy.chosen.size();
+        best_chosen.assign(inst.sets.size(), false);
+        for (std::uint32_t s : greedy.chosen) best_chosen[s] = true;
+    }
+
+    std::vector<std::uint32_t> apply(std::uint32_t s) {
+        std::vector<std::uint32_t> newly;
+        chosen[s] = true;
+        ++chosen_count;
+        for (std::uint32_t e : inst.sets[s]) {
+            if (!covered[e]) {
+                covered[e] = true;
+                covered_weight += inst.weight_of(e);
+                newly.push_back(e);
+            }
+        }
+        return newly;
+    }
+
+    void unapply(std::uint32_t s, const std::vector<std::uint32_t>& newly) {
+        chosen[s] = false;
+        --chosen_count;
+        for (std::uint32_t e : newly) {
+            covered[e] = false;
+            covered_weight -= inst.weight_of(e);
+        }
+    }
+
+    void record() {
+        if (chosen_count < best_count) {
+            best_count = chosen_count;
+            best_chosen = chosen;
+        }
+    }
+
+    /// Full-cover DFS with element branching.
+    void dfs_full() {
+        ++nodes;
+        if (out_of_budget()) return;
+        if (covered_weight >= target) {
+            record();
+            return;
+        }
+        // Bound: remaining uncovered weight / largest set weight.
+        const std::uint64_t remaining = target - covered_weight;
+        const std::size_t lb =
+            chosen_count + static_cast<std::size_t>(
+                               (remaining + max_set_weight - 1) / max_set_weight);
+        if (lb >= best_count) return;
+
+        // Branch on the uncovered element with the fewest covering sets.
+        std::uint32_t pick = UINT32_MAX;
+        std::size_t pick_degree = SIZE_MAX;
+        for (std::uint32_t e = 0; e < inst.num_elements; ++e) {
+            if (covered[e]) continue;
+            if (cover_by[e].size() < pick_degree) {
+                pick_degree = cover_by[e].size();
+                pick = e;
+            }
+        }
+        if (pick == UINT32_MAX) return;  // nothing uncovered but weight? no
+        // Try covering sets, largest static weight first.
+        std::vector<std::uint32_t> order = cover_by[pick];
+        std::sort(order.begin(), order.end(),
+                  [this](std::uint32_t a, std::uint32_t b) {
+                      return set_weight[a] > set_weight[b];
+                  });
+        for (std::uint32_t s : order) {
+            if (chosen[s]) continue;
+            const auto newly = apply(s);
+            dfs_full();
+            unapply(s, newly);
+            if (exhausted) return;
+        }
+    }
+
+    /// Partial-cover DFS: include/exclude in static-weight order.
+    void dfs_partial(std::size_t idx,
+                     const std::vector<std::uint32_t>& order,
+                     const std::vector<std::uint64_t>& suffix_best) {
+        ++nodes;
+        if (out_of_budget()) return;
+        if (covered_weight >= target) {
+            record();
+            return;
+        }
+        if (idx >= order.size()) return;
+        // Bound: how many further sets are needed if each contributed its
+        // full static weight (sorted descending)?
+        const std::uint64_t remaining = target - covered_weight;
+        std::uint64_t acc = 0;
+        std::size_t need = 0;
+        for (std::size_t k = idx; k < order.size() && acc < remaining; ++k) {
+            acc += set_weight[order[k]];
+            ++need;
+        }
+        if (acc < remaining || chosen_count + need >= best_count) return;
+        (void)suffix_best;
+
+        // Include.
+        const std::uint32_t s = order[idx];
+        const auto newly = apply(s);
+        if (chosen_count < best_count) {
+            dfs_partial(idx + 1, order, suffix_best);
+        }
+        unapply(s, newly);
+        if (exhausted) return;
+        // Exclude.
+        dfs_partial(idx + 1, order, suffix_best);
+    }
+};
+
+}  // namespace
+
+SetCoverResult solve_set_cover(const SetCoverInstance& instance,
+                               const SetCoverOptions& options) {
+    const bool full = options.coverage >= 1.0 - 1e-12;
+    const std::uint64_t global_target =
+        coverage_target(instance, options.coverage);
+
+    const Reduced red = preprocess(instance, full);
+    const SetCoverResult greedy_fallback = greedy_set_cover(instance, options);
+
+    // Residual target for the reduced instance.
+    const std::uint64_t already = red.forced_weight;
+    if (full && red.uncoverable_weight > 0) {
+        // Full cover impossible; report the greedy best effort.
+        SetCoverResult r = greedy_fallback;
+        r.feasible = false;
+        return r;
+    }
+    std::uint64_t reduced_target =
+        global_target > already ? global_target - already : 0;
+    reduced_target = std::min<std::uint64_t>(reduced_target,
+                                             red.inst.total_weight());
+
+    // Greedy incumbent on the reduced instance.
+    SetCoverOptions reduced_opts = options;
+    reduced_opts.coverage = red.inst.total_weight() == 0
+                                ? 1.0
+                                : static_cast<double>(reduced_target) /
+                                      static_cast<double>(red.inst.total_weight());
+    CoverSearch search(red.inst, reduced_target, options);
+    search.seed_incumbent(greedy_set_cover(red.inst, reduced_opts));
+
+    if (reduced_target > 0) {
+        if (full) {
+            search.dfs_full();
+        } else {
+            std::vector<std::uint32_t> order(red.inst.sets.size());
+            std::iota(order.begin(), order.end(), 0);
+            std::sort(order.begin(), order.end(),
+                      [&search](std::uint32_t a, std::uint32_t b) {
+                          return search.set_weight[a] > search.set_weight[b];
+                      });
+            search.dfs_partial(0, order, {});
+        }
+    } else {
+        search.best_count = 0;
+        search.best_chosen.assign(red.inst.sets.size(), false);
+    }
+
+    SetCoverResult result;
+    if (search.best_count == SIZE_MAX) {
+        // No feasible cover found within budget; fall back to greedy.
+        result = greedy_fallback;
+        result.proven_optimal = false;
+        return result;
+    }
+    for (std::uint32_t s : red.forced) result.chosen.push_back(s);
+    for (std::uint32_t rs = 0; rs < red.inst.sets.size(); ++rs) {
+        if (search.best_chosen.size() > rs && search.best_chosen[rs]) {
+            result.chosen.push_back(red.set_map[rs]);
+        }
+    }
+    std::sort(result.chosen.begin(), result.chosen.end());
+    result.proven_optimal = !search.exhausted;
+
+    // Recompute covered weight on the original instance.
+    std::vector<bool> covered(instance.num_elements, false);
+    for (std::uint32_t s : result.chosen) {
+        for (std::uint32_t e : instance.sets[s]) covered[e] = true;
+    }
+    for (std::uint32_t e = 0; e < instance.num_elements; ++e) {
+        if (covered[e]) result.covered_weight += instance.weight_of(e);
+    }
+    result.feasible = result.covered_weight >= global_target;
+
+    // The greedy fallback occasionally beats an exhausted search.
+    if (!result.feasible ||
+        (greedy_fallback.feasible &&
+         greedy_fallback.chosen.size() < result.chosen.size())) {
+        if (greedy_fallback.feasible) {
+            SetCoverResult r = greedy_fallback;
+            r.proven_optimal = false;
+            return r;
+        }
+    }
+    return result;
+}
+
+IlpProblem set_cover_to_ilp(const SetCoverInstance& instance) {
+    IlpProblem p;
+    p.num_vars = instance.sets.size();
+    p.objective.assign(p.num_vars, 1.0);
+    std::vector<LpRow> rows(instance.num_elements);
+    for (std::uint32_t s = 0; s < instance.sets.size(); ++s) {
+        for (std::uint32_t e : instance.sets[s]) {
+            rows[e].coeffs.emplace_back(s, 1.0);
+        }
+    }
+    for (LpRow& r : rows) {
+        r.rhs = 1.0;
+        if (!r.coeffs.empty()) p.rows.push_back(std::move(r));
+    }
+    return p;
+}
+
+}  // namespace fastmon

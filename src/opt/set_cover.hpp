@@ -1,0 +1,63 @@
+// (Partial) set covering — the combinatorial core of both scheduling
+// steps (Sec. IV-B): frequency selection covers target faults with test
+// periods; pattern-configuration selection covers the per-frequency
+// fault sets with (pattern, configuration) pairs.
+//
+// Instances are preprocessed (identical-element merging, essential
+// sets, set dominance) and solved either greedily (the baseline
+// heuristic of [17]) or exactly by the 0-1 branch-and-bound solver
+// within a node/time budget, analogous to the paper's commercial ILP
+// with a 1 h timeout.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "opt/ilp.hpp"
+
+namespace fastmon {
+
+struct SetCoverInstance {
+    std::uint32_t num_elements = 0;
+    /// Element weights (empty = all 1); partial coverage targets count
+    /// weight, e.g. merged fault classes carry their multiplicity.
+    std::vector<std::uint32_t> element_weight;
+    /// sets[s] lists the element ids covered by set s (sorted, unique).
+    std::vector<std::vector<std::uint32_t>> sets;
+
+    [[nodiscard]] std::uint64_t total_weight() const;
+    [[nodiscard]] std::uint32_t weight_of(std::uint32_t element) const {
+        return element_weight.empty() ? 1 : element_weight[element];
+    }
+};
+
+struct SetCoverOptions {
+    /// Fraction of the total element weight that must be covered
+    /// (1.0 = full cover).
+    double coverage = 1.0;
+    std::size_t max_nodes = 200000;
+    double time_limit_sec = 10.0;
+};
+
+struct SetCoverResult {
+    std::vector<std::uint32_t> chosen;  ///< selected set indices (sorted)
+    std::uint64_t covered_weight = 0;
+    bool feasible = false;
+    bool proven_optimal = false;
+};
+
+/// Greedy heuristic: repeatedly pick the set covering the most
+/// uncovered weight (ties: lowest index).
+SetCoverResult greedy_set_cover(const SetCoverInstance& instance,
+                                const SetCoverOptions& options = {});
+
+/// Exact (within budget) solver via preprocessing + branch and bound.
+/// Falls back to the greedy incumbent when the budget is exhausted.
+SetCoverResult solve_set_cover(const SetCoverInstance& instance,
+                               const SetCoverOptions& options = {});
+
+/// Formulates the *full* cover instance as a 0-1 ILP (used for
+/// cross-checking solve_set_cover in tests).
+IlpProblem set_cover_to_ilp(const SetCoverInstance& instance);
+
+}  // namespace fastmon

@@ -1,0 +1,126 @@
+#include "schedule/clock_gen.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fastmon {
+
+ClockGenerator::ClockGenerator(ClockGenConfig config) : config_(config) {
+    // Enumerate the realizable grid once.  Ratios repeat (e.g. 2/16 ==
+    // 1/8); keep the first witness per distinct period.
+    for (std::uint32_t m = config_.multiplier_min; m <= config_.multiplier_max;
+         ++m) {
+        for (std::uint32_t d = config_.divider_min; d <= config_.divider_max;
+             ++d) {
+            const Time period = config_.reference_period *
+                                static_cast<Time>(d) / static_cast<Time>(m);
+            grid_.push_back(ClockSetting{m, d, period});
+        }
+    }
+    std::sort(grid_.begin(), grid_.end(),
+              [](const ClockSetting& a, const ClockSetting& b) {
+                  return a.period < b.period;
+              });
+    grid_.erase(std::unique(grid_.begin(), grid_.end(),
+                            [](const ClockSetting& a, const ClockSetting& b) {
+                                return std::abs(a.period - b.period) <=
+                                       kTimeEps;
+                            }),
+                grid_.end());
+}
+
+std::optional<ClockSetting> ClockGenerator::quantize(Time period, Time lo,
+                                                     Time hi) const {
+    auto it = std::lower_bound(
+        grid_.begin(), grid_.end(), period,
+        [](const ClockSetting& s, Time p) { return s.period < p; });
+    // Candidates: nearest on each side; prefer the closer one inside
+    // [lo, hi).
+    std::optional<ClockSetting> best;
+    auto consider = [&](std::vector<ClockSetting>::const_iterator c) {
+        if (c == grid_.end()) return;
+        if (c->period < lo || c->period >= hi) return;
+        if (!best ||
+            std::abs(c->period - period) < std::abs(best->period - period)) {
+            best = *c;
+        }
+    };
+    consider(it);
+    if (it != grid_.begin()) consider(std::prev(it));
+    if (best) return best;
+    // Fall back to any grid point inside the window (closest to period).
+    auto lo_it = std::lower_bound(
+        grid_.begin(), grid_.end(), lo,
+        [](const ClockSetting& s, Time p) { return s.period < p; });
+    if (lo_it != grid_.end() && lo_it->period < hi) return *lo_it;
+    return std::nullopt;
+}
+
+ClockSetting ClockGenerator::nearest(Time period) const {
+    auto it = std::lower_bound(
+        grid_.begin(), grid_.end(), period,
+        [](const ClockSetting& s, Time p) { return s.period < p; });
+    if (it == grid_.end()) return grid_.back();
+    if (it == grid_.begin()) return grid_.front();
+    const ClockSetting& hi = *it;
+    const ClockSetting& lo = *std::prev(it);
+    return std::abs(hi.period - period) < std::abs(lo.period - period) ? hi
+                                                                       : lo;
+}
+
+double ClockGenerator::max_relative_error(Time lo, Time hi,
+                                          std::size_t samples) const {
+    double worst = 0.0;
+    for (std::size_t k = 0; k < samples; ++k) {
+        const Time p = lo + (hi - lo) * static_cast<Time>(k) /
+                                static_cast<Time>(samples - 1);
+        const ClockSetting s = nearest(p);
+        worst = std::max(worst, std::abs(s.period - p) / p);
+    }
+    return worst;
+}
+
+QuantizedSelection quantize_selection(
+    const ClockGenerator& gen, std::span<const Time> periods,
+    std::span<const IntervalSet> fault_ranges) {
+    QuantizedSelection out;
+    for (Time t : periods) {
+        // Stay within a +-2 % band around the requested period (beyond
+        // that the candidate leaves its elementary interval anyway).
+        const auto setting = gen.quantize(t, 0.98 * t, 1.02 * t);
+        if (setting) {
+            out.settings.push_back(*setting);
+            out.periods.push_back(setting->period);
+        } else {
+            const ClockSetting fallback = gen.nearest(t);
+            out.settings.push_back(fallback);
+            out.periods.push_back(fallback.period);
+            ++out.unrealizable;
+        }
+    }
+    // Coverage re-check: a fault keeps coverage if ANY realized period
+    // lies in its range.
+    for (std::uint32_t fi = 0; fi < fault_ranges.size(); ++fi) {
+        const IntervalSet& r = fault_ranges[fi];
+        if (r.empty()) continue;
+        bool ideal_covered = false;
+        for (Time t : periods) {
+            if (r.contains(t)) {
+                ideal_covered = true;
+                break;
+            }
+        }
+        if (!ideal_covered) continue;  // was never covered; not a loss
+        bool still = false;
+        for (Time t : out.periods) {
+            if (r.contains(t)) {
+                still = true;
+                break;
+            }
+        }
+        if (!still) out.coverage_lost.push_back(fi);
+    }
+    return out;
+}
+
+}  // namespace fastmon

@@ -1,0 +1,92 @@
+// Programmable test clock generation.
+//
+// The paper's test time argument rests on PLL-based clock generators
+// ([21], [22]: a 4-PLL spread-spectrum part): every frequency switch
+// costs a relock, and — equally important for deployment — only a
+// discrete grid of periods is realizable (reference / divider /
+// multiplier combinations).  This model quantizes ideal observation
+// times onto a realizable grid and re-validates a frequency selection
+// under quantization: a candidate period that cannot be realized
+// inside every detection interval it pierces costs coverage.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "util/interval.hpp"
+
+namespace fastmon {
+
+struct ClockGenConfig {
+    /// Reference oscillator period (ps).
+    Time reference_period = 10000.0;  // 100 MHz crystal
+    /// Feedback multiplier range (VCO multiplication).
+    std::uint32_t multiplier_min = 8;
+    std::uint32_t multiplier_max = 128;
+    /// Output divider range.
+    std::uint32_t divider_min = 1;
+    std::uint32_t divider_max = 512;
+    /// Relock time per reprogramming, in reference cycles.
+    double relock_reference_cycles = 200.0;
+};
+
+/// A realizable PLL setting: period = reference * divider / multiplier.
+struct ClockSetting {
+    std::uint32_t multiplier = 1;
+    std::uint32_t divider = 1;
+    Time period = 0.0;
+};
+
+class ClockGenerator {
+public:
+    explicit ClockGenerator(ClockGenConfig config = {});
+
+    /// The closest realizable setting to `period` within [lo, hi);
+    /// std::nullopt if no setting lands in the window.
+    [[nodiscard]] std::optional<ClockSetting> quantize(
+        Time period, Time lo, Time hi) const;
+
+    /// Closest realizable setting to `period`, unconstrained.
+    [[nodiscard]] ClockSetting nearest(Time period) const;
+
+    /// Worst-case relative quantization error over [lo, hi] (sampled on
+    /// the realizable grid): max over requested periods of
+    /// |realized - requested| / requested.
+    [[nodiscard]] double max_relative_error(Time lo, Time hi,
+                                            std::size_t samples = 256) const;
+
+    /// Relock duration in ps.
+    [[nodiscard]] Time relock_time() const {
+        return config_.relock_reference_cycles * config_.reference_period;
+    }
+
+    [[nodiscard]] const ClockGenConfig& config() const { return config_; }
+
+private:
+    ClockGenConfig config_;
+    /// All realizable periods (sorted, deduplicated) with one witness
+    /// setting each.
+    std::vector<ClockSetting> grid_;
+};
+
+/// Result of quantizing a frequency selection.
+struct QuantizedSelection {
+    std::vector<ClockSetting> settings;   ///< per input period (kept order)
+    std::vector<Time> periods;            ///< realized periods
+    std::size_t unrealizable = 0;         ///< periods with no in-window setting
+    /// Faults (indices into the range span) that lost coverage because
+    /// their piercing period moved outside their detection range.
+    std::vector<std::uint32_t> coverage_lost;
+};
+
+/// Quantizes `periods` against the detection ranges they must pierce:
+/// each period is replaced by the nearest realizable period that stays
+/// within the same elementary region where possible; coverage loss is
+/// reported per fault.
+QuantizedSelection quantize_selection(const ClockGenerator& gen,
+                                      std::span<const Time> periods,
+                                      std::span<const IntervalSet> fault_ranges);
+
+}  // namespace fastmon

@@ -1,0 +1,141 @@
+#include "schedule/discretize.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace fastmon {
+
+namespace {
+
+/// Sweep over interval endpoints: candidate times (midpoint of the
+/// elementary interval preceding each closing boundary) plus the number
+/// of detection ranges active there.
+struct RawCandidates {
+    std::vector<Time> times;
+    std::vector<std::uint32_t> counts;
+};
+
+RawCandidates sweep_candidates(std::span<const IntervalSet> fault_ranges) {
+    struct Event {
+        Time t;
+        bool open;
+    };
+    std::vector<Event> events;
+    for (const IntervalSet& r : fault_ranges) {
+        for (const Interval& iv : r.intervals()) {
+            events.push_back(Event{iv.lo, true});
+            events.push_back(Event{iv.hi, false});
+        }
+    }
+    RawCandidates raw;
+    if (events.empty()) return raw;
+    std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+        if (a.t != b.t) return a.t < b.t;
+        return a.open < b.open;  // closings first at equal times
+    });
+
+    std::uint32_t active = 0;
+    Time prev_boundary = events.front().t;
+    std::size_t i = 0;
+    while (i < events.size()) {
+        const Time t = events[i].t;
+        const bool any_close = !events[i].open;
+        if (any_close && active > 0 && t > prev_boundary + kTimeEps) {
+            raw.times.push_back(0.5 * (prev_boundary + t));
+            raw.counts.push_back(active);
+        }
+        while (i < events.size() && events[i].t <= t + kTimeEps) {
+            active += events[i].open ? 1 : 0;
+            active -= events[i].open ? 0 : 1;
+            ++i;
+        }
+        prev_boundary = t;
+    }
+    return raw;
+}
+
+}  // namespace
+
+DiscretizationResult discretize_observation_times(
+    std::span<const IntervalSet> fault_ranges,
+    const DiscretizeOptions& options) {
+    DiscretizationResult result;
+    RawCandidates raw = sweep_candidates(fault_ranges);
+    if (raw.times.empty()) return result;
+
+    std::vector<Time> kept;
+    if (options.max_candidates == 0 ||
+        raw.times.size() <= options.max_candidates) {
+        kept = raw.times;
+    } else {
+        // Reduction to "representative intervals": keep the candidates
+        // where most faults are detected plus a uniform backbone, then
+        // repair coverage per fault.
+        const std::size_t cap = options.max_candidates;
+        const std::size_t n = raw.times.size();
+        std::vector<std::size_t> order(n);
+        for (std::size_t c = 0; c < n; ++c) order[c] = c;
+        std::sort(order.begin(), order.end(), [&raw](std::size_t a, std::size_t b) {
+            return raw.counts[a] > raw.counts[b];
+        });
+        std::vector<bool> keep(n, false);
+        const std::size_t top = (cap * 3) / 4;
+        for (std::size_t k = 0; k < top; ++k) keep[order[k]] = true;
+        const std::size_t backbone = cap - top;
+        for (std::size_t k = 0; k < backbone; ++k) {
+            keep[k * (n - 1) / std::max<std::size_t>(backbone - 1, 1)] = true;
+        }
+        for (std::size_t c = 0; c < n; ++c) {
+            if (keep[c]) kept.push_back(raw.times[c]);
+        }
+        // Coverage repair: every fault with a non-empty range must
+        // contain a kept candidate.
+        for (const IntervalSet& r : fault_ranges) {
+            bool hit = false;
+            for (const Interval& iv : r.intervals()) {
+                auto it = std::lower_bound(kept.begin(), kept.end(), iv.lo);
+                if (it != kept.end() && *it < iv.hi) {
+                    hit = true;
+                    break;
+                }
+            }
+            if (!hit && !r.empty()) {
+                // Midpoint of the widest interval.
+                const Interval* widest = &r[0];
+                for (const Interval& iv : r.intervals()) {
+                    if (iv.length() > widest->length()) widest = &iv;
+                }
+                const Time m = widest->midpoint();
+                kept.insert(std::lower_bound(kept.begin(), kept.end(), m), m);
+            }
+        }
+    }
+    std::sort(kept.begin(), kept.end());
+    kept.erase(std::unique(kept.begin(), kept.end(),
+                           [](Time a, Time b) { return std::abs(a - b) <= kTimeEps; }),
+               kept.end());
+
+    // Materialize columns by membership test.
+    result.candidates = kept;
+    result.covered.assign(kept.size(), {});
+    for (std::uint32_t fi = 0; fi < fault_ranges.size(); ++fi) {
+        for (const Interval& iv : fault_ranges[fi].intervals()) {
+            auto it = std::lower_bound(kept.begin(), kept.end(), iv.lo);
+            for (; it != kept.end() && *it < iv.hi; ++it) {
+                result.covered[static_cast<std::size_t>(it - kept.begin())]
+                    .push_back(fi);
+            }
+        }
+    }
+    // Drop candidates that cover nothing (can appear after the repair).
+    DiscretizationResult cleaned;
+    for (std::size_t c = 0; c < result.candidates.size(); ++c) {
+        if (result.covered[c].empty()) continue;
+        cleaned.candidates.push_back(result.candidates[c]);
+        cleaned.covered.push_back(std::move(result.covered[c]));
+    }
+    return cleaned;
+}
+
+}  // namespace fastmon

@@ -1,0 +1,42 @@
+// Test observation time discretization (Sec. IV-A).
+//
+// The boundaries of all fault detection intervals partition the FAST
+// window into elementary intervals; all observation times inside one
+// elementary interval detect the same faults.  Candidate test periods
+// are the midpoints of representative elementary intervals.  This
+// implementation keeps the candidates that precede a right endpoint of
+// some detection interval — a classical exchange argument shows an
+// optimal cover exists using only those — and, when the candidate count
+// exceeds `max_candidates`, reduces further (greedy-cover core plus the
+// highest-coverage candidates), mirroring the paper's representative-
+// interval reduction.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/interval.hpp"
+
+namespace fastmon {
+
+struct DiscretizationResult {
+    /// Candidate observation times (midpoints), increasing.
+    std::vector<Time> candidates;
+    /// Per candidate: indices (into the input span) of faults whose
+    /// detection range contains the candidate.
+    std::vector<std::vector<std::uint32_t>> covered;
+};
+
+struct DiscretizeOptions {
+    /// Cap on the number of candidates (0 = unlimited).
+    std::size_t max_candidates = 384;
+};
+
+/// `fault_ranges` are the per-fault detection ranges already clipped to
+/// the FAST window.  Faults with empty ranges contribute nothing.
+DiscretizationResult discretize_observation_times(
+    std::span<const IntervalSet> fault_ranges,
+    const DiscretizeOptions& options = {});
+
+}  // namespace fastmon

@@ -1,0 +1,121 @@
+#include "schedule/freq_select.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace fastmon {
+
+std::optional<std::vector<Time>> stabbing_periods(
+    std::span<const IntervalSet> fault_ranges) {
+    std::vector<Interval> intervals;
+    for (const IntervalSet& r : fault_ranges) {
+        if (r.empty()) continue;
+        if (r.size() > 1) return std::nullopt;
+        intervals.push_back(r[0]);
+    }
+    std::sort(intervals.begin(), intervals.end(),
+              [](const Interval& a, const Interval& b) { return a.hi < b.hi; });
+    std::vector<Time> points;
+    Time last = -std::numeric_limits<Time>::infinity();
+    for (const Interval& iv : intervals) {
+        if (last >= iv.lo && last < iv.hi) continue;  // already pierced
+        // Pierce strictly inside the half-open interval, just below hi
+        // (the earliest-deadline point of the classic exchange argument).
+        last = iv.hi - 1e-6 * iv.length();
+        points.push_back(last);
+    }
+    return points;
+}
+
+FrequencySelection select_frequencies(
+    std::span<const IntervalSet> fault_ranges,
+    const FrequencySelectOptions& options) {
+    FrequencySelection sel;
+
+    if (options.method == SelectMethod::Stabbing && options.coverage >= 1.0) {
+        if (const auto points = stabbing_periods(fault_ranges)) {
+            sel.periods = *points;
+            sel.proven_optimal = true;
+            sel.feasible = true;
+            std::vector<bool> fault_done(fault_ranges.size(), false);
+            for (Time t : sel.periods) {
+                std::vector<std::uint32_t> covered;
+                for (std::uint32_t fi = 0; fi < fault_ranges.size(); ++fi) {
+                    if (fault_ranges[fi].contains(t)) {
+                        covered.push_back(fi);
+                        if (!fault_done[fi]) {
+                            fault_done[fi] = true;
+                            ++sel.num_covered_faults;
+                        }
+                    }
+                }
+                sel.covered.push_back(std::move(covered));
+            }
+            return sel;
+        }
+        // Multi-interval ranges: fall through to branch and bound.
+    }
+
+    const DiscretizationResult disc =
+        discretize_observation_times(fault_ranges, options.discretize);
+    if (disc.candidates.empty()) {
+        sel.feasible = fault_ranges.empty();
+        sel.proven_optimal = true;
+        return sel;
+    }
+
+    // Coverable faults (non-empty range) form the element base; the
+    // coverage target refers to them.
+    std::vector<std::uint32_t> coverable;
+    std::vector<std::uint32_t> element_of_fault(fault_ranges.size(), UINT32_MAX);
+    for (std::uint32_t fi = 0; fi < fault_ranges.size(); ++fi) {
+        if (!fault_ranges[fi].empty()) {
+            element_of_fault[fi] = static_cast<std::uint32_t>(coverable.size());
+            coverable.push_back(fi);
+        }
+    }
+
+    SetCoverInstance inst;
+    inst.num_elements = static_cast<std::uint32_t>(coverable.size());
+    inst.sets.resize(disc.candidates.size());
+    for (std::size_t c = 0; c < disc.candidates.size(); ++c) {
+        for (std::uint32_t fi : disc.covered[c]) {
+            inst.sets[c].push_back(element_of_fault[fi]);
+        }
+        std::sort(inst.sets[c].begin(), inst.sets[c].end());
+    }
+
+    SetCoverOptions solver = options.solver;
+    solver.coverage = options.coverage;
+    const SetCoverResult cover =
+        options.method == SelectMethod::Greedy
+            ? greedy_set_cover(inst, solver)
+            : solve_set_cover(inst, solver);
+
+    sel.feasible = cover.feasible;
+    sel.proven_optimal =
+        options.method != SelectMethod::Greedy && cover.proven_optimal;
+
+    std::vector<std::uint32_t> chosen = cover.chosen;
+    std::sort(chosen.begin(), chosen.end(), [&disc](std::uint32_t a, std::uint32_t b) {
+        return disc.candidates[a] < disc.candidates[b];
+    });
+    std::vector<bool> fault_done(fault_ranges.size(), false);
+    for (std::uint32_t c : chosen) {
+        sel.periods.push_back(disc.candidates[c]);
+        std::vector<std::uint32_t> faults = disc.covered[c];
+        std::sort(faults.begin(), faults.end());
+        sel.covered.push_back(std::move(faults));
+    }
+    for (const auto& faults : sel.covered) {
+        for (std::uint32_t fi : faults) {
+            if (!fault_done[fi]) {
+                fault_done[fi] = true;
+                ++sel.num_covered_faults;
+            }
+        }
+    }
+    return sel;
+}
+
+}  // namespace fastmon

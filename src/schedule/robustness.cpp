@@ -1,0 +1,81 @@
+#include "schedule/robustness.hpp"
+
+#include <algorithm>
+
+#include "util/stats.hpp"
+
+namespace fastmon {
+
+namespace {
+
+/// Distance from t to the nearest boundary of the interval containing
+/// it; negative if t is outside every interval.
+Time containment_margin(const IntervalSet& range, Time t) {
+    for (const Interval& iv : range.intervals()) {
+        if (iv.contains(t)) {
+            return std::min(t - iv.lo, iv.hi - t);
+        }
+    }
+    return -1.0;
+}
+
+}  // namespace
+
+RobustnessReport selection_margins(std::span<const IntervalSet> fault_ranges,
+                                   std::span<const Time> periods) {
+    RobustnessReport report;
+    std::vector<double> margins;
+    for (const IntervalSet& r : fault_ranges) {
+        if (r.empty()) continue;
+        Time best = -1.0;
+        for (Time t : periods) {
+            best = std::max(best, containment_margin(r, t));
+        }
+        if (best >= 0.0) {
+            report.margins.push_back(best);
+            margins.push_back(best);
+            ++report.covered;
+        }
+    }
+    if (!margins.empty()) {
+        report.min_margin = *std::min_element(margins.begin(), margins.end());
+        report.median_margin = percentile(margins, 50.0);
+    }
+    return report;
+}
+
+double coverage_under_scaling(std::span<const IntervalSet> fault_ranges,
+                              std::span<const Time> periods, double scale) {
+    std::size_t baseline = 0;
+    std::size_t retained = 0;
+    for (const IntervalSet& r : fault_ranges) {
+        if (r.empty()) continue;
+        bool covered = false;
+        bool covered_scaled = false;
+        for (Time t : periods) {
+            if (r.contains(t)) covered = true;
+            // Scaling all delays by `scale` multiplies every detection
+            // boundary; equivalently, test at t/scale in the original.
+            if (r.contains(t / scale)) covered_scaled = true;
+        }
+        if (covered) {
+            ++baseline;
+            if (covered_scaled) ++retained;
+        }
+    }
+    if (baseline == 0) return 1.0;
+    return static_cast<double>(retained) / static_cast<double>(baseline);
+}
+
+std::vector<double> robustness_sweep(std::span<const IntervalSet> fault_ranges,
+                                     std::span<const Time> periods,
+                                     std::span<const double> scales) {
+    std::vector<double> out;
+    out.reserve(scales.size());
+    for (double s : scales) {
+        out.push_back(coverage_under_scaling(fault_ranges, periods, s));
+    }
+    return out;
+}
+
+}  // namespace fastmon

@@ -1,0 +1,44 @@
+// Robustness of a frequency selection under timing variation.
+//
+// Sec. IV-A selects the *mid-points* of representative intervals "to
+// cover the targeted faults robustly even under variations".  This
+// module quantifies that: the margin of a selection is, per fault, the
+// distance of its best covering period to the nearest boundary of the
+// fault's detection range; coverage_under_scaling shifts all detection
+// ranges by a global delay-scaling factor (the first-order effect of
+// voltage/temperature/process shifts: all delays — and hence all
+// detection boundaries — scale together) and recounts coverage.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "util/interval.hpp"
+
+namespace fastmon {
+
+struct RobustnessReport {
+    /// Per covered fault: max over covering periods of the distance to
+    /// the nearest range boundary (ps); uncovered faults are skipped.
+    std::vector<Time> margins;
+    Time min_margin = 0.0;
+    Time median_margin = 0.0;
+    std::size_t covered = 0;
+};
+
+/// Margins of `periods` against `fault_ranges`.
+RobustnessReport selection_margins(std::span<const IntervalSet> fault_ranges,
+                                   std::span<const Time> periods);
+
+/// Fraction of originally covered faults still covered when every
+/// detection range is scaled by `scale` (boundaries multiplied) while
+/// the test periods stay fixed.
+double coverage_under_scaling(std::span<const IntervalSet> fault_ranges,
+                              std::span<const Time> periods, double scale);
+
+/// Sweep over scales; returns one retained-coverage fraction per scale.
+std::vector<double> robustness_sweep(std::span<const IntervalSet> fault_ranges,
+                                     std::span<const Time> periods,
+                                     std::span<const double> scales);
+
+}  // namespace fastmon

@@ -1,0 +1,75 @@
+#include "schedule/scan.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fastmon {
+
+std::size_t ScanChains::shift_cycles() const {
+    std::size_t longest = 0;
+    for (std::size_t c = 0; c < chains.size(); ++c) {
+        longest = std::max(longest, chains[c].size() + extra_cells[c]);
+    }
+    return longest;
+}
+
+std::size_t ScanChains::total_cells() const {
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < chains.size(); ++c) {
+        total += chains[c].size() + extra_cells[c];
+    }
+    return total;
+}
+
+ScanChains build_scan_chains(const Netlist& netlist,
+                             const MonitorPlacement& placement,
+                             std::size_t num_chains) {
+    if (num_chains == 0) {
+        throw std::invalid_argument("build_scan_chains: zero chains");
+    }
+    ScanChains sc;
+    sc.chains.resize(num_chains);
+    sc.extra_cells.assign(num_chains, 0);
+
+    // Monitored flip-flop nodes (via their observation points).
+    std::vector<bool> has_monitor(netlist.size(), false);
+    const auto ops = netlist.observe_points();
+    for (std::uint32_t oi = 0; oi < ops.size(); ++oi) {
+        if (oi < placement.monitored.size() && placement.monitored[oi]) {
+            has_monitor[ops[oi].node] = true;
+        }
+    }
+
+    std::size_t cursor = 0;
+    for (GateId q : netlist.flip_flops()) {
+        const std::size_t c = cursor++ % num_chains;
+        sc.chains[c].push_back(q);
+        if (has_monitor[q]) {
+            // Shadow register + its configuration latch share the chain.
+            sc.extra_cells[c] += 2;
+        }
+    }
+    return sc;
+}
+
+double ScanTestTimeModel::cycles(const TestSchedule& schedule,
+                                 const ScanChains& chains) const {
+    const double per_pattern =
+        static_cast<double>(chains.shift_cycles()) + launch_capture_cycles;
+    return relock_cycles * static_cast<double>(schedule.num_frequencies()) +
+           per_pattern * static_cast<double>(schedule.size());
+}
+
+double ScanTestTimeModel::naive_cycles(std::size_t num_frequencies,
+                                       std::size_t num_patterns,
+                                       std::size_t num_configs,
+                                       const ScanChains& chains) const {
+    const double per_pattern =
+        static_cast<double>(chains.shift_cycles()) + launch_capture_cycles;
+    return relock_cycles * static_cast<double>(num_frequencies) +
+           per_pattern * static_cast<double>(num_frequencies) *
+               static_cast<double>(num_patterns) *
+               static_cast<double>(num_configs);
+}
+
+}  // namespace fastmon

@@ -1,0 +1,64 @@
+// Scan-chain infrastructure and the cycle-accurate test-time model.
+//
+// The paper's test-time argument (Sec. IV-B) weighs PLL relocks against
+// pattern applications; the per-pattern cost is dominated by scan
+// shift-in.  This module partitions the flip-flops into balanced scan
+// chains (monitor shadow registers are stitched into the same chains —
+// their configuration bits load "concurrently during shift-in of the
+// test patterns", as the paper assumes) and prices a schedule in clock
+// cycles: shift = longest chain, plus launch/capture, plus a relock per
+// frequency change.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "monitor/placement.hpp"
+#include "netlist/netlist.hpp"
+#include "schedule/schedule.hpp"
+
+namespace fastmon {
+
+struct ScanChains {
+    /// chain[c] lists the flip-flop node ids of chain c, scan-in first.
+    std::vector<std::vector<GateId>> chains;
+    /// Extra stitched cells per chain (monitor shadow registers and
+    /// their configuration latches).
+    std::vector<std::size_t> extra_cells;
+
+    [[nodiscard]] std::size_t num_chains() const { return chains.size(); }
+    /// Cycles to shift one pattern: the longest chain including
+    /// stitched monitor cells.
+    [[nodiscard]] std::size_t shift_cycles() const;
+    /// Total scan cells across all chains.
+    [[nodiscard]] std::size_t total_cells() const;
+};
+
+/// Balanced partition of the circuit's flip-flops into `num_chains`
+/// chains (round-robin over a topological FF order); monitored FFs
+/// contribute their shadow register + one config cell to the chain.
+ScanChains build_scan_chains(const Netlist& netlist,
+                             const MonitorPlacement& placement,
+                             std::size_t num_chains);
+
+/// Cycle-accurate test-time model.
+struct ScanTestTimeModel {
+    double relock_cycles = 25000.0;  ///< per frequency switch
+    double launch_capture_cycles = 2.0;
+
+    /// Cycles for `schedule` with the given chains: one relock per
+    /// distinct period plus (shift + launch/capture) per application.
+    /// Configuration loads ride along with shift-in: config changes
+    /// between applications cost nothing extra.
+    [[nodiscard]] double cycles(const TestSchedule& schedule,
+                                const ScanChains& chains) const;
+
+    /// The naive reference: every pattern under every configuration at
+    /// every frequency.
+    [[nodiscard]] double naive_cycles(std::size_t num_frequencies,
+                                      std::size_t num_patterns,
+                                      std::size_t num_configs,
+                                      const ScanChains& chains) const;
+};
+
+}  // namespace fastmon

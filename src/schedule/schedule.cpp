@@ -1,0 +1,13 @@
+#include "schedule/schedule.hpp"
+
+namespace fastmon {
+
+double schedule_reduction_percent(std::size_t schedule_size,
+                                  std::size_t naive_size) {
+    if (naive_size == 0) return 0.0;
+    return (1.0 - static_cast<double>(schedule_size) /
+                      static_cast<double>(naive_size)) *
+           100.0;
+}
+
+}  // namespace fastmon

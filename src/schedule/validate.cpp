@@ -1,0 +1,55 @@
+#include "schedule/validate.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <set>
+#include <unordered_set>
+
+namespace fastmon {
+
+ScheduleValidation validate_schedule(
+    const TestSchedule& schedule, std::span<const DetectionEntry> entries,
+    std::span<const std::uint32_t> target_faults) {
+    // Selected applications as a lookup set.
+    std::set<std::tuple<std::uint32_t, std::uint32_t, std::uint16_t>> selected;
+    for (const ScheduleEntry& e : schedule.entries) {
+        selected.emplace(e.period_index, e.pattern, e.config);
+    }
+    std::unordered_set<std::uint32_t> covered;
+    for (const DetectionEntry& d : entries) {
+        if (selected.contains({d.period, d.pattern, d.config})) {
+            covered.insert(d.fault_index);
+        }
+    }
+    ScheduleValidation v;
+    for (std::uint32_t f : target_faults) {
+        if (covered.contains(f)) {
+            ++v.covered;
+        } else {
+            v.uncovered_faults.push_back(f);
+        }
+    }
+    std::sort(v.uncovered_faults.begin(), v.uncovered_faults.end());
+    v.valid = v.uncovered_faults.empty();
+    return v;
+}
+
+void write_schedule_csv(std::ostream& os, const TestSchedule& schedule) {
+    os << "period_ps,frequency_index,pattern,config\n";
+    std::vector<ScheduleEntry> ordered(schedule.entries.begin(),
+                                       schedule.entries.end());
+    std::sort(ordered.begin(), ordered.end(),
+              [&schedule](const ScheduleEntry& a, const ScheduleEntry& b) {
+                  const Time ta = schedule.periods[a.period_index];
+                  const Time tb = schedule.periods[b.period_index];
+                  if (ta != tb) return ta < tb;
+                  if (a.pattern != b.pattern) return a.pattern < b.pattern;
+                  return a.config < b.config;
+              });
+    for (const ScheduleEntry& e : ordered) {
+        os << schedule.periods[e.period_index] << ',' << e.period_index << ','
+           << e.pattern << ',' << e.config << '\n';
+    }
+}
+
+}  // namespace fastmon

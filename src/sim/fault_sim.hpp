@@ -1,0 +1,69 @@
+// Timing-accurate small delay fault simulation.
+//
+// For a fault (site, transition direction, size delta) and a pattern
+// pair, re-simulates the fanout cone of the fault site against the
+// fault-free waveforms and yields, per observation point, the XOR of
+// fault-free and faulty waveforms — the raw material of detection
+// ranges (Sec. III-B).  Only gates whose fanin waveforms actually
+// changed are re-evaluated, so cost scales with the affected cone.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/wave_sim.hpp"
+
+namespace fastmon {
+
+/// Location of a small delay fault: a pin of a combinational gate.
+/// pin == kOutputPin places the fault at the gate output; otherwise at
+/// input pin `pin`.
+struct FaultSite {
+    static constexpr std::uint32_t kOutputPin = 0xFFFFFFFF;
+
+    GateId gate = kNoGate;
+    std::uint32_t pin = kOutputPin;
+
+    friend bool operator==(const FaultSite&, const FaultSite&) = default;
+};
+
+/// A small delay fault phi = (site, direction, delta): transitions of
+/// the given direction at the site are retarded by delta (Sec. II-A).
+struct DelayFault {
+    FaultSite site;
+    bool slow_rising = true;  ///< true: slow-to-rise; false: slow-to-fall
+    Time delta = 0.0;
+};
+
+/// Faulty/fault-free difference at one observation point.
+struct ObserveDiff {
+    std::uint32_t observe_index = 0;  ///< index into Netlist::observe_points()
+    Waveform diff;                    ///< XOR(fault-free, faulty) at op.signal
+};
+
+class FaultSim {
+public:
+    explicit FaultSim(const WaveSim& wave_sim);
+
+    /// Re-simulates `fault` against the fault-free waveforms `good`
+    /// (as produced by WaveSim::simulate for the same pattern pair).
+    /// Returns the non-empty difference waveforms per observation point.
+    [[nodiscard]] std::vector<ObserveDiff> simulate(
+        const DelayFault& fault, std::span<const Waveform> good) const;
+
+    /// Cheap necessary condition for fault activation: the signal at the
+    /// fault site has at least one transition in the slow direction.
+    [[nodiscard]] bool activated(const DelayFault& fault,
+                                 std::span<const Waveform> good) const;
+
+private:
+    /// Waveform of the signal at the fault site (gate output for output
+    /// faults, driving fanin for input-pin faults).
+    [[nodiscard]] const Waveform& site_signal(
+        const FaultSite& site, std::span<const Waveform> good) const;
+
+    const WaveSim* wave_sim_;
+};
+
+}  // namespace fastmon

@@ -1,0 +1,64 @@
+#include "sim/logic_sim.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace fastmon {
+
+LogicSim::LogicSim(const Netlist& netlist) : netlist_(&netlist) {
+    if (!netlist.finalized()) {
+        throw std::logic_error("LogicSim requires a finalized netlist");
+    }
+}
+
+std::vector<Bit> LogicSim::eval(std::span<const Bit> sources) const {
+    const Netlist& nl = *netlist_;
+    assert(sources.size() == nl.comb_sources().size());
+    std::vector<Bit> values(nl.size(), 0);
+    bool ins[8] = {};
+    for (GateId id : nl.topo_order()) {
+        const Gate& g = nl.gate(id);
+        const std::uint32_t src = nl.source_index(id);
+        if (src != std::numeric_limits<std::uint32_t>::max()) {
+            values[id] = sources[src];
+            continue;
+        }
+        for (std::size_t p = 0; p < g.fanin.size(); ++p) {
+            ins[p] = values[g.fanin[p]] != 0;
+        }
+        values[id] =
+            g.type == CellType::Output
+                ? static_cast<Bit>(ins[0])
+                : static_cast<Bit>(eval_cell(
+                      g.type, std::span<const bool>(ins, g.fanin.size())));
+    }
+    // Dff nodes are sources above; their *next-state* (fanin value) is
+    // what observe_points() reads, via op.signal, so nothing else to do.
+    return values;
+}
+
+std::vector<std::uint64_t> LogicSim::eval64(
+    std::span<const std::uint64_t> sources) const {
+    const Netlist& nl = *netlist_;
+    assert(sources.size() == nl.comb_sources().size());
+    std::vector<std::uint64_t> values(nl.size(), 0);
+    std::vector<std::uint64_t> ins;
+    for (GateId id : nl.topo_order()) {
+        const Gate& g = nl.gate(id);
+        const std::uint32_t src = nl.source_index(id);
+        if (src != std::numeric_limits<std::uint32_t>::max()) {
+            values[id] = sources[src];
+            continue;
+        }
+        ins.resize(g.fanin.size());
+        for (std::size_t p = 0; p < g.fanin.size(); ++p) {
+            ins[p] = values[g.fanin[p]];
+        }
+        values[id] = g.type == CellType::Output
+                         ? ins[0]
+                         : eval_cell64(g.type, ins);
+    }
+    return values;
+}
+
+}  // namespace fastmon

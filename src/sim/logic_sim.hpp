@@ -1,0 +1,42 @@
+// Zero-delay logic simulation of the combinational core.
+//
+// Used for good-machine final values, ATPG random phases (64 patterns
+// per call, one per bit lane) and fault-activation pre-checks.
+//
+// Single-bit values are carried as std::uint8_t (0/1) so that plain
+// spans and memcpy-able buffers work (std::vector<bool> has no data()).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace fastmon {
+
+/// 0/1 logic value.
+using Bit = std::uint8_t;
+
+class LogicSim {
+public:
+    explicit LogicSim(const Netlist& netlist);
+
+    /// Evaluates all nodes for one source assignment.
+    /// `sources` is indexed like Netlist::comb_sources().
+    /// Returns one value per node (Output/Dff nodes carry their fanin
+    /// value; for Dff that is the next-state).
+    [[nodiscard]] std::vector<Bit> eval(std::span<const Bit> sources) const;
+
+    /// 64-way bit-parallel evaluation (bit k of every word belongs to
+    /// pattern k).
+    [[nodiscard]] std::vector<std::uint64_t> eval64(
+        std::span<const std::uint64_t> sources) const;
+
+    [[nodiscard]] const Netlist& netlist() const { return *netlist_; }
+
+private:
+    const Netlist* netlist_;
+};
+
+}  // namespace fastmon

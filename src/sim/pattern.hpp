@@ -1,0 +1,23 @@
+// Test pattern pairs.
+//
+// Delay tests apply two vectors: v1 initializes the circuit, v2 launches
+// transitions at t = 0 (enhanced-scan application; see DESIGN.md for the
+// substitution note versus the paper's commercial launch-on-capture
+// sets).  Vectors are indexed like Netlist::comb_sources().
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/logic_sim.hpp"
+
+namespace fastmon {
+
+struct PatternPair {
+    std::vector<Bit> v1;
+    std::vector<Bit> v2;
+
+    friend bool operator==(const PatternPair&, const PatternPair&) = default;
+};
+
+}  // namespace fastmon

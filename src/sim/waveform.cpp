@@ -1,0 +1,133 @@
+#include "sim/waveform.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fastmon {
+
+Waveform Waveform::constant(bool value) {
+    Waveform w;
+    w.initial_ = value;
+    return w;
+}
+
+Waveform Waveform::step(bool initial, Time t) {
+    Waveform w;
+    w.initial_ = initial;
+    w.transitions_.push_back(t);
+    return w;
+}
+
+Waveform Waveform::from_events(bool initial,
+                               std::span<const std::pair<Time, bool>> events) {
+    Waveform w;
+    w.initial_ = initial;
+    bool value = initial;
+    for (const auto& [t, v] : events) {
+        if (v == value) continue;
+        // A toggle landing at (or before) the previous one cancels it
+        // (the later-scheduled value wins at equal times).
+        if (!w.transitions_.empty() && t <= w.transitions_.back() + kTimeEps) {
+            w.transitions_.pop_back();
+        } else {
+            w.transitions_.push_back(t);
+        }
+        value = v;
+    }
+    return w;
+}
+
+bool Waveform::value_at(Time t) const {
+    const auto it = std::upper_bound(transitions_.begin(), transitions_.end(),
+                                     t + kTimeEps);
+    const auto toggles = static_cast<std::size_t>(it - transitions_.begin());
+    return (toggles % 2 == 0) ? initial_ : !initial_;
+}
+
+void Waveform::filter_pulses(Time min_width) {
+    if (min_width <= 0.0 || transitions_.size() < 2) return;
+    std::vector<Time> kept;
+    kept.reserve(transitions_.size());
+    for (Time t : transitions_) {
+        if (!kept.empty() && t - kept.back() < min_width - kTimeEps) {
+            kept.pop_back();  // the pulse [back, t) is swallowed
+        } else {
+            kept.push_back(t);
+        }
+    }
+    transitions_ = std::move(kept);
+}
+
+Waveform Waveform::with_slowed_edges(bool rising, Time delta) const {
+    // Delay the affected edge direction; when a delayed edge is
+    // overtaken by its successor, the pulse between them is swallowed
+    // (a delay element cannot emit an end-of-pulse before the pulse
+    // started).  Classic edge-cancellation stack: edges arrive in the
+    // original order; an edge landing at or before the previous
+    // surviving edge cancels it, removing the pulse pair.
+    Waveform w;
+    w.initial_ = initial_;
+    bool value = initial_;
+    for (Time t : transitions_) {
+        value = !value;
+        const Time shifted = value == rising ? t + delta : t;
+        if (!w.transitions_.empty() &&
+            shifted <= w.transitions_.back() + kTimeEps) {
+            w.transitions_.pop_back();
+        } else {
+            w.transitions_.push_back(shifted);
+        }
+    }
+    return w;
+}
+
+Waveform Waveform::xor_of(const Waveform& a, const Waveform& b) {
+    // XOR toggles whenever either operand toggles; simultaneous toggles
+    // cancel.
+    Waveform w;
+    w.initial_ = a.initial_ != b.initial_;
+    w.transitions_.reserve(a.transitions_.size() + b.transitions_.size());
+    std::size_t i = 0;
+    std::size_t j = 0;
+    while (i < a.transitions_.size() || j < b.transitions_.size()) {
+        Time t = 0.0;
+        if (j == b.transitions_.size()) {
+            t = a.transitions_[i++];
+        } else if (i == a.transitions_.size()) {
+            t = b.transitions_[j++];
+        } else if (std::abs(a.transitions_[i] - b.transitions_[j]) <= kTimeEps) {
+            // Simultaneous toggles in both operands: XOR unchanged.
+            ++i;
+            ++j;
+            continue;
+        } else if (a.transitions_[i] < b.transitions_[j]) {
+            t = a.transitions_[i++];
+        } else {
+            t = b.transitions_[j++];
+        }
+        w.transitions_.push_back(t);
+    }
+    return w;
+}
+
+IntervalSet Waveform::ones(Time horizon) const {
+    IntervalSet s;
+    bool value = initial_;
+    Time start = value ? 0.0 : -1.0;
+    for (Time t : transitions_) {
+        if (t >= horizon) break;
+        value = !value;
+        if (value) {
+            start = std::max(t, 0.0);
+        } else if (start >= 0.0) {
+            s.add(start, t);
+            start = -1.0;
+        }
+    }
+    if (value && start >= 0.0 && start < horizon) {
+        s.add(start, horizon);
+    }
+    return s;
+}
+
+}  // namespace fastmon

@@ -1,0 +1,81 @@
+#include "timing/delay_model.hpp"
+
+#include <algorithm>
+
+#include "util/prng.hpp"
+
+namespace fastmon {
+
+DelayAnnotation DelayAnnotation::nominal(const Netlist& netlist,
+                                         const CellLibrary& lib) {
+    return build(netlist, lib, 0.0, 0);
+}
+
+DelayAnnotation DelayAnnotation::with_variation(const Netlist& netlist,
+                                                double sigma_fraction,
+                                                std::uint64_t seed,
+                                                const CellLibrary& lib) {
+    return build(netlist, lib, sigma_fraction, seed);
+}
+
+DelayAnnotation DelayAnnotation::build(const Netlist& netlist,
+                                       const CellLibrary& lib,
+                                       double sigma_fraction,
+                                       std::uint64_t seed) {
+    DelayAnnotation ann;
+    Prng rng(seed ^ 0xDE1A'F00DULL);
+    const auto n = netlist.size();
+    ann.offset_.resize(n);
+    ann.nominal_mean_.assign(n, 0.0);
+
+    std::uint32_t cursor = 0;
+    for (GateId id = 0; id < n; ++id) {
+        const Gate& g = netlist.gate(id);
+        ann.offset_[id] = cursor;
+        const auto arity = static_cast<std::uint32_t>(g.fanin.size());
+        // One per-instance variation factor, correlated across the arcs
+        // of the gate (intra-gate transistors share process corners).
+        double factor = 1.0;
+        if (sigma_fraction > 0.0 && is_combinational(g.type)) {
+            factor = rng.normal(1.0, sigma_fraction);
+            factor = std::clamp(factor, 1.0 - 3.0 * sigma_fraction,
+                                1.0 + 3.0 * sigma_fraction);
+            factor = std::max(factor, 0.05);
+        }
+        const Time load =
+            g.fanout.size() > 1
+                ? lib.load_delay_per_fanout() *
+                      static_cast<Time>(g.fanout.size() - 1)
+                : 0.0;
+        Time nominal_sum = 0.0;
+        for (std::uint32_t pin = 0; pin < arity; ++pin) {
+            PinDelay d{0.0, 0.0};
+            if (is_combinational(g.type)) {
+                const PinDelay nom = lib.nominal_delay(g.type, arity, pin);
+                nominal_sum += 0.5 * (nom.rise + nom.fall);
+                d.rise = nom.rise * factor + load;
+                d.fall = nom.fall * factor + load;
+            }
+            ann.arcs_.push_back(d);
+            ++cursor;
+        }
+        if (arity > 0 && is_combinational(g.type)) {
+            ann.nominal_mean_[id] = nominal_sum / static_cast<Time>(arity);
+        }
+    }
+    ann.glitch_threshold_ = lib.min_gate_delay();
+    return ann;
+}
+
+void DelayAnnotation::scale_gate(GateId gate, double factor) {
+    const std::uint32_t begin = offset_[gate];
+    const std::uint32_t end = gate + 1 < offset_.size()
+                                  ? offset_[gate + 1]
+                                  : static_cast<std::uint32_t>(arcs_.size());
+    for (std::uint32_t i = begin; i < end; ++i) {
+        arcs_[i].rise *= factor;
+        arcs_[i].fall *= factor;
+    }
+}
+
+}  // namespace fastmon

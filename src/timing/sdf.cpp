@@ -1,0 +1,125 @@
+#include "timing/sdf.hpp"
+
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace fastmon {
+
+void write_sdf(std::ostream& os, const Netlist& netlist,
+               const DelayAnnotation& delays) {
+    os << "(DELAYFILE\n";
+    os << "  (SDFVERSION \"3.0\")\n";
+    os << "  (DESIGN \"" << netlist.name() << "\")\n";
+    os << "  (TIMESCALE 1ps)\n";
+    char buf[128];
+    for (GateId id = 0; id < netlist.size(); ++id) {
+        const Gate& g = netlist.gate(id);
+        if (!is_combinational(g.type)) continue;
+        os << "  (CELL\n";
+        os << "    (CELLTYPE \"" << cell_type_name(g.type) << "\")\n";
+        os << "    (INSTANCE " << g.name << ")\n";
+        os << "    (DELAY (ABSOLUTE\n";
+        for (std::uint32_t pin = 0; pin < g.fanin.size(); ++pin) {
+            const PinDelay d = delays.arc(id, pin);
+            std::snprintf(buf, sizeof buf,
+                          "      (IOPATH in%u out (%.4f) (%.4f))\n", pin,
+                          d.rise, d.fall);
+            os << buf;
+        }
+        os << "    ))\n";
+        os << "  )\n";
+    }
+    os << ")\n";
+}
+
+std::string write_sdf_string(const Netlist& netlist,
+                             const DelayAnnotation& delays) {
+    std::ostringstream os;
+    write_sdf(os, netlist, delays);
+    return os.str();
+}
+
+namespace {
+
+/// Tokenizer: parentheses are their own tokens; everything else is
+/// whitespace-separated.  Quoted strings become single tokens (without
+/// the quotes).
+std::vector<std::string> tokenize_sdf(std::istream& is) {
+    std::vector<std::string> tokens;
+    std::string cur;
+    char c = 0;
+    auto flush = [&] {
+        if (!cur.empty()) {
+            tokens.push_back(cur);
+            cur.clear();
+        }
+    };
+    while (is.get(c)) {
+        if (c == '(' || c == ')') {
+            flush();
+            tokens.emplace_back(1, c);
+        } else if (c == '"') {
+            flush();
+            std::string s;
+            while (is.get(c) && c != '"') s.push_back(c);
+            tokens.push_back(s);
+        } else if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+            flush();
+        } else {
+            cur.push_back(c);
+        }
+    }
+    flush();
+    return tokens;
+}
+
+}  // namespace
+
+DelayAnnotation read_sdf(std::istream& is, const Netlist& netlist) {
+    DelayAnnotation ann = DelayAnnotation::nominal(netlist);
+    const std::vector<std::string> tok = tokenize_sdf(is);
+
+    GateId current = kNoGate;
+    for (std::size_t i = 0; i < tok.size(); ++i) {
+        if (tok[i] == "INSTANCE" && i + 1 < tok.size()) {
+            const GateId id = netlist.find(tok[i + 1]);
+            if (id == kNoGate) {
+                throw std::runtime_error("SDF instance not in netlist: " +
+                                         tok[i + 1]);
+            }
+            current = id;
+        } else if (tok[i] == "IOPATH") {
+            // IOPATH in<pin> out ( rise ) ( fall )
+            if (current == kNoGate || i + 8 >= tok.size()) {
+                throw std::runtime_error("SDF: IOPATH outside CELL or truncated");
+            }
+            const std::string& pin_name = tok[i + 1];
+            if (pin_name.rfind("in", 0) != 0) {
+                throw std::runtime_error("SDF: unsupported IOPATH port " +
+                                         pin_name);
+            }
+            const auto pin =
+                static_cast<std::uint32_t>(std::stoul(pin_name.substr(2)));
+            if (pin >= netlist.gate(current).fanin.size()) {
+                throw std::runtime_error("SDF: pin out of range on " +
+                                         netlist.gate(current).name);
+            }
+            // tok layout: IOPATH inN out ( R ) ( F )
+            const double rise = std::stod(tok[i + 4]);
+            const double fall = std::stod(tok[i + 7]);
+            ann.set_arc(current, pin, PinDelay{rise, fall});
+            i += 8;
+        }
+    }
+    return ann;
+}
+
+DelayAnnotation read_sdf_string(const std::string& text, const Netlist& netlist) {
+    std::istringstream is(text);
+    return read_sdf(is, netlist);
+}
+
+}  // namespace fastmon

@@ -1,0 +1,31 @@
+// Minimal Standard Delay Format (SDF 3.0 subset) export/import.
+//
+// The paper's flow performs "a topological analysis of the circuit using
+// timing information from standard delay format files" — this module is
+// that interchange point.  Only the constructs the library produces are
+// supported: one CELL per gate instance with ABSOLUTE IOPATH entries
+// (one per input pin, rise/fall), TIMESCALE fixed to 1ps.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.hpp"
+#include "timing/delay_model.hpp"
+
+namespace fastmon {
+
+/// Writes `delays` for `netlist` as SDF.
+void write_sdf(std::ostream& os, const Netlist& netlist,
+               const DelayAnnotation& delays);
+std::string write_sdf_string(const Netlist& netlist,
+                             const DelayAnnotation& delays);
+
+/// Reads an SDF file previously produced by write_sdf (or a compatible
+/// subset) back into an annotation for `netlist`.  Instances are matched
+/// by gate name; unknown instances raise std::runtime_error.  Arcs not
+/// mentioned in the file keep nominal delays.
+DelayAnnotation read_sdf(std::istream& is, const Netlist& netlist);
+DelayAnnotation read_sdf_string(const std::string& text, const Netlist& netlist);
+
+}  // namespace fastmon

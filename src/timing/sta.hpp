@@ -1,0 +1,50 @@
+// Static timing analysis of the combinational core.
+//
+// Computes, per node, earliest/latest signal arrival (from the launch
+// clock edge) and the longest path *through* every node; derives the
+// critical path length and the nominal clock period
+// clk := 1.05 * cpl (Sec. V).  Used for:
+//   * fault classification (at-speed detectable iff slack < delta),
+//   * monitor placement (long path ends = pseudo-outputs with the
+//     largest arrival times),
+//   * timing-redundancy analysis.
+#pragma once
+
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "timing/delay_model.hpp"
+
+namespace fastmon {
+
+struct StaResult {
+    /// Latest/earliest arrival time at each node's output.
+    std::vector<Time> max_arrival;
+    std::vector<Time> min_arrival;
+    /// Longest combinational delay from each node's output to any
+    /// observation point.
+    std::vector<Time> downstream;
+    /// Longest path through each node: max_arrival + downstream.
+    std::vector<Time> path_through;
+    /// Longest arrival over all observation points.
+    Time critical_path_length = 0.0;
+    /// Nominal clock period: margin * cpl.
+    Time clock_period = 0.0;
+
+    /// Positive slack of a node under the nominal clock.
+    [[nodiscard]] Time slack(GateId id) const {
+        return clock_period - path_through[id];
+    }
+};
+
+/// Runs STA.  `clock_margin` is the factor applied to the critical path
+/// length to obtain the nominal clock (paper: 1.05).
+StaResult run_sta(const Netlist& netlist, const DelayAnnotation& delays,
+                  double clock_margin = 1.05);
+
+/// Observation points sorted by decreasing arrival time ("long path
+/// ends" [25]); the head of this order is where monitors are placed.
+std::vector<ObservePoint> observe_points_by_path_length(
+    const Netlist& netlist, const StaResult& sta);
+
+}  // namespace fastmon

@@ -1,0 +1,59 @@
+#include "util/log.hpp"
+
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+#include <string>
+
+namespace fastmon {
+
+namespace {
+
+LogLevel g_level = LogLevel::Info;
+std::once_flag g_env_once;
+std::mutex g_emit_mutex;
+
+void init_from_env() {
+    const char* env = std::getenv("FASTMON_LOG");
+    if (env == nullptr) return;
+    const std::string v(env);
+    if (v == "quiet") {
+        g_level = LogLevel::Quiet;
+    } else if (v == "warn") {
+        g_level = LogLevel::Warn;
+    } else if (v == "info") {
+        g_level = LogLevel::Info;
+    } else if (v == "debug") {
+        g_level = LogLevel::Debug;
+    }
+}
+
+}  // namespace
+
+LogLevel log_level() {
+    std::call_once(g_env_once, init_from_env);
+    return g_level;
+}
+
+void set_log_level(LogLevel level) {
+    std::call_once(g_env_once, init_from_env);
+    g_level = level;
+}
+
+namespace detail {
+
+void log_emit(LogLevel level, std::string_view msg) {
+    const char* tag = "";
+    switch (level) {
+        case LogLevel::Warn: tag = "[warn] "; break;
+        case LogLevel::Info: tag = "[info] "; break;
+        case LogLevel::Debug: tag = "[debug] "; break;
+        case LogLevel::Quiet: break;
+    }
+    const std::lock_guard<std::mutex> lock(g_emit_mutex);
+    std::cerr << tag << msg << '\n';
+}
+
+}  // namespace detail
+
+}  // namespace fastmon

@@ -1,0 +1,49 @@
+// Minimal leveled logging to stderr.
+//
+// The flow and the benches emit progress at Info level; set the level to
+// Warn (or use the FASTMON_LOG environment variable: quiet|warn|info|debug)
+// to silence them in tests.
+#pragma once
+
+#include <sstream>
+#include <string_view>
+
+namespace fastmon {
+
+enum class LogLevel { Quiet = 0, Warn = 1, Info = 2, Debug = 3 };
+
+/// Global log level; initialized from $FASTMON_LOG on first use.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+namespace detail {
+void log_emit(LogLevel level, std::string_view msg);
+}
+
+/// Streams a single log line if `level` is enabled.
+class LogLine {
+public:
+    explicit LogLine(LogLevel level) : level_(level), enabled_(level <= log_level()) {}
+    ~LogLine() {
+        if (enabled_) detail::log_emit(level_, os_.str());
+    }
+    LogLine(const LogLine&) = delete;
+    LogLine& operator=(const LogLine&) = delete;
+
+    template <typename T>
+    LogLine& operator<<(const T& v) {
+        if (enabled_) os_ << v;
+        return *this;
+    }
+
+private:
+    LogLevel level_;
+    bool enabled_;
+    std::ostringstream os_;
+};
+
+inline LogLine log_info() { return LogLine(LogLevel::Info); }
+inline LogLine log_warn() { return LogLine(LogLevel::Warn); }
+inline LogLine log_debug() { return LogLine(LogLevel::Debug); }
+
+}  // namespace fastmon

@@ -1,0 +1,75 @@
+#include "util/prng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace fastmon {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+    x += 0x9E3779B97F4A7C15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Prng::Prng(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& w : s_) w = splitmix64(sm);
+}
+
+std::uint64_t Prng::next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+std::uint64_t Prng::next_below(std::uint64_t bound) {
+    // Lemire-style rejection to avoid modulo bias.
+    const std::uint64_t threshold = -bound % bound;
+    for (;;) {
+        const std::uint64_t r = next_u64();
+        if (r >= threshold) return r % bound;
+    }
+}
+
+double Prng::next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Prng::uniform(double lo, double hi) {
+    return lo + (hi - lo) * next_double();
+}
+
+double Prng::normal() {
+    // Box–Muller; u1 is kept away from 0 to avoid log(0).
+    double u1 = next_double();
+    if (u1 < 1e-300) u1 = 1e-300;
+    const double u2 = next_double();
+    return std::sqrt(-2.0 * std::log(u1)) *
+           std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double Prng::normal(double mean, double sigma) {
+    return mean + sigma * normal();
+}
+
+bool Prng::chance(double p) {
+    return next_double() < p;
+}
+
+}  // namespace fastmon

@@ -1,0 +1,34 @@
+// Small running-statistics helpers used by the benches and the aging model.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace fastmon {
+
+/// Welford online mean/variance accumulator.
+class RunningStats {
+public:
+    void add(double x);
+
+    [[nodiscard]] std::size_t count() const { return n_; }
+    [[nodiscard]] double mean() const { return mean_; }
+    /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+    [[nodiscard]] double variance() const;
+    [[nodiscard]] double stddev() const;
+    [[nodiscard]] double min() const { return min_; }
+    [[nodiscard]] double max() const { return max_; }
+
+private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/// Percentile of a sample (linear interpolation); p in [0, 100].
+/// The input is copied and sorted; empty input returns 0.
+double percentile(std::vector<double> values, double p);
+
+}  // namespace fastmon

@@ -1,0 +1,70 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+namespace fastmon {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TextTable::begin_row() {
+    rows_.emplace_back();
+}
+
+void TextTable::cell(std::string value) {
+    rows_.back().push_back(std::move(value));
+}
+
+void TextTable::cell(long long value) {
+    cell(std::to_string(value));
+}
+
+void TextTable::cell(std::size_t value) {
+    cell(std::to_string(value));
+}
+
+void TextTable::cell(int value) {
+    cell(std::to_string(value));
+}
+
+void TextTable::cell(double value, int decimals) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", decimals, value);
+    cell(std::string(buf));
+}
+
+void TextTable::cell_percent(double percent, int decimals) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "(%+.*f%%)", decimals, percent);
+    cell(std::string(buf));
+}
+
+void TextTable::print(std::ostream& os) const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+        widths[c] = headers_[c].size();
+    }
+    for (const auto& row : rows_) {
+        for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+            widths[c] = std::max(widths[c], row[c].size());
+        }
+    }
+    auto print_row = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            const std::string& v = c < row.size() ? row[c] : std::string();
+            os << (c == 0 ? "| " : " | ");
+            os << v << std::string(widths[c] - v.size(), ' ');
+        }
+        os << " |\n";
+    };
+    print_row(headers_);
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+        os << (c == 0 ? "|-" : "-|-") << std::string(widths[c], '-');
+    }
+    os << "-|\n";
+    for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace fastmon

@@ -1,0 +1,38 @@
+// ASCII table rendering for the bench binaries.
+//
+// Each bench that reproduces a paper table prints the same rows/columns
+// as the paper; TextTable keeps alignment and separators uniform.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace fastmon {
+
+class TextTable {
+public:
+    /// Creates a table with the given column headers.
+    explicit TextTable(std::vector<std::string> headers);
+
+    /// Starts a new row; subsequent cell() calls fill it left to right.
+    void begin_row();
+
+    void cell(std::string value);
+    void cell(long long value);
+    void cell(std::size_t value);
+    void cell(int value);
+    /// Fixed-point value with the given number of decimals.
+    void cell(double value, int decimals = 2);
+    /// Percentage rendered like the paper: "(+12.2%)".
+    void cell_percent(double percent, int decimals = 1);
+
+    /// Renders the table with a header separator.
+    void print(std::ostream& os) const;
+
+private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace fastmon

@@ -1,0 +1,98 @@
+#include "netlist/bench_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netlist/iscas_data.hpp"
+
+namespace fastmon {
+namespace {
+
+TEST(BenchIo, ParsesMinimalCircuit) {
+    const std::string text = R"(
+# comment line
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+y = NAND(a, b)
+)";
+    const Netlist nl = read_bench_string(text, "mini");
+    EXPECT_EQ(nl.primary_inputs().size(), 2u);
+    EXPECT_EQ(nl.primary_outputs().size(), 1u);
+    EXPECT_EQ(nl.num_comb_gates(), 1u);
+    EXPECT_EQ(nl.gate(nl.find("y")).type, CellType::Nand);
+}
+
+TEST(BenchIo, HandlesForwardReferencesThroughDff) {
+    // DFF output used before the D signal is defined (as in s27).
+    const std::string text = R"(
+INPUT(a)
+OUTPUT(q)
+q = DFF(n)
+n = NOT(q2)
+q2 = DFF(a)
+)";
+    EXPECT_NO_THROW(read_bench_string(text, "fwd"));
+}
+
+TEST(BenchIo, RoundTripPreservesStructure) {
+    const Netlist original = make_s27();
+    const std::string text = write_bench_string(original);
+    const Netlist reparsed = read_bench_string(text, "s27");
+    EXPECT_EQ(reparsed.primary_inputs().size(),
+              original.primary_inputs().size());
+    EXPECT_EQ(reparsed.primary_outputs().size(),
+              original.primary_outputs().size());
+    EXPECT_EQ(reparsed.flip_flops().size(), original.flip_flops().size());
+    EXPECT_EQ(reparsed.num_comb_gates(), original.num_comb_gates());
+    // Same gate types per name.
+    for (const Gate& g : original.gates()) {
+        if (g.type == CellType::Output) continue;
+        const GateId id = reparsed.find(g.name);
+        ASSERT_NE(id, kNoGate) << g.name;
+        EXPECT_EQ(reparsed.gate(id).type, g.type) << g.name;
+        EXPECT_EQ(reparsed.gate(id).fanin.size(), g.fanin.size());
+    }
+}
+
+TEST(BenchIo, CaseInsensitiveGateNames) {
+    const std::string text = "INPUT(a)\nOUTPUT(y)\ny = nand(a, a)\n";
+    const Netlist nl = read_bench_string(text, "lc");
+    EXPECT_EQ(nl.gate(nl.find("y")).type, CellType::Nand);
+}
+
+TEST(BenchIo, ErrorsCarryLineNumbers) {
+    try {
+        read_bench_string("INPUT(a)\ny = FROB(a)\n", "bad");
+        FAIL() << "expected parse error";
+    } catch (const std::runtime_error& e) {
+        EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+    }
+}
+
+TEST(BenchIo, RejectsUndefinedSignal) {
+    EXPECT_THROW(read_bench_string("INPUT(a)\ny = AND(a, ghost)\nOUTPUT(y)\n",
+                                   "bad"),
+                 std::runtime_error);
+}
+
+TEST(BenchIo, RejectsRedefinition) {
+    EXPECT_THROW(
+        read_bench_string("INPUT(a)\ny = NOT(a)\ny = BUFF(a)\n", "bad"),
+        std::runtime_error);
+}
+
+TEST(BenchIo, RejectsOutputOfUnknownSignal) {
+    EXPECT_THROW(read_bench_string("INPUT(a)\nOUTPUT(zz)\n", "bad"),
+                 std::runtime_error);
+}
+
+TEST(BenchIo, MultiInputGates) {
+    const std::string text =
+        "INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\nOUTPUT(y)\n"
+        "y = NOR(a, b, c, d)\n";
+    const Netlist nl = read_bench_string(text, "wide");
+    EXPECT_EQ(nl.gate(nl.find("y")).fanin.size(), 4u);
+}
+
+}  // namespace
+}  // namespace fastmon

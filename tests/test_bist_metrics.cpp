@@ -1,0 +1,153 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "atpg/bist.hpp"
+#include "atpg/metrics.hpp"
+#include "atpg/tdf_atpg.hpp"
+#include "fault/fault.hpp"
+#include "netlist/iscas_data.hpp"
+#include "timing/sta.hpp"
+
+namespace fastmon {
+namespace {
+
+TEST(Prpg, StreamIsDeterministicAndBalanced) {
+    Prpg a(32, 7);
+    Prpg b(32, 7);
+    std::size_t ones = 0;
+    for (int i = 0; i < 4096; ++i) {
+        const Bit bit = a.next_bit();
+        EXPECT_EQ(bit, b.next_bit());
+        ones += bit;
+    }
+    // Maximal LFSR: ~50 % ones.
+    EXPECT_NEAR(static_cast<double>(ones) / 4096.0, 0.5, 0.05);
+}
+
+TEST(Prpg, ZeroSeedIsRepaired) {
+    Prpg p(16, 0);
+    // A stuck all-zero LFSR would emit only zeros.
+    std::size_t ones = 0;
+    for (int i = 0; i < 64; ++i) ones += p.next_bit();
+    EXPECT_GT(ones, 0u);
+}
+
+TEST(Prpg, Lfsr16HasFullPeriod) {
+    Prpg p(16, 1);
+    const std::uint64_t seed_state = p.state();
+    std::size_t period = 0;
+    for (std::size_t k = 1; k <= (1u << 16); ++k) {
+        p.next_bit();
+        if (p.state() == seed_state) {
+            period = k;
+            break;
+        }
+    }
+    EXPECT_EQ(period, (1u << 16) - 1);
+}
+
+TEST(Prpg, PatternsHaveRightShape) {
+    Prpg p(32, 3);
+    const auto pats = p.generate(10, 20);
+    ASSERT_EQ(pats.size(), 20u);
+    for (const PatternPair& pp : pats) {
+        EXPECT_EQ(pp.v1.size(), 10u);
+        EXPECT_EQ(pp.v2.size(), 10u);
+    }
+    // Different patterns (overwhelmingly likely).
+    EXPECT_NE(pats[0], pats[1]);
+}
+
+TEST(Misr, OrderSensitiveSignatures) {
+    Misr a(32);
+    Misr b(32);
+    const std::vector<Bit> r1{1, 0, 1};
+    const std::vector<Bit> r2{0, 1, 1};
+    a.absorb(r1);
+    a.absorb(r2);
+    b.absorb(r2);
+    b.absorb(r1);
+    EXPECT_NE(a.signature(), b.signature());
+    // Same order -> same signature.
+    Misr c(32);
+    c.absorb(r1);
+    c.absorb(r2);
+    EXPECT_EQ(a.signature(), c.signature());
+}
+
+TEST(Misr, SingleBitFlipChangesSignature) {
+    Misr good(32);
+    Misr bad(32);
+    for (int cycle = 0; cycle < 50; ++cycle) {
+        std::vector<Bit> r(16, 0);
+        r[cycle % 16] = 1;
+        good.absorb(r);
+        if (cycle == 20) r[3] ^= 1;
+        bad.absorb(r);
+    }
+    EXPECT_NE(good.signature(), bad.signature());
+    EXPECT_NEAR(good.aliasing_probability(), std::pow(2.0, -32), 1e-18);
+}
+
+TEST(Bist, MisrDetectsDelayFaultsAtFastPeriod) {
+    const Netlist nl = make_mini_alu();
+    const DelayAnnotation ann = DelayAnnotation::nominal(nl);
+    const StaResult sta = run_sta(nl, ann);
+    const WaveSim sim(nl, ann);
+
+    Prpg prpg(32, 11);
+    const auto patterns = prpg.generate(nl.comb_sources().size(), 48);
+
+    const FaultUniverse universe = FaultUniverse::generate(nl, ann);
+    std::vector<DelayFault> faults(universe.faults().begin(),
+                                   universe.faults().begin() + 60);
+
+    // At the nominal period almost nothing is detected (HDFs hide);
+    // inside the FAST window detection appears.
+    const BistCoverage at_speed = misr_fault_coverage(
+        sim, patterns, faults, sta.clock_period);
+    const BistCoverage fast = misr_fault_coverage(
+        sim, patterns, faults, 0.55 * sta.clock_period);
+    EXPECT_GT(fast.detected, at_speed.detected);
+    EXPECT_EQ(fast.detected + fast.aliased, fast.response_diffs);
+    // 32-bit MISR: aliasing should be absent on this scale.
+    EXPECT_EQ(fast.aliased, 0u);
+    EXPECT_EQ(fast.period, 0.55 * sta.clock_period);
+}
+
+TEST(Metrics, CoverageCurveIsMonotoneAndConsistent) {
+    const Netlist nl = make_s27();
+    AtpgConfig cfg;
+    cfg.seed = 5;
+    const AtpgResult atpg = generate_tdf_tests(nl, cfg);
+    const PatternSetMetrics m =
+        evaluate_pattern_set(nl, atpg.test_set.patterns);
+    EXPECT_EQ(m.num_patterns, atpg.test_set.size());
+    EXPECT_EQ(m.num_faults, 56u);
+    EXPECT_EQ(m.detected, atpg.num_detected);
+    EXPECT_NEAR(m.coverage, atpg.coverage(), 1e-12);
+    // Monotone cumulative curve ending at `detected`.
+    for (std::size_t p = 1; p < m.cumulative_detected.size(); ++p) {
+        EXPECT_GE(m.cumulative_detected[p], m.cumulative_detected[p - 1]);
+    }
+    EXPECT_EQ(m.cumulative_detected.back(), m.detected);
+    // N-detect histogram is non-increasing in n and starts at detected.
+    ASSERT_EQ(m.n_detect_histogram.size(), 5u);
+    EXPECT_EQ(m.n_detect_histogram[0], m.detected);
+    for (std::size_t n = 1; n < m.n_detect_histogram.size(); ++n) {
+        EXPECT_LE(m.n_detect_histogram[n], m.n_detect_histogram[n - 1]);
+    }
+    EXPECT_GT(m.mean_toggle_rate, 0.0);
+    EXPECT_LE(m.mean_toggle_rate, 1.0);
+}
+
+TEST(Metrics, EmptyPatternSet) {
+    const Netlist nl = make_s27();
+    const PatternSetMetrics m = evaluate_pattern_set(nl, {});
+    EXPECT_EQ(m.detected, 0u);
+    EXPECT_EQ(m.num_patterns, 0u);
+}
+
+}  // namespace
+}  // namespace fastmon

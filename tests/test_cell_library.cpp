@@ -1,0 +1,144 @@
+#include "netlist/cell_library.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fastmon {
+namespace {
+
+TEST(CellLibrary, NamesRoundTrip) {
+    EXPECT_EQ(cell_type_name(CellType::Nand), "NAND");
+    EXPECT_EQ(cell_type_name(CellType::Dff), "DFF");
+    EXPECT_EQ(cell_type_name(CellType::Inv), "NOT");
+}
+
+TEST(CellLibrary, InterfaceClassification) {
+    EXPECT_TRUE(is_interface(CellType::Input));
+    EXPECT_TRUE(is_interface(CellType::Output));
+    EXPECT_TRUE(is_interface(CellType::Dff));
+    EXPECT_FALSE(is_interface(CellType::Nand));
+    EXPECT_TRUE(is_combinational(CellType::Xor));
+    EXPECT_FALSE(is_combinational(CellType::Dff));
+}
+
+TEST(CellLibrary, ArityBounds) {
+    EXPECT_EQ(min_arity(CellType::Inv), 1u);
+    EXPECT_EQ(max_arity(CellType::Inv), 1u);
+    EXPECT_EQ(min_arity(CellType::Nand), 2u);
+    EXPECT_EQ(max_arity(CellType::Nand), 8u);
+    EXPECT_EQ(min_arity(CellType::Mux2), 3u);
+    EXPECT_EQ(max_arity(CellType::Mux2), 3u);
+    EXPECT_EQ(min_arity(CellType::Input), 0u);
+}
+
+TEST(CellLibrary, EvalBasicGates) {
+    const bool ff[] = {false, false};
+    const bool ft[] = {false, true};
+    const bool tt[] = {true, true};
+    EXPECT_FALSE(eval_cell(CellType::And, ft));
+    EXPECT_TRUE(eval_cell(CellType::And, tt));
+    EXPECT_TRUE(eval_cell(CellType::Nand, ft));
+    EXPECT_FALSE(eval_cell(CellType::Nand, tt));
+    EXPECT_TRUE(eval_cell(CellType::Or, ft));
+    EXPECT_FALSE(eval_cell(CellType::Or, ff));
+    EXPECT_TRUE(eval_cell(CellType::Nor, ff));
+    EXPECT_TRUE(eval_cell(CellType::Xor, ft));
+    EXPECT_FALSE(eval_cell(CellType::Xor, tt));
+    EXPECT_TRUE(eval_cell(CellType::Xnor, tt));
+    const bool one[] = {true};
+    EXPECT_FALSE(eval_cell(CellType::Inv, one));
+    EXPECT_TRUE(eval_cell(CellType::Buf, one));
+}
+
+TEST(CellLibrary, EvalComplexGates) {
+    // MUX: inputs (sel, a, b).
+    const bool sel0[] = {false, true, false};
+    const bool sel1[] = {true, true, false};
+    EXPECT_TRUE(eval_cell(CellType::Mux2, sel0));
+    EXPECT_FALSE(eval_cell(CellType::Mux2, sel1));
+    // AOI21: !((a & b) | c).
+    const bool aoi_a[] = {true, true, false};
+    const bool aoi_b[] = {true, false, false};
+    EXPECT_FALSE(eval_cell(CellType::Aoi21, aoi_a));
+    EXPECT_TRUE(eval_cell(CellType::Aoi21, aoi_b));
+    // OAI21: !((a | b) & c).
+    const bool oai_a[] = {true, false, true};
+    const bool oai_b[] = {false, false, true};
+    EXPECT_FALSE(eval_cell(CellType::Oai21, oai_a));
+    EXPECT_TRUE(eval_cell(CellType::Oai21, oai_b));
+}
+
+// Property: eval_cell64 agrees with eval_cell on every lane.
+class Eval64Property : public ::testing::TestWithParam<CellType> {};
+
+TEST_P(Eval64Property, MatchesScalarEval) {
+    const CellType type = GetParam();
+    const std::uint32_t arity = min_arity(type);
+    // Enumerate all input combinations across lanes.
+    std::vector<std::uint64_t> words(arity, 0);
+    const std::uint32_t combos = 1u << arity;
+    for (std::uint32_t m = 0; m < combos; ++m) {
+        for (std::uint32_t i = 0; i < arity; ++i) {
+            if ((m >> i) & 1) words[i] |= 1ULL << m;
+        }
+    }
+    const std::uint64_t out = eval_cell64(type, words);
+    for (std::uint32_t m = 0; m < combos; ++m) {
+        bool ins[8];
+        for (std::uint32_t i = 0; i < arity; ++i) ins[i] = ((m >> i) & 1) != 0;
+        const bool expect =
+            eval_cell(type, std::span<const bool>(ins, arity));
+        EXPECT_EQ(((out >> m) & 1) != 0, expect)
+            << cell_type_name(type) << " combo " << m;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCells, Eval64Property,
+    ::testing::Values(CellType::Buf, CellType::Inv, CellType::And,
+                      CellType::Nand, CellType::Or, CellType::Nor,
+                      CellType::Xor, CellType::Xnor, CellType::Mux2,
+                      CellType::Aoi21, CellType::Oai21));
+
+TEST(CellLibrary, DelaysArePositiveAndPinOrdered) {
+    const CellLibrary& lib = CellLibrary::nangate45();
+    for (CellType type : {CellType::Buf, CellType::Inv, CellType::And,
+                          CellType::Nand, CellType::Or, CellType::Nor,
+                          CellType::Xor, CellType::Xnor, CellType::Mux2,
+                          CellType::Aoi21, CellType::Oai21}) {
+        const std::uint32_t arity = min_arity(type);
+        Time prev = 0.0;
+        for (std::uint32_t pin = 0; pin < arity; ++pin) {
+            const PinDelay d = lib.nominal_delay(type, arity, pin);
+            EXPECT_GT(d.rise, 0.0);
+            EXPECT_GT(d.fall, 0.0);
+            // Later pins are not faster (stack position effect).
+            EXPECT_GE(d.rise + d.fall, prev);
+            prev = d.rise + d.fall;
+        }
+    }
+}
+
+TEST(CellLibrary, WiderGatesAreSlower) {
+    const CellLibrary& lib = CellLibrary::nangate45();
+    const PinDelay d2 = lib.nominal_delay(CellType::Nand, 2, 0);
+    const PinDelay d4 = lib.nominal_delay(CellType::Nand, 4, 0);
+    EXPECT_GT(d4.rise, d2.rise);
+    EXPECT_GT(d4.fall, d2.fall);
+}
+
+TEST(CellLibrary, InverterIsFastest) {
+    const CellLibrary& lib = CellLibrary::nangate45();
+    EXPECT_GT(lib.min_gate_delay(), 0.0);
+    const PinDelay inv = lib.nominal_delay(CellType::Inv, 1, 0);
+    EXPECT_LE(lib.min_gate_delay(), std::min(inv.rise, inv.fall));
+}
+
+TEST(CellLibrary, SequentialParameters) {
+    const CellLibrary& lib = CellLibrary::nangate45();
+    EXPECT_GT(lib.dff_clk_to_q(), 0.0);
+    EXPECT_GT(lib.dff_setup(), 0.0);
+    EXPECT_GT(lib.load_delay_per_fanout(), 0.0);
+}
+
+}  // namespace
+}  // namespace fastmon

@@ -1,0 +1,159 @@
+#include "fault/classify.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netlist/builder.hpp"
+#include "netlist/generator.hpp"
+#include "monitor/placement.hpp"
+
+namespace fastmon {
+namespace {
+
+TEST(FaultUniverse, TwoFaultsPerPin) {
+    NetlistBuilder b("u");
+    b.input("a").input("c");
+    b.nand2("g", "a", "c");
+    b.output("g");
+    const Netlist nl = b.build();
+    const DelayAnnotation ann = DelayAnnotation::nominal(nl);
+    const FaultUniverse u = FaultUniverse::generate(nl, ann);
+    // One NAND2: pins = out + 2 inputs, 2 directions each.
+    EXPECT_EQ(u.size(), 6u);
+    EXPECT_EQ(u.fault_name(nl, 0), "g/out:STR");
+}
+
+TEST(FaultUniverse, DeltaIsSixSigma) {
+    NetlistBuilder b("d");
+    b.input("a");
+    b.inv("g", "a");
+    b.output("g");
+    const Netlist nl = b.build();
+    const DelayAnnotation ann = DelayAnnotation::nominal(nl);
+    const FaultUniverse u = FaultUniverse::generate(nl, ann, 1.2);
+    for (const DelayFault& f : u.faults()) {
+        EXPECT_NEAR(f.delta, 1.2 * ann.nominal_gate_delay(f.site.gate),
+                    1e-9);
+    }
+}
+
+TEST(FaultUniverse, SampleIsDeterministicSubset) {
+    const Netlist nl = generate_circuit(
+        GeneratorConfig{"fu", 300, 30, 8, 8, 10, 0.5, 2});
+    const DelayAnnotation ann = DelayAnnotation::nominal(nl);
+    const FaultUniverse u = FaultUniverse::generate(nl, ann);
+    const auto s1 = u.sample(100, 7);
+    const auto s2 = u.sample(100, 7);
+    const auto s3 = u.sample(100, 8);
+    EXPECT_EQ(s1.size(), 100u);
+    EXPECT_EQ(s1, s2);
+    EXPECT_NE(s1, s3);
+    for (FaultId id : s1) EXPECT_LT(id, u.size());
+    // Sorted and unique.
+    for (std::size_t i = 1; i < s1.size(); ++i) EXPECT_LT(s1[i - 1], s1[i]);
+    // Larger than universe: identity.
+    EXPECT_EQ(u.sample(1u << 20, 1).size(), u.size());
+}
+
+TEST(Classify, CriticalPathFaultsAreAtSpeedDetectable) {
+    // Long chain: the deep gates have almost no slack, so a 1.2x gate
+    // delay fault on them is at-speed detectable.
+    NetlistBuilder b("chain");
+    b.input("a");
+    std::string prev = "a";
+    for (int i = 0; i < 12; ++i) {
+        const std::string name = "n" + std::to_string(i);
+        b.inv(name, prev);
+        prev = name;
+    }
+    b.output(prev);
+    const Netlist nl = b.build();
+    const DelayAnnotation ann = DelayAnnotation::nominal(nl);
+    const StaResult sta = run_sta(nl, ann);
+    const FaultUniverse u = FaultUniverse::generate(nl, ann);
+    StructuralClassifyConfig cfg;
+    cfg.fmax_factor = 3.0;
+    const StructuralClassification c =
+        classify_structural(nl, ann, sta, u, cfg);
+    // A single path: every fault sits on the critical path with 5 %
+    // slack < delta = 120 % of a gate delay.
+    EXPECT_EQ(c.num_at_speed, u.size());
+    EXPECT_EQ(c.num_candidates, 0u);
+}
+
+TEST(Classify, ShortPathFaultsAreRedundantWithoutMonitors) {
+    // A long chain sets the clock; a separate single-buffer path is far
+    // too fast for its fault to reach the FAST window.
+    NetlistBuilder b("mix");
+    b.input("a");
+    b.input("s");
+    std::string prev = "a";
+    for (int i = 0; i < 20; ++i) {
+        const std::string name = "n" + std::to_string(i);
+        b.inv(name, prev);
+        prev = name;
+    }
+    b.output(prev);
+    b.buf("fastpath", "s");
+    b.dff("q", "fastpath");
+    const Netlist nl = b.build();
+    const DelayAnnotation ann = DelayAnnotation::nominal(nl);
+    const StaResult sta = run_sta(nl, ann);
+    const FaultUniverse u = FaultUniverse::generate(nl, ann);
+    StructuralClassifyConfig cfg;
+    cfg.fmax_factor = 3.0;
+    const StructuralClassification c =
+        classify_structural(nl, ann, sta, u, cfg);
+    EXPECT_GT(c.num_redundant, 0u);
+
+    // With a monitor (max delay clk/3) on the fast path's FF, the same
+    // faults become candidates.
+    StructuralClassifyConfig cfg_mon = cfg;
+    cfg_mon.max_monitor_delay = sta.clock_period / 3.0;
+    cfg_mon.monitored_observe.assign(nl.observe_points().size(), true);
+    const StructuralClassification cm =
+        classify_structural(nl, ann, sta, u, cfg_mon);
+    EXPECT_LT(cm.num_redundant, c.num_redundant);
+    EXPECT_GT(cm.num_candidates, c.num_candidates);
+}
+
+TEST(Classify, PathThroughSiteMatchesStaForOutputFaults) {
+    const Netlist nl = generate_circuit(
+        GeneratorConfig{"cls", 300, 30, 8, 8, 10, 0.5, 6});
+    const DelayAnnotation ann = DelayAnnotation::nominal(nl);
+    const StaResult sta = run_sta(nl, ann);
+    for (GateId id = 0; id < nl.size(); ++id) {
+        if (!is_combinational(nl.gate(id).type)) continue;
+        const Time p = path_through_site(nl, ann, sta,
+                                         FaultSite{id, FaultSite::kOutputPin});
+        EXPECT_NEAR(p, sta.path_through[id], 1e-9);
+        // Input-pin paths never exceed the gate's own path-through.
+        for (std::uint32_t pin = 0;
+             pin < static_cast<std::uint32_t>(nl.gate(id).fanin.size());
+             ++pin) {
+            const Time pp =
+                path_through_site(nl, ann, sta, FaultSite{id, pin});
+            EXPECT_LE(pp, p + 1e-9);
+        }
+    }
+}
+
+TEST(Classify, CandidateListMatchesCounts) {
+    const Netlist nl = generate_circuit(
+        GeneratorConfig{"cls2", 400, 40, 10, 10, 14, 0.7, 8});
+    const DelayAnnotation ann = DelayAnnotation::nominal(nl);
+    const StaResult sta = run_sta(nl, ann);
+    const FaultUniverse u = FaultUniverse::generate(nl, ann);
+    StructuralClassifyConfig cfg;
+    cfg.fmax_factor = 3.0;
+    const StructuralClassification c =
+        classify_structural(nl, ann, sta, u, cfg);
+    EXPECT_EQ(c.klass.size(), u.size());
+    EXPECT_EQ(c.num_at_speed + c.num_redundant + c.num_candidates, u.size());
+    EXPECT_EQ(c.candidates().size(), c.num_candidates);
+    // All three classes should be populated on a spread circuit.
+    EXPECT_GT(c.num_at_speed, 0u);
+    EXPECT_GT(c.num_candidates, 0u);
+}
+
+}  // namespace
+}  // namespace fastmon

@@ -1,0 +1,108 @@
+#include "schedule/clock_gen.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/prng.hpp"
+
+namespace fastmon {
+namespace {
+
+ClockGenConfig small_gen() {
+    ClockGenConfig c;
+    c.reference_period = 1000.0;
+    c.multiplier_min = 2;
+    c.multiplier_max = 16;
+    c.divider_min = 1;
+    c.divider_max = 16;
+    return c;
+}
+
+TEST(ClockGen, NearestReturnsRealizablePeriod) {
+    const ClockGenerator gen(small_gen());
+    const ClockSetting s = gen.nearest(333.0);
+    EXPECT_NEAR(s.period,
+                1000.0 * static_cast<double>(s.divider) /
+                    static_cast<double>(s.multiplier),
+                1e-9);
+    // 1/3 is realizable exactly (divider 1, multiplier 3 not in range;
+    // but e.g. 4/12 = 1/3 with m=12, d=4).
+    EXPECT_NEAR(s.period, 1000.0 / 3.0, 1.0);
+}
+
+TEST(ClockGen, QuantizeRespectsWindow) {
+    const ClockGenerator gen(small_gen());
+    const auto s = gen.quantize(500.0, 480.0, 520.0);
+    ASSERT_TRUE(s.has_value());
+    EXPECT_GE(s->period, 480.0);
+    EXPECT_LT(s->period, 520.0);
+    EXPECT_NEAR(s->period, 500.0, 20.0);
+    // Impossible window below the grid floor:
+    // min period = ref * d_min / m_max = 1000/16 = 62.5.
+    EXPECT_FALSE(gen.quantize(10.0, 5.0, 20.0).has_value());
+}
+
+TEST(ClockGen, GridErrorShrinksWithRicherGenerator) {
+    const ClockGenerator coarse(small_gen());
+    ClockGenConfig rich_cfg = small_gen();
+    rich_cfg.multiplier_max = 128;
+    rich_cfg.divider_max = 256;
+    const ClockGenerator rich(rich_cfg);
+    const double e_coarse = coarse.max_relative_error(200.0, 900.0);
+    const double e_rich = rich.max_relative_error(200.0, 900.0);
+    EXPECT_LT(e_rich, e_coarse);
+    EXPECT_LT(e_rich, 0.01);  // sub-percent with a dense grid
+}
+
+TEST(ClockGen, RelockTimeFromConfig) {
+    ClockGenConfig c = small_gen();
+    c.relock_reference_cycles = 150.0;
+    const ClockGenerator gen(c);
+    EXPECT_NEAR(gen.relock_time(), 150000.0, 1e-9);
+}
+
+TEST(ClockGen, QuantizeSelectionReportsCoverageLoss) {
+    // One fault detectable only in a sliver no realizable period hits.
+    ClockGenConfig c;
+    c.reference_period = 1000.0;
+    c.multiplier_min = 1;
+    c.multiplier_max = 4;
+    c.divider_min = 1;
+    c.divider_max = 4;  // realizable: 250, 333, 500, 666, 750, 1000, ...
+    const ClockGenerator gen(c);
+    std::vector<IntervalSet> ranges(2);
+    ranges[0].add(490.0, 510.0);  // realizable 500 inside
+    ranges[1].add(410.0, 420.0);  // nothing realizable inside
+    const std::vector<Time> ideal{500.0, 415.0};
+    const QuantizedSelection q = quantize_selection(gen, ideal, ranges);
+    ASSERT_EQ(q.periods.size(), 2u);
+    EXPECT_NEAR(q.periods[0], 500.0, 1e-9);
+    EXPECT_EQ(q.unrealizable, 1u);
+    ASSERT_EQ(q.coverage_lost.size(), 1u);
+    EXPECT_EQ(q.coverage_lost[0], 1u);
+}
+
+// Property: quantizing with a dense default generator keeps nearly all
+// coverage on wide detection ranges.
+class ClockQuantProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ClockQuantProperty, DenseGridPreservesWideRangeCoverage) {
+    Prng rng(GetParam() * 313);
+    const ClockGenerator gen;  // default dense config
+    std::vector<IntervalSet> ranges(60);
+    std::vector<Time> periods;
+    for (auto& r : ranges) {
+        const Time lo = rng.uniform(200.0, 900.0);
+        r.add(lo, lo + rng.uniform(15.0, 60.0));  // wide ranges
+    }
+    // Pierce each range at its midpoint (mimicking discretization).
+    for (const auto& r : ranges) periods.push_back(r[0].midpoint());
+    const QuantizedSelection q = quantize_selection(gen, periods, ranges);
+    EXPECT_EQ(q.unrealizable, 0u);
+    EXPECT_TRUE(q.coverage_lost.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClockQuantProperty,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace fastmon

@@ -1,0 +1,134 @@
+#include "schedule/discretize.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/prng.hpp"
+
+namespace fastmon {
+namespace {
+
+TEST(Discretize, PaperFigure5Example) {
+    // Fig. 5 of the paper, qualitatively: three faults with overlapping
+    // detection intervals; candidates must cover each fault.
+    std::vector<IntervalSet> ranges(3);
+    ranges[0].add(10.0, 40.0);
+    ranges[1].add(25.0, 60.0);
+    ranges[2].add(50.0, 80.0);
+    const DiscretizationResult d = discretize_observation_times(ranges);
+    ASSERT_FALSE(d.candidates.empty());
+    // Every fault has at least one candidate inside its range.
+    for (std::size_t f = 0; f < ranges.size(); ++f) {
+        bool hit = false;
+        for (Time t : d.candidates) {
+            if (ranges[f].contains(t)) hit = true;
+        }
+        EXPECT_TRUE(hit) << "fault " << f;
+    }
+    // The overlap region (25, 40) detects both fault 0 and 1: some
+    // candidate must carry both.
+    bool both = false;
+    for (std::size_t c = 0; c < d.candidates.size(); ++c) {
+        if (d.covered[c].size() >= 2) both = true;
+    }
+    EXPECT_TRUE(both);
+}
+
+TEST(Discretize, CandidatesAreMidpointsBeforeClosings) {
+    std::vector<IntervalSet> ranges(1);
+    ranges[0].add(10.0, 20.0);
+    const DiscretizationResult d = discretize_observation_times(ranges);
+    ASSERT_EQ(d.candidates.size(), 1u);
+    EXPECT_NEAR(d.candidates[0], 15.0, 1e-9);
+    EXPECT_EQ(d.covered[0], (std::vector<std::uint32_t>{0}));
+}
+
+TEST(Discretize, EmptyInput) {
+    const DiscretizationResult d = discretize_observation_times({});
+    EXPECT_TRUE(d.candidates.empty());
+    std::vector<IntervalSet> empty_ranges(5);
+    const DiscretizationResult d2 =
+        discretize_observation_times(empty_ranges);
+    EXPECT_TRUE(d2.candidates.empty());
+}
+
+TEST(Discretize, CoveredSetsMatchMembership) {
+    Prng rng(3);
+    std::vector<IntervalSet> ranges(40);
+    for (auto& r : ranges) {
+        for (int i = 0; i < 2; ++i) {
+            const Time lo = rng.uniform(0.0, 90.0);
+            r.add(lo, lo + rng.uniform(1.0, 15.0));
+        }
+    }
+    const DiscretizationResult d = discretize_observation_times(ranges);
+    for (std::size_t c = 0; c < d.candidates.size(); ++c) {
+        const Time t = d.candidates[c];
+        for (std::uint32_t f = 0; f < ranges.size(); ++f) {
+            const bool in_cover =
+                std::find(d.covered[c].begin(), d.covered[c].end(), f) !=
+                d.covered[c].end();
+            EXPECT_EQ(in_cover, ranges[f].contains(t))
+                << "candidate " << t << " fault " << f;
+        }
+    }
+}
+
+// Property: the candidate set always hits every non-empty range, with
+// and without a candidate cap.
+class DiscretizeCoverage : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DiscretizeCoverage, EveryFaultKeepsACandidate) {
+    Prng rng(GetParam() * 7919);
+    std::vector<IntervalSet> ranges(300);
+    for (auto& r : ranges) {
+        const int k = 1 + static_cast<int>(rng.next_below(3));
+        for (int i = 0; i < k; ++i) {
+            const Time lo = rng.uniform(0.0, 500.0);
+            r.add(lo, lo + rng.uniform(0.5, 40.0));
+        }
+    }
+    for (std::size_t cap : {std::size_t{0}, std::size_t{32}, std::size_t{8}}) {
+        DiscretizeOptions opts;
+        opts.max_candidates = cap;
+        const DiscretizationResult d =
+            discretize_observation_times(ranges, opts);
+        for (std::size_t f = 0; f < ranges.size(); ++f) {
+            bool hit = false;
+            for (const Interval& iv : ranges[f].intervals()) {
+                auto it = std::lower_bound(d.candidates.begin(),
+                                           d.candidates.end(), iv.lo);
+                if (it != d.candidates.end() && *it < iv.hi) {
+                    hit = true;
+                    break;
+                }
+            }
+            EXPECT_TRUE(hit) << "cap " << cap << " fault " << f;
+        }
+        // Candidates strictly increasing.
+        for (std::size_t c = 1; c < d.candidates.size(); ++c) {
+            EXPECT_LT(d.candidates[c - 1], d.candidates[c]);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DiscretizeCoverage,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+TEST(Discretize, CapBoundsCandidateCountUpToRepairs) {
+    Prng rng(11);
+    std::vector<IntervalSet> ranges(500);
+    for (auto& r : ranges) {
+        const Time lo = rng.uniform(0.0, 1000.0);
+        r.add(lo, lo + rng.uniform(0.5, 10.0));
+    }
+    DiscretizeOptions opts;
+    opts.max_candidates = 64;
+    const DiscretizationResult d = discretize_observation_times(ranges, opts);
+    // The repair step may add a few candidates past the cap, but the
+    // count stays O(cap + repaired).
+    EXPECT_LE(d.candidates.size(), 64u + 500u);
+    EXPECT_GE(d.candidates.size(), 1u);
+}
+
+}  // namespace
+}  // namespace fastmon

@@ -1,0 +1,49 @@
+#include "fault/fault_report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "flow/hdf_flow.hpp"
+#include "netlist/iscas_data.hpp"
+
+namespace fastmon {
+namespace {
+
+TEST(FaultReport, ClassNames) {
+    EXPECT_EQ(to_string(StructuralClass::AtSpeedDetectable), "at-speed");
+    EXPECT_EQ(to_string(StructuralClass::TimingRedundant), "redundant");
+    EXPECT_EQ(to_string(StructuralClass::Candidate), "candidate");
+}
+
+TEST(FaultReport, CsvHasOneRowPerFault) {
+    const Netlist nl = make_s27();
+    HdfFlowConfig config;
+    config.seed = 12;
+    config.monitor_fraction = 0.5;
+    config.atpg.max_random_batches = 20;
+    HdfFlow flow(nl, config);
+    flow.prepare();
+
+    std::ostringstream os2;
+    StructuralClassifyConfig scc;
+    scc.fmax_factor = config.fmax_factor;
+    scc.max_monitor_delay = flow.placement().max_delay();
+    scc.monitored_observe = flow.placement().monitored;
+    const StructuralClassification cls = classify_structural(
+        nl, flow.delays(), flow.sta(), flow.universe(), scc);
+    write_fault_report_csv(os2, nl, flow.universe(), cls,
+                           flow.simulated_faults(), flow.ranges());
+    const std::string out = os2.str();
+    // Header + one line per fault.
+    const std::size_t lines =
+        static_cast<std::size_t>(std::count(out.begin(), out.end(), '\n'));
+    EXPECT_EQ(lines, flow.universe().size() + 1);
+    EXPECT_NE(out.find("fault,site,direction"), std::string::npos);
+    EXPECT_NE(out.find("STR"), std::string::npos);
+    EXPECT_NE(out.find("at-speed"), std::string::npos);
+    EXPECT_NE(out.find("G11/out"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fastmon

@@ -1,0 +1,71 @@
+// The full flow on regular (non-random) circuit structures: regression
+// against structural assumptions that only hold for random logic.
+#include <gtest/gtest.h>
+
+#include "flow/hdf_flow.hpp"
+#include "netlist/structures.hpp"
+
+namespace fastmon {
+namespace {
+
+class FlowOnStructure : public ::testing::TestWithParam<int> {};
+
+Netlist structure_for(int which) {
+    switch (which) {
+        case 0: return make_lfsr(8, maximal_lfsr_taps(8));
+        case 1: return make_counter(8);
+        case 2: return make_shift_register(12);
+        default: return make_parity_tree(4);
+    }
+}
+
+TEST_P(FlowOnStructure, PipelineInvariantsHold) {
+    const Netlist nl = structure_for(GetParam());
+    HdfFlowConfig config;
+    config.seed = 17;
+    config.monitor_fraction = 0.5;
+    config.atpg.max_random_batches = 20;
+    config.atpg.max_idle_batches = 4;
+    config.solver.time_limit_sec = 2.0;
+    HdfFlow flow(nl, config);
+    const HdfFlowResult r = flow.run();
+
+    EXPECT_EQ(r.fault_universe,
+              r.at_speed_detectable + r.timing_redundant + r.candidate_faults);
+    EXPECT_GE(r.detected_prop, r.detected_conv);
+    EXPECT_LE(r.opti_pc, r.orig_pc);
+    EXPECT_EQ(r.schedule_uncovered, 0u);
+    for (std::size_t k = 1; k < r.coverage_rows.size(); ++k) {
+        EXPECT_LE(r.coverage_rows[k].num_frequencies,
+                  r.coverage_rows[k - 1].num_frequencies);
+    }
+    // Coverage curve monotone on these regular structures too.
+    const std::vector<double> factors{1.0, 2.0, 3.0};
+    const auto curve = flow.coverage_curve(factors);
+    for (std::size_t i = 1; i < curve.size(); ++i) {
+        EXPECT_GE(curve[i].prop, curve[i - 1].prop - 1e-12);
+        EXPECT_GE(curve[i].conv, curve[i - 1].conv - 1e-12);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Structures, FlowOnStructure,
+                         ::testing::Range(0, 4));
+
+// A shift register is the extreme "all paths equal and short" case:
+// with only buffers between stages, (almost) every fault is either
+// at-speed detectable or needs barely-faster-than-at-speed periods.
+TEST(FlowOnShiftRegister, DegenerateTimingProfile) {
+    const Netlist nl = make_shift_register(12);
+    HdfFlowConfig config;
+    config.seed = 19;
+    config.monitor_fraction = 1.0;
+    config.atpg.max_random_batches = 10;
+    HdfFlow flow(nl, config);
+    const HdfFlowResult r = flow.run();
+    // Single-buffer stages: path = one gate, clk = 1.05 * path, so the
+    // 1.2x-gate-delay fault eats the 5 % slack: all at-speed.
+    EXPECT_EQ(r.at_speed_detectable, r.fault_universe);
+}
+
+}  // namespace
+}  // namespace fastmon

@@ -1,0 +1,135 @@
+#include "netlist/generator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fastmon {
+namespace {
+
+GeneratorConfig small_config(std::uint64_t seed, double spread) {
+    GeneratorConfig c;
+    c.name = "gen_test";
+    c.n_gates = 600;
+    c.n_ffs = 60;
+    c.n_inputs = 12;
+    c.n_outputs = 12;
+    c.depth = 14;
+    c.spread = spread;
+    c.seed = seed;
+    return c;
+}
+
+TEST(Generator, ProducesRequestedSizes) {
+    const Netlist nl = generate_circuit(small_config(1, 0.5));
+    EXPECT_EQ(nl.num_comb_gates(), 600u);
+    EXPECT_EQ(nl.flip_flops().size(), 60u);
+    EXPECT_EQ(nl.primary_inputs().size(), 12u);
+    // Extra pads may be added for dangling gates.
+    EXPECT_GE(nl.primary_outputs().size(), 12u);
+}
+
+TEST(Generator, DeterministicForSameSeed) {
+    const Netlist a = generate_circuit(small_config(7, 0.5));
+    const Netlist b = generate_circuit(small_config(7, 0.5));
+    ASSERT_EQ(a.size(), b.size());
+    for (GateId id = 0; id < a.size(); ++id) {
+        EXPECT_EQ(a.gate(id).type, b.gate(id).type);
+        EXPECT_EQ(a.gate(id).fanin, b.gate(id).fanin);
+    }
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+    const Netlist a = generate_circuit(small_config(1, 0.5));
+    const Netlist b = generate_circuit(small_config(2, 0.5));
+    bool any_diff = a.size() != b.size();
+    for (GateId id = 0; !any_diff && id < a.size(); ++id) {
+        any_diff = a.gate(id).type != b.gate(id).type ||
+                   a.gate(id).fanin != b.gate(id).fanin;
+    }
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(Generator, ReachesTargetDepth) {
+    const Netlist nl = generate_circuit(small_config(3, 0.5));
+    EXPECT_GE(nl.depth(), 13u);  // target 14; the PO pads add one level
+}
+
+TEST(Generator, NoDanglingGates) {
+    const Netlist nl = generate_circuit(small_config(4, 0.9));
+    for (GateId id = 0; id < nl.size(); ++id) {
+        const Gate& g = nl.gate(id);
+        if (g.type == CellType::Output) continue;
+        EXPECT_FALSE(g.fanout.empty())
+            << "dangling " << g.name << " ("
+            << cell_type_name(g.type) << ")";
+    }
+}
+
+TEST(Generator, SpreadShiftsLevelHistogram) {
+    // High spread puts clearly more gates in the shallow half.
+    auto shallow_fraction = [](const Netlist& nl) {
+        std::size_t shallow = 0;
+        std::size_t total = 0;
+        for (GateId id = 0; id < nl.size(); ++id) {
+            if (!is_combinational(nl.gate(id).type)) continue;
+            ++total;
+            if (nl.level(id) <= nl.depth() / 2) ++shallow;
+        }
+        return static_cast<double>(shallow) / static_cast<double>(total);
+    };
+    const double low = shallow_fraction(generate_circuit(small_config(5, 0.05)));
+    const double high = shallow_fraction(generate_circuit(small_config(5, 0.95)));
+    EXPECT_GT(high, low + 0.15);
+}
+
+TEST(Generator, RejectsDegenerateConfig) {
+    GeneratorConfig c = small_config(1, 0.5);
+    c.n_inputs = 0;
+    EXPECT_THROW(generate_circuit(c), std::invalid_argument);
+}
+
+TEST(Generator, PaperProfilesComplete) {
+    const auto& profiles = paper_profiles();
+    ASSERT_EQ(profiles.size(), 12u);
+    EXPECT_EQ(profiles.front().name, "s9234");
+    EXPECT_EQ(profiles.front().gates, 1766u);
+    EXPECT_EQ(profiles.front().ffs, 228u);
+    EXPECT_EQ(profiles.back().name, "p141k");
+    EXPECT_EQ(profiles.back().gates, 107655u);
+    EXPECT_EQ(profiles.back().ffs, 10501u);
+    EXPECT_NO_THROW(find_profile("s38417"));
+    EXPECT_THROW(find_profile("s00000"), std::runtime_error);
+}
+
+TEST(Generator, ProfileScalingShrinksSizes) {
+    const CircuitProfile& p = find_profile("s9234");
+    const GeneratorConfig full = profile_config(p, 1.0);
+    const GeneratorConfig half = profile_config(p, 0.5);
+    EXPECT_EQ(full.n_gates, 1766u);
+    EXPECT_NEAR(static_cast<double>(half.n_gates), 883.0, 1.0);
+    EXPECT_EQ(half.depth, full.depth);  // depth never scales
+    const Netlist nl = generate_circuit(half);
+    EXPECT_EQ(nl.num_comb_gates(), half.n_gates);
+}
+
+// Property sweep: every profile generates a valid connected circuit at
+// small scale.
+class ProfileGeneration : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ProfileGeneration, GeneratesValidCircuit) {
+    const CircuitProfile& p = find_profile(GetParam());
+    const double scale = std::min(1.0, 900.0 / static_cast<double>(p.gates));
+    const Netlist nl = generate_circuit(profile_config(p, scale));
+    EXPECT_TRUE(nl.finalized());
+    EXPECT_GT(nl.depth(), 4u);
+    EXPECT_GT(nl.observe_points().size(), 0u);
+    EXPECT_GT(nl.comb_sources().size(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProfiles, ProfileGeneration,
+    ::testing::Values("s9234", "s13207", "s15850", "s35932", "s38417",
+                      "s38584", "p35k", "p45k", "p78k", "p89k", "p100k",
+                      "p141k"));
+
+}  // namespace
+}  // namespace fastmon

@@ -1,0 +1,180 @@
+#include "opt/ilp.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/prng.hpp"
+
+namespace fastmon {
+namespace {
+
+LpRow row(std::vector<std::pair<std::uint32_t, double>> coeffs, double rhs) {
+    LpRow r;
+    r.coeffs = std::move(coeffs);
+    r.rhs = rhs;
+    return r;
+}
+
+TEST(Ilp, SimpleCover) {
+    // Three sets, elements force at least sets {0,1} or {2} union ...
+    // min x0+x1+x2 s.t. x0+x2>=1, x1+x2>=1 -> optimum 1 (x2).
+    IlpProblem p;
+    p.num_vars = 3;
+    p.objective = {1.0, 1.0, 1.0};
+    p.rows.push_back(row({{0, 1.0}, {2, 1.0}}, 1.0));
+    p.rows.push_back(row({{1, 1.0}, {2, 1.0}}, 1.0));
+    const IlpSolution s = solve_01_ilp(p);
+    ASSERT_TRUE(s.feasible);
+    EXPECT_TRUE(s.proven_optimal);
+    EXPECT_NEAR(s.objective, 1.0, 1e-9);
+    EXPECT_EQ(s.x[2], 1);
+}
+
+TEST(Ilp, InfeasibleDetected) {
+    // x0 >= 1 and -x0 >= 0 (x0 <= 0): impossible.
+    IlpProblem p;
+    p.num_vars = 1;
+    p.objective = {1.0};
+    p.rows.push_back(row({{0, 1.0}}, 1.0));
+    p.rows.push_back(row({{0, -1.0}}, 0.0));
+    const IlpSolution s = solve_01_ilp(p);
+    EXPECT_FALSE(s.feasible);
+}
+
+TEST(Ilp, NegativeCostsAttract) {
+    // min -x0 + x1 s.t. x0 + x1 >= 1 -> x0 = 1, x1 = 0, objective -1.
+    IlpProblem p;
+    p.num_vars = 2;
+    p.objective = {-1.0, 1.0};
+    p.rows.push_back(row({{0, 1.0}, {1, 1.0}}, 1.0));
+    const IlpSolution s = solve_01_ilp(p);
+    ASSERT_TRUE(s.feasible);
+    EXPECT_NEAR(s.objective, -1.0, 1e-9);
+    EXPECT_EQ(s.x[0], 1);
+    EXPECT_EQ(s.x[1], 0);
+}
+
+TEST(Ilp, IntegralityGapCase) {
+    // Vertex cover of a triangle: LP gives 1.5, ILP must give 2.
+    IlpProblem p;
+    p.num_vars = 3;
+    p.objective = {1.0, 1.0, 1.0};
+    p.rows.push_back(row({{0, 1.0}, {1, 1.0}}, 1.0));
+    p.rows.push_back(row({{1, 1.0}, {2, 1.0}}, 1.0));
+    p.rows.push_back(row({{0, 1.0}, {2, 1.0}}, 1.0));
+    const IlpSolution s = solve_01_ilp(p);
+    ASSERT_TRUE(s.feasible);
+    EXPECT_TRUE(s.proven_optimal);
+    EXPECT_NEAR(s.objective, 2.0, 1e-9);
+}
+
+TEST(Ilp, UnconstrainedPicksAllNegative) {
+    IlpProblem p;
+    p.num_vars = 4;
+    p.objective = {-2.0, 3.0, -0.5, 0.0};
+    const IlpSolution s = solve_01_ilp(p);
+    ASSERT_TRUE(s.feasible);
+    EXPECT_NEAR(s.objective, -2.5, 1e-9);
+}
+
+/// Brute-force 0-1 optimum for cross-checking.
+double brute_force(const IlpProblem& p, bool& feasible) {
+    double best = 1e18;
+    feasible = false;
+    for (std::uint32_t m = 0; m < (1u << p.num_vars); ++m) {
+        bool ok = true;
+        for (const LpRow& r : p.rows) {
+            double lhs = 0.0;
+            for (const auto& [j, c] : r.coeffs) {
+                if ((m >> j) & 1) lhs += c;
+            }
+            if (lhs < r.rhs - 1e-9) {
+                ok = false;
+                break;
+            }
+        }
+        if (!ok) continue;
+        feasible = true;
+        double obj = 0.0;
+        for (std::size_t j = 0; j < p.num_vars; ++j) {
+            if ((m >> j) & 1) obj += p.objective[j];
+        }
+        best = std::min(best, obj);
+    }
+    return best;
+}
+
+// Property: solver agrees with brute force on random small instances.
+class IlpBruteForce : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IlpBruteForce, MatchesExhaustiveSearch) {
+    Prng rng(GetParam() * 31 + 7);
+    for (int instance = 0; instance < 20; ++instance) {
+        IlpProblem p;
+        p.num_vars = 8;
+        p.objective.resize(p.num_vars);
+        for (double& c : p.objective) {
+            c = std::floor(rng.uniform(-3.0, 6.0));
+        }
+        const std::size_t n_rows = 1 + rng.next_below(6);
+        for (std::size_t r = 0; r < n_rows; ++r) {
+            LpRow lr;
+            for (std::uint32_t j = 0; j < p.num_vars; ++j) {
+                if (rng.chance(0.4)) {
+                    lr.coeffs.emplace_back(
+                        j, std::floor(rng.uniform(-2.0, 4.0)));
+                }
+            }
+            if (lr.coeffs.empty()) lr.coeffs.emplace_back(0, 1.0);
+            lr.rhs = std::floor(rng.uniform(-2.0, 4.0));
+            p.rows.push_back(lr);
+        }
+        bool bf_feasible = false;
+        const double bf = brute_force(p, bf_feasible);
+        const IlpSolution s = solve_01_ilp(p);
+        ASSERT_EQ(s.feasible, bf_feasible) << "instance " << instance;
+        if (bf_feasible) {
+            ASSERT_TRUE(s.proven_optimal);
+            EXPECT_NEAR(s.objective, bf, 1e-6) << "instance " << instance;
+            // Returned x must itself be feasible.
+            for (const LpRow& r : p.rows) {
+                double lhs = 0.0;
+                for (const auto& [j, c] : r.coeffs) {
+                    if (s.x[j] != 0) lhs += c;
+                }
+                EXPECT_GE(lhs, r.rhs - 1e-9);
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IlpBruteForce,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+TEST(Ilp, BudgetExhaustionReturnsIncumbent) {
+    // A larger cover instance with a 1-node budget: not proven optimal,
+    // but the greedy incumbent must be feasible.
+    Prng rng(5);
+    IlpProblem p;
+    p.num_vars = 40;
+    p.objective.assign(40, 1.0);
+    for (int e = 0; e < 60; ++e) {
+        LpRow r;
+        r.rhs = 1.0;
+        r.coeffs.emplace_back(static_cast<std::uint32_t>(e % 40), 1.0);
+        for (int k = 0; k < 3; ++k) {
+            r.coeffs.emplace_back(
+                static_cast<std::uint32_t>(rng.next_below(40)), 1.0);
+        }
+        p.rows.push_back(r);
+    }
+    IlpConfig cfg;
+    cfg.max_nodes = 1;
+    const IlpSolution s = solve_01_ilp(p, cfg);
+    ASSERT_TRUE(s.feasible);
+    EXPECT_FALSE(s.proven_optimal);
+}
+
+}  // namespace
+}  // namespace fastmon

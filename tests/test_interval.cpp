@@ -1,0 +1,215 @@
+#include "util/interval.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/prng.hpp"
+
+namespace fastmon {
+namespace {
+
+TEST(Interval, EmptyAndLength) {
+    EXPECT_TRUE((Interval{5.0, 5.0}).empty());
+    EXPECT_TRUE((Interval{5.0, 4.0}).empty());
+    EXPECT_FALSE((Interval{1.0, 2.0}).empty());
+    EXPECT_DOUBLE_EQ((Interval{1.0, 3.5}).length(), 2.5);
+    EXPECT_DOUBLE_EQ((Interval{3.0, 1.0}).length(), 0.0);
+}
+
+TEST(Interval, ContainsIsHalfOpen) {
+    const Interval iv{1.0, 2.0};
+    EXPECT_TRUE(iv.contains(1.0));
+    EXPECT_TRUE(iv.contains(1.5));
+    EXPECT_FALSE(iv.contains(2.0));
+    EXPECT_FALSE(iv.contains(0.999));
+}
+
+TEST(IntervalSet, AddMergesOverlapping) {
+    IntervalSet s;
+    s.add(1.0, 2.0);
+    s.add(3.0, 4.0);
+    s.add(1.5, 3.5);  // bridges both
+    ASSERT_EQ(s.size(), 1u);
+    EXPECT_DOUBLE_EQ(s[0].lo, 1.0);
+    EXPECT_DOUBLE_EQ(s[0].hi, 4.0);
+}
+
+TEST(IntervalSet, AddMergesTouching) {
+    IntervalSet s;
+    s.add(1.0, 2.0);
+    s.add(2.0, 3.0);
+    ASSERT_EQ(s.size(), 1u);
+    EXPECT_DOUBLE_EQ(s[0].hi, 3.0);
+}
+
+TEST(IntervalSet, AddKeepsDisjoint) {
+    IntervalSet s;
+    s.add(1.0, 2.0);
+    s.add(3.0, 4.0);
+    EXPECT_EQ(s.size(), 2u);
+    EXPECT_DOUBLE_EQ(s.measure(), 2.0);
+}
+
+TEST(IntervalSet, EmptyIntervalIgnored) {
+    IntervalSet s;
+    s.add(2.0, 2.0);
+    s.add(5.0, 1.0);
+    EXPECT_TRUE(s.empty());
+}
+
+TEST(IntervalSet, UniteMatchesSequentialAdds) {
+    IntervalSet a{{1.0, 2.0}, {5.0, 6.0}};
+    IntervalSet b{{1.5, 5.5}, {7.0, 8.0}};
+    IntervalSet u = IntervalSet::united(a, b);
+    IntervalSet expect;
+    expect.add(1.0, 6.0);
+    expect.add(7.0, 8.0);
+    EXPECT_EQ(u, expect);
+}
+
+TEST(IntervalSet, ClipKeepsInnerPart) {
+    IntervalSet s{{0.0, 10.0}, {20.0, 30.0}};
+    s.clip(5.0, 25.0);
+    ASSERT_EQ(s.size(), 2u);
+    EXPECT_DOUBLE_EQ(s[0].lo, 5.0);
+    EXPECT_DOUBLE_EQ(s[0].hi, 10.0);
+    EXPECT_DOUBLE_EQ(s[1].lo, 20.0);
+    EXPECT_DOUBLE_EQ(s[1].hi, 25.0);
+}
+
+TEST(IntervalSet, ShiftModelsMonitorDelay) {
+    IntervalSet s{{1.0, 2.0}, {4.0, 5.0}};
+    s.shift(10.0);
+    EXPECT_DOUBLE_EQ(s[0].lo, 11.0);
+    EXPECT_DOUBLE_EQ(s[1].hi, 15.0);
+    s.shift(-10.0);
+    EXPECT_DOUBLE_EQ(s[0].lo, 1.0);
+}
+
+TEST(IntervalSet, GlitchFilterDropsShortKeepsDisjoint) {
+    // Fig. 1 of the paper: the short interval is dropped; the adjacent
+    // intervals are NOT merged across the former glitch.
+    IntervalSet s{{0.0, 5.0}, {5.5, 5.8}, {6.0, 12.0}};
+    s.filter_glitches(1.0);
+    ASSERT_EQ(s.size(), 2u);
+    EXPECT_DOUBLE_EQ(s[0].hi, 5.0);
+    EXPECT_DOUBLE_EQ(s[1].lo, 6.0);
+}
+
+TEST(IntervalSet, ContainsBinarySearch) {
+    IntervalSet s{{1.0, 2.0}, {4.0, 6.0}, {9.0, 9.5}};
+    EXPECT_TRUE(s.contains(1.0));
+    EXPECT_FALSE(s.contains(2.0));
+    EXPECT_TRUE(s.contains(5.0));
+    EXPECT_FALSE(s.contains(7.0));
+    EXPECT_TRUE(s.contains(9.2));
+    EXPECT_FALSE(s.contains(100.0));
+    EXPECT_FALSE(s.contains(-1.0));
+}
+
+TEST(IntervalSet, IntersectsDetectsOverlap) {
+    IntervalSet a{{1.0, 2.0}, {5.0, 6.0}};
+    IntervalSet b{{2.0, 5.0}};
+    EXPECT_FALSE(a.intersects(b));  // touching only
+    IntervalSet c{{1.9, 2.1}};
+    EXPECT_TRUE(a.intersects(c));
+    EXPECT_TRUE(c.intersects(a));
+}
+
+TEST(IntervalSet, IntersectedValue) {
+    IntervalSet a{{0.0, 10.0}};
+    IntervalSet b{{2.0, 3.0}, {8.0, 12.0}};
+    IntervalSet i = IntervalSet::intersected(a, b);
+    ASSERT_EQ(i.size(), 2u);
+    EXPECT_DOUBLE_EQ(i[1].hi, 10.0);
+}
+
+TEST(IntervalSet, MinMaxMeasure) {
+    IntervalSet s{{3.0, 4.0}, {1.0, 2.0}};
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 4.0);
+    EXPECT_DOUBLE_EQ(s.measure(), 2.0);
+}
+
+// Property: shift distributes over union — the identity that makes the
+// aggregated monitor analysis of Sec. III-B valid.
+class IntervalShiftProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IntervalShiftProperty, ShiftDistributesOverUnion) {
+    Prng rng(GetParam());
+    IntervalSet a;
+    IntervalSet b;
+    for (int i = 0; i < 12; ++i) {
+        const Time lo = rng.uniform(0.0, 100.0);
+        a.add(lo, lo + rng.uniform(0.1, 10.0));
+        const Time lo2 = rng.uniform(0.0, 100.0);
+        b.add(lo2, lo2 + rng.uniform(0.1, 10.0));
+    }
+    const Time d = rng.uniform(0.5, 30.0);
+    IntervalSet lhs = IntervalSet::united(a, b);
+    lhs.shift(d);
+    IntervalSet sa = a;
+    sa.shift(d);
+    IntervalSet sb = b;
+    sb.shift(d);
+    const IntervalSet rhs = IntervalSet::united(sa, sb);
+    EXPECT_EQ(lhs, rhs);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntervalShiftProperty,
+                         ::testing::Range<std::uint64_t>(1, 17));
+
+// Property: union is idempotent/commutative and measure subadditive.
+class IntervalUnionProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IntervalUnionProperty, UnionAlgebra) {
+    Prng rng(GetParam() * 977);
+    IntervalSet a;
+    IntervalSet b;
+    for (int i = 0; i < 20; ++i) {
+        const Time lo = rng.uniform(0.0, 50.0);
+        a.add(lo, lo + rng.uniform(0.01, 5.0));
+        const Time lo2 = rng.uniform(0.0, 50.0);
+        b.add(lo2, lo2 + rng.uniform(0.01, 5.0));
+    }
+    EXPECT_EQ(IntervalSet::united(a, b), IntervalSet::united(b, a));
+    EXPECT_EQ(IntervalSet::united(a, a), a);
+    EXPECT_LE(IntervalSet::united(a, b).measure(),
+              a.measure() + b.measure() + 1e-9);
+    EXPECT_GE(IntervalSet::united(a, b).measure(),
+              std::max(a.measure(), b.measure()) - 1e-9);
+    // Invariant: disjoint sorted representation.
+    const IntervalSet u = IntervalSet::united(a, b);
+    for (std::size_t i = 1; i < u.size(); ++i) {
+        EXPECT_LT(u[i - 1].hi, u[i].lo);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntervalUnionProperty,
+                         ::testing::Range<std::uint64_t>(1, 17));
+
+// Property: contains(t) after clip agrees with containment-and-window.
+class IntervalClipProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IntervalClipProperty, ClipPreservesMembership) {
+    Prng rng(GetParam() * 31337);
+    IntervalSet s;
+    for (int i = 0; i < 15; ++i) {
+        const Time lo = rng.uniform(0.0, 80.0);
+        s.add(lo, lo + rng.uniform(0.05, 8.0));
+    }
+    const Time lo = rng.uniform(0.0, 40.0);
+    const Time hi = lo + rng.uniform(1.0, 40.0);
+    IntervalSet clipped = s;
+    clipped.clip(lo, hi);
+    for (int k = 0; k < 200; ++k) {
+        const Time t = rng.uniform(-5.0, 95.0);
+        const bool expect = s.contains(t) && t >= lo && t < hi;
+        EXPECT_EQ(clipped.contains(t), expect) << "t=" << t;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntervalClipProperty,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace fastmon

@@ -1,0 +1,158 @@
+#include "opt/lp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/prng.hpp"
+
+namespace fastmon {
+namespace {
+
+LpRow row(std::vector<std::pair<std::uint32_t, double>> coeffs, double rhs) {
+    LpRow r;
+    r.coeffs = std::move(coeffs);
+    r.rhs = rhs;
+    return r;
+}
+
+TEST(Lp, TrivialSingleVariable) {
+    // min x  s.t.  x >= 3.
+    LpProblem p;
+    p.num_vars = 1;
+    p.objective = {1.0};
+    p.rows.push_back(row({{0, 1.0}}, 3.0));
+    const LpSolution s = solve_lp(p);
+    ASSERT_EQ(s.status, LpStatus::Optimal);
+    EXPECT_NEAR(s.objective, 3.0, 1e-6);
+    EXPECT_NEAR(s.x[0], 3.0, 1e-6);
+}
+
+TEST(Lp, TwoVariableCover) {
+    // min x0 + x1  s.t.  x0 + x1 >= 1, x0 >= 0.25.
+    LpProblem p;
+    p.num_vars = 2;
+    p.objective = {1.0, 1.0};
+    p.rows.push_back(row({{0, 1.0}, {1, 1.0}}, 1.0));
+    p.rows.push_back(row({{0, 1.0}}, 0.25));
+    const LpSolution s = solve_lp(p);
+    ASSERT_EQ(s.status, LpStatus::Optimal);
+    EXPECT_NEAR(s.objective, 1.0, 1e-6);
+}
+
+TEST(Lp, DetectsInfeasibility) {
+    // x >= 2 and -x >= -1 (x <= 1) is infeasible.
+    LpProblem p;
+    p.num_vars = 1;
+    p.objective = {1.0};
+    p.rows.push_back(row({{0, 1.0}}, 2.0));
+    p.rows.push_back(row({{0, -1.0}}, -1.0));
+    EXPECT_EQ(solve_lp(p).status, LpStatus::Infeasible);
+}
+
+TEST(Lp, DetectsUnbounded) {
+    // min -x  s.t.  x >= 0 (implicit): unbounded below.
+    LpProblem p;
+    p.num_vars = 1;
+    p.objective = {-1.0};
+    const LpSolution s = solve_lp(p);
+    EXPECT_EQ(s.status, LpStatus::Unbounded);
+}
+
+TEST(Lp, BoxedMaximization) {
+    // min -x0 - 2x1  s.t.  -x0 >= -4, -x1 >= -3 (x0 <= 4, x1 <= 3).
+    LpProblem p;
+    p.num_vars = 2;
+    p.objective = {-1.0, -2.0};
+    p.rows.push_back(row({{0, -1.0}}, -4.0));
+    p.rows.push_back(row({{1, -1.0}}, -3.0));
+    const LpSolution s = solve_lp(p);
+    ASSERT_EQ(s.status, LpStatus::Optimal);
+    EXPECT_NEAR(s.objective, -10.0, 1e-6);
+    EXPECT_NEAR(s.x[0], 4.0, 1e-6);
+    EXPECT_NEAR(s.x[1], 3.0, 1e-6);
+}
+
+TEST(Lp, KnownDietStyleProblem) {
+    // min 2x + 3y  s.t.  x + y >= 4, x + 3y >= 6.
+    // Optimum at intersection: x = 3, y = 1 -> 9.
+    LpProblem p;
+    p.num_vars = 2;
+    p.objective = {2.0, 3.0};
+    p.rows.push_back(row({{0, 1.0}, {1, 1.0}}, 4.0));
+    p.rows.push_back(row({{0, 1.0}, {1, 3.0}}, 6.0));
+    const LpSolution s = solve_lp(p);
+    ASSERT_EQ(s.status, LpStatus::Optimal);
+    EXPECT_NEAR(s.objective, 9.0, 1e-6);
+}
+
+TEST(Lp, EmptyProblemFeasible) {
+    LpProblem p;
+    p.num_vars = 0;
+    EXPECT_EQ(solve_lp(p).status, LpStatus::Optimal);
+    LpRow impossible;
+    impossible.rhs = 1.0;
+    p.rows.push_back(impossible);
+    EXPECT_EQ(solve_lp(p).status, LpStatus::Infeasible);
+}
+
+TEST(Lp, RedundantRowsHarmless) {
+    LpProblem p;
+    p.num_vars = 1;
+    p.objective = {1.0};
+    p.rows.push_back(row({{0, 1.0}}, 2.0));
+    p.rows.push_back(row({{0, 1.0}}, 2.0));
+    p.rows.push_back(row({{0, 2.0}}, 4.0));
+    const LpSolution s = solve_lp(p);
+    ASSERT_EQ(s.status, LpStatus::Optimal);
+    EXPECT_NEAR(s.x[0], 2.0, 1e-6);
+}
+
+// Property: on random cover LPs the solution is feasible and the
+// objective lower-bounds the greedy integer cover.
+class LpCoverProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LpCoverProperty, FractionalCoverIsFeasibleLowerBound) {
+    Prng rng(GetParam() * 13 + 5);
+    const std::size_t n_sets = 12;
+    const std::size_t n_elems = 20;
+    std::vector<std::vector<std::uint32_t>> sets(n_sets);
+    // Element 'e' covered by set e % n_sets plus random extras, so full
+    // cover always exists.
+    std::vector<std::vector<std::uint32_t>> covers(n_elems);
+    for (std::uint32_t e = 0; e < n_elems; ++e) {
+        covers[e].push_back(e % n_sets);
+        for (int k = 0; k < 2; ++k) {
+            covers[e].push_back(
+                static_cast<std::uint32_t>(rng.next_below(n_sets)));
+        }
+        for (std::uint32_t s : covers[e]) sets[s].push_back(e);
+    }
+    LpProblem p;
+    p.num_vars = n_sets;
+    p.objective.assign(n_sets, 1.0);
+    for (std::uint32_t e = 0; e < n_elems; ++e) {
+        LpRow r;
+        r.rhs = 1.0;
+        std::sort(covers[e].begin(), covers[e].end());
+        covers[e].erase(std::unique(covers[e].begin(), covers[e].end()),
+                        covers[e].end());
+        for (std::uint32_t s : covers[e]) r.coeffs.emplace_back(s, 1.0);
+        p.rows.push_back(r);
+    }
+    const LpSolution s = solve_lp(p);
+    ASSERT_EQ(s.status, LpStatus::Optimal);
+    // Feasibility of the fractional solution.
+    for (const LpRow& r : p.rows) {
+        double lhs = 0.0;
+        for (const auto& [j, c] : r.coeffs) lhs += c * s.x[j];
+        EXPECT_GE(lhs, r.rhs - 1e-6);
+    }
+    // The LP bound is between 1 and the number of sets.
+    EXPECT_GE(s.objective, 1.0 - 1e-6);
+    EXPECT_LE(s.objective, static_cast<double>(n_sets) + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LpCoverProperty,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace fastmon

@@ -1,0 +1,187 @@
+#include "monitor/monitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "monitor/placement.hpp"
+#include "monitor/shifting.hpp"
+#include "netlist/iscas_data.hpp"
+#include "util/prng.hpp"
+
+namespace fastmon {
+namespace {
+
+TEST(Monitor, ConfigZeroIsOff) {
+    const ProgrammableDelayMonitor m({10.0, 20.0});
+    EXPECT_EQ(m.num_configs(), 3u);
+    EXPECT_DOUBLE_EQ(m.delay(0), 0.0);
+    EXPECT_DOUBLE_EQ(m.delay(1), 10.0);
+    EXPECT_DOUBLE_EQ(m.delay(2), 20.0);
+}
+
+TEST(Monitor, RejectsNonPositiveDelays) {
+    EXPECT_THROW(ProgrammableDelayMonitor({0.0}), std::invalid_argument);
+    EXPECT_THROW(ProgrammableDelayMonitor({-5.0}), std::invalid_argument);
+}
+
+TEST(Monitor, ShadowCapturesDelayedSignal) {
+    const ProgrammableDelayMonitor m({10.0});
+    const Waveform d = Waveform::step(false, 95.0);  // rises at 95
+    // Capture at t = 100: main sees 1; shadow sees D(90) = 0 -> alert.
+    EXPECT_TRUE(ProgrammableDelayMonitor::capture_main(d, 100.0));
+    EXPECT_FALSE(m.capture_shadow(d, 100.0, 1));
+    EXPECT_TRUE(m.alert(d, 100.0, 1));
+    // Config 0 (off): shadow equals main, no alert.
+    EXPECT_FALSE(m.alert(d, 100.0, 0));
+}
+
+TEST(Monitor, StableSignalNeverAlerts) {
+    const ProgrammableDelayMonitor m({10.0, 30.0});
+    const Waveform d = Waveform::step(true, 40.0);  // settles at 40
+    for (ConfigIndex c = 0; c < m.num_configs(); ++c) {
+        EXPECT_FALSE(m.alert(d, 100.0, c)) << "config " << c;
+    }
+}
+
+TEST(Monitor, Fig2Semantics) {
+    // Fig. 2 of the paper: signal degrades; with the wide window the
+    // alert fires, with the narrow one it does not (b/c), and further
+    // degradation triggers the narrow window too (c).
+    const Time clk = 100.0;
+    const ProgrammableDelayMonitor m({5.0, 33.3});
+    const Waveform healthy = Waveform::step(false, 60.0);
+    const Waveform degraded = Waveform::step(false, 70.0);   // within wide
+    const Waveform critical = Waveform::step(false, 96.0);   // within narrow
+    // Wide window (index 2, delay 33.3): watches (66.7, 100].
+    EXPECT_FALSE(m.alert(healthy, clk, 2));
+    EXPECT_TRUE(m.alert(degraded, clk, 2));
+    // Narrow window (index 1, delay 5): watches (95, 100].
+    EXPECT_FALSE(m.alert(degraded, clk, 1));
+    EXPECT_TRUE(m.alert(critical, clk, 1));
+}
+
+TEST(Monitor, AlertEqualsWindowViolationOnRandomWaves) {
+    const ProgrammableDelayMonitor m({7.0, 15.0, 40.0});
+    Prng rng(99);
+    for (int trial = 0; trial < 200; ++trial) {
+        std::vector<std::pair<Time, bool>> events;
+        bool v = rng.chance(0.5);
+        const bool initial = v;
+        Time t = 0.0;
+        for (int i = 0; i < 12; ++i) {
+            t += rng.uniform(0.5, 20.0);
+            v = !v;
+            events.emplace_back(t, v);
+        }
+        const Waveform w = Waveform::from_events(initial, events);
+        const Time capture = rng.uniform(50.0, 150.0);
+        for (ConfigIndex c = 0; c < m.num_configs(); ++c) {
+            EXPECT_EQ(m.alert(w, capture, c), m.window_violation(w, capture, c))
+                << "trial " << trial << " config " << c;
+        }
+    }
+}
+
+TEST(Monitor, PaperMonitorFractions) {
+    const ProgrammableDelayMonitor m = make_paper_monitor(300.0);
+    ASSERT_EQ(m.num_configs(), 5u);
+    EXPECT_DOUBLE_EQ(m.delay(1), 15.0);   // 0.05 clk
+    EXPECT_DOUBLE_EQ(m.delay(2), 30.0);   // 0.10 clk
+    EXPECT_DOUBLE_EQ(m.delay(3), 45.0);   // 0.15 clk
+    EXPECT_NEAR(m.delay(4), 100.0, 1e-9); // clk / 3
+}
+
+TEST(Placement, CoversRequestedFractionOfPseudoOutputs) {
+    const Netlist nl = make_mini_adder();
+    const DelayAnnotation ann = DelayAnnotation::nominal(nl);
+    const StaResult sta = run_sta(nl, ann);
+    const MonitorPlacement p =
+        place_monitors(nl, sta, 0.5, paper_delay_fractions());
+    EXPECT_EQ(p.num_monitors(), nl.flip_flops().size() / 2);
+    // Monitors sit on the *longest* pseudo outputs.
+    const auto ops = nl.observe_points();
+    Time min_monitored = 1e18;
+    Time max_unmonitored = -1.0;
+    for (std::uint32_t oi = 0; oi < ops.size(); ++oi) {
+        if (!ops[oi].is_pseudo) continue;
+        const Time a = sta.max_arrival[ops[oi].signal];
+        if (p.monitored[oi]) {
+            min_monitored = std::min(min_monitored, a);
+        } else {
+            max_unmonitored = std::max(max_unmonitored, a);
+        }
+    }
+    EXPECT_GE(min_monitored, max_unmonitored - 1e-9);
+}
+
+TEST(Placement, NeverMonitorsPrimaryOutputs) {
+    const Netlist nl = make_mini_adder();
+    const DelayAnnotation ann = DelayAnnotation::nominal(nl);
+    const StaResult sta = run_sta(nl, ann);
+    const MonitorPlacement p = place_paper_monitors(nl, sta);
+    const auto ops = nl.observe_points();
+    for (std::uint32_t oi = 0; oi < ops.size(); ++oi) {
+        if (p.monitored[oi]) {
+            EXPECT_TRUE(ops[oi].is_pseudo);
+        }
+    }
+}
+
+TEST(Placement, ConfigDelaysSortedWithOffFirst) {
+    const Netlist nl = make_mini_adder();
+    const DelayAnnotation ann = DelayAnnotation::nominal(nl);
+    const StaResult sta = run_sta(nl, ann);
+    const MonitorPlacement p = place_paper_monitors(nl, sta);
+    ASSERT_EQ(p.config_delays.size(), 5u);
+    EXPECT_DOUBLE_EQ(p.config_delays[0], 0.0);
+    for (std::size_t c = 1; c < p.config_delays.size(); ++c) {
+        EXPECT_GT(p.config_delays[c], p.config_delays[c - 1]);
+    }
+    EXPECT_NEAR(p.max_delay(), sta.clock_period / 3.0, 1e-9);
+}
+
+TEST(Shifting, ShiftedUnionContainsAllShifts) {
+    IntervalSet base{{10.0, 20.0}};
+    const std::vector<Time> delays{0.0, 5.0, 50.0};
+    const IntervalSet u = shifted_union(base, delays);
+    EXPECT_TRUE(u.contains(10.0));   // d = 0
+    EXPECT_TRUE(u.contains(24.0));   // d = 5
+    EXPECT_TRUE(u.contains(65.0));   // d = 50
+    EXPECT_FALSE(u.contains(40.0));  // gap between 25 and 60
+    // Overlapping shifts merge.
+    EXPECT_EQ(u.size(), 2u);
+}
+
+TEST(Shifting, FullRangeUnitesFfAndShiftedSr) {
+    FaultRanges r;
+    r.ff.add(50.0, 60.0);
+    r.sr.add(10.0, 15.0);
+    const std::vector<Time> delays{0.0, 30.0};
+    const IntervalSet full = full_detection_range(r, delays);
+    EXPECT_TRUE(full.contains(55.0));  // FF part
+    EXPECT_TRUE(full.contains(12.0));  // SR with d = 0
+    EXPECT_TRUE(full.contains(42.0));  // SR with d = 30
+}
+
+TEST(Shifting, FastWindowSemantics) {
+    const Time t_nom = 300.0;
+    const Interval w = fast_window(t_nom, 3.0);
+    // t_min excluded, t_nom included.
+    EXPECT_FALSE(w.contains(100.0));
+    EXPECT_TRUE(w.contains(100.1));
+    EXPECT_TRUE(w.contains(300.0));
+    EXPECT_FALSE(w.contains(300.1));
+    // Degenerate window at fmax = fnom still contains exactly t_nom.
+    const Interval w1 = fast_window(t_nom, 1.0);
+    EXPECT_TRUE(w1.contains(300.0));
+    EXPECT_FALSE(w1.contains(299.0));
+}
+
+TEST(Shifting, DetectsAtSpeed) {
+    IntervalSet r{{295.0, 305.0}};
+    EXPECT_TRUE(detects_at_speed(r, 300.0));
+    IntervalSet late{{301.0, 305.0}};
+    EXPECT_FALSE(detects_at_speed(late, 300.0));
+}
+
+}  // namespace
+}  // namespace fastmon

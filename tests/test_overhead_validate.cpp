@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "monitor/overhead.hpp"
+#include "netlist/iscas_data.hpp"
+#include "schedule/validate.hpp"
+#include "timing/sta.hpp"
+
+namespace fastmon {
+namespace {
+
+TEST(Overhead, MonitorCostScalesWithElements) {
+    const MonitorCostModel model;
+    EXPECT_GT(model.monitor_ge(1), 0.0);
+    EXPECT_GT(model.monitor_ge(4), model.monitor_ge(1));
+    EXPECT_NEAR(model.monitor_ge(4) - model.monitor_ge(3),
+                model.delay_element_ge + model.mux_ge_per_input, 1e-12);
+}
+
+TEST(Overhead, CircuitGateEquivalentsPositive) {
+    const Netlist nl = make_s27();
+    const double ge = circuit_gate_equivalents(nl);
+    // 10 gates + 3 FFs: at least ~14 GE.
+    EXPECT_GT(ge, 10.0);
+    EXPECT_LT(ge, 40.0);
+}
+
+TEST(Overhead, ReportConsistency) {
+    const Netlist nl = make_mini_adder();
+    const DelayAnnotation ann = DelayAnnotation::nominal(nl);
+    const StaResult sta = run_sta(nl, ann);
+    const MonitorPlacement p = place_paper_monitors(nl, sta);
+    const OverheadReport r = estimate_overhead(nl, p);
+    EXPECT_EQ(r.num_monitors, p.num_monitors());
+    EXPECT_EQ(r.delay_elements_per_monitor, 4u);
+    EXPECT_NEAR(r.area_overhead, r.monitors_ge / r.circuit_ge, 1e-12);
+    EXPECT_GT(r.area_overhead, 0.0);
+    // 25 % monitors on a small circuit stay a modest fraction.
+    EXPECT_LT(r.area_overhead, 0.5);
+}
+
+TEST(Validate, AcceptsCoveringSchedule) {
+    TestSchedule s;
+    s.periods = {100.0, 200.0};
+    s.entries = {{0, 3, 1}, {1, 5, 0}};
+    const std::vector<DetectionEntry> entries{
+        {0, 3, 1, 0},  // fault 0 by the first application
+        {1, 5, 0, 1},  // fault 1 by the second
+        {2, 3, 1, 0},  // fault 2 also by the first
+    };
+    const std::vector<std::uint32_t> targets{0, 1, 2};
+    const ScheduleValidation v = validate_schedule(s, entries, targets);
+    EXPECT_TRUE(v.valid);
+    EXPECT_EQ(v.covered, 3u);
+}
+
+TEST(Validate, FlagsMissingFault) {
+    TestSchedule s;
+    s.periods = {100.0};
+    s.entries = {{0, 3, 1}};
+    const std::vector<DetectionEntry> entries{
+        {0, 3, 1, 0},
+        {1, 4, 1, 0},  // fault 1 needs pattern 4, which is not scheduled
+    };
+    const std::vector<std::uint32_t> targets{0, 1};
+    const ScheduleValidation v = validate_schedule(s, entries, targets);
+    EXPECT_FALSE(v.valid);
+    ASSERT_EQ(v.uncovered_faults.size(), 1u);
+    EXPECT_EQ(v.uncovered_faults[0], 1u);
+}
+
+TEST(Validate, CsvGroupsByPeriod) {
+    TestSchedule s;
+    s.periods = {300.0, 150.0};
+    s.entries = {{0, 7, 2}, {1, 1, 0}, {0, 2, 1}};
+    std::ostringstream os;
+    write_schedule_csv(os, s);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("period_ps,frequency_index,pattern,config"),
+              std::string::npos);
+    // 150 ps rows come before 300 ps rows.
+    EXPECT_LT(out.find("150,1,1,0"), out.find("300,0,2,1"));
+    EXPECT_LT(out.find("300,0,2,1"), out.find("300,0,7,2"));
+}
+
+}  // namespace
+}  // namespace fastmon

@@ -1,0 +1,162 @@
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "monitor/policy.hpp"
+#include "netlist/iscas_data.hpp"
+#include "schedule/freq_select.hpp"
+#include "schedule/robustness.hpp"
+#include "timing/sta.hpp"
+#include "util/prng.hpp"
+
+namespace fastmon {
+namespace {
+
+TEST(Robustness, MarginsReflectBoundaryDistance) {
+    std::vector<IntervalSet> ranges(2);
+    ranges[0].add(10.0, 30.0);
+    ranges[1].add(25.0, 45.0);
+    const std::vector<Time> periods{20.0, 27.0};
+    const RobustnessReport r = selection_margins(ranges, periods);
+    EXPECT_EQ(r.covered, 2u);
+    ASSERT_EQ(r.margins.size(), 2u);
+    // Fault 0: best period 20 -> min(10, 10) = 10.
+    EXPECT_NEAR(r.margins[0], 10.0, 1e-9);
+    // Fault 1: 27 -> min(2, 18) = 2.
+    EXPECT_NEAR(r.margins[1], 2.0, 1e-9);
+    EXPECT_NEAR(r.min_margin, 2.0, 1e-9);
+}
+
+TEST(Robustness, IdenticalScaleKeepsFullCoverage) {
+    Prng rng(5);
+    std::vector<IntervalSet> ranges(50);
+    std::vector<Time> periods;
+    for (auto& r : ranges) {
+        const Time lo = rng.uniform(100.0, 500.0);
+        r.add(lo, lo + rng.uniform(5.0, 40.0));
+        periods.push_back(r[0].midpoint());
+    }
+    EXPECT_DOUBLE_EQ(coverage_under_scaling(ranges, periods, 1.0), 1.0);
+}
+
+TEST(Robustness, LargeShiftLosesCoverageGradually) {
+    Prng rng(6);
+    std::vector<IntervalSet> ranges(100);
+    for (auto& r : ranges) {
+        const Time lo = rng.uniform(100.0, 500.0);
+        r.add(lo, lo + rng.uniform(5.0, 25.0));
+    }
+    std::vector<Time> periods;
+    for (const auto& r : ranges) periods.push_back(r[0].midpoint());
+    const std::vector<double> scales{1.0, 1.01, 1.05, 1.2};
+    const std::vector<double> retained =
+        robustness_sweep(ranges, periods, scales);
+    ASSERT_EQ(retained.size(), 4u);
+    EXPECT_DOUBLE_EQ(retained[0], 1.0);
+    // Monotone loss with growing shift.
+    EXPECT_GE(retained[0], retained[1]);
+    EXPECT_GE(retained[1], retained[2]);
+    EXPECT_GE(retained[2], retained[3]);
+    EXPECT_LT(retained[3], 0.9);  // 20 % shift must hurt narrow ranges
+}
+
+TEST(Robustness, MidpointsBeatBoundaryPoints) {
+    // The paper's rationale for midpoints (Sec. IV-A): piercing at the
+    // boundary loses coverage under tiny shifts; midpoints survive.
+    Prng rng(7);
+    std::vector<IntervalSet> ranges(80);
+    std::vector<Time> midpoints;
+    std::vector<Time> boundaries;
+    for (auto& r : ranges) {
+        const Time lo = rng.uniform(100.0, 500.0);
+        r.add(lo, lo + rng.uniform(5.0, 30.0));
+        midpoints.push_back(r[0].midpoint());
+        boundaries.push_back(r[0].hi - 1e-6);
+    }
+    // Symmetric uncertainty: the device may be slower or faster than
+    // simulated.  Midpoints maximize the worst case; a boundary point
+    // loses everything for one of the two directions.
+    const double mid = std::min(coverage_under_scaling(ranges, midpoints, 1.02),
+                                coverage_under_scaling(ranges, midpoints, 0.98));
+    const double bnd =
+        std::min(coverage_under_scaling(ranges, boundaries, 1.02),
+                 coverage_under_scaling(ranges, boundaries, 0.98));
+    EXPECT_GT(mid, bnd);
+}
+
+struct PolicyFixture : ::testing::Test {
+    Netlist nl = make_mini_alu();
+    DelayAnnotation base = DelayAnnotation::nominal(nl);
+    StaResult sta = run_sta(nl, base, 1.6);
+    MonitorPlacement placement = place_paper_monitors(nl, sta);
+    AgingModel aging{0.55, 1.0, 10.0};
+    LifetimeSimulator sim{nl, base, sta.clock_period, aging, 1};
+};
+
+TEST_F(PolicyFixture, EventsFollowTheFig2Script) {
+    const PolicyRun run = run_adaptive_policy(sim, placement);
+    ASSERT_FALSE(run.events.empty());
+    // First event is an alert at the widest configuration.
+    EXPECT_EQ(run.events.front().kind, PolicyEventKind::Alert);
+    EXPECT_EQ(run.events.front().config,
+              placement.config_delays.size() - 1);
+    // Alerts -> countermeasure -> reconfigure sequences, configs
+    // strictly narrowing.
+    ConfigIndex last_config = static_cast<ConfigIndex>(
+        placement.config_delays.size() - 1);
+    for (const PolicyEvent& e : run.events) {
+        if (e.kind == PolicyEventKind::Reconfigure) {
+            EXPECT_LT(e.config, last_config);
+            last_config = e.config;
+        }
+    }
+    // Times are non-decreasing.
+    for (std::size_t i = 1; i < run.events.size(); ++i) {
+        EXPECT_GE(run.events[i].years, run.events[i - 1].years);
+    }
+}
+
+TEST_F(PolicyFixture, CountermeasuresExtendLifetime) {
+    PolicyConfig with;
+    with.countermeasure_rate_scale = 0.4;
+    PolicyConfig without;
+    without.countermeasure_rate_scale = 1.0;  // no mitigation effect
+    const PolicyRun mitigated = run_adaptive_policy(sim, placement, with);
+    const PolicyRun unmitigated = run_adaptive_policy(sim, placement, without);
+    ASSERT_TRUE(unmitigated.failed());
+    if (mitigated.failed()) {
+        EXPECT_GT(mitigated.failure_years, unmitigated.failure_years);
+    }
+}
+
+TEST_F(PolicyFixture, ImminentFailurePrecedesFailure) {
+    PolicyConfig config;
+    config.countermeasure_rate_scale = 0.8;
+    const PolicyRun run = run_adaptive_policy(sim, placement, config);
+    if (run.failed()) {
+        ASSERT_GE(run.imminent_failure_years, 0.0);
+        EXPECT_LT(run.imminent_failure_years, run.failure_years);
+        EXPECT_GT(run.warning_years(), 0.0);
+    }
+}
+
+TEST_F(PolicyFixture, PredictionIsInTheRightDecade) {
+    PolicyConfig config;
+    config.countermeasure_rate_scale = 1.0;  // keep the trend linear
+    const PolicyRun run = run_adaptive_policy(sim, placement, config);
+    ASSERT_TRUE(run.failed());
+    ASSERT_GE(run.predicted_failure_years, 0.0);
+    // Linear extrapolation at the first (early) alert of a linear aging
+    // law: within a factor of ~2 of the actual failure time.
+    EXPECT_GT(run.predicted_failure_years, 0.3 * run.failure_years);
+    EXPECT_LT(run.predicted_failure_years, 3.0 * run.failure_years);
+}
+
+TEST(Policy, EventKindNames) {
+    EXPECT_EQ(to_string(PolicyEventKind::Alert), "alert");
+    EXPECT_EQ(to_string(PolicyEventKind::ImminentFailure),
+              "imminent-failure");
+}
+
+}  // namespace
+}  // namespace fastmon

@@ -1,0 +1,87 @@
+#include "schedule/scan.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netlist/iscas_data.hpp"
+#include "netlist/structures.hpp"
+#include "timing/sta.hpp"
+
+namespace fastmon {
+namespace {
+
+MonitorPlacement placement_for(const Netlist& nl, double fraction) {
+    const DelayAnnotation ann = DelayAnnotation::nominal(nl);
+    const StaResult sta = run_sta(nl, ann);
+    return place_monitors(nl, sta, fraction, paper_delay_fractions());
+}
+
+TEST(Scan, BalancedPartitionCoversAllFlipFlops) {
+    const Netlist nl = make_counter(12);
+    const MonitorPlacement p = placement_for(nl, 0.0);
+    const ScanChains sc = build_scan_chains(nl, p, 3);
+    EXPECT_EQ(sc.num_chains(), 3u);
+    std::size_t total = 0;
+    for (const auto& chain : sc.chains) {
+        total += chain.size();
+        EXPECT_EQ(chain.size(), 4u);  // 12 FFs balanced over 3 chains
+    }
+    EXPECT_EQ(total, nl.flip_flops().size());
+    EXPECT_EQ(sc.shift_cycles(), 4u);
+    EXPECT_EQ(sc.total_cells(), 12u);
+}
+
+TEST(Scan, MonitorsStitchExtraCells) {
+    const Netlist nl = make_counter(8);
+    const MonitorPlacement all = placement_for(nl, 1.0);
+    const ScanChains sc = build_scan_chains(nl, all, 2);
+    // Every FF monitored: +2 cells each.
+    EXPECT_EQ(sc.total_cells(), 8u + 16u);
+    EXPECT_EQ(sc.shift_cycles(), 4u + 8u);
+    const MonitorPlacement none = placement_for(nl, 0.0);
+    const ScanChains sc0 = build_scan_chains(nl, none, 2);
+    EXPECT_LT(sc0.shift_cycles(), sc.shift_cycles());
+}
+
+TEST(Scan, RejectsZeroChains) {
+    const Netlist nl = make_s27();
+    const MonitorPlacement p = placement_for(nl, 0.25);
+    EXPECT_THROW(build_scan_chains(nl, p, 0), std::invalid_argument);
+}
+
+TEST(Scan, MoreChainsShortenShift) {
+    const Netlist nl = make_lfsr(16, maximal_lfsr_taps(16));
+    const MonitorPlacement p = placement_for(nl, 0.25);
+    const std::size_t s1 = build_scan_chains(nl, p, 1).shift_cycles();
+    const std::size_t s4 = build_scan_chains(nl, p, 4).shift_cycles();
+    EXPECT_GT(s1, s4);
+    EXPECT_GE(s1, nl.flip_flops().size());
+}
+
+TEST(ScanTestTimeModel, RelockStillDominatesSmallSchedules) {
+    const Netlist nl = make_counter(16);
+    const MonitorPlacement p = placement_for(nl, 0.25);
+    const ScanChains sc = build_scan_chains(nl, p, 2);
+    const ScanTestTimeModel model;
+    TestSchedule few;
+    few.periods = {100.0};
+    few.entries.resize(50);
+    TestSchedule many_freqs;
+    many_freqs.periods = {100.0, 110.0, 120.0, 130.0};
+    many_freqs.entries.resize(50);
+    EXPECT_LT(model.cycles(few, sc), model.cycles(many_freqs, sc));
+}
+
+TEST(ScanTestTimeModel, OptimizedBeatsNaive) {
+    const Netlist nl = make_counter(16);
+    const MonitorPlacement p = placement_for(nl, 0.25);
+    const ScanChains sc = build_scan_chains(nl, p, 2);
+    const ScanTestTimeModel model;
+    TestSchedule opt;
+    opt.periods = {100.0, 120.0};
+    opt.entries.resize(80);
+    // Naive: 2 frequencies x 100 patterns x 5 configs = 1000 shifts.
+    EXPECT_LT(model.cycles(opt, sc), model.naive_cycles(2, 100, 5, sc));
+}
+
+}  // namespace
+}  // namespace fastmon

@@ -1,0 +1,184 @@
+#include "schedule/freq_select.hpp"
+#include "schedule/pattern_config_select.hpp"
+#include "schedule/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/prng.hpp"
+
+namespace fastmon {
+namespace {
+
+std::vector<IntervalSet> three_fault_ranges() {
+    std::vector<IntervalSet> ranges(3);
+    ranges[0].add(10.0, 40.0);
+    ranges[1].add(25.0, 60.0);
+    ranges[2].add(50.0, 80.0);
+    return ranges;
+}
+
+TEST(FreqSelect, TwoPeriodsCoverThreeOverlappingFaults) {
+    FrequencySelectOptions opts;
+    const FrequencySelection sel =
+        select_frequencies(three_fault_ranges(), opts);
+    ASSERT_TRUE(sel.feasible);
+    EXPECT_TRUE(sel.proven_optimal);
+    EXPECT_EQ(sel.periods.size(), 2u);
+    EXPECT_EQ(sel.num_covered_faults, 3u);
+}
+
+TEST(FreqSelect, GreedyNeverBeatsExact) {
+    Prng rng(23);
+    for (int instance = 0; instance < 10; ++instance) {
+        std::vector<IntervalSet> ranges(60);
+        for (auto& r : ranges) {
+            const int k = 1 + static_cast<int>(rng.next_below(2));
+            for (int i = 0; i < k; ++i) {
+                const Time lo = rng.uniform(0.0, 200.0);
+                r.add(lo, lo + rng.uniform(2.0, 30.0));
+            }
+        }
+        FrequencySelectOptions exact;
+        FrequencySelectOptions greedy;
+        greedy.method = SelectMethod::Greedy;
+        const FrequencySelection se = select_frequencies(ranges, exact);
+        const FrequencySelection sg = select_frequencies(ranges, greedy);
+        ASSERT_TRUE(se.feasible);
+        ASSERT_TRUE(sg.feasible);
+        if (se.proven_optimal) {
+            EXPECT_LE(se.periods.size(), sg.periods.size())
+                << "instance " << instance;
+        }
+    }
+}
+
+TEST(FreqSelect, PartialCoverageUsesFewerPeriods) {
+    Prng rng(29);
+    std::vector<IntervalSet> ranges(120);
+    for (auto& r : ranges) {
+        const Time lo = rng.uniform(0.0, 300.0);
+        r.add(lo, lo + rng.uniform(2.0, 25.0));
+    }
+    std::size_t prev = SIZE_MAX;
+    for (double cov : {1.0, 0.95, 0.8, 0.5}) {
+        FrequencySelectOptions opts;
+        opts.coverage = cov;
+        const FrequencySelection sel = select_frequencies(ranges, opts);
+        ASSERT_TRUE(sel.feasible) << cov;
+        EXPECT_LE(sel.periods.size(), prev) << cov;
+        prev = sel.periods.size();
+        // Covered fraction honored.
+        EXPECT_GE(static_cast<double>(sel.num_covered_faults),
+                  cov * static_cast<double>(ranges.size()) - 1.0);
+    }
+}
+
+TEST(FreqSelect, CoveredListsAreConsistent) {
+    const FrequencySelection sel =
+        select_frequencies(three_fault_ranges(), FrequencySelectOptions{});
+    const auto ranges = three_fault_ranges();
+    ASSERT_EQ(sel.covered.size(), sel.periods.size());
+    for (std::size_t j = 0; j < sel.periods.size(); ++j) {
+        for (std::uint32_t f : sel.covered[j]) {
+            EXPECT_TRUE(ranges[f].contains(sel.periods[j]));
+        }
+    }
+}
+
+TEST(FreqSelect, EmptyRangesAreExcludedFromBase) {
+    std::vector<IntervalSet> ranges(4);
+    ranges[0].add(10.0, 20.0);
+    // ranges[1..3] empty: uncoverable, must not block full coverage.
+    const FrequencySelection sel =
+        select_frequencies(ranges, FrequencySelectOptions{});
+    EXPECT_TRUE(sel.feasible);
+    EXPECT_EQ(sel.periods.size(), 1u);
+    EXPECT_EQ(sel.num_covered_faults, 1u);
+}
+
+DetectionEntry entry(std::uint32_t fault, std::uint32_t pattern,
+                     std::uint16_t config, std::uint16_t period) {
+    return DetectionEntry{fault, pattern, config, period};
+}
+
+TEST(PatternConfig, MinimalSelection) {
+    // Two periods; three faults.  Pattern 0 / config 1 covers faults
+    // 0 and 1 at period 0; fault 2 needs pattern 2 / config 0 at
+    // period 1.
+    const std::vector<DetectionEntry> entries{
+        entry(0, 0, 1, 0), entry(1, 0, 1, 0), entry(1, 1, 0, 0),
+        entry(2, 2, 0, 1),
+    };
+    const std::vector<Time> periods{100.0, 200.0};
+    const std::vector<std::uint32_t> targets{0, 1, 2};
+    const PatternConfigResult r = select_pattern_configs(
+        entries, periods, targets, PatternConfigOptions{});
+    EXPECT_TRUE(r.uncovered_faults.empty());
+    EXPECT_EQ(r.schedule.size(), 2u);
+    EXPECT_EQ(r.schedule.num_frequencies(), 2u);
+}
+
+TEST(PatternConfig, ReportsUncoverableFaults) {
+    const std::vector<DetectionEntry> entries{entry(0, 0, 0, 0)};
+    const std::vector<Time> periods{100.0};
+    const std::vector<std::uint32_t> targets{0, 7};
+    const PatternConfigResult r = select_pattern_configs(
+        entries, periods, targets, PatternConfigOptions{});
+    ASSERT_EQ(r.uncovered_faults.size(), 1u);
+    EXPECT_EQ(r.uncovered_faults[0], 7u);
+}
+
+TEST(PatternConfig, FaultDroppingAssignsEachFaultOnce) {
+    // Fault 0 detectable at both periods; it must be scheduled at
+    // exactly one (the busier one), not both.
+    const std::vector<DetectionEntry> entries{
+        entry(0, 0, 0, 0), entry(0, 0, 0, 1),
+        entry(1, 1, 0, 0), entry(2, 2, 0, 0),
+    };
+    const std::vector<Time> periods{100.0, 200.0};
+    const std::vector<std::uint32_t> targets{0, 1, 2};
+    const PatternConfigResult r = select_pattern_configs(
+        entries, periods, targets, PatternConfigOptions{});
+    EXPECT_TRUE(r.uncovered_faults.empty());
+    // Everything fits at period 0: no entries at period 1 needed.
+    for (const ScheduleEntry& e : r.schedule.entries) {
+        EXPECT_EQ(e.period_index, 0u);
+    }
+}
+
+TEST(PatternConfig, SharedConfigReducesCombinations) {
+    // Faults 0..3 all covered by pattern 0 under config 2 at period 0;
+    // a per-fault selection would pick 4 combos, the cover picks 1.
+    std::vector<DetectionEntry> entries;
+    for (std::uint32_t f = 0; f < 4; ++f) {
+        entries.push_back(entry(f, 0, 2, 0));
+        entries.push_back(entry(f, f + 1, 1, 0));  // decoys
+    }
+    const std::vector<Time> periods{100.0};
+    const std::vector<std::uint32_t> targets{0, 1, 2, 3};
+    const PatternConfigResult r = select_pattern_configs(
+        entries, periods, targets, PatternConfigOptions{});
+    EXPECT_EQ(r.schedule.size(), 1u);
+    EXPECT_EQ(r.schedule.entries[0].pattern, 0u);
+    EXPECT_EQ(r.schedule.entries[0].config, 2u);
+}
+
+TEST(TestTimeModel, RelockDominates) {
+    const TestTimeModel model;
+    TestSchedule few_freqs;
+    few_freqs.periods = {1.0, 2.0};
+    few_freqs.entries.resize(100);
+    TestSchedule many_freqs;
+    many_freqs.periods = {1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0};
+    many_freqs.entries.resize(20);
+    EXPECT_LT(model.cycles(few_freqs), model.cycles(many_freqs));
+}
+
+TEST(TestTimeModel, ReductionPercent) {
+    EXPECT_NEAR(schedule_reduction_percent(250, 1000), 75.0, 1e-9);
+    EXPECT_NEAR(schedule_reduction_percent(1000, 1000), 0.0, 1e-9);
+    EXPECT_NEAR(schedule_reduction_percent(0, 0), 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace fastmon

@@ -1,0 +1,79 @@
+#include "timing/sdf.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netlist/generator.hpp"
+#include "netlist/iscas_data.hpp"
+#include "timing/sta.hpp"
+
+namespace fastmon {
+namespace {
+
+TEST(Sdf, RoundTripPreservesArcs) {
+    const Netlist nl = make_s27();
+    const DelayAnnotation ann = DelayAnnotation::with_variation(nl, 0.2, 7);
+    const std::string text = write_sdf_string(nl, ann);
+    const DelayAnnotation back = read_sdf_string(text, nl);
+    for (GateId id = 0; id < nl.size(); ++id) {
+        const Gate& g = nl.gate(id);
+        if (!is_combinational(g.type)) continue;
+        for (std::uint32_t p = 0; p < g.fanin.size(); ++p) {
+            EXPECT_NEAR(back.arc(id, p).rise, ann.arc(id, p).rise, 1e-3);
+            EXPECT_NEAR(back.arc(id, p).fall, ann.arc(id, p).fall, 1e-3);
+        }
+    }
+}
+
+TEST(Sdf, RoundTripPreservesSta) {
+    const Netlist nl = generate_circuit(
+        GeneratorConfig{"sdf_gen", 300, 30, 8, 8, 12, 0.5, 11});
+    const DelayAnnotation ann = DelayAnnotation::with_variation(nl, 0.15, 3);
+    const DelayAnnotation back = read_sdf_string(write_sdf_string(nl, ann), nl);
+    const StaResult a = run_sta(nl, ann);
+    const StaResult b = run_sta(nl, back);
+    EXPECT_NEAR(a.critical_path_length, b.critical_path_length,
+                1e-3 * a.critical_path_length);
+}
+
+TEST(Sdf, ContainsHeaderAndInstances) {
+    const Netlist nl = make_s27();
+    const DelayAnnotation ann = DelayAnnotation::nominal(nl);
+    const std::string text = write_sdf_string(nl, ann);
+    EXPECT_NE(text.find("(DELAYFILE"), std::string::npos);
+    EXPECT_NE(text.find("(SDFVERSION \"3.0\")"), std::string::npos);
+    EXPECT_NE(text.find("(DESIGN \"s27\")"), std::string::npos);
+    EXPECT_NE(text.find("(INSTANCE G11)"), std::string::npos);
+    EXPECT_NE(text.find("IOPATH in0 out"), std::string::npos);
+}
+
+TEST(Sdf, RejectsUnknownInstance) {
+    const Netlist nl = make_s27();
+    const std::string bad =
+        "(DELAYFILE (CELL (INSTANCE nonexistent) "
+        "(DELAY (ABSOLUTE (IOPATH in0 out ( 1.0 ) ( 2.0 ))))))";
+    EXPECT_THROW(read_sdf_string(bad, nl), std::runtime_error);
+}
+
+TEST(Sdf, RejectsPinOutOfRange) {
+    const Netlist nl = make_s27();
+    const std::string bad =
+        "(DELAYFILE (CELL (INSTANCE G14) "
+        "(DELAY (ABSOLUTE (IOPATH in5 out ( 1.0 ) ( 2.0 ))))))";
+    EXPECT_THROW(read_sdf_string(bad, nl), std::runtime_error);
+}
+
+TEST(Sdf, UnmentionedArcsStayNominal) {
+    const Netlist nl = make_s27();
+    const DelayAnnotation nominal = DelayAnnotation::nominal(nl);
+    const GateId g14 = nl.find("G14");
+    const std::string partial =
+        "(DELAYFILE (CELL (INSTANCE G14) "
+        "(DELAY (ABSOLUTE (IOPATH in0 out ( 99.0 ) ( 98.0 ))))))";
+    const DelayAnnotation ann = read_sdf_string(partial, nl);
+    EXPECT_DOUBLE_EQ(ann.arc(g14, 0).rise, 99.0);
+    const GateId g8 = nl.find("G8");
+    EXPECT_DOUBLE_EQ(ann.arc(g8, 0).rise, nominal.arc(g8, 0).rise);
+}
+
+}  // namespace
+}  // namespace fastmon

@@ -1,0 +1,90 @@
+#include "schedule/freq_select.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/prng.hpp"
+
+namespace fastmon {
+namespace {
+
+TEST(Stabbing, SimpleChain) {
+    std::vector<IntervalSet> ranges(3);
+    ranges[0].add(0.0, 10.0);
+    ranges[1].add(5.0, 15.0);
+    ranges[2].add(20.0, 30.0);
+    const auto points = stabbing_periods(ranges);
+    ASSERT_TRUE(points.has_value());
+    EXPECT_EQ(points->size(), 2u);  // one pierces [5,10), one [20,30)
+    for (const IntervalSet& r : ranges) {
+        bool hit = false;
+        for (Time t : *points) {
+            if (r.contains(t)) hit = true;
+        }
+        EXPECT_TRUE(hit);
+    }
+}
+
+TEST(Stabbing, RefusesMultiIntervalRanges) {
+    std::vector<IntervalSet> ranges(1);
+    ranges[0].add(0.0, 1.0);
+    ranges[0].add(5.0, 6.0);
+    EXPECT_FALSE(stabbing_periods(ranges).has_value());
+}
+
+TEST(Stabbing, SkipsEmptyRanges) {
+    std::vector<IntervalSet> ranges(3);
+    ranges[1].add(2.0, 4.0);
+    const auto points = stabbing_periods(ranges);
+    ASSERT_TRUE(points.has_value());
+    EXPECT_EQ(points->size(), 1u);
+}
+
+// Property: stabbing is optimal; the branch-and-bound covering over the
+// discretized candidates must find the same count on single-interval
+// instances — validating the whole ILP path.
+class StabbingVsIlp : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StabbingVsIlp, SameOptimalCount) {
+    Prng rng(GetParam() * 1009 + 17);
+    std::vector<IntervalSet> ranges(80);
+    for (auto& r : ranges) {
+        const Time lo = rng.uniform(0.0, 300.0);
+        r.add(lo, lo + rng.uniform(3.0, 50.0));
+    }
+    FrequencySelectOptions stab;
+    stab.method = SelectMethod::Stabbing;
+    FrequencySelectOptions bnb;
+    bnb.method = SelectMethod::BranchAndBound;
+    const FrequencySelection ss = select_frequencies(ranges, stab);
+    const FrequencySelection sb = select_frequencies(ranges, bnb);
+    ASSERT_TRUE(ss.feasible);
+    ASSERT_TRUE(ss.proven_optimal);
+    ASSERT_TRUE(sb.feasible);
+    EXPECT_EQ(ss.num_covered_faults, ranges.size());
+    if (sb.proven_optimal) {
+        EXPECT_EQ(sb.periods.size(), ss.periods.size());
+    } else {
+        EXPECT_GE(sb.periods.size(), ss.periods.size());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StabbingVsIlp,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+TEST(Stabbing, FallsBackOnMultiIntervalInstances) {
+    Prng rng(55);
+    std::vector<IntervalSet> ranges(30);
+    for (auto& r : ranges) {
+        for (int k = 0; k < 2; ++k) {
+            const Time lo = rng.uniform(0.0, 100.0);
+            r.add(lo, lo + rng.uniform(1.0, 10.0));
+        }
+    }
+    FrequencySelectOptions stab;
+    stab.method = SelectMethod::Stabbing;
+    const FrequencySelection sel = select_frequencies(ranges, stab);
+    EXPECT_TRUE(sel.feasible);  // served by the branch-and-bound fallback
+}
+
+}  // namespace
+}  // namespace fastmon

@@ -1,0 +1,147 @@
+#include "netlist/structures.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/logic_sim.hpp"
+
+namespace fastmon {
+namespace {
+
+/// One clock step of a sequential circuit: evaluates the core with the
+/// given PI values + current state and returns the next state (per FF).
+std::vector<Bit> step(const Netlist& nl, const LogicSim& sim,
+                      const std::vector<Bit>& pis,
+                      const std::vector<Bit>& state) {
+    std::vector<Bit> sources;
+    sources.insert(sources.end(), pis.begin(), pis.end());
+    sources.insert(sources.end(), state.begin(), state.end());
+    const std::vector<Bit> values = sim.eval(sources);
+    std::vector<Bit> next;
+    for (GateId q : nl.flip_flops()) {
+        next.push_back(values[nl.gate(q).fanin[0]]);
+    }
+    return next;
+}
+
+TEST(Structures, CounterCountsModulo2N) {
+    const Netlist nl = make_counter(4);
+    const LogicSim sim(nl);
+    std::vector<Bit> state(4, 0);
+    for (std::uint32_t expect = 1; expect <= 40; ++expect) {
+        state = step(nl, sim, {1}, state);
+        std::uint32_t value = 0;
+        for (int i = 0; i < 4; ++i) {
+            value |= static_cast<std::uint32_t>(state[i]) << i;
+        }
+        EXPECT_EQ(value, expect % 16) << "step " << expect;
+    }
+}
+
+TEST(Structures, CounterHoldsWhenDisabled) {
+    const Netlist nl = make_counter(4);
+    const LogicSim sim(nl);
+    std::vector<Bit> state{1, 0, 1, 0};
+    const std::vector<Bit> next = step(nl, sim, {0}, state);
+    EXPECT_EQ(next, state);
+}
+
+TEST(Structures, Lfsr4HasMaximalPeriod) {
+    const Netlist nl = make_lfsr(4, maximal_lfsr_taps(4));
+    const LogicSim sim(nl);
+    std::vector<Bit> state{1, 0, 0, 0};
+    const std::vector<Bit> seed = state;
+    std::size_t period = 0;
+    for (std::size_t k = 1; k <= 16; ++k) {
+        state = step(nl, sim, {1}, state);
+        if (state == seed) {
+            period = k;
+            break;
+        }
+        // Never all-zero (the LFSR lock-up state).
+        EXPECT_TRUE(std::any_of(state.begin(), state.end(),
+                                [](Bit b) { return b != 0; }));
+    }
+    EXPECT_EQ(period, 15u);  // 2^4 - 1
+}
+
+TEST(Structures, Lfsr8HasMaximalPeriod) {
+    const Netlist nl = make_lfsr(8, maximal_lfsr_taps(8));
+    const LogicSim sim(nl);
+    std::vector<Bit> state(8, 0);
+    state[0] = 1;
+    const std::vector<Bit> seed = state;
+    std::size_t period = 0;
+    for (std::size_t k = 1; k <= 256; ++k) {
+        state = step(nl, sim, {1}, state);
+        if (state == seed) {
+            period = k;
+            break;
+        }
+    }
+    EXPECT_EQ(period, 255u);  // 2^8 - 1
+}
+
+TEST(Structures, LfsrHoldsWhenDisabled) {
+    const Netlist nl = make_lfsr(4, maximal_lfsr_taps(4));
+    const LogicSim sim(nl);
+    std::vector<Bit> state{1, 1, 0, 1};
+    EXPECT_EQ(step(nl, sim, {0}, state), state);
+}
+
+TEST(Structures, ShiftRegisterDelaysSerialInput) {
+    const Netlist nl = make_shift_register(5);
+    const LogicSim sim(nl);
+    std::vector<Bit> state(5, 0);
+    // Shift in the sequence 1,0,1,1,0 and read it back on q4.
+    const std::vector<Bit> sequence{1, 0, 1, 1, 0};
+    std::vector<Bit> observed;
+    for (std::size_t k = 0; k < sequence.size() + 5; ++k) {
+        const Bit in = k < sequence.size() ? sequence[k] : 0;
+        state = step(nl, sim, {in}, state);
+        observed.push_back(state[4]);
+    }
+    // After 5 steps the first input bit appears at the last stage.
+    for (std::size_t k = 0; k < sequence.size(); ++k) {
+        EXPECT_EQ(observed[4 + k], sequence[k]) << "position " << k;
+    }
+}
+
+TEST(Structures, ParityTreeComputesParity) {
+    const Netlist nl = make_parity_tree(3);  // 8 inputs
+    const LogicSim sim(nl);
+    for (std::uint32_t m = 0; m < 256; m += 7) {
+        std::vector<Bit> pis(8);
+        int ones = 0;
+        for (int i = 0; i < 8; ++i) {
+            pis[i] = (m >> i) & 1;
+            ones += pis[i];
+        }
+        const std::vector<Bit> next = step(nl, sim, pis, {0});
+        EXPECT_EQ(next[0], static_cast<Bit>(ones % 2)) << "m=" << m;
+    }
+}
+
+TEST(Structures, RejectsDegenerateParameters) {
+    EXPECT_THROW(make_lfsr(1, {}), std::invalid_argument);
+    EXPECT_THROW(make_lfsr(4, {0}), std::invalid_argument);
+    EXPECT_THROW(make_lfsr(4, {4}), std::invalid_argument);
+    EXPECT_THROW(maximal_lfsr_taps(5), std::invalid_argument);
+    EXPECT_THROW(make_counter(0), std::invalid_argument);
+    EXPECT_THROW(make_shift_register(0), std::invalid_argument);
+    EXPECT_THROW(make_parity_tree(0), std::invalid_argument);
+    EXPECT_THROW(make_parity_tree(11), std::invalid_argument);
+}
+
+TEST(Structures, StructuresAreUsableByTheFlowStack) {
+    // Smoke: STA + fault universe on each structure.
+    for (const Netlist& nl :
+         {make_lfsr(8, maximal_lfsr_taps(8)), make_counter(6),
+          make_shift_register(8), make_parity_tree(4)}) {
+        EXPECT_TRUE(nl.finalized());
+        EXPECT_GT(nl.num_comb_gates(), 0u);
+        EXPECT_GT(nl.observe_points().size(), 0u);
+    }
+}
+
+}  // namespace
+}  // namespace fastmon

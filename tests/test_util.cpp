@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "atpg/pattern.hpp"
+#include "util/log.hpp"
+#include "util/prng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace fastmon {
+namespace {
+
+TEST(Prng, DeterministicStream) {
+    Prng a(42);
+    Prng b(42);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(a.next_u64(), b.next_u64());
+    }
+    Prng c(43);
+    Prng d(42);
+    bool differs = false;
+    for (int i = 0; i < 10; ++i) {
+        if (c.next_u64() != d.next_u64()) differs = true;
+    }
+    EXPECT_TRUE(differs);
+}
+
+TEST(Prng, NextBelowIsInRange) {
+    Prng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_LT(rng.next_below(17), 17u);
+        EXPECT_EQ(rng.next_below(1), 0u);
+    }
+}
+
+TEST(Prng, UniformCoversRange) {
+    Prng rng(9);
+    double lo = 1e9;
+    double hi = -1e9;
+    for (int i = 0; i < 5000; ++i) {
+        const double v = rng.uniform(2.0, 5.0);
+        EXPECT_GE(v, 2.0);
+        EXPECT_LT(v, 5.0);
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+    }
+    EXPECT_LT(lo, 2.1);
+    EXPECT_GT(hi, 4.9);
+}
+
+TEST(Prng, NormalHasRightMoments) {
+    Prng rng(11);
+    RunningStats stats;
+    for (int i = 0; i < 20000; ++i) {
+        stats.add(rng.normal(10.0, 2.0));
+    }
+    EXPECT_NEAR(stats.mean(), 10.0, 0.1);
+    EXPECT_NEAR(stats.stddev(), 2.0, 0.1);
+}
+
+TEST(Prng, ChanceFrequency) {
+    Prng rng(13);
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i) {
+        if (rng.chance(0.3)) ++hits;
+    }
+    EXPECT_NEAR(static_cast<double>(hits) / 10000.0, 0.3, 0.03);
+}
+
+TEST(RunningStats, WelfordMatchesDirect) {
+    RunningStats s;
+    const std::vector<double> values{1.0, 4.0, 9.0, 16.0, 25.0};
+    double sum = 0.0;
+    for (double v : values) {
+        s.add(v);
+        sum += v;
+    }
+    const double mean = sum / 5.0;
+    double var = 0.0;
+    for (double v : values) var += (v - mean) * (v - mean);
+    var /= 4.0;
+    EXPECT_EQ(s.count(), 5u);
+    EXPECT_NEAR(s.mean(), mean, 1e-12);
+    EXPECT_NEAR(s.variance(), var, 1e-9);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 25.0);
+}
+
+TEST(RunningStats, FewSamples) {
+    RunningStats s;
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    s.add(5.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+}
+
+TEST(Percentile, InterpolatesLinearly) {
+    std::vector<double> v{10.0, 20.0, 30.0, 40.0};
+    EXPECT_DOUBLE_EQ(percentile(v, 0.0), 10.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 100.0), 40.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 50.0), 25.0);
+    EXPECT_DOUBLE_EQ(percentile({}, 50.0), 0.0);
+}
+
+TEST(TextTable, AlignsColumns) {
+    TextTable t({"A", "LongHeader"});
+    t.begin_row();
+    t.cell(std::string("x"));
+    t.cell(static_cast<long long>(42));
+    t.begin_row();
+    t.cell(std::string("longer"));
+    t.cell_percent(12.25);
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("| A      | LongHeader |"), std::string::npos);
+    EXPECT_NE(out.find("(+12.2%)"), std::string::npos);
+    EXPECT_NE(out.find("42"), std::string::npos);
+    // Separator line present.
+    EXPECT_NE(out.find("|-"), std::string::npos);
+}
+
+TEST(TextTable, FixedPointCell) {
+    TextTable t({"v"});
+    t.begin_row();
+    t.cell(3.14159, 3);
+    std::ostringstream os;
+    t.print(os);
+    EXPECT_NE(os.str().find("3.142"), std::string::npos);
+}
+
+TEST(Log, LevelsFilter) {
+    const LogLevel before = log_level();
+    set_log_level(LogLevel::Quiet);
+    // No observable output check without capturing stderr; exercise the
+    // paths for coverage and restore.
+    log_info() << "hidden " << 1;
+    log_warn() << "hidden " << 2;
+    set_log_level(LogLevel::Debug);
+    log_debug() << "visible";
+    set_log_level(before);
+    SUCCEED();
+}
+
+TEST(PatternIo, RoundTrip) {
+    TestSet set;
+    set.patterns.push_back(PatternPair{{1, 0, 1}, {0, 0, 1}});
+    set.patterns.push_back(PatternPair{{0, 0, 0}, {1, 1, 1}});
+    const std::string text = write_patterns_string(set);
+    const TestSet back = read_patterns_string(text, 3);
+    ASSERT_EQ(back.size(), 2u);
+    EXPECT_EQ(back.patterns[0], set.patterns[0]);
+    EXPECT_EQ(back.patterns[1], set.patterns[1]);
+}
+
+TEST(PatternIo, RejectsBadInput) {
+    EXPECT_THROW(read_patterns_string("101 00\n", 3), std::runtime_error);
+    EXPECT_THROW(read_patterns_string("10x 001\n", 3), std::runtime_error);
+    EXPECT_THROW(read_patterns_string("101\n", 3), std::runtime_error);
+    // Comments and blank lines are fine.
+    const TestSet ok = read_patterns_string("# header\n\n101 010\n", 3);
+    EXPECT_EQ(ok.size(), 1u);
+}
+
+}  // namespace
+}  // namespace fastmon

@@ -1,0 +1,148 @@
+// Differential test of the waveform simulator against an independent
+// reference implementation.
+//
+// WaveSim::eval_gate implements the industry (SDF/Verilog) event
+// semantics: on an input change the gate is evaluated and the output
+// event scheduled after the *causing pin's* delay, preempting pending
+// events.  With one direction-independent delay per gate (all pins
+// equal, rise == fall) and the inertial filter off, that machine is
+// provably equivalent to pure transport delay:
+//
+//     out(t) = f(inputs(t - d))
+//
+// The reference computes each gate's waveform by *sampling* that
+// defining equation at every candidate event time, with none of the
+// production algorithm's machinery (grouping, preemption stacks).
+// Any divergence under this contract is a simulator bug.  (With
+// distinct per-pin delays the two abstractions legitimately differ;
+// the production simulator follows the causing-pin model.)
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "netlist/generator.hpp"
+#include "sim/wave_sim.hpp"
+#include "util/prng.hpp"
+
+namespace fastmon {
+namespace {
+
+/// One direction-independent delay per gate (all arcs equal).
+DelayAnnotation symmetric_delays(const Netlist& nl, std::uint64_t seed) {
+    DelayAnnotation ann = DelayAnnotation::nominal(nl);
+    Prng rng(seed);
+    for (GateId id = 0; id < nl.size(); ++id) {
+        const Gate& g = nl.gate(id);
+        if (!is_combinational(g.type)) continue;
+        const Time d = rng.uniform(5.0, 40.0);
+        for (std::uint32_t p = 0; p < g.fanin.size(); ++p) {
+            ann.set_arc(id, p, PinDelay{d, d});
+        }
+    }
+    return ann;
+}
+
+/// Reference: sample out(t) = f(in_i(t - d_i)) at all candidate times.
+std::vector<Waveform> reference_simulate(const Netlist& nl,
+                                         const DelayAnnotation& ann,
+                                         std::span<const Bit> v1,
+                                         std::span<const Bit> v2) {
+    std::vector<Waveform> waves(nl.size(), Waveform::constant(false));
+    for (GateId id : nl.topo_order()) {
+        const Gate& g = nl.gate(id);
+        const std::uint32_t src = nl.source_index(id);
+        if (src != std::numeric_limits<std::uint32_t>::max()) {
+            waves[id] = v1[src] == v2[src]
+                            ? Waveform::constant(v1[src] != 0)
+                            : Waveform::step(v1[src] != 0, 0.0);
+            continue;
+        }
+        // Candidate output event times: every input transition shifted
+        // by its pin delay.
+        std::vector<Time> candidates;
+        std::vector<Time> pin_delay(g.fanin.size());
+        for (std::uint32_t p = 0; p < g.fanin.size(); ++p) {
+            pin_delay[p] = ann.arc(id, p).rise;  // rise == fall
+            for (Time t : waves[g.fanin[p]].transitions()) {
+                candidates.push_back(t + pin_delay[p]);
+            }
+        }
+        std::sort(candidates.begin(), candidates.end());
+        // Initial value from the defining equation at t = -inf.
+        bool ins[8];
+        for (std::uint32_t p = 0; p < g.fanin.size(); ++p) {
+            ins[p] = waves[g.fanin[p]].initial();
+        }
+        const bool initial =
+            g.type == CellType::Output
+                ? ins[0]
+                : eval_cell(g.type,
+                            std::span<const bool>(ins, g.fanin.size()));
+        std::vector<std::pair<Time, bool>> events;
+        for (Time t : candidates) {
+            for (std::uint32_t p = 0; p < g.fanin.size(); ++p) {
+                // Sample just after the candidate instant.
+                ins[p] = waves[g.fanin[p]].value_at(t - pin_delay[p]);
+            }
+            const bool v =
+                g.type == CellType::Output
+                    ? ins[0]
+                    : eval_cell(g.type,
+                                std::span<const bool>(ins, g.fanin.size()));
+            events.emplace_back(t, v);
+        }
+        waves[id] = Waveform::from_events(initial, events);
+    }
+    return waves;
+}
+
+class WaveSimReference : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WaveSimReference, TransportDelaySemanticsMatch) {
+    GeneratorConfig gc;
+    gc.name = "ref_gen";
+    gc.n_gates = 180;
+    gc.n_ffs = 18;
+    gc.n_inputs = 8;
+    gc.n_outputs = 8;
+    gc.depth = 9;
+    gc.spread = 0.5;
+    gc.seed = GetParam() + 900;
+    const Netlist nl = generate_circuit(gc);
+    const DelayAnnotation ann = symmetric_delays(nl, GetParam() * 37);
+    WaveSimConfig cfg;
+    cfg.inertial_fraction = 0.0;  // pure transport delay
+    const WaveSim sim(nl, ann, cfg);
+
+    Prng rng(GetParam() * 101 + 9);
+    const std::size_t n = nl.comb_sources().size();
+    for (int trial = 0; trial < 8; ++trial) {
+        std::vector<Bit> v1(n);
+        std::vector<Bit> v2(n);
+        for (std::size_t s = 0; s < n; ++s) {
+            v1[s] = rng.chance(0.5) ? 1 : 0;
+            v2[s] = rng.chance(0.5) ? 1 : 0;
+        }
+        const auto got = sim.simulate(v1, v2);
+        const auto expect = reference_simulate(nl, ann, v1, v2);
+        for (GateId id = 0; id < nl.size(); ++id) {
+            ASSERT_EQ(got[id].initial(), expect[id].initial())
+                << nl.gate(id).name << " trial " << trial;
+            ASSERT_EQ(got[id].num_transitions(), expect[id].num_transitions())
+                << nl.gate(id).name << " trial " << trial << "\n got "
+                << got[id].num_transitions() << " transitions, expected "
+                << expect[id].num_transitions();
+            for (std::size_t k = 0; k < got[id].num_transitions(); ++k) {
+                ASSERT_NEAR(got[id].transitions()[k],
+                            expect[id].transitions()[k], 1e-6)
+                    << nl.gate(id).name << " transition " << k;
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WaveSimReference,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+}  // namespace
+}  // namespace fastmon
