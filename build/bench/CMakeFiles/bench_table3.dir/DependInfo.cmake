@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_common.cpp" "bench/CMakeFiles/bench_table3.dir/bench_common.cpp.o" "gcc" "bench/CMakeFiles/bench_table3.dir/bench_common.cpp.o.d"
+  "/root/repo/bench/bench_table3.cpp" "bench/CMakeFiles/bench_table3.dir/bench_table3.cpp.o" "gcc" "bench/CMakeFiles/bench_table3.dir/bench_table3.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fastmon_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fastmon_schedule.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fastmon_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fastmon_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fastmon_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fastmon_atpg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fastmon_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fastmon_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fastmon_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fastmon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

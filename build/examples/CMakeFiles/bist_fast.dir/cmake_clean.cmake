@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bist_fast.dir/bist_fast.cpp.o"
+  "CMakeFiles/bist_fast.dir/bist_fast.cpp.o.d"
+  "bist_fast"
+  "bist_fast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bist_fast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_bench.dir/custom_bench.cpp.o"
+  "CMakeFiles/custom_bench.dir/custom_bench.cpp.o.d"
+  "custom_bench"
+  "custom_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

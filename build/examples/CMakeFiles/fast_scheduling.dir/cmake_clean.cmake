@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fast_scheduling.dir/fast_scheduling.cpp.o"
+  "CMakeFiles/fast_scheduling.dir/fast_scheduling.cpp.o.d"
+  "fast_scheduling"
+  "fast_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fast_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/atpg/bist.cpp" "src/CMakeFiles/fastmon_atpg.dir/atpg/bist.cpp.o" "gcc" "src/CMakeFiles/fastmon_atpg.dir/atpg/bist.cpp.o.d"
+  "/root/repo/src/atpg/metrics.cpp" "src/CMakeFiles/fastmon_atpg.dir/atpg/metrics.cpp.o" "gcc" "src/CMakeFiles/fastmon_atpg.dir/atpg/metrics.cpp.o.d"
+  "/root/repo/src/atpg/pattern.cpp" "src/CMakeFiles/fastmon_atpg.dir/atpg/pattern.cpp.o" "gcc" "src/CMakeFiles/fastmon_atpg.dir/atpg/pattern.cpp.o.d"
+  "/root/repo/src/atpg/podem.cpp" "src/CMakeFiles/fastmon_atpg.dir/atpg/podem.cpp.o" "gcc" "src/CMakeFiles/fastmon_atpg.dir/atpg/podem.cpp.o.d"
+  "/root/repo/src/atpg/tdf_atpg.cpp" "src/CMakeFiles/fastmon_atpg.dir/atpg/tdf_atpg.cpp.o" "gcc" "src/CMakeFiles/fastmon_atpg.dir/atpg/tdf_atpg.cpp.o.d"
+  "/root/repo/src/atpg/tfault_sim.cpp" "src/CMakeFiles/fastmon_atpg.dir/atpg/tfault_sim.cpp.o" "gcc" "src/CMakeFiles/fastmon_atpg.dir/atpg/tfault_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fastmon_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fastmon_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fastmon_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fastmon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fastmon_atpg.dir/atpg/bist.cpp.o"
+  "CMakeFiles/fastmon_atpg.dir/atpg/bist.cpp.o.d"
+  "CMakeFiles/fastmon_atpg.dir/atpg/metrics.cpp.o"
+  "CMakeFiles/fastmon_atpg.dir/atpg/metrics.cpp.o.d"
+  "CMakeFiles/fastmon_atpg.dir/atpg/pattern.cpp.o"
+  "CMakeFiles/fastmon_atpg.dir/atpg/pattern.cpp.o.d"
+  "CMakeFiles/fastmon_atpg.dir/atpg/podem.cpp.o"
+  "CMakeFiles/fastmon_atpg.dir/atpg/podem.cpp.o.d"
+  "CMakeFiles/fastmon_atpg.dir/atpg/tdf_atpg.cpp.o"
+  "CMakeFiles/fastmon_atpg.dir/atpg/tdf_atpg.cpp.o.d"
+  "CMakeFiles/fastmon_atpg.dir/atpg/tfault_sim.cpp.o"
+  "CMakeFiles/fastmon_atpg.dir/atpg/tfault_sim.cpp.o.d"
+  "libfastmon_atpg.a"
+  "libfastmon_atpg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fastmon_atpg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fastmon_atpg.
+# This may be replaced when dependencies are built.

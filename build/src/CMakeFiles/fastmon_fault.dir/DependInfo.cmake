@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fault/classify.cpp" "src/CMakeFiles/fastmon_fault.dir/fault/classify.cpp.o" "gcc" "src/CMakeFiles/fastmon_fault.dir/fault/classify.cpp.o.d"
+  "/root/repo/src/fault/detection_range.cpp" "src/CMakeFiles/fastmon_fault.dir/fault/detection_range.cpp.o" "gcc" "src/CMakeFiles/fastmon_fault.dir/fault/detection_range.cpp.o.d"
+  "/root/repo/src/fault/fault.cpp" "src/CMakeFiles/fastmon_fault.dir/fault/fault.cpp.o" "gcc" "src/CMakeFiles/fastmon_fault.dir/fault/fault.cpp.o.d"
+  "/root/repo/src/fault/fault_report.cpp" "src/CMakeFiles/fastmon_fault.dir/fault/fault_report.cpp.o" "gcc" "src/CMakeFiles/fastmon_fault.dir/fault/fault_report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fastmon_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fastmon_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fastmon_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fastmon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

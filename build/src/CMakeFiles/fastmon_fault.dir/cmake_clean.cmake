@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fastmon_fault.dir/fault/classify.cpp.o"
+  "CMakeFiles/fastmon_fault.dir/fault/classify.cpp.o.d"
+  "CMakeFiles/fastmon_fault.dir/fault/detection_range.cpp.o"
+  "CMakeFiles/fastmon_fault.dir/fault/detection_range.cpp.o.d"
+  "CMakeFiles/fastmon_fault.dir/fault/fault.cpp.o"
+  "CMakeFiles/fastmon_fault.dir/fault/fault.cpp.o.d"
+  "CMakeFiles/fastmon_fault.dir/fault/fault_report.cpp.o"
+  "CMakeFiles/fastmon_fault.dir/fault/fault_report.cpp.o.d"
+  "libfastmon_fault.a"
+  "libfastmon_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fastmon_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fastmon_flow.dir/flow/hdf_flow.cpp.o"
+  "CMakeFiles/fastmon_flow.dir/flow/hdf_flow.cpp.o.d"
+  "CMakeFiles/fastmon_flow.dir/flow/report.cpp.o"
+  "CMakeFiles/fastmon_flow.dir/flow/report.cpp.o.d"
+  "libfastmon_flow.a"
+  "libfastmon_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fastmon_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

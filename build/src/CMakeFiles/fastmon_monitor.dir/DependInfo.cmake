@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/monitor/aging.cpp" "src/CMakeFiles/fastmon_monitor.dir/monitor/aging.cpp.o" "gcc" "src/CMakeFiles/fastmon_monitor.dir/monitor/aging.cpp.o.d"
+  "/root/repo/src/monitor/monitor.cpp" "src/CMakeFiles/fastmon_monitor.dir/monitor/monitor.cpp.o" "gcc" "src/CMakeFiles/fastmon_monitor.dir/monitor/monitor.cpp.o.d"
+  "/root/repo/src/monitor/overhead.cpp" "src/CMakeFiles/fastmon_monitor.dir/monitor/overhead.cpp.o" "gcc" "src/CMakeFiles/fastmon_monitor.dir/monitor/overhead.cpp.o.d"
+  "/root/repo/src/monitor/placement.cpp" "src/CMakeFiles/fastmon_monitor.dir/monitor/placement.cpp.o" "gcc" "src/CMakeFiles/fastmon_monitor.dir/monitor/placement.cpp.o.d"
+  "/root/repo/src/monitor/policy.cpp" "src/CMakeFiles/fastmon_monitor.dir/monitor/policy.cpp.o" "gcc" "src/CMakeFiles/fastmon_monitor.dir/monitor/policy.cpp.o.d"
+  "/root/repo/src/monitor/shifting.cpp" "src/CMakeFiles/fastmon_monitor.dir/monitor/shifting.cpp.o" "gcc" "src/CMakeFiles/fastmon_monitor.dir/monitor/shifting.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fastmon_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fastmon_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fastmon_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fastmon_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fastmon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fastmon_monitor.dir/monitor/aging.cpp.o"
+  "CMakeFiles/fastmon_monitor.dir/monitor/aging.cpp.o.d"
+  "CMakeFiles/fastmon_monitor.dir/monitor/monitor.cpp.o"
+  "CMakeFiles/fastmon_monitor.dir/monitor/monitor.cpp.o.d"
+  "CMakeFiles/fastmon_monitor.dir/monitor/overhead.cpp.o"
+  "CMakeFiles/fastmon_monitor.dir/monitor/overhead.cpp.o.d"
+  "CMakeFiles/fastmon_monitor.dir/monitor/placement.cpp.o"
+  "CMakeFiles/fastmon_monitor.dir/monitor/placement.cpp.o.d"
+  "CMakeFiles/fastmon_monitor.dir/monitor/policy.cpp.o"
+  "CMakeFiles/fastmon_monitor.dir/monitor/policy.cpp.o.d"
+  "CMakeFiles/fastmon_monitor.dir/monitor/shifting.cpp.o"
+  "CMakeFiles/fastmon_monitor.dir/monitor/shifting.cpp.o.d"
+  "libfastmon_monitor.a"
+  "libfastmon_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fastmon_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

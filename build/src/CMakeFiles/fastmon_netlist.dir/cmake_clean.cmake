@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fastmon_netlist.dir/netlist/bench_io.cpp.o"
+  "CMakeFiles/fastmon_netlist.dir/netlist/bench_io.cpp.o.d"
+  "CMakeFiles/fastmon_netlist.dir/netlist/builder.cpp.o"
+  "CMakeFiles/fastmon_netlist.dir/netlist/builder.cpp.o.d"
+  "CMakeFiles/fastmon_netlist.dir/netlist/cell_library.cpp.o"
+  "CMakeFiles/fastmon_netlist.dir/netlist/cell_library.cpp.o.d"
+  "CMakeFiles/fastmon_netlist.dir/netlist/generator.cpp.o"
+  "CMakeFiles/fastmon_netlist.dir/netlist/generator.cpp.o.d"
+  "CMakeFiles/fastmon_netlist.dir/netlist/iscas_data.cpp.o"
+  "CMakeFiles/fastmon_netlist.dir/netlist/iscas_data.cpp.o.d"
+  "CMakeFiles/fastmon_netlist.dir/netlist/netlist.cpp.o"
+  "CMakeFiles/fastmon_netlist.dir/netlist/netlist.cpp.o.d"
+  "CMakeFiles/fastmon_netlist.dir/netlist/structures.cpp.o"
+  "CMakeFiles/fastmon_netlist.dir/netlist/structures.cpp.o.d"
+  "CMakeFiles/fastmon_netlist.dir/netlist/verilog_io.cpp.o"
+  "CMakeFiles/fastmon_netlist.dir/netlist/verilog_io.cpp.o.d"
+  "libfastmon_netlist.a"
+  "libfastmon_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fastmon_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/ilp.cpp" "src/CMakeFiles/fastmon_opt.dir/opt/ilp.cpp.o" "gcc" "src/CMakeFiles/fastmon_opt.dir/opt/ilp.cpp.o.d"
+  "/root/repo/src/opt/lp.cpp" "src/CMakeFiles/fastmon_opt.dir/opt/lp.cpp.o" "gcc" "src/CMakeFiles/fastmon_opt.dir/opt/lp.cpp.o.d"
+  "/root/repo/src/opt/set_cover.cpp" "src/CMakeFiles/fastmon_opt.dir/opt/set_cover.cpp.o" "gcc" "src/CMakeFiles/fastmon_opt.dir/opt/set_cover.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fastmon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fastmon_opt.dir/opt/ilp.cpp.o"
+  "CMakeFiles/fastmon_opt.dir/opt/ilp.cpp.o.d"
+  "CMakeFiles/fastmon_opt.dir/opt/lp.cpp.o"
+  "CMakeFiles/fastmon_opt.dir/opt/lp.cpp.o.d"
+  "CMakeFiles/fastmon_opt.dir/opt/set_cover.cpp.o"
+  "CMakeFiles/fastmon_opt.dir/opt/set_cover.cpp.o.d"
+  "libfastmon_opt.a"
+  "libfastmon_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fastmon_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

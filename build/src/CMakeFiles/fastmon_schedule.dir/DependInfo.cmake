@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/schedule/clock_gen.cpp" "src/CMakeFiles/fastmon_schedule.dir/schedule/clock_gen.cpp.o" "gcc" "src/CMakeFiles/fastmon_schedule.dir/schedule/clock_gen.cpp.o.d"
+  "/root/repo/src/schedule/discretize.cpp" "src/CMakeFiles/fastmon_schedule.dir/schedule/discretize.cpp.o" "gcc" "src/CMakeFiles/fastmon_schedule.dir/schedule/discretize.cpp.o.d"
+  "/root/repo/src/schedule/freq_select.cpp" "src/CMakeFiles/fastmon_schedule.dir/schedule/freq_select.cpp.o" "gcc" "src/CMakeFiles/fastmon_schedule.dir/schedule/freq_select.cpp.o.d"
+  "/root/repo/src/schedule/pattern_config_select.cpp" "src/CMakeFiles/fastmon_schedule.dir/schedule/pattern_config_select.cpp.o" "gcc" "src/CMakeFiles/fastmon_schedule.dir/schedule/pattern_config_select.cpp.o.d"
+  "/root/repo/src/schedule/robustness.cpp" "src/CMakeFiles/fastmon_schedule.dir/schedule/robustness.cpp.o" "gcc" "src/CMakeFiles/fastmon_schedule.dir/schedule/robustness.cpp.o.d"
+  "/root/repo/src/schedule/scan.cpp" "src/CMakeFiles/fastmon_schedule.dir/schedule/scan.cpp.o" "gcc" "src/CMakeFiles/fastmon_schedule.dir/schedule/scan.cpp.o.d"
+  "/root/repo/src/schedule/schedule.cpp" "src/CMakeFiles/fastmon_schedule.dir/schedule/schedule.cpp.o" "gcc" "src/CMakeFiles/fastmon_schedule.dir/schedule/schedule.cpp.o.d"
+  "/root/repo/src/schedule/validate.cpp" "src/CMakeFiles/fastmon_schedule.dir/schedule/validate.cpp.o" "gcc" "src/CMakeFiles/fastmon_schedule.dir/schedule/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fastmon_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fastmon_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fastmon_atpg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fastmon_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fastmon_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fastmon_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fastmon_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fastmon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fastmon_schedule.dir/schedule/clock_gen.cpp.o"
+  "CMakeFiles/fastmon_schedule.dir/schedule/clock_gen.cpp.o.d"
+  "CMakeFiles/fastmon_schedule.dir/schedule/discretize.cpp.o"
+  "CMakeFiles/fastmon_schedule.dir/schedule/discretize.cpp.o.d"
+  "CMakeFiles/fastmon_schedule.dir/schedule/freq_select.cpp.o"
+  "CMakeFiles/fastmon_schedule.dir/schedule/freq_select.cpp.o.d"
+  "CMakeFiles/fastmon_schedule.dir/schedule/pattern_config_select.cpp.o"
+  "CMakeFiles/fastmon_schedule.dir/schedule/pattern_config_select.cpp.o.d"
+  "CMakeFiles/fastmon_schedule.dir/schedule/robustness.cpp.o"
+  "CMakeFiles/fastmon_schedule.dir/schedule/robustness.cpp.o.d"
+  "CMakeFiles/fastmon_schedule.dir/schedule/scan.cpp.o"
+  "CMakeFiles/fastmon_schedule.dir/schedule/scan.cpp.o.d"
+  "CMakeFiles/fastmon_schedule.dir/schedule/schedule.cpp.o"
+  "CMakeFiles/fastmon_schedule.dir/schedule/schedule.cpp.o.d"
+  "CMakeFiles/fastmon_schedule.dir/schedule/validate.cpp.o"
+  "CMakeFiles/fastmon_schedule.dir/schedule/validate.cpp.o.d"
+  "libfastmon_schedule.a"
+  "libfastmon_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fastmon_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

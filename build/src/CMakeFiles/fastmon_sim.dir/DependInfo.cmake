@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/fault_sim.cpp" "src/CMakeFiles/fastmon_sim.dir/sim/fault_sim.cpp.o" "gcc" "src/CMakeFiles/fastmon_sim.dir/sim/fault_sim.cpp.o.d"
+  "/root/repo/src/sim/logic_sim.cpp" "src/CMakeFiles/fastmon_sim.dir/sim/logic_sim.cpp.o" "gcc" "src/CMakeFiles/fastmon_sim.dir/sim/logic_sim.cpp.o.d"
+  "/root/repo/src/sim/wave_sim.cpp" "src/CMakeFiles/fastmon_sim.dir/sim/wave_sim.cpp.o" "gcc" "src/CMakeFiles/fastmon_sim.dir/sim/wave_sim.cpp.o.d"
+  "/root/repo/src/sim/waveform.cpp" "src/CMakeFiles/fastmon_sim.dir/sim/waveform.cpp.o" "gcc" "src/CMakeFiles/fastmon_sim.dir/sim/waveform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fastmon_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fastmon_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fastmon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

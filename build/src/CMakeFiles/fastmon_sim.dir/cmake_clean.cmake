@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fastmon_sim.dir/sim/fault_sim.cpp.o"
+  "CMakeFiles/fastmon_sim.dir/sim/fault_sim.cpp.o.d"
+  "CMakeFiles/fastmon_sim.dir/sim/logic_sim.cpp.o"
+  "CMakeFiles/fastmon_sim.dir/sim/logic_sim.cpp.o.d"
+  "CMakeFiles/fastmon_sim.dir/sim/wave_sim.cpp.o"
+  "CMakeFiles/fastmon_sim.dir/sim/wave_sim.cpp.o.d"
+  "CMakeFiles/fastmon_sim.dir/sim/waveform.cpp.o"
+  "CMakeFiles/fastmon_sim.dir/sim/waveform.cpp.o.d"
+  "libfastmon_sim.a"
+  "libfastmon_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fastmon_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

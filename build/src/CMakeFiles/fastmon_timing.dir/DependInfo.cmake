@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/timing/delay_model.cpp" "src/CMakeFiles/fastmon_timing.dir/timing/delay_model.cpp.o" "gcc" "src/CMakeFiles/fastmon_timing.dir/timing/delay_model.cpp.o.d"
+  "/root/repo/src/timing/sdf.cpp" "src/CMakeFiles/fastmon_timing.dir/timing/sdf.cpp.o" "gcc" "src/CMakeFiles/fastmon_timing.dir/timing/sdf.cpp.o.d"
+  "/root/repo/src/timing/sta.cpp" "src/CMakeFiles/fastmon_timing.dir/timing/sta.cpp.o" "gcc" "src/CMakeFiles/fastmon_timing.dir/timing/sta.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fastmon_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fastmon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fastmon_timing.dir/timing/delay_model.cpp.o"
+  "CMakeFiles/fastmon_timing.dir/timing/delay_model.cpp.o.d"
+  "CMakeFiles/fastmon_timing.dir/timing/sdf.cpp.o"
+  "CMakeFiles/fastmon_timing.dir/timing/sdf.cpp.o.d"
+  "CMakeFiles/fastmon_timing.dir/timing/sta.cpp.o"
+  "CMakeFiles/fastmon_timing.dir/timing/sta.cpp.o.d"
+  "libfastmon_timing.a"
+  "libfastmon_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fastmon_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fastmon_util.dir/util/interval.cpp.o"
+  "CMakeFiles/fastmon_util.dir/util/interval.cpp.o.d"
+  "CMakeFiles/fastmon_util.dir/util/log.cpp.o"
+  "CMakeFiles/fastmon_util.dir/util/log.cpp.o.d"
+  "CMakeFiles/fastmon_util.dir/util/prng.cpp.o"
+  "CMakeFiles/fastmon_util.dir/util/prng.cpp.o.d"
+  "CMakeFiles/fastmon_util.dir/util/stats.cpp.o"
+  "CMakeFiles/fastmon_util.dir/util/stats.cpp.o.d"
+  "CMakeFiles/fastmon_util.dir/util/table.cpp.o"
+  "CMakeFiles/fastmon_util.dir/util/table.cpp.o.d"
+  "libfastmon_util.a"
+  "libfastmon_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fastmon_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

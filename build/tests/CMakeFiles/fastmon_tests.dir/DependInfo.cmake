@@ -1,0 +1,64 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_aging.cpp" "tests/CMakeFiles/fastmon_tests.dir/test_aging.cpp.o" "gcc" "tests/CMakeFiles/fastmon_tests.dir/test_aging.cpp.o.d"
+  "/root/repo/tests/test_atpg.cpp" "tests/CMakeFiles/fastmon_tests.dir/test_atpg.cpp.o" "gcc" "tests/CMakeFiles/fastmon_tests.dir/test_atpg.cpp.o.d"
+  "/root/repo/tests/test_bench_io.cpp" "tests/CMakeFiles/fastmon_tests.dir/test_bench_io.cpp.o" "gcc" "tests/CMakeFiles/fastmon_tests.dir/test_bench_io.cpp.o.d"
+  "/root/repo/tests/test_bist_metrics.cpp" "tests/CMakeFiles/fastmon_tests.dir/test_bist_metrics.cpp.o" "gcc" "tests/CMakeFiles/fastmon_tests.dir/test_bist_metrics.cpp.o.d"
+  "/root/repo/tests/test_cell_library.cpp" "tests/CMakeFiles/fastmon_tests.dir/test_cell_library.cpp.o" "gcc" "tests/CMakeFiles/fastmon_tests.dir/test_cell_library.cpp.o.d"
+  "/root/repo/tests/test_classify.cpp" "tests/CMakeFiles/fastmon_tests.dir/test_classify.cpp.o" "gcc" "tests/CMakeFiles/fastmon_tests.dir/test_classify.cpp.o.d"
+  "/root/repo/tests/test_clock_gen.cpp" "tests/CMakeFiles/fastmon_tests.dir/test_clock_gen.cpp.o" "gcc" "tests/CMakeFiles/fastmon_tests.dir/test_clock_gen.cpp.o.d"
+  "/root/repo/tests/test_discretize.cpp" "tests/CMakeFiles/fastmon_tests.dir/test_discretize.cpp.o" "gcc" "tests/CMakeFiles/fastmon_tests.dir/test_discretize.cpp.o.d"
+  "/root/repo/tests/test_fault_report.cpp" "tests/CMakeFiles/fastmon_tests.dir/test_fault_report.cpp.o" "gcc" "tests/CMakeFiles/fastmon_tests.dir/test_fault_report.cpp.o.d"
+  "/root/repo/tests/test_fault_sim.cpp" "tests/CMakeFiles/fastmon_tests.dir/test_fault_sim.cpp.o" "gcc" "tests/CMakeFiles/fastmon_tests.dir/test_fault_sim.cpp.o.d"
+  "/root/repo/tests/test_file_io.cpp" "tests/CMakeFiles/fastmon_tests.dir/test_file_io.cpp.o" "gcc" "tests/CMakeFiles/fastmon_tests.dir/test_file_io.cpp.o.d"
+  "/root/repo/tests/test_flow.cpp" "tests/CMakeFiles/fastmon_tests.dir/test_flow.cpp.o" "gcc" "tests/CMakeFiles/fastmon_tests.dir/test_flow.cpp.o.d"
+  "/root/repo/tests/test_flow_structures.cpp" "tests/CMakeFiles/fastmon_tests.dir/test_flow_structures.cpp.o" "gcc" "tests/CMakeFiles/fastmon_tests.dir/test_flow_structures.cpp.o.d"
+  "/root/repo/tests/test_generator.cpp" "tests/CMakeFiles/fastmon_tests.dir/test_generator.cpp.o" "gcc" "tests/CMakeFiles/fastmon_tests.dir/test_generator.cpp.o.d"
+  "/root/repo/tests/test_ilp.cpp" "tests/CMakeFiles/fastmon_tests.dir/test_ilp.cpp.o" "gcc" "tests/CMakeFiles/fastmon_tests.dir/test_ilp.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/fastmon_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/fastmon_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_interval.cpp" "tests/CMakeFiles/fastmon_tests.dir/test_interval.cpp.o" "gcc" "tests/CMakeFiles/fastmon_tests.dir/test_interval.cpp.o.d"
+  "/root/repo/tests/test_logic_sim.cpp" "tests/CMakeFiles/fastmon_tests.dir/test_logic_sim.cpp.o" "gcc" "tests/CMakeFiles/fastmon_tests.dir/test_logic_sim.cpp.o.d"
+  "/root/repo/tests/test_lp.cpp" "tests/CMakeFiles/fastmon_tests.dir/test_lp.cpp.o" "gcc" "tests/CMakeFiles/fastmon_tests.dir/test_lp.cpp.o.d"
+  "/root/repo/tests/test_monitor.cpp" "tests/CMakeFiles/fastmon_tests.dir/test_monitor.cpp.o" "gcc" "tests/CMakeFiles/fastmon_tests.dir/test_monitor.cpp.o.d"
+  "/root/repo/tests/test_netlist.cpp" "tests/CMakeFiles/fastmon_tests.dir/test_netlist.cpp.o" "gcc" "tests/CMakeFiles/fastmon_tests.dir/test_netlist.cpp.o.d"
+  "/root/repo/tests/test_overhead_validate.cpp" "tests/CMakeFiles/fastmon_tests.dir/test_overhead_validate.cpp.o" "gcc" "tests/CMakeFiles/fastmon_tests.dir/test_overhead_validate.cpp.o.d"
+  "/root/repo/tests/test_podem.cpp" "tests/CMakeFiles/fastmon_tests.dir/test_podem.cpp.o" "gcc" "tests/CMakeFiles/fastmon_tests.dir/test_podem.cpp.o.d"
+  "/root/repo/tests/test_robustness_policy.cpp" "tests/CMakeFiles/fastmon_tests.dir/test_robustness_policy.cpp.o" "gcc" "tests/CMakeFiles/fastmon_tests.dir/test_robustness_policy.cpp.o.d"
+  "/root/repo/tests/test_scan.cpp" "tests/CMakeFiles/fastmon_tests.dir/test_scan.cpp.o" "gcc" "tests/CMakeFiles/fastmon_tests.dir/test_scan.cpp.o.d"
+  "/root/repo/tests/test_schedule.cpp" "tests/CMakeFiles/fastmon_tests.dir/test_schedule.cpp.o" "gcc" "tests/CMakeFiles/fastmon_tests.dir/test_schedule.cpp.o.d"
+  "/root/repo/tests/test_sdf.cpp" "tests/CMakeFiles/fastmon_tests.dir/test_sdf.cpp.o" "gcc" "tests/CMakeFiles/fastmon_tests.dir/test_sdf.cpp.o.d"
+  "/root/repo/tests/test_set_cover.cpp" "tests/CMakeFiles/fastmon_tests.dir/test_set_cover.cpp.o" "gcc" "tests/CMakeFiles/fastmon_tests.dir/test_set_cover.cpp.o.d"
+  "/root/repo/tests/test_stabbing.cpp" "tests/CMakeFiles/fastmon_tests.dir/test_stabbing.cpp.o" "gcc" "tests/CMakeFiles/fastmon_tests.dir/test_stabbing.cpp.o.d"
+  "/root/repo/tests/test_structures.cpp" "tests/CMakeFiles/fastmon_tests.dir/test_structures.cpp.o" "gcc" "tests/CMakeFiles/fastmon_tests.dir/test_structures.cpp.o.d"
+  "/root/repo/tests/test_timing.cpp" "tests/CMakeFiles/fastmon_tests.dir/test_timing.cpp.o" "gcc" "tests/CMakeFiles/fastmon_tests.dir/test_timing.cpp.o.d"
+  "/root/repo/tests/test_util.cpp" "tests/CMakeFiles/fastmon_tests.dir/test_util.cpp.o" "gcc" "tests/CMakeFiles/fastmon_tests.dir/test_util.cpp.o.d"
+  "/root/repo/tests/test_verilog_io.cpp" "tests/CMakeFiles/fastmon_tests.dir/test_verilog_io.cpp.o" "gcc" "tests/CMakeFiles/fastmon_tests.dir/test_verilog_io.cpp.o.d"
+  "/root/repo/tests/test_wave_sim.cpp" "tests/CMakeFiles/fastmon_tests.dir/test_wave_sim.cpp.o" "gcc" "tests/CMakeFiles/fastmon_tests.dir/test_wave_sim.cpp.o.d"
+  "/root/repo/tests/test_wave_sim_reference.cpp" "tests/CMakeFiles/fastmon_tests.dir/test_wave_sim_reference.cpp.o" "gcc" "tests/CMakeFiles/fastmon_tests.dir/test_wave_sim_reference.cpp.o.d"
+  "/root/repo/tests/test_waveform.cpp" "tests/CMakeFiles/fastmon_tests.dir/test_waveform.cpp.o" "gcc" "tests/CMakeFiles/fastmon_tests.dir/test_waveform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fastmon_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fastmon_schedule.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fastmon_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fastmon_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fastmon_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fastmon_atpg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fastmon_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fastmon_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fastmon_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fastmon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
