@@ -84,7 +84,7 @@ namespace {
 std::string cache_key(const BenchSettings& settings,
                       const CircuitProfile& profile) {
     std::ostringstream os;
-    os << profile.name << "_v3_g" << settings.max_gates << "_f"
+    os << profile.name << "_v4_g" << settings.max_gates << "_f"
        << settings.max_faults << (settings.fast ? "_fast" : "");
     return os.str();
 }
@@ -130,6 +130,14 @@ std::string serialize_result(const HdfFlowResult& r) {
            << ' ' << row.naive_pc << ' ' << row.schedule_size << ' '
            << row.reduction_percent << '\n';
     }
+    const DetectionCounters& c = r.detection;
+    os << "detection " << c.pairs_total << ' ' << c.pairs_screened_out << ' '
+       << c.pairs_inactive << ' ' << c.pairs_simulated << ' '
+       << c.pairs_detected << ' ' << c.gates_reevaluated << ' '
+       << c.good_wave_sims << ' ' << c.cones_cached << ' '
+       << c.screen_seconds << ' ' << c.good_wave_seconds << ' '
+       << c.fault_sim_seconds << ' ' << c.analyze_seconds << ' '
+       << c.table_seconds << '\n';
     return os.str();
 }
 
@@ -200,6 +208,14 @@ bool deserialize_result(const std::string& text, HdfFlowResult& r) {
                 row.schedule_size >> row.reduction_percent;
             r.coverage_rows.push_back(row);
             continue;
+        } else if (key == "detection") {
+            DetectionCounters& c = r.detection;
+            is >> c.pairs_total >> c.pairs_screened_out >> c.pairs_inactive >>
+                c.pairs_simulated >> c.pairs_detected >> c.gates_reevaluated >>
+                c.good_wave_sims >> c.cones_cached >> c.screen_seconds >>
+                c.good_wave_seconds >> c.fault_sim_seconds >>
+                c.analyze_seconds >> c.table_seconds;
+            continue;
         } else {
             return false;
         }
@@ -250,6 +266,38 @@ std::vector<HdfFlowResult> run_all_profiles(const BenchSettings& settings) {
         results.push_back(std::move(r));
     }
     return results;
+}
+
+void write_detection_json(const std::string& path,
+                          const std::string& bench_name,
+                          std::span<const DetectionBenchEntry> entries) {
+    std::ofstream out(path);
+    out.precision(6);
+    out << "{\n  \"bench\": \"" << bench_name << "\",\n  \"entries\": [";
+    bool first = true;
+    for (const DetectionBenchEntry& e : entries) {
+        const DetectionCounters& c = e.counters;
+        out << (first ? "" : ",") << "\n    {"
+            << "\"name\": \"" << e.name << "\", "
+            << "\"num_faults\": " << e.num_faults << ", "
+            << "\"num_patterns\": " << e.num_patterns << ", "
+            << "\"pairs_total\": " << c.pairs_total << ", "
+            << "\"pairs_screened_out\": " << c.pairs_screened_out << ", "
+            << "\"pairs_inactive\": " << c.pairs_inactive << ", "
+            << "\"pairs_simulated\": " << c.pairs_simulated << ", "
+            << "\"pairs_detected\": " << c.pairs_detected << ", "
+            << "\"gates_reevaluated\": " << c.gates_reevaluated << ", "
+            << "\"good_wave_sims\": " << c.good_wave_sims << ", "
+            << "\"cones_cached\": " << c.cones_cached << ", "
+            << "\"screen_seconds\": " << c.screen_seconds << ", "
+            << "\"good_wave_seconds\": " << c.good_wave_seconds << ", "
+            << "\"fault_sim_seconds\": " << c.fault_sim_seconds << ", "
+            << "\"analyze_seconds\": " << c.analyze_seconds << ", "
+            << "\"table_seconds\": " << c.table_seconds << "}";
+        first = false;
+    }
+    out << "\n  ]\n}\n";
+    std::cerr << "[artifact] wrote " << path << '\n';
 }
 
 }  // namespace fastmon::bench

@@ -15,6 +15,7 @@
 //   FASTMON_NO_CACHE    =1: ignore and overwrite the on-disk cache
 #pragma once
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -48,5 +49,20 @@ std::vector<HdfFlowResult> run_all_profiles(const BenchSettings& settings);
 /// Cache round trip, exposed for tests.
 std::string serialize_result(const HdfFlowResult& result);
 bool deserialize_result(const std::string& text, HdfFlowResult& result);
+
+/// One measured detection-engine run in the BENCH_detection.json
+/// artifact.
+struct DetectionBenchEntry {
+    std::string name;            ///< circuit / configuration label
+    DetectionCounters counters;  ///< engine funnel + phase times
+    std::size_t num_faults = 0;
+    std::size_t num_patterns = 0;
+};
+
+/// Writes the machine-readable perf artifact consumed by perf-tracking
+/// scripts (bench/run_bench.sh appends it to the build log).
+void write_detection_json(const std::string& path,
+                          const std::string& bench_name,
+                          std::span<const DetectionBenchEntry> entries);
 
 }  // namespace fastmon::bench

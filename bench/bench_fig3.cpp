@@ -34,6 +34,15 @@ int main() {
     const std::vector<CoverageBySpeed> curve = flow.coverage_curve(factors);
     print_fig3(std::cout, curve);
 
+    // Engine perf artifact (pass-A counters of the prepare() above).
+    bench::DetectionBenchEntry entry;
+    entry.name = profile.name;
+    entry.counters = flow.detection_counters();
+    entry.num_faults = flow.simulated_faults().size();
+    entry.num_patterns = flow.patterns().size();
+    bench::write_detection_json("BENCH_detection.json", "bench_fig3",
+                                std::span(&entry, 1));
+
     // Shape checks.
     bool ok = true;
     for (std::size_t i = 0; i < curve.size(); ++i) {

@@ -2,9 +2,13 @@
 // (not a paper table; used to track performance regressions) plus the
 // two ablations called out in DESIGN.md: pulse-filter threshold and
 // discretization candidate policy.
+//
+// After the google-benchmark run, main() measures the full detection
+// engine (serial vs pooled) and writes BENCH_detection.json.
 #include <benchmark/benchmark.h>
 
 #include "atpg/tdf_atpg.hpp"
+#include "bench_common.hpp"
 #include "fault/detection_range.hpp"
 #include "monitor/placement.hpp"
 #include "netlist/generator.hpp"
@@ -232,6 +236,62 @@ void BM_AblationDiscretize(benchmark::State& state) {
 }
 BENCHMARK(BM_AblationDiscretize)->Arg(0)->Arg(64)->Arg(384);
 
+// End-to-end detection-engine measurement: DetectionAnalyzer::analyze
+// over random patterns and a sampled fault universe, once serial
+// (num_threads = 1) and once on the shared pool (num_threads = 0).
+// The engine counters of both runs go into BENCH_detection.json.
+void write_detection_artifact() {
+    using fastmon::bench::DetectionBenchEntry;
+    const Netlist& nl = test_circuit();
+    const DelayAnnotation& delays = test_delays();
+    const StaResult sta = run_sta(nl, delays);
+    const WaveSim sim(nl, delays);
+
+    Prng rng(99);
+    const std::size_t n = nl.comb_sources().size();
+    std::vector<PatternPair> patterns(64);
+    for (auto& p : patterns) {
+        p.v1.resize(n);
+        p.v2.resize(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            p.v1[i] = rng.chance(0.5) ? 1 : 0;
+            p.v2[i] = rng.chance(0.5) ? 1 : 0;
+        }
+    }
+
+    const FaultUniverse universe = FaultUniverse::generate(nl, delays);
+    std::vector<DelayFault> faults;
+    for (std::size_t i = 0; i < universe.size(); i += 2) {
+        faults.push_back(universe.fault(i));
+    }
+
+    std::vector<DetectionBenchEntry> entries;
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{0}}) {
+        DetectionAnalysisConfig dac;
+        dac.glitch_threshold = delays.glitch_threshold();
+        dac.horizon = sta.clock_period * 1.02;
+        dac.num_threads = threads;
+        const DetectionAnalyzer analyzer(sim, patterns, {}, dac);
+        const auto ranges = analyzer.analyze(faults);
+        benchmark::DoNotOptimize(ranges);
+        DetectionBenchEntry e;
+        e.name = threads == 1 ? "micro_serial" : "micro_pooled";
+        e.counters = analyzer.counters();
+        e.num_faults = faults.size();
+        e.num_patterns = patterns.size();
+        entries.push_back(std::move(e));
+    }
+    fastmon::bench::write_detection_json("BENCH_detection.json",
+                                         "bench_micro", entries);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    write_detection_artifact();
+    return 0;
+}

@@ -12,6 +12,9 @@ int main() {
     const std::vector<HdfFlowResult> rows =
         bench::run_all_profiles(settings);
     print_table1(std::cout, rows);
+    std::cout << "\nDetection-engine counters (cached rows keep the"
+                 " counters of the run that produced them):\n";
+    print_engine_counters(std::cout, rows);
     std::cout << "\nShape checks (paper: prop >= conv on every circuit;"
                  " gains range from a few % to >100%):\n";
     bool ok = true;

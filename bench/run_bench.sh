@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Builds the Release tree and runs the perf benches, leaving the
+# machine-readable engine counters in BENCH_detection.json.
+#
+# Usage: bench/run_bench.sh [build-dir]
+# Knobs: FASTMON_FAST=1 for a quick smoke run; FASTMON_MAX_GATES /
+# FASTMON_MAX_FAULTS / FASTMON_PROFILES as documented in
+# bench/bench_common.hpp.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build-bench}"
+
+cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$build_dir" -j"$(nproc)" --target bench_micro bench_fig3
+
+cd "$repo_root"
+
+echo "== micro benchmarks =="
+"$build_dir/bench/bench_micro" --benchmark_min_time=0.05
+
+echo
+echo "== detection engine counters (BENCH_detection.json) =="
+cat BENCH_detection.json

@@ -126,7 +126,7 @@ struct Objective {
 
 /// Cache of per-source fanout cones, shared across PODEM runs on the
 /// same netlist (cone extraction is the dominant setup cost otherwise).
-using ConeCache = std::vector<std::vector<GateId>>;
+using PodemConeCache = std::vector<std::vector<GateId>>;
 
 struct PodemEngine {
     const Netlist& nl;
@@ -134,7 +134,7 @@ struct PodemEngine {
     const bool stuck_value;
     const bool propagate;  ///< false for pure justification
     const std::size_t backtrack_limit;
-    ConeCache& cones;
+    PodemConeCache& cones;
 
     std::vector<V5> values;
     std::vector<Bit> source_vals;      // only meaningful where source_set
@@ -143,7 +143,7 @@ struct PodemEngine {
     std::size_t backtracks = 0;
 
     PodemEngine(const Netlist& netlist, const FaultSite& s, bool sv,
-                bool prop, std::size_t limit, ConeCache& cone_cache)
+                bool prop, std::size_t limit, PodemConeCache& cone_cache)
         : nl(netlist),
           site(s),
           stuck_value(sv),

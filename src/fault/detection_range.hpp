@@ -14,14 +14,28 @@
 // pairs and evaluates detection at a small set of selected observation
 // times under every monitor configuration — the input of the second
 // scheduling step (pattern x configuration selection).
+//
+// Engine structure (this is the dominant cost of the whole flow):
+//   * a bit-parallel ternary pre-screen (ActivationScreen) packs
+//     patterns 64-wide and discards (fault, pattern) pairs whose site
+//     provably never toggles, before any waveform is touched;
+//   * surviving pairs run through FaultSim with a shared ConeCache and
+//     per-worker dense-overlay scratch;
+//   * work executes on a persistent thread pool: fault pairs of the
+//     current pattern in parallel chunks, the next patterns'
+//     fault-free waveforms as pipelined producer tasks;
+//   * cheap counters record how much work each stage did.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "fault/fault.hpp"
 #include "sim/pattern.hpp"
+#include "util/thread_pool.hpp"
 
 namespace fastmon {
 
@@ -52,6 +66,73 @@ struct DetectionAnalysisConfig {
     /// Upper bound of recorded observation times (>= t_nom + max
     /// monitor delay).
     Time horizon = 0.0;
+    /// Simulation lanes: 0 = one per hardware thread (the process-wide
+    /// shared pool), 1 = serial, n >= 2 = a dedicated pool of n - 1
+    /// workers plus the calling thread.
+    std::size_t num_threads = 0;
+};
+
+/// Cumulative work/timing counters of a DetectionAnalyzer — the
+/// baseline data of performance work on the engine.  Pair counters
+/// cover analyze(); detection_table() re-simulations are added to
+/// pairs_simulated and timed separately.
+struct DetectionCounters {
+    std::uint64_t pairs_total = 0;         ///< (fault, pattern) pairs seen
+    std::uint64_t pairs_screened_out = 0;  ///< dropped by the bit-parallel screen
+    std::uint64_t pairs_inactive = 0;      ///< dropped by the exact activation check
+    std::uint64_t pairs_simulated = 0;     ///< full cone re-simulations
+    std::uint64_t pairs_detected = 0;      ///< simulations with a non-empty range
+    std::uint64_t gates_reevaluated = 0;   ///< gate evaluations inside FaultSim
+    std::uint64_t good_wave_sims = 0;      ///< fault-free waveform simulations
+    std::uint64_t cones_cached = 0;        ///< distinct fanout cones materialized
+    double screen_seconds = 0.0;           ///< building the activation screen
+    double good_wave_seconds = 0.0;        ///< fault-free simulation (CPU time)
+    double fault_sim_seconds = 0.0;        ///< fault simulation chunks (CPU time)
+    double analyze_seconds = 0.0;          ///< analyze() wall clock
+    double table_seconds = 0.0;            ///< detection_table() wall clock
+
+    DetectionCounters& operator+=(const DetectionCounters& other);
+};
+
+/// Bit-parallel, hazard-aware fault-activation pre-screen.
+///
+/// Patterns are packed 64 per word and pushed through a ternary logic
+/// simulation (LogicSim::eval64_ternary): a stable (non-X) node
+/// provably never toggles in the timed waveform simulation, so no
+/// delay fault at that site can be activated by that pattern.  The
+/// screen is conservative: may_toggle() == false guarantees
+/// FaultSim::activated() == false for both transition directions;
+/// true means "must check".
+class ActivationScreen {
+public:
+    ActivationScreen(const Netlist& netlist,
+                     std::span<const PatternPair> patterns);
+
+    /// May the signal driven by `signal` toggle under pattern `pattern`?
+    [[nodiscard]] bool may_toggle(GateId signal,
+                                  std::uint32_t pattern) const {
+        return (words_[signal * blocks_ + pattern / 64] >>
+                (pattern % 64)) &
+               1ULL;
+    }
+
+    /// Convenience: screen bit of a fault site (either direction).
+    [[nodiscard]] bool may_activate(const Netlist& netlist,
+                                    const FaultSite& site,
+                                    std::uint32_t pattern) const;
+
+    /// 64-pattern block of screen bits for `signal` (bit k = pattern
+    /// block * 64 + k).
+    [[nodiscard]] std::uint64_t block(GateId signal,
+                                      std::size_t block_index) const {
+        return words_[signal * blocks_ + block_index];
+    }
+
+    [[nodiscard]] std::size_t num_blocks() const { return blocks_; }
+
+private:
+    std::size_t blocks_ = 0;
+    std::vector<std::uint64_t> words_;  ///< [signal * blocks_ + block]
 };
 
 class DetectionAnalyzer {
@@ -63,7 +144,8 @@ public:
                       const std::vector<bool>& monitored,
                       DetectionAnalysisConfig config);
 
-    /// Pass A over `faults` (parallelized over patterns internally).
+    /// Pass A over `faults` (screened, cached, and parallelized on the
+    /// persistent pool internally).
     [[nodiscard]] std::vector<FaultRanges> analyze(
         std::span<const DelayFault> faults) const;
 
@@ -79,6 +161,10 @@ public:
 
     [[nodiscard]] const WaveSim& wave_sim() const { return *wave_sim_; }
 
+    /// Work/timing counters accumulated over every analyze() and
+    /// detection_table() call on this analyzer.
+    [[nodiscard]] DetectionCounters counters() const;
+
 private:
     /// FF/SR interval pair for one fault under one pattern.
     struct PairRanges {
@@ -86,12 +172,34 @@ private:
         IntervalSet sr;
     };
     [[nodiscard]] PairRanges ranges_for_pattern(
-        const DelayFault& fault, std::span<const Waveform> good) const;
+        const FaultSim& fsim, const DelayFault& fault,
+        std::span<const Waveform> good, FaultSimScratch& scratch) const;
+
+    /// nullptr = run serial (num_threads == 1).
+    [[nodiscard]] ThreadPool* pool() const;
+
+    struct Atomics {
+        std::atomic<std::uint64_t> pairs_total{0};
+        std::atomic<std::uint64_t> pairs_screened_out{0};
+        std::atomic<std::uint64_t> pairs_inactive{0};
+        std::atomic<std::uint64_t> pairs_simulated{0};
+        std::atomic<std::uint64_t> pairs_detected{0};
+        std::atomic<std::uint64_t> gates_reevaluated{0};
+        std::atomic<std::uint64_t> good_wave_sims{0};
+        std::atomic<std::uint64_t> screen_ns{0};
+        std::atomic<std::uint64_t> good_wave_ns{0};
+        std::atomic<std::uint64_t> fault_sim_ns{0};
+        std::atomic<std::uint64_t> analyze_ns{0};
+        std::atomic<std::uint64_t> table_ns{0};
+    };
 
     const WaveSim* wave_sim_;
     std::span<const PatternPair> patterns_;
     std::vector<bool> monitored_;
     DetectionAnalysisConfig config_;
+    ConeCache cones_;
+    std::unique_ptr<ThreadPool> owned_pool_;  ///< only when num_threads >= 2
+    mutable Atomics stats_;
 };
 
 }  // namespace fastmon

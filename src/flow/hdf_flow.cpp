@@ -80,12 +80,14 @@ void HdfFlow::prepare() {
                                ? config_.glitch_threshold
                                : delays_->glitch_threshold();
     dac.horizon = sta_.clock_period * 1.02;
+    dac.num_threads = config_.num_threads;
     const DetectionAnalyzer analyzer(wave_sim, test_set_.patterns,
                                      placement_.monitored, dac);
     std::vector<DelayFault> faults;
     faults.reserve(simulated_.size());
     for (FaultId id : simulated_) faults.push_back(universe_.fault(id));
     ranges_ = analyzer.analyze(faults);
+    detect_counters_ += analyzer.counters();
 
     // (4)-(5) Target fault set.
     const Interval window = window_for(config_.fmax_factor);
@@ -260,11 +262,14 @@ HdfFlowResult HdfFlow::run() {
                                ? config_.glitch_threshold
                                : delays_->glitch_threshold();
     dac.horizon = sta_.clock_period * 1.02;
+    dac.num_threads = config_.num_threads;
     const DetectionAnalyzer analyzer(wave_sim, test_set_.patterns,
                                      placement_.monitored, dac);
     const std::vector<DetectionEntry> all_entries = analyzer.detection_table(
         target_faults, target_fault_ranges, all_periods,
         placement_.config_delays);
+    detect_counters_ += analyzer.counters();
+    res.detection = detect_counters_;
 
     // Helper: restrict the table to one period subset (remapped).
     auto entries_for = [&all_entries, &all_periods](

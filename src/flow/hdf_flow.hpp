@@ -51,6 +51,9 @@ struct HdfFlowConfig {
     SetCoverOptions solver;
     /// Coverage targets of Table III.
     std::vector<double> coverage_targets = {0.99, 0.98, 0.95, 0.90};
+    /// Simulation lanes of the detection engine: 0 = one per hardware
+    /// thread (shared pool), 1 = serial, n >= 2 = dedicated pool.
+    std::size_t num_threads = 0;
 };
 
 /// One point of the Fig. 3 coverage-versus-f_max curve.
@@ -104,6 +107,8 @@ struct HdfFlowResult {
     Time clock_period = 0.0;
     Time t_min = 0.0;
     double atpg_coverage = 0.0;
+    // --- engine counters (pass A + pass B accumulated) ---
+    DetectionCounters detection;
 };
 
 class HdfFlow {
@@ -145,6 +150,10 @@ public:
     [[nodiscard]] std::span<const std::uint32_t> target_positions() const {
         return targets_;
     }
+    /// Detection-engine work counters accumulated over prepare()/run().
+    [[nodiscard]] const DetectionCounters& detection_counters() const {
+        return detect_counters_;
+    }
 
 private:
     [[nodiscard]] Interval window_for(double fmax_factor) const;
@@ -164,6 +173,7 @@ private:
     std::vector<FaultRanges> ranges_;
     std::vector<std::uint32_t> targets_;
     double sample_scale_ = 1.0;
+    DetectionCounters detect_counters_;
 };
 
 }  // namespace fastmon

@@ -99,4 +99,28 @@ void print_fig3(std::ostream& os, std::span<const CoverageBySpeed> curve) {
     }
 }
 
+void print_engine_counters(std::ostream& os,
+                           std::span<const HdfFlowResult> rows) {
+    TextTable t({"Circuit", "pairs", "screened", "inactive", "simulated",
+                 "detected", "gate evals", "good sims", "cones",
+                 "t_screen", "t_analyze", "t_table"});
+    for (const HdfFlowResult& r : rows) {
+        const DetectionCounters& c = r.detection;
+        t.begin_row();
+        t.cell(r.circuit);
+        t.cell(c.pairs_total);
+        t.cell(c.pairs_screened_out);
+        t.cell(c.pairs_inactive);
+        t.cell(c.pairs_simulated);
+        t.cell(c.pairs_detected);
+        t.cell(c.gates_reevaluated);
+        t.cell(c.good_wave_sims);
+        t.cell(c.cones_cached);
+        t.cell(c.screen_seconds, 3);
+        t.cell(c.analyze_seconds, 3);
+        t.cell(c.table_seconds, 3);
+    }
+    t.print(os);
+}
+
 }  // namespace fastmon

@@ -20,4 +20,10 @@ void print_table3(std::ostream& os, std::span<const HdfFlowResult> rows);
 /// Fig. 3: HDF coverage over f_max as an ASCII series.
 void print_fig3(std::ostream& os, std::span<const CoverageBySpeed> curve);
 
+/// Detection-engine work counters (screen/simulate/detect funnel and
+/// per-phase times) per circuit — the perf-debugging companion of the
+/// paper tables.
+void print_engine_counters(std::ostream& os,
+                           std::span<const HdfFlowResult> rows);
+
 }  // namespace fastmon

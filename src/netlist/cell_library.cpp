@@ -169,6 +169,118 @@ std::uint64_t eval_cell64(CellType type, std::span<const std::uint64_t> inputs) 
     return 0;
 }
 
+void eval_cell64_ternary(CellType type, std::span<const std::uint64_t> can0,
+                         std::span<const std::uint64_t> can1,
+                         std::uint64_t& out0, std::uint64_t& out1) {
+    // Possible-value propagation: the output may be b iff some choice
+    // of attainable input values produces b.  For the monotone gates
+    // this reduces to AND/OR folds of the masks; XOR-family gates fold
+    // pairwise.
+    switch (type) {
+        case CellType::Input:
+            throw std::logic_error(
+                "eval_cell64_ternary: Input node has no function");
+        case CellType::Output:
+        case CellType::Dff:
+        case CellType::Buf:
+            out0 = can0[0];
+            out1 = can1[0];
+            return;
+        case CellType::Inv:
+            out0 = can1[0];
+            out1 = can0[0];
+            return;
+        case CellType::And: {
+            std::uint64_t all1 = ~0ULL;
+            std::uint64_t any0 = 0;
+            for (std::size_t i = 0; i < can1.size(); ++i) {
+                all1 &= can1[i];
+                any0 |= can0[i];
+            }
+            out1 = all1;
+            out0 = any0;
+            return;
+        }
+        case CellType::Nand: {
+            std::uint64_t all1 = ~0ULL;
+            std::uint64_t any0 = 0;
+            for (std::size_t i = 0; i < can1.size(); ++i) {
+                all1 &= can1[i];
+                any0 |= can0[i];
+            }
+            out1 = any0;
+            out0 = all1;
+            return;
+        }
+        case CellType::Or: {
+            std::uint64_t any1 = 0;
+            std::uint64_t all0 = ~0ULL;
+            for (std::size_t i = 0; i < can1.size(); ++i) {
+                any1 |= can1[i];
+                all0 &= can0[i];
+            }
+            out1 = any1;
+            out0 = all0;
+            return;
+        }
+        case CellType::Nor: {
+            std::uint64_t any1 = 0;
+            std::uint64_t all0 = ~0ULL;
+            for (std::size_t i = 0; i < can1.size(); ++i) {
+                any1 |= can1[i];
+                all0 &= can0[i];
+            }
+            out1 = all0;
+            out0 = any1;
+            return;
+        }
+        case CellType::Xor:
+        case CellType::Xnor: {
+            std::uint64_t acc0 = can0[0];
+            std::uint64_t acc1 = can1[0];
+            for (std::size_t i = 1; i < can1.size(); ++i) {
+                const std::uint64_t n1 =
+                    (acc1 & can0[i]) | (acc0 & can1[i]);
+                const std::uint64_t n0 =
+                    (acc0 & can0[i]) | (acc1 & can1[i]);
+                acc0 = n0;
+                acc1 = n1;
+            }
+            if (type == CellType::Xnor) std::swap(acc0, acc1);
+            out0 = acc0;
+            out1 = acc1;
+            return;
+        }
+        case CellType::Mux2:
+            // fanin order: select, a (sel = 0), b (sel = 1)
+            out1 = (can0[0] & can1[1]) | (can1[0] & can1[2]);
+            out0 = (can0[0] & can0[1]) | (can1[0] & can0[2]);
+            return;
+        case CellType::Aoi21: {
+            // !((a & b) | c)
+            const std::uint64_t and1 = can1[0] & can1[1];
+            const std::uint64_t and0 = can0[0] | can0[1];
+            const std::uint64_t or1 = and1 | can1[2];
+            const std::uint64_t or0 = and0 & can0[2];
+            out1 = or0;
+            out0 = or1;
+            return;
+        }
+        case CellType::Oai21: {
+            // !((a | b) & c)
+            const std::uint64_t or1 = can1[0] | can1[1];
+            const std::uint64_t or0 = can0[0] & can0[1];
+            const std::uint64_t and1 = or1 & can1[2];
+            const std::uint64_t and0 = or0 | can0[2];
+            out1 = and0;
+            out0 = and1;
+            return;
+        }
+    }
+    out0 = ~0ULL;
+    out1 = ~0ULL;
+}
+
 namespace {
 
 /// Base propagation delay of the cell family, in picoseconds.

@@ -59,6 +59,19 @@ bool eval_cell(CellType type, std::span<const bool> inputs);
 /// parallel-pattern transition fault simulator.
 std::uint64_t eval_cell64(CellType type, std::span<const std::uint64_t> inputs);
 
+/// 64-way bit-parallel *ternary* evaluation (one pattern per bit lane).
+///
+/// Each input is a set of logic values the signal may attain at some
+/// time during the v1 -> v2 transition, encoded as two bit masks:
+/// can0 (signal may be 0) and can1 (signal may be 1); can0 & can1 is
+/// the classic X.  The output masks over-approximate the values the
+/// gate output can attain, which makes them a sound screen for
+/// hazard-aware activation checks: a signal whose output is not X in
+/// some lane provably never toggles in that lane's timed waveform.
+void eval_cell64_ternary(CellType type, std::span<const std::uint64_t> can0,
+                         std::span<const std::uint64_t> can1,
+                         std::uint64_t& out0, std::uint64_t& out1);
+
 /// Rise/fall propagation delay of one input-to-output arc.
 struct PinDelay {
     Time rise = 0.0;  ///< delay when the *output* transitions to 1

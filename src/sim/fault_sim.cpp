@@ -1,17 +1,63 @@
 #include "sim/fault_sim.hpp"
 
 #include <cassert>
-#include <unordered_map>
 
 namespace fastmon {
 
-FaultSim::FaultSim(const WaveSim& wave_sim) : wave_sim_(&wave_sim) {}
+GateId fault_site_signal(const Netlist& netlist, const FaultSite& site) {
+    if (site.pin == FaultSite::kOutputPin) return site.gate;
+    return netlist.gate(site.gate).fanin[site.pin];
+}
+
+ConeCache::ConeCache(const Netlist& netlist)
+    : netlist_(&netlist), slots_(netlist.size()) {}
+
+ConeCache::~ConeCache() {
+    for (auto& slot : slots_) {
+        delete slot.load(std::memory_order_relaxed);
+    }
+}
+
+const std::vector<GateId>& ConeCache::cone(GateId gate) const {
+    std::atomic<const std::vector<GateId>*>& slot = slots_[gate];
+    const std::vector<GateId>* existing = slot.load(std::memory_order_acquire);
+    if (existing != nullptr) return *existing;
+    auto* fresh = new std::vector<GateId>(netlist_->fanout_cone(gate));
+    if (slot.compare_exchange_strong(existing, fresh,
+                                     std::memory_order_release,
+                                     std::memory_order_acquire)) {
+        return *fresh;
+    }
+    delete fresh;  // another thread published first; results are identical
+    return *existing;
+}
+
+std::size_t ConeCache::materialized() const {
+    std::size_t count = 0;
+    for (const auto& slot : slots_) {
+        if (slot.load(std::memory_order_relaxed) != nullptr) ++count;
+    }
+    return count;
+}
+
+void FaultSimScratch::begin_epoch(std::size_t num_gates) {
+    if (overlay_.size() != num_gates) {
+        overlay_.assign(num_gates, Waveform());
+        stamp_.assign(num_gates, 0);
+        epoch_ = 0;
+    }
+    if (++epoch_ == 0) {  // epoch counter wrapped: stamps are stale
+        stamp_.assign(num_gates, 0);
+        epoch_ = 1;
+    }
+}
+
+FaultSim::FaultSim(const WaveSim& wave_sim, const ConeCache* cones)
+    : wave_sim_(&wave_sim), cones_(cones) {}
 
 const Waveform& FaultSim::site_signal(const FaultSite& site,
                                       std::span<const Waveform> good) const {
-    if (site.pin == FaultSite::kOutputPin) return good[site.gate];
-    const Gate& g = wave_sim_->netlist().gate(site.gate);
-    return good[g.fanin[site.pin]];
+    return good[fault_site_signal(wave_sim_->netlist(), site)];
 }
 
 bool FaultSim::activated(const DelayFault& fault,
@@ -30,18 +76,27 @@ bool FaultSim::activated(const DelayFault& fault,
 
 std::vector<ObserveDiff> FaultSim::simulate(
     const DelayFault& fault, std::span<const Waveform> good) const {
+    FaultSimScratch scratch;
+    return simulate(fault, good, scratch);
+}
+
+std::vector<ObserveDiff> FaultSim::simulate(
+    const DelayFault& fault, std::span<const Waveform> good,
+    FaultSimScratch& scratch) const {
     const Netlist& nl = wave_sim_->netlist();
     assert(good.size() == nl.size());
 
     // Sparse faulty-waveform overlay: only gates that differ from the
-    // fault-free simulation are present.
-    std::unordered_map<GateId, Waveform> faulty;
-    faulty.reserve(64);
+    // fault-free simulation are stamped with the current epoch.
+    scratch.begin_epoch(nl.size());
 
     const GateId site_gate = fault.site.gate;
-    const std::vector<GateId> cone = nl.fanout_cone(site_gate);
+    const std::vector<GateId>& cone = cones_ != nullptr
+                                          ? cones_->cone(site_gate)
+                                          : scratch.cone_storage_ =
+                                                nl.fanout_cone(site_gate);
 
-    std::vector<const Waveform*> fanin_waves;
+    std::vector<const Waveform*>& fanin_waves = scratch.fanin_waves_;
     for (GateId id : cone) {
         const Gate& g = nl.gate(id);
 
@@ -64,15 +119,16 @@ std::vector<ObserveDiff> FaultSim::simulate(
                                               : &good[g.fanin[p]]);
                 }
                 w = wave_sim_->eval_gate(id, fanin_waves);
+                ++scratch.gates_evaluated_;
             }
-            if (!(w == good[id])) faulty.emplace(id, std::move(w));
+            if (!(w == good[id])) scratch.put(id) = std::move(w);
             continue;
         }
 
         // Re-evaluate only if some fanin waveform changed.
         bool any_faulty_input = false;
         for (GateId f : g.fanin) {
-            if (faulty.contains(f)) {
+            if (scratch.has(f)) {
                 any_faulty_input = true;
                 break;
             }
@@ -87,20 +143,21 @@ std::vector<ObserveDiff> FaultSim::simulate(
 
         fanin_waves.clear();
         for (GateId f : g.fanin) {
-            auto it = faulty.find(f);
-            fanin_waves.push_back(it != faulty.end() ? &it->second : &good[f]);
+            fanin_waves.push_back(scratch.has(f) ? &scratch.overlay_[f]
+                                                 : &good[f]);
         }
         Waveform w = wave_sim_->eval_gate(id, fanin_waves);
-        if (!(w == good[id])) faulty.emplace(id, std::move(w));
+        ++scratch.gates_evaluated_;
+        if (!(w == good[id])) scratch.put(id) = std::move(w);
     }
 
     // Collect differences at observation points.
     std::vector<ObserveDiff> diffs;
     const auto ops = nl.observe_points();
     for (std::uint32_t oi = 0; oi < ops.size(); ++oi) {
-        auto it = faulty.find(ops[oi].signal);
-        if (it == faulty.end()) continue;
-        Waveform diff = Waveform::xor_of(good[ops[oi].signal], it->second);
+        const GateId sig = ops[oi].signal;
+        if (!scratch.has(sig)) continue;
+        Waveform diff = Waveform::xor_of(good[sig], scratch.overlay_[sig]);
         if (!diff.is_constant() || diff.initial()) {
             diffs.push_back(ObserveDiff{oi, std::move(diff)});
         }

@@ -6,9 +6,22 @@
 // fault-free and faulty waveforms — the raw material of detection
 // ranges (Sec. III-B).  Only gates whose fanin waveforms actually
 // changed are re-evaluated, so cost scales with the affected cone.
+//
+// Hot-path plumbing (the engine runs one simulate() per activated
+// (fault, pattern) pair, millions on the larger benches):
+//   * ConeCache memoizes Netlist::fanout_cone per fault-site gate; a
+//     cone is shared by both transition directions of a site and by
+//     every pattern, so the traversal + sort happens once per site.
+//   * FaultSimScratch holds the faulty-waveform overlay as an
+//     epoch-stamped dense array indexed by GateId: membership tests
+//     are one load, and a new simulation "clears" the overlay by
+//     bumping the epoch instead of deallocating.  One scratch per
+//     thread; waveform buffers are recycled across calls.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -42,15 +55,86 @@ struct ObserveDiff {
     Waveform diff;                    ///< XOR(fault-free, faulty) at op.signal
 };
 
+/// Gate whose output waveform carries the fault effect of `site`:
+/// the site gate itself for output faults, the driving fanin for
+/// input-pin faults.
+[[nodiscard]] GateId fault_site_signal(const Netlist& netlist,
+                                       const FaultSite& site);
+
+/// Thread-safe memo of Netlist::fanout_cone keyed by gate.  Entries are
+/// built lazily on first request and shared afterwards; concurrent
+/// first requests race benignly (one result is published, the others
+/// are discarded).
+class ConeCache {
+public:
+    explicit ConeCache(const Netlist& netlist);
+    ~ConeCache();
+
+    ConeCache(const ConeCache&) = delete;
+    ConeCache& operator=(const ConeCache&) = delete;
+
+    [[nodiscard]] const std::vector<GateId>& cone(GateId gate) const;
+
+    /// Number of cones materialized so far.
+    [[nodiscard]] std::size_t materialized() const;
+
+private:
+    const Netlist* netlist_;
+    mutable std::vector<std::atomic<const std::vector<GateId>*>> slots_;
+};
+
+/// Per-thread scratch state of the fault-simulation hot path: the dense
+/// epoch-stamped faulty-waveform overlay plus recycled buffers.  Not
+/// thread-safe; use one instance per worker.
+class FaultSimScratch {
+public:
+    FaultSimScratch() = default;
+
+    /// Gates the simulator re-evaluated through this scratch (cheap
+    /// perf counter, monotone across calls).
+    [[nodiscard]] std::uint64_t gates_evaluated() const {
+        return gates_evaluated_;
+    }
+
+private:
+    friend class FaultSim;
+
+    void begin_epoch(std::size_t num_gates);
+    [[nodiscard]] bool has(GateId id) const {
+        return stamp_[id] == epoch_;
+    }
+    Waveform& put(GateId id) {
+        stamp_[id] = epoch_;
+        return overlay_[id];
+    }
+
+    std::vector<Waveform> overlay_;
+    std::vector<std::uint32_t> stamp_;
+    std::uint32_t epoch_ = 0;
+    std::vector<const Waveform*> fanin_waves_;
+    std::vector<GateId> cone_storage_;  ///< used only without a ConeCache
+    std::uint64_t gates_evaluated_ = 0;
+};
+
 class FaultSim {
 public:
-    explicit FaultSim(const WaveSim& wave_sim);
+    /// `cones` (optional) shares memoized fanout cones across FaultSim
+    /// instances and threads; without it every simulate() call
+    /// recomputes the cone of its site.
+    explicit FaultSim(const WaveSim& wave_sim,
+                      const ConeCache* cones = nullptr);
 
     /// Re-simulates `fault` against the fault-free waveforms `good`
     /// (as produced by WaveSim::simulate for the same pattern pair).
     /// Returns the non-empty difference waveforms per observation point.
     [[nodiscard]] std::vector<ObserveDiff> simulate(
         const DelayFault& fault, std::span<const Waveform> good) const;
+
+    /// Hot-path variant: identical result, state kept in `scratch`
+    /// (dense overlay, no per-call allocation).
+    [[nodiscard]] std::vector<ObserveDiff> simulate(
+        const DelayFault& fault, std::span<const Waveform> good,
+        FaultSimScratch& scratch) const;
 
     /// Cheap necessary condition for fault activation: the signal at the
     /// fault site has at least one transition in the slow direction.
@@ -64,6 +148,7 @@ private:
         const FaultSite& site, std::span<const Waveform> good) const;
 
     const WaveSim* wave_sim_;
+    const ConeCache* cones_;
 };
 
 }  // namespace fastmon

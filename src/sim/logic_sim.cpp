@@ -61,4 +61,34 @@ std::vector<std::uint64_t> LogicSim::eval64(
     return values;
 }
 
+LogicSim::TernaryValues LogicSim::eval64_ternary(
+    std::span<const std::uint64_t> sources_can0,
+    std::span<const std::uint64_t> sources_can1) const {
+    const Netlist& nl = *netlist_;
+    assert(sources_can0.size() == nl.comb_sources().size());
+    assert(sources_can1.size() == sources_can0.size());
+    TernaryValues out;
+    out.can0.assign(nl.size(), 0);
+    out.can1.assign(nl.size(), 0);
+    std::vector<std::uint64_t> in0;
+    std::vector<std::uint64_t> in1;
+    for (GateId id : nl.topo_order()) {
+        const Gate& g = nl.gate(id);
+        const std::uint32_t src = nl.source_index(id);
+        if (src != std::numeric_limits<std::uint32_t>::max()) {
+            out.can0[id] = sources_can0[src];
+            out.can1[id] = sources_can1[src];
+            continue;
+        }
+        in0.resize(g.fanin.size());
+        in1.resize(g.fanin.size());
+        for (std::size_t p = 0; p < g.fanin.size(); ++p) {
+            in0[p] = out.can0[g.fanin[p]];
+            in1[p] = out.can1[g.fanin[p]];
+        }
+        eval_cell64_ternary(g.type, in0, in1, out.can0[id], out.can1[id]);
+    }
+    return out;
+}
+
 }  // namespace fastmon

@@ -33,6 +33,22 @@ public:
     [[nodiscard]] std::vector<std::uint64_t> eval64(
         std::span<const std::uint64_t> sources) const;
 
+    /// Per-node attainable-value masks of a 64-wide ternary evaluation
+    /// (bit k of every word belongs to pattern k).
+    struct TernaryValues {
+        std::vector<std::uint64_t> can0;  ///< node may be 0 at some time
+        std::vector<std::uint64_t> can1;  ///< node may be 1 at some time
+    };
+
+    /// 64-way bit-parallel ternary evaluation: each source carries the
+    /// set of values it attains during its v1 -> v2 transition (both
+    /// bits set = toggling source = X).  The result over-approximates,
+    /// per node and lane, the values the timed waveform can attain —
+    /// the basis of the hazard-aware fault-activation pre-screen.
+    [[nodiscard]] TernaryValues eval64_ternary(
+        std::span<const std::uint64_t> sources_can0,
+        std::span<const std::uint64_t> sources_can1) const;
+
     [[nodiscard]] const Netlist& netlist() const { return *netlist_; }
 
 private:

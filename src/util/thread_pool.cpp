@@ -1,0 +1,181 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+namespace fastmon {
+
+namespace {
+
+/// Index of the current thread in its pool (one pool membership per
+/// thread is enough: workers never migrate between pools).
+thread_local ThreadPool* tls_pool = nullptr;
+thread_local std::size_t tls_worker_index = 0;
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+    if (num_threads == 0) {
+        num_threads = std::max(1u, std::thread::hardware_concurrency());
+    }
+    queues_.reserve(num_threads);
+    for (std::size_t i = 0; i < num_threads; ++i) {
+        queues_.push_back(std::make_unique<WorkerQueue>());
+    }
+    workers_.reserve(num_threads);
+    for (std::size_t i = 0; i < num_threads; ++i) {
+        workers_.emplace_back([this, i] { worker_loop(i); });
+    }
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        const std::lock_guard<std::mutex> lock(sleep_mutex_);
+        stopping_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread& t : workers_) t.join();
+}
+
+ThreadPool& ThreadPool::shared() {
+    static ThreadPool pool;
+    return pool;
+}
+
+std::size_t ThreadPool::effective_lanes(std::size_t total,
+                                        std::size_t max_workers) const {
+    const std::size_t lanes =
+        max_workers == 0 ? size() + 1 : std::min(max_workers, size() + 1);
+    return std::max<std::size_t>(1, std::min(lanes, total));
+}
+
+void ThreadPool::enqueue(std::function<void()> task) {
+    if (tls_pool == this) {
+        WorkerQueue& q = *queues_[tls_worker_index];
+        const std::lock_guard<std::mutex> lock(q.mutex);
+        q.tasks.push_back(std::move(task));
+    } else {
+        const std::lock_guard<std::mutex> lock(inject_mutex_);
+        inject_.push_back(std::move(task));
+    }
+    work_cv_.notify_one();
+}
+
+bool ThreadPool::pop_task(std::size_t self, std::function<void()>& out) {
+    // Own deque first, newest task (LIFO: best cache locality)...
+    if (self < queues_.size()) {
+        WorkerQueue& q = *queues_[self];
+        const std::lock_guard<std::mutex> lock(q.mutex);
+        if (!q.tasks.empty()) {
+            out = std::move(q.tasks.back());
+            q.tasks.pop_back();
+            return true;
+        }
+    }
+    // ...then the injection queue (FIFO)...
+    {
+        const std::lock_guard<std::mutex> lock(inject_mutex_);
+        if (!inject_.empty()) {
+            out = std::move(inject_.front());
+            inject_.pop_front();
+            return true;
+        }
+    }
+    // ...then steal the oldest task of a sibling (FIFO: steals grab the
+    // largest remaining work items first under recursive splits).
+    for (std::size_t k = 1; k <= queues_.size(); ++k) {
+        const std::size_t victim = (self + k) % queues_.size();
+        WorkerQueue& q = *queues_[victim];
+        const std::lock_guard<std::mutex> lock(q.mutex);
+        if (!q.tasks.empty()) {
+            out = std::move(q.tasks.front());
+            q.tasks.pop_front();
+            return true;
+        }
+    }
+    return false;
+}
+
+bool ThreadPool::try_execute_one() {
+    std::function<void()> task;
+    const std::size_t self =
+        tls_pool == this ? tls_worker_index : queues_.size();
+    if (!pop_task(self, task)) return false;
+    task();
+    return true;
+}
+
+void ThreadPool::worker_loop(std::size_t index) {
+    tls_pool = this;
+    tls_worker_index = index;
+    for (;;) {
+        std::function<void()> task;
+        if (pop_task(index, task)) {
+            task();
+            continue;
+        }
+        std::unique_lock<std::mutex> lock(sleep_mutex_);
+        if (stopping_) return;
+        // Re-check queues under the sleep lock is not possible (queues
+        // have their own locks), so sleep with a timeout: a task
+        // enqueued between the failed pop and the wait is picked up at
+        // the latest after one tick.
+        work_cv_.wait_for(lock, std::chrono::milliseconds(1));
+        if (stopping_) return;
+    }
+}
+
+void ThreadPool::TaskGroup::run(std::function<void()> fn) {
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        ++pending_;
+    }
+    pool_->enqueue([this, fn = std::move(fn)] {
+        try {
+            fn();
+        } catch (...) {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            if (!first_exception_) first_exception_ = std::current_exception();
+        }
+        {
+            // Notify while still holding the lock: the moment the lock
+            // is released with pending_ == 0, the waiter may return and
+            // destroy the group, so no member may be touched after.
+            const std::lock_guard<std::mutex> lock(mutex_);
+            if (--pending_ == 0) done_cv_.notify_all();
+        }
+    });
+}
+
+void ThreadPool::TaskGroup::wait() {
+    for (;;) {
+        {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            if (pending_ == 0) break;
+        }
+        if (pool_->try_execute_one()) continue;
+        // Nothing to steal: the remaining group tasks are running on
+        // workers.  Sleep with a short timeout (a task of *this group*
+        // may enqueue new tasks that we should help with).
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (pending_ == 0) break;
+        done_cv_.wait_for(lock, std::chrono::milliseconds(1));
+    }
+    std::exception_ptr ex;
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        std::swap(ex, first_exception_);
+    }
+    if (ex) std::rethrow_exception(ex);
+}
+
+void ThreadPool::TaskGroup::wait_no_throw() noexcept {
+    try {
+        wait();
+    } catch (...) {  // NOLINT(bugprone-empty-catch)
+        // Destructor drain: the exception was already delivered to (or
+        // abandoned by) the owner; completion is all that matters here.
+    }
+}
+
+}  // namespace fastmon

@@ -1,0 +1,130 @@
+// Persistent work-stealing thread pool.
+//
+// The fault-simulation engine runs one timing-accurate re-simulation
+// per (fault, pattern) pair; spawning threads per pattern (the seed
+// implementation) costs more than many of the simulations themselves.
+// This pool is created once and reused for the whole analysis: workers
+// keep per-thread deques (LIFO for locality), steal FIFO from each
+// other when idle, and external submitters feed a shared injection
+// queue.
+//
+// Waiting on a TaskGroup *helps*: the waiting thread executes queued
+// tasks instead of blocking, so nested fan-outs and single-core
+// machines (pool of size 0 or 1) cannot deadlock and lose no
+// throughput to an idle caller.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fastmon {
+
+class ThreadPool {
+public:
+    /// Starts `num_threads` workers (0 = hardware concurrency).  The
+    /// caller participates via TaskGroup::wait, so even a pool created
+    /// with hardware_concurrency() == 1 makes progress.
+    explicit ThreadPool(std::size_t num_threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /// Number of worker threads (callers helping during waits come on
+    /// top of this).
+    [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+    /// Process-wide pool sized to the hardware, created on first use.
+    /// Shared by every analysis in the process so thread creation
+    /// happens exactly once.
+    static ThreadPool& shared();
+
+    /// A set of tasks whose completion can be awaited collectively.
+    /// Tasks may themselves submit into the group.  The first exception
+    /// thrown by any task is rethrown from wait().
+    class TaskGroup {
+    public:
+        explicit TaskGroup(ThreadPool& pool) : pool_(&pool) {}
+        ~TaskGroup() { wait_no_throw(); }
+
+        TaskGroup(const TaskGroup&) = delete;
+        TaskGroup& operator=(const TaskGroup&) = delete;
+
+        /// Submits fn to the pool as part of this group.
+        void run(std::function<void()> fn);
+
+        /// Executes queued tasks until every task of the group has
+        /// finished; rethrows the first captured exception.
+        void wait();
+
+    private:
+        void wait_no_throw() noexcept;
+
+        ThreadPool* pool_;
+        std::mutex mutex_;
+        std::condition_variable done_cv_;
+        std::size_t pending_ = 0;
+        std::exception_ptr first_exception_;
+    };
+
+    /// Runs fn(begin, end) over [0, total) split into roughly
+    /// `max_workers` contiguous chunks executed on the pool (the caller
+    /// helps).  `max_workers` = 0 means pool size + 1.  Blocks until
+    /// every chunk finished; rethrows the first exception.
+    template <typename Fn>
+    void parallel_chunks(std::size_t total, std::size_t max_workers, Fn&& fn) {
+        const std::size_t lanes = effective_lanes(total, max_workers);
+        if (lanes <= 1 || total <= 1) {
+            if (total > 0) fn(std::size_t{0}, total);
+            return;
+        }
+        TaskGroup group(*this);
+        const std::size_t chunk = (total + lanes - 1) / lanes;
+        for (std::size_t begin = 0; begin < total; begin += chunk) {
+            const std::size_t end = std::min(total, begin + chunk);
+            group.run([&fn, begin, end] { fn(begin, end); });
+        }
+        group.wait();
+    }
+
+private:
+    friend class TaskGroup;
+
+    struct WorkerQueue {
+        std::mutex mutex;
+        std::deque<std::function<void()>> tasks;
+    };
+
+    [[nodiscard]] std::size_t effective_lanes(std::size_t total,
+                                              std::size_t max_workers) const;
+
+    /// Enqueues one task (to the submitting worker's own deque if the
+    /// caller is a pool worker, to the injection queue otherwise).
+    void enqueue(std::function<void()> task);
+
+    /// Pops or steals one task and runs it.  Returns false if every
+    /// queue was empty.
+    bool try_execute_one();
+
+    void worker_loop(std::size_t index);
+    bool pop_task(std::size_t self, std::function<void()>& out);
+
+    std::vector<std::unique_ptr<WorkerQueue>> queues_;
+    std::vector<std::thread> workers_;
+
+    std::mutex inject_mutex_;
+    std::deque<std::function<void()>> inject_;
+
+    std::mutex sleep_mutex_;
+    std::condition_variable work_cv_;
+    bool stopping_ = false;
+};
+
+}  // namespace fastmon
