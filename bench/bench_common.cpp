@@ -8,7 +8,10 @@
 #include <map>
 #include <sstream>
 
+#include "util/json.hpp"
 #include "util/log.hpp"
+#include "util/metrics.hpp"
+#include "util/thread_pool.hpp"
 
 namespace fastmon::bench {
 
@@ -261,6 +264,15 @@ std::vector<HdfFlowResult> run_all_profiles(const BenchSettings& settings) {
                 .count();
         std::cerr << "[flow] " << profile.name << " (scale "
                   << scale << ") done in " << secs << " s\n";
+        // Flow-level run manifest (config, circuit, per-phase times,
+        // metrics snapshot); successive profiles overwrite, so the file
+        // describes the last fresh run.
+        if (flow.manifest(r).write("BENCH_manifest.json")) {
+            std::cerr << "[artifact] wrote BENCH_manifest.json ("
+                      << profile.name << ")\n";
+        } else {
+            std::cerr << "[artifact] FAILED to write BENCH_manifest.json\n";
+        }
         std::ofstream out(cache_file);
         out << serialize_result(r);
         results.push_back(std::move(r));
@@ -271,32 +283,49 @@ std::vector<HdfFlowResult> run_all_profiles(const BenchSettings& settings) {
 void write_detection_json(const std::string& path,
                           const std::string& bench_name,
                           std::span<const DetectionBenchEntry> entries) {
-    std::ofstream out(path);
-    out.precision(6);
-    out << "{\n  \"bench\": \"" << bench_name << "\",\n  \"entries\": [";
-    bool first = true;
+    Json doc = Json::object();
+    doc.set("bench", Json(bench_name));
+    Json rows = Json::array();
     for (const DetectionBenchEntry& e : entries) {
-        const DetectionCounters& c = e.counters;
-        out << (first ? "" : ",") << "\n    {"
-            << "\"name\": \"" << e.name << "\", "
-            << "\"num_faults\": " << e.num_faults << ", "
-            << "\"num_patterns\": " << e.num_patterns << ", "
-            << "\"pairs_total\": " << c.pairs_total << ", "
-            << "\"pairs_screened_out\": " << c.pairs_screened_out << ", "
-            << "\"pairs_inactive\": " << c.pairs_inactive << ", "
-            << "\"pairs_simulated\": " << c.pairs_simulated << ", "
-            << "\"pairs_detected\": " << c.pairs_detected << ", "
-            << "\"gates_reevaluated\": " << c.gates_reevaluated << ", "
-            << "\"good_wave_sims\": " << c.good_wave_sims << ", "
-            << "\"cones_cached\": " << c.cones_cached << ", "
-            << "\"screen_seconds\": " << c.screen_seconds << ", "
-            << "\"good_wave_seconds\": " << c.good_wave_seconds << ", "
-            << "\"fault_sim_seconds\": " << c.fault_sim_seconds << ", "
-            << "\"analyze_seconds\": " << c.analyze_seconds << ", "
-            << "\"table_seconds\": " << c.table_seconds << "}";
-        first = false;
+        Json row = Json::object();
+        row.set("name", Json(e.name));
+        row.set("num_faults", Json(e.num_faults));
+        row.set("num_patterns", Json(e.num_patterns));
+        const Json counters = e.counters.to_json();
+        for (const auto& [key, value] : counters.as_object()) {
+            row.set(key, value);
+        }
+        rows.push_back(std::move(row));
     }
-    out << "\n  ]\n}\n";
+    doc.set("entries", std::move(rows));
+    std::ofstream out(path);
+    out << doc.dump(2) << '\n';
+    if (!out) {
+        std::cerr << "[artifact] FAILED to write " << path << '\n';
+        return;
+    }
+    std::cerr << "[artifact] wrote " << path << '\n';
+}
+
+void write_bench_manifest(const std::string& path,
+                          const std::string& bench_name,
+                          const BenchSettings& settings,
+                          std::span<const PhaseTime> phases,
+                          double total_wall_seconds) {
+    RunManifest m;
+    m.set_config("bench", Json(bench_name));
+    m.set_config("max_gates", Json(settings.max_gates));
+    m.set_config("max_faults", Json(settings.max_faults));
+    m.set_config("fast", Json(settings.fast));
+    for (const PhaseTime& p : phases) m.add_phase(p);
+    m.set_total_wall_seconds(total_wall_seconds);
+    MetricsRegistry& reg = MetricsRegistry::global();
+    ThreadPool::shared().publish_metrics(reg);
+    m.set_metrics(reg.to_json());
+    if (!m.write(path)) {
+        std::cerr << "[artifact] FAILED to write " << path << '\n';
+        return;
+    }
     std::cerr << "[artifact] wrote " << path << '\n';
 }
 

@@ -60,9 +60,21 @@ struct DetectionBenchEntry {
 };
 
 /// Writes the machine-readable perf artifact consumed by perf-tracking
-/// scripts (bench/run_bench.sh appends it to the build log).
+/// scripts (bench/run_bench.sh appends it to the build log).  Counter
+/// columns come from DetectionCounters::to_json(), the same source the
+/// reports use.
 void write_detection_json(const std::string& path,
                           const std::string& bench_name,
                           std::span<const DetectionBenchEntry> entries);
+
+/// Writes the run manifest sidecar (BENCH_manifest.json): bench name +
+/// settings as the config block, the given phase times, and a snapshot
+/// of the global metrics registry (shared-pool stats included).
+/// bench/run_bench.sh refuses to pass without this file parsing.
+void write_bench_manifest(const std::string& path,
+                          const std::string& bench_name,
+                          const BenchSettings& settings,
+                          std::span<const PhaseTime> phases,
+                          double total_wall_seconds);
 
 }  // namespace fastmon::bench

@@ -15,6 +15,8 @@
 
 int main() {
     using namespace fastmon;
+    const PhaseStopwatch total_watch;
+    std::vector<PhaseTime> phases;
     const bench::BenchSettings settings = bench::BenchSettings::from_env();
     settings.print_header("Fig. 3 — HDF coverage over f_max");
 
@@ -27,11 +29,17 @@ int main() {
     const Netlist netlist = generate_circuit(profile_config(profile, scale));
 
     HdfFlow flow(netlist, bench::bench_flow_config(settings, profile));
-    flow.prepare();
+    {
+        const PhaseStopwatch watch;
+        flow.prepare();
+        phases.push_back(watch.elapsed("prepare"));
+    }
 
     std::vector<double> factors;
     for (double f = 1.0; f <= 3.0001; f += 0.125) factors.push_back(f);
+    const PhaseStopwatch curve_watch;
     const std::vector<CoverageBySpeed> curve = flow.coverage_curve(factors);
+    phases.push_back(curve_watch.elapsed("coverage_curve"));
     print_fig3(std::cout, curve);
 
     // Engine perf artifact (pass-A counters of the prepare() above).
@@ -42,6 +50,9 @@ int main() {
     entry.num_patterns = flow.patterns().size();
     bench::write_detection_json("BENCH_detection.json", "bench_fig3",
                                 std::span(&entry, 1));
+    bench::write_bench_manifest("BENCH_manifest.json", "bench_fig3", settings,
+                                phases,
+                                total_watch.elapsed("total").wall_seconds);
 
     // Shape checks.
     bool ok = true;

@@ -288,10 +288,24 @@ void write_detection_artifact() {
 }  // namespace
 
 int main(int argc, char** argv) {
+    const fastmon::PhaseStopwatch total_watch;
+    std::vector<fastmon::PhaseTime> phases;
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-    benchmark::RunSpecifiedBenchmarks();
-    benchmark::Shutdown();
-    write_detection_artifact();
+    {
+        const fastmon::PhaseStopwatch watch;
+        benchmark::RunSpecifiedBenchmarks();
+        benchmark::Shutdown();
+        phases.push_back(watch.elapsed("google_benchmark"));
+    }
+    {
+        const fastmon::PhaseStopwatch watch;
+        write_detection_artifact();
+        phases.push_back(watch.elapsed("detection_artifact"));
+    }
+    fastmon::bench::write_bench_manifest(
+        "BENCH_manifest.json", "bench_micro",
+        fastmon::bench::BenchSettings::from_env(), phases,
+        total_watch.elapsed("total").wall_seconds);
     return 0;
 }

@@ -3,7 +3,9 @@
 #include <algorithm>
 
 #include "util/log.hpp"
+#include "util/metrics.hpp"
 #include "util/prng.hpp"
+#include "util/trace.hpp"
 
 namespace fastmon {
 
@@ -56,6 +58,8 @@ std::vector<std::size_t> select_lanes(
 
 AtpgResult generate_tdf_tests(const Netlist& netlist,
                               const AtpgConfig& config) {
+    const TraceSpan span("atpg", "atpg");
+    std::uint64_t total_backtracks = 0;
     AtpgResult result;
     const std::vector<TdfFault> faults = enumerate_tdf_faults(netlist);
     result.num_faults = faults.size();
@@ -66,10 +70,13 @@ AtpgResult generate_tdf_tests(const Netlist& netlist,
     Prng rng(config.seed ^ 0xA7B6ULL);
 
     // --- Phase 1: random patterns -------------------------------------
+    TraceSpan random_span("atpg_random", "atpg");
     std::size_t idle = 0;
+    std::size_t random_batches = 0;
     for (std::size_t batch_no = 0;
          batch_no < config.max_random_batches && idle < config.max_idle_batches;
          ++batch_no) {
+        ++random_batches;
         std::vector<PatternPair> cand;
         cand.reserve(64);
         for (int i = 0; i < 64; ++i) cand.push_back(random_pair(n_src, rng));
@@ -99,7 +106,10 @@ AtpgResult generate_tdf_tests(const Netlist& netlist,
         }
     }
 
+    random_span.end();
+
     // --- Phase 2: deterministic PODEM ---------------------------------
+    TraceSpan podem_span("atpg_podem", "atpg");
     if (config.deterministic_phase) {
         const Podem podem(netlist, config.podem_backtrack_limit);
         std::size_t targeted = 0;
@@ -114,6 +124,7 @@ AtpgResult generate_tdf_tests(const Netlist& netlist,
             // v2 must detect "site stuck at the initial value".
             const bool initial = !f.slow_rising;  // STR: 0 -> 1
             const PodemResult v2 = podem.generate_test(f.site, initial);
+            total_backtracks += v2.backtracks;
             if (v2.status == PodemStatus::Untestable) {
                 ++result.num_untestable;
                 continue;
@@ -124,6 +135,7 @@ AtpgResult generate_tdf_tests(const Netlist& netlist,
             }
             // v1 must set the site to the initial value.
             const PodemResult v1 = podem.justify(f.site, initial);
+            total_backtracks += v1.backtracks;
             if (v1.status == PodemStatus::Untestable) {
                 ++result.num_untestable;
                 continue;
@@ -157,8 +169,11 @@ AtpgResult generate_tdf_tests(const Netlist& netlist,
         }
     }
 
+    podem_span.end();
+
     // --- Phase 3: reverse-order compaction -----------------------------
     {
+        const TraceSpan compact_span("atpg_compact", "atpg");
         std::vector<PatternPair>& pats = result.test_set.patterns;
         std::reverse(pats.begin(), pats.end());
         const std::vector<std::size_t> first =
@@ -176,6 +191,16 @@ AtpgResult generate_tdf_tests(const Netlist& netlist,
 
     result.num_detected =
         static_cast<std::size_t>(std::count(detected.begin(), detected.end(), true));
+
+    MetricsRegistry& reg = MetricsRegistry::global();
+    reg.counter("atpg.faults").add(result.num_faults);
+    reg.counter("atpg.detected").add(result.num_detected);
+    reg.counter("atpg.untestable").add(result.num_untestable);
+    reg.counter("atpg.aborted").add(result.num_aborted);
+    reg.counter("atpg.backtracks").add(total_backtracks);
+    reg.counter("atpg.random_batches").add(random_batches);
+    reg.counter("atpg.patterns").add(result.test_set.size());
+
     log_info() << "ATPG " << netlist.name() << ": " << result.num_detected
                << "/" << result.num_faults << " TDF detected ("
                << result.test_set.size() << " patterns, "

@@ -6,6 +6,7 @@
 #include <mutex>
 
 #include "sim/logic_sim.hpp"
+#include "util/trace.hpp"
 
 namespace fastmon {
 
@@ -72,6 +73,24 @@ DetectionCounters& DetectionCounters::operator+=(
     analyze_seconds += other.analyze_seconds;
     table_seconds += other.table_seconds;
     return *this;
+}
+
+Json DetectionCounters::to_json() const {
+    Json j = Json::object();
+    j.set("pairs_total", pairs_total);
+    j.set("pairs_screened_out", pairs_screened_out);
+    j.set("pairs_inactive", pairs_inactive);
+    j.set("pairs_simulated", pairs_simulated);
+    j.set("pairs_detected", pairs_detected);
+    j.set("gates_reevaluated", gates_reevaluated);
+    j.set("good_wave_sims", good_wave_sims);
+    j.set("cones_cached", cones_cached);
+    j.set("screen_seconds", screen_seconds);
+    j.set("good_wave_seconds", good_wave_seconds);
+    j.set("fault_sim_seconds", fault_sim_seconds);
+    j.set("analyze_seconds", analyze_seconds);
+    j.set("table_seconds", table_seconds);
+    return j;
 }
 
 ActivationScreen::ActivationScreen(const Netlist& netlist,
@@ -160,6 +179,7 @@ DetectionAnalyzer::PairRanges DetectionAnalyzer::ranges_for_pattern(
 
 std::vector<FaultRanges> DetectionAnalyzer::analyze(
     std::span<const DelayFault> faults) const {
+    const TraceSpan span("analyze", "detect");
     const auto t_total = Clock::now();
     std::vector<FaultRanges> result(faults.size());
     stats_.pairs_total += faults.size() * patterns_.size();
@@ -174,6 +194,7 @@ std::vector<FaultRanges> DetectionAnalyzer::analyze(
     // patterns with no surviving pair entirely (their fault-free
     // waveforms are never needed).
     const auto t_screen = Clock::now();
+    TraceSpan screen_span("activation_screen", "detect");
     const ActivationScreen screen(nl, patterns_);
     std::vector<GateId> site_signal(faults.size());
     for (std::size_t fi = 0; fi < faults.size(); ++fi) {
@@ -196,6 +217,7 @@ std::vector<FaultRanges> DetectionAnalyzer::analyze(
     stats_.pairs_screened_out +=
         (patterns_.size() - active_pats.size()) * faults.size();
     stats_.screen_ns += ns_since(t_screen);
+    screen_span.end();
 
     ScratchPool scratches;
 
@@ -204,6 +226,7 @@ std::vector<FaultRanges> DetectionAnalyzer::analyze(
     // accumulation order is identical to a sequential engine.
     auto run_chunk = [&](std::uint32_t pi, std::span<const Waveform> good,
                          std::size_t begin, std::size_t end) {
+        const TraceSpan chunk_span("fault_sim_chunk", "detect");
         const auto t0 = Clock::now();
         FaultSimScratch* scratch = scratches.acquire();
         const FaultSim fsim(*wave_sim_, &cones_);
@@ -265,6 +288,7 @@ std::vector<FaultRanges> DetectionAnalyzer::analyze(
                 producers[idx] =
                     std::make_unique<ThreadPool::TaskGroup>(*tp);
                 producers[idx]->run([this, idx, &slots, &active_pats] {
+                    const TraceSpan wave_span("good_wave", "detect");
                     const auto t0 = Clock::now();
                     const PatternPair& p = patterns_[active_pats[idx]];
                     slots[idx] = wave_sim_->simulate(p.v1, p.v2);
@@ -302,6 +326,7 @@ std::vector<FaultRanges> DetectionAnalyzer::analyze(
 std::vector<DetectionEntry> DetectionAnalyzer::detection_table(
     std::span<const DelayFault> faults, std::span<const FaultRanges> ranges,
     std::span<const Time> periods, std::span<const Time> config_delays) const {
+    const TraceSpan span("detection_table", "detect");
     const auto t_total = Clock::now();
     assert(ranges.size() == faults.size());
 
@@ -323,6 +348,7 @@ std::vector<DetectionEntry> DetectionAnalyzer::detection_table(
 
     auto run_chunk = [&](std::uint32_t pi, std::span<const Waveform> good,
                          std::size_t begin, std::size_t end) {
+        const TraceSpan chunk_span("table_chunk", "detect");
         FaultSimScratch* scratch = scratches.acquire();
         const FaultSim fsim(*wave_sim_, &cones_);
         const auto& flist = by_pattern[pi];
@@ -376,6 +402,7 @@ std::vector<DetectionEntry> DetectionAnalyzer::detection_table(
                 producers[idx] =
                     std::make_unique<ThreadPool::TaskGroup>(*tp);
                 producers[idx]->run([this, idx, &slots, &active_pats] {
+                    const TraceSpan wave_span("good_wave", "detect");
                     const auto t0 = Clock::now();
                     const PatternPair& p = patterns_[active_pats[idx]];
                     slots[idx] = wave_sim_->simulate(p.v1, p.v2);

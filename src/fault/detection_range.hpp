@@ -35,6 +35,7 @@
 
 #include "fault/fault.hpp"
 #include "sim/pattern.hpp"
+#include "util/json.hpp"
 #include "util/thread_pool.hpp"
 
 namespace fastmon {
@@ -92,6 +93,11 @@ struct DetectionCounters {
     double table_seconds = 0.0;            ///< detection_table() wall clock
 
     DetectionCounters& operator+=(const DetectionCounters& other);
+
+    /// Stable key/value view of every counter, in declaration order —
+    /// the single source of truth for reports, bench artifacts, and the
+    /// run manifest (no per-consumer field lists).
+    [[nodiscard]] Json to_json() const;
 };
 
 /// Bit-parallel, hazard-aware fault-activation pre-screen.

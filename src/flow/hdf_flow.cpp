@@ -1,11 +1,50 @@
 #include "flow/hdf_flow.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 #include "util/log.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
 
 namespace fastmon {
+
+namespace {
+
+/// One flow phase: a trace span plus a wall/CPU stopwatch whose reading
+/// is appended to the phase list when the recorder finishes (or goes
+/// out of scope).
+class PhaseRecorder {
+public:
+    PhaseRecorder(std::vector<PhaseTime>& out, const char* name)
+        : out_(&out), name_(name), span_(name, "flow") {}
+    ~PhaseRecorder() { finish(); }
+
+    PhaseRecorder(const PhaseRecorder&) = delete;
+    PhaseRecorder& operator=(const PhaseRecorder&) = delete;
+
+    void finish() {
+        if (out_ == nullptr) return;
+        out_->push_back(watch_.elapsed(name_));
+        span_.end();
+        out_ = nullptr;
+    }
+
+private:
+    std::vector<PhaseTime>* out_;
+    const char* name_;
+    TraceSpan span_;
+    PhaseStopwatch watch_;
+};
+
+double wall_seconds_since(std::chrono::steady_clock::time_point start) {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+}
+
+}  // namespace
 
 HdfFlow::HdfFlow(const Netlist& netlist, HdfFlowConfig config)
     : netlist_(&netlist), config_(std::move(config)) {}
@@ -16,91 +55,113 @@ Interval HdfFlow::window_for(double fmax_factor) const {
 
 void HdfFlow::prepare() {
     if (prepared_) return;
+    const TraceSpan prepare_span("prepare", "flow");
+    const auto t_prepare = std::chrono::steady_clock::now();
     const Netlist& nl = *netlist_;
 
-    // (0) Timing annotation and STA.
-    delays_ = config_.variation_sigma > 0.0
-                  ? DelayAnnotation::with_variation(nl, config_.variation_sigma,
-                                                    config_.seed)
-                  : DelayAnnotation::nominal(nl);
-    sta_ = run_sta(nl, *delays_, config_.clock_margin);
-
-    // Monitor insertion at long path ends.
-    placement_ = place_monitors(nl, sta_, config_.monitor_fraction,
-                                config_.monitor_delay_fractions);
-
-    // Test set: supplied or ATPG-generated.
-    if (config_.test_set.has_value()) {
-        test_set_ = *config_.test_set;
-        atpg_coverage_ = 0.0;
-    } else {
-        AtpgConfig atpg = config_.atpg;
-        atpg.seed ^= config_.seed;
-        const AtpgResult ar = generate_tdf_tests(nl, atpg);
-        test_set_ = ar.test_set;
-        atpg_coverage_ = ar.coverage();
+    {
+        // (0) Timing annotation and STA.
+        const PhaseRecorder phase(phases_, "sta");
+        delays_ = config_.variation_sigma > 0.0
+                      ? DelayAnnotation::with_variation(
+                            nl, config_.variation_sigma, config_.seed)
+                      : DelayAnnotation::nominal(nl);
+        sta_ = run_sta(nl, *delays_, config_.clock_margin);
     }
 
-    // (1) Fault universe and structural classification.
-    universe_ = FaultUniverse::generate(nl, *delays_, config_.delta_factor);
-    StructuralClassifyConfig scc;
-    scc.fmax_factor = config_.fmax_factor;
-    scc.max_monitor_delay = placement_.max_delay();
-    scc.monitored_observe = placement_.monitored;
-    structural_ = classify_structural(nl, *delays_, sta_, universe_, scc);
+    {
+        // Monitor insertion at long path ends.
+        const PhaseRecorder phase(phases_, "monitor_placement");
+        placement_ = place_monitors(nl, sta_, config_.monitor_fraction,
+                                    config_.monitor_delay_fractions);
+    }
 
-    // Sampling cap for the heavy simulation phase.
-    std::vector<FaultId> candidates = structural_.candidates();
-    if (config_.max_simulated_faults != 0 &&
-        candidates.size() > config_.max_simulated_faults) {
-        // Stratified subsample of the candidate list (deterministic).
-        std::vector<FaultId> sampled;
-        const std::size_t n = candidates.size();
-        const std::size_t k = config_.max_simulated_faults;
-        for (std::size_t i = 0; i < k; ++i) {
-            sampled.push_back(candidates[i * n / k]);
+    {
+        // Test set: supplied or ATPG-generated.
+        const PhaseRecorder phase(phases_, "atpg");
+        if (config_.test_set.has_value()) {
+            test_set_ = *config_.test_set;
+            atpg_coverage_ = 0.0;
+        } else {
+            AtpgConfig atpg = config_.atpg;
+            atpg.seed ^= config_.seed;
+            const AtpgResult ar = generate_tdf_tests(nl, atpg);
+            test_set_ = ar.test_set;
+            atpg_coverage_ = ar.coverage();
         }
-        sampled.erase(std::unique(sampled.begin(), sampled.end()),
-                      sampled.end());
-        simulated_ = std::move(sampled);
-        sample_scale_ = static_cast<double>(candidates.size()) /
-                        static_cast<double>(simulated_.size());
-        log_info() << "flow " << nl.name() << ": sampling "
-                   << simulated_.size() << " of " << candidates.size()
-                   << " candidate faults";
-    } else {
-        simulated_ = std::move(candidates);
-        sample_scale_ = 1.0;
     }
 
-    // (2)-(3) Pass-A detection analysis.
-    const WaveSim wave_sim(nl, *delays_, config_.wave);
-    DetectionAnalysisConfig dac;
-    dac.glitch_threshold = config_.glitch_threshold >= 0.0
-                               ? config_.glitch_threshold
-                               : delays_->glitch_threshold();
-    dac.horizon = sta_.clock_period * 1.02;
-    dac.num_threads = config_.num_threads;
-    const DetectionAnalyzer analyzer(wave_sim, test_set_.patterns,
-                                     placement_.monitored, dac);
-    std::vector<DelayFault> faults;
-    faults.reserve(simulated_.size());
-    for (FaultId id : simulated_) faults.push_back(universe_.fault(id));
-    ranges_ = analyzer.analyze(faults);
-    detect_counters_ += analyzer.counters();
+    {
+        // (1) Fault universe and structural classification.
+        const PhaseRecorder phase(phases_, "classify");
+        universe_ =
+            FaultUniverse::generate(nl, *delays_, config_.delta_factor);
+        StructuralClassifyConfig scc;
+        scc.fmax_factor = config_.fmax_factor;
+        scc.max_monitor_delay = placement_.max_delay();
+        scc.monitored_observe = placement_.monitored;
+        structural_ = classify_structural(nl, *delays_, sta_, universe_, scc);
 
-    // (4)-(5) Target fault set.
-    const Interval window = window_for(config_.fmax_factor);
-    targets_.clear();
-    for (std::uint32_t i = 0; i < ranges_.size(); ++i) {
-        const IntervalSet full = full_detection_range(
-            ranges_[i], placement_.config_delays);
-        IntervalSet in_window = full;
-        in_window.clip(window.lo, window.hi);
-        if (in_window.empty()) continue;            // not prop-detectable
-        if (detects_at_speed(full, sta_.clock_period)) continue;
-        targets_.push_back(i);
+        // Sampling cap for the heavy simulation phase.
+        std::vector<FaultId> candidates = structural_.candidates();
+        if (config_.max_simulated_faults != 0 &&
+            candidates.size() > config_.max_simulated_faults) {
+            // Stratified subsample of the candidate list (deterministic).
+            std::vector<FaultId> sampled;
+            const std::size_t n = candidates.size();
+            const std::size_t k = config_.max_simulated_faults;
+            for (std::size_t i = 0; i < k; ++i) {
+                sampled.push_back(candidates[i * n / k]);
+            }
+            sampled.erase(std::unique(sampled.begin(), sampled.end()),
+                          sampled.end());
+            simulated_ = std::move(sampled);
+            sample_scale_ = static_cast<double>(candidates.size()) /
+                            static_cast<double>(simulated_.size());
+            log_info() << "flow " << nl.name() << ": sampling "
+                       << simulated_.size() << " of " << candidates.size()
+                       << " candidate faults";
+        } else {
+            simulated_ = std::move(candidates);
+            sample_scale_ = 1.0;
+        }
     }
+
+    {
+        // (2)-(3) Pass-A detection analysis.
+        const PhaseRecorder phase(phases_, "fault_sim_pass_a");
+        const WaveSim wave_sim(nl, *delays_, config_.wave);
+        DetectionAnalysisConfig dac;
+        dac.glitch_threshold = config_.glitch_threshold >= 0.0
+                                   ? config_.glitch_threshold
+                                   : delays_->glitch_threshold();
+        dac.horizon = sta_.clock_period * 1.02;
+        dac.num_threads = config_.num_threads;
+        const DetectionAnalyzer analyzer(wave_sim, test_set_.patterns,
+                                         placement_.monitored, dac);
+        std::vector<DelayFault> faults;
+        faults.reserve(simulated_.size());
+        for (FaultId id : simulated_) faults.push_back(universe_.fault(id));
+        ranges_ = analyzer.analyze(faults);
+        detect_counters_ += analyzer.counters();
+    }
+
+    {
+        // (4)-(5) Target fault set via configuration range shifting.
+        const PhaseRecorder phase(phases_, "shifting");
+        const Interval window = window_for(config_.fmax_factor);
+        targets_.clear();
+        for (std::uint32_t i = 0; i < ranges_.size(); ++i) {
+            const IntervalSet full = full_detection_range(
+                ranges_[i], placement_.config_delays);
+            IntervalSet in_window = full;
+            in_window.clip(window.lo, window.hi);
+            if (in_window.empty()) continue;        // not prop-detectable
+            if (detects_at_speed(full, sta_.clock_period)) continue;
+            targets_.push_back(i);
+        }
+    }
+    prepare_wall_seconds_ = wall_seconds_since(t_prepare);
     prepared_ = true;
 }
 
@@ -152,6 +213,9 @@ std::vector<CoverageBySpeed> HdfFlow::coverage_curve(
 
 HdfFlowResult HdfFlow::run() {
     prepare();
+    const TraceSpan run_span("run", "flow");
+    const auto t_run = std::chrono::steady_clock::now();
+    std::vector<PhaseTime> run_phases;
     const Netlist& nl = *netlist_;
     HdfFlowResult res;
     res.circuit = nl.name();
@@ -174,6 +238,7 @@ HdfFlowResult HdfFlow::run() {
     };
 
     // --- Table I ---
+    PhaseRecorder table1_phase(run_phases, "table1");
     std::size_t conv_detected = 0;
     std::size_t prop_detected = 0;
     std::size_t at_speed_monitor = 0;
@@ -199,8 +264,10 @@ HdfFlowResult HdfFlow::run() {
                    static_cast<double>(conv_detected) -
                1.0) *
                   100.0;
+    table1_phase.finish();
 
     // --- Table II: frequency selection ---
+    PhaseRecorder freq_phase(run_phases, "freq_select");
     // Conventional FAST: cover the conventionally detectable faults
     // using flip-flop ranges only.
     std::vector<IntervalSet> conv_ranges(ranges_.size());
@@ -249,7 +316,9 @@ HdfFlowResult HdfFlow::run() {
         std::unique(all_periods.begin(), all_periods.end(),
                     [](Time a, Time b) { return std::abs(a - b) <= kTimeEps; }),
         all_periods.end());
+    freq_phase.finish();
 
+    PhaseRecorder table_phase(run_phases, "fault_sim_pass_b");
     std::vector<DelayFault> target_faults;
     std::vector<FaultRanges> target_fault_ranges;
     for (std::uint32_t pos : targets_) {
@@ -270,6 +339,7 @@ HdfFlowResult HdfFlow::run() {
         placement_.config_delays);
     detect_counters_ += analyzer.counters();
     res.detection = detect_counters_;
+    table_phase.finish();
 
     // Helper: restrict the table to one period subset (remapped).
     auto entries_for = [&all_entries, &all_periods](
@@ -296,6 +366,7 @@ HdfFlowResult HdfFlow::run() {
     const std::size_t num_configs = placement_.config_delays.size();
 
     // --- Table II: pattern x config selection at full coverage ---
+    PhaseRecorder pc_phase(run_phases, "pattern_config_select");
     PatternConfigOptions pco;
     pco.method = SelectMethod::BranchAndBound;
     pco.solver = config_.solver;
@@ -315,8 +386,10 @@ HdfFlowResult HdfFlow::run() {
             pc.proven_optimal && sel_prop.proven_optimal;
         res.schedule_uncovered = pc.uncovered_faults.size();
     }
+    pc_phase.finish();
 
     // --- Table III ---
+    PhaseRecorder rows_phase(run_phases, "coverage_rows");
     for (std::size_t k = 0; k < config_.coverage_targets.size(); ++k) {
         const FrequencySelection& sel = cov_selections[k];
         CoverageRow row;
@@ -340,7 +413,52 @@ HdfFlowResult HdfFlow::run() {
             schedule_reduction_percent(row.schedule_size, row.naive_pc);
         res.coverage_rows.push_back(row);
     }
+    rows_phase.finish();
+
+    res.phases = phases_;
+    res.phases.insert(res.phases.end(), run_phases.begin(), run_phases.end());
+    res.total_wall_seconds =
+        prepare_wall_seconds_ + wall_seconds_since(t_run);
     return res;
+}
+
+RunManifest HdfFlow::manifest(const HdfFlowResult& result) const {
+    RunManifest m;
+
+    m.set_config("fmax_factor", config_.fmax_factor);
+    m.set_config("clock_margin", config_.clock_margin);
+    m.set_config("monitor_fraction", config_.monitor_fraction);
+    m.set_config("delta_factor", config_.delta_factor);
+    m.set_config("variation_sigma", config_.variation_sigma);
+    m.set_config("seed", config_.seed);
+    m.set_config("max_simulated_faults", config_.max_simulated_faults);
+    m.set_config("num_threads", config_.num_threads);
+    m.set_config("glitch_threshold", config_.glitch_threshold);
+
+    m.set_circuit("name", result.circuit);
+    m.set_circuit("num_gates", result.num_gates);
+    m.set_circuit("num_ffs", result.num_ffs);
+    m.set_circuit("num_patterns", result.num_patterns);
+    m.set_circuit("num_monitors", result.num_monitors);
+    m.set_circuit("fault_universe", result.fault_universe);
+    m.set_circuit("candidate_faults", result.candidate_faults);
+    m.set_circuit("simulated_faults", result.simulated_faults);
+    m.set_circuit("target_faults", result.target_faults);
+
+    for (const PhaseTime& p : result.phases) m.add_phase(p);
+    m.set_total_wall_seconds(result.total_wall_seconds);
+
+    // Snapshot of the process-wide metrics; the shared pool is only
+    // touched when this flow actually used it (a serial flow must not
+    // spin up worker threads just to report about them).
+    MetricsRegistry& reg = MetricsRegistry::global();
+    if (config_.num_threads != 1) {
+        ThreadPool::shared().publish_metrics(reg);
+    }
+    Json metrics = reg.to_json();
+    metrics.set("detection", result.detection.to_json());
+    m.set_metrics(std::move(metrics));
+    return m;
 }
 
 }  // namespace fastmon

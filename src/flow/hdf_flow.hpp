@@ -24,6 +24,7 @@
 #include "monitor/placement.hpp"
 #include "monitor/shifting.hpp"
 #include "schedule/pattern_config_select.hpp"
+#include "util/manifest.hpp"
 
 namespace fastmon {
 
@@ -109,6 +110,12 @@ struct HdfFlowResult {
     double atpg_coverage = 0.0;
     // --- engine counters (pass A + pass B accumulated) ---
     DetectionCounters detection;
+    // --- observability ---
+    /// Wall/CPU time per flow phase, in execution order (prepare()
+    /// phases first, then run() phases).
+    std::vector<PhaseTime> phases;
+    /// Wall clock of prepare() + run() together.
+    double total_wall_seconds = 0.0;
 };
 
 class HdfFlow {
@@ -155,6 +162,12 @@ public:
         return detect_counters_;
     }
 
+    /// Assembles the run manifest for a finished run(): tool/git info,
+    /// flow config, circuit statistics, per-phase times, and a snapshot
+    /// of the global metrics registry (detection counters and pool
+    /// stats included).
+    [[nodiscard]] RunManifest manifest(const HdfFlowResult& result) const;
+
 private:
     [[nodiscard]] Interval window_for(double fmax_factor) const;
 
@@ -174,6 +187,8 @@ private:
     std::vector<std::uint32_t> targets_;
     double sample_scale_ = 1.0;
     DetectionCounters detect_counters_;
+    std::vector<PhaseTime> phases_;       ///< recorded during prepare()
+    double prepare_wall_seconds_ = 0.0;
 };
 
 }  // namespace fastmon

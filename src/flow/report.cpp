@@ -101,25 +101,56 @@ void print_fig3(std::ostream& os, std::span<const CoverageBySpeed> curve) {
 
 void print_engine_counters(std::ostream& os,
                            std::span<const HdfFlowResult> rows) {
-    TextTable t({"Circuit", "pairs", "screened", "inactive", "simulated",
-                 "detected", "gate evals", "good sims", "cones",
-                 "t_screen", "t_analyze", "t_table"});
+    // Columns come from DetectionCounters::to_json(), so new counters
+    // show up here (and in the bench artifacts) without touching any
+    // per-consumer field list.
+    std::vector<std::string> headers{"Circuit"};
+    if (!rows.empty()) {
+        const Json first = rows.front().detection.to_json();
+        for (const auto& [key, value] : first.as_object()) {
+            headers.push_back(key);
+        }
+    }
+    TextTable t(std::move(headers));
     for (const HdfFlowResult& r : rows) {
-        const DetectionCounters& c = r.detection;
         t.begin_row();
         t.cell(r.circuit);
-        t.cell(c.pairs_total);
-        t.cell(c.pairs_screened_out);
-        t.cell(c.pairs_inactive);
-        t.cell(c.pairs_simulated);
-        t.cell(c.pairs_detected);
-        t.cell(c.gates_reevaluated);
-        t.cell(c.good_wave_sims);
-        t.cell(c.cones_cached);
-        t.cell(c.screen_seconds, 3);
-        t.cell(c.analyze_seconds, 3);
-        t.cell(c.table_seconds, 3);
+        const Json j = r.detection.to_json();
+        for (const auto& [key, value] : j.as_object()) {
+            const double v = value.as_number();
+            if (v == static_cast<double>(static_cast<long long>(v))) {
+                t.cell(static_cast<long long>(v));
+            } else {
+                t.cell(v, 3);
+            }
+        }
     }
+    t.print(os);
+}
+
+void print_phase_table(std::ostream& os, const HdfFlowResult& result) {
+    TextTable t({"Phase", "wall [s]", "cpu [s]", "wall %"});
+    double phase_wall = 0.0;
+    for (const PhaseTime& p : result.phases) phase_wall += p.wall_seconds;
+    const double total =
+        result.total_wall_seconds > 0.0 ? result.total_wall_seconds : phase_wall;
+    for (const PhaseTime& p : result.phases) {
+        t.begin_row();
+        t.cell(p.name);
+        t.cell(p.wall_seconds, 3);
+        t.cell(p.cpu_seconds, 3);
+        t.cell(total > 0.0 ? 100.0 * p.wall_seconds / total : 0.0, 1);
+    }
+    t.begin_row();
+    t.cell(std::string("total (phases)"));
+    t.cell(phase_wall, 3);
+    t.cell(std::string("-"));
+    t.cell(total > 0.0 ? 100.0 * phase_wall / total : 0.0, 1);
+    t.begin_row();
+    t.cell(std::string("total (wall)"));
+    t.cell(result.total_wall_seconds, 3);
+    t.cell(std::string("-"));
+    t.cell(std::string("-"));
     t.print(os);
 }
 

@@ -22,8 +22,12 @@ void print_fig3(std::ostream& os, std::span<const CoverageBySpeed> curve);
 
 /// Detection-engine work counters (screen/simulate/detect funnel and
 /// per-phase times) per circuit — the perf-debugging companion of the
-/// paper tables.
+/// paper tables.  Columns mirror DetectionCounters::to_json().
 void print_engine_counters(std::ostream& os,
                            std::span<const HdfFlowResult> rows);
+
+/// Per-phase wall/CPU breakdown of one flow run, with each phase's
+/// share of the total wall clock.
+void print_phase_table(std::ostream& os, const HdfFlowResult& result);
 
 }  // namespace fastmon

@@ -5,6 +5,9 @@
 #include <cmath>
 #include <limits>
 
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
+
 namespace fastmon {
 
 namespace {
@@ -307,7 +310,10 @@ struct Search {
 }  // namespace
 
 IlpSolution solve_01_ilp(const IlpProblem& problem, const IlpConfig& config) {
+    const TraceSpan span("ilp", "opt");
     Search s(problem, config);
+    // Root relaxation bound, kept for the optimality-gap metric.
+    const double root_bound = s.lp_bound(nullptr);
     s.try_greedy_incumbent();
     s.dfs();
 
@@ -318,6 +324,20 @@ IlpSolution solve_01_ilp(const IlpProblem& problem, const IlpConfig& config) {
         sol.objective = s.best_obj;
         sol.x = s.best_x;
         sol.proven_optimal = !s.budget_exhausted;
+    }
+
+    MetricsRegistry& reg = MetricsRegistry::global();
+    reg.counter("opt.ilp.solves").add(1);
+    reg.counter("opt.ilp.nodes").add(sol.nodes_explored);
+    reg.counter("opt.ilp.rows").add(problem.rows.size());
+    reg.counter("opt.ilp.columns").add(problem.num_vars);
+    if (sol.feasible && !sol.proven_optimal) {
+        reg.counter("opt.ilp.budget_exhausted").add(1);
+        if (std::isfinite(root_bound)) {
+            const double denom = std::max(std::abs(sol.objective), 1.0);
+            reg.gauge("opt.ilp.last_gap")
+                .set(std::max(0.0, sol.objective - root_bound) / denom);
+        }
     }
     return sol;
 }

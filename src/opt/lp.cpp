@@ -4,11 +4,24 @@
 #include <cmath>
 #include <limits>
 
+#include "util/metrics.hpp"
+
 namespace fastmon {
 
 namespace {
 
 constexpr double kEps = 1e-9;
+
+/// LP solves happen per branch-and-bound node, so only cheap global
+/// counters (no spans, no per-solve events).
+void record_lp_metrics(const LpSolution& sol) {
+    MetricsRegistry& reg = MetricsRegistry::global();
+    reg.counter("opt.lp.solves").add(1);
+    reg.counter("opt.lp.iterations").add(sol.iterations);
+    if (sol.status == LpStatus::IterationLimit) {
+        reg.counter("opt.lp.iteration_limit_hits").add(1);
+    }
+}
 
 /// Dense simplex tableau.  Columns: structural vars, surplus vars,
 /// artificial vars, RHS.  One row per constraint plus the objective row.
@@ -189,10 +202,13 @@ LpSolution solve_lp(const LpProblem& problem, std::size_t max_iterations) {
     LpStatus st = t.phase1(iters, max_iterations);
     if (st != LpStatus::Optimal) {
         sol.status = st;
+        sol.iterations = iters;
+        record_lp_metrics(sol);
         return sol;
     }
     st = t.phase2(problem, iters, max_iterations);
     sol.status = st;
+    sol.iterations = iters;
     if (st == LpStatus::Optimal) {
         sol.x = t.extract(problem.num_vars);
         sol.objective = 0.0;
@@ -200,6 +216,7 @@ LpSolution solve_lp(const LpProblem& problem, std::size_t max_iterations) {
             sol.objective += problem.objective[j] * sol.x[j];
         }
     }
+    record_lp_metrics(sol);
     return sol;
 }
 

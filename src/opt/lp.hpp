@@ -35,6 +35,8 @@ struct LpSolution {
     LpStatus status = LpStatus::IterationLimit;
     double objective = 0.0;
     std::vector<double> x;
+    /// Simplex pivots performed over both phases.
+    std::size_t iterations = 0;
 };
 
 /// Solves the LP; `max_iterations` bounds total pivots over both phases.

@@ -6,6 +6,9 @@
 #include <map>
 #include <numeric>
 
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
+
 namespace fastmon {
 
 std::uint64_t SetCoverInstance::total_weight() const {
@@ -357,10 +360,8 @@ struct CoverSearch {
     }
 };
 
-}  // namespace
-
-SetCoverResult solve_set_cover(const SetCoverInstance& instance,
-                               const SetCoverOptions& options) {
+SetCoverResult solve_set_cover_impl(const SetCoverInstance& instance,
+                                    const SetCoverOptions& options) {
     const bool full = options.coverage >= 1.0 - 1e-12;
     const std::uint64_t global_target =
         coverage_target(instance, options.coverage);
@@ -408,9 +409,11 @@ SetCoverResult solve_set_cover(const SetCoverInstance& instance,
     }
 
     SetCoverResult result;
+    result.nodes_explored = search.nodes;
     if (search.best_count == SIZE_MAX) {
         // No feasible cover found within budget; fall back to greedy.
         result = greedy_fallback;
+        result.nodes_explored = search.nodes;
         result.proven_optimal = false;
         return result;
     }
@@ -439,9 +442,27 @@ SetCoverResult solve_set_cover(const SetCoverInstance& instance,
          greedy_fallback.chosen.size() < result.chosen.size())) {
         if (greedy_fallback.feasible) {
             SetCoverResult r = greedy_fallback;
+            r.nodes_explored = search.nodes;
             r.proven_optimal = false;
             return r;
         }
+    }
+    return result;
+}
+
+}  // namespace
+
+SetCoverResult solve_set_cover(const SetCoverInstance& instance,
+                               const SetCoverOptions& options) {
+    const TraceSpan span("set_cover", "opt");
+    SetCoverResult result = solve_set_cover_impl(instance, options);
+    MetricsRegistry& reg = MetricsRegistry::global();
+    reg.counter("opt.set_cover.solves").add(1);
+    reg.counter("opt.set_cover.nodes").add(result.nodes_explored);
+    reg.counter("opt.set_cover.elements").add(instance.num_elements);
+    reg.counter("opt.set_cover.columns").add(instance.sets.size());
+    if (!result.proven_optimal) {
+        reg.counter("opt.set_cover.budget_exhausted").add(1);
     }
     return result;
 }

@@ -44,6 +44,8 @@ struct SetCoverResult {
     std::uint64_t covered_weight = 0;
     bool feasible = false;
     bool proven_optimal = false;
+    /// Branch-and-bound nodes expanded (0 for the greedy heuristic).
+    std::size_t nodes_explored = 0;
 };
 
 /// Greedy heuristic: repeatedly pick the set covering the most

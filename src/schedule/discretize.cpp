@@ -4,6 +4,9 @@
 #include <cassert>
 #include <cmath>
 
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
+
 namespace fastmon {
 
 namespace {
@@ -60,8 +63,12 @@ RawCandidates sweep_candidates(std::span<const IntervalSet> fault_ranges) {
 DiscretizationResult discretize_observation_times(
     std::span<const IntervalSet> fault_ranges,
     const DiscretizeOptions& options) {
+    const TraceSpan span("discretize", "schedule");
     DiscretizationResult result;
     RawCandidates raw = sweep_candidates(fault_ranges);
+    MetricsRegistry& reg = MetricsRegistry::global();
+    reg.counter("schedule.discretize.calls").add(1);
+    reg.counter("schedule.discretize.raw_candidates").add(raw.times.size());
     if (raw.times.empty()) return result;
 
     std::vector<Time> kept;
@@ -135,6 +142,8 @@ DiscretizationResult discretize_observation_times(
         cleaned.candidates.push_back(result.candidates[c]);
         cleaned.covered.push_back(std::move(result.covered[c]));
     }
+    reg.counter("schedule.discretize.kept_candidates")
+        .add(cleaned.candidates.size());
     return cleaned;
 }
 

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <limits>
 
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
+
 namespace fastmon {
 
 std::optional<std::vector<Time>> stabbing_periods(
@@ -30,6 +33,10 @@ std::optional<std::vector<Time>> stabbing_periods(
 FrequencySelection select_frequencies(
     std::span<const IntervalSet> fault_ranges,
     const FrequencySelectOptions& options) {
+    const TraceSpan span("freq_select", "schedule");
+    MetricsRegistry& reg = MetricsRegistry::global();
+    reg.counter("schedule.freq_select.calls").add(1);
+    reg.counter("schedule.freq_select.faults").add(fault_ranges.size());
     FrequencySelection sel;
 
     if (options.method == SelectMethod::Stabbing && options.coverage >= 1.0) {
@@ -51,6 +58,7 @@ FrequencySelection select_frequencies(
                 }
                 sel.covered.push_back(std::move(covered));
             }
+            reg.counter("schedule.freq_select.periods").add(sel.periods.size());
             return sel;
         }
         // Multi-interval ranges: fall through to branch and bound.
@@ -115,6 +123,7 @@ FrequencySelection select_frequencies(
             }
         }
     }
+    reg.counter("schedule.freq_select.periods").add(sel.periods.size());
     return sel;
 }
 

@@ -5,12 +5,20 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
+
 namespace fastmon {
 
 PatternConfigResult select_pattern_configs(
     std::span<const DetectionEntry> entries, std::span<const Time> periods,
     std::span<const std::uint32_t> target_faults,
     const PatternConfigOptions& options) {
+    const TraceSpan span("pattern_config_select", "schedule");
+    MetricsRegistry& reg = MetricsRegistry::global();
+    reg.counter("schedule.pattern_config.calls").add(1);
+    reg.counter("schedule.pattern_config.entries").add(entries.size());
+    reg.counter("schedule.pattern_config.periods").add(periods.size());
     PatternConfigResult result;
     result.proven_optimal = true;
     result.schedule.periods.assign(periods.begin(), periods.end());
@@ -106,6 +114,10 @@ PatternConfigResult select_pattern_configs(
     }
 
     std::sort(result.uncovered_faults.begin(), result.uncovered_faults.end());
+    reg.counter("schedule.pattern_config.chosen")
+        .add(result.schedule.entries.size());
+    reg.counter("schedule.pattern_config.uncovered")
+        .add(result.uncovered_faults.size());
     return result;
 }
 

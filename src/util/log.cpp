@@ -1,5 +1,8 @@
 #include "util/log.hpp"
 
+#include <atomic>
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <iostream>
 #include <mutex>
@@ -13,7 +16,22 @@ LogLevel g_level = LogLevel::Info;
 std::once_flag g_env_once;
 std::mutex g_emit_mutex;
 
+/// Epoch of the debug-level timestamps (first logging activity).
+std::chrono::steady_clock::time_point log_epoch() {
+    static const auto epoch = std::chrono::steady_clock::now();
+    return epoch;
+}
+
+/// Small stable id of the calling thread for debug prefixes.
+std::uint32_t log_thread_id() {
+    static std::atomic<std::uint32_t> next{0};
+    thread_local const std::uint32_t id =
+        next.fetch_add(1, std::memory_order_relaxed);
+    return id;
+}
+
 void init_from_env() {
+    (void)log_epoch();
     const char* env = std::getenv("FASTMON_LOG");
     if (env == nullptr) return;
     const std::string v(env);
@@ -25,6 +43,12 @@ void init_from_env() {
         g_level = LogLevel::Info;
     } else if (v == "debug") {
         g_level = LogLevel::Debug;
+    } else {
+        // Unknown value: warn once and keep the Info default instead of
+        // silently ignoring a typo like FASTMON_LOG=verbose.
+        g_level = LogLevel::Info;
+        std::cerr << "[warn] FASTMON_LOG: unknown level '" << v
+                  << "' (expected quiet|warn|info|debug), defaulting to info\n";
     }
 }
 
@@ -50,8 +74,19 @@ void log_emit(LogLevel level, std::string_view msg) {
         case LogLevel::Debug: tag = "[debug] "; break;
         case LogLevel::Quiet: break;
     }
+    // At Debug verbosity every line carries elapsed time and a thread
+    // id so interleaved pool output can be attributed.
+    char prefix[48] = "";
+    if (log_level() >= LogLevel::Debug) {
+        const double secs =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          log_epoch())
+                .count();
+        std::snprintf(prefix, sizeof prefix, "[%10.6fs t%02u] ", secs,
+                      log_thread_id());
+    }
     const std::lock_guard<std::mutex> lock(g_emit_mutex);
-    std::cerr << tag << msg << '\n';
+    std::cerr << prefix << tag << msg << '\n';
 }
 
 }  // namespace detail

@@ -1,0 +1,153 @@
+#include "util/manifest.hpp"
+
+#include <chrono>
+#include <ctime>
+#include <fstream>
+
+namespace fastmon {
+
+namespace {
+
+std::uint64_t wall_now_ns() {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+}  // namespace
+
+PhaseStopwatch::PhaseStopwatch()
+    : wall_start_ns_(wall_now_ns()), cpu_start_(process_cpu_seconds()) {}
+
+PhaseTime PhaseStopwatch::elapsed(std::string name) const {
+    PhaseTime p;
+    p.name = std::move(name);
+    p.wall_seconds =
+        static_cast<double>(wall_now_ns() - wall_start_ns_) * 1e-9;
+    p.cpu_seconds = process_cpu_seconds() - cpu_start_;
+    return p;
+}
+
+double PhaseStopwatch::process_cpu_seconds() {
+#if defined(CLOCK_PROCESS_CPUTIME_ID)
+    timespec ts{};
+    if (clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts) == 0) {
+        return static_cast<double>(ts.tv_sec) +
+               static_cast<double>(ts.tv_nsec) * 1e-9;
+    }
+#endif
+    return static_cast<double>(std::clock()) / CLOCKS_PER_SEC;
+}
+
+const char* build_git_describe() {
+#ifdef FASTMON_GIT_DESCRIBE
+    return FASTMON_GIT_DESCRIBE;
+#else
+    return "unknown";
+#endif
+}
+
+RunManifest::RunManifest() {
+    tool_ = Json::object();
+    tool_.set("name", "fastmon");
+    tool_.set("git", build_git_describe());
+    config_ = Json::object();
+    circuit_ = Json::object();
+    metrics_ = Json::object();
+}
+
+void RunManifest::set_config(const std::string& key, Json value) {
+    config_.set(key, std::move(value));
+}
+
+void RunManifest::set_circuit(const std::string& key, Json value) {
+    circuit_.set(key, std::move(value));
+}
+
+void RunManifest::add_phase(PhaseTime phase) {
+    phases_.push_back(std::move(phase));
+}
+
+void RunManifest::set_metrics(Json metrics) { metrics_ = std::move(metrics); }
+
+void RunManifest::set_total_wall_seconds(double seconds) {
+    total_wall_ = seconds;
+}
+
+double RunManifest::total_phase_wall_seconds() const {
+    double total = 0.0;
+    for (const PhaseTime& p : phases_) total += p.wall_seconds;
+    return total;
+}
+
+Json RunManifest::to_json() const {
+    Json phases = Json::array();
+    for (const PhaseTime& p : phases_) {
+        Json j = Json::object();
+        j.set("name", p.name);
+        j.set("wall_seconds", p.wall_seconds);
+        j.set("cpu_seconds", p.cpu_seconds);
+        phases.push_back(std::move(j));
+    }
+    Json doc = Json::object();
+    doc.set("tool", tool_);
+    doc.set("config", config_);
+    doc.set("circuit", circuit_);
+    doc.set("total_wall_seconds", total_wall_);
+    doc.set("phases", std::move(phases));
+    doc.set("metrics", metrics_);
+    return doc;
+}
+
+std::optional<RunManifest> RunManifest::from_json(const Json& j) {
+    if (!j.is_object()) return std::nullopt;
+    const Json* tool = j.find("tool");
+    const Json* phases = j.find("phases");
+    if (tool == nullptr || !tool->is_object() || phases == nullptr ||
+        !phases->is_array()) {
+        return std::nullopt;
+    }
+    RunManifest m;
+    m.tool_ = *tool;
+    if (const Json* c = j.find("config"); c != nullptr && c->is_object()) {
+        m.config_ = *c;
+    }
+    if (const Json* c = j.find("circuit"); c != nullptr && c->is_object()) {
+        m.circuit_ = *c;
+    }
+    if (const Json* t = j.find("total_wall_seconds");
+        t != nullptr && t->is_number()) {
+        m.total_wall_ = t->as_number();
+    }
+    if (const Json* mx = j.find("metrics"); mx != nullptr && mx->is_object()) {
+        m.metrics_ = *mx;
+    }
+    for (const Json& pj : phases->as_array()) {
+        const Json* name = pj.find("name");
+        const Json* wall = pj.find("wall_seconds");
+        const Json* cpu = pj.find("cpu_seconds");
+        if (name == nullptr || !name->is_string() || wall == nullptr ||
+            !wall->is_number() || cpu == nullptr || !cpu->is_number()) {
+            return std::nullopt;
+        }
+        m.phases_.push_back(
+            PhaseTime{name->as_string(), wall->as_number(), cpu->as_number()});
+    }
+    return m;
+}
+
+bool RunManifest::write(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) return false;
+    out << to_json().dump(1) << '\n';
+    return static_cast<bool>(out);
+}
+
+bool operator==(const RunManifest& a, const RunManifest& b) {
+    return a.tool_ == b.tool_ && a.config_ == b.config_ &&
+           a.circuit_ == b.circuit_ && a.phases_ == b.phases_ &&
+           a.metrics_ == b.metrics_ && a.total_wall_ == b.total_wall_;
+}
+
+}  // namespace fastmon

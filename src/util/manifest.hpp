@@ -1,0 +1,89 @@
+// Run-manifest artifact: one JSON document per flow/bench run that
+// records what ran (tool version, git describe), on what (config,
+// circuit statistics), how long each phase took (wall + CPU), and
+// every metric of the global registry — the machine-readable sidecar
+// written next to BENCH_*.json so perf regressions can be traced to a
+// phase without rerunning anything.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace fastmon {
+
+/// Wall/CPU time of one named flow phase.
+struct PhaseTime {
+    std::string name;
+    double wall_seconds = 0.0;
+    double cpu_seconds = 0.0;  ///< process CPU time (all threads)
+
+    friend bool operator==(const PhaseTime&, const PhaseTime&) = default;
+};
+
+/// Measures wall + process-CPU time from construction; read with
+/// elapsed().  Used by the flow's phase scopes and the benches.
+class PhaseStopwatch {
+public:
+    PhaseStopwatch();
+    [[nodiscard]] PhaseTime elapsed(std::string name) const;
+
+    /// Process CPU seconds (sum over threads) since an arbitrary epoch.
+    static double process_cpu_seconds();
+
+private:
+    std::uint64_t wall_start_ns_ = 0;
+    double cpu_start_ = 0.0;
+};
+
+class RunManifest {
+public:
+    RunManifest();
+
+    /// Tool block (name/version/git) is filled by the constructor from
+    /// compile-time information; everything else is added by the run.
+    void set_config(const std::string& key, Json value);
+    void set_circuit(const std::string& key, Json value);
+    void add_phase(PhaseTime phase);
+    /// Replaces the metrics block (normally
+    /// MetricsRegistry::global().to_json()).
+    void set_metrics(Json metrics);
+    /// Total wall-clock of the run (phases are parts of this).
+    void set_total_wall_seconds(double seconds);
+
+    [[nodiscard]] const std::vector<PhaseTime>& phases() const {
+        return phases_;
+    }
+    [[nodiscard]] double total_phase_wall_seconds() const;
+    [[nodiscard]] double total_wall_seconds() const { return total_wall_; }
+    [[nodiscard]] const Json& config() const { return config_; }
+    [[nodiscard]] const Json& circuit() const { return circuit_; }
+    [[nodiscard]] const Json& metrics() const { return metrics_; }
+    [[nodiscard]] const Json& tool() const { return tool_; }
+
+    [[nodiscard]] Json to_json() const;
+    /// Inverse of to_json(); std::nullopt when required blocks are
+    /// missing or of the wrong shape.
+    static std::optional<RunManifest> from_json(const Json& j);
+
+    /// Writes to_json() to `path` (pretty-printed); false on failure.
+    bool write(const std::string& path) const;
+
+    friend bool operator==(const RunManifest& a, const RunManifest& b);
+
+private:
+    Json tool_;
+    Json config_;
+    Json circuit_;
+    std::vector<PhaseTime> phases_;
+    Json metrics_;
+    double total_wall_ = 0.0;
+};
+
+/// "git describe --always --dirty" captured at configure time
+/// ("unknown" when the build did not run inside a git checkout).
+[[nodiscard]] const char* build_git_describe();
+
+}  // namespace fastmon

@@ -1,0 +1,184 @@
+#include "util/metrics.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+
+#include "util/log.hpp"
+#include "util/stats.hpp"
+
+namespace fastmon {
+
+void Histogram::record(double x) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (count_ == 0) {
+        min_ = x;
+        max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++count_;
+    sum_ += x;
+    if ((count_ & ((1ULL << keep_shift_) - 1)) != 0) return;
+    if (samples_.size() >= kMaxSamples) {
+        // Decimate 2:1; from here on only every 2^(k+1)-th sample is
+        // retained, so the reservoir stays uniform over the stream.
+        std::vector<double> kept;
+        kept.reserve(samples_.size() / 2);
+        for (std::size_t i = 0; i < samples_.size(); i += 2) {
+            kept.push_back(samples_[i]);
+        }
+        samples_ = std::move(kept);
+        ++keep_shift_;
+    }
+    samples_.push_back(x);
+}
+
+std::uint64_t Histogram::count() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return count_;
+}
+
+double Histogram::sum() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return sum_;
+}
+
+double Histogram::min() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return min_;
+}
+
+double Histogram::max() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return max_;
+}
+
+double Histogram::mean() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double Histogram::percentile(double p) const {
+    std::vector<double> copy;
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        copy = samples_;
+    }
+    return fastmon::percentile(std::move(copy), p);
+}
+
+void Histogram::reset() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    samples_.clear();
+    count_ = 0;
+    sum_ = 0.0;
+    min_ = 0.0;
+    max_ = 0.0;
+    keep_shift_ = 0;
+}
+
+Json Histogram::to_json() const {
+    Json j = Json::object();
+    std::vector<double> copy;
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        j.set("count", count_);
+        j.set("sum", sum_);
+        j.set("min", min_);
+        j.set("max", max_);
+        j.set("mean", count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_));
+        copy = samples_;
+    }
+    j.set("p50", fastmon::percentile(copy, 50.0));
+    j.set("p90", fastmon::percentile(copy, 90.0));
+    j.set("p99", fastmon::percentile(std::move(copy), 99.0));
+    return j;
+}
+
+namespace {
+
+void dump_at_exit() {
+    const char* env = std::getenv("FASTMON_METRICS");
+    if (env == nullptr || *env == '\0') return;
+    std::ofstream out(env);
+    if (!out) {
+        log_warn() << "metrics: failed to write " << env;
+        return;
+    }
+    out << MetricsRegistry::global().to_json().dump(1) << '\n';
+    log_info() << "metrics: wrote registry to " << env;
+}
+
+}  // namespace
+
+MetricsRegistry& MetricsRegistry::global() {
+    // Leaked singleton (see Tracer::global): metrics may be touched
+    // during static destruction; the exit dump runs via atexit.
+    static MetricsRegistry* instance = [] {
+        auto* r = new MetricsRegistry();
+        if (const char* env = std::getenv("FASTMON_METRICS");
+            env != nullptr && *env != '\0') {
+            std::atexit(dump_at_exit);
+        }
+        return r;
+    }();
+    return *instance;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    auto& slot = counters_[name];
+    if (!slot) slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    auto& slot = gauges_[name];
+    if (!slot) slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    auto& slot = histograms_[name];
+    if (!slot) slot = std::make_unique<Histogram>();
+    return *slot;
+}
+
+Json MetricsRegistry::to_json() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    Json counters = Json::object();
+    for (const auto& [name, c] : counters_) {
+        counters.set(name, c->value());
+    }
+    Json gauges = Json::object();
+    for (const auto& [name, g] : gauges_) {
+        gauges.set(name, g->value());
+    }
+    Json histograms = Json::object();
+    for (const auto& [name, h] : histograms_) {
+        histograms.set(name, h->to_json());
+    }
+    Json j = Json::object();
+    j.set("counters", std::move(counters));
+    j.set("gauges", std::move(gauges));
+    j.set("histograms", std::move(histograms));
+    return j;
+}
+
+void MetricsRegistry::reset() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& [name, c] : counters_) c->reset();
+    for (auto& [name, g] : gauges_) g->reset();
+    for (auto& [name, h] : histograms_) h->reset();
+}
+
+std::size_t MetricsRegistry::size() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+}  // namespace fastmon

@@ -1,0 +1,127 @@
+// Process-wide registry of named counters, gauges, and histograms.
+//
+// Absorbs the role the engine-local DetectionCounters played in PR 1
+// and extends it to every phase of the flow: STA, ATPG (backtracks,
+// aborts), monitor shifting, discretization, both ILP set-cover steps
+// (rows/cols, branch-and-bound nodes, LP iterations, gap), and the
+// thread pool (per-worker busy time, queue depth, steals).  Metric
+// handles are stable references — look them up once, then update
+// lock-free (counters/gauges are atomics; histograms take a short
+// lock per sample).
+//
+// Snapshots serialize to JSON (name-sorted, deterministic) for the
+// RunManifest; FASTMON_METRICS=<path> dumps the global registry at
+// process exit.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace fastmon {
+
+/// Monotone event count.
+class Counter {
+public:
+    void add(std::uint64_t delta = 1) {
+        value_.fetch_add(delta, std::memory_order_relaxed);
+    }
+    [[nodiscard]] std::uint64_t value() const {
+        return value_.load(std::memory_order_relaxed);
+    }
+    void reset() { value_.store(0, std::memory_order_relaxed); }
+
+private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written scalar (e.g. queue depth, optimality gap).
+class Gauge {
+public:
+    void set(double v) { value_.store(v, std::memory_order_relaxed); }
+    void max(double v) {
+        double cur = value_.load(std::memory_order_relaxed);
+        while (v > cur && !value_.compare_exchange_weak(
+                              cur, v, std::memory_order_relaxed)) {
+        }
+    }
+    [[nodiscard]] double value() const {
+        return value_.load(std::memory_order_relaxed);
+    }
+    void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+private:
+    std::atomic<double> value_{0.0};
+};
+
+/// Sample distribution with exact count/sum/min/max and percentile
+/// queries.  Samples are kept verbatim up to a cap, then decimated
+/// 2:1 (each survivor stands for 2^k originals), which keeps memory
+/// bounded while percentiles stay representative.
+class Histogram {
+public:
+    static constexpr std::size_t kMaxSamples = 1 << 14;
+
+    void record(double x);
+
+    [[nodiscard]] std::uint64_t count() const;
+    [[nodiscard]] double sum() const;
+    [[nodiscard]] double min() const;
+    [[nodiscard]] double max() const;
+    [[nodiscard]] double mean() const;
+    /// p in [0, 100], linear interpolation over the retained samples.
+    [[nodiscard]] double percentile(double p) const;
+    void reset();
+
+    [[nodiscard]] Json to_json() const;
+
+private:
+    mutable std::mutex mutex_;
+    std::vector<double> samples_;
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    std::uint32_t keep_shift_ = 0;  ///< record every 2^keep_shift_-th sample
+};
+
+class MetricsRegistry {
+public:
+    MetricsRegistry() = default;
+
+    /// Process-wide registry; reads $FASTMON_METRICS on first access
+    /// and dumps to that path at exit when set.
+    static MetricsRegistry& global();
+
+    /// Finds or creates; returned references stay valid for the
+    /// registry's lifetime.
+    Counter& counter(const std::string& name);
+    Gauge& gauge(const std::string& name);
+    Histogram& histogram(const std::string& name);
+
+    /// Name-sorted snapshot: counters/gauges as numbers, histograms as
+    /// {count, sum, min, max, mean, p50, p90, p99}.
+    [[nodiscard]] Json to_json() const;
+
+    /// Zeroes every metric (handles stay valid).  Tests only.
+    void reset();
+
+    [[nodiscard]] std::size_t size() const;
+
+private:
+    MetricsRegistry(const MetricsRegistry&) = delete;
+    MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+    mutable std::mutex mutex_;
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace fastmon

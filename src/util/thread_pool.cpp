@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <numeric>
+
+#include "util/metrics.hpp"
 
 namespace fastmon {
 
@@ -42,6 +45,46 @@ ThreadPool& ThreadPool::shared() {
     return pool;
 }
 
+double ThreadPool::Stats::total_busy_seconds() const {
+    return std::accumulate(worker_busy_seconds.begin(),
+                           worker_busy_seconds.end(), helper_busy_seconds);
+}
+
+ThreadPool::Stats ThreadPool::stats() const {
+    Stats s;
+    s.tasks_executed = tasks_executed_.load(std::memory_order_relaxed);
+    s.tasks_stolen = tasks_stolen_.load(std::memory_order_relaxed);
+    s.tasks_injected = tasks_injected_.load(std::memory_order_relaxed);
+    s.max_inject_depth = max_inject_depth_.load(std::memory_order_relaxed);
+    s.helper_busy_seconds =
+        static_cast<double>(helper_busy_ns_.load(std::memory_order_relaxed)) *
+        1e-9;
+    s.worker_busy_seconds.reserve(queues_.size());
+    for (const auto& q : queues_) {
+        s.worker_busy_seconds.push_back(
+            static_cast<double>(q->busy_ns.load(std::memory_order_relaxed)) *
+            1e-9);
+    }
+    return s;
+}
+
+void ThreadPool::publish_metrics(MetricsRegistry& registry) const {
+    const Stats s = stats();
+    registry.gauge("pool.workers").set(static_cast<double>(size()));
+    registry.gauge("pool.tasks_executed")
+        .set(static_cast<double>(s.tasks_executed));
+    registry.gauge("pool.tasks_stolen").set(static_cast<double>(s.tasks_stolen));
+    registry.gauge("pool.tasks_injected")
+        .set(static_cast<double>(s.tasks_injected));
+    registry.gauge("pool.max_inject_depth")
+        .set(static_cast<double>(s.max_inject_depth));
+    registry.gauge("pool.busy_seconds").set(s.total_busy_seconds());
+    registry.gauge("pool.helper_busy_seconds").set(s.helper_busy_seconds);
+    Histogram& h = registry.histogram("pool.worker_busy_seconds");
+    h.reset();
+    for (const double v : s.worker_busy_seconds) h.record(v);
+}
+
 std::size_t ThreadPool::effective_lanes(std::size_t total,
                                         std::size_t max_workers) const {
     const std::size_t lanes =
@@ -57,11 +100,18 @@ void ThreadPool::enqueue(std::function<void()> task) {
     } else {
         const std::lock_guard<std::mutex> lock(inject_mutex_);
         inject_.push_back(std::move(task));
+        tasks_injected_.fetch_add(1, std::memory_order_relaxed);
+        const auto depth = static_cast<std::uint64_t>(inject_.size());
+        std::uint64_t prev = max_inject_depth_.load(std::memory_order_relaxed);
+        while (prev < depth && !max_inject_depth_.compare_exchange_weak(
+                                   prev, depth, std::memory_order_relaxed)) {
+        }
     }
     work_cv_.notify_one();
 }
 
-bool ThreadPool::pop_task(std::size_t self, std::function<void()>& out) {
+bool ThreadPool::pop_task(std::size_t self, std::function<void()>& out,
+                          TaskSource& source) {
     // Own deque first, newest task (LIFO: best cache locality)...
     if (self < queues_.size()) {
         WorkerQueue& q = *queues_[self];
@@ -69,6 +119,7 @@ bool ThreadPool::pop_task(std::size_t self, std::function<void()>& out) {
         if (!q.tasks.empty()) {
             out = std::move(q.tasks.back());
             q.tasks.pop_back();
+            source = TaskSource::Own;
             return true;
         }
     }
@@ -78,6 +129,7 @@ bool ThreadPool::pop_task(std::size_t self, std::function<void()>& out) {
         if (!inject_.empty()) {
             out = std::move(inject_.front());
             inject_.pop_front();
+            source = TaskSource::Injected;
             return true;
         }
     }
@@ -90,18 +142,39 @@ bool ThreadPool::pop_task(std::size_t self, std::function<void()>& out) {
         if (!q.tasks.empty()) {
             out = std::move(q.tasks.front());
             q.tasks.pop_front();
+            source = TaskSource::Stolen;
             return true;
         }
     }
     return false;
 }
 
+void ThreadPool::run_task(std::size_t self,
+                          const std::function<void()>& task) {
+    const auto start = std::chrono::steady_clock::now();
+    task();
+    const auto ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+    if (self < queues_.size()) {
+        queues_[self]->busy_ns.fetch_add(ns, std::memory_order_relaxed);
+    } else {
+        helper_busy_ns_.fetch_add(ns, std::memory_order_relaxed);
+    }
+    tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+}
+
 bool ThreadPool::try_execute_one() {
     std::function<void()> task;
     const std::size_t self =
         tls_pool == this ? tls_worker_index : queues_.size();
-    if (!pop_task(self, task)) return false;
-    task();
+    TaskSource source = TaskSource::Own;
+    if (!pop_task(self, task, source)) return false;
+    if (source == TaskSource::Stolen) {
+        tasks_stolen_.fetch_add(1, std::memory_order_relaxed);
+    }
+    run_task(self, task);
     return true;
 }
 
@@ -110,8 +183,12 @@ void ThreadPool::worker_loop(std::size_t index) {
     tls_worker_index = index;
     for (;;) {
         std::function<void()> task;
-        if (pop_task(index, task)) {
-            task();
+        TaskSource source = TaskSource::Own;
+        if (pop_task(index, task, source)) {
+            if (source == TaskSource::Stolen) {
+                tasks_stolen_.fetch_add(1, std::memory_order_relaxed);
+            }
+            run_task(index, task);
             continue;
         }
         std::unique_lock<std::mutex> lock(sleep_mutex_);

@@ -14,8 +14,10 @@
 // throughput to an idle caller.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
@@ -26,8 +28,24 @@
 
 namespace fastmon {
 
+class MetricsRegistry;
+
 class ThreadPool {
 public:
+    /// Cumulative work statistics of a pool (all counters monotone).
+    struct Stats {
+        std::uint64_t tasks_executed = 0;  ///< includes helping callers
+        std::uint64_t tasks_stolen = 0;    ///< taken from a sibling deque
+        std::uint64_t tasks_injected = 0;  ///< submitted by non-workers
+        std::uint64_t max_inject_depth = 0;
+        /// Per-worker time spent inside tasks (seconds); index ==
+        /// worker index.  Caller-helper time is accumulated separately.
+        std::vector<double> worker_busy_seconds;
+        double helper_busy_seconds = 0.0;
+
+        [[nodiscard]] double total_busy_seconds() const;
+    };
+
     /// Starts `num_threads` workers (0 = hardware concurrency).  The
     /// caller participates via TaskGroup::wait, so even a pool created
     /// with hardware_concurrency() == 1 makes progress.
@@ -45,6 +63,17 @@ public:
     /// Shared by every analysis in the process so thread creation
     /// happens exactly once.
     static ThreadPool& shared();
+
+    /// Snapshot of the cumulative work statistics (thread-safe; values
+    /// of a snapshot taken while tasks run are individually consistent
+    /// but not mutually atomic).
+    [[nodiscard]] Stats stats() const;
+
+    /// Publishes the current stats into `registry` as pool.* gauges and
+    /// counters (pool.tasks_executed, pool.tasks_stolen,
+    /// pool.tasks_injected, pool.max_inject_depth, pool.workers,
+    /// pool.busy_seconds plus a pool.worker_busy_seconds histogram).
+    void publish_metrics(MetricsRegistry& registry) const;
 
     /// A set of tasks whose completion can be awaited collectively.
     /// Tasks may themselves submit into the group.  The first exception
@@ -100,7 +129,13 @@ private:
     struct WorkerQueue {
         std::mutex mutex;
         std::deque<std::function<void()>> tasks;
+        /// Time this worker spent executing tasks, in nanoseconds
+        /// (alignas keeps the hot counter off the mutex cache line).
+        alignas(64) std::atomic<std::uint64_t> busy_ns{0};
     };
+
+    /// Where a popped task came from, for the steal counter.
+    enum class TaskSource : std::uint8_t { Own, Injected, Stolen };
 
     [[nodiscard]] std::size_t effective_lanes(std::size_t total,
                                               std::size_t max_workers) const;
@@ -114,13 +149,24 @@ private:
     bool try_execute_one();
 
     void worker_loop(std::size_t index);
-    bool pop_task(std::size_t self, std::function<void()>& out);
+    bool pop_task(std::size_t self, std::function<void()>& out,
+                  TaskSource& source);
+
+    /// Runs `task`, charging its wall time to worker `self` (or the
+    /// helper bucket when the caller is not a pool worker).
+    void run_task(std::size_t self, const std::function<void()>& task);
 
     std::vector<std::unique_ptr<WorkerQueue>> queues_;
     std::vector<std::thread> workers_;
 
     std::mutex inject_mutex_;
     std::deque<std::function<void()>> inject_;
+
+    std::atomic<std::uint64_t> tasks_executed_{0};
+    std::atomic<std::uint64_t> tasks_stolen_{0};
+    std::atomic<std::uint64_t> tasks_injected_{0};
+    std::atomic<std::uint64_t> max_inject_depth_{0};
+    std::atomic<std::uint64_t> helper_busy_ns_{0};
 
     std::mutex sleep_mutex_;
     std::condition_variable work_cv_;

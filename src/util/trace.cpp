@@ -1,0 +1,153 @@
+#include "util/trace.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+
+#include "util/json.hpp"
+#include "util/log.hpp"
+
+namespace fastmon {
+
+namespace {
+
+std::uint64_t steady_ns() {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+std::atomic<std::uint32_t> g_next_thread_id{0};
+
+std::uint32_t this_thread_id() {
+    thread_local const std::uint32_t id =
+        g_next_thread_id.fetch_add(1, std::memory_order_relaxed);
+    return id;
+}
+
+void write_at_exit() {
+    Tracer& t = Tracer::global();
+    const std::string path = t.output_path();
+    if (path.empty() || t.num_events() == 0) return;
+    if (t.write(path)) {
+        log_info() << "trace: wrote " << t.num_events() << " events to "
+                   << path;
+    } else {
+        log_warn() << "trace: failed to write " << path;
+    }
+}
+
+}  // namespace
+
+Tracer::Tracer() : epoch_ns_(steady_ns()) {
+    if (const char* env = std::getenv("FASTMON_TRACE");
+        env != nullptr && *env != '\0') {
+        output_path_ = env;
+        enabled_.store(true, std::memory_order_relaxed);
+        std::atexit(write_at_exit);
+    }
+}
+
+Tracer::~Tracer() = default;
+
+Tracer& Tracer::global() {
+    // Leaked singleton: spans may end during static destruction of
+    // other objects, which must not observe a destroyed tracer.  The
+    // exit-time file write runs via atexit instead.
+    static Tracer* instance = new Tracer();
+    return *instance;
+}
+
+void Tracer::start() { enabled_.store(true, std::memory_order_relaxed); }
+
+void Tracer::stop() { enabled_.store(false, std::memory_order_relaxed); }
+
+void Tracer::clear() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    events_.clear();
+}
+
+std::uint64_t Tracer::now_ns() const { return steady_ns() - epoch_ns_; }
+
+std::uint32_t Tracer::thread_id() { return this_thread_id(); }
+
+void Tracer::record(std::string name, const char* category,
+                    std::uint64_t start_ns, std::uint64_t duration_ns) {
+    if (!enabled()) return;
+    TraceEvent e;
+    e.name = std::move(name);
+    e.category = category;
+    e.start_ns = start_ns;
+    e.duration_ns = duration_ns;
+    e.thread_id = this_thread_id();
+    const std::lock_guard<std::mutex> lock(mutex_);
+    events_.push_back(std::move(e));
+}
+
+void Tracer::counter(std::string name, double value) {
+    if (!enabled()) return;
+    TraceEvent e;
+    e.name = std::move(name);
+    e.category = "counter";
+    e.start_ns = now_ns();
+    e.thread_id = this_thread_id();
+    e.counter_value = value;
+    e.is_counter = true;
+    const std::lock_guard<std::mutex> lock(mutex_);
+    events_.push_back(std::move(e));
+}
+
+std::size_t Tracer::num_events() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return events_.size();
+}
+
+Json Tracer::to_json() const {
+    Json trace_events = Json::array();
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        for (const TraceEvent& e : events_) {
+            Json ev = Json::object();
+            ev.set("name", e.name);
+            ev.set("cat", e.category);
+            ev.set("pid", 1);
+            ev.set("tid", static_cast<std::uint64_t>(e.thread_id));
+            // The trace-event format uses microsecond timestamps.
+            ev.set("ts", static_cast<double>(e.start_ns) * 1e-3);
+            if (e.is_counter) {
+                ev.set("ph", "C");
+                Json args = Json::object();
+                args.set("value", e.counter_value);
+                ev.set("args", std::move(args));
+            } else {
+                ev.set("ph", "X");
+                ev.set("dur", static_cast<double>(e.duration_ns) * 1e-3);
+            }
+            trace_events.push_back(std::move(ev));
+        }
+    }
+    Json doc = Json::object();
+    doc.set("traceEvents", std::move(trace_events));
+    doc.set("displayTimeUnit", "ms");
+    return doc;
+}
+
+bool Tracer::write(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) return false;
+    out << to_json().dump(1) << '\n';
+    return static_cast<bool>(out);
+}
+
+void Tracer::set_output_path(std::string path) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    output_path_ = std::move(path);
+}
+
+std::string Tracer::output_path() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return output_path_;
+}
+
+}  // namespace fastmon

@@ -1,0 +1,128 @@
+// Flow-wide tracing with RAII spans, exported as Chrome trace-event
+// JSON (loadable in chrome://tracing or https://ui.perfetto.dev).
+//
+// Every phase of the HDF pipeline (STA, ATPG, fault simulation chunks,
+// discretization, both ILP steps) opens a TraceSpan; spans nest freely
+// and may be created from any thread (worker lanes get stable small
+// thread ids).  When tracing is disabled — the default — constructing
+// a span costs one relaxed atomic load, so instrumentation can stay in
+// hot paths permanently.
+//
+// Enable either programmatically (Tracer::global().start()) or by
+// setting FASTMON_TRACE=<path>: collection starts at first use and the
+// file is written at process exit (or at an explicit write()).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace fastmon {
+
+class Json;
+
+/// One completed span ("ph":"X" in the trace-event format) or counter
+/// sample ("ph":"C").
+struct TraceEvent {
+    std::string name;
+    std::string category;
+    std::uint64_t start_ns = 0;  ///< since tracer epoch
+    std::uint64_t duration_ns = 0;
+    std::uint32_t thread_id = 0;
+    double counter_value = 0.0;
+    bool is_counter = false;
+};
+
+class Tracer {
+public:
+    /// Process-wide tracer; reads $FASTMON_TRACE on first access.
+    static Tracer& global();
+
+    /// True while events are being collected.  Hot paths gate on this
+    /// (relaxed load) before doing any work.
+    [[nodiscard]] bool enabled() const {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    void start();
+    void stop();
+    void clear();
+
+    /// Nanoseconds since the tracer epoch (process start).
+    [[nodiscard]] std::uint64_t now_ns() const;
+
+    /// Small stable id of the calling thread (0 = first thread seen).
+    [[nodiscard]] static std::uint32_t thread_id();
+
+    /// Records a completed span; called by ~TraceSpan.
+    void record(std::string name, const char* category,
+                std::uint64_t start_ns, std::uint64_t duration_ns);
+
+    /// Records an instantaneous counter sample (rendered as a track).
+    void counter(std::string name, double value);
+
+    [[nodiscard]] std::size_t num_events() const;
+
+    /// Events as a Chrome trace-event JSON document.
+    [[nodiscard]] Json to_json() const;
+
+    /// Writes to_json() to `path`; returns false on I/O failure.
+    bool write(const std::string& path) const;
+
+    /// Path written at process exit (empty = none); set from
+    /// $FASTMON_TRACE or explicitly.
+    void set_output_path(std::string path);
+    [[nodiscard]] std::string output_path() const;
+
+private:
+    Tracer();
+    ~Tracer();
+    Tracer(const Tracer&) = delete;
+    Tracer& operator=(const Tracer&) = delete;
+
+    std::atomic<bool> enabled_{false};
+    std::uint64_t epoch_ns_ = 0;  ///< steady_clock at construction
+    mutable std::mutex mutex_;
+    std::vector<TraceEvent> events_;
+    std::string output_path_;
+};
+
+/// RAII span: measures construction-to-destruction (or end()) and
+/// records it into Tracer::global().  `name` is copied only when
+/// tracing is enabled at construction.
+class TraceSpan {
+public:
+    explicit TraceSpan(const char* name, const char* category = "flow")
+        : category_(category) {
+        Tracer& t = Tracer::global();
+        if (t.enabled()) {
+            name_ = name;
+            start_ns_ = t.now_ns();
+            active_ = true;
+        }
+    }
+
+    TraceSpan(const TraceSpan&) = delete;
+    TraceSpan& operator=(const TraceSpan&) = delete;
+
+    ~TraceSpan() { end(); }
+
+    /// Ends the span early (idempotent).
+    void end() {
+        if (!active_) return;
+        active_ = false;
+        Tracer& t = Tracer::global();
+        t.record(std::move(name_), category_, start_ns_,
+                 t.now_ns() - start_ns_);
+    }
+
+private:
+    std::string name_;
+    const char* category_;
+    std::uint64_t start_ns_ = 0;
+    bool active_ = false;
+};
+
+}  // namespace fastmon

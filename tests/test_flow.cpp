@@ -50,6 +50,40 @@ TEST(HdfFlow, S27EndToEnd) {
     }
 }
 
+TEST(HdfFlow, PhasesAndManifestCoverTheRun) {
+    const Netlist nl = make_s27();
+    HdfFlow flow(nl, small_config());
+    const HdfFlowResult r = flow.run();
+
+    // Every flow phase is recorded, in execution order.
+    const std::vector<std::string> expected{
+        "sta",         "monitor_placement",    "atpg",
+        "classify",    "fault_sim_pass_a",     "shifting",
+        "table1",      "freq_select",          "fault_sim_pass_b",
+        "pattern_config_select",               "coverage_rows"};
+    ASSERT_EQ(r.phases.size(), expected.size());
+    double phase_wall = 0.0;
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+        EXPECT_EQ(r.phases[i].name, expected[i]);
+        EXPECT_GE(r.phases[i].wall_seconds, 0.0);
+        phase_wall += r.phases[i].wall_seconds;
+    }
+    EXPECT_GT(r.total_wall_seconds, 0.0);
+    // Phases are parts of the run: their sum cannot exceed the total.
+    EXPECT_LE(phase_wall, r.total_wall_seconds * 1.001);
+
+    const RunManifest m = flow.manifest(r);
+    EXPECT_EQ(m.phases().size(), expected.size());
+    ASSERT_NE(m.circuit().find("name"), nullptr);
+    EXPECT_EQ(m.circuit().find("name")->as_string(), "s27");
+    ASSERT_NE(m.config().find("seed"), nullptr);
+    EXPECT_NE(m.metrics().find("detection"), nullptr);
+    // The manifest document round-trips through JSON.
+    const auto back = RunManifest::from_json(m.to_json());
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, m);
+}
+
 TEST(HdfFlow, CoverageCurveIsMonotone) {
     GeneratorConfig gc;
     gc.name = "flow_gen";
@@ -164,10 +198,15 @@ TEST(Report, TablesRenderWithoutCrashing) {
     print_table3(os, rows);
     const std::vector<double> factors{1.0, 2.0, 3.0};
     print_fig3(os, flow.coverage_curve(factors));
+    print_engine_counters(os, rows);
+    print_phase_table(os, rows.front());
     const std::string out = os.str();
     EXPECT_NE(out.find("s27"), std::string::npos);
     EXPECT_NE(out.find("Phi_tar"), std::string::npos);
     EXPECT_NE(out.find("fmax/fnom"), std::string::npos);
+    EXPECT_NE(out.find("pairs_total"), std::string::npos);
+    EXPECT_NE(out.find("fault_sim_pass_a"), std::string::npos);
+    EXPECT_NE(out.find("total (wall)"), std::string::npos);
 }
 
 }  // namespace

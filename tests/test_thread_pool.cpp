@@ -7,6 +7,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "util/metrics.hpp"
+
 namespace fastmon {
 namespace {
 
@@ -124,6 +126,37 @@ TEST(ThreadPool, ParallelChunksEmptyAndSingle) {
         ++calls;
     });
     EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, StatsCountExecutedTasks) {
+    ThreadPool pool(4);
+    constexpr int kTasks = 300;
+    std::atomic<int> ran{0};
+    ThreadPool::TaskGroup group(pool);
+    for (int i = 0; i < kTasks; ++i) {
+        group.run([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+    }
+    group.wait();
+    const ThreadPool::Stats stats = pool.stats();
+    EXPECT_EQ(stats.tasks_executed, static_cast<std::uint64_t>(kTasks));
+    // All tasks came through the injection queue (caller is external).
+    EXPECT_EQ(stats.tasks_injected, static_cast<std::uint64_t>(kTasks));
+    EXPECT_EQ(stats.worker_busy_seconds.size(), pool.size());
+    EXPECT_GE(stats.total_busy_seconds(), 0.0);
+}
+
+TEST(ThreadPool, PublishMetricsFillsPoolGauges) {
+    ThreadPool pool(2);
+    ThreadPool::TaskGroup group(pool);
+    for (int i = 0; i < 50; ++i) {
+        group.run([] {});
+    }
+    group.wait();
+    MetricsRegistry reg;
+    pool.publish_metrics(reg);
+    EXPECT_DOUBLE_EQ(reg.gauge("pool.workers").value(), 2.0);
+    EXPECT_DOUBLE_EQ(reg.gauge("pool.tasks_executed").value(), 50.0);
+    EXPECT_EQ(reg.histogram("pool.worker_busy_seconds").count(), 2u);
 }
 
 TEST(ThreadPool, SharedPoolIsSingleton) {
