@@ -8,6 +8,8 @@
 #include <map>
 #include <sstream>
 
+#include "util/atomic_file.hpp"
+#include "util/cancel.hpp"
 #include "util/json.hpp"
 #include "util/log.hpp"
 #include "util/metrics.hpp"
@@ -31,6 +33,10 @@ bool env_flag(const char* name) {
 }  // namespace
 
 BenchSettings BenchSettings::from_env() {
+    // Every bench is interruptible: Ctrl-C (or FASTMON_DEADLINE, armed
+    // by the token's first access) requests cooperative cancellation,
+    // and the flow flushes a manifest snapshot at each phase boundary.
+    CancelToken::global().install_signal_handlers();
     BenchSettings s;
     s.fast = env_flag("FASTMON_FAST");
     if (s.fast) {
@@ -79,6 +85,9 @@ HdfFlowConfig bench_flow_config(const BenchSettings& settings,
     config.atpg.max_random_batches = settings.fast ? 40 : 150;
     config.solver.time_limit_sec = settings.fast ? 2.0 : 10.0;
     config.solver.max_nodes = settings.fast ? 20000 : 200000;
+    // Phase-boundary manifest snapshots (atomic replace), so a run
+    // killed mid-flow still leaves a well-formed BENCH_manifest.json.
+    config.manifest_path = "BENCH_manifest.json";
     return config;
 }
 
@@ -257,13 +266,28 @@ std::vector<HdfFlowResult> run_all_profiles(const BenchSettings& settings) {
         const Netlist netlist =
             generate_circuit(profile_config(profile, scale));
         HdfFlow flow(netlist, bench_flow_config(settings, profile));
-        HdfFlowResult r = flow.run();
+        HdfFlowResult r;
+        try {
+            r = flow.run();
+        } catch (const FlowError& e) {
+            // An essential phase died; the phase-boundary snapshot
+            // (with its "failed" phase entry) is already on disk.
+            std::cerr << "[flow] " << profile.name << " FAILED: "
+                      << e.what() << '\n';
+            RunManifest failed;
+            failed.set_circuit("name", Json(profile.name));
+            failed.set_status(flow.status().to_json("failed"));
+            failed.write("BENCH_manifest.json");
+            if (CancelToken::global().cancelled()) break;
+            continue;
+        }
         const double secs =
             std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                           start)
                 .count();
         std::cerr << "[flow] " << profile.name << " (scale "
-                  << scale << ") done in " << secs << " s\n";
+                  << scale << ") done in " << secs << " s"
+                  << (r.status.complete() ? "" : " (degraded)") << '\n';
         // Flow-level run manifest (config, circuit, per-phase times,
         // metrics snapshot); successive profiles overwrite, so the file
         // describes the last fresh run.
@@ -273,9 +297,20 @@ std::vector<HdfFlowResult> run_all_profiles(const BenchSettings& settings) {
         } else {
             std::cerr << "[artifact] FAILED to write BENCH_manifest.json\n";
         }
-        std::ofstream out(cache_file);
-        out << serialize_result(r);
+        // Never cache a degraded result: the next (uncancelled) run
+        // must recompute it in full.
+        if (r.status.complete()) {
+            std::ofstream out(cache_file);
+            out << serialize_result(r);
+        }
+        const bool stop = CancelToken::global().cancelled();
         results.push_back(std::move(r));
+        if (stop) {
+            std::cerr << "[flow] cancelled ("
+                      << cancel_cause_name(CancelToken::global().cause())
+                      << "); skipping remaining profiles\n";
+            break;
+        }
     }
     return results;
 }
@@ -298,9 +333,7 @@ void write_detection_json(const std::string& path,
         rows.push_back(std::move(row));
     }
     doc.set("entries", std::move(rows));
-    std::ofstream out(path);
-    out << doc.dump(2) << '\n';
-    if (!out) {
+    if (!atomic_write_file(path, doc.dump(2) + '\n')) {
         std::cerr << "[artifact] FAILED to write " << path << '\n';
         return;
     }
@@ -311,7 +344,8 @@ void write_bench_manifest(const std::string& path,
                           const std::string& bench_name,
                           const BenchSettings& settings,
                           std::span<const PhaseTime> phases,
-                          double total_wall_seconds) {
+                          double total_wall_seconds,
+                          const FlowStatus* flow_status) {
     RunManifest m;
     m.set_config("bench", Json(bench_name));
     m.set_config("max_gates", Json(settings.max_gates));
@@ -319,6 +353,16 @@ void write_bench_manifest(const std::string& path,
     m.set_config("fast", Json(settings.fast));
     for (const PhaseTime& p : phases) m.add_phase(p);
     m.set_total_wall_seconds(total_wall_seconds);
+    // Status block: per-phase outcomes when the caller hands over its
+    // flow status, process-level cancellation either way.
+    const CancelToken& cancel = CancelToken::global();
+    FlowStatus status;
+    if (flow_status != nullptr) status = *flow_status;
+    status.cancelled = status.cancelled || cancel.cancelled();
+    if (status.cancel_cause == CancelCause::None) {
+        status.cancel_cause = cancel.cause();
+    }
+    m.set_status(status.to_json());
     MetricsRegistry& reg = MetricsRegistry::global();
     ThreadPool::shared().publish_metrics(reg);
     m.set_metrics(reg.to_json());

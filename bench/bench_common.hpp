@@ -71,10 +71,14 @@ void write_detection_json(const std::string& path,
 /// settings as the config block, the given phase times, and a snapshot
 /// of the global metrics registry (shared-pool stats included).
 /// bench/run_bench.sh refuses to pass without this file parsing.
+/// `flow_status`, when given, carries the per-phase outcomes of the
+/// underlying flow; otherwise only process-level cancellation is
+/// recorded.
 void write_bench_manifest(const std::string& path,
                           const std::string& bench_name,
                           const BenchSettings& settings,
                           std::span<const PhaseTime> phases,
-                          double total_wall_seconds);
+                          double total_wall_seconds,
+                          const FlowStatus* flow_status = nullptr);
 
 }  // namespace fastmon::bench

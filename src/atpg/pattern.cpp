@@ -4,6 +4,9 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/diagnostic.hpp"
+#include "util/fault_inject.hpp"
+
 namespace fastmon {
 
 void write_patterns(std::ostream& os, const TestSet& set) {
@@ -22,6 +25,11 @@ std::string write_patterns_string(const TestSet& set) {
 }
 
 TestSet read_patterns(std::istream& is, std::size_t num_sources) {
+    FaultInjector::global().fire("parser.pattern");
+    const auto fail = [](std::size_t line_no, const std::string& msg,
+                         const std::string& excerpt) -> void {
+        throw Diagnostic("pattern", "", line_no, 0, msg, excerpt);
+    };
     TestSet set;
     std::string line;
     std::size_t line_no = 0;
@@ -33,23 +41,23 @@ TestSet read_patterns(std::istream& is, std::size_t num_sources) {
         std::string b;
         if (!(ls >> a >> b) || a.size() != num_sources ||
             b.size() != num_sources) {
-            throw std::runtime_error("pattern parse error at line " +
-                                     std::to_string(line_no));
+            fail(line_no,
+                 "expected two vectors of " + std::to_string(num_sources) +
+                     " bits",
+                 line);
         }
         PatternPair p;
         p.v1.reserve(num_sources);
         p.v2.reserve(num_sources);
         for (char c : a) {
             if (c != '0' && c != '1') {
-                throw std::runtime_error("invalid bit at line " +
-                                         std::to_string(line_no));
+                fail(line_no, "invalid bit", line);
             }
             p.v1.push_back(c == '1' ? 1 : 0);
         }
         for (char c : b) {
             if (c != '0' && c != '1') {
-                throw std::runtime_error("invalid bit at line " +
-                                         std::to_string(line_no));
+                fail(line_no, "invalid bit", line);
             }
             p.v2.push_back(c == '1' ? 1 : 0);
         }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/cancel.hpp"
 #include "util/log.hpp"
 #include "util/metrics.hpp"
 #include "util/prng.hpp"
@@ -73,9 +74,14 @@ AtpgResult generate_tdf_tests(const Netlist& netlist,
     TraceSpan random_span("atpg_random", "atpg");
     std::size_t idle = 0;
     std::size_t random_batches = 0;
+    const CancelToken& cancel = CancelToken::global();
     for (std::size_t batch_no = 0;
          batch_no < config.max_random_batches && idle < config.max_idle_batches;
          ++batch_no) {
+        if (cancel.cancelled()) {
+            result.interrupted = true;
+            break;
+        }
         ++random_batches;
         std::vector<PatternPair> cand;
         cand.reserve(64);
@@ -110,10 +116,16 @@ AtpgResult generate_tdf_tests(const Netlist& netlist,
 
     // --- Phase 2: deterministic PODEM ---------------------------------
     TraceSpan podem_span("atpg_podem", "atpg");
-    if (config.deterministic_phase) {
+    if (config.deterministic_phase && !result.interrupted) {
         const Podem podem(netlist, config.podem_backtrack_limit);
         std::size_t targeted = 0;
         for (std::size_t fi = 0; fi < faults.size(); ++fi) {
+            if (cancel.cancelled()) {
+                // Patterns found so far still get compacted below; the
+                // partial test set is a usable degraded result.
+                result.interrupted = true;
+                break;
+            }
             if (detected[fi]) continue;
             if (config.max_podem_faults != 0 &&
                 targeted >= config.max_podem_faults) {

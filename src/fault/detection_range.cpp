@@ -6,6 +6,8 @@
 #include <mutex>
 
 #include "sim/logic_sim.hpp"
+#include "util/cancel.hpp"
+#include "util/fault_inject.hpp"
 #include "util/trace.hpp"
 
 namespace fastmon {
@@ -19,6 +21,16 @@ std::uint64_t ns_since(Clock::time_point start) {
         std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
                                                              start)
             .count());
+}
+
+/// Pattern-boundary cancellation poll shared by both passes.  The
+/// `cancel.fault_sim_mid` injection point converts into an organic
+/// cancellation request so the exact same degradation path is tested.
+bool cancel_requested() {
+    if (FaultInjector::global().trip("cancel.fault_sim_mid")) {
+        CancelToken::global().cancel(CancelCause::Test);
+    }
+    return CancelToken::global().cancelled();
 }
 
 /// Freelist of per-worker fault-simulation scratches for one pass; the
@@ -235,6 +247,12 @@ std::vector<FaultRanges> DetectionAnalyzer::analyze(
         std::uint64_t simulated = 0;
         std::uint64_t detected = 0;
         for (std::size_t fi = begin; fi < end; ++fi) {
+            if (CancelToken::global().cancelled()) {
+                // Faults not reached keep empty ranges; the analyzer
+                // reports interrupted() so callers scale accordingly.
+                interrupted_.store(true, std::memory_order_relaxed);
+                break;
+            }
             if (!screen.may_toggle(site_signal[fi], pi)) {
                 ++screened;
                 continue;
@@ -263,6 +281,10 @@ std::vector<FaultRanges> DetectionAnalyzer::analyze(
     ThreadPool* tp = pool();
     if (tp == nullptr) {
         for (std::uint32_t pi : active_pats) {
+            if (cancel_requested()) {
+                interrupted_.store(true, std::memory_order_relaxed);
+                break;
+            }
             const auto t0 = Clock::now();
             const PatternPair& p = patterns_[pi];
             const std::vector<Waveform> good =
@@ -298,6 +320,12 @@ std::vector<FaultRanges> DetectionAnalyzer::analyze(
             }
         };
         for (std::size_t idx = 0; idx < active_pats.size(); ++idx) {
+            if (cancel_requested()) {
+                // Already-submitted producer groups drain through their
+                // destructors; no slot is consumed after this point.
+                interrupted_.store(true, std::memory_order_relaxed);
+                break;
+            }
             submit_until(std::min(active_pats.size(), idx + lookahead));
             producers[idx]->wait();
             const std::vector<Waveform>& good = slots[idx];
@@ -354,6 +382,10 @@ std::vector<DetectionEntry> DetectionAnalyzer::detection_table(
         const auto& flist = by_pattern[pi];
         std::vector<DetectionEntry> local;
         for (std::size_t k = begin; k < end; ++k) {
+            if (CancelToken::global().cancelled()) {
+                interrupted_.store(true, std::memory_order_relaxed);
+                break;
+            }
             const std::uint32_t fi = flist[k];
             const PairRanges pr =
                 ranges_for_pattern(fsim, faults[fi], good, *scratch);
@@ -380,6 +412,10 @@ std::vector<DetectionEntry> DetectionAnalyzer::detection_table(
     ThreadPool* tp = pool();
     if (tp == nullptr) {
         for (std::uint32_t pi : active_pats) {
+            if (cancel_requested()) {
+                interrupted_.store(true, std::memory_order_relaxed);
+                break;
+            }
             const auto t0 = Clock::now();
             const PatternPair& p = patterns_[pi];
             const std::vector<Waveform> good =
@@ -412,6 +448,10 @@ std::vector<DetectionEntry> DetectionAnalyzer::detection_table(
             }
         };
         for (std::size_t idx = 0; idx < active_pats.size(); ++idx) {
+            if (cancel_requested()) {
+                interrupted_.store(true, std::memory_order_relaxed);
+                break;
+            }
             submit_until(std::min(active_pats.size(), idx + lookahead));
             producers[idx]->wait();
             const std::vector<Waveform>& good = slots[idx];

@@ -171,6 +171,14 @@ public:
     /// detection_table() call on this analyzer.
     [[nodiscard]] DetectionCounters counters() const;
 
+    /// True when any pass on this analyzer stopped early on a
+    /// cancellation request; the returned ranges/entries then cover the
+    /// (fault, pattern) pairs processed before the stop.  Kept off
+    /// DetectionCounters so the bench cache format stays stable.
+    [[nodiscard]] bool interrupted() const {
+        return interrupted_.load(std::memory_order_relaxed);
+    }
+
 private:
     /// FF/SR interval pair for one fault under one pattern.
     struct PairRanges {
@@ -206,6 +214,7 @@ private:
     ConeCache cones_;
     std::unique_ptr<ThreadPool> owned_pool_;  ///< only when num_threads >= 2
     mutable Atomics stats_;
+    mutable std::atomic<bool> interrupted_{false};
 };
 
 }  // namespace fastmon

@@ -1,0 +1,56 @@
+#include "flow/flow_status.hpp"
+
+namespace fastmon {
+
+const char* phase_outcome_name(PhaseOutcome outcome) {
+    switch (outcome) {
+        case PhaseOutcome::Ok: return "ok";
+        case PhaseOutcome::Degraded: return "degraded";
+        case PhaseOutcome::Skipped: return "skipped";
+        case PhaseOutcome::Failed: return "failed";
+    }
+    return "unknown";
+}
+
+bool FlowStatus::complete() const {
+    if (cancelled) return false;
+    for (const PhaseStatus& p : phases) {
+        if (p.outcome != PhaseOutcome::Ok) return false;
+    }
+    return true;
+}
+
+const char* FlowStatus::overall() const {
+    return complete() ? "ok" : "degraded";
+}
+
+const PhaseStatus* FlowStatus::find(const std::string& name) const {
+    for (const PhaseStatus& p : phases) {
+        if (p.name == name) return &p;
+    }
+    return nullptr;
+}
+
+Json FlowStatus::to_json(const char* outcome_override) const {
+    Json doc = Json::object();
+    doc.set("outcome",
+            outcome_override != nullptr ? outcome_override : overall());
+    doc.set("cancelled", cancelled);
+    doc.set("cancel_cause", cancel_cause_name(cancel_cause));
+    Json list = Json::array();
+    for (const PhaseStatus& p : phases) {
+        Json j = Json::object();
+        j.set("name", p.name);
+        j.set("outcome", phase_outcome_name(p.outcome));
+        j.set("detail", p.detail);
+        list.push_back(std::move(j));
+    }
+    doc.set("phases", std::move(list));
+    return doc;
+}
+
+FlowError::FlowError(std::string phase, const std::string& message)
+    : std::runtime_error("flow phase '" + phase + "' failed: " + message),
+      phase_(std::move(phase)) {}
+
+}  // namespace fastmon

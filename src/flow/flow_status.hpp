@@ -1,0 +1,81 @@
+// Structured per-phase flow status: the machinery behind graceful
+// degradation.
+//
+// Every HdfFlow phase finishes with a PhaseStatus instead of either
+// silently succeeding or tearing the whole flow down with a bare
+// exception.  Essential phases (STA, monitor placement, fault
+// classification) still abort the flow — but through a typed FlowError
+// that names the phase — while every other phase records a Degraded /
+// Skipped / Failed outcome and lets the flow continue on partial data.
+// The accumulated FlowStatus becomes the manifest's "status" block, so
+// a run killed by FASTMON_DEADLINE or SIGINT leaves an honest record of
+// exactly which phases completed.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/cancel.hpp"
+#include "util/json.hpp"
+
+namespace fastmon {
+
+enum class PhaseOutcome : std::uint8_t {
+    Ok = 0,    ///< ran to completion on full inputs
+    Degraded,  ///< ran, but on partial inputs or with a fallback method
+    Skipped,   ///< never ran (dependency failed or flow cancelled)
+    Failed,    ///< threw; flow continued with defaults (non-essential)
+};
+
+/// Lower-case name ("ok", "degraded", "skipped", "failed").
+[[nodiscard]] const char* phase_outcome_name(PhaseOutcome outcome);
+
+/// Outcome of one named flow phase.
+struct PhaseStatus {
+    std::string name;
+    PhaseOutcome outcome = PhaseOutcome::Ok;
+    std::string detail;  ///< empty for Ok; reason otherwise
+
+    friend bool operator==(const PhaseStatus&, const PhaseStatus&) = default;
+};
+
+/// Accumulated status of a whole flow run (prepare() + run()).
+struct FlowStatus {
+    std::vector<PhaseStatus> phases;
+    bool cancelled = false;
+    CancelCause cancel_cause = CancelCause::None;
+
+    /// True when every phase ran to completion and nothing was
+    /// cancelled — the result is the full, undegraded computation.
+    [[nodiscard]] bool complete() const;
+
+    /// "ok" when complete(), else "degraded".  (A run that died on an
+    /// essential phase never produces a FlowStatus; the caller writes
+    /// "failed" from its FlowError handler.)
+    [[nodiscard]] const char* overall() const;
+
+    [[nodiscard]] const PhaseStatus* find(const std::string& name) const;
+
+    /// Manifest "status" block:
+    ///   { "outcome": "ok|degraded|failed|running",
+    ///     "cancelled": bool, "cancel_cause": "none|deadline|signal|test",
+    ///     "phases": [ { "name", "outcome", "detail" }, ... ] }
+    /// `outcome_override` (e.g. "running" for phase-boundary flushes or
+    /// "failed" from an error handler) replaces overall() when non-null.
+    [[nodiscard]] Json to_json(const char* outcome_override = nullptr) const;
+};
+
+/// An essential flow phase failed; the flow cannot produce even a
+/// degraded result.  Carries the phase name so error handlers can
+/// record it in the manifest status block.
+class FlowError : public std::runtime_error {
+public:
+    FlowError(std::string phase, const std::string& message);
+    [[nodiscard]] const std::string& phase() const noexcept { return phase_; }
+
+private:
+    std::string phase_;
+};
+
+}  // namespace fastmon

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -21,6 +22,7 @@
 #include "atpg/tdf_atpg.hpp"
 #include "fault/classify.hpp"
 #include "fault/detection_range.hpp"
+#include "flow/flow_status.hpp"
 #include "monitor/placement.hpp"
 #include "monitor/shifting.hpp"
 #include "schedule/pattern_config_select.hpp"
@@ -55,6 +57,10 @@ struct HdfFlowConfig {
     /// Simulation lanes of the detection engine: 0 = one per hardware
     /// thread (shared pool), 1 = serial, n >= 2 = dedicated pool.
     std::size_t num_threads = 0;
+    /// When non-empty, the flow atomically rewrites a manifest snapshot
+    /// at this path after every phase, so a run killed by a deadline or
+    /// signal always leaves the last complete snapshot behind.
+    std::string manifest_path;
 };
 
 /// One point of the Fig. 3 coverage-versus-f_max curve.
@@ -116,11 +122,16 @@ struct HdfFlowResult {
     std::vector<PhaseTime> phases;
     /// Wall clock of prepare() + run() together.
     double total_wall_seconds = 0.0;
+    /// Per-phase outcomes and cancellation record.  status.complete()
+    /// distinguishes a full run from a degraded (partial) one.
+    FlowStatus status;
 };
 
 class HdfFlow {
 public:
     HdfFlow(const Netlist& netlist, HdfFlowConfig config);
+    /// The flow keeps a pointer to `netlist`; a temporary would dangle.
+    HdfFlow(Netlist&& netlist, HdfFlowConfig config) = delete;
 
     /// Heavy phase: STA, monitor placement, ATPG (unless a test set was
     /// supplied), fault universe + structural classification, pass-A
@@ -161,6 +172,8 @@ public:
     [[nodiscard]] const DetectionCounters& detection_counters() const {
         return detect_counters_;
     }
+    /// Per-phase outcomes recorded so far (prepare() + run()).
+    [[nodiscard]] const FlowStatus& status() const { return status_; }
 
     /// Assembles the run manifest for a finished run(): tool/git info,
     /// flow config, circuit statistics, per-phase times, and a snapshot
@@ -170,6 +183,26 @@ public:
 
 private:
     [[nodiscard]] Interval window_for(double fmax_factor) const;
+
+    /// Runs one flow phase under the degradation policy: the phase body
+    /// may mark its own status Degraded; thrown CancelledError degrades,
+    /// any other exception fails the phase — fatally (FlowError) when
+    /// `essential`, recorded-and-continued otherwise.  Returns false when
+    /// the phase did not complete Ok/Degraded (callers skip dependents).
+    bool guarded_phase(std::vector<PhaseTime>& times, const char* name,
+                       bool essential,
+                       const std::function<void(PhaseStatus&)>& body);
+    /// Records a phase that never ran because a dependency failed.
+    void skip_phase(const char* name, std::string reason);
+    /// Appends to status_ and flushes the manifest snapshot.
+    void record_status(PhaseStatus st);
+    /// Latches the global cancellation cause into status_.
+    void note_cancelled();
+    /// Atomically rewrites config_.manifest_path (no-op when empty).
+    /// `outcome` overrides the status outcome ("running" mid-flow).
+    void flush_manifest(const char* outcome) const;
+    /// Config block shared by manifest() and the mid-flow snapshots.
+    void fill_config(RunManifest& m) const;
 
     const Netlist* netlist_;
     HdfFlowConfig config_;
@@ -189,6 +222,9 @@ private:
     DetectionCounters detect_counters_;
     std::vector<PhaseTime> phases_;       ///< recorded during prepare()
     double prepare_wall_seconds_ = 0.0;
+    FlowStatus status_;
+    /// run()'s phase-time list while run() is active, for snapshots.
+    std::vector<PhaseTime>* active_run_phases_ = nullptr;
 };
 
 }  // namespace fastmon

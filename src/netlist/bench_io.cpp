@@ -8,6 +8,9 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/diagnostic.hpp"
+#include "util/fault_inject.hpp"
+
 namespace fastmon {
 
 namespace {
@@ -41,21 +44,26 @@ std::optional<CellType> gate_type_from_name(const std::string& name) {
     return it->second;
 }
 
-[[noreturn]] void fail(std::size_t line_no, const std::string& msg) {
-    throw std::runtime_error("bench parse error, line " +
-                             std::to_string(line_no) + ": " + msg);
-}
-
 struct ParsedGate {
     std::string output;
     CellType type;
     std::vector<std::string> inputs;
     std::size_t line_no;
+    std::string raw;  ///< stripped source line, for diagnostics
 };
 
 }  // namespace
 
-Netlist read_bench(std::istream& is, std::string circuit_name) {
+Netlist read_bench(std::istream& is, std::string circuit_name,
+                   const std::string& file_path) {
+    FaultInjector::global().fire("parser.bench");
+    const auto fail = [&file_path](std::size_t line_no,
+                                   const std::string& msg,
+                                   const std::string& excerpt =
+                                       std::string()) -> void {
+        throw Diagnostic("bench", file_path, line_no, 0, msg, excerpt);
+    };
+
     std::vector<std::string> input_signals;
     std::vector<std::string> output_signals;
     std::vector<ParsedGate> parsed;
@@ -75,18 +83,19 @@ Netlist read_bench(std::istream& is, std::string circuit_name) {
         if (eq == std::string::npos) {
             // INPUT(sig) or OUTPUT(sig)
             if (open == std::string::npos || stripped.back() != ')') {
-                fail(line_no, "expected INPUT(...)/OUTPUT(...) or assignment");
+                fail(line_no, "expected INPUT(...)/OUTPUT(...) or assignment",
+                     stripped);
             }
             const std::string kw = upper(trim(stripped.substr(0, open)));
             const std::string sig =
                 trim(stripped.substr(open + 1, stripped.size() - open - 2));
-            if (sig.empty()) fail(line_no, "empty signal name");
+            if (sig.empty()) fail(line_no, "empty signal name", stripped);
             if (kw == "INPUT") {
                 input_signals.push_back(sig);
             } else if (kw == "OUTPUT") {
                 output_signals.push_back(sig);
             } else {
-                fail(line_no, "unknown directive: " + kw);
+                fail(line_no, "unknown directive: " + kw, stripped);
             }
             continue;
         }
@@ -96,22 +105,23 @@ Netlist read_bench(std::istream& is, std::string circuit_name) {
         const std::string rhs = trim(stripped.substr(eq + 1));
         const auto rhs_open = rhs.find('(');
         if (lhs.empty() || rhs_open == std::string::npos || rhs.back() != ')') {
-            fail(line_no, "malformed assignment");
+            fail(line_no, "malformed assignment", stripped);
         }
         const std::string gate_name = upper(trim(rhs.substr(0, rhs_open)));
         const auto type = gate_type_from_name(gate_name);
-        if (!type) fail(line_no, "unknown gate type: " + gate_name);
+        if (!type) fail(line_no, "unknown gate type: " + gate_name, stripped);
 
         std::vector<std::string> ins;
         std::string arg;
         std::istringstream args(rhs.substr(rhs_open + 1, rhs.size() - rhs_open - 2));
         while (std::getline(args, arg, ',')) {
             const std::string t = trim(arg);
-            if (t.empty()) fail(line_no, "empty fanin name");
+            if (t.empty()) fail(line_no, "empty fanin name", stripped);
             ins.push_back(t);
         }
-        if (ins.empty()) fail(line_no, "gate without fanins");
-        parsed.push_back(ParsedGate{lhs, *type, std::move(ins), line_no});
+        if (ins.empty()) fail(line_no, "gate without fanins", stripped);
+        parsed.push_back(
+            ParsedGate{lhs, *type, std::move(ins), line_no, stripped});
     }
 
     Netlist netlist(std::move(circuit_name));
@@ -129,7 +139,7 @@ Netlist read_bench(std::istream& is, std::string circuit_name) {
     for (std::size_t i = 0; i < parsed.size(); ++i) {
         const ParsedGate& pg = parsed[i];
         if (signals.contains(pg.output)) {
-            fail(pg.line_no, "signal defined twice: " + pg.output);
+            fail(pg.line_no, "signal defined twice: " + pg.output, pg.raw);
         }
         ids[i] = netlist.add_gate(pg.type, pg.output, {});
         signals.emplace(pg.output, ids[i]);
@@ -140,7 +150,7 @@ Netlist read_bench(std::istream& is, std::string circuit_name) {
         for (const std::string& in : pg.inputs) {
             auto it = signals.find(in);
             if (it == signals.end()) {
-                fail(pg.line_no, "undefined signal: " + in);
+                fail(pg.line_no, "undefined signal: " + in, pg.raw);
             }
             netlist.append_fanin(ids[i], it->second);
         }
@@ -158,14 +168,16 @@ Netlist read_bench(std::istream& is, std::string circuit_name) {
 
 Netlist read_bench_file(const std::string& path) {
     std::ifstream is(path);
-    if (!is) throw std::runtime_error("cannot open bench file: " + path);
+    if (!is) {
+        throw Diagnostic("bench", path, 0, 0, "cannot open file", "");
+    }
     // Circuit name: basename without extension.
     auto slash = path.find_last_of('/');
     std::string base = slash == std::string::npos ? path : path.substr(slash + 1);
     if (auto dot = base.find_last_of('.'); dot != std::string::npos) {
         base.erase(dot);
     }
-    return read_bench(is, base);
+    return read_bench(is, base, path);
 }
 
 Netlist read_bench_string(const std::string& text, std::string circuit_name) {

@@ -17,9 +17,11 @@
 
 namespace fastmon {
 
-/// Parses a .bench description.  Throws std::runtime_error with a
-/// line-numbered message on malformed input.
-Netlist read_bench(std::istream& is, std::string circuit_name);
+/// Parses a .bench description.  Throws Diagnostic (a
+/// std::runtime_error subclass carrying file/line/excerpt) on malformed
+/// input.  `file_path` only labels diagnostics and may be empty.
+Netlist read_bench(std::istream& is, std::string circuit_name,
+                   const std::string& file_path = {});
 Netlist read_bench_file(const std::string& path);
 Netlist read_bench_string(const std::string& text, std::string circuit_name);
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cctype>
+#include <charconv>
+#include <cstdlib>
 #include <fstream>
 #include <map>
 #include <optional>
@@ -9,13 +11,35 @@
 #include <stdexcept>
 #include <vector>
 
+#include "util/diagnostic.hpp"
+#include "util/fault_inject.hpp"
+
 namespace fastmon {
 
 namespace {
 
-[[noreturn]] void fail(std::size_t line, const std::string& msg) {
-    throw std::runtime_error("verilog parse error, line " +
-                             std::to_string(line) + ": " + msg);
+[[noreturn]] void fail(std::size_t line, const std::string& msg,
+                       const std::string& excerpt = {}) {
+    // The file name is attached by read_verilog_file, which re-throws
+    // with the path filled in.
+    throw Diagnostic("verilog", "", line, 0, msg, excerpt);
+}
+
+/// Widest bus a single declaration may expand to; beyond this the input
+/// is treated as malformed rather than a request for gigabytes of
+/// signal names.
+constexpr long kMaxBusWidth = 1 << 16;
+
+long parse_bus_index(std::string_view digits, std::size_t line,
+                     const std::string& range_text) {
+    long value = 0;
+    const char* begin = digits.data();
+    const char* end = digits.data() + digits.size();
+    const auto [ptr, ec] = std::from_chars(begin, end, value);
+    if (ec != std::errc{} || ptr != end || digits.empty()) {
+        fail(line, "malformed bus range " + range_text);
+    }
+    return value;
 }
 
 /// Strips // and /* */ comments, tracking line numbers per character.
@@ -147,9 +171,15 @@ std::vector<std::string> expand_decl(const std::vector<std::string>& tok,
         if (colon == std::string::npos || r.back() != ']') {
             fail(line, "malformed bus range " + r);
         }
-        range = std::make_pair(std::stol(r.substr(1, colon - 1)),
-                               std::stol(r.substr(colon + 1,
-                                                  r.size() - colon - 2)));
+        const std::string_view rv = r;
+        const long msb = parse_bus_index(rv.substr(1, colon - 1), line, r);
+        const long lsb =
+            parse_bus_index(rv.substr(colon + 1, r.size() - colon - 2),
+                            line, r);
+        if (std::abs(msb - lsb) >= kMaxBusWidth) {
+            fail(line, "bus range too wide: " + r);
+        }
+        range = std::make_pair(msb, lsb);
         ++i;
     }
     for (; i < tok.size(); ++i) {
@@ -171,6 +201,7 @@ std::vector<std::string> expand_decl(const std::vector<std::string>& tok,
 }  // namespace
 
 Netlist read_verilog(std::istream& is) {
+    FaultInjector::global().fire("parser.verilog");
     const Source src = strip_comments(is);
     const std::vector<Statement> stmts = split_statements(src);
 
@@ -299,8 +330,16 @@ Netlist read_verilog(std::istream& is) {
 
 Netlist read_verilog_file(const std::string& path) {
     std::ifstream is(path);
-    if (!is) throw std::runtime_error("cannot open verilog file: " + path);
-    return read_verilog(is);
+    if (!is) {
+        throw Diagnostic("verilog", path, 0, 0, "cannot open file", "");
+    }
+    try {
+        return read_verilog(is);
+    } catch (const Diagnostic& d) {
+        // Attach the path the stream-level parser cannot know.
+        throw Diagnostic(d.source(), path, d.line(), d.column(),
+                         d.message(), d.excerpt());
+    }
 }
 
 Netlist read_verilog_string(const std::string& text) {

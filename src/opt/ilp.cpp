@@ -5,6 +5,7 @@
 #include <cmath>
 #include <limits>
 
+#include "util/cancel.hpp"
 #include "util/metrics.hpp"
 #include "util/trace.hpp"
 
@@ -41,7 +42,10 @@ struct Search {
     }
 
     [[nodiscard]] bool out_of_budget() {
-        if (nodes > cfg.max_nodes || Clock::now() > deadline) {
+        if (nodes > cfg.max_nodes || Clock::now() > deadline ||
+            CancelToken::global().cancelled()) {
+            // Cancellation folds into budget exhaustion: the incumbent
+            // (if any) survives and the caller's fallback logic runs.
             budget_exhausted = true;
             return true;
         }

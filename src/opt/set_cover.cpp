@@ -6,6 +6,8 @@
 #include <map>
 #include <numeric>
 
+#include "util/cancel.hpp"
+#include "util/fault_inject.hpp"
 #include "util/metrics.hpp"
 #include "util/trace.hpp"
 
@@ -239,7 +241,10 @@ struct CoverSearch {
     }
 
     [[nodiscard]] bool out_of_budget() {
-        if (nodes > max_nodes || Clock::now() > deadline) {
+        if (nodes > max_nodes || Clock::now() > deadline ||
+            CancelToken::global().cancelled()) {
+            // A cancellation request counts as budget exhaustion: the
+            // search unwinds and the caller keeps the greedy incumbent.
             exhausted = true;
             return true;
         }
@@ -455,7 +460,14 @@ SetCoverResult solve_set_cover_impl(const SetCoverInstance& instance,
 SetCoverResult solve_set_cover(const SetCoverInstance& instance,
                                const SetCoverOptions& options) {
     const TraceSpan span("set_cover", "opt");
-    SetCoverResult result = solve_set_cover_impl(instance, options);
+    SetCoverOptions effective = options;
+    if (FaultInjector::global().trip("solver.budget")) {
+        // Injected budget exhaustion: zero the exact-search budget so
+        // the solver takes its organic greedy-fallback path.
+        effective.max_nodes = 0;
+        effective.time_limit_sec = 0.0;
+    }
+    SetCoverResult result = solve_set_cover_impl(instance, effective);
     MetricsRegistry& reg = MetricsRegistry::global();
     reg.counter("opt.set_cover.solves").add(1);
     reg.counter("opt.set_cover.nodes").add(result.nodes_explored);

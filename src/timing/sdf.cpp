@@ -1,10 +1,14 @@
 #include "timing/sdf.hpp"
 
+#include <charconv>
 #include <cstdio>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
 #include <vector>
+
+#include "util/diagnostic.hpp"
+#include "util/fault_inject.hpp"
 
 namespace fastmon {
 
@@ -46,29 +50,46 @@ namespace {
 
 /// Tokenizer: parentheses are their own tokens; everything else is
 /// whitespace-separated.  Quoted strings become single tokens (without
-/// the quotes).
-std::vector<std::string> tokenize_sdf(std::istream& is) {
-    std::vector<std::string> tokens;
+/// the quotes).  Each token remembers its 1-based source line for
+/// diagnostics.
+struct SdfTokens {
+    std::vector<std::string> text;
+    std::vector<std::size_t> line;
+};
+
+SdfTokens tokenize_sdf(std::istream& is) {
+    SdfTokens tokens;
     std::string cur;
+    std::size_t cur_line = 1;
+    std::size_t line = 1;
     char c = 0;
     auto flush = [&] {
         if (!cur.empty()) {
-            tokens.push_back(cur);
+            tokens.text.push_back(cur);
+            tokens.line.push_back(cur_line);
             cur.clear();
         }
     };
     while (is.get(c)) {
+        if (c == '\n') ++line;
         if (c == '(' || c == ')') {
             flush();
-            tokens.emplace_back(1, c);
+            tokens.text.emplace_back(1, c);
+            tokens.line.push_back(line);
         } else if (c == '"') {
             flush();
             std::string s;
-            while (is.get(c) && c != '"') s.push_back(c);
-            tokens.push_back(s);
+            const std::size_t open_line = line;
+            while (is.get(c) && c != '"') {
+                if (c == '\n') ++line;
+                s.push_back(c);
+            }
+            tokens.text.push_back(s);
+            tokens.line.push_back(open_line);
         } else if (std::isspace(static_cast<unsigned char>(c)) != 0) {
             flush();
         } else {
+            if (cur.empty()) cur_line = line;
             cur.push_back(c);
         }
     }
@@ -76,40 +97,67 @@ std::vector<std::string> tokenize_sdf(std::istream& is) {
     return tokens;
 }
 
+[[noreturn]] void sdf_fail(std::size_t line, const std::string& msg,
+                           const std::string& excerpt = {}) {
+    throw Diagnostic("sdf", "", line, 0, msg, excerpt);
+}
+
+double sdf_number(const std::string& token, std::size_t line) {
+    double value = 0.0;
+    const char* begin = token.c_str();
+    const char* end = begin + token.size();
+    const auto [ptr, ec] = std::from_chars(begin, end, value);
+    if (ec != std::errc{} || ptr != end || token.empty()) {
+        sdf_fail(line, "malformed delay value", token);
+    }
+    return value;
+}
+
 }  // namespace
 
 DelayAnnotation read_sdf(std::istream& is, const Netlist& netlist) {
+    FaultInjector::global().fire("parser.sdf");
     DelayAnnotation ann = DelayAnnotation::nominal(netlist);
-    const std::vector<std::string> tok = tokenize_sdf(is);
+    const SdfTokens tokens = tokenize_sdf(is);
+    const std::vector<std::string>& tok = tokens.text;
 
     GateId current = kNoGate;
     for (std::size_t i = 0; i < tok.size(); ++i) {
         if (tok[i] == "INSTANCE" && i + 1 < tok.size()) {
             const GateId id = netlist.find(tok[i + 1]);
             if (id == kNoGate) {
-                throw std::runtime_error("SDF instance not in netlist: " +
-                                         tok[i + 1]);
+                sdf_fail(tokens.line[i], "instance not in netlist",
+                         tok[i + 1]);
             }
             current = id;
         } else if (tok[i] == "IOPATH") {
             // IOPATH in<pin> out ( rise ) ( fall )
             if (current == kNoGate || i + 8 >= tok.size()) {
-                throw std::runtime_error("SDF: IOPATH outside CELL or truncated");
+                sdf_fail(tokens.line[i], "IOPATH outside CELL or truncated");
             }
             const std::string& pin_name = tok[i + 1];
             if (pin_name.rfind("in", 0) != 0) {
-                throw std::runtime_error("SDF: unsupported IOPATH port " +
-                                         pin_name);
+                sdf_fail(tokens.line[i], "unsupported IOPATH port",
+                         pin_name);
             }
-            const auto pin =
-                static_cast<std::uint32_t>(std::stoul(pin_name.substr(2)));
+            std::uint32_t pin = 0;
+            {
+                const char* begin = pin_name.c_str() + 2;
+                const char* end = pin_name.c_str() + pin_name.size();
+                const auto [ptr, ec] = std::from_chars(begin, end, pin);
+                if (ec != std::errc{} || ptr != end || begin == end) {
+                    sdf_fail(tokens.line[i], "malformed IOPATH pin",
+                             pin_name);
+                }
+            }
             if (pin >= netlist.gate(current).fanin.size()) {
-                throw std::runtime_error("SDF: pin out of range on " +
-                                         netlist.gate(current).name);
+                sdf_fail(tokens.line[i],
+                         "pin out of range on " + netlist.gate(current).name,
+                         pin_name);
             }
             // tok layout: IOPATH inN out ( R ) ( F )
-            const double rise = std::stod(tok[i + 4]);
-            const double fall = std::stod(tok[i + 7]);
+            const double rise = sdf_number(tok[i + 4], tokens.line[i + 4]);
+            const double fall = sdf_number(tok[i + 7], tokens.line[i + 7]);
             ann.set_arc(current, pin, PinDelay{rise, fall});
             i += 8;
         }

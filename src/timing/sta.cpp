@@ -3,7 +3,18 @@
 #include <algorithm>
 #include <cassert>
 
+#include "util/cancel.hpp"
+
 namespace fastmon {
+
+namespace {
+
+// Arrival times admit no partial result, so a cancelled STA throws
+// CancelledError; the flow records the phase as skipped.  Polling at a
+// stride keeps even the relaxed load off the per-gate path.
+constexpr std::size_t kCancelStride = 4096;
+
+}  // namespace
 
 StaResult run_sta(const Netlist& netlist, const DelayAnnotation& delays,
                   double clock_margin) {
@@ -16,7 +27,11 @@ StaResult run_sta(const Netlist& netlist, const DelayAnnotation& delays,
     r.path_through.assign(n, 0.0);
 
     // Forward pass in topological order.
+    std::size_t visited = 0;
     for (GateId id : netlist.topo_order()) {
+        if (++visited % kCancelStride == 0) {
+            CancelToken::global().throw_if_cancelled();
+        }
         const Gate& g = netlist.gate(id);
         if (g.type == CellType::Input || g.type == CellType::Dff) {
             // Launch edge: sources switch at t = 0.
@@ -41,6 +56,9 @@ StaResult run_sta(const Netlist& netlist, const DelayAnnotation& delays,
     // nodes, so those sink nodes contribute 0 downstream to their driver.
     const auto order = netlist.topo_order();
     for (auto it = order.rbegin(); it != order.rend(); ++it) {
+        if (++visited % kCancelStride == 0) {
+            CancelToken::global().throw_if_cancelled();
+        }
         const GateId id = *it;
         const Gate& g = netlist.gate(id);
         Time best = std::numeric_limits<Time>::lowest();

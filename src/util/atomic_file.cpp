@@ -1,0 +1,30 @@
+#include "util/atomic_file.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+namespace fastmon {
+
+bool atomic_write_file(const std::string& path, std::string_view contents) {
+    const std::string tmp = path + std::string(kPartialSuffix);
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out) return false;
+        out.write(contents.data(),
+                  static_cast<std::streamsize>(contents.size()));
+        out.flush();
+        if (!out) {
+            out.close();
+            std::remove(tmp.c_str());
+            return false;
+        }
+    }
+    // std::rename replaces an existing destination atomically on POSIX.
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+}  // namespace fastmon

@@ -1,0 +1,26 @@
+// Crash-safe file emission.
+//
+// Artifact writers (trace, metrics, run manifests) used to stream
+// straight into the destination path; a crash or kill signal mid-write
+// left a truncated, unparsable file that downstream tooling then choked
+// on.  atomic_write_file() writes `<path>.partial` first and renames it
+// over the destination only after a successful flush, so readers either
+// see the previous complete artifact or the new complete artifact —
+// never a torn one.  A stray `.partial` file on disk is the tombstone
+// of an interrupted write and is safe to delete.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace fastmon {
+
+/// Suffix used for in-flight writes ("<path>.partial").
+inline constexpr std::string_view kPartialSuffix = ".partial";
+
+/// Writes `contents` to `path` via temp-file + rename.  Returns false
+/// (leaving any previous file at `path` untouched and cleaning up the
+/// temp file) when the temp file cannot be written or renamed.
+bool atomic_write_file(const std::string& path, std::string_view contents);
+
+}  // namespace fastmon

@@ -1,0 +1,174 @@
+#include "util/cancel.hpp"
+
+#include <chrono>
+#include <condition_variable>
+#include <csignal>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+
+#ifdef _WIN32
+#include <process.h>
+#else
+#include <unistd.h>
+#endif
+
+namespace fastmon {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t now_ns() {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            Clock::now().time_since_epoch())
+            .count());
+}
+
+// Watchdog machinery lives outside the token so the token itself stays
+// a plain bundle of lock-free atomics (the signal handler touches only
+// those).  The watchdog thread is detached and parks on a CV; mutex and
+// CV are leaked because destroying a condition_variable with a live
+// waiter (the watchdog, at process exit) is UB that can hang exit().
+std::mutex& watchdog_mutex() {
+    static std::mutex* m = new std::mutex();
+    return *m;
+}
+
+std::condition_variable& watchdog_cv() {
+    static std::condition_variable* cv = new std::condition_variable();
+    return *cv;
+}
+
+bool g_watchdog_started = false;
+
+// Signal bookkeeping; handlers may only touch lock-free atomics.
+std::atomic<int> g_signals_seen{0};
+volatile std::sig_atomic_t g_handlers_installed = 0;
+
+void signal_handler(int signo) {
+    const int seen = g_signals_seen.fetch_add(1, std::memory_order_relaxed);
+    if (seen > 0) {
+        // Second signal: the cooperative path is evidently stuck, honor
+        // the conventional 128+signo exit immediately.
+        std::_Exit(128 + signo);
+    }
+    CancelToken::global().cancel(CancelCause::Signal);
+}
+
+void watchdog_loop() {
+    CancelToken& token = CancelToken::global();
+    std::unique_lock<std::mutex> lock(watchdog_mutex());
+    for (;;) {
+        const double remaining = token.deadline_remaining();
+        if (token.cancelled()) {
+            // Nothing left to time; park until a reset()/re-arm pokes us.
+            watchdog_cv().wait(lock);
+            continue;
+        }
+        if (remaining <= 0.0) {
+            // Disarmed (or fired exactly now with no pending deadline):
+            // wait for the next arm_deadline() notification.
+            watchdog_cv().wait(lock);
+            continue;
+        }
+        watchdog_cv().wait_for(
+            lock, std::chrono::duration<double>(remaining));
+        // Re-read under the lock: arm_deadline may have moved the target.
+        const double left = token.deadline_remaining();
+        if (!token.cancelled() && left <= 0.0 &&
+            token.deadline_armed()) {
+            token.cancel(CancelCause::Deadline);
+        }
+    }
+}
+
+}  // namespace
+
+const char* cancel_cause_name(CancelCause cause) {
+    switch (cause) {
+        case CancelCause::None: return "none";
+        case CancelCause::Deadline: return "deadline";
+        case CancelCause::Signal: return "signal";
+        case CancelCause::Test: return "test";
+    }
+    return "unknown";
+}
+
+CancelledError::CancelledError(CancelCause cause)
+    : std::runtime_error(std::string("cancelled (") +
+                         cancel_cause_name(cause) + ")"),
+      cause_(cause) {}
+
+CancelToken& CancelToken::global() {
+    // Leaked, like the Tracer/MetricsRegistry singletons: the signal
+    // handler and detached watchdog may outlive static destructors.
+    static CancelToken* token = [] {
+        auto* t = new CancelToken();
+        if (const char* env = std::getenv("FASTMON_DEADLINE")) {
+            char* end = nullptr;
+            const double sec = std::strtod(env, &end);
+            if (end != env && sec > 0.0) t->arm_deadline(sec);
+        }
+        return t;
+    }();
+    return *token;
+}
+
+void CancelToken::cancel(CancelCause cause) {
+    // First cause wins: only the transition false->true records it.
+    bool expected = false;
+    if (cancelled_.compare_exchange_strong(expected, true,
+                                           std::memory_order_relaxed)) {
+        cause_.store(static_cast<std::uint8_t>(cause),
+                     std::memory_order_relaxed);
+    }
+}
+
+void CancelToken::arm_deadline(double seconds) {
+    if (seconds <= 0.0) {
+        deadline_ns_.store(0, std::memory_order_relaxed);
+        watchdog_cv().notify_all();
+        return;
+    }
+    const auto delta = static_cast<std::uint64_t>(seconds * 1e9);
+    {
+        std::lock_guard<std::mutex> lock(watchdog_mutex());
+        deadline_ns_.store(now_ns() + delta, std::memory_order_relaxed);
+        if (!g_watchdog_started) {
+            g_watchdog_started = true;
+            std::thread(watchdog_loop).detach();
+        }
+    }
+    watchdog_cv().notify_all();
+}
+
+bool CancelToken::deadline_armed() const {
+    return deadline_ns_.load(std::memory_order_relaxed) != 0;
+}
+
+double CancelToken::deadline_remaining() const {
+    const std::uint64_t target = deadline_ns_.load(std::memory_order_relaxed);
+    if (target == 0) return 0.0;
+    const std::uint64_t now = now_ns();
+    if (now >= target) return 0.0;
+    return static_cast<double>(target - now) * 1e-9;
+}
+
+void CancelToken::install_signal_handlers() {
+    if (g_handlers_installed) return;
+    g_handlers_installed = 1;
+    std::signal(SIGINT, signal_handler);
+    std::signal(SIGTERM, signal_handler);
+}
+
+void CancelToken::reset() {
+    cancelled_.store(false, std::memory_order_relaxed);
+    cause_.store(static_cast<std::uint8_t>(CancelCause::None),
+                 std::memory_order_relaxed);
+    deadline_ns_.store(0, std::memory_order_relaxed);
+    g_signals_seen.store(0, std::memory_order_relaxed);
+    watchdog_cv().notify_all();
+}
+
+}  // namespace fastmon

@@ -1,0 +1,93 @@
+#include "util/diagnostic.hpp"
+
+#include <algorithm>
+
+#include "util/fault_inject.hpp"
+
+namespace fastmon {
+
+std::string Diagnostic::format(const std::string& source,
+                               const std::string& file, std::size_t line,
+                               std::size_t column,
+                               const std::string& message,
+                               const std::string& excerpt) {
+    // "<file>:<line>:<col>: <source> parse error: <message>\n  <excerpt>"
+    // with unknown positional parts elided; mirrors the compiler-style
+    // convention so editors and CI logs can hyperlink it.
+    std::string out;
+    if (!file.empty()) {
+        out += file;
+        if (line > 0) {
+            out += ':';
+            out += std::to_string(line);
+            if (column > 0) {
+                out += ':';
+                out += std::to_string(column);
+            }
+        }
+        out += ": ";
+    } else if (line > 0) {
+        out += "line ";
+        out += std::to_string(line);
+        if (column > 0) {
+            out += ':';
+            out += std::to_string(column);
+        }
+        out += ": ";
+    }
+    out += source;
+    out += " parse error: ";
+    out += message;
+    if (!excerpt.empty()) {
+        out += "\n  ";
+        out += excerpt;
+    }
+    return out;
+}
+
+Diagnostic::Diagnostic(std::string source, std::string file,
+                       std::size_t line, std::size_t column,
+                       std::string message, std::string excerpt)
+    : std::runtime_error(
+          format(source, file, line, column, message, excerpt)),
+      source_(std::move(source)),
+      file_(std::move(file)),
+      line_(line),
+      column_(column),
+      message_(std::move(message)),
+      excerpt_(std::move(excerpt)) {}
+
+Json parse_json_or_throw(std::string_view text, std::string_view file) {
+    if (FaultInjector::global().trip("parser.json")) {
+        throw Diagnostic("json", std::string(file), 0, 0,
+                         "injected parse failure", "");
+    }
+    JsonParseError err;
+    std::optional<Json> value = Json::parse(text, err);
+    if (!value) {
+        // Excerpt: the line the error points into, trimmed to something
+        // log-friendly.
+        std::size_t begin = text.rfind('\n', err.offset);
+        begin = begin == std::string_view::npos ? 0 : begin + 1;
+        std::size_t end = text.find('\n', err.offset);
+        if (end == std::string_view::npos) end = text.size();
+        std::string excerpt(text.substr(begin, std::min<std::size_t>(
+                                                   end - begin, 120)));
+        throw Diagnostic("json", std::string(file), err.line, err.column,
+                         err.message, std::move(excerpt));
+    }
+    return std::move(*value);
+}
+
+Json Diagnostic::to_json() const {
+    Json j = Json::object();
+    j.set("source", source_);
+    if (!file_.empty()) j.set("file", file_);
+    if (line_ > 0) j.set("line", line_);
+    if (column_ > 0) j.set("column", column_);
+    j.set("message", message_);
+    if (!excerpt_.empty()) j.set("excerpt", excerpt_);
+    return j;
+}
+
+}  // namespace fastmon

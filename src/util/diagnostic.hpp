@@ -1,0 +1,103 @@
+// Unified parser/input diagnostic.
+//
+// Every parser in the tree (bench, verilog, sdf, pattern, json) used to
+// throw its own ad-hoc std::runtime_error with a hand-rolled message.
+// Diagnostic keeps the runtime_error base — existing `catch
+// (std::runtime_error)` / `catch (std::exception)` sites still work —
+// but carries the structured fields (file, line, column, source-line
+// excerpt) so flow status blocks and tests can report precisely where
+// an input went wrong.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "util/json.hpp"
+
+namespace fastmon {
+
+class Diagnostic : public std::runtime_error {
+public:
+    /// Builder-style construction so parsers only fill what they know:
+    ///   throw DiagnosticBuilder("bench").file(path).line(12)
+    ///       .excerpt(raw_line).message("unknown gate type 'NANDD'");
+    /// `source` names the parser ("bench", "verilog", "sdf", "pattern",
+    /// "json"); line/column are 1-based, 0 = unknown.
+    Diagnostic(std::string source, std::string file, std::size_t line,
+               std::size_t column, std::string message,
+               std::string excerpt);
+
+    [[nodiscard]] const std::string& source() const { return source_; }
+    [[nodiscard]] const std::string& file() const { return file_; }
+    [[nodiscard]] std::size_t line() const { return line_; }
+    [[nodiscard]] std::size_t column() const { return column_; }
+    [[nodiscard]] const std::string& message() const { return message_; }
+    [[nodiscard]] const std::string& excerpt() const { return excerpt_; }
+
+    [[nodiscard]] Json to_json() const;
+
+private:
+    static std::string format(const std::string& source,
+                              const std::string& file, std::size_t line,
+                              std::size_t column,
+                              const std::string& message,
+                              const std::string& excerpt);
+
+    std::string source_;
+    std::string file_;
+    std::size_t line_ = 0;
+    std::size_t column_ = 0;
+    std::string message_;
+    std::string excerpt_;
+};
+
+/// Parses JSON text, throwing a Diagnostic (source "json") carrying the
+/// parser's line/column on failure.  Honors the `parser.json`
+/// fault-injection point.  `file` is recorded in the diagnostic only.
+Json parse_json_or_throw(std::string_view text, std::string_view file = {});
+
+/// Fluent helper; implicitly convertible to Diagnostic for `throw`.
+class DiagnosticBuilder {
+public:
+    explicit DiagnosticBuilder(std::string_view source) : source_(source) {}
+
+    DiagnosticBuilder& file(std::string_view f) {
+        file_ = f;
+        return *this;
+    }
+    DiagnosticBuilder& line(std::size_t l) {
+        line_ = l;
+        return *this;
+    }
+    DiagnosticBuilder& column(std::size_t c) {
+        column_ = c;
+        return *this;
+    }
+    DiagnosticBuilder& excerpt(std::string_view e) {
+        excerpt_ = e;
+        return *this;
+    }
+    DiagnosticBuilder& message(std::string_view m) {
+        message_ = m;
+        return *this;
+    }
+
+    [[nodiscard]] Diagnostic build() const {
+        return Diagnostic(source_, file_, line_, column_, message_,
+                          excerpt_);
+    }
+    // NOLINTNEXTLINE(google-explicit-constructor)
+    operator Diagnostic() const { return build(); }
+
+private:
+    std::string source_;
+    std::string file_;
+    std::size_t line_ = 0;
+    std::size_t column_ = 0;
+    std::string message_;
+    std::string excerpt_;
+};
+
+}  // namespace fastmon

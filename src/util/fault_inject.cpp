@@ -1,0 +1,107 @@
+#include "util/fault_inject.hpp"
+
+#include <cstdlib>
+
+namespace fastmon {
+
+InjectedFault::InjectedFault(std::string_view point)
+    : std::runtime_error("injected fault at '" + std::string(point) + "'"),
+      point_(point) {}
+
+FaultInjector& FaultInjector::global() {
+    // Leaked like the other observability singletons; injection points
+    // can fire from atexit-adjacent code paths.
+    static FaultInjector* injector = [] {
+        auto* inj = new FaultInjector();
+        if (const char* env = std::getenv("FASTMON_FAULT_INJECT")) {
+            inj->arm_spec(env);
+        }
+        return inj;
+    }();
+    return *injector;
+}
+
+void FaultInjector::arm(std::string_view point, std::uint64_t hit) {
+    if (point.empty()) return;
+    if (hit == 0) hit = 1;
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (Point* existing = find_locked(point)) {
+        existing->trip_at = hit;
+        existing->hits = 0;
+        existing->tripped = false;
+    } else {
+        points_.push_back(Point{std::string(point), hit, 0, false});
+    }
+    enabled_.store(true, std::memory_order_relaxed);
+}
+
+bool FaultInjector::arm_spec(std::string_view spec) {
+    bool all_ok = true;
+    std::size_t start = 0;
+    while (start <= spec.size()) {
+        std::size_t comma = spec.find(',', start);
+        if (comma == std::string_view::npos) comma = spec.size();
+        std::string_view elem = spec.substr(start, comma - start);
+        start = comma + 1;
+        if (elem.empty()) continue;
+        std::string_view name = elem;
+        std::uint64_t hit = 1;
+        if (const std::size_t at = elem.find('@');
+            at != std::string_view::npos) {
+            name = elem.substr(0, at);
+            const std::string count(elem.substr(at + 1));
+            char* end = nullptr;
+            const unsigned long long parsed =
+                std::strtoull(count.c_str(), &end, 10);
+            if (count.empty() || *end != '\0' || parsed == 0) {
+                all_ok = false;
+                continue;
+            }
+            hit = parsed;
+        }
+        if (name.empty()) {
+            all_ok = false;
+            continue;
+        }
+        arm(name, hit);
+    }
+    return all_ok;
+}
+
+void FaultInjector::reset() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    points_.clear();
+    enabled_.store(false, std::memory_order_relaxed);
+}
+
+bool FaultInjector::armed(std::string_view point) const {
+    if (!enabled_.load(std::memory_order_relaxed)) return false;
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const Point& p : points_) {
+        if (p.name == point && !p.tripped) return true;
+    }
+    return false;
+}
+
+FaultInjector::Point* FaultInjector::find_locked(std::string_view point) {
+    for (Point& p : points_) {
+        if (p.name == point) return &p;
+    }
+    return nullptr;
+}
+
+void FaultInjector::fire_slow(std::string_view point) {
+    if (trip_slow(point)) throw InjectedFault(point);
+}
+
+bool FaultInjector::trip_slow(std::string_view point) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    Point* p = find_locked(point);
+    if (p == nullptr || p->tripped) return false;
+    ++p->hits;
+    if (p->hits < p->trip_at) return false;
+    p->tripped = true;
+    return true;
+}
+
+}  // namespace fastmon

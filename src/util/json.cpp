@@ -149,6 +149,8 @@ struct Parser {
     std::string_view text;
     std::size_t pos = 0;
     std::string error;
+    std::size_t error_offset = 0;
+    std::size_t depth = 0;
 
     [[nodiscard]] bool at_end() const { return pos >= text.size(); }
     [[nodiscard]] char peek() const { return text[pos]; }
@@ -162,9 +164,27 @@ struct Parser {
 
     bool fail(const std::string& msg) {
         if (error.empty()) {
-            error = msg + " at offset " + std::to_string(pos);
+            error = msg;
+            error_offset = pos;
         }
         return false;
+    }
+
+    /// 1-based line/column of `offset` (error paths only, so the scan
+    /// over the prefix is fine).
+    void locate(std::size_t offset, std::size_t& line,
+                std::size_t& column) const {
+        line = 1;
+        column = 1;
+        const std::size_t limit = std::min(offset, text.size());
+        for (std::size_t i = 0; i < limit; ++i) {
+            if (text[i] == '\n') {
+                ++line;
+                column = 1;
+            } else {
+                ++column;
+            }
+        }
     }
 
     bool consume(char c, const char* what) {
@@ -296,6 +316,13 @@ struct Parser {
 
     bool parse_array(Json& out) {
         if (!consume('[', "'['")) return false;
+        if (++depth > Json::kMaxParseDepth) return fail("nesting too deep");
+        const bool ok = parse_array_body(out);
+        --depth;
+        return ok;
+    }
+
+    bool parse_array_body(Json& out) {
         JsonArray arr;
         skip_ws();
         if (!at_end() && peek() == ']') {
@@ -324,6 +351,13 @@ struct Parser {
 
     bool parse_object(Json& out) {
         if (!consume('{', "'{'")) return false;
+        if (++depth > Json::kMaxParseDepth) return fail("nesting too deep");
+        const bool ok = parse_object_body(out);
+        --depth;
+        return ok;
+    }
+
+    bool parse_object_body(Json& out) {
         JsonObject obj;
         skip_ws();
         if (!at_end() && peek() == '}') {
@@ -357,19 +391,31 @@ struct Parser {
 
 }  // namespace
 
-std::optional<Json> Json::parse(std::string_view text, std::string* error) {
-    Parser p{text, 0, {}};
+std::optional<Json> Json::parse(std::string_view text,
+                                JsonParseError& error) {
+    Parser p{text};
     Json value;
-    if (!p.parse_value(value)) {
-        if (error != nullptr) *error = p.error;
+    bool ok = p.parse_value(value);
+    if (ok) {
+        p.skip_ws();
+        if (!p.at_end()) ok = p.fail("trailing characters");
+    }
+    if (!ok) {
+        error.offset = p.error_offset;
+        error.message = p.error;
+        p.locate(p.error_offset, error.line, error.column);
         return std::nullopt;
     }
-    p.skip_ws();
-    if (!p.at_end()) {
-        if (error != nullptr) {
-            *error = "trailing characters at offset " + std::to_string(p.pos);
-        }
-        return std::nullopt;
+    return value;
+}
+
+std::optional<Json> Json::parse(std::string_view text, std::string* error) {
+    JsonParseError detail;
+    std::optional<Json> value = parse(text, detail);
+    if (!value && error != nullptr) {
+        *error = detail.message + " at line " + std::to_string(detail.line) +
+                 ", column " + std::to_string(detail.column) + " (offset " +
+                 std::to_string(detail.offset) + ")";
     }
     return value;
 }

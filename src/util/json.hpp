@@ -20,6 +20,14 @@ namespace fastmon {
 
 class Json;
 
+/// Structured parse-failure report (1-based line/column).
+struct JsonParseError {
+    std::size_t offset = 0;
+    std::size_t line = 0;
+    std::size_t column = 0;
+    std::string message;
+};
+
 using JsonArray = std::vector<Json>;
 /// Insertion-ordered object (duplicate keys keep the last value on
 /// set(), the first on parse, mirroring common JSON library behavior).
@@ -88,9 +96,19 @@ public:
 
     /// Parses `text`; returns std::nullopt (and a message in `error`,
     /// if given) on malformed input.  Trailing non-whitespace is an
-    /// error.
+    /// error.  Nesting deeper than kMaxParseDepth is rejected (the
+    /// recursive-descent parser must not be an attacker-controlled
+    /// stack).
     static std::optional<Json> parse(std::string_view text,
                                      std::string* error = nullptr);
+
+    /// Same, with a structured error (offset + 1-based line/column).
+    /// Takes a reference so `parse(text, nullptr)` stays unambiguous.
+    static std::optional<Json> parse(std::string_view text,
+                                     JsonParseError& error);
+
+    /// Maximum array/object nesting accepted by parse().
+    static constexpr std::size_t kMaxParseDepth = 192;
 
 private:
     void dump_to(std::string& out, int indent, int depth) const;

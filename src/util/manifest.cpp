@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <ctime>
+#include "util/atomic_file.hpp"
 #include <fstream>
 
 namespace fastmon {
@@ -71,6 +72,8 @@ void RunManifest::add_phase(PhaseTime phase) {
 
 void RunManifest::set_metrics(Json metrics) { metrics_ = std::move(metrics); }
 
+void RunManifest::set_status(Json status) { status_ = std::move(status); }
+
 void RunManifest::set_total_wall_seconds(double seconds) {
     total_wall_ = seconds;
 }
@@ -97,6 +100,7 @@ Json RunManifest::to_json() const {
     doc.set("total_wall_seconds", total_wall_);
     doc.set("phases", std::move(phases));
     doc.set("metrics", metrics_);
+    if (!status_.is_null()) doc.set("status", status_);
     return doc;
 }
 
@@ -123,6 +127,9 @@ std::optional<RunManifest> RunManifest::from_json(const Json& j) {
     if (const Json* mx = j.find("metrics"); mx != nullptr && mx->is_object()) {
         m.metrics_ = *mx;
     }
+    if (const Json* st = j.find("status"); st != nullptr && st->is_object()) {
+        m.status_ = *st;
+    }
     for (const Json& pj : phases->as_array()) {
         const Json* name = pj.find("name");
         const Json* wall = pj.find("wall_seconds");
@@ -138,16 +145,16 @@ std::optional<RunManifest> RunManifest::from_json(const Json& j) {
 }
 
 bool RunManifest::write(const std::string& path) const {
-    std::ofstream out(path);
-    if (!out) return false;
-    out << to_json().dump(1) << '\n';
-    return static_cast<bool>(out);
+    // Atomic replace: phase-boundary flushes overwrite the previous
+    // snapshot, and an interrupted run keeps the last complete one.
+    return atomic_write_file(path, to_json().dump(1) + '\n');
 }
 
 bool operator==(const RunManifest& a, const RunManifest& b) {
     return a.tool_ == b.tool_ && a.config_ == b.config_ &&
            a.circuit_ == b.circuit_ && a.phases_ == b.phases_ &&
-           a.metrics_ == b.metrics_ && a.total_wall_ == b.total_wall_;
+           a.metrics_ == b.metrics_ && a.status_ == b.status_ &&
+           a.total_wall_ == b.total_wall_;
 }
 
 }  // namespace fastmon

@@ -52,6 +52,10 @@ public:
     void set_metrics(Json metrics);
     /// Total wall-clock of the run (phases are parts of this).
     void set_total_wall_seconds(double seconds);
+    /// Replaces the status block (normally FlowStatus::to_json()); a
+    /// null value removes it.  Manifests without a status block stay
+    /// valid — the block only appears on runs that track degradation.
+    void set_status(Json status);
 
     [[nodiscard]] const std::vector<PhaseTime>& phases() const {
         return phases_;
@@ -62,6 +66,8 @@ public:
     [[nodiscard]] const Json& circuit() const { return circuit_; }
     [[nodiscard]] const Json& metrics() const { return metrics_; }
     [[nodiscard]] const Json& tool() const { return tool_; }
+    /// Null when the run did not record a status block.
+    [[nodiscard]] const Json& status() const { return status_; }
 
     [[nodiscard]] Json to_json() const;
     /// Inverse of to_json(); std::nullopt when required blocks are
@@ -79,6 +85,7 @@ private:
     Json circuit_;
     std::vector<PhaseTime> phases_;
     Json metrics_;
+    Json status_;  ///< null unless set_status() was called
     double total_wall_ = 0.0;
 };
 

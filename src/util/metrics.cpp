@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <fstream>
 
+#include "util/atomic_file.hpp"
 #include "util/log.hpp"
 #include "util/stats.hpp"
 
@@ -102,12 +103,12 @@ namespace {
 void dump_at_exit() {
     const char* env = std::getenv("FASTMON_METRICS");
     if (env == nullptr || *env == '\0') return;
-    std::ofstream out(env);
-    if (!out) {
+    const std::string doc =
+        MetricsRegistry::global().to_json().dump(1) + '\n';
+    if (!atomic_write_file(env, doc)) {
         log_warn() << "metrics: failed to write " << env;
         return;
     }
-    out << MetricsRegistry::global().to_json().dump(1) << '\n';
     log_info() << "metrics: wrote registry to " << env;
 }
 

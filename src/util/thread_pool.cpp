@@ -4,6 +4,7 @@
 #include <chrono>
 #include <numeric>
 
+#include "util/fault_inject.hpp"
 #include "util/metrics.hpp"
 
 namespace fastmon {
@@ -55,6 +56,7 @@ ThreadPool::Stats ThreadPool::stats() const {
     s.tasks_executed = tasks_executed_.load(std::memory_order_relaxed);
     s.tasks_stolen = tasks_stolen_.load(std::memory_order_relaxed);
     s.tasks_injected = tasks_injected_.load(std::memory_order_relaxed);
+    s.tasks_drained = tasks_drained_.load(std::memory_order_relaxed);
     s.max_inject_depth = max_inject_depth_.load(std::memory_order_relaxed);
     s.helper_busy_seconds =
         static_cast<double>(helper_busy_ns_.load(std::memory_order_relaxed)) *
@@ -76,6 +78,8 @@ void ThreadPool::publish_metrics(MetricsRegistry& registry) const {
     registry.gauge("pool.tasks_stolen").set(static_cast<double>(s.tasks_stolen));
     registry.gauge("pool.tasks_injected")
         .set(static_cast<double>(s.tasks_injected));
+    registry.gauge("pool.tasks_drained")
+        .set(static_cast<double>(s.tasks_drained));
     registry.gauge("pool.max_inject_depth")
         .set(static_cast<double>(s.max_inject_depth));
     registry.gauge("pool.busy_seconds").set(s.total_busy_seconds());
@@ -209,7 +213,16 @@ void ThreadPool::TaskGroup::run(std::function<void()> fn) {
     }
     pool_->enqueue([this, fn = std::move(fn)] {
         try {
-            fn();
+            if (pool_->cancel_requested()) {
+                // Drain path: skip the user function but keep the
+                // completion bookkeeping below intact so wait() still
+                // balances and returns.
+                pool_->tasks_drained_.fetch_add(1,
+                                                std::memory_order_relaxed);
+            } else {
+                FaultInjector::global().fire("pool.task");
+                fn();
+            }
         } catch (...) {
             const std::lock_guard<std::mutex> lock(mutex_);
             if (!first_exception_) first_exception_ = std::current_exception();

@@ -37,6 +37,7 @@ public:
         std::uint64_t tasks_executed = 0;  ///< includes helping callers
         std::uint64_t tasks_stolen = 0;    ///< taken from a sibling deque
         std::uint64_t tasks_injected = 0;  ///< submitted by non-workers
+        std::uint64_t tasks_drained = 0;   ///< skipped by cancel()
         std::uint64_t max_inject_depth = 0;
         /// Per-worker time spent inside tasks (seconds); index ==
         /// worker index.  Caller-helper time is accumulated separately.
@@ -74,6 +75,23 @@ public:
     /// pool.tasks_injected, pool.max_inject_depth, pool.workers,
     /// pool.busy_seconds plus a pool.worker_busy_seconds histogram).
     void publish_metrics(MetricsRegistry& registry) const;
+
+    /// Requests a drain: queued TaskGroup tasks still run their
+    /// completion bookkeeping (so wait() returns and pending_ balances)
+    /// but skip the user function.  Tasks already executing finish
+    /// normally — cancellation inside a task body is the job of the
+    /// CancelToken the task polls.
+    void cancel() { cancel_requested_.store(true, std::memory_order_relaxed); }
+
+    [[nodiscard]] bool cancel_requested() const {
+        return cancel_requested_.load(std::memory_order_relaxed);
+    }
+
+    /// Re-enables task execution after a cancel() drain (tests, and
+    /// flows that reuse the shared pool for the next circuit).
+    void reset_cancel() {
+        cancel_requested_.store(false, std::memory_order_relaxed);
+    }
 
     /// A set of tasks whose completion can be awaited collectively.
     /// Tasks may themselves submit into the group.  The first exception
@@ -165,8 +183,10 @@ private:
     std::atomic<std::uint64_t> tasks_executed_{0};
     std::atomic<std::uint64_t> tasks_stolen_{0};
     std::atomic<std::uint64_t> tasks_injected_{0};
+    std::atomic<std::uint64_t> tasks_drained_{0};
     std::atomic<std::uint64_t> max_inject_depth_{0};
     std::atomic<std::uint64_t> helper_busy_ns_{0};
+    std::atomic<bool> cancel_requested_{false};
 
     std::mutex sleep_mutex_;
     std::condition_variable work_cv_;

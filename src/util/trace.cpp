@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <fstream>
 
+#include "util/atomic_file.hpp"
 #include "util/json.hpp"
 #include "util/log.hpp"
 
@@ -134,10 +135,9 @@ Json Tracer::to_json() const {
 }
 
 bool Tracer::write(const std::string& path) const {
-    std::ofstream out(path);
-    if (!out) return false;
-    out << to_json().dump(1) << '\n';
-    return static_cast<bool>(out);
+    // Temp-file + rename: a crash between spans never leaves a torn
+    // trace behind for Perfetto to choke on.
+    return atomic_write_file(path, to_json().dump(1) + '\n');
 }
 
 void Tracer::set_output_path(std::string path) {

@@ -1,0 +1,223 @@
+// Resilience primitives: CancelToken/deadline, the fault injector, the
+// unified parser Diagnostic, and atomic artifact writes.
+#include "util/cancel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "util/atomic_file.hpp"
+#include "util/diagnostic.hpp"
+#include "util/fault_inject.hpp"
+
+namespace fastmon {
+namespace {
+
+/// Every test in this file touches process-wide singletons; leave them
+/// pristine for the rest of the suite.
+class CancelTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        CancelToken::global().reset();
+        FaultInjector::global().reset();
+    }
+    void TearDown() override {
+        CancelToken::global().reset();
+        FaultInjector::global().reset();
+    }
+};
+
+TEST_F(CancelTest, TokenStartsClear) {
+    EXPECT_FALSE(CancelToken::global().cancelled());
+    EXPECT_EQ(CancelToken::global().cause(), CancelCause::None);
+    EXPECT_NO_THROW(CancelToken::global().throw_if_cancelled());
+}
+
+TEST_F(CancelTest, FirstCauseWins) {
+    CancelToken& token = CancelToken::global();
+    token.cancel(CancelCause::Deadline);
+    token.cancel(CancelCause::Signal);
+    EXPECT_TRUE(token.cancelled());
+    EXPECT_EQ(token.cause(), CancelCause::Deadline);
+}
+
+TEST_F(CancelTest, ThrowIfCancelledCarriesCause) {
+    CancelToken& token = CancelToken::global();
+    token.cancel(CancelCause::Test);
+    try {
+        token.throw_if_cancelled();
+        FAIL() << "expected CancelledError";
+    } catch (const CancelledError& e) {
+        EXPECT_EQ(e.cause(), CancelCause::Test);
+        EXPECT_NE(std::string(e.what()).find("test"), std::string::npos);
+    }
+}
+
+TEST_F(CancelTest, CancelledErrorIsRuntimeError) {
+    CancelToken::global().cancel(CancelCause::Test);
+    // Untouched call sites that catch std::runtime_error keep working.
+    EXPECT_THROW(CancelToken::global().throw_if_cancelled(),
+                 std::runtime_error);
+}
+
+TEST_F(CancelTest, DeadlineWatchdogFires) {
+    CancelToken& token = CancelToken::global();
+    token.arm_deadline(0.05);
+    EXPECT_TRUE(token.deadline_armed());
+    EXPECT_FALSE(token.cancelled());
+    const auto give_up =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (!token.cancelled() &&
+           std::chrono::steady_clock::now() < give_up) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    EXPECT_TRUE(token.cancelled());
+    EXPECT_EQ(token.cause(), CancelCause::Deadline);
+}
+
+TEST_F(CancelTest, DisarmedDeadlineDoesNotFire) {
+    CancelToken& token = CancelToken::global();
+    token.arm_deadline(0.05);
+    token.arm_deadline(0.0);  // disarm
+    EXPECT_FALSE(token.deadline_armed());
+    std::this_thread::sleep_for(std::chrono::milliseconds(120));
+    EXPECT_FALSE(token.cancelled());
+}
+
+TEST_F(CancelTest, CauseNames) {
+    EXPECT_STREQ(cancel_cause_name(CancelCause::None), "none");
+    EXPECT_STREQ(cancel_cause_name(CancelCause::Deadline), "deadline");
+    EXPECT_STREQ(cancel_cause_name(CancelCause::Signal), "signal");
+    EXPECT_STREQ(cancel_cause_name(CancelCause::Test), "test");
+}
+
+// --- fault injector ---
+
+TEST_F(CancelTest, FireThrowsOnArmedHit) {
+    FaultInjector& inj = FaultInjector::global();
+    inj.arm("parser.bench");
+    EXPECT_TRUE(inj.armed("parser.bench"));
+    try {
+        inj.fire("parser.bench");
+        FAIL() << "expected InjectedFault";
+    } catch (const InjectedFault& e) {
+        EXPECT_EQ(e.point(), "parser.bench");
+    }
+    // One-shot: the same point does not fire twice.
+    EXPECT_NO_THROW(inj.fire("parser.bench"));
+    // Unarmed points never fire.
+    EXPECT_NO_THROW(inj.fire("parser.verilog"));
+}
+
+TEST_F(CancelTest, FireHonorsHitCount) {
+    FaultInjector& inj = FaultInjector::global();
+    inj.arm("pool.task", 3);
+    EXPECT_NO_THROW(inj.fire("pool.task"));
+    EXPECT_NO_THROW(inj.fire("pool.task"));
+    EXPECT_THROW(inj.fire("pool.task"), InjectedFault);
+}
+
+TEST_F(CancelTest, TripReportsOnceWithoutThrowing) {
+    FaultInjector& inj = FaultInjector::global();
+    inj.arm("solver.budget", 2);
+    EXPECT_FALSE(inj.trip("solver.budget"));
+    EXPECT_TRUE(inj.trip("solver.budget"));
+    EXPECT_FALSE(inj.trip("solver.budget"));
+}
+
+TEST_F(CancelTest, ArmSpecParsesCommaListAndHitCounts) {
+    FaultInjector& inj = FaultInjector::global();
+    EXPECT_TRUE(inj.arm_spec("parser.sdf,pool.task@2"));
+    EXPECT_TRUE(inj.armed("parser.sdf"));
+    EXPECT_TRUE(inj.armed("pool.task"));
+    EXPECT_NO_THROW(inj.fire("pool.task"));
+    EXPECT_THROW(inj.fire("pool.task"), InjectedFault);
+}
+
+TEST_F(CancelTest, ArmSpecRejectsMalformedElements) {
+    FaultInjector& inj = FaultInjector::global();
+    EXPECT_FALSE(inj.arm_spec("parser.bench,bad@notanumber"));
+    // Well-formed elements before the bad one are still armed.
+    EXPECT_TRUE(inj.armed("parser.bench"));
+    EXPECT_FALSE(inj.armed("bad"));
+    EXPECT_FALSE(inj.arm_spec("@3"));
+}
+
+// --- diagnostics ---
+
+TEST_F(CancelTest, DiagnosticFormatsCompilerStyle) {
+    const Diagnostic d("bench", "c17.bench", 12, 3, "unknown gate type",
+                       "G1 = FOO(G2)");
+    EXPECT_STREQ(d.what(),
+                 "c17.bench:12:3: bench parse error: unknown gate type\n"
+                 "  G1 = FOO(G2)");
+    EXPECT_EQ(d.source(), "bench");
+    EXPECT_EQ(d.file(), "c17.bench");
+    EXPECT_EQ(d.line(), 12u);
+    EXPECT_EQ(d.column(), 3u);
+    EXPECT_EQ(d.message(), "unknown gate type");
+}
+
+TEST_F(CancelTest, DiagnosticElidesUnknownParts) {
+    const Diagnostic no_file("pattern", "", 2, 0, "invalid bit", "01x0");
+    EXPECT_STREQ(no_file.what(),
+                 "line 2: pattern parse error: invalid bit\n  01x0");
+    const Diagnostic bare("verilog", "", 0, 0, "cannot open file", "");
+    EXPECT_STREQ(bare.what(), "verilog parse error: cannot open file");
+}
+
+TEST_F(CancelTest, DiagnosticIsRuntimeError) {
+    // All parser call sites that catch std::runtime_error still work.
+    EXPECT_THROW(throw Diagnostic("sdf", "", 1, 0, "boom", ""),
+                 std::runtime_error);
+}
+
+TEST_F(CancelTest, DiagnosticToJsonOmitsEmptyFields) {
+    const Json j = Diagnostic("json", "", 4, 7, "bad token", "").to_json();
+    EXPECT_NE(j.find("source"), nullptr);
+    EXPECT_NE(j.find("line"), nullptr);
+    EXPECT_NE(j.find("column"), nullptr);
+    EXPECT_EQ(j.find("file"), nullptr);
+    EXPECT_EQ(j.find("excerpt"), nullptr);
+}
+
+TEST_F(CancelTest, ParseJsonOrThrowReportsLocation) {
+    try {
+        parse_json_or_throw("{\n  \"a\": 1,\n  \"b\": oops\n}", "m.json");
+        FAIL() << "expected Diagnostic";
+    } catch (const Diagnostic& d) {
+        EXPECT_EQ(d.source(), "json");
+        EXPECT_EQ(d.file(), "m.json");
+        EXPECT_EQ(d.line(), 3u);
+        EXPECT_NE(d.excerpt().find("oops"), std::string::npos);
+    }
+    EXPECT_EQ(parse_json_or_throw("{\"a\": 1}").find("a")->as_number(), 1.0);
+}
+
+// --- atomic artifact writes ---
+
+TEST_F(CancelTest, AtomicWriteReplacesAndCleansUp) {
+    const std::string path = "test_atomic_write.tmp";
+    ASSERT_TRUE(atomic_write_file(path, "first\n"));
+    ASSERT_TRUE(atomic_write_file(path, "second\n"));
+    std::ifstream in(path);
+    std::string content((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    EXPECT_EQ(content, "second\n");
+    // No .partial temp file left behind.
+    EXPECT_FALSE(
+        std::ifstream(path + std::string(kPartialSuffix)).good());
+    std::remove(path.c_str());
+}
+
+TEST_F(CancelTest, AtomicWriteFailsCleanlyOnBadPath) {
+    EXPECT_FALSE(
+        atomic_write_file("no_such_dir_xyz/artifact.json", "data"));
+}
+
+}  // namespace
+}  // namespace fastmon

@@ -1,0 +1,179 @@
+// Randomized malformed-input corpus for the four text parsers (.bench,
+// Verilog, SDF, pattern files) and the JSON reader.
+//
+// The contract under test: for ANY byte soup, a parser either succeeds
+// or throws a structured Diagnostic — it never crashes, never throws a
+// non-runtime_error type, and never hangs.  Mutations are the classic
+// trio: truncation, garbage-byte splices, and (for JSON) pathological
+// nesting.  Everything is seeded — a failure reproduces from the test
+// name alone.  CI runs this file under ASan/UBSan where "no crash/UB"
+// is actually checked, not assumed.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "atpg/pattern.hpp"
+#include "netlist/bench_io.hpp"
+#include "netlist/iscas_data.hpp"
+#include "netlist/verilog_io.hpp"
+#include "timing/sdf.hpp"
+#include "util/diagnostic.hpp"
+#include "util/json.hpp"
+#include "util/prng.hpp"
+
+namespace fastmon {
+namespace {
+
+// Seed corpora: small valid inputs that mutations start from, so the
+// fuzz walk spends its budget near the interesting (almost-valid) part
+// of the input space instead of rejecting pure noise at byte one.
+const char* kBenchSeed =
+    "# c17-like\n"
+    "INPUT(G1)\nINPUT(G2)\nINPUT(G3)\n"
+    "OUTPUT(G7)\n"
+    "G5 = NAND(G1, G2)\n"
+    "G6 = NAND(G2, G3)\n"
+    "G7 = NAND(G5, G6)\n";
+
+const char* kVerilogSeed =
+    "module top(a, b, y);\n"
+    "  input a, b;\n"
+    "  output y;\n"
+    "  wire w1;\n"
+    "  nand u1(w1, a, b);\n"
+    "  not u2(y, w1);\n"
+    "endmodule\n";
+
+const char* kSdfSeed =
+    "(DELAYFILE\n"
+    "  (SDFVERSION \"3.0\")\n"
+    "  (CELL (CELLTYPE \"NAND2\") (INSTANCE G10)\n"
+    "    (DELAY (ABSOLUTE\n"
+    "      (IOPATH in0 out (1.5) (1.25))\n"
+    "      (IOPATH in1 out (0.5) (2.0))\n"
+    "    ))))\n";
+
+const char* kPatternSeed =
+    "# two patterns\n"
+    "0101 1010\n"
+    "1111 0000\n";
+
+const char* kJsonSeed =
+    "{\"tool\": {\"name\": \"fastmon\"}, \"phases\": [1, 2.5, true, null],"
+    " \"s\": \"a\\nb\"}";
+
+std::string truncate_at(const std::string& text, Prng& prng) {
+    if (text.empty()) return text;
+    return text.substr(0, prng.next_below(text.size()));
+}
+
+std::string splice_garbage(const std::string& text, Prng& prng) {
+    std::string out = text;
+    const std::size_t edits = 1 + prng.next_below(8);
+    for (std::size_t i = 0; i < edits; ++i) {
+        const auto byte =
+            static_cast<char>(prng.next_below(256));  // any byte, NUL too
+        if (out.empty() || prng.chance(0.5)) {
+            out.insert(out.begin() + static_cast<std::ptrdiff_t>(
+                                         prng.next_below(out.size() + 1)),
+                       byte);
+        } else {
+            out[prng.next_below(out.size())] = byte;
+        }
+    }
+    return out;
+}
+
+std::string mutate(const std::string& seed_text, Prng& prng) {
+    switch (prng.next_below(3)) {
+        case 0: return truncate_at(seed_text, prng);
+        case 1: return splice_garbage(seed_text, prng);
+        default: return splice_garbage(truncate_at(seed_text, prng), prng);
+    }
+}
+
+/// Runs `parse` on `rounds` mutants of `seed_text`.  Success or a
+/// Diagnostic are both fine; anything else fails the test with the
+/// reproducing seed in the message.
+template <typename ParseFn>
+void fuzz_parser(const char* name, const std::string& seed_text,
+                 std::size_t rounds, ParseFn&& parse) {
+    Prng prng(0xF0CCED + std::string_view(name).size());
+    for (std::size_t round = 0; round < rounds; ++round) {
+        const std::string input = mutate(seed_text, prng);
+        try {
+            parse(input);
+        } catch (const Diagnostic& d) {
+            // Structured failure: must carry its source tag and format
+            // a non-empty message.
+            EXPECT_EQ(d.source(), name) << "round " << round;
+            EXPECT_FALSE(std::string(d.what()).empty());
+        } catch (const std::exception& e) {
+            FAIL() << name << " round " << round
+                   << " threw a non-Diagnostic: " << e.what();
+        }
+    }
+}
+
+TEST(ParserFuzz, BenchNeverCrashes) {
+    fuzz_parser("bench", kBenchSeed, 400, [](const std::string& text) {
+        (void)read_bench_string(text, "fuzz");
+    });
+}
+
+TEST(ParserFuzz, VerilogNeverCrashes) {
+    fuzz_parser("verilog", kVerilogSeed, 400, [](const std::string& text) {
+        (void)read_verilog_string(text);
+    });
+}
+
+TEST(ParserFuzz, SdfNeverCrashes) {
+    const Netlist nl = make_s27();
+    fuzz_parser("sdf", kSdfSeed, 400, [&nl](const std::string& text) {
+        (void)read_sdf_string(text, nl);
+    });
+}
+
+TEST(ParserFuzz, PatternNeverCrashes) {
+    fuzz_parser("pattern", kPatternSeed, 400, [](const std::string& text) {
+        (void)read_patterns_string(text, 4);
+    });
+}
+
+TEST(ParserFuzz, JsonNeverCrashes) {
+    fuzz_parser("json", kJsonSeed, 600, [](const std::string& text) {
+        (void)parse_json_or_throw(text, "fuzz.json");
+    });
+}
+
+TEST(ParserFuzz, JsonDeepNestingIsRejectedNotOverflowed) {
+    // 100k opening brackets: without the parser's depth cap this is a
+    // stack overflow, not a parse error.
+    std::string deep(100000, '[');
+    EXPECT_THROW((void)parse_json_or_throw(deep, "deep.json"), Diagnostic);
+    std::string deep_objects;
+    for (int i = 0; i < 50000; ++i) deep_objects += "{\"a\":";
+    EXPECT_THROW((void)parse_json_or_throw(deep_objects, "deep.json"),
+                 Diagnostic);
+    // Depth just under the cap still parses.
+    const std::size_t ok_depth = Json::kMaxParseDepth - 1;
+    std::string nested(ok_depth, '[');
+    nested += "1";
+    nested.append(ok_depth, ']');
+    EXPECT_NO_THROW((void)parse_json_or_throw(nested, "ok.json"));
+}
+
+TEST(ParserFuzz, VerilogHugeBusRangeIsRejected) {
+    // A malicious [0:2^31] range must be a Diagnostic, not an OOM.
+    const std::string text =
+        "module top(a, y);\n"
+        "  input [0:2000000000] a;\n"
+        "  output y;\n"
+        "  buf u1(y, a[0]);\n"
+        "endmodule\n";
+    EXPECT_THROW((void)read_verilog_string(text), Diagnostic);
+}
+
+}  // namespace
+}  // namespace fastmon

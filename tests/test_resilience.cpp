@@ -1,0 +1,274 @@
+// Flow-level fault injection: every scenario arms a FaultInjector
+// point (the same hooks FASTMON_FAULT_INJECT reaches from the
+// environment) and asserts the flow terminates with an honest,
+// well-formed status — degraded or failed, never a crash, never a
+// silently-complete lie.
+#include "flow/hdf_flow.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "netlist/bench_io.hpp"
+#include "netlist/generator.hpp"
+#include "netlist/iscas_data.hpp"
+#include "opt/set_cover.hpp"
+#include "util/cancel.hpp"
+#include "util/diagnostic.hpp"
+#include "util/fault_inject.hpp"
+
+namespace fastmon {
+namespace {
+
+HdfFlowConfig small_config() {
+    HdfFlowConfig config;
+    config.seed = 5;
+    config.atpg.max_random_batches = 30;
+    config.atpg.max_idle_batches = 4;
+    config.solver.time_limit_sec = 3.0;
+    return config;
+}
+
+/// Injection points and the cancel token are process-wide; every test
+/// must leave them pristine for the rest of the suite (the detection
+/// engine shares a global pool — a stale cancelled token would drain
+/// every later simulation to nothing).
+class ResilienceTest : public ::testing::Test {
+protected:
+    const Netlist s27_ = make_s27();
+
+    void SetUp() override {
+        CancelToken::global().reset();
+        FaultInjector::global().reset();
+    }
+    void TearDown() override {
+        CancelToken::global().reset();
+        FaultInjector::global().reset();
+    }
+};
+
+TEST_F(ResilienceTest, ParserInjectionThrowsThroughNormalErrorPath) {
+    FaultInjector::global().arm("parser.bench");
+    try {
+        (void)read_bench_string("INPUT(G1)\nOUTPUT(G1)\n", "inj");
+        FAIL() << "expected InjectedFault";
+    } catch (const InjectedFault& e) {
+        EXPECT_EQ(e.point(), "parser.bench");
+    }
+    // One-shot: the parser works again immediately after.
+    EXPECT_NO_THROW(
+        (void)read_bench_string("INPUT(G1)\nOUTPUT(G1)\n", "inj"));
+}
+
+TEST_F(ResilienceTest, InjectedFaultIsARuntimeError) {
+    // Call sites that recover from organic parser/solver failures via
+    // catch (std::runtime_error) recover from injected ones the same way.
+    FaultInjector::global().arm("parser.pattern");
+    bool caught = false;
+    try {
+        throw InjectedFault("parser.pattern");
+    } catch (const std::runtime_error&) {
+        caught = true;
+    }
+    EXPECT_TRUE(caught);
+}
+
+TEST_F(ResilienceTest, SolverBudgetInjectionFallsBackToGreedy) {
+    // Classic greedy trap: optimal cover is 2 sets, greedy takes 3.
+    // With the budget injected to zero the solver must still return a
+    // feasible cover — just an unproven one.
+    SetCoverInstance inst;
+    inst.num_elements = 6;
+    inst.sets = {{0, 1, 2, 3}, {0, 1, 4}, {2, 3, 5}, {4}, {5}};
+    FaultInjector::global().arm("solver.budget");
+    const SetCoverResult r = solve_set_cover(inst);
+    EXPECT_TRUE(r.feasible);
+    EXPECT_FALSE(r.proven_optimal);
+    EXPECT_GE(r.chosen.size(), 2u);
+    // Injection is one-shot: the next solve proves optimality again.
+    const SetCoverResult clean = solve_set_cover(inst);
+    EXPECT_TRUE(clean.proven_optimal);
+    EXPECT_EQ(clean.chosen.size(), 2u);
+}
+
+TEST_F(ResilienceTest, SolverBudgetInjectionKeepsFlowComplete) {
+    // Budget exhaustion is graceful degradation inside the solver, not
+    // a phase failure: the flow still completes with a valid schedule.
+    FaultInjector::global().arm("solver.budget");
+    HdfFlow flow(s27_, small_config());
+    const HdfFlowResult r = flow.run();
+    EXPECT_TRUE(r.status.complete());
+    EXPECT_EQ(r.schedule_uncovered, 0u);
+    EXPECT_GE(r.detected_prop, r.detected_conv);
+}
+
+TEST_F(ResilienceTest, PoolTaskExceptionFailsPhaseNotFlow) {
+    FaultInjector::global().arm("pool.task");
+    HdfFlowConfig config = small_config();
+    config.num_threads = 2;  // dedicated pool -> first task is pass A
+    HdfFlow flow(s27_, config);
+    const HdfFlowResult r = flow.run();
+    // fault_sim_pass_a is non-essential: the injected task exception is
+    // recorded as a phase failure and the flow carries on with empty
+    // detection ranges instead of crashing.
+    const PhaseStatus* pass_a = r.status.find("fault_sim_pass_a");
+    ASSERT_NE(pass_a, nullptr);
+    EXPECT_EQ(pass_a->outcome, PhaseOutcome::Failed);
+    EXPECT_NE(pass_a->detail.find("injected fault"), std::string::npos);
+    EXPECT_FALSE(r.status.complete());
+    // All phases still accounted for — nothing silently vanished.
+    EXPECT_GE(r.status.phases.size(), 11u);
+}
+
+TEST_F(ResilienceTest, MidSimulationCancellationDegradesHonestly) {
+    FaultInjector::global().arm("cancel.fault_sim_mid");
+    HdfFlow flow(s27_, small_config());
+    const HdfFlowResult r = flow.run();
+    EXPECT_TRUE(r.status.cancelled);
+    EXPECT_EQ(r.status.cancel_cause, CancelCause::Test);
+    EXPECT_FALSE(r.status.complete());
+    EXPECT_STREQ(r.status.overall(), "degraded");
+    const PhaseStatus* pass_a = r.status.find("fault_sim_pass_a");
+    ASSERT_NE(pass_a, nullptr);
+    EXPECT_EQ(pass_a->outcome, PhaseOutcome::Degraded);
+    // Phases before the cancellation point completed normally.
+    const PhaseStatus* sta = r.status.find("sta");
+    ASSERT_NE(sta, nullptr);
+    EXPECT_EQ(sta->outcome, PhaseOutcome::Ok);
+}
+
+TEST_F(ResilienceTest, PhaseEntryCancellationDegradesLaterPhases) {
+    FaultInjector::global().arm("cancel.freq_select");
+    HdfFlow flow(s27_, small_config());
+    const HdfFlowResult r = flow.run();
+    EXPECT_TRUE(r.status.cancelled);
+    EXPECT_EQ(r.status.cancel_cause, CancelCause::Test);
+    // Everything up to and including table1 ran before the injection.
+    for (const char* name : {"sta", "monitor_placement", "classify",
+                             "fault_sim_pass_a", "table1"}) {
+        const PhaseStatus* p = r.status.find(name);
+        ASSERT_NE(p, nullptr) << name;
+        EXPECT_EQ(p->outcome, PhaseOutcome::Ok) << name;
+    }
+    // freq_select itself and everything after it is degraded or
+    // skipped, never reported Ok.
+    for (const char* name :
+         {"freq_select", "fault_sim_pass_b", "pattern_config_select",
+          "coverage_rows"}) {
+        const PhaseStatus* p = r.status.find(name);
+        ASSERT_NE(p, nullptr) << name;
+        EXPECT_NE(p->outcome, PhaseOutcome::Ok) << name;
+    }
+}
+
+TEST_F(ResilienceTest, EssentialPhaseFailureThrowsFlowError) {
+    // STA polls the cancel token every few thousand nodes, so a
+    // circuit comfortably above the stride turns a phase-entry
+    // cancellation into a CancelledError inside the essential phase.
+    GeneratorConfig gc;
+    gc.name = "resilience_sta";
+    gc.n_gates = 6000;
+    gc.n_ffs = 200;
+    gc.n_inputs = 32;
+    gc.n_outputs = 32;
+    gc.depth = 30;
+    gc.spread = 0.7;
+    gc.seed = 91;
+    const Netlist nl = generate_circuit(gc);
+    FaultInjector::global().arm("cancel.sta");
+    HdfFlow flow(nl, small_config());
+    try {
+        flow.prepare();
+        FAIL() << "expected FlowError";
+    } catch (const FlowError& e) {
+        EXPECT_EQ(e.phase(), "sta");
+        EXPECT_NE(std::string(e.what()).find("sta"), std::string::npos);
+    }
+    // The status block names the failed phase before the throw.
+    const PhaseStatus* sta = flow.status().find("sta");
+    ASSERT_NE(sta, nullptr);
+    EXPECT_EQ(sta->outcome, PhaseOutcome::Failed);
+    EXPECT_TRUE(flow.status().cancelled);
+}
+
+TEST_F(ResilienceTest, FlowErrorNamesItsPhase) {
+    const FlowError e("monitor_placement", "no pseudo outputs");
+    EXPECT_EQ(e.phase(), "monitor_placement");
+    EXPECT_STREQ(e.what(),
+                 "flow phase 'monitor_placement' failed: no pseudo outputs");
+}
+
+TEST_F(ResilienceTest, CancelledRunLeavesWellFormedManifestSnapshot) {
+    const std::string path = "test_resilience_manifest.json";
+    FaultInjector::global().arm("cancel.fault_sim_mid");
+    HdfFlowConfig config = small_config();
+    config.manifest_path = path;
+    HdfFlow flow(s27_, config);
+    const HdfFlowResult r = flow.run();
+    ASSERT_TRUE(r.status.cancelled);
+
+    // The snapshot on disk parses, round-trips, and tells the truth.
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    const std::string text((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+    in.close();
+    Json doc;
+    ASSERT_NO_THROW(doc = parse_json_or_throw(text, path));
+    const auto manifest = RunManifest::from_json(doc);
+    ASSERT_TRUE(manifest.has_value());
+
+    const Json& status = manifest->status();
+    ASSERT_FALSE(status.is_null());
+    ASSERT_NE(status.find("outcome"), nullptr);
+    EXPECT_EQ(status.find("outcome")->as_string(), "degraded");
+    ASSERT_NE(status.find("cancelled"), nullptr);
+    EXPECT_TRUE(status.find("cancelled")->as_bool());
+    ASSERT_NE(status.find("cancel_cause"), nullptr);
+    EXPECT_EQ(status.find("cancel_cause")->as_string(), "test");
+    ASSERT_NE(status.find("phases"), nullptr);
+    const JsonArray& phases = status.find("phases")->as_array();
+    EXPECT_GE(phases.size(), 11u);
+    for (const Json& p : phases) {
+        ASSERT_NE(p.find("name"), nullptr);
+        ASSERT_NE(p.find("outcome"), nullptr);
+    }
+    // No torn .partial left behind by the atomic snapshot writes.
+    EXPECT_FALSE(std::ifstream(path + ".partial").good());
+    std::remove(path.c_str());
+}
+
+TEST_F(ResilienceTest, EnvSpecArmsInjectionPoints) {
+    // The same grammar FASTMON_FAULT_INJECT uses from the environment.
+    ASSERT_TRUE(
+        FaultInjector::global().arm_spec("cancel.fault_sim_mid,parser.sdf"));
+    HdfFlow flow(s27_, small_config());
+    const HdfFlowResult r = flow.run();
+    EXPECT_TRUE(r.status.cancelled);
+    EXPECT_FALSE(r.status.complete());
+}
+
+TEST_F(ResilienceTest, CleanRunReportsCompleteStatus) {
+    // Control: with nothing armed the status block is all-Ok, so the
+    // degradation machinery provably does not tax a healthy run.
+    HdfFlow flow(s27_, small_config());
+    const HdfFlowResult r = flow.run();
+    EXPECT_TRUE(r.status.complete());
+    EXPECT_STREQ(r.status.overall(), "ok");
+    EXPECT_FALSE(r.status.cancelled);
+    EXPECT_EQ(r.status.cancel_cause, CancelCause::None);
+    ASSERT_EQ(r.status.phases.size(), 11u);
+    for (const PhaseStatus& p : r.status.phases) {
+        EXPECT_EQ(p.outcome, PhaseOutcome::Ok) << p.name;
+        EXPECT_TRUE(p.detail.empty()) << p.name << ": " << p.detail;
+    }
+    // Degraded/complete state also round-trips through the manifest.
+    const RunManifest m = flow.manifest(r);
+    ASSERT_FALSE(m.status().is_null());
+    EXPECT_EQ(m.status().find("outcome")->as_string(), "ok");
+}
+
+}  // namespace
+}  // namespace fastmon

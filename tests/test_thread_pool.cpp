@@ -84,6 +84,41 @@ TEST(ThreadPool, WaitRethrowsFirstException) {
     EXPECT_EQ(completed.load(), 15);
 }
 
+TEST(ThreadPool, CancelDrainsQueuedTasksWithoutRunningThem) {
+    ThreadPool pool(2);
+    ThreadPool::TaskGroup group(pool);
+    // Park both workers so the queue backs up deterministically.
+    std::atomic<int> parked{0};
+    std::atomic<bool> release{false};
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 2; ++i) {
+        group.run([&parked, &release, &ran] {
+            parked.fetch_add(1);
+            while (!release.load()) std::this_thread::yield();
+            ran.fetch_add(1);
+        });
+    }
+    while (parked.load() < 2) std::this_thread::yield();
+    constexpr int kQueued = 100;
+    for (int i = 0; i < kQueued; ++i) {
+        group.run([&ran] { ran.fetch_add(1); });
+    }
+    pool.cancel();
+    release.store(true);
+    // wait() still balances: drained tasks complete their bookkeeping,
+    // they just skip the user function.
+    group.wait();
+    EXPECT_EQ(ran.load(), 2);  // only the already-running blockers
+    EXPECT_EQ(pool.stats().tasks_drained, static_cast<std::uint64_t>(kQueued));
+    pool.reset_cancel();
+    // The pool is usable again after the drain.
+    ThreadPool::TaskGroup after(pool);
+    std::atomic<int> post{0};
+    after.run([&post] { post.fetch_add(1); });
+    after.wait();
+    EXPECT_EQ(post.load(), 1);
+}
+
 TEST(ThreadPool, NestedSubmissionFromWorkerTasks) {
     ThreadPool pool(3);
     std::atomic<int> inner_runs{0};
