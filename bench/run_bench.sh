@@ -16,7 +16,7 @@ repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build-bench}"
 
 cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
-cmake --build "$build_dir" -j"$(nproc)" --target bench_micro bench_fig3
+cmake --build "$build_dir" -j"$(nproc)" --target bench_micro bench_fig3 bench_campaign
 
 cd "$repo_root"
 
@@ -24,6 +24,10 @@ rm -f BENCH_manifest.json
 
 echo "== micro benchmarks =="
 "$build_dir/bench/bench_micro" --benchmark_min_time=0.05
+
+echo
+echo "== campaign engine (BENCH_campaign.json) =="
+"$build_dir/bench/bench_campaign"
 
 echo
 echo "== detection engine counters (BENCH_detection.json) =="
@@ -44,6 +48,40 @@ check_json() {
 
 check_json BENCH_detection.json
 check_json BENCH_manifest.json
+check_json BENCH_campaign.json
+
+# The campaign artifact must carry the prediction-quality blocks and a
+# non-degraded flow status for every entry.
+python3 - <<'EOF'
+import json, sys
+with open("BENCH_campaign.json") as f:
+    doc = json.load(f)
+entries = doc.get("entries")
+if not entries:
+    sys.exit("ERROR: BENCH_campaign.json has no campaign entries")
+for entry in entries:
+    missing = [k for k in ("campaign", "aggregate", "run") if k not in entry]
+    if missing:
+        sys.exit(f"ERROR: campaign entry missing blocks: {missing}")
+    label = entry["campaign"].get("circuit", "?")
+    agg = entry["aggregate"]
+    cls = agg.get("classification", {})
+    for key in ("roc_auc", "average_precision"):
+        value = cls.get(key)
+        if value is None or not (0.0 <= value <= 1.0):
+            sys.exit(f"ERROR: {label}: classification.{key}={value!r} "
+                     "outside [0, 1]")
+    for block in ("lead_time_years", "wearout"):
+        if block not in agg:
+            sys.exit(f"ERROR: {label}: aggregate missing '{block}'")
+    status = entry["run"].get("status", {})
+    if status.get("outcome") != "ok":
+        sys.exit(f"ERROR: {label}: campaign flow status degraded: "
+                 f"{json.dumps(status)}")
+    print(f"campaign ok: {label} "
+          f"(pop {entry['campaign']['population']:.0f}, "
+          f"ROC AUC {cls['roc_auc']:.3f}, AP {cls['average_precision']:.3f})")
+EOF
 
 # The manifest must carry the blocks perf tracking relies on.
 python3 - <<'EOF'

@@ -1,61 +1,123 @@
-// Wear-out and early-life failure prediction over a device lifetime —
-// the monitoring story of Fig. 2.
+// Wear-out and early-life failure prediction over device lifetimes —
+// the monitoring story of Fig. 2, driven through the campaign engine.
 //
-// Two devices are simulated over twelve years of operation:
-//   * a healthy device that only wears out (lumped EM/HCI-dominated
-//     linear delay degradation);
-//   * a marginal device that additionally carries an early-life defect
-//     (a hidden delay fault that magnifies after deployment).
+// A small population (N = 8) of virtual devices is sampled with the
+// campaign API: every device gets its own process-variation annotation
+// and wear-out rate, and about half additionally carry an early-life
+// defect (a hidden delay fault that magnifies after deployment).
 // Programmable monitors watch the long path ends.  The deployed clock
-// runs at 1.6 x the critical path (deployed systems keep margin well
-// beyond STA sign-off), so the guard-band ladder unfolds over the
-// lifetime: the wide window (1/3 clk) alerts first — the early-warning
-// configuration of Fig. 2 (b) — and after reconfiguration the narrow
-// windows track the shrinking margin until imminent failure
-// (Fig. 2 (c)).
-#include <algorithm>
+// runs at 1.6 x the critical path, so the guard-band ladder unfolds
+// over the lifetime: the wide window (1/3 clk) alerts first — the
+// early-warning configuration of Fig. 2 (b) — and the narrow windows
+// track the shrinking margin until imminent failure (Fig. 2 (c)).
+//
+// Because a device is a pure function of (campaign seed, index), the
+// example then re-derives one marginal device from its index alone and
+// replays its alert ladder in detail — the same determinism contract
+// that makes fleet-scale campaigns resumable and thread-count
+// independent (see DESIGN.md, "Campaign engine").
 #include <cmath>
 #include <cstdio>
 #include <iostream>
 #include <string>
 
+#include "campaign/campaign.hpp"
 #include "monitor/aging.hpp"
 #include "monitor/policy.hpp"
 #include "netlist/iscas_data.hpp"
+#include "timing/delay_model.hpp"
 #include "timing/sta.hpp"
 
 int main() {
     using namespace fastmon;
 
     const Netlist netlist = make_mini_alu();
-    const DelayAnnotation base = DelayAnnotation::nominal(netlist);
-    // Operating point: generous deployed margin (clk = 1.6 x cpl).
-    const StaResult sta = run_sta(netlist, base, 1.6);
-    const MonitorPlacement placement = place_paper_monitors(netlist, sta);
-    std::cout << "circuit " << netlist.name() << ", operating clk = "
-              << sta.clock_period << " ps (1.6 x cpl), "
-              << placement.num_monitors()
-              << " monitor(s), guard bands (ps):";
-    for (std::size_t c = 1; c < placement.config_delays.size(); ++c) {
-        std::cout << ' ' << placement.config_delays[c];
+
+    // --- an N=8 campaign: population sampling + rollout + aggregate --
+    CampaignConfig config;
+    config.population = 8;
+    config.seed = 3;
+    config.num_threads = 1;  // tiny population; keep the run serial
+    // A heavily stressed automotive corner (+55 % delay over the
+    // 10-year reference) and every second device marginal, so the
+    // small population shows both lifecycle stories.
+    config.model.aging.nominal = AgingModel{0.55, 1.0, 10.0};
+    config.model.defect.incidence = 0.5;
+    config.horizon_years = 12.0;
+    // Under this aggressive wear-out everyone alerts within two years
+    // and fails within the horizon; widen the burn-in screen and the
+    // "early" cutoff accordingly so the classification story shows.
+    config.screen_years = 2.0;
+    config.aggregate.early_fail_years = 8.0;
+
+    const CampaignResult result = run_campaign(netlist, config);
+    std::cout << "circuit " << result.circuit << ", operating clk = "
+              << result.clock_period << " ps (1.6 x cpl), "
+              << result.num_monitors << " monitor(s), population "
+              << result.outcomes.size() << "\n\n";
+
+    std::cout << "device  marginal  screen  wide alert  failure  lead\n";
+    for (const DeviceOutcome& out : result.outcomes) {
+        auto years = [](double y) {
+            char buf[16];
+            if (y < 0.0) {
+                std::snprintf(buf, sizeof buf, "%8s", "never");
+            } else {
+                std::snprintf(buf, sizeof buf, "%6.2f y", y);
+            }
+            return std::string(buf);
+        };
+        std::printf("  #%u      %s     %5.2f  %s  %s  %s\n", out.index,
+                    out.marginal ? "yes" : " no", out.screen_score,
+                    years(out.first_alert_years.back()).c_str(),
+                    years(out.failure_years).c_str(),
+                    years(out.lead_time_years()).c_str());
     }
-    std::cout << "\n\n";
+    const CampaignAggregate& agg = result.aggregate;
+    std::printf(
+        "\n%zu of %zu marginal; %zu failed within %.0f y (%zu early); "
+        "burn-in screen ROC AUC %.2f\n\n",
+        agg.marginal, agg.population, agg.failed, config.horizon_years,
+        agg.early_failures, agg.classification.roc_auc);
 
-    // Lumped linear degradation: +55 % delay over the 10-year reference
-    // (a heavily stressed automotive corner).
-    AgingModel aging;
-    aging.amplitude = 0.55;
-    aging.exponent = 1.0;
-    aging.t_ref_years = 10.0;
+    // --- replay one device in detail, re-derived from its index ------
+    // The campaign never stored this device: (seed, index) is enough to
+    // rebuild its silicon, wear-out rate, and defects bit-identically.
+    std::uint32_t marginal_index = 0;
+    std::uint32_t healthy_index = 0;
+    for (const DeviceOutcome& out : result.outcomes) {
+        if (out.marginal) {
+            marginal_index = out.index;
+        } else {
+            healthy_index = out.index;
+        }
+    }
 
-    std::vector<double> grid;
-    for (double y = 0.0; y <= 12.0 + 1e-9; y += 0.25) grid.push_back(y);
+    const DelayAnnotation nominal = DelayAnnotation::nominal(netlist);
+    const StaResult sta = run_sta(netlist, nominal, config.clock_margin);
+    const MonitorPlacement placement =
+        place_monitors(netlist, sta, config.monitor_fraction,
+                       config.monitor_delay_fractions);
+    const std::vector<GateId> sites = combinational_sites(netlist);
+    const std::vector<double> grid =
+        make_year_grid(config.horizon_years, config.step_years);
 
-    auto report = [&](const char* label, LifetimeSimulator& sim) {
-        std::cout << "--- " << label << " ---\n";
+    auto replay = [&](const char* label, std::uint32_t index) {
+        const DeviceSample sample =
+            sample_device(config.model, config.seed, index, sites,
+                          sta.clock_period);
+        const DelayAnnotation silicon =
+            DelayAnnotation::with_lognormal_variation(
+                netlist, config.model.variation.sigma_log, sample.seed);
+        LifetimeSimulator sim(netlist, silicon, sta.clock_period,
+                              sample.aging, sample.seed);
+        for (const MarginalDefect& defect : sample.defects) {
+            sim.add_defect(defect);
+        }
+        std::cout << "--- device #" << index << ": " << label << " ---\n";
         std::cout << "year   arrival/clk   guard-band alerts (wide..narrow)\n";
-        double failure_year = -1.0;
         std::vector<bool> prev_alerts(placement.config_delays.size(), false);
+        double failure_year = -1.0;
         for (const LifetimePoint& p : sim.sweep(grid, placement)) {
             const bool alerts_changed = p.alerts != prev_alerts;
             const bool yearly = std::fmod(p.years + 1e-9, 2.0) < 0.02;
@@ -75,14 +137,6 @@ int main() {
         }
         const std::vector<double> first =
             sim.first_alert_years(grid, placement);
-        std::cout << "first alerts: ";
-        for (std::size_t c = first.size(); c-- > 1;) {
-            std::printf(" d=%.0fps:%s", placement.config_delays[c],
-                        first[c] < 0
-                            ? " never"
-                            : (" " + std::to_string(first[c]) + "y").c_str());
-        }
-        std::cout << "\n";
         if (failure_year >= 0.0 && first.back() >= 0.0) {
             std::printf(
                 "failure at %.2f y; the wide guard band alerted %.2f y "
@@ -92,29 +146,13 @@ int main() {
         std::cout << "\n";
     };
 
-    // Healthy device: pure wear-out.
-    LifetimeSimulator healthy(netlist, base, sta.clock_period, aging, 1);
-    report("healthy device (wear-out only)", healthy);
-
-    // Marginal device: an early-life defect on a gate feeding a
-    // monitored endpoint grows quickly during the first years.
-    LifetimeSimulator marginal(netlist, base, sta.clock_period, aging, 1);
-    GateId site = kNoGate;
-    for (std::uint32_t oi : placement.monitor_observes) {
-        site = netlist.observe_points()[oi].signal;
-        break;
-    }
-    MarginalDefect defect;
-    defect.site = FaultSite{site, FaultSite::kOutputPin};
-    defect.delta0 = 0.02 * sta.clock_period;   // hidden at deployment
-    defect.growth_per_year = 0.9;              // magnifies quickly
-    defect.delta_max = 0.45 * sta.clock_period;
-    marginal.add_defect(defect);
-    report("marginal device (early-life defect)", marginal);
+    replay("wear-out only", healthy_index);
+    replay("early-life defect", marginal_index);
 
     std::cout << "The marginal device walks the same alert ladder years\n"
                  "earlier — the early-life signature the paper's FAST reuse\n"
-                 "of these monitors exposes already at manufacturing test.\n\n";
+                 "of these monitors exposes already at manufacturing test,\n"
+                 "and that the campaign aggregate quantifies fleet-wide.\n\n";
 
     // --- Closed-loop operation: the Fig. 2 procedure as a policy -----
     // Start wide, alert -> countermeasure (frequency/voltage scaling
@@ -122,7 +160,8 @@ int main() {
     // narrowest band's alert flags imminent failure.
     std::cout << "--- adaptive policy (alert -> countermeasure ->"
                  " narrower guard band) ---\n";
-    LifetimeSimulator managed(netlist, base, sta.clock_period, aging, 1);
+    LifetimeSimulator managed(netlist, nominal, sta.clock_period,
+                              config.model.aging.nominal, 1);
     PolicyConfig policy;
     policy.countermeasure_rate_scale = 0.5;
     policy.horizon_years = 25.0;

@@ -1,0 +1,87 @@
+// Campaign aggregation: population-level prediction quality.
+//
+// Turns the per-device outcomes of a campaign into the statistics the
+// paper's claim is judged on: how well the burn-in screen score
+// separates devices that actually fail early (ROC AUC, average
+// precision, the precision-recall curve, and the confusion counts of
+// the natural "any alert in the screen window" operating point),
+// alert-to-failure lead-time percentiles for the wide (early warning)
+// and narrow (imminent failure) guard bands, and wear-out failure-year
+// percentile curves.  Aggregation walks outcomes in device-index order
+// over plain doubles, so a fixed population produces a bit-identical
+// aggregate regardless of thread count or resume history.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "campaign/rollout.hpp"
+#include "util/json.hpp"
+#include "util/stats.hpp"
+
+namespace fastmon {
+
+struct AggregateConfig {
+    /// A device failing at or before this year is an actual early-life
+    /// failure (the classification ground truth).
+    double early_fail_years = 3.0;
+};
+
+/// Percentile summary of one empirical distribution.
+struct DistributionSummary {
+    std::size_t count = 0;
+    double mean = 0.0;
+    double p10 = 0.0;
+    double p50 = 0.0;
+    double p90 = 0.0;
+
+    [[nodiscard]] Json to_json() const;
+};
+
+/// Classifier quality of the burn-in screen score against actual
+/// early-life failure.
+struct ClassificationQuality {
+    std::size_t positives = 0;   ///< actual early-life failures
+    std::size_t negatives = 0;
+    double roc_auc = 0.5;
+    double average_precision = 0.0;
+    std::vector<PrPoint> pr_curve;
+    // Confusion at the hardware-natural threshold: "some guard band
+    // alerted during the screen" (score > 0).
+    std::size_t true_positives = 0;
+    std::size_t false_positives = 0;
+    std::size_t false_negatives = 0;
+    std::size_t true_negatives = 0;
+    double precision = 0.0;
+    double recall = 0.0;
+
+    [[nodiscard]] Json to_json() const;
+};
+
+struct CampaignAggregate {
+    std::size_t population = 0;   ///< devices aggregated
+    std::size_t marginal = 0;     ///< ground-truth defect carriers
+    std::size_t failed = 0;       ///< failed within the horizon
+    std::size_t early_failures = 0;
+    std::size_t survived = 0;
+    ClassificationQuality classification;
+    DistributionSummary lead_time_wide;      ///< widest band -> failure
+    DistributionSummary lead_time_imminent;  ///< narrowest band -> failure
+    /// Failure-year percentile curve over failed wear-out-only
+    /// (non-marginal) devices: {p, year} pairs for the standard grid.
+    std::vector<std::pair<double, double>> wearout_failure_percentiles;
+    DistributionSummary wearout_failure_years;
+
+    [[nodiscard]] Json to_json() const;
+};
+
+/// Aggregates completed outcomes (callers pass them in device-index
+/// order; the aggregate is a pure fold over that order).
+CampaignAggregate aggregate_outcomes(std::span<const DeviceOutcome> outcomes,
+                                     const AggregateConfig& config);
+
+/// Per-device CSV export ("index,marginal,...", one row per outcome).
+std::string outcomes_csv(std::span<const DeviceOutcome> outcomes);
+
+}  // namespace fastmon

@@ -1,0 +1,298 @@
+#include "campaign/campaign.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <optional>
+
+#include "campaign/checkpoint.hpp"
+#include "monitor/placement.hpp"
+#include "timing/sta.hpp"
+#include "util/cancel.hpp"
+#include "util/log.hpp"
+#include "util/metrics.hpp"
+#include "util/thread_pool.hpp"
+#include "util/trace.hpp"
+
+namespace fastmon {
+
+namespace {
+
+void append_number(std::string& out, double v) {
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g;", v);
+    out += buf;
+}
+
+}  // namespace
+
+std::string campaign_canonical(const Netlist& netlist,
+                               const CampaignConfig& config) {
+    std::string canonical = "campaign-v1;";
+    canonical += netlist.name();
+    canonical += ';';
+    append_number(canonical, static_cast<double>(netlist.size()));
+    append_number(canonical, static_cast<double>(config.population));
+    append_number(canonical, static_cast<double>(config.seed));
+    append_number(canonical, config.model.variation.sigma_log);
+    append_number(canonical, config.model.defect.incidence);
+    append_number(canonical,
+                  static_cast<double>(config.model.defect.max_defects));
+    append_number(canonical, config.model.defect.delta0_fraction_median);
+    append_number(canonical, config.model.defect.delta0_sigma_log);
+    append_number(canonical, config.model.defect.growth_min);
+    append_number(canonical, config.model.defect.growth_max);
+    append_number(canonical, config.model.defect.delta_max_fraction);
+    append_number(canonical, config.model.aging.nominal.amplitude);
+    append_number(canonical, config.model.aging.nominal.exponent);
+    append_number(canonical, config.model.aging.nominal.t_ref_years);
+    append_number(canonical, config.model.aging.amplitude_sigma_log);
+    append_number(canonical, config.clock_margin);
+    append_number(canonical, config.monitor_fraction);
+    for (double f : config.monitor_delay_fractions) {
+        append_number(canonical, f);
+    }
+    append_number(canonical, config.horizon_years);
+    append_number(canonical, config.step_years);
+    append_number(canonical, config.screen_years);
+    append_number(canonical, config.aggregate.early_fail_years);
+    return canonical;
+}
+
+Json CampaignResult::to_json(const CampaignConfig& config) const {
+    Json j = Json::object();
+
+    Json campaign = Json::object();
+    campaign.set("circuit", circuit);
+    campaign.set("num_gates", num_gates);
+    campaign.set("num_monitors", num_monitors);
+    campaign.set("clock_period", clock_period);
+    campaign.set("population", config.population);
+    campaign.set("seed", config.seed);
+    Json model = Json::object();
+    model.set("variation_sigma_log", config.model.variation.sigma_log);
+    model.set("defect_incidence", config.model.defect.incidence);
+    model.set("defect_max_defects", config.model.defect.max_defects);
+    model.set("defect_delta0_fraction_median",
+              config.model.defect.delta0_fraction_median);
+    model.set("defect_delta0_sigma_log", config.model.defect.delta0_sigma_log);
+    model.set("defect_growth_min", config.model.defect.growth_min);
+    model.set("defect_growth_max", config.model.defect.growth_max);
+    model.set("defect_delta_max_fraction",
+              config.model.defect.delta_max_fraction);
+    model.set("aging_amplitude", config.model.aging.nominal.amplitude);
+    model.set("aging_exponent", config.model.aging.nominal.exponent);
+    model.set("aging_t_ref_years", config.model.aging.nominal.t_ref_years);
+    model.set("aging_amplitude_sigma_log",
+              config.model.aging.amplitude_sigma_log);
+    campaign.set("model", std::move(model));
+    campaign.set("clock_margin", config.clock_margin);
+    campaign.set("monitor_fraction", config.monitor_fraction);
+    campaign.set("horizon_years", config.horizon_years);
+    campaign.set("step_years", config.step_years);
+    campaign.set("screen_years", config.screen_years);
+    campaign.set("early_fail_years", config.aggregate.early_fail_years);
+    j.set("campaign", std::move(campaign));
+
+    j.set("aggregate", aggregate.to_json());
+
+    Json run = Json::object();
+    run.set("devices_completed", devices_completed);
+    run.set("devices_resumed", devices_resumed);
+    run.set("checkpoints_written", checkpoints_written);
+    run.set("total_wall_seconds", total_wall_seconds);
+    run.set("status", status.to_json());
+    j.set("run", std::move(run));
+    return j;
+}
+
+CampaignResult run_campaign(const Netlist& netlist,
+                            const CampaignConfig& config) {
+    const PhaseStopwatch total;
+    CancelToken& token = CancelToken::global();
+    MetricsRegistry& metrics = MetricsRegistry::global();
+    CampaignResult result;
+    result.circuit = netlist.name();
+    result.num_gates = netlist.size();
+
+    // --- campaign_prepare: design-time artifacts, shared fleet-wide ---
+    PhaseStopwatch prepare_sw;
+    RolloutContext ctx;
+    MonitorPlacement placement;
+    std::vector<GateId> sites;
+    {
+        TraceSpan span("campaign_prepare");
+        const DelayAnnotation nominal = DelayAnnotation::nominal(netlist);
+        const StaResult sta = run_sta(netlist, nominal, config.clock_margin);
+        placement = place_monitors(netlist, sta, config.monitor_fraction,
+                                   config.monitor_delay_fractions);
+        result.clock_period = sta.clock_period;
+        ctx.netlist = &netlist;
+        ctx.placement = &placement;
+        ctx.clock_period = sta.clock_period;
+        ctx.grid = make_year_grid(config.horizon_years, config.step_years);
+        ctx.screen_years = config.screen_years;
+        ctx.variation_sigma_log = config.model.variation.sigma_log;
+        sites = combinational_sites(netlist);
+    }
+    result.num_monitors = placement.num_monitors();
+    result.phases.push_back(prepare_sw.elapsed("campaign_prepare"));
+    result.status.phases.push_back(
+        PhaseStatus{"campaign_prepare", PhaseOutcome::Ok, ""});
+
+    const std::uint64_t fingerprint =
+        checkpoint_fingerprint(campaign_canonical(netlist, config));
+
+    // --- campaign_resume: trust completed devices from the snapshot ---
+    std::vector<std::optional<DeviceOutcome>> slots(config.population);
+    {
+        PhaseStopwatch sw;
+        // "Resume not requested" is the normal path, not a degradation
+        // (Skipped is reserved for phases that a failure prevented).
+        PhaseStatus st{"campaign_resume", PhaseOutcome::Ok,
+                       "resume not requested"};
+        if (config.resume && !config.checkpoint_path.empty()) {
+            std::string error;
+            const auto ckpt = load_checkpoint(config.checkpoint_path, &error);
+            if (!ckpt) {
+                st.outcome = PhaseOutcome::Degraded;
+                st.detail = error.empty() ? "no checkpoint file; fresh start"
+                                          : error + "; fresh start";
+            } else if (ckpt->fingerprint != fingerprint ||
+                       ckpt->population != config.population) {
+                st.outcome = PhaseOutcome::Degraded;
+                st.detail =
+                    "checkpoint belongs to a different campaign; fresh start";
+            } else {
+                for (const DeviceOutcome& out : ckpt->outcomes) {
+                    slots[out.index] = out;
+                    ++result.devices_resumed;
+                }
+                st.outcome = PhaseOutcome::Ok;
+                st.detail = std::to_string(result.devices_resumed) +
+                            " device(s) resumed";
+            }
+        }
+        metrics.counter("campaign.devices_resumed")
+            .add(result.devices_resumed);
+        result.phases.push_back(sw.elapsed("campaign_resume"));
+        result.status.phases.push_back(std::move(st));
+    }
+
+    // --- campaign_rollout: sharded Monte Carlo over the population ---
+    {
+        PhaseStopwatch sw;
+        TraceSpan span("campaign_rollout");
+        PhaseStatus st{"campaign_rollout", PhaseOutcome::Ok, ""};
+
+        std::unique_ptr<ThreadPool> dedicated;
+        ThreadPool* pool = nullptr;
+        if (config.num_threads >= 2) {
+            dedicated = std::make_unique<ThreadPool>(config.num_threads);
+            pool = dedicated.get();
+        } else if (config.num_threads == 0) {
+            pool = &ThreadPool::shared();
+        }
+
+        const auto roll_range = [&](std::size_t begin, std::size_t end) {
+            for (std::size_t i = begin; i < end; ++i) {
+                if (token.cancelled()) return;  // device-boundary poll
+                if (slots[i]) continue;         // resumed from checkpoint
+                const DeviceSample sample = sample_device(
+                    config.model, config.seed,
+                    static_cast<std::uint32_t>(i), sites, ctx.clock_period);
+                slots[i] = roll_device(ctx, sample);
+            }
+        };
+
+        const auto save_snapshot = [&] {
+            if (config.checkpoint_path.empty()) return;
+            CampaignCheckpoint ckpt;
+            ckpt.fingerprint = fingerprint;
+            ckpt.population = config.population;
+            for (const auto& slot : slots) {
+                if (slot) ckpt.outcomes.push_back(*slot);
+            }
+            if (save_checkpoint(config.checkpoint_path, ckpt)) {
+                ++result.checkpoints_written;
+                metrics.counter("campaign.checkpoints_written").add();
+            } else {
+                log_warn() << "campaign: failed to write checkpoint "
+                           << config.checkpoint_path;
+            }
+        };
+
+        const std::size_t block =
+            config.checkpoint_path.empty()
+                ? std::max<std::size_t>(config.population, 1)
+                : std::max<std::size_t>(config.checkpoint_every, 1);
+        try {
+            for (std::size_t begin = 0;
+                 begin < config.population && !token.cancelled();
+                 begin += block) {
+                const std::size_t end =
+                    std::min(config.population, begin + block);
+                if (pool) {
+                    pool->parallel_chunks(
+                        end - begin, 0, [&](std::size_t b, std::size_t e) {
+                            roll_range(begin + b, begin + e);
+                        });
+                } else {
+                    roll_range(begin, end);
+                }
+                if (end < config.population || token.cancelled()) {
+                    save_snapshot();
+                }
+            }
+        } catch (const CancelledError&) {
+            // An engine below the device loop (STA mid-pass) observed
+            // the request first; the device stays incomplete.
+        }
+        save_snapshot();
+
+        std::size_t completed = 0;
+        for (const auto& slot : slots) {
+            if (slot) ++completed;
+        }
+        result.devices_completed = completed;
+        metrics.counter("campaign.devices_completed")
+            .add(completed - result.devices_resumed);
+        if (token.cancelled()) {
+            result.status.cancelled = true;
+            result.status.cancel_cause = token.cause();
+            st.outcome = PhaseOutcome::Degraded;
+            st.detail = "cancelled after " + std::to_string(completed) +
+                        " of " + std::to_string(config.population) +
+                        " devices";
+        }
+        result.phases.push_back(sw.elapsed("campaign_rollout"));
+        result.status.phases.push_back(std::move(st));
+    }
+
+    // --- campaign_aggregate: deterministic fold in device order ------
+    {
+        PhaseStopwatch sw;
+        TraceSpan span("campaign_aggregate");
+        PhaseStatus st{"campaign_aggregate", PhaseOutcome::Ok, ""};
+        result.outcomes.reserve(result.devices_completed);
+        for (const auto& slot : slots) {
+            if (slot) result.outcomes.push_back(*slot);
+        }
+        result.aggregate = aggregate_outcomes(result.outcomes,
+                                              config.aggregate);
+        if (result.devices_completed < config.population) {
+            st.outcome = PhaseOutcome::Degraded;
+            st.detail = "aggregate over " +
+                        std::to_string(result.devices_completed) + " of " +
+                        std::to_string(config.population) + " devices";
+        }
+        result.phases.push_back(sw.elapsed("campaign_aggregate"));
+        result.status.phases.push_back(std::move(st));
+    }
+
+    result.total_wall_seconds =
+        total.elapsed("campaign_total").wall_seconds;
+    return result;
+}
+
+}  // namespace fastmon

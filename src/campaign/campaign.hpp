@@ -1,0 +1,95 @@
+// Monte Carlo device-population campaign engine.
+//
+// Rolls a population of sampled virtual devices (process variation +
+// wear-out spread + early-life defect incidence) through the monitor
+// guard-band lifetime simulation, sharded across the persistent thread
+// pool, and aggregates fleet-scale prediction quality: early-life-
+// failure classification (ROC / precision-recall of the burn-in screen
+// score), alert lead-time distributions, and wear-out percentile
+// curves.
+//
+// Determinism contract: every device is a pure function of
+// (campaign seed, device index) via Prng::stream, outcomes are
+// aggregated in index order, and artifact JSON carries no timestamps —
+// so a campaign is bit-identical across thread counts, and a campaign
+// killed by SIGINT / FASTMON_DEADLINE and resumed from its checkpoint
+// converges to the exact aggregate of an uninterrupted run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "campaign/aggregate.hpp"
+#include "campaign/population.hpp"
+#include "campaign/rollout.hpp"
+#include "flow/flow_status.hpp"
+#include "util/manifest.hpp"
+
+namespace fastmon {
+
+struct CampaignConfig {
+    std::size_t population = 100;
+    std::uint64_t seed = 1;
+    PopulationModel model;
+    /// Deployed clock = margin * nominal critical path (deployed
+    /// systems keep margin well beyond STA sign-off).
+    double clock_margin = 1.6;
+    /// Monitor insertion knobs (same defaults as the HDF flow /
+    /// Sec. V of the paper).
+    double monitor_fraction = 0.25;
+    std::vector<double> monitor_delay_fractions = {0.05, 0.10, 0.15,
+                                                   1.0 / 3.0};
+    /// Lifetime evaluation grid.
+    double horizon_years = 15.0;
+    double step_years = 0.25;
+    /// Burn-in screen window for the prediction signature.
+    double screen_years = 0.5;
+    AggregateConfig aggregate;
+    /// Simulation lanes: 0 = shared pool (one per hardware thread),
+    /// 1 = serial, n >= 2 = dedicated pool of n workers.
+    std::size_t num_threads = 0;
+    /// When non-empty, a resumable snapshot is atomically rewritten
+    /// here every `checkpoint_every` devices (and at exit).
+    std::string checkpoint_path;
+    std::size_t checkpoint_every = 64;
+    /// Resume from an existing checkpoint at checkpoint_path (a
+    /// fingerprint mismatch degrades to a fresh start, recorded in the
+    /// status block).
+    bool resume = false;
+};
+
+struct CampaignResult {
+    std::string circuit;
+    std::size_t num_gates = 0;
+    std::size_t num_monitors = 0;
+    Time clock_period = 0.0;
+    /// Completed outcomes in ascending device index (== population on
+    /// an uncancelled run).
+    std::vector<DeviceOutcome> outcomes;
+    CampaignAggregate aggregate;
+    std::size_t devices_completed = 0;
+    std::size_t devices_resumed = 0;   ///< trusted from the checkpoint
+    std::size_t checkpoints_written = 0;
+    std::vector<PhaseTime> phases;
+    double total_wall_seconds = 0.0;
+    FlowStatus status;
+
+    /// Full campaign report.  The "campaign" and "aggregate" blocks are
+    /// bit-deterministic for a fixed (circuit, config); wall times and
+    /// resume bookkeeping live in the separate "run" block.
+    [[nodiscard]] Json to_json(const CampaignConfig& config) const;
+};
+
+/// Runs the campaign.  Cooperatively cancellable (CancelToken::global()
+/// polled at device boundaries): a cancelled run returns the completed
+/// prefix with an honest status block instead of throwing.
+CampaignResult run_campaign(const Netlist& netlist,
+                            const CampaignConfig& config);
+
+/// Canonical fingerprint input of a campaign (circuit + config); the
+/// checkpoint layer hashes this to detect mismatched resumes.
+std::string campaign_canonical(const Netlist& netlist,
+                               const CampaignConfig& config);
+
+}  // namespace fastmon

@@ -1,0 +1,112 @@
+#include "campaign/checkpoint.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/atomic_file.hpp"
+
+namespace fastmon {
+
+namespace {
+
+/// Fingerprints are 64-bit; JSON numbers are doubles, so the value is
+/// stored as a hex string to survive the round trip losslessly.
+std::string fingerprint_hex(std::uint64_t fp) {
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(fp));
+    return buf;
+}
+
+std::optional<std::uint64_t> parse_fingerprint(const std::string& hex) {
+    if (hex.size() != 16) return std::nullopt;
+    std::uint64_t value = 0;
+    for (char c : hex) {
+        value <<= 4;
+        if (c >= '0' && c <= '9') {
+            value |= static_cast<std::uint64_t>(c - '0');
+        } else if (c >= 'a' && c <= 'f') {
+            value |= static_cast<std::uint64_t>(c - 'a' + 10);
+        } else {
+            return std::nullopt;
+        }
+    }
+    return value;
+}
+
+}  // namespace
+
+std::uint64_t checkpoint_fingerprint(std::string_view canonical) {
+    std::uint64_t hash = 0xCBF29CE484222325ULL;
+    for (const char c : canonical) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= 0x100000001B3ULL;
+    }
+    return hash;
+}
+
+Json CampaignCheckpoint::to_json() const {
+    Json j = Json::object();
+    j.set("format", 1);
+    j.set("fingerprint", fingerprint_hex(fingerprint));
+    j.set("population", population);
+    Json out = Json::array();
+    for (const DeviceOutcome& o : outcomes) out.push_back(o.to_json());
+    j.set("outcomes", std::move(out));
+    return j;
+}
+
+std::optional<CampaignCheckpoint> CampaignCheckpoint::from_json(const Json& j) {
+    if (!j.is_object()) return std::nullopt;
+    const Json* format = j.find("format");
+    const Json* fingerprint = j.find("fingerprint");
+    const Json* population = j.find("population");
+    const Json* outcomes = j.find("outcomes");
+    if (!format || !format->is_number() || format->as_number() != 1.0 ||
+        !fingerprint || !fingerprint->is_string() || !population ||
+        !population->is_number() || !outcomes || !outcomes->is_array()) {
+        return std::nullopt;
+    }
+    const auto fp = parse_fingerprint(fingerprint->as_string());
+    if (!fp) return std::nullopt;
+    CampaignCheckpoint ckpt;
+    ckpt.fingerprint = *fp;
+    ckpt.population = static_cast<std::uint64_t>(population->as_number());
+    std::uint32_t prev_index = 0;
+    for (const Json& o : outcomes->as_array()) {
+        auto outcome = DeviceOutcome::from_json(o);
+        if (!outcome) return std::nullopt;
+        if (outcome->index >= ckpt.population) return std::nullopt;
+        if (!ckpt.outcomes.empty() && outcome->index <= prev_index) {
+            return std::nullopt;  // must be strictly ascending
+        }
+        prev_index = outcome->index;
+        ckpt.outcomes.push_back(std::move(*outcome));
+    }
+    return ckpt;
+}
+
+bool save_checkpoint(const std::string& path,
+                     const CampaignCheckpoint& checkpoint) {
+    return atomic_write_file(path, checkpoint.to_json().dump(2));
+}
+
+std::optional<CampaignCheckpoint> load_checkpoint(const std::string& path,
+                                                  std::string* error) {
+    std::ifstream is(path, std::ios::binary);
+    if (!is) return std::nullopt;  // missing file: a fresh campaign
+    std::ostringstream buffer;
+    buffer << is.rdbuf();
+    std::string parse_error;
+    const auto j = Json::parse(buffer.str(), &parse_error);
+    if (!j) {
+        if (error) *error = "checkpoint is not valid JSON: " + parse_error;
+        return std::nullopt;
+    }
+    auto ckpt = CampaignCheckpoint::from_json(*j);
+    if (!ckpt && error) *error = "checkpoint has an invalid structure";
+    return ckpt;
+}
+
+}  // namespace fastmon

@@ -1,0 +1,48 @@
+// Campaign checkpoint: crash-safe snapshots of completed devices.
+//
+// Every N devices the engine atomically rewrites a JSON snapshot of
+// the outcomes computed so far, stamped with a fingerprint of the
+// campaign inputs (circuit, population, seed, sampling model, grid).
+// A campaign killed by SIGINT or a deadline resumes from the snapshot:
+// completed devices are trusted verbatim, the rest are recomputed from
+// their per-device streams — so the resumed aggregate is bit-identical
+// to an uninterrupted run.  A fingerprint mismatch (different circuit,
+// seed, or model) rejects the snapshot instead of silently mixing two
+// campaigns.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "campaign/rollout.hpp"
+
+namespace fastmon {
+
+struct CampaignCheckpoint {
+    std::uint64_t fingerprint = 0;
+    std::uint64_t population = 0;
+    /// Completed outcomes, ascending device index (any subset).
+    std::vector<DeviceOutcome> outcomes;
+
+    [[nodiscard]] Json to_json() const;
+    static std::optional<CampaignCheckpoint> from_json(const Json& j);
+};
+
+/// FNV-1a over a canonical description string; the campaign fingerprint.
+[[nodiscard]] std::uint64_t checkpoint_fingerprint(std::string_view canonical);
+
+/// Atomically writes the checkpoint (temp file + rename); false on I/O
+/// failure.
+bool save_checkpoint(const std::string& path,
+                     const CampaignCheckpoint& checkpoint);
+
+/// Loads and validates a checkpoint file.  std::nullopt when the file
+/// is missing, unparsable, or structurally invalid; `error` (when
+/// given) receives the reason for everything except a missing file.
+std::optional<CampaignCheckpoint> load_checkpoint(const std::string& path,
+                                                  std::string* error = nullptr);
+
+}  // namespace fastmon

@@ -1,0 +1,60 @@
+#include "campaign/population.hpp"
+
+#include <cmath>
+
+#include "util/prng.hpp"
+
+namespace fastmon {
+
+std::vector<GateId> combinational_sites(const Netlist& netlist) {
+    std::vector<GateId> sites;
+    for (GateId id = 0; id < netlist.size(); ++id) {
+        if (is_combinational(netlist.gate(id).type)) sites.push_back(id);
+    }
+    return sites;
+}
+
+DeviceSample sample_device(const PopulationModel& model, std::uint64_t seed,
+                           std::uint32_t index,
+                           std::span<const GateId> defect_sites,
+                           Time clock_period) {
+    DeviceSample device;
+    device.index = index;
+    device.seed = Prng::stream(seed, index).next_u64();
+
+    // All draws below come from a fixed-order stream so a device is a
+    // pure function of (campaign seed, index).
+    Prng rng = Prng::stream(device.seed, 0xDEC'1CEULL);
+
+    device.aging = model.aging.nominal;
+    if (model.aging.amplitude_sigma_log > 0.0) {
+        const double s = model.aging.amplitude_sigma_log;
+        device.aging.amplitude *= std::exp(rng.normal(-0.5 * s * s, s));
+    }
+
+    if (!defect_sites.empty() && rng.chance(model.defect.incidence)) {
+        const std::uint32_t count =
+            model.defect.max_defects <= 1
+                ? 1
+                : 1 + static_cast<std::uint32_t>(
+                          rng.next_below(model.defect.max_defects));
+        for (std::uint32_t d = 0; d < count; ++d) {
+            MarginalDefect defect;
+            defect.site =
+                FaultSite{defect_sites[rng.next_below(defect_sites.size())],
+                          FaultSite::kOutputPin};
+            const double s = model.defect.delta0_sigma_log;
+            defect.delta0 = clock_period *
+                            model.defect.delta0_fraction_median *
+                            std::exp(rng.normal(0.0, s));
+            defect.growth_per_year =
+                rng.uniform(model.defect.growth_min, model.defect.growth_max);
+            defect.delta_max =
+                clock_period * model.defect.delta_max_fraction;
+            device.defects.push_back(defect);
+        }
+    }
+    return device;
+}
+
+}  // namespace fastmon

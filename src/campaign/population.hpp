@@ -1,0 +1,91 @@
+// Device-population sampling model for Monte Carlo campaigns.
+//
+// The paper's prediction claim — programmable delay monitors separate
+// early-life marginal devices from normally wearing-out ones — can only
+// be judged statistically over a population.  This sampler draws one
+// virtual device per (campaign seed, device index): a per-gate
+// lognormal process-variation annotation, a per-device aging-rate
+// jitter, and, with configurable incidence, a set of early-life
+// MarginalDefects (site, initial delta, growth rate, saturation).
+//
+// Every quantity derives from Prng::stream(seed, index) alone, so a
+// campaign sharded across any number of threads — or killed and
+// resumed — reproduces each device bit-identically.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "monitor/aging.hpp"
+#include "netlist/netlist.hpp"
+#include "util/interval.hpp"
+
+namespace fastmon {
+
+/// Manufacturing process variation across the population.
+struct VariationModel {
+    /// Sigma of the per-gate mean-one lognormal delay-scaling factor
+    /// (DelayAnnotation::with_lognormal_variation).
+    double sigma_log = 0.05;
+};
+
+/// Early-life (latent) defect incidence and severity.
+struct DefectModel {
+    /// Probability that a device carries at least one marginal defect.
+    double incidence = 0.15;
+    /// Maximum defects on a marginal device (uniform in [1, max]).
+    std::uint32_t max_defects = 2;
+    /// Median initial defect delay as a fraction of the clock period
+    /// (lognormal around this median).
+    double delta0_fraction_median = 0.02;
+    /// Lognormal sigma of the initial delta spread.
+    double delta0_sigma_log = 0.5;
+    /// Exponential growth rate per year, uniform in [min, max].
+    double growth_min = 0.4;
+    double growth_max = 1.2;
+    /// Defect saturation as a fraction of the clock period.
+    double delta_max_fraction = 0.5;
+};
+
+/// Device-to-device wear-out spread.
+struct AgingSpread {
+    /// Nominal (median) aging curve shared by the population.
+    AgingModel nominal{0.45, 1.0, 10.0};
+    /// Lognormal sigma of the per-device amplitude jitter (0 = every
+    /// device ages at exactly the nominal rate).
+    double amplitude_sigma_log = 0.25;
+};
+
+/// One sampled virtual device.  The process-variation annotation is
+/// not materialized here (it would dominate memory for large
+/// populations); the rollout rebuilds it from `seed`.
+struct DeviceSample {
+    std::uint32_t index = 0;
+    std::uint64_t seed = 0;  ///< Prng::stream(campaign seed, index) root
+    AgingModel aging;        ///< nominal with per-device amplitude jitter
+    std::vector<MarginalDefect> defects;
+
+    /// Ground truth: the device carries at least one latent defect.
+    [[nodiscard]] bool marginal() const { return !defects.empty(); }
+};
+
+struct PopulationModel {
+    VariationModel variation;
+    DefectModel defect;
+    AgingSpread aging;
+};
+
+/// Samples device `index` of the population.  `defect_sites` are the
+/// candidate fault locations (normally every combinational gate of the
+/// circuit) and `clock_period` scales the defect deltas.
+DeviceSample sample_device(const PopulationModel& model, std::uint64_t seed,
+                           std::uint32_t index,
+                           std::span<const GateId> defect_sites,
+                           Time clock_period);
+
+/// Candidate defect sites of a circuit: every combinational gate, in
+/// id order (deterministic).
+std::vector<GateId> combinational_sites(const Netlist& netlist);
+
+}  // namespace fastmon

@@ -1,0 +1,140 @@
+#include "campaign/rollout.hpp"
+
+#include <algorithm>
+
+#include "timing/delay_model.hpp"
+
+namespace fastmon {
+
+namespace {
+
+double lead_between(double alert, double failure) {
+    if (alert < 0.0 || failure < 0.0) return -1.0;
+    return failure - alert;
+}
+
+}  // namespace
+
+double DeviceOutcome::lead_time_years() const {
+    if (first_alert_years.empty()) return -1.0;
+    return lead_between(first_alert_years.back(), failure_years);
+}
+
+double DeviceOutcome::imminent_lead_time_years() const {
+    if (first_alert_years.size() < 2) return -1.0;
+    return lead_between(first_alert_years[1], failure_years);
+}
+
+Json DeviceOutcome::to_json() const {
+    Json j = Json::object();
+    j.set("index", index);
+    j.set("marginal", marginal);
+    j.set("num_defects", num_defects);
+    j.set("aging_amplitude", aging_amplitude);
+    Json alerts = Json::array();
+    for (double y : first_alert_years) alerts.push_back(y);
+    j.set("first_alert_years", std::move(alerts));
+    j.set("failure_years", failure_years);
+    j.set("margin_used_t0", margin_used_t0);
+    j.set("screen_score", screen_score);
+    return j;
+}
+
+std::optional<DeviceOutcome> DeviceOutcome::from_json(const Json& j) {
+    if (!j.is_object()) return std::nullopt;
+    const Json* index = j.find("index");
+    const Json* marginal = j.find("marginal");
+    const Json* defects = j.find("num_defects");
+    const Json* amplitude = j.find("aging_amplitude");
+    const Json* alerts = j.find("first_alert_years");
+    const Json* failure = j.find("failure_years");
+    const Json* margin = j.find("margin_used_t0");
+    const Json* score = j.find("screen_score");
+    if (!index || !index->is_number() || !marginal || !marginal->is_bool() ||
+        !defects || !defects->is_number() || !amplitude ||
+        !amplitude->is_number() || !alerts || !alerts->is_array() ||
+        !failure || !failure->is_number() || !margin ||
+        !margin->is_number() || !score || !score->is_number()) {
+        return std::nullopt;
+    }
+    DeviceOutcome out;
+    out.index = static_cast<std::uint32_t>(index->as_number());
+    out.marginal = marginal->as_bool();
+    out.num_defects = static_cast<std::uint32_t>(defects->as_number());
+    out.aging_amplitude = amplitude->as_number();
+    for (const Json& a : alerts->as_array()) {
+        if (!a.is_number()) return std::nullopt;
+        out.first_alert_years.push_back(a.as_number());
+    }
+    out.failure_years = failure->as_number();
+    out.margin_used_t0 = margin->as_number();
+    out.screen_score = score->as_number();
+    return out;
+}
+
+std::vector<double> make_year_grid(double horizon_years, double step_years) {
+    std::vector<double> grid;
+    if (step_years <= 0.0) step_years = 0.25;
+    // i * step (not repeated addition) keeps grid points exact enough
+    // to survive JSON round trips and resume bit-identically.
+    for (std::size_t i = 0;; ++i) {
+        const double y = static_cast<double>(i) * step_years;
+        if (y > horizon_years + 1e-9) break;
+        grid.push_back(y);
+    }
+    return grid;
+}
+
+DeviceOutcome roll_device(const RolloutContext& ctx,
+                          const DeviceSample& sample) {
+    DeviceOutcome out;
+    out.index = sample.index;
+    out.marginal = sample.marginal();
+    out.num_defects = static_cast<std::uint32_t>(sample.defects.size());
+    out.aging_amplitude = sample.aging.amplitude;
+
+    // Per-device silicon: process variation sampled from the device's
+    // own stream, so any shard order reproduces it.
+    const DelayAnnotation annotation =
+        DelayAnnotation::with_lognormal_variation(
+            *ctx.netlist, ctx.variation_sigma_log, sample.seed);
+    LifetimeSimulator sim(*ctx.netlist, annotation, ctx.clock_period,
+                          sample.aging, sample.seed);
+    for (const MarginalDefect& defect : sample.defects) {
+        sim.add_defect(defect);
+    }
+
+    const std::size_t num_configs = ctx.placement->config_delays.size();
+    out.first_alert_years.assign(num_configs, -1.0);
+    for (const LifetimePoint& p : sim.sweep(ctx.grid, *ctx.placement)) {
+        for (std::size_t c = 0; c < p.alerts.size() && c < num_configs; ++c) {
+            if (p.alerts[c] && out.first_alert_years[c] < 0.0) {
+                out.first_alert_years[c] = p.years;
+            }
+        }
+        if (p.timing_failure && out.failure_years < 0.0) {
+            out.failure_years = p.years;
+        }
+        if (p.years == 0.0 && ctx.clock_period > 0.0) {
+            out.margin_used_t0 =
+                p.worst_monitored_arrival / ctx.clock_period;
+        }
+    }
+
+    // FAST-style burn-in screen: each guard band alerting inside the
+    // screen window contributes 1 plus its normalized earliness, so a
+    // device tripping narrower bands (or tripping them sooner) scores
+    // strictly higher — the manufacturing-time marginality signature.
+    const double window = std::max(ctx.screen_years, 0.0);
+    for (std::size_t c = 1; c < out.first_alert_years.size(); ++c) {
+        const double first = out.first_alert_years[c];
+        if (first >= 0.0 && first <= window + 1e-9) {
+            const double earliness =
+                window > 0.0 ? (window - first) / window : 0.0;
+            out.screen_score += 1.0 + std::clamp(earliness, 0.0, 1.0);
+        }
+    }
+    return out;
+}
+
+}  // namespace fastmon

@@ -1,0 +1,76 @@
+// Per-device campaign rollout.
+//
+// One device = one process-variation annotation + one aging trajectory
+// + (for marginal devices) a set of growing early-life defects, rolled
+// through the monitor guard-band lifetime simulation on the campaign's
+// shared year grid.  The outcome records the FAST-style screen
+// signature (which guard bands alert inside the burn-in window, and
+// when), the full first-alert ladder, and the failure year — everything
+// the aggregator needs, in a JSON-round-trippable form so outcomes can
+// be checkpointed and resumed.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "campaign/population.hpp"
+#include "monitor/placement.hpp"
+#include "util/json.hpp"
+
+namespace fastmon {
+
+/// Shared, immutable inputs of every device rollout: design-time
+/// artifacts (circuit, monitor placement, deployed clock) plus the
+/// campaign's evaluation grid.
+struct RolloutContext {
+    const Netlist* netlist = nullptr;
+    const MonitorPlacement* placement = nullptr;
+    Time clock_period = 0.0;
+    /// Lifetime evaluation grid in years (ascending, starts at 0).
+    std::vector<double> grid;
+    /// Burn-in screen window [0, screen_years]: alerts inside it form
+    /// the manufacturing-time prediction signature.
+    double screen_years = 0.5;
+    /// Per-gate lognormal process-variation sigma (VariationModel).
+    double variation_sigma_log = 0.05;
+};
+
+/// Everything measured on one rolled-out device.
+struct DeviceOutcome {
+    std::uint32_t index = 0;
+    bool marginal = false;          ///< ground truth: carries a defect
+    std::uint32_t num_defects = 0;
+    double aging_amplitude = 0.0;   ///< sampled wear-out severity
+    /// First alert year per monitor configuration (-1 = never); index 0
+    /// (off) never alerts.
+    std::vector<double> first_alert_years;
+    double failure_years = -1.0;    ///< first grid year with a timing failure
+    /// Monitored-arrival fraction of the clock at deployment (year 0).
+    double margin_used_t0 = 0.0;
+    /// Prediction score from the burn-in screen: sum over guard bands
+    /// alerting inside the screen window of (1 + earliness); 0 = clean
+    /// screen.  Higher = stronger early-life signature.
+    double screen_score = 0.0;
+
+    /// Early warning between the widest band's first alert and the
+    /// failure (-1 when either never happened).
+    [[nodiscard]] double lead_time_years() const;
+    /// Same for the narrowest (imminent-failure) band.
+    [[nodiscard]] double imminent_lead_time_years() const;
+
+    [[nodiscard]] Json to_json() const;
+    static std::optional<DeviceOutcome> from_json(const Json& j);
+
+    friend bool operator==(const DeviceOutcome&,
+                           const DeviceOutcome&) = default;
+};
+
+/// Builds the uniform year grid [0, horizon] with `step` spacing.
+std::vector<double> make_year_grid(double horizon_years, double step_years);
+
+/// Rolls one sampled device through its lifetime.
+DeviceOutcome roll_device(const RolloutContext& ctx,
+                          const DeviceSample& sample);
+
+}  // namespace fastmon

@@ -14,8 +14,18 @@ double AgingModel::factor(double years) const {
 }
 
 Time MarginalDefect::delta_at(double years) const {
-    const Time d = delta0 * std::exp(growth_per_year * std::max(years, 0.0));
-    return delta_max > 0.0 ? std::min(d, delta_max) : d;
+    if (delta0 <= 0.0) return 0.0;
+    const double exponent = growth_per_year * std::max(years, 0.0);
+    if (delta_max > 0.0) {
+        // Saturation test in the log domain: exp() at a multi-century
+        // horizon overflows to inf long before std::min() could clamp.
+        if (exponent >= std::log(delta_max / delta0)) return delta_max;
+        return delta0 * std::exp(exponent);
+    }
+    // Unbounded defect: cap the magnification so extreme horizons
+    // saturate at a huge finite delay instead of overflowing to inf.
+    constexpr double kMaxLogMagnification = 600.0;  // e^600 ~ 3.8e260
+    return delta0 * std::exp(std::min(exponent, kMaxLogMagnification));
 }
 
 LifetimeSimulator::LifetimeSimulator(const Netlist& netlist,

@@ -1,6 +1,7 @@
 #include "timing/delay_model.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/prng.hpp"
 
@@ -16,6 +17,20 @@ DelayAnnotation DelayAnnotation::with_variation(const Netlist& netlist,
                                                 std::uint64_t seed,
                                                 const CellLibrary& lib) {
     return build(netlist, lib, sigma_fraction, seed);
+}
+
+DelayAnnotation DelayAnnotation::with_lognormal_variation(
+    const Netlist& netlist, double sigma_log, std::uint64_t seed,
+    const CellLibrary& lib) {
+    DelayAnnotation ann = build(netlist, lib, 0.0, 0);
+    if (sigma_log <= 0.0) return ann;
+    Prng rng = Prng::stream(seed, 0x10C'A15ULL);
+    const double mu = -0.5 * sigma_log * sigma_log;  // E[factor] = 1
+    for (GateId id = 0; id < netlist.size(); ++id) {
+        if (!is_combinational(netlist.gate(id).type)) continue;
+        ann.scale_gate(id, std::exp(rng.normal(mu, sigma_log)));
+    }
+    return ann;
 }
 
 DelayAnnotation DelayAnnotation::build(const Netlist& netlist,

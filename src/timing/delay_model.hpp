@@ -29,6 +29,15 @@ public:
                                           std::uint64_t seed,
                                           const CellLibrary& lib = CellLibrary::nangate45());
 
+    /// Delays with a per-gate mean-one lognormal variation factor
+    /// exp(N(-s^2/2, s)), s = sigma_log — strictly positive and
+    /// right-skewed, the shape device-population studies fit to
+    /// manufacturing spread.  The campaign engine samples one such
+    /// annotation per simulated device (one seed per device stream).
+    static DelayAnnotation with_lognormal_variation(
+        const Netlist& netlist, double sigma_log, std::uint64_t seed,
+        const CellLibrary& lib = CellLibrary::nangate45());
+
     /// Annotated delay of the arc from fanin pin `pin` to the output of
     /// gate `gate`.  Interface nodes (Output pads, DFF D pins) have zero
     /// delay arcs.

@@ -26,6 +26,14 @@ Prng::Prng(std::uint64_t seed) {
     for (auto& w : s_) w = splitmix64(sm);
 }
 
+Prng Prng::stream(std::uint64_t seed, std::uint64_t stream_id) {
+    // Mix both words through SplitMix64 before combining so that
+    // (seed, id) and (seed + 1, id - 1) land on unrelated states.
+    std::uint64_t a = seed;
+    std::uint64_t b = stream_id ^ 0x5851F42D4C957F2DULL;
+    return Prng(splitmix64(a) ^ splitmix64(b));
+}
+
 std::uint64_t Prng::next_u64() {
     const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
     const std::uint64_t t = s_[1] << 17;

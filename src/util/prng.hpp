@@ -18,6 +18,13 @@ public:
     /// related seeds give unrelated streams.
     explicit Prng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
 
+    /// Deterministic substream `stream_id` of a root `seed`: the child
+    /// state depends only on (seed, stream_id), never on how far any
+    /// other generator advanced.  Work items seeded this way (one
+    /// stream per device, fault, ...) can be sharded across threads in
+    /// any order and still reproduce bit-identically.
+    static Prng stream(std::uint64_t seed, std::uint64_t stream_id);
+
     /// Uniform 64-bit value.
     std::uint64_t next_u64();
 

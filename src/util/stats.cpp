@@ -28,13 +28,107 @@ double RunningStats::stddev() const {
 }
 
 double percentile(std::vector<double> values, double p) {
+    // NaN has no rank; letting it through would poison the sort order.
+    std::erase_if(values, [](double v) { return std::isnan(v); });
     if (values.empty()) return 0.0;
     std::sort(values.begin(), values.end());
-    const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+    const double rank = std::clamp(p, 0.0, 100.0) / 100.0 *
+                        static_cast<double>(values.size() - 1);
     const auto lo = static_cast<std::size_t>(rank);
     const std::size_t hi = std::min(lo + 1, values.size() - 1);
     const double frac = rank - static_cast<double>(lo);
     return values[lo] + frac * (values[hi] - values[lo]);
+}
+
+namespace {
+
+/// Finite samples sorted by decreasing score (prediction-first order).
+std::vector<ClassifierSample> sorted_by_score(
+    std::span<const ClassifierSample> samples) {
+    std::vector<ClassifierSample> sorted;
+    sorted.reserve(samples.size());
+    for (const ClassifierSample& s : samples) {
+        if (!std::isnan(s.score)) sorted.push_back(s);
+    }
+    std::sort(sorted.begin(), sorted.end(),
+              [](const ClassifierSample& a, const ClassifierSample& b) {
+                  return a.score > b.score;
+              });
+    return sorted;
+}
+
+}  // namespace
+
+double roc_auc(std::span<const ClassifierSample> samples) {
+    const std::vector<ClassifierSample> sorted = sorted_by_score(samples);
+    // Rank-sum with midranks for ties: walk groups of equal score; every
+    // member of a group gets the group's average rank.
+    double positive_rank_sum = 0.0;
+    std::size_t num_pos = 0;
+    std::size_t i = 0;
+    std::size_t rank = 1;  // 1-based rank in decreasing-score order
+    while (i < sorted.size()) {
+        std::size_t j = i;
+        std::size_t group_pos = 0;
+        while (j < sorted.size() && sorted[j].score == sorted[i].score) {
+            if (sorted[j].positive) ++group_pos;
+            ++j;
+        }
+        const double midrank =
+            static_cast<double>(rank) +
+            static_cast<double>(j - i - 1) / 2.0;
+        positive_rank_sum += midrank * static_cast<double>(group_pos);
+        num_pos += group_pos;
+        rank += j - i;
+        i = j;
+    }
+    const std::size_t num_neg = sorted.size() - num_pos;
+    if (num_pos == 0 || num_neg == 0) return 0.5;
+    // Ranks are in decreasing score order, so low rank = high score.
+    // U = sum over positives of (negatives ranked below them).
+    const double u = static_cast<double>(num_pos) *
+                         static_cast<double>(sorted.size() + 1) -
+                     positive_rank_sum -
+                     static_cast<double>(num_pos) *
+                         static_cast<double>(num_pos + 1) / 2.0;
+    return u / (static_cast<double>(num_pos) * static_cast<double>(num_neg));
+}
+
+std::vector<PrPoint> precision_recall_curve(
+    std::span<const ClassifierSample> samples) {
+    const std::vector<ClassifierSample> sorted = sorted_by_score(samples);
+    std::size_t total_pos = 0;
+    for (const ClassifierSample& s : sorted) {
+        if (s.positive) ++total_pos;
+    }
+    std::vector<PrPoint> curve;
+    if (total_pos == 0) return curve;
+    std::size_t tp = 0;
+    std::size_t predicted = 0;
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+        if (sorted[i].positive) ++tp;
+        ++predicted;
+        // Emit one point per distinct threshold (after the last sample
+        // of each equal-score group, so ties share an operating point).
+        if (i + 1 < sorted.size() && sorted[i + 1].score == sorted[i].score) {
+            continue;
+        }
+        curve.push_back(PrPoint{
+            sorted[i].score,
+            static_cast<double>(tp) / static_cast<double>(predicted),
+            static_cast<double>(tp) / static_cast<double>(total_pos)});
+    }
+    return curve;
+}
+
+double average_precision(std::span<const ClassifierSample> samples) {
+    double ap = 0.0;
+    double prev_recall = 0.0;
+    for (const PrPoint& p : precision_recall_curve(samples)) {
+        ap += (p.recall - prev_recall) * p.precision;
+        prev_recall = p.recall;
+    }
+    return ap;
 }
 
 }  // namespace fastmon

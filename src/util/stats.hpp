@@ -1,7 +1,9 @@
-// Small running-statistics helpers used by the benches and the aging model.
+// Small running-statistics helpers used by the benches, the aging model
+// and the campaign aggregator (percentiles, binary-classifier quality).
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 namespace fastmon {
@@ -28,7 +30,40 @@ private:
 };
 
 /// Percentile of a sample (linear interpolation); p in [0, 100].
-/// The input is copied and sorted; empty input returns 0.
+/// The input is copied and sorted; NaN entries are rejected before
+/// ranking.  An empty (or all-NaN) input returns 0.
 double percentile(std::vector<double> values, double p);
+
+/// One scored example of a binary classifier: the predictor's score
+/// (higher = "more positive") and the ground-truth label.
+struct ClassifierSample {
+    double score = 0.0;
+    bool positive = false;
+};
+
+/// Area under the ROC curve via the rank-sum (Mann-Whitney U)
+/// statistic, with midrank tie handling — equivalent to trapezoidal
+/// integration of the ROC curve.  Returns 0.5 when either class is
+/// empty (a degenerate population carries no ranking information).
+double roc_auc(std::span<const ClassifierSample> samples);
+
+/// One operating point of the precision-recall curve: every example
+/// with score >= threshold is predicted positive.
+struct PrPoint {
+    double threshold = 0.0;
+    double precision = 0.0;
+    double recall = 0.0;
+};
+
+/// Precision-recall curve over the distinct score thresholds, in
+/// decreasing-threshold (increasing-recall) order.  Empty when the
+/// sample has no positives.
+std::vector<PrPoint> precision_recall_curve(
+    std::span<const ClassifierSample> samples);
+
+/// Average precision: the step-wise integral sum((R_i - R_{i-1}) * P_i)
+/// over the precision-recall curve.  0 when the sample has no
+/// positives.
+double average_precision(std::span<const ClassifierSample> samples);
 
 }  // namespace fastmon

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "netlist/iscas_data.hpp"
 #include "timing/sta.hpp"
 
@@ -43,6 +46,26 @@ TEST(MarginalDefect, GrowsAndSaturates) {
     MarginalDefect unbounded = d;
     unbounded.delta_max = 0.0;
     EXPECT_GT(unbounded.delta_at(10.0), 20.0);
+}
+
+TEST(MarginalDefect, ExtremeHorizonsStayFinite) {
+    // exp(growth * years) overflows to inf around year ~700 at unit
+    // growth; the campaign engine sweeps arbitrary user horizons, so
+    // the growth law must saturate instead.
+    MarginalDefect d;
+    d.delta0 = 2.0;
+    d.growth_per_year = 1.0;
+    d.delta_max = 20.0;
+    EXPECT_DOUBLE_EQ(d.delta_at(1e6), 20.0);
+    EXPECT_DOUBLE_EQ(d.delta_at(std::numeric_limits<double>::max()), 20.0);
+
+    MarginalDefect unbounded = d;
+    unbounded.delta_max = 0.0;
+    const double extreme = unbounded.delta_at(1e6);
+    EXPECT_TRUE(std::isfinite(extreme));
+    EXPECT_GT(extreme, 1e100);
+    // Negative horizons are treated as t = 0, not as decay.
+    EXPECT_DOUBLE_EQ(d.delta_at(-3.0), 2.0);
 }
 
 struct AgingFixture : ::testing::Test {

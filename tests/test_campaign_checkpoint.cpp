@@ -1,0 +1,199 @@
+// Campaign checkpoint/resume: snapshot round trips, structural
+// validation, fingerprint guarding, and the resume-equivalence
+// guarantee (a resumed campaign converges to the uninterrupted
+// aggregate bit-for-bit).
+#include "campaign/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "campaign/campaign.hpp"
+#include "netlist/iscas_data.hpp"
+
+namespace fastmon {
+namespace {
+
+DeviceOutcome make_outcome(std::uint32_t index) {
+    DeviceOutcome out;
+    out.index = index;
+    out.marginal = (index % 2) == 0;
+    out.num_defects = index % 3;
+    out.aging_amplitude = 0.4 + 0.01 * index;
+    out.first_alert_years = {-1.0, 0.5 + index, 1.5 + index};
+    out.failure_years = 4.0 + index;
+    out.margin_used_t0 = 0.6;
+    out.screen_score = index == 0 ? 1.25 : 0.0;
+    return out;
+}
+
+class CheckpointTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        dir_ = std::filesystem::temp_directory_path() /
+               ("fastmon_ckpt_" + std::to_string(::getpid()));
+        std::filesystem::create_directories(dir_);
+    }
+    void TearDown() override {
+        std::error_code ec;
+        std::filesystem::remove_all(dir_, ec);
+    }
+    [[nodiscard]] std::string path(const std::string& name) const {
+        return (dir_ / name).string();
+    }
+
+    std::filesystem::path dir_;
+};
+
+TEST_F(CheckpointTest, JsonRoundTripPreservesEverything) {
+    CampaignCheckpoint ckpt;
+    ckpt.fingerprint = 0x0123456789ABCDEFULL;
+    ckpt.population = 10;
+    ckpt.outcomes = {make_outcome(0), make_outcome(3), make_outcome(7)};
+
+    const auto back = CampaignCheckpoint::from_json(ckpt.to_json());
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->fingerprint, ckpt.fingerprint);
+    EXPECT_EQ(back->population, ckpt.population);
+    EXPECT_EQ(back->outcomes, ckpt.outcomes);
+}
+
+TEST_F(CheckpointTest, FileRoundTripAndMissingFile) {
+    CampaignCheckpoint ckpt;
+    ckpt.fingerprint = checkpoint_fingerprint("some campaign");
+    ckpt.population = 4;
+    ckpt.outcomes = {make_outcome(1), make_outcome(2)};
+    ASSERT_TRUE(save_checkpoint(path("c.json"), ckpt));
+
+    std::string error;
+    const auto back = load_checkpoint(path("c.json"), &error);
+    ASSERT_TRUE(back.has_value()) << error;
+    EXPECT_EQ(back->outcomes, ckpt.outcomes);
+
+    // A missing file is a fresh campaign, not an error.
+    error.clear();
+    EXPECT_FALSE(load_checkpoint(path("absent.json"), &error).has_value());
+    EXPECT_TRUE(error.empty());
+}
+
+TEST_F(CheckpointTest, RejectsCorruptAndInvalidSnapshots) {
+    {
+        std::ofstream out(path("garbage.json"));
+        out << "{not json";
+    }
+    std::string error;
+    EXPECT_FALSE(load_checkpoint(path("garbage.json"), &error).has_value());
+    EXPECT_NE(error.find("not valid JSON"), std::string::npos);
+
+    CampaignCheckpoint ckpt;
+    ckpt.population = 5;
+    ckpt.outcomes = {make_outcome(2), make_outcome(1)};  // not ascending
+    EXPECT_FALSE(CampaignCheckpoint::from_json(ckpt.to_json()).has_value());
+
+    ckpt.outcomes = {make_outcome(1), make_outcome(9)};  // out of range
+    EXPECT_FALSE(CampaignCheckpoint::from_json(ckpt.to_json()).has_value());
+
+    Json bad_format = ckpt.to_json();
+    bad_format.set("format", 2);
+    EXPECT_FALSE(CampaignCheckpoint::from_json(bad_format).has_value());
+}
+
+TEST(CheckpointFingerprint, SensitiveToEveryConfigKnob) {
+    const Netlist nl = make_mini_alu();
+    CampaignConfig base;
+    const std::string canonical = campaign_canonical(nl, base);
+    EXPECT_NE(canonical.find("campaign-v1"), std::string::npos);
+
+    CampaignConfig seed = base;
+    seed.seed = 2;
+    CampaignConfig pop = base;
+    pop.population = base.population + 1;
+    CampaignConfig incidence = base;
+    incidence.model.defect.incidence += 0.01;
+    const std::uint64_t fp = checkpoint_fingerprint(canonical);
+    EXPECT_NE(fp, checkpoint_fingerprint(campaign_canonical(nl, seed)));
+    EXPECT_NE(fp, checkpoint_fingerprint(campaign_canonical(nl, pop)));
+    EXPECT_NE(fp, checkpoint_fingerprint(campaign_canonical(nl, incidence)));
+    // Stable across calls (no hidden state in the canonical string).
+    EXPECT_EQ(fp, checkpoint_fingerprint(campaign_canonical(nl, base)));
+}
+
+struct ResumeFixture : CheckpointTest {
+    Netlist nl = make_mini_alu();
+
+    CampaignConfig config(const std::string& ckpt_path) const {
+        CampaignConfig c;
+        c.population = 20;
+        c.seed = 5;
+        c.model.defect.incidence = 0.3;
+        c.num_threads = 1;
+        c.checkpoint_path = ckpt_path;
+        c.checkpoint_every = 6;
+        return c;
+    }
+};
+
+TEST_F(ResumeFixture, ResumeConvergesToUninterruptedAggregate) {
+    // Reference: an uninterrupted run (no checkpointing at all).
+    CampaignConfig plain = config("");
+    const CampaignResult reference = run_campaign(nl, plain);
+
+    // A full checkpointed run, then truncate its snapshot to a prefix
+    // — the state a killed campaign would have left behind.
+    CampaignConfig ckpt_config = config(path("resume.json"));
+    const CampaignResult full = run_campaign(nl, ckpt_config);
+    EXPECT_GE(full.checkpoints_written, 1u);
+    std::string error;
+    auto snapshot = load_checkpoint(path("resume.json"), &error);
+    ASSERT_TRUE(snapshot.has_value()) << error;
+    ASSERT_EQ(snapshot->outcomes.size(), ckpt_config.population);
+    snapshot->outcomes.resize(8);
+    ASSERT_TRUE(save_checkpoint(path("resume.json"), *snapshot));
+
+    CampaignConfig resumed_config = ckpt_config;
+    resumed_config.resume = true;
+    const CampaignResult resumed = run_campaign(nl, resumed_config);
+
+    EXPECT_EQ(resumed.devices_resumed, 8u);
+    EXPECT_EQ(resumed.devices_completed, ckpt_config.population);
+    const PhaseStatus* resume_phase =
+        resumed.status.find("campaign_resume");
+    ASSERT_NE(resume_phase, nullptr);
+    EXPECT_EQ(resume_phase->outcome, PhaseOutcome::Ok);
+
+    // The contract: outcomes and the deterministic report blocks are
+    // bit-identical to the uninterrupted run.
+    EXPECT_EQ(resumed.outcomes, reference.outcomes);
+    EXPECT_EQ(resumed.to_json(resumed_config).find("aggregate")->dump(2),
+              reference.to_json(plain).find("aggregate")->dump(2));
+}
+
+TEST_F(ResumeFixture, MismatchedFingerprintFallsBackToFreshStart) {
+    CampaignConfig first = config(path("stale.json"));
+    (void)run_campaign(nl, first);
+
+    // Same checkpoint file, different campaign seed: the snapshot must
+    // not be trusted.
+    CampaignConfig other = first;
+    other.seed = 99;
+    other.resume = true;
+    const CampaignResult result = run_campaign(nl, other);
+    EXPECT_EQ(result.devices_resumed, 0u);
+    EXPECT_EQ(result.devices_completed, other.population);
+    const PhaseStatus* resume_phase = result.status.find("campaign_resume");
+    ASSERT_NE(resume_phase, nullptr);
+    EXPECT_EQ(resume_phase->outcome, PhaseOutcome::Degraded);
+    EXPECT_NE(resume_phase->detail.find("fresh start"), std::string::npos);
+
+    // The fresh run still matches a never-checkpointed run of the same
+    // config.
+    CampaignConfig plain = other;
+    plain.checkpoint_path.clear();
+    plain.resume = false;
+    const CampaignResult reference = run_campaign(nl, plain);
+    EXPECT_EQ(result.outcomes, reference.outcomes);
+}
+
+}  // namespace
+}  // namespace fastmon

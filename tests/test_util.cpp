@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <sstream>
+#include <thread>
 
 #include "atpg/pattern.hpp"
 #include "util/log.hpp"
@@ -102,6 +104,110 @@ TEST(Percentile, InterpolatesLinearly) {
     EXPECT_DOUBLE_EQ(percentile(v, 100.0), 40.0);
     EXPECT_DOUBLE_EQ(percentile(v, 50.0), 25.0);
     EXPECT_DOUBLE_EQ(percentile({}, 50.0), 0.0);
+}
+
+TEST(Percentile, EdgeCases) {
+    // Empty and single-sample inputs must not index out of range.
+    EXPECT_DOUBLE_EQ(percentile({}, 50.0), 0.0);
+    EXPECT_DOUBLE_EQ(percentile({7.0}, 0.0), 7.0);
+    EXPECT_DOUBLE_EQ(percentile({7.0}, 50.0), 7.0);
+    EXPECT_DOUBLE_EQ(percentile({7.0}, 100.0), 7.0);
+    // Out-of-range p clamps to the extremes instead of extrapolating.
+    std::vector<double> v{10.0, 20.0, 30.0};
+    EXPECT_DOUBLE_EQ(percentile(v, -5.0), 10.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 250.0), 30.0);
+}
+
+TEST(Percentile, RejectsNan) {
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    // NaN entries would poison the sort order; they are dropped before
+    // ranking, so the result matches the clean subset.
+    EXPECT_DOUBLE_EQ(percentile({10.0, nan, 30.0}, 50.0), 20.0);
+    EXPECT_DOUBLE_EQ(percentile({nan, nan}, 50.0), 0.0);
+}
+
+TEST(Prng, StreamIsDeterministicPerId) {
+    Prng a = Prng::stream(99, 5);
+    Prng b = Prng::stream(99, 5);
+    for (int i = 0; i < 32; ++i) {
+        EXPECT_EQ(a.next_u64(), b.next_u64());
+    }
+    // Neighbouring stream ids decorrelate.
+    Prng c = Prng::stream(99, 6);
+    Prng d = Prng::stream(99, 5);
+    bool differs = false;
+    for (int i = 0; i < 8; ++i) {
+        if (c.next_u64() != d.next_u64()) differs = true;
+    }
+    EXPECT_TRUE(differs);
+}
+
+TEST(Prng, StreamsSplitAcrossThreadsMatchSerial) {
+    // The campaign determinism contract: device i draws only from
+    // Prng::stream(seed, i), so sharding the index range across any
+    // number of threads reproduces the serial sequence exactly.
+    constexpr std::uint64_t kSeed = 2026;
+    constexpr std::size_t kStreams = 64;
+    std::vector<std::uint64_t> serial(kStreams);
+    for (std::size_t i = 0; i < kStreams; ++i) {
+        serial[i] = Prng::stream(kSeed, i).next_u64();
+    }
+    std::vector<std::uint64_t> threaded(kStreams);
+    std::vector<std::thread> workers;
+    constexpr std::size_t kWorkers = 4;
+    for (std::size_t w = 0; w < kWorkers; ++w) {
+        workers.emplace_back([&threaded, w] {
+            for (std::size_t i = w; i < kStreams; i += kWorkers) {
+                threaded[i] = Prng::stream(kSeed, i).next_u64();
+            }
+        });
+    }
+    for (std::thread& t : workers) t.join();
+    EXPECT_EQ(threaded, serial);
+}
+
+TEST(RocAuc, RanksSeparatedClasses) {
+    const std::vector<ClassifierSample> perfect{
+        {0.9, true}, {0.8, true}, {0.2, false}, {0.1, false}};
+    EXPECT_DOUBLE_EQ(roc_auc(perfect), 1.0);
+    const std::vector<ClassifierSample> inverted{
+        {0.9, false}, {0.8, false}, {0.2, true}, {0.1, true}};
+    EXPECT_DOUBLE_EQ(roc_auc(inverted), 0.0);
+    // 3 of the 4 (positive, negative) pairs rank correctly.
+    const std::vector<ClassifierSample> mixed{
+        {0.9, true}, {0.8, false}, {0.7, true}, {0.6, false}};
+    EXPECT_DOUBLE_EQ(roc_auc(mixed), 0.75);
+}
+
+TEST(RocAuc, MidrankTiesAndDegenerateClasses) {
+    // Tied scores count half a concordant pair (midrank convention):
+    // pairs are (1 vs 1) = 0.5 and (2 vs 1) = 1 out of 2.
+    const std::vector<ClassifierSample> tied{
+        {1.0, true}, {2.0, true}, {1.0, false}};
+    EXPECT_DOUBLE_EQ(roc_auc(tied), 0.75);
+    // A single-class population carries no ranking information.
+    const std::vector<ClassifierSample> only_pos{{1.0, true}, {2.0, true}};
+    EXPECT_DOUBLE_EQ(roc_auc(only_pos), 0.5);
+    EXPECT_DOUBLE_EQ(roc_auc({}), 0.5);
+}
+
+TEST(PrecisionRecall, CurveAndAveragePrecision) {
+    const std::vector<ClassifierSample> samples{
+        {0.9, true}, {0.8, false}, {0.7, true}, {0.6, false}};
+    const std::vector<PrPoint> curve = precision_recall_curve(samples);
+    ASSERT_EQ(curve.size(), 4u);  // one point per distinct threshold
+    EXPECT_DOUBLE_EQ(curve[0].threshold, 0.9);
+    EXPECT_DOUBLE_EQ(curve[0].precision, 1.0);
+    EXPECT_DOUBLE_EQ(curve[0].recall, 0.5);
+    EXPECT_DOUBLE_EQ(curve[2].threshold, 0.7);
+    EXPECT_DOUBLE_EQ(curve[2].precision, 2.0 / 3.0);
+    EXPECT_DOUBLE_EQ(curve[2].recall, 1.0);
+    // AP = 0.5 * 1.0 (first positive) + 0.5 * 2/3 (second positive).
+    EXPECT_NEAR(average_precision(samples), 0.5 + 0.5 * 2.0 / 3.0, 1e-12);
+    // No positives: an empty curve and zero AP, not a division by zero.
+    const std::vector<ClassifierSample> negatives{{0.4, false}, {0.1, false}};
+    EXPECT_TRUE(precision_recall_curve(negatives).empty());
+    EXPECT_DOUBLE_EQ(average_precision(negatives), 0.0);
 }
 
 TEST(TextTable, AlignsColumns) {

@@ -1,0 +1,249 @@
+// fastmon_campaign — Monte Carlo device-population campaign CLI.
+//
+// The repo's first real command-line tool: samples a population of
+// virtual devices (process variation, wear-out spread, early-life
+// defect incidence) for a circuit, rolls each through the monitor
+// guard-band lifetime simulation on the persistent thread pool, and
+// reports fleet-scale prediction quality (early-life-failure ROC /
+// precision-recall, alert lead-time percentiles, wear-out curves).
+//
+// The aggregate JSON is bit-deterministic for a fixed (circuit, seed,
+// config) — across thread counts, and across kill/resume cycles via
+// --checkpoint/--resume.  SIGINT/SIGTERM and FASTMON_DEADLINE stop the
+// campaign at the next device boundary, snapshot the checkpoint, and
+// still emit an honest partial report (exit status stays 0, as with
+// the benches).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "campaign/campaign.hpp"
+#include "netlist/bench_io.hpp"
+#include "netlist/generator.hpp"
+#include "netlist/iscas_data.hpp"
+#include "util/atomic_file.hpp"
+#include "util/cancel.hpp"
+#include "util/log.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+void print_usage() {
+    std::cout <<
+        "usage: fastmon_campaign [options]\n"
+        "\n"
+        "circuit selection (default: built-in mini-alu):\n"
+        "  --circuit <file.bench>   read an ISCAS'89 .bench netlist\n"
+        "  --profile <name>         generate a paper benchmark profile\n"
+        "  --scale <s>              scale factor for --profile (default 1)\n"
+        "\n"
+        "population:\n"
+        "  --population <n>         devices to simulate (default 100)\n"
+        "  --seed <n>               campaign seed (default 1)\n"
+        "  --defect-rate <p>        marginal-device incidence (default 0.15)\n"
+        "  --variation <s>          lognormal process sigma (default 0.05)\n"
+        "\n"
+        "lifetime model:\n"
+        "  --horizon <years>        simulation horizon (default 15)\n"
+        "  --step <years>           grid step (default 0.25)\n"
+        "  --screen <years>         burn-in screen window (default 0.5)\n"
+        "  --early-fail <years>     early-life-failure cutoff (default 3)\n"
+        "  --clock-margin <m>       deployed clk = m * cpl (default 1.6)\n"
+        "\n"
+        "execution:\n"
+        "  --threads <n>            0 = shared pool, 1 = serial (default 0)\n"
+        "  --checkpoint <path>      resumable snapshot file\n"
+        "  --checkpoint-every <n>   devices between snapshots (default 64)\n"
+        "  --resume                 resume from --checkpoint if present\n"
+        "\n"
+        "output:\n"
+        "  --out <path>             campaign report JSON (default\n"
+        "                           campaign_report.json)\n"
+        "  --csv <path>             per-device outcomes CSV (optional)\n"
+        "  --quiet                  suppress the summary tables\n";
+}
+
+struct CliOptions {
+    std::string circuit_path;
+    std::string profile;
+    double scale = 1.0;
+    std::string out_path = "campaign_report.json";
+    std::string csv_path;
+    bool quiet = false;
+    fastmon::CampaignConfig config;
+};
+
+bool parse_args(int argc, char** argv, CliOptions& opt) {
+    using std::strcmp;
+    auto need_value = [&](int& i) -> const char* {
+        if (i + 1 >= argc) {
+            std::cerr << "error: " << argv[i] << " needs a value\n";
+            return nullptr;
+        }
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const char* arg = argv[i];
+        const char* v = nullptr;
+        if (strcmp(arg, "--help") == 0 || strcmp(arg, "-h") == 0) {
+            print_usage();
+            std::exit(0);
+        } else if (strcmp(arg, "--resume") == 0) {
+            opt.config.resume = true;
+        } else if (strcmp(arg, "--quiet") == 0) {
+            opt.quiet = true;
+        } else if (strcmp(arg, "--circuit") == 0) {
+            if (!(v = need_value(i))) return false;
+            opt.circuit_path = v;
+        } else if (strcmp(arg, "--profile") == 0) {
+            if (!(v = need_value(i))) return false;
+            opt.profile = v;
+        } else if (strcmp(arg, "--scale") == 0) {
+            if (!(v = need_value(i))) return false;
+            opt.scale = std::atof(v);
+        } else if (strcmp(arg, "--population") == 0) {
+            if (!(v = need_value(i))) return false;
+            opt.config.population = static_cast<std::size_t>(std::atoll(v));
+        } else if (strcmp(arg, "--seed") == 0) {
+            if (!(v = need_value(i))) return false;
+            opt.config.seed = static_cast<std::uint64_t>(std::atoll(v));
+        } else if (strcmp(arg, "--defect-rate") == 0) {
+            if (!(v = need_value(i))) return false;
+            opt.config.model.defect.incidence = std::atof(v);
+        } else if (strcmp(arg, "--variation") == 0) {
+            if (!(v = need_value(i))) return false;
+            opt.config.model.variation.sigma_log = std::atof(v);
+        } else if (strcmp(arg, "--horizon") == 0) {
+            if (!(v = need_value(i))) return false;
+            opt.config.horizon_years = std::atof(v);
+        } else if (strcmp(arg, "--step") == 0) {
+            if (!(v = need_value(i))) return false;
+            opt.config.step_years = std::atof(v);
+        } else if (strcmp(arg, "--screen") == 0) {
+            if (!(v = need_value(i))) return false;
+            opt.config.screen_years = std::atof(v);
+        } else if (strcmp(arg, "--early-fail") == 0) {
+            if (!(v = need_value(i))) return false;
+            opt.config.aggregate.early_fail_years = std::atof(v);
+        } else if (strcmp(arg, "--clock-margin") == 0) {
+            if (!(v = need_value(i))) return false;
+            opt.config.clock_margin = std::atof(v);
+        } else if (strcmp(arg, "--threads") == 0) {
+            if (!(v = need_value(i))) return false;
+            opt.config.num_threads = static_cast<std::size_t>(std::atoll(v));
+        } else if (strcmp(arg, "--checkpoint") == 0) {
+            if (!(v = need_value(i))) return false;
+            opt.config.checkpoint_path = v;
+        } else if (strcmp(arg, "--checkpoint-every") == 0) {
+            if (!(v = need_value(i))) return false;
+            opt.config.checkpoint_every =
+                static_cast<std::size_t>(std::atoll(v));
+        } else if (strcmp(arg, "--out") == 0) {
+            if (!(v = need_value(i))) return false;
+            opt.out_path = v;
+        } else if (strcmp(arg, "--csv") == 0) {
+            if (!(v = need_value(i))) return false;
+            opt.csv_path = v;
+        } else {
+            std::cerr << "error: unknown option " << arg
+                      << " (--help for usage)\n";
+            return false;
+        }
+    }
+    if (!opt.circuit_path.empty() && !opt.profile.empty()) {
+        std::cerr << "error: --circuit and --profile are exclusive\n";
+        return false;
+    }
+    if (opt.config.population == 0) {
+        std::cerr << "error: --population must be positive\n";
+        return false;
+    }
+    return true;
+}
+
+void print_summary(const fastmon::CampaignResult& result) {
+    using namespace fastmon;
+    const CampaignAggregate& agg = result.aggregate;
+    std::printf("campaign: %s, %zu gates, %zu monitor(s), clk %.1f ps\n",
+                result.circuit.c_str(), result.num_gates,
+                result.num_monitors, result.clock_period);
+    std::printf(
+        "devices:  %zu completed (%zu resumed), %zu marginal, %zu failed "
+        "(%zu early), %zu survived\n",
+        result.devices_completed, result.devices_resumed, agg.marginal,
+        agg.failed, agg.early_failures, agg.survived);
+
+    const ClassificationQuality& cls = agg.classification;
+    std::printf(
+        "early-life prediction: ROC AUC %.3f, AP %.3f  (screen alert: "
+        "precision %.3f, recall %.3f)\n",
+        cls.roc_auc, cls.average_precision, cls.precision, cls.recall);
+
+    TextTable leads({"lead time (years)", "n", "mean", "p10", "p50", "p90"});
+    const auto lead_row = [&](const char* label,
+                              const DistributionSummary& d) {
+        leads.begin_row();
+        leads.cell(std::string(label));
+        leads.cell(static_cast<long long>(d.count));
+        leads.cell(d.mean, 2);
+        leads.cell(d.p10, 2);
+        leads.cell(d.p50, 2);
+        leads.cell(d.p90, 2);
+    };
+    lead_row("wide band -> failure", agg.lead_time_wide);
+    lead_row("imminent band -> failure", agg.lead_time_imminent);
+    lead_row("wear-out failure year", agg.wearout_failure_years);
+    leads.print(std::cout);
+
+    if (result.status.cancelled) {
+        std::printf("NOTE: campaign cancelled (%s) — partial aggregate\n",
+                    cancel_cause_name(result.status.cancel_cause));
+    }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    using namespace fastmon;
+    CliOptions opt;
+    if (!parse_args(argc, argv, opt)) return 2;
+
+    CancelToken::global().install_signal_handlers();
+
+    Netlist netlist = [&] {
+        if (!opt.circuit_path.empty()) {
+            return read_bench_file(opt.circuit_path);
+        }
+        if (!opt.profile.empty()) {
+            return generate_circuit(
+                profile_config(find_profile(opt.profile), opt.scale));
+        }
+        return make_mini_alu();
+    }();
+
+    const CampaignResult result = run_campaign(netlist, opt.config);
+
+    const std::string report = result.to_json(opt.config).dump(2);
+    if (!atomic_write_file(opt.out_path, report)) {
+        std::cerr << "error: cannot write " << opt.out_path << "\n";
+        return 1;
+    }
+    if (!opt.csv_path.empty() &&
+        !atomic_write_file(opt.csv_path, outcomes_csv(result.outcomes))) {
+        std::cerr << "error: cannot write " << opt.csv_path << "\n";
+        return 1;
+    }
+
+    if (!opt.quiet) {
+        print_summary(result);
+        std::printf("report: %s (%.2f s", opt.out_path.c_str(),
+                    result.total_wall_seconds);
+        if (!opt.csv_path.empty()) {
+            std::printf(", csv: %s", opt.csv_path.c_str());
+        }
+        std::printf(")\n");
+    }
+    return 0;
+}
