@@ -77,7 +77,20 @@ int main() {
                    generate_circuit(profile_config(profile, scale))});
     }
 
-    for (const Target& target : targets) {
+    {
+        // Untimed warm-up: spin up the shared thread pool and fault the
+        // allocator pools so the first timed entry (the incremental
+        // side of the differential below) isn't charged for it.
+        CampaignConfig warm = config;
+        warm.population = 32;
+        (void)run_campaign(targets.front().netlist, warm);
+    }
+
+    bool identical = true;
+    double demo_incremental_wall = 0.0;
+    double demo_full_wall = 0.0;
+    for (std::size_t t = 0; t < targets.size(); ++t) {
+        const Target& target = targets[t];
         std::cout << "campaign on " << target.label << " ("
                   << target.netlist.size() << " gates, population "
                   << config.population << ")\n";
@@ -88,8 +101,43 @@ int main() {
                   << agg.classification.average_precision
                   << ", wide-band lead p50 " << agg.lead_time_wide.p50
                   << " y, wall " << result.total_wall_seconds << " s\n";
-        entries.push_back(result.to_json(config));
+        Json entry = result.to_json(config);
         all_complete = all_complete && result.status.complete();
+
+        if (t == 0 && !CancelToken::global().cancelled()) {
+            // Differential check on the demo circuit: the legacy
+            // full-STA path must reproduce the incremental engine's
+            // deterministic report blocks bit-for-bit.
+            demo_incremental_wall = result.total_wall_seconds;
+            CampaignConfig reference = config;
+            reference.full_sta = true;
+            std::cout << "  full-STA reference pass (differential check)\n";
+            const CampaignResult full =
+                run_campaign(target.netlist, reference);
+            demo_full_wall = full.total_wall_seconds;
+            const Json full_json = full.to_json(reference);
+            for (const char* block : {"campaign", "aggregate"}) {
+                const Json* a = entry.find(block);
+                const Json* b = full_json.find(block);
+                if (!a || !b || !(*a == *b)) {
+                    identical = false;
+                    std::cout << "  ERROR: \"" << block
+                              << "\" diverged between incremental and "
+                                 "full STA\n";
+                }
+            }
+            const double speedup =
+                demo_incremental_wall > 0.0
+                    ? demo_full_wall / demo_incremental_wall
+                    : 0.0;
+            std::cout << "  incremental wall " << demo_incremental_wall
+                      << " s vs full " << demo_full_wall << " s  ("
+                      << speedup << "x)\n";
+            entry.set("sta_check", identical ? "identical" : "diverged");
+            entry.set("full_sta_wall_seconds", demo_full_wall);
+            entry.set("sta_speedup", speedup);
+        }
+        entries.push_back(std::move(entry));
     }
 
     Json artifact = Json::object();
@@ -108,6 +156,11 @@ int main() {
                   << cancel_cause_name(CancelToken::global().cause())
                   << "): partial campaign artifact is still valid\n";
         return 0;
+    }
+    if (!identical) {
+        std::cout << "ERROR: incremental STA diverged from the full-STA "
+                     "reference\n";
+        return 1;
     }
     if (!all_complete) {
         std::cout << "WARNING: a campaign degraded without cancellation\n";

@@ -15,7 +15,7 @@
 #include "opt/set_cover.hpp"
 #include "schedule/discretize.hpp"
 #include "sim/wave_sim.hpp"
-#include "timing/sta.hpp"
+#include "timing/sta_engine.hpp"
 #include "util/prng.hpp"
 
 namespace {
@@ -62,11 +62,54 @@ BENCHMARK(BM_IntervalSetUnion);
 
 void BM_Sta(benchmark::State& state) {
     for (auto _ : state) {
-        StaResult r = run_sta(test_circuit(), test_delays());
+        StaResult r = StaEngine(test_circuit(), test_delays()).analyze();
         benchmark::DoNotOptimize(r);
     }
 }
 BENCHMARK(BM_Sta);
+
+// The campaign hot path: one persistent engine, every iteration applies
+// a dense aging-style delta (every combinational gate rescaled) and
+// re-propagates only what changed bitwise.
+void BM_StaEngineUpdateDense(benchmark::State& state) {
+    const Netlist& nl = test_circuit();
+    StaEngine engine(nl, test_delays(), 1.05, StaEngine::Scope::Arrivals);
+    engine.analyze();
+    DelayDelta delta;
+    double level = 0.0;
+    for (auto _ : state) {
+        level = level < 0.2 ? level + 0.001 : 0.0;
+        delta.clear();
+        for (GateId id = 0; id < nl.size(); ++id) {
+            if (!is_combinational(nl.gate(id).type)) continue;
+            delta.scale(id, 1.0 + level);
+        }
+        benchmark::DoNotOptimize(engine.update(delta));
+    }
+}
+BENCHMARK(BM_StaEngineUpdateDense);
+
+// Sparse perturbation (a single defect arc): the cone-limited best case.
+void BM_StaEngineUpdateSparse(benchmark::State& state) {
+    const Netlist& nl = test_circuit();
+    StaEngine engine(nl, test_delays(), 1.05, StaEngine::Scope::Arrivals);
+    engine.analyze();
+    const std::vector<GateId> sites = [&] {
+        std::vector<GateId> v;
+        for (GateId id = 0; id < nl.size(); ++id) {
+            if (is_combinational(nl.gate(id).type)) v.push_back(id);
+        }
+        return v;
+    }();
+    DelayDelta delta;
+    std::size_t i = 0;
+    for (auto _ : state) {
+        delta.clear();
+        delta.add(sites[i++ % sites.size()], DelayDelta::kAllPins, 3.5);
+        benchmark::DoNotOptimize(engine.update(delta));
+    }
+}
+BENCHMARK(BM_StaEngineUpdateSparse);
 
 void BM_WaveSimPattern(benchmark::State& state) {
     const Netlist& nl = test_circuit();
@@ -184,7 +227,7 @@ void BM_AblationPulseFilter(benchmark::State& state) {
     const bool filtered = state.range(0) != 0;
     const Netlist& nl = test_circuit();
     DelayAnnotation delays = test_delays();
-    const StaResult sta = run_sta(nl, delays);
+    const StaResult sta = StaEngine(nl, delays).analyze();
     const WaveSim sim(nl, delays);
     const FaultSim fsim(sim);
     Prng rng(31);
@@ -244,7 +287,7 @@ void write_detection_artifact() {
     using fastmon::bench::DetectionBenchEntry;
     const Netlist& nl = test_circuit();
     const DelayAnnotation& delays = test_delays();
-    const StaResult sta = run_sta(nl, delays);
+    const StaResult sta = StaEngine(nl, delays).analyze();
     const WaveSim sim(nl, delays);
 
     Prng rng(99);

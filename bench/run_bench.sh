@@ -81,6 +81,21 @@ for entry in entries:
     print(f"campaign ok: {label} "
           f"(pop {entry['campaign']['population']:.0f}, "
           f"ROC AUC {cls['roc_auc']:.3f}, AP {cls['average_precision']:.3f})")
+
+# The demo entry carries the incremental-vs-full STA differential: the
+# deterministic blocks must be identical and the recorded speedup a
+# positive finite ratio (regressions show up here before the aggregate
+# wall time moves).
+demo = entries[0]
+if demo.get("sta_check") != "identical":
+    sys.exit(f"ERROR: incremental vs full STA diverged "
+             f"(sta_check={demo.get('sta_check')!r})")
+speedup = demo.get("sta_speedup")
+if not isinstance(speedup, (int, float)) or not (speedup > 0.0):
+    sys.exit(f"ERROR: demo entry sta_speedup={speedup!r} is not a "
+             "positive number")
+print(f"sta differential ok: identical blocks, "
+      f"incremental {speedup:.2f}x vs full rebuild")
 EOF
 
 # The manifest must carry the blocks perf tracking relies on.

@@ -26,7 +26,7 @@
 #include "monitor/policy.hpp"
 #include "netlist/iscas_data.hpp"
 #include "timing/delay_model.hpp"
-#include "timing/sta.hpp"
+#include "timing/sta_engine.hpp"
 
 int main() {
     using namespace fastmon;
@@ -94,7 +94,7 @@ int main() {
     }
 
     const DelayAnnotation nominal = DelayAnnotation::nominal(netlist);
-    const StaResult sta = run_sta(netlist, nominal, config.clock_margin);
+    const StaResult sta = StaEngine(netlist, nominal, config.clock_margin).analyze();
     const MonitorPlacement placement =
         place_monitors(netlist, sta, config.monitor_fraction,
                        config.monitor_delay_fractions);

@@ -16,7 +16,7 @@
 #include "fault/fault.hpp"
 #include "atpg/metrics.hpp"
 #include "netlist/structures.hpp"
-#include "timing/sta.hpp"
+#include "timing/sta_engine.hpp"
 
 int main() {
     using namespace fastmon;
@@ -25,7 +25,7 @@ int main() {
     // circuit under test (its own logic, not the BIST hardware).
     const Netlist netlist = make_lfsr(8, maximal_lfsr_taps(8), "dut_lfsr8");
     const DelayAnnotation delays = DelayAnnotation::nominal(netlist);
-    const StaResult sta = run_sta(netlist, delays);
+    const StaResult sta = StaEngine(netlist, delays).analyze();
     const WaveSim sim(netlist, delays);
     std::cout << "DUT " << netlist.name() << ": "
               << netlist.num_comb_gates() << " gates, clk = "

@@ -7,7 +7,7 @@
 #include "flow/hdf_flow.hpp"
 #include "netlist/bench_io.hpp"
 #include "timing/sdf.hpp"
-#include "timing/sta.hpp"
+#include "timing/sta_engine.hpp"
 
 namespace {
 
@@ -61,8 +61,8 @@ int main() {
     // 3. Re-import the SDF (round trip) and verify STA agreement.
     std::ifstream sdf_in(sdf_path);
     const DelayAnnotation reloaded = read_sdf(sdf_in, netlist);
-    const StaResult sta_a = run_sta(netlist, delays);
-    const StaResult sta_b = run_sta(netlist, reloaded);
+    const StaResult sta_a = StaEngine(netlist, delays).analyze();
+    const StaResult sta_b = StaEngine(netlist, reloaded).analyze();
     std::cout << "critical path: annotated " << sta_a.critical_path_length
               << " ps, from SDF " << sta_b.critical_path_length << " ps\n";
 

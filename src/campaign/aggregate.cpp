@@ -32,6 +32,28 @@ Json DistributionSummary::to_json() const {
     return j;
 }
 
+std::optional<DistributionSummary> DistributionSummary::from_json(
+    const Json& j) {
+    if (!j.is_object()) return std::nullopt;
+    const Json* count = j.find("count");
+    const Json* mean = j.find("mean");
+    const Json* p10 = j.find("p10");
+    const Json* p50 = j.find("p50");
+    const Json* p90 = j.find("p90");
+    if (!count || !count->is_number() || !mean || !mean->is_number() ||
+        !p10 || !p10->is_number() || !p50 || !p50->is_number() || !p90 ||
+        !p90->is_number()) {
+        return std::nullopt;
+    }
+    DistributionSummary s;
+    s.count = static_cast<std::size_t>(count->as_number());
+    s.mean = mean->as_number();
+    s.p10 = p10->as_number();
+    s.p50 = p50->as_number();
+    s.p90 = p90->as_number();
+    return s;
+}
+
 Json ClassificationQuality::to_json() const {
     Json j = Json::object();
     j.set("positives", positives);

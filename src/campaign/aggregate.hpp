@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstddef>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -37,6 +38,10 @@ struct DistributionSummary {
     double p90 = 0.0;
 
     [[nodiscard]] Json to_json() const;
+    static std::optional<DistributionSummary> from_json(const Json& j);
+
+    friend bool operator==(const DistributionSummary&,
+                           const DistributionSummary&) = default;
 };
 
 /// Classifier quality of the burn-in screen score against actual

@@ -7,7 +7,7 @@
 
 #include "campaign/checkpoint.hpp"
 #include "monitor/placement.hpp"
-#include "timing/sta.hpp"
+#include "timing/sta_engine.hpp"
 #include "util/cancel.hpp"
 #include "util/log.hpp"
 #include "util/metrics.hpp"
@@ -97,6 +97,9 @@ Json CampaignResult::to_json(const CampaignConfig& config) const {
     j.set("aggregate", aggregate.to_json());
 
     Json run = Json::object();
+    // sta_mode is run bookkeeping, not campaign identity: both modes
+    // must produce identical "campaign"/"aggregate" blocks.
+    run.set("sta_mode", config.full_sta ? "full_rebuild" : "incremental");
     run.set("devices_completed", devices_completed);
     run.set("devices_resumed", devices_resumed);
     run.set("checkpoints_written", checkpoints_written);
@@ -120,10 +123,11 @@ CampaignResult run_campaign(const Netlist& netlist,
     RolloutContext ctx;
     MonitorPlacement placement;
     std::vector<GateId> sites;
-    {
+    try {
         TraceSpan span("campaign_prepare");
         const DelayAnnotation nominal = DelayAnnotation::nominal(netlist);
-        const StaResult sta = run_sta(netlist, nominal, config.clock_margin);
+        StaEngine engine(netlist, nominal, config.clock_margin);
+        const StaResult& sta = engine.analyze();
         placement = place_monitors(netlist, sta, config.monitor_fraction,
                                    config.monitor_delay_fractions);
         result.clock_period = sta.clock_period;
@@ -133,7 +137,23 @@ CampaignResult run_campaign(const Netlist& netlist,
         ctx.grid = make_year_grid(config.horizon_years, config.step_years);
         ctx.screen_years = config.screen_years;
         ctx.variation_sigma_log = config.model.variation.sigma_log;
+        ctx.full_sta = config.full_sta;
         sites = combinational_sites(netlist);
+    } catch (const std::exception& e) {
+        // Invalid configuration (e.g. a rejected year grid) yields an
+        // honest failed result instead of an escaped exception.
+        result.phases.push_back(prepare_sw.elapsed("campaign_prepare"));
+        result.status.phases.push_back(
+            PhaseStatus{"campaign_prepare", PhaseOutcome::Failed, e.what()});
+        for (const char* phase :
+             {"campaign_resume", "campaign_rollout", "campaign_aggregate"}) {
+            result.status.phases.push_back(
+                PhaseStatus{phase, PhaseOutcome::Skipped,
+                            "campaign_prepare failed"});
+        }
+        result.total_wall_seconds =
+            total.elapsed("campaign_total").wall_seconds;
+        return result;
     }
     result.num_monitors = placement.num_monitors();
     result.phases.push_back(prepare_sw.elapsed("campaign_prepare"));
@@ -195,13 +215,31 @@ CampaignResult run_campaign(const Netlist& netlist,
         }
 
         const auto roll_range = [&](std::size_t begin, std::size_t end) {
+            // One incremental engine per shard: the first device builds
+            // the arenas, later devices rebase onto them, and every
+            // year-grid point is a cone-limited update.
+            std::unique_ptr<StaEngine> engine;
             for (std::size_t i = begin; i < end; ++i) {
-                if (token.cancelled()) return;  // device-boundary poll
+                if (token.cancelled()) break;   // device-boundary poll
                 if (slots[i]) continue;         // resumed from checkpoint
                 const DeviceSample sample = sample_device(
                     config.model, config.seed,
                     static_cast<std::uint32_t>(i), sites, ctx.clock_period);
-                slots[i] = roll_device(ctx, sample);
+                slots[i] = roll_device(ctx, sample, &engine);
+            }
+            if (engine) {
+                const StaEngine::Stats& es = engine->stats();
+                metrics.counter("campaign.sta_full_passes")
+                    .add(es.full_passes);
+                metrics.counter("campaign.sta_incremental_updates")
+                    .add(es.incremental_updates);
+                metrics.counter("campaign.sta_dense_updates")
+                    .add(es.dense_updates);
+                metrics.counter("campaign.sta_rebases").add(es.rebases);
+                metrics.counter("campaign.sta_nodes_repropagated")
+                    .add(es.nodes_repropagated);
+                metrics.counter("campaign.sta_nodes_pruned")
+                    .add(es.nodes_pruned);
             }
         };
 

@@ -57,6 +57,12 @@ struct CampaignConfig {
     /// fingerprint mismatch degrades to a fresh start, recorded in the
     /// status block).
     bool resume = false;
+    /// Roll every device with the legacy full-STA path instead of the
+    /// incremental engine.  Deliberately NOT part of the campaign
+    /// fingerprint: both modes produce bit-identical outcomes (this is
+    /// what the differential CI check asserts), so checkpoints are
+    /// interchangeable.
+    bool full_sta = false;
 };
 
 struct CampaignResult {

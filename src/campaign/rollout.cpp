@@ -1,8 +1,11 @@
 #include "campaign/rollout.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
 
 #include "timing/delay_model.hpp"
+#include "util/diagnostic.hpp"
 
 namespace fastmon {
 
@@ -73,8 +76,21 @@ std::optional<DeviceOutcome> DeviceOutcome::from_json(const Json& j) {
 }
 
 std::vector<double> make_year_grid(double horizon_years, double step_years) {
+    const auto reject = [](const char* what, double v) {
+        char buf[96];
+        std::snprintf(buf, sizeof buf, "make_year_grid: %s (got %g)", what, v);
+        throw DiagnosticBuilder("campaign").message(buf).build();
+    };
+    if (!std::isfinite(horizon_years) || horizon_years < 0.0) {
+        reject("horizon_years must be finite and >= 0", horizon_years);
+    }
+    if (!std::isfinite(step_years) || step_years <= 0.0) {
+        reject("step_years must be finite and > 0", step_years);
+    }
+    if (horizon_years > 0.0 && step_years > horizon_years + 1e-9) {
+        reject("step_years exceeds horizon_years", step_years);
+    }
     std::vector<double> grid;
-    if (step_years <= 0.0) step_years = 0.25;
     // i * step (not repeated addition) keeps grid points exact enough
     // to survive JSON round trips and resume bit-identically.
     for (std::size_t i = 0;; ++i) {
@@ -86,7 +102,8 @@ std::vector<double> make_year_grid(double horizon_years, double step_years) {
 }
 
 DeviceOutcome roll_device(const RolloutContext& ctx,
-                          const DeviceSample& sample) {
+                          const DeviceSample& sample,
+                          std::unique_ptr<StaEngine>* engine_scratch) {
     DeviceOutcome out;
     out.index = sample.index;
     out.marginal = sample.marginal();
@@ -98,15 +115,28 @@ DeviceOutcome roll_device(const RolloutContext& ctx,
     const DelayAnnotation annotation =
         DelayAnnotation::with_lognormal_variation(
             *ctx.netlist, ctx.variation_sigma_log, sample.seed);
+    StaEngine* engine = nullptr;
+    if (engine_scratch && !ctx.full_sta) {
+        if (!*engine_scratch) {
+            // Monitor evaluation needs arrivals only; the simulator
+            // rebases the engine to each device's annotation.
+            *engine_scratch = std::make_unique<StaEngine>(
+                *ctx.netlist, annotation, 1.0, StaEngine::Scope::Arrivals);
+        }
+        engine = engine_scratch->get();
+    }
     LifetimeSimulator sim(*ctx.netlist, annotation, ctx.clock_period,
-                          sample.aging, sample.seed);
+                          sample.aging, sample.seed, engine);
+    if (ctx.full_sta) sim.set_sta_mode(LifetimeSimulator::StaMode::FullRebuild);
     for (const MarginalDefect& defect : sample.defects) {
         sim.add_defect(defect);
     }
 
     const std::size_t num_configs = ctx.placement->config_delays.size();
     out.first_alert_years.assign(num_configs, -1.0);
-    for (const LifetimePoint& p : sim.sweep(ctx.grid, *ctx.placement)) {
+    LifetimePoint p;  // reused across the grid: one alert buffer
+    for (const double year : ctx.grid) {
+        sim.evaluate_into(year, *ctx.placement, p);
         for (std::size_t c = 0; c < p.alerts.size() && c < num_configs; ++c) {
             if (p.alerts[c] && out.first_alert_years[c] < 0.0) {
                 out.first_alert_years[c] = p.years;

@@ -11,11 +11,13 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "campaign/population.hpp"
 #include "monitor/placement.hpp"
+#include "timing/sta_engine.hpp"
 #include "util/json.hpp"
 
 namespace fastmon {
@@ -34,6 +36,11 @@ struct RolloutContext {
     double screen_years = 0.5;
     /// Per-gate lognormal process-variation sigma (VariationModel).
     double variation_sigma_log = 0.05;
+    /// Force the legacy full-STA path (LifetimeSimulator FullRebuild)
+    /// instead of the incremental engine; the differential reference
+    /// for the bit-identity check.  Not part of the campaign
+    /// fingerprint: both modes produce identical outcomes.
+    bool full_sta = false;
 };
 
 /// Everything measured on one rolled-out device.
@@ -67,10 +74,18 @@ struct DeviceOutcome {
 };
 
 /// Builds the uniform year grid [0, horizon] with `step` spacing.
+/// Throws a Diagnostic ("campaign" source) on a non-finite or negative
+/// horizon, a non-finite or non-positive step, or a step larger than a
+/// positive horizon.
 std::vector<double> make_year_grid(double horizon_years, double step_years);
 
-/// Rolls one sampled device through its lifetime.
+/// Rolls one sampled device through its lifetime.  `engine_scratch`
+/// (optional) is a worker-local incremental STA engine slot: the first
+/// device constructs it, later devices rebase it — so arenas persist
+/// across a whole shard.  With ctx.full_sta the scratch is ignored and
+/// every grid point pays a from-scratch pass.
 DeviceOutcome roll_device(const RolloutContext& ctx,
-                          const DeviceSample& sample);
+                          const DeviceSample& sample,
+                          std::unique_ptr<StaEngine>* engine_scratch = nullptr);
 
 }  // namespace fastmon

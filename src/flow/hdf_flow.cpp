@@ -167,7 +167,10 @@ void HdfFlow::prepare() {
                       ? DelayAnnotation::with_variation(
                             nl, config_.variation_sigma, config_.seed)
                       : DelayAnnotation::nominal(nl);
-        sta_ = run_sta(nl, *delays_, config_.clock_margin);
+        // The optional keeps *delays_ address-stable, so the engine can
+        // hold it as its base and serve incremental updates later.
+        sta_engine_.emplace(nl, *delays_, config_.clock_margin);
+        sta_ = sta_engine_->analyze();
     });
 
     // Monitor insertion at long path ends (essential: the monitored set
@@ -293,6 +296,61 @@ IntervalSet HdfFlow::full_range_in_window(std::size_t i) const {
     const Interval w = window_for(config_.fmax_factor);
     full.clip(w.lo, w.hi);
     return full;
+}
+
+Json CoverageBySpeed::to_json() const {
+    Json j = Json::object();
+    j.set("fmax_factor", fmax_factor);
+    j.set("conv", conv);
+    j.set("prop", prop);
+    return j;
+}
+
+std::optional<CoverageBySpeed> CoverageBySpeed::from_json(const Json& j) {
+    if (!j.is_object()) return std::nullopt;
+    const Json* fmax = j.find("fmax_factor");
+    const Json* conv = j.find("conv");
+    const Json* prop = j.find("prop");
+    if (!fmax || !fmax->is_number() || !conv || !conv->is_number() || !prop ||
+        !prop->is_number()) {
+        return std::nullopt;
+    }
+    CoverageBySpeed point;
+    point.fmax_factor = fmax->as_number();
+    point.conv = conv->as_number();
+    point.prop = prop->as_number();
+    return point;
+}
+
+Json CoverageRow::to_json() const {
+    Json j = Json::object();
+    j.set("coverage", coverage);
+    j.set("num_frequencies", num_frequencies);
+    j.set("naive_pc", naive_pc);
+    j.set("schedule_size", schedule_size);
+    j.set("reduction_percent", reduction_percent);
+    return j;
+}
+
+std::optional<CoverageRow> CoverageRow::from_json(const Json& j) {
+    if (!j.is_object()) return std::nullopt;
+    const Json* coverage = j.find("coverage");
+    const Json* freqs = j.find("num_frequencies");
+    const Json* naive = j.find("naive_pc");
+    const Json* schedule = j.find("schedule_size");
+    const Json* reduction = j.find("reduction_percent");
+    if (!coverage || !coverage->is_number() || !freqs || !freqs->is_number() ||
+        !naive || !naive->is_number() || !schedule ||
+        !schedule->is_number() || !reduction || !reduction->is_number()) {
+        return std::nullopt;
+    }
+    CoverageRow row;
+    row.coverage = coverage->as_number();
+    row.num_frequencies = static_cast<std::size_t>(freqs->as_number());
+    row.naive_pc = static_cast<std::size_t>(naive->as_number());
+    row.schedule_size = static_cast<std::size_t>(schedule->as_number());
+    row.reduction_percent = reduction->as_number();
+    return row;
 }
 
 IntervalSet HdfFlow::ff_range_in_window(std::size_t i) const {

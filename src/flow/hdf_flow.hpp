@@ -26,6 +26,7 @@
 #include "monitor/placement.hpp"
 #include "monitor/shifting.hpp"
 #include "schedule/pattern_config_select.hpp"
+#include "timing/sta_engine.hpp"
 #include "util/manifest.hpp"
 
 namespace fastmon {
@@ -68,6 +69,12 @@ struct CoverageBySpeed {
     double fmax_factor = 1.0;
     double conv = 0.0;  ///< HDF coverage, conventional FAST
     double prop = 0.0;  ///< HDF coverage with programmable monitors
+
+    [[nodiscard]] Json to_json() const;
+    static std::optional<CoverageBySpeed> from_json(const Json& j);
+
+    friend bool operator==(const CoverageBySpeed&,
+                           const CoverageBySpeed&) = default;
 };
 
 /// One row of Table III.
@@ -77,6 +84,11 @@ struct CoverageRow {
     std::size_t naive_pc = 0;         ///< |PC_cov| = |P| x |C| x |F_cov|
     std::size_t schedule_size = 0;    ///< |S_cov|
     double reduction_percent = 0.0;
+
+    [[nodiscard]] Json to_json() const;
+    static std::optional<CoverageRow> from_json(const Json& j);
+
+    friend bool operator==(const CoverageRow&, const CoverageRow&) = default;
 };
 
 struct HdfFlowResult {
@@ -149,6 +161,12 @@ public:
     [[nodiscard]] const Netlist& netlist() const { return *netlist_; }
     [[nodiscard]] const HdfFlowConfig& config() const { return config_; }
     [[nodiscard]] const StaResult& sta() const { return sta_; }
+    /// The incremental engine behind the sta phase (null before
+    /// prepare()); downstream passes can run cone-limited updates
+    /// against the flow's annotation without re-running full STA.
+    [[nodiscard]] const StaEngine* sta_engine() const {
+        return sta_engine_ ? &*sta_engine_ : nullptr;
+    }
     [[nodiscard]] const MonitorPlacement& placement() const { return placement_; }
     [[nodiscard]] const TestSet& patterns() const { return test_set_; }
     [[nodiscard]] const FaultUniverse& universe() const { return universe_; }
@@ -209,6 +227,9 @@ private:
     bool prepared_ = false;
 
     std::optional<DelayAnnotation> delays_;
+    /// Engine declared after delays_ (it holds a pointer to *delays_,
+    /// which std::optional keeps address-stable once emplaced).
+    std::optional<StaEngine> sta_engine_;
     StaResult sta_;
     MonitorPlacement placement_;
     TestSet test_set_;

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 
-#include "timing/sta.hpp"
 #include "util/prng.hpp"
 
 namespace fastmon {
@@ -28,75 +27,148 @@ Time MarginalDefect::delta_at(double years) const {
     return delta0 * std::exp(std::min(exponent, kMaxLogMagnification));
 }
 
+Json LifetimePoint::to_json() const {
+    Json j = Json::object();
+    j.set("years", years);
+    j.set("worst_monitored_arrival", worst_monitored_arrival);
+    j.set("worst_arrival", worst_arrival);
+    Json a = Json::array();
+    for (bool alert : alerts) a.push_back(alert);
+    j.set("alerts", std::move(a));
+    j.set("timing_failure", timing_failure);
+    return j;
+}
+
+std::optional<LifetimePoint> LifetimePoint::from_json(const Json& j) {
+    if (!j.is_object()) return std::nullopt;
+    const Json* years = j.find("years");
+    const Json* monitored = j.find("worst_monitored_arrival");
+    const Json* worst = j.find("worst_arrival");
+    const Json* alerts = j.find("alerts");
+    const Json* failure = j.find("timing_failure");
+    if (!years || !years->is_number() || !monitored ||
+        !monitored->is_number() || !worst || !worst->is_number() ||
+        !alerts || !alerts->is_array() || !failure || !failure->is_bool()) {
+        return std::nullopt;
+    }
+    LifetimePoint point;
+    point.years = years->as_number();
+    point.worst_monitored_arrival = monitored->as_number();
+    point.worst_arrival = worst->as_number();
+    for (const Json& a : alerts->as_array()) {
+        if (!a.is_bool()) return std::nullopt;
+        point.alerts.push_back(a.as_bool());
+    }
+    point.timing_failure = failure->as_bool();
+    return point;
+}
+
 LifetimeSimulator::LifetimeSimulator(const Netlist& netlist,
                                      const DelayAnnotation& base,
                                      Time clock_period, AgingModel model,
-                                     std::uint64_t seed)
+                                     std::uint64_t seed, StaEngine* engine)
     : netlist_(&netlist),
       base_(&base),
       clock_period_(clock_period),
-      model_(model) {
+      model_(model),
+      shared_engine_(engine) {
     // Per-gate aging-rate jitter: gates with high switching activity
     // (HCI) or high duty cycle (BTI) degrade faster; modelled as a
     // uniform +-50 % spread around the nominal rate.
     Prng rng(seed ^ 0xA61713ULL);
     activity_.resize(netlist.size());
     for (double& a : activity_) a = rng.uniform(0.5, 1.5);
+    for (GateId id = 0; id < netlist.size(); ++id) {
+        if (is_combinational(netlist.gate(id).type)) {
+            comb_gates_.push_back(id);
+        }
+    }
+    if (shared_engine_) shared_engine_->rebase(base);
 }
 
-DelayAnnotation LifetimeSimulator::degraded(double years) const {
-    DelayAnnotation ann = *base_;
+StaEngine& LifetimeSimulator::engine() const {
+    if (shared_engine_) return *shared_engine_;
+    if (!owned_engine_) {
+        // Monitor evaluation needs only arrival times; skip the
+        // backward/path passes entirely.
+        owned_engine_ = std::make_unique<StaEngine>(
+            *netlist_, *base_, 1.0, StaEngine::Scope::Arrivals);
+    }
+    return *owned_engine_;
+}
+
+void LifetimeSimulator::fill_delta(double years, DelayDelta& delta) const {
+    delta.clear();
     const double base_factor = model_.factor(years) - 1.0;
-    for (GateId id = 0; id < netlist_->size(); ++id) {
-        if (!is_combinational(netlist_->gate(id).type)) continue;
-        ann.scale_gate(id, 1.0 + base_factor * activity_[id]);
+    for (const GateId id : comb_gates_) {
+        delta.scale(id, 1.0 + base_factor * activity_[id]);
     }
     for (const MarginalDefect& defect : defects_) {
         const Time extra = defect.delta_at(years);
         if (extra <= 0.0) continue;
-        const Gate& g = netlist_->gate(defect.site.gate);
-        if (defect.site.pin == FaultSite::kOutputPin) {
-            for (std::uint32_t pin = 0; pin < g.fanin.size(); ++pin) {
-                PinDelay d = ann.arc(defect.site.gate, pin);
-                d.rise += extra;
-                d.fall += extra;
-                ann.set_arc(defect.site.gate, pin, d);
-            }
-        } else {
-            PinDelay d = ann.arc(defect.site.gate, defect.site.pin);
-            d.rise += extra;
-            d.fall += extra;
-            ann.set_arc(defect.site.gate, defect.site.pin, d);
-        }
+        const std::uint32_t pin = defect.site.pin == FaultSite::kOutputPin
+                                      ? DelayDelta::kAllPins
+                                      : defect.site.pin;
+        delta.add(defect.site.gate, pin, extra);
     }
-    return ann;
+}
+
+DelayDelta LifetimeSimulator::degradation_delta(double years) const {
+    DelayDelta delta;
+    fill_delta(years, delta);
+    return delta;
+}
+
+DelayAnnotation LifetimeSimulator::degraded(double years) const {
+    fill_delta(years, scratch_delta_);
+    return base_->transformed(scratch_delta_);
 }
 
 LifetimePoint LifetimeSimulator::evaluate(
     double years, const MonitorPlacement& placement) const {
-    const DelayAnnotation ann = degraded(years);
-    const StaResult sta = run_sta(*netlist_, ann, 1.0);
-
     LifetimePoint point;
-    point.years = years;
+    evaluate_into(years, placement, point);
+    return point;
+}
+
+void LifetimeSimulator::evaluate_into(double years,
+                                      const MonitorPlacement& placement,
+                                      LifetimePoint& out) const {
+    fill_delta(years, scratch_delta_);
+    const StaResult* sta = nullptr;
+    StaResult rebuilt;
+    if (sta_mode_ == StaMode::Incremental) {
+        sta = &engine().update(scratch_delta_);
+    } else {
+        // Legacy reference path: transform a private annotation copy and
+        // run a from-scratch pass (same arithmetic; bit-identical).
+        const DelayAnnotation ann = base_->transformed(scratch_delta_);
+        StaEngine full(*netlist_, ann, 1.0, StaEngine::Scope::Full);
+        full.analyze();
+        rebuilt = full.take_result();
+        sta = &rebuilt;
+    }
+
+    out.years = years;
+    out.worst_monitored_arrival = 0.0;
+    out.worst_arrival = 0.0;
     const auto ops = netlist_->observe_points();
     for (std::uint32_t oi = 0; oi < ops.size(); ++oi) {
-        const Time arrival = sta.max_arrival[ops[oi].signal];
-        point.worst_arrival = std::max(point.worst_arrival, arrival);
+        const Time arrival = sta->max_arrival[ops[oi].signal];
+        out.worst_arrival = std::max(out.worst_arrival, arrival);
         if (oi < placement.monitored.size() && placement.monitored[oi]) {
-            point.worst_monitored_arrival =
-                std::max(point.worst_monitored_arrival, arrival);
+            out.worst_monitored_arrival =
+                std::max(out.worst_monitored_arrival, arrival);
         }
     }
-    point.alerts.assign(placement.config_delays.size(), false);
+    out.alerts.assign(placement.config_delays.size(), false);
     for (std::size_t c = 1; c < placement.config_delays.size(); ++c) {
         // Guard-band check: the latest monitored transition falls inside
         // the detection window (clk - d, clk].
-        point.alerts[c] = point.worst_monitored_arrival >
-                          clock_period_ - placement.config_delays[c];
+        out.alerts[c] = out.worst_monitored_arrival >
+                        clock_period_ - placement.config_delays[c];
     }
-    point.timing_failure = point.worst_arrival > clock_period_;
-    return point;
+    out.timing_failure = out.worst_arrival > clock_period_;
 }
 
 std::vector<LifetimePoint> LifetimeSimulator::sweep(

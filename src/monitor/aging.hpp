@@ -13,11 +13,15 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <optional>
 #include <span>
 #include <vector>
 
 #include "monitor/placement.hpp"
 #include "sim/fault_sim.hpp"
+#include "timing/sta_engine.hpp"
+#include "util/json.hpp"
 
 namespace fastmon {
 
@@ -50,19 +54,42 @@ struct LifetimePoint {
     Time worst_arrival = 0.0;            ///< max arrival at any endpoint
     std::vector<bool> alerts;            ///< per configuration index
     bool timing_failure = false;         ///< worst_arrival exceeds the clock
+
+    [[nodiscard]] Json to_json() const;
+    static std::optional<LifetimePoint> from_json(const Json& j);
+
+    friend bool operator==(const LifetimePoint&,
+                           const LifetimePoint&) = default;
 };
 
 class LifetimeSimulator {
 public:
+    /// How evaluate() obtains arrival times.  Incremental (default)
+    /// applies each year's degradation as a DelayDelta to a persistent
+    /// StaEngine; FullRebuild copies + transforms the annotation and
+    /// runs a from-scratch pass (the legacy cost profile, kept as the
+    /// differential reference).  Both produce bit-identical points.
+    enum class StaMode : std::uint8_t { Incremental, FullRebuild };
+
     /// `base` must be the annotation the clock was derived from;
     /// `clock_period` stays fixed over the lifetime (the deployed f_nom).
+    /// A non-null `engine` (constructed for the same netlist, margin
+    /// 1.0) is rebased to `base` and reused — the campaign shares one
+    /// engine per worker across its whole device shard.
     LifetimeSimulator(const Netlist& netlist, const DelayAnnotation& base,
                       Time clock_period, AgingModel model,
-                      std::uint64_t seed = 1);
+                      std::uint64_t seed = 1, StaEngine* engine = nullptr);
 
     void add_defect(MarginalDefect defect) { defects_.push_back(defect); }
 
-    /// Degraded annotation at `years` (aging factors plus defects).
+    void set_sta_mode(StaMode mode) { sta_mode_ = mode; }
+    [[nodiscard]] StaMode sta_mode() const { return sta_mode_; }
+
+    /// The device's degradation state at `years` (aging factors plus
+    /// defect extras) as a composable delta on the base annotation.
+    [[nodiscard]] DelayDelta degradation_delta(double years) const;
+
+    /// Degraded annotation at `years` (base transformed by the delta).
     [[nodiscard]] DelayAnnotation degraded(double years) const;
 
     /// Evaluates monitors at `years`: a configuration alerts when the
@@ -70,6 +97,12 @@ public:
     /// worst monitored arrival > clk - d_c.
     [[nodiscard]] LifetimePoint evaluate(double years,
                                          const MonitorPlacement& placement) const;
+
+    /// Allocation-free variant for tight grid loops: overwrites `out`
+    /// (reusing its alerts buffer) with the state at `years`.  The
+    /// campaign rollout reuses one point across a device's whole grid.
+    void evaluate_into(double years, const MonitorPlacement& placement,
+                       LifetimePoint& out) const;
 
     [[nodiscard]] std::vector<LifetimePoint> sweep(
         std::span<const double> years,
@@ -84,12 +117,24 @@ public:
     [[nodiscard]] Time clock_period() const { return clock_period_; }
 
 private:
+    void fill_delta(double years, DelayDelta& delta) const;
+    StaEngine& engine() const;
+
     const Netlist* netlist_;
     const DelayAnnotation* base_;
     Time clock_period_;
     AgingModel model_;
     std::vector<double> activity_;  ///< per-gate aging-rate jitter
+    std::vector<GateId> comb_gates_;  ///< aging targets, ascending
     std::vector<MarginalDefect> defects_;
+    StaMode sta_mode_ = StaMode::Incremental;
+    /// Engine shared by the caller (campaign worker shard), or lazily
+    /// owned.  Mutated from const evaluate(): the simulator is
+    /// logically const but caches timing state; not thread-safe per
+    /// instance (each campaign worker owns its simulators).
+    StaEngine* shared_engine_ = nullptr;
+    mutable std::unique_ptr<StaEngine> owned_engine_;
+    mutable DelayDelta scratch_delta_;
 };
 
 }  // namespace fastmon

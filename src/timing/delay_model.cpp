@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "timing/delay_delta.hpp"
 #include "util/prng.hpp"
 
 namespace fastmon {
@@ -24,12 +25,18 @@ DelayAnnotation DelayAnnotation::with_lognormal_variation(
     const CellLibrary& lib) {
     DelayAnnotation ann = build(netlist, lib, 0.0, 0);
     if (sigma_log <= 0.0) return ann;
+    // Expressed as a DelayDelta so the same composable path covers
+    // process variation, aging, and defects.  The Prng draw order (one
+    // normal per combinational gate, ascending id) is unchanged, so
+    // per-device annotations are bit-identical to earlier releases.
     Prng rng = Prng::stream(seed, 0x10C'A15ULL);
     const double mu = -0.5 * sigma_log * sigma_log;  // E[factor] = 1
+    DelayDelta delta;
     for (GateId id = 0; id < netlist.size(); ++id) {
         if (!is_combinational(netlist.gate(id).type)) continue;
-        ann.scale_gate(id, std::exp(rng.normal(mu, sigma_log)));
+        delta.scale(id, std::exp(rng.normal(mu, sigma_log)));
     }
+    ann.transform(delta);
     return ann;
 }
 
@@ -80,6 +87,39 @@ DelayAnnotation DelayAnnotation::build(const Netlist& netlist,
     }
     ann.glitch_threshold_ = lib.min_gate_delay();
     return ann;
+}
+
+DelayAnnotation& DelayAnnotation::transform(const DelayDelta& delta) {
+    if (delta.uniform_scale != 1.0) {
+        for (PinDelay& d : arcs_) {
+            d.rise *= delta.uniform_scale;
+            d.fall *= delta.uniform_scale;
+        }
+    }
+    for (const DelayDelta::GateScale& s : delta.scales) {
+        scale_gate(s.gate, s.factor);
+    }
+    for (const DelayDelta::ArcExtra& e : delta.extras) {
+        const std::uint32_t begin = offset_[e.gate];
+        const std::uint32_t end = e.gate + 1 < offset_.size()
+                                      ? offset_[e.gate + 1]
+                                      : static_cast<std::uint32_t>(arcs_.size());
+        const std::uint32_t first =
+            e.pin == DelayDelta::kAllPins ? begin : begin + e.pin;
+        const std::uint32_t last =
+            e.pin == DelayDelta::kAllPins ? end : begin + e.pin + 1;
+        for (std::uint32_t i = first; i < last; ++i) {
+            arcs_[i].rise += e.extra;
+            arcs_[i].fall += e.extra;
+        }
+    }
+    return *this;
+}
+
+DelayAnnotation DelayAnnotation::transformed(const DelayDelta& delta) const {
+    DelayAnnotation copy = *this;
+    copy.transform(delta);
+    return copy;
 }
 
 void DelayAnnotation::scale_gate(GateId gate, double factor) {

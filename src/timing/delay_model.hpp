@@ -16,6 +16,8 @@
 
 namespace fastmon {
 
+struct DelayDelta;
+
 class DelayAnnotation {
 public:
     /// Library-nominal delays (no variation).
@@ -64,6 +66,15 @@ public:
 
     /// Scales every arc of `gate` by `factor` (aging degradation).
     void scale_gate(GateId gate, double factor);
+
+    /// Applies a composable mutation in place: the delta's uniform
+    /// scale, then its per-gate scales, then its additive extras, each
+    /// in entry order (the order the bit-identity contract of the
+    /// incremental StaEngine is defined against).
+    DelayAnnotation& transform(const DelayDelta& delta);
+
+    /// Copying variant of transform() for callers that keep the base.
+    [[nodiscard]] DelayAnnotation transformed(const DelayDelta& delta) const;
 
     [[nodiscard]] std::size_t num_gates() const { return offset_.size(); }
 

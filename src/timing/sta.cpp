@@ -1,99 +1,19 @@
 #include "timing/sta.hpp"
 
 #include <algorithm>
-#include <cassert>
 
-#include "util/cancel.hpp"
+#include "timing/sta_engine.hpp"
 
 namespace fastmon {
 
-namespace {
-
-// Arrival times admit no partial result, so a cancelled STA throws
-// CancelledError; the flow records the phase as skipped.  Polling at a
-// stride keeps even the relaxed load off the per-gate path.
-constexpr std::size_t kCancelStride = 4096;
-
-}  // namespace
-
+// Deprecated compatibility shim: one full engine pass, result moved out.
+// Bit-identical to the pre-engine implementation (same arithmetic, same
+// operation order, same cancellation cadence).
 StaResult run_sta(const Netlist& netlist, const DelayAnnotation& delays,
                   double clock_margin) {
-    assert(netlist.finalized());
-    const std::size_t n = netlist.size();
-    StaResult r;
-    r.max_arrival.assign(n, 0.0);
-    r.min_arrival.assign(n, 0.0);
-    r.downstream.assign(n, 0.0);
-    r.path_through.assign(n, 0.0);
-
-    // Forward pass in topological order.
-    std::size_t visited = 0;
-    for (GateId id : netlist.topo_order()) {
-        if (++visited % kCancelStride == 0) {
-            CancelToken::global().throw_if_cancelled();
-        }
-        const Gate& g = netlist.gate(id);
-        if (g.type == CellType::Input || g.type == CellType::Dff) {
-            // Launch edge: sources switch at t = 0.
-            r.max_arrival[id] = 0.0;
-            r.min_arrival[id] = 0.0;
-            continue;
-        }
-        Time amax = 0.0;
-        Time amin = std::numeric_limits<Time>::max();
-        for (std::uint32_t pin = 0; pin < g.fanin.size(); ++pin) {
-            const GateId f = g.fanin[pin];
-            const PinDelay d = delays.arc(id, pin);
-            amax = std::max(amax, r.max_arrival[f] + std::max(d.rise, d.fall));
-            amin = std::min(amin, r.min_arrival[f] + std::min(d.rise, d.fall));
-        }
-        r.max_arrival[id] = amax;
-        r.min_arrival[id] = amin == std::numeric_limits<Time>::max() ? 0.0 : amin;
-    }
-
-    // Backward pass: longest delay from each node to an observation
-    // point.  Observation happens at the fanin signal of Output/Dff
-    // nodes, so those sink nodes contribute 0 downstream to their driver.
-    const auto order = netlist.topo_order();
-    for (auto it = order.rbegin(); it != order.rend(); ++it) {
-        if (++visited % kCancelStride == 0) {
-            CancelToken::global().throw_if_cancelled();
-        }
-        const GateId id = *it;
-        const Gate& g = netlist.gate(id);
-        Time best = std::numeric_limits<Time>::lowest();
-        bool observed = false;
-        for (GateId out : g.fanout) {
-            const Gate& og = netlist.gate(out);
-            if (og.type == CellType::Output || og.type == CellType::Dff) {
-                best = std::max(best, 0.0);
-                observed = true;
-                continue;
-            }
-            // Which pin of `out` does `id` drive?  (A gate may appear on
-            // several pins; take the slowest arc.)
-            for (std::uint32_t pin = 0; pin < og.fanin.size(); ++pin) {
-                if (og.fanin[pin] != id) continue;
-                const PinDelay d = delays.arc(out, pin);
-                best = std::max(best,
-                                std::max(d.rise, d.fall) + r.downstream[out]);
-                observed = true;
-            }
-        }
-        r.downstream[id] = observed ? best : 0.0;
-    }
-
-    for (GateId id = 0; id < n; ++id) {
-        r.path_through[id] = r.max_arrival[id] + r.downstream[id];
-    }
-
-    Time cpl = 0.0;
-    for (const ObservePoint& op : netlist.observe_points()) {
-        cpl = std::max(cpl, r.max_arrival[op.signal]);
-    }
-    r.critical_path_length = cpl;
-    r.clock_period = clock_margin * cpl;
-    return r;
+    StaEngine engine(netlist, delays, clock_margin, StaEngine::Scope::Full);
+    engine.analyze();
+    return engine.take_result();
 }
 
 std::vector<ObservePoint> observe_points_by_path_length(

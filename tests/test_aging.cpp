@@ -6,7 +6,7 @@
 #include <limits>
 
 #include "netlist/iscas_data.hpp"
-#include "timing/sta.hpp"
+#include "timing/sta_engine.hpp"
 
 namespace fastmon {
 namespace {
@@ -71,7 +71,7 @@ TEST(MarginalDefect, ExtremeHorizonsStayFinite) {
 struct AgingFixture : ::testing::Test {
     Netlist nl = make_mini_alu();
     DelayAnnotation base = DelayAnnotation::nominal(nl);
-    StaResult sta = run_sta(nl, base, 1.6);
+    StaResult sta = StaEngine(nl, base, 1.6).analyze();
     MonitorPlacement placement = place_paper_monitors(nl, sta);
     AgingModel aging{0.5, 1.0, 10.0};
 };

@@ -7,7 +7,7 @@
 #include "atpg/tdf_atpg.hpp"
 #include "fault/fault.hpp"
 #include "netlist/iscas_data.hpp"
-#include "timing/sta.hpp"
+#include "timing/sta_engine.hpp"
 
 namespace fastmon {
 namespace {
@@ -93,7 +93,7 @@ TEST(Misr, SingleBitFlipChangesSignature) {
 TEST(Bist, MisrDetectsDelayFaultsAtFastPeriod) {
     const Netlist nl = make_mini_alu();
     const DelayAnnotation ann = DelayAnnotation::nominal(nl);
-    const StaResult sta = run_sta(nl, ann);
+    const StaResult sta = StaEngine(nl, ann).analyze();
     const WaveSim sim(nl, ann);
 
     Prpg prpg(32, 11);

@@ -7,9 +7,12 @@
 #include <algorithm>
 #include <cmath>
 
+#include <limits>
+
 #include "netlist/iscas_data.hpp"
 #include "timing/sta.hpp"
 #include "util/cancel.hpp"
+#include "util/diagnostic.hpp"
 
 namespace fastmon {
 namespace {
@@ -29,6 +32,30 @@ TEST(YearGrid, UniformFromZero) {
     // i * step, not repeated addition: no drift at fine steps.
     const std::vector<double> fine = make_year_grid(15.0, 0.25);
     EXPECT_DOUBLE_EQ(fine[33], 33 * 0.25);
+}
+
+TEST(YearGrid, RejectsDegenerateParameters) {
+    constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    EXPECT_THROW(make_year_grid(kNan, 0.25), Diagnostic);
+    EXPECT_THROW(make_year_grid(kInf, 0.25), Diagnostic);
+    EXPECT_THROW(make_year_grid(-1.0, 0.25), Diagnostic);
+    EXPECT_THROW(make_year_grid(10.0, kNan), Diagnostic);
+    EXPECT_THROW(make_year_grid(10.0, kInf), Diagnostic);
+    EXPECT_THROW(make_year_grid(10.0, 0.0), Diagnostic);
+    EXPECT_THROW(make_year_grid(10.0, -0.5), Diagnostic);
+    // A step larger than a positive horizon would silently degrade the
+    // sweep to the single deployment point.
+    EXPECT_THROW(make_year_grid(2.0, 5.0), Diagnostic);
+    try {
+        make_year_grid(10.0, 0.0);
+        FAIL() << "expected a Diagnostic";
+    } catch (const Diagnostic& d) {
+        EXPECT_EQ(d.source(), "campaign");
+        EXPECT_NE(std::string(d.what()).find("step"), std::string::npos);
+    }
+    // A zero horizon is valid (deployment-only grid), any step goes.
+    EXPECT_EQ(make_year_grid(0.0, 5.0).size(), 1u);
 }
 
 TEST(Population, SampleIsDeterministicPerIndex) {
@@ -153,6 +180,46 @@ TEST_F(CampaignFixture, ThreadCountDoesNotChangeTheAggregate) {
         ASSERT_NE(jb.find(block), nullptr);
         EXPECT_EQ(ja.find(block)->dump(2), jb.find(block)->dump(2));
     }
+}
+
+TEST_F(CampaignFixture, BadGridFailsPrepareButReturnsHonestStatus) {
+    // run_campaign must not leak the Diagnostic: campaign_prepare
+    // records Failed, the downstream phases are Skipped, and the
+    // result reports incomplete instead of crashing the campaign CLI.
+    CampaignConfig config = small_config();
+    config.step_years = 0.0;
+    const CampaignResult result = run_campaign(nl, config);
+    EXPECT_FALSE(result.status.complete());
+    EXPECT_TRUE(result.outcomes.empty());
+    ASSERT_FALSE(result.status.phases.empty());
+    EXPECT_EQ(result.status.phases.front().name, "campaign_prepare");
+    EXPECT_EQ(result.status.phases.front().outcome, PhaseOutcome::Failed);
+}
+
+TEST_F(CampaignFixture, FullStaMatchesIncremental) {
+    // The differential contract the bench and CI also enforce: the
+    // legacy from-scratch STA mode reproduces the incremental engine's
+    // outcomes and deterministic report blocks bit-for-bit.
+    CampaignConfig incremental = small_config();
+    CampaignConfig full = small_config();
+    full.full_sta = true;
+    full.num_threads = 2;  // sharded engines vs serial full rebuilds
+
+    const CampaignResult a = run_campaign(nl, incremental);
+    const CampaignResult b = run_campaign(nl, full);
+    EXPECT_EQ(a.outcomes, b.outcomes);
+    const Json ja = a.to_json(incremental);
+    const Json jb = b.to_json(full);
+    for (const char* block : {"campaign", "aggregate"}) {
+        ASSERT_NE(ja.find(block), nullptr);
+        ASSERT_NE(jb.find(block), nullptr);
+        EXPECT_EQ(ja.find(block)->dump(2), jb.find(block)->dump(2));
+    }
+    // The mode is surfaced in the non-deterministic "run" block only.
+    ASSERT_NE(jb.find("run"), nullptr);
+    ASSERT_NE(jb.find("run")->find("sta_mode"), nullptr);
+    EXPECT_EQ(jb.find("run")->find("sta_mode")->as_string(), "full_rebuild");
+    EXPECT_EQ(ja.find("run")->find("sta_mode")->as_string(), "incremental");
 }
 
 TEST_F(CampaignFixture, ScreenScorePredictsEarlyFailures) {

@@ -5,6 +5,7 @@
 #include "netlist/builder.hpp"
 #include "netlist/generator.hpp"
 #include "monitor/placement.hpp"
+#include "timing/sta_engine.hpp"
 
 namespace fastmon {
 namespace {
@@ -68,7 +69,7 @@ TEST(Classify, CriticalPathFaultsAreAtSpeedDetectable) {
     b.output(prev);
     const Netlist nl = b.build();
     const DelayAnnotation ann = DelayAnnotation::nominal(nl);
-    const StaResult sta = run_sta(nl, ann);
+    const StaResult sta = StaEngine(nl, ann).analyze();
     const FaultUniverse u = FaultUniverse::generate(nl, ann);
     StructuralClassifyConfig cfg;
     cfg.fmax_factor = 3.0;
@@ -97,7 +98,7 @@ TEST(Classify, ShortPathFaultsAreRedundantWithoutMonitors) {
     b.dff("q", "fastpath");
     const Netlist nl = b.build();
     const DelayAnnotation ann = DelayAnnotation::nominal(nl);
-    const StaResult sta = run_sta(nl, ann);
+    const StaResult sta = StaEngine(nl, ann).analyze();
     const FaultUniverse u = FaultUniverse::generate(nl, ann);
     StructuralClassifyConfig cfg;
     cfg.fmax_factor = 3.0;
@@ -120,7 +121,7 @@ TEST(Classify, PathThroughSiteMatchesStaForOutputFaults) {
     const Netlist nl = generate_circuit(
         GeneratorConfig{"cls", 300, 30, 8, 8, 10, 0.5, 6});
     const DelayAnnotation ann = DelayAnnotation::nominal(nl);
-    const StaResult sta = run_sta(nl, ann);
+    const StaResult sta = StaEngine(nl, ann).analyze();
     for (GateId id = 0; id < nl.size(); ++id) {
         if (!is_combinational(nl.gate(id).type)) continue;
         const Time p = path_through_site(nl, ann, sta,
@@ -141,7 +142,7 @@ TEST(Classify, CandidateListMatchesCounts) {
     const Netlist nl = generate_circuit(
         GeneratorConfig{"cls2", 400, 40, 10, 10, 14, 0.7, 8});
     const DelayAnnotation ann = DelayAnnotation::nominal(nl);
-    const StaResult sta = run_sta(nl, ann);
+    const StaResult sta = StaEngine(nl, ann).analyze();
     const FaultUniverse u = FaultUniverse::generate(nl, ann);
     StructuralClassifyConfig cfg;
     cfg.fmax_factor = 3.0;

@@ -4,7 +4,7 @@
 
 #include "netlist/builder.hpp"
 #include "netlist/generator.hpp"
-#include "timing/sta.hpp"
+#include "timing/sta_engine.hpp"
 #include "util/prng.hpp"
 
 namespace fastmon {
@@ -149,7 +149,7 @@ TEST_P(FaultSimProperty, DifferenceWindowBounds) {
     gc.seed = GetParam();
     const Netlist nl = generate_circuit(gc);
     const DelayAnnotation ann = DelayAnnotation::nominal(nl);
-    const StaResult sta = run_sta(nl, ann);
+    const StaResult sta = StaEngine(nl, ann).analyze();
     const WaveSim sim(nl, ann);
     const FaultSim fsim(sim);
     Prng rng(GetParam() * 3 + 1);

@@ -10,7 +10,7 @@
 
 #include "fault/detection_range.hpp"
 #include "netlist/generator.hpp"
-#include "timing/sta.hpp"
+#include "timing/sta_engine.hpp"
 #include "util/prng.hpp"
 
 namespace fastmon {
@@ -40,7 +40,7 @@ struct Scenario {
               return generate_circuit(gc);
           }()),
           ann(DelayAnnotation::nominal(nl)),
-          sta(run_sta(nl, ann)),
+          sta(StaEngine(nl, ann).analyze()),
           sim(nl, ann) {
         Prng rng(seed * 13 + 3);
         const std::size_t n = nl.comb_sources().size();

@@ -11,7 +11,7 @@
 #include "netlist/iscas_data.hpp"
 #include "netlist/verilog_io.hpp"
 #include "timing/sdf.hpp"
-#include "timing/sta.hpp"
+#include "timing/sta_engine.hpp"
 
 namespace fastmon {
 namespace {
@@ -75,8 +75,8 @@ TEST_F(FileIoTest, SdfFileRoundTrip) {
     std::ifstream in(path("s27.sdf"));
     ASSERT_TRUE(in.good());
     const DelayAnnotation back = read_sdf(in, nl);
-    const StaResult a = run_sta(nl, ann);
-    const StaResult b = run_sta(nl, back);
+    const StaResult a = StaEngine(nl, ann).analyze();
+    const StaResult b = StaEngine(nl, back).analyze();
     EXPECT_NEAR(a.critical_path_length, b.critical_path_length, 1e-2);
 }
 

@@ -1,0 +1,125 @@
+// Symmetric JSON round-tripping: every report row type that grew a
+// from_json in the incremental-STA PR must satisfy
+// from_json(to_json(x)) == x, and reject structurally wrong input with
+// nullopt instead of garbage values.
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "campaign/aggregate.hpp"
+#include "campaign/rollout.hpp"
+#include "flow/hdf_flow.hpp"
+#include "monitor/aging.hpp"
+#include "util/json.hpp"
+
+namespace fastmon {
+namespace {
+
+// One template drives every row type: serialize, parse back through
+// the validating from_json, compare with the defaulted operator==.
+template <typename T>
+void expect_roundtrip(const T& value) {
+    const Json j = value.to_json();
+    const std::optional<T> back = T::from_json(j);
+    ASSERT_TRUE(back.has_value()) << j.dump(2);
+    EXPECT_EQ(*back, value) << j.dump(2);
+}
+
+template <typename T>
+void expect_rejected(const Json& j) {
+    EXPECT_FALSE(T::from_json(j).has_value()) << j.dump(2);
+}
+
+TEST(JsonRoundtrip, DeviceOutcome) {
+    DeviceOutcome out;
+    out.index = 42;
+    out.marginal = true;
+    out.num_defects = 2;
+    out.aging_amplitude = 0.135;
+    out.first_alert_years = {-1.0, 2.5, 4.25, 8.0};
+    out.failure_years = 9.75;
+    out.margin_used_t0 = 0.61;
+    out.screen_score = 1.75;
+    expect_roundtrip(out);
+    expect_roundtrip(DeviceOutcome{});  // all defaults
+}
+
+TEST(JsonRoundtrip, LifetimePoint) {
+    LifetimePoint p;
+    p.years = 3.25;
+    p.worst_monitored_arrival = 812.5;
+    p.worst_arrival = 911.0;
+    p.alerts = {false, true, true, false, true};
+    p.timing_failure = true;
+    expect_roundtrip(p);
+    expect_roundtrip(LifetimePoint{});
+}
+
+TEST(JsonRoundtrip, DistributionSummary) {
+    DistributionSummary d;
+    d.count = 37;
+    d.mean = 4.125;
+    d.p10 = 1.5;
+    d.p50 = 4.0;
+    d.p90 = 7.75;
+    expect_roundtrip(d);
+    expect_roundtrip(DistributionSummary{});
+}
+
+TEST(JsonRoundtrip, CoverageBySpeed) {
+    CoverageBySpeed c;
+    c.fmax_factor = 1.125;
+    c.conv = 0.875;
+    c.prop = 0.9375;
+    expect_roundtrip(c);
+}
+
+TEST(JsonRoundtrip, CoverageRow) {
+    CoverageRow r;
+    r.coverage = 0.95;
+    r.num_frequencies = 6;
+    r.naive_pc = 48;
+    r.schedule_size = 17;
+    r.reduction_percent = 64.58333333333333;
+    expect_roundtrip(r);
+    expect_roundtrip(CoverageRow{});
+}
+
+TEST(JsonRoundtrip, RejectsWrongShapes) {
+    expect_rejected<DeviceOutcome>(Json::array());
+    expect_rejected<LifetimePoint>(Json::array());
+    expect_rejected<DistributionSummary>(Json::object());
+
+    // Field with the wrong type: "years" as a string.
+    LifetimePoint p;
+    p.alerts = {true};
+    Json j = p.to_json();
+    j.set("years", "three");
+    expect_rejected<LifetimePoint>(j);
+
+    // Alerts must be an array of booleans.
+    Json j2 = p.to_json();
+    Json bad_alerts = Json::array();
+    bad_alerts.push_back(1.0);
+    j2.set("alerts", std::move(bad_alerts));
+    expect_rejected<LifetimePoint>(j2);
+
+    // Missing required field.
+    DistributionSummary d;
+    Json j3 = d.to_json();
+    j3.set("p50", Json());
+    expect_rejected<DistributionSummary>(j3);
+
+    CoverageRow r;
+    Json j4 = r.to_json();
+    j4.set("num_frequencies", "six");
+    expect_rejected<CoverageRow>(j4);
+
+    CoverageBySpeed c;
+    Json j5 = c.to_json();
+    j5.set("conv", true);
+    expect_rejected<CoverageBySpeed>(j5);
+}
+
+}  // namespace
+}  // namespace fastmon

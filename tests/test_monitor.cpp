@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "monitor/placement.hpp"
+#include "timing/sta_engine.hpp"
 #include "monitor/shifting.hpp"
 #include "netlist/iscas_data.hpp"
 #include "util/prng.hpp"
@@ -93,7 +94,7 @@ TEST(Monitor, PaperMonitorFractions) {
 TEST(Placement, CoversRequestedFractionOfPseudoOutputs) {
     const Netlist nl = make_mini_adder();
     const DelayAnnotation ann = DelayAnnotation::nominal(nl);
-    const StaResult sta = run_sta(nl, ann);
+    const StaResult sta = StaEngine(nl, ann).analyze();
     const MonitorPlacement p =
         place_monitors(nl, sta, 0.5, paper_delay_fractions());
     EXPECT_EQ(p.num_monitors(), nl.flip_flops().size() / 2);
@@ -116,7 +117,7 @@ TEST(Placement, CoversRequestedFractionOfPseudoOutputs) {
 TEST(Placement, NeverMonitorsPrimaryOutputs) {
     const Netlist nl = make_mini_adder();
     const DelayAnnotation ann = DelayAnnotation::nominal(nl);
-    const StaResult sta = run_sta(nl, ann);
+    const StaResult sta = StaEngine(nl, ann).analyze();
     const MonitorPlacement p = place_paper_monitors(nl, sta);
     const auto ops = nl.observe_points();
     for (std::uint32_t oi = 0; oi < ops.size(); ++oi) {
@@ -129,7 +130,7 @@ TEST(Placement, NeverMonitorsPrimaryOutputs) {
 TEST(Placement, ConfigDelaysSortedWithOffFirst) {
     const Netlist nl = make_mini_adder();
     const DelayAnnotation ann = DelayAnnotation::nominal(nl);
-    const StaResult sta = run_sta(nl, ann);
+    const StaResult sta = StaEngine(nl, ann).analyze();
     const MonitorPlacement p = place_paper_monitors(nl, sta);
     ASSERT_EQ(p.config_delays.size(), 5u);
     EXPECT_DOUBLE_EQ(p.config_delays[0], 0.0);

@@ -5,7 +5,7 @@
 #include "monitor/overhead.hpp"
 #include "netlist/iscas_data.hpp"
 #include "schedule/validate.hpp"
-#include "timing/sta.hpp"
+#include "timing/sta_engine.hpp"
 
 namespace fastmon {
 namespace {
@@ -29,7 +29,7 @@ TEST(Overhead, CircuitGateEquivalentsPositive) {
 TEST(Overhead, ReportConsistency) {
     const Netlist nl = make_mini_adder();
     const DelayAnnotation ann = DelayAnnotation::nominal(nl);
-    const StaResult sta = run_sta(nl, ann);
+    const StaResult sta = StaEngine(nl, ann).analyze();
     const MonitorPlacement p = place_paper_monitors(nl, sta);
     const OverheadReport r = estimate_overhead(nl, p);
     EXPECT_EQ(r.num_monitors, p.num_monitors());

@@ -6,7 +6,7 @@
 #include "netlist/iscas_data.hpp"
 #include "schedule/freq_select.hpp"
 #include "schedule/robustness.hpp"
-#include "timing/sta.hpp"
+#include "timing/sta_engine.hpp"
 #include "util/prng.hpp"
 
 namespace fastmon {
@@ -87,7 +87,7 @@ TEST(Robustness, MidpointsBeatBoundaryPoints) {
 struct PolicyFixture : ::testing::Test {
     Netlist nl = make_mini_alu();
     DelayAnnotation base = DelayAnnotation::nominal(nl);
-    StaResult sta = run_sta(nl, base, 1.6);
+    StaResult sta = StaEngine(nl, base, 1.6).analyze();
     MonitorPlacement placement = place_paper_monitors(nl, sta);
     AgingModel aging{0.55, 1.0, 10.0};
     LifetimeSimulator sim{nl, base, sta.clock_period, aging, 1};

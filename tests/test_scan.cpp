@@ -4,14 +4,14 @@
 
 #include "netlist/iscas_data.hpp"
 #include "netlist/structures.hpp"
-#include "timing/sta.hpp"
+#include "timing/sta_engine.hpp"
 
 namespace fastmon {
 namespace {
 
 MonitorPlacement placement_for(const Netlist& nl, double fraction) {
     const DelayAnnotation ann = DelayAnnotation::nominal(nl);
-    const StaResult sta = run_sta(nl, ann);
+    const StaResult sta = StaEngine(nl, ann).analyze();
     return place_monitors(nl, sta, fraction, paper_delay_fractions());
 }
 

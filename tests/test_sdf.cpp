@@ -4,7 +4,7 @@
 
 #include "netlist/generator.hpp"
 #include "netlist/iscas_data.hpp"
-#include "timing/sta.hpp"
+#include "timing/sta_engine.hpp"
 
 namespace fastmon {
 namespace {
@@ -29,8 +29,8 @@ TEST(Sdf, RoundTripPreservesSta) {
         GeneratorConfig{"sdf_gen", 300, 30, 8, 8, 12, 0.5, 11});
     const DelayAnnotation ann = DelayAnnotation::with_variation(nl, 0.15, 3);
     const DelayAnnotation back = read_sdf_string(write_sdf_string(nl, ann), nl);
-    const StaResult a = run_sta(nl, ann);
-    const StaResult b = run_sta(nl, back);
+    const StaResult a = StaEngine(nl, ann).analyze();
+    const StaResult b = StaEngine(nl, back).analyze();
     EXPECT_NEAR(a.critical_path_length, b.critical_path_length,
                 1e-3 * a.critical_path_length);
 }

@@ -1,0 +1,325 @@
+// Differential tests for the incremental StaEngine: every update(delta)
+// must be bit-for-bit identical (EXPECT_EQ on doubles, no tolerance) to
+// transforming the base annotation from scratch and running a full
+// pass, across sparse defect extras, dense aging scales, uniform
+// factors (power-of-two fast path and the general fallback), delta
+// reverts, and rebases.  The LifetimeSimulator section checks the
+// monitor-augmented outputs: Incremental and FullRebuild modes yield
+// equal LifetimePoints.
+#include "timing/sta_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "monitor/aging.hpp"
+#include "monitor/placement.hpp"
+#include "netlist/generator.hpp"
+#include "netlist/iscas_data.hpp"
+#include "util/prng.hpp"
+
+namespace fastmon {
+namespace {
+
+// Bitwise equality between a live engine result and the from-scratch
+// reference; any tolerance here would hide an order-of-operations bug.
+void expect_bitwise_equal(const StaResult& got, const StaResult& want) {
+    ASSERT_EQ(got.max_arrival.size(), want.max_arrival.size());
+    for (std::size_t i = 0; i < want.max_arrival.size(); ++i) {
+        EXPECT_EQ(got.max_arrival[i], want.max_arrival[i]) << "gate " << i;
+        EXPECT_EQ(got.min_arrival[i], want.min_arrival[i]) << "gate " << i;
+        EXPECT_EQ(got.downstream[i], want.downstream[i]) << "gate " << i;
+        EXPECT_EQ(got.path_through[i], want.path_through[i]) << "gate " << i;
+    }
+    EXPECT_EQ(got.critical_path_length, want.critical_path_length);
+    EXPECT_EQ(got.clock_period, want.clock_period);
+}
+
+StaResult reference_sta(const Netlist& nl, const DelayAnnotation& base,
+                        const DelayDelta& delta, double margin = 1.05) {
+    const DelayAnnotation degraded = base.transformed(delta);
+    StaEngine fresh(nl, degraded, margin);
+    fresh.analyze();
+    return fresh.take_result();
+}
+
+struct EngineFixture : ::testing::Test {
+    Netlist nl = generate_circuit(
+        GeneratorConfig{"engine_diff", 300, 24, 8, 8, 10, 0.55, 77});
+    DelayAnnotation base = DelayAnnotation::with_variation(nl, 0.08, 5);
+    std::vector<GateId> comb = [this] {
+        std::vector<GateId> ids;
+        for (GateId id = 0; id < nl.size(); ++id) {
+            if (is_combinational(nl.gate(id).type)) ids.push_back(id);
+        }
+        return ids;
+    }();
+};
+
+TEST_F(EngineFixture, AnalyzeMatchesDeprecatedRunSta) {
+    StaEngine engine(nl, base);
+    const StaResult& got = engine.analyze();
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+    const StaResult legacy = run_sta(nl, base);
+#pragma GCC diagnostic pop
+    expect_bitwise_equal(got, legacy);
+    EXPECT_EQ(engine.stats().full_passes, 1u);
+}
+
+TEST_F(EngineFixture, SparseDefectExtrasMatchFromScratch) {
+    StaEngine engine(nl, base);
+    engine.analyze();
+    Prng rng = Prng::stream(11, 0xD1FFULL);
+    for (int round = 0; round < 12; ++round) {
+        DelayDelta delta;
+        const int touches = 1 + round % 3;
+        for (int k = 0; k < touches; ++k) {
+            const GateId g =
+                comb[static_cast<std::size_t>(rng.next_below(comb.size()))];
+            const std::uint32_t fanin =
+                static_cast<std::uint32_t>(nl.gate(g).fanin.size());
+            const std::uint32_t pin =
+                rng.next_below(2) == 0
+                    ? DelayDelta::kAllPins
+                    : static_cast<std::uint32_t>(rng.next_below(fanin));
+            delta.add(g, pin, rng.uniform(0.5, 25.0));
+        }
+        expect_bitwise_equal(engine.update(delta),
+                             reference_sta(nl, base, delta));
+    }
+    EXPECT_GT(engine.stats().incremental_updates, 0u);
+    EXPECT_GT(engine.stats().nodes_pruned + engine.stats().nodes_repropagated,
+              0u);
+}
+
+TEST_F(EngineFixture, DenseAgingScalesMatchFromScratch) {
+    StaEngine engine(nl, base);
+    Prng rng = Prng::stream(12, 0xA6E5ULL);
+    for (int round = 0; round < 6; ++round) {
+        DelayDelta delta;
+        for (const GateId g : comb) {
+            delta.scale(g, 1.0 + rng.uniform(0.0, 0.3));
+        }
+        expect_bitwise_equal(engine.update(delta),
+                             reference_sta(nl, base, delta));
+    }
+}
+
+TEST_F(EngineFixture, MixedScaleAndExtraOrderIsPreserved) {
+    // A scale and an extra on the SAME gate: the contract applies scales
+    // before extras, i.e. extra is not multiplied.
+    StaEngine engine(nl, base);
+    const GateId g = comb[comb.size() / 2];
+    DelayDelta delta;
+    delta.scale(g, 1.4);
+    delta.add(g, DelayDelta::kAllPins, 7.25);
+    delta.scale(comb.front(), 2.0);
+    expect_bitwise_equal(engine.update(delta), reference_sta(nl, base, delta));
+}
+
+TEST_F(EngineFixture, PowerOfTwoUniformScaleUsesExactRescale) {
+    StaEngine engine(nl, base);
+    engine.analyze();
+    for (const double factor : {2.0, 0.5, 4.0, 1.0, 0.25}) {
+        DelayDelta delta;
+        delta.uniform_scale = factor;
+        expect_bitwise_equal(engine.update(delta),
+                             reference_sta(nl, base, delta));
+    }
+    // All five applied through the O(n) rescale path, no repropagation.
+    EXPECT_GE(engine.stats().scaled_updates, 4u);
+    EXPECT_EQ(engine.stats().nodes_repropagated, 0u);
+}
+
+TEST_F(EngineFixture, NonPowerOfTwoUniformScaleFallsBack) {
+    StaEngine engine(nl, base);
+    for (const double factor : {1.1, 0.93, 3.0}) {
+        DelayDelta delta;
+        delta.uniform_scale = factor;
+        expect_bitwise_equal(engine.update(delta),
+                             reference_sta(nl, base, delta));
+    }
+    EXPECT_EQ(engine.stats().scaled_updates, 0u);
+}
+
+TEST_F(EngineFixture, UniformScaleComposesWithPerGateEntries) {
+    StaEngine engine(nl, base);
+    DelayDelta delta;
+    delta.uniform_scale = 1.07;
+    delta.scale(comb.front(), 1.5);
+    delta.add(comb.back(), DelayDelta::kAllPins, 3.0);
+    expect_bitwise_equal(engine.update(delta), reference_sta(nl, base, delta));
+}
+
+TEST_F(EngineFixture, DeltasAreAbsoluteNotCumulative) {
+    // Gate dirty in update k but absent from update k+1 reverts to base.
+    StaEngine engine(nl, base);
+    const GateId a = comb[1];
+    const GateId b = comb[comb.size() - 2];
+    DelayDelta first;
+    first.add(a, DelayDelta::kAllPins, 40.0);
+    first.scale(b, 3.0);
+    engine.update(first);
+
+    DelayDelta second;
+    second.scale(b, 1.2);  // `a` is gone: must revert
+    expect_bitwise_equal(engine.update(second),
+                         reference_sta(nl, base, second));
+
+    DelayDelta empty;  // everything reverts to the plain base
+    expect_bitwise_equal(engine.update(empty), reference_sta(nl, base, empty));
+}
+
+TEST_F(EngineFixture, EmptyDeltaOnValidEngineIsCached) {
+    StaEngine engine(nl, base);
+    engine.analyze();
+    const std::uint64_t full_before = engine.stats().full_passes;
+    DelayDelta empty;
+    expect_bitwise_equal(engine.update(empty),
+                         reference_sta(nl, base, empty));
+    EXPECT_EQ(engine.stats().full_passes, full_before);
+    EXPECT_EQ(engine.stats().nodes_repropagated, 0u);
+}
+
+TEST_F(EngineFixture, RebaseRetargetsWithoutReallocation) {
+    const DelayAnnotation other = DelayAnnotation::with_variation(nl, 0.12, 99);
+    StaEngine engine(nl, base);
+    engine.analyze();
+    engine.rebase(other);
+    DelayDelta delta;
+    delta.add(comb[3], DelayDelta::kAllPins, 9.0);
+    expect_bitwise_equal(engine.update(delta), reference_sta(nl, other, delta));
+    EXPECT_EQ(engine.stats().rebases, 1u);
+
+    // And back again: results follow the new base exactly.
+    engine.rebase(base);
+    expect_bitwise_equal(engine.analyze(),
+                         reference_sta(nl, base, DelayDelta{}));
+}
+
+TEST_F(EngineFixture, ArrivalsScopeMatchesArrivalFields) {
+    StaEngine full(nl, base, 1.05, StaEngine::Scope::Full);
+    StaEngine arrivals(nl, base, 1.05, StaEngine::Scope::Arrivals);
+    DelayDelta delta;
+    delta.scale(comb[0], 1.8);
+    delta.add(comb[2], DelayDelta::kAllPins, 5.0);
+    const StaResult& f = full.update(delta);
+    const StaResult& a = arrivals.update(delta);
+    for (GateId id = 0; id < nl.size(); ++id) {
+        EXPECT_EQ(a.max_arrival[id], f.max_arrival[id]);
+        EXPECT_EQ(a.min_arrival[id], f.min_arrival[id]);
+        EXPECT_EQ(a.downstream[id], 0.0);
+        EXPECT_EQ(a.path_through[id], 0.0);
+    }
+    EXPECT_EQ(a.critical_path_length, f.critical_path_length);
+    EXPECT_EQ(a.clock_period, f.clock_period);
+}
+
+TEST_F(EngineFixture, TakeResultInvalidatesThenRecovers) {
+    StaEngine engine(nl, base);
+    engine.analyze();
+    const StaResult owned = engine.take_result();
+    EXPECT_EQ(owned.max_arrival.size(), nl.size());
+    // The engine recovers via a fresh full pass on the next update.
+    DelayDelta delta;
+    delta.add(comb[0], DelayDelta::kAllPins, 2.0);
+    expect_bitwise_equal(engine.update(delta), reference_sta(nl, base, delta));
+}
+
+TEST(StaEngineS27, ClockMarginFlowsThroughUpdates) {
+    const Netlist nl = make_s27();
+    const DelayAnnotation base = DelayAnnotation::nominal(nl);
+    StaEngine engine(nl, base, 1.6);
+    DelayDelta delta;
+    delta.uniform_scale = 1.25;
+    const StaResult& got = engine.update(delta);
+    expect_bitwise_equal(got, reference_sta(nl, base, delta, 1.6));
+    EXPECT_EQ(got.clock_period, 1.6 * got.critical_path_length);
+}
+
+// --- Monitor-augmented differential: LifetimeSimulator modes --------
+
+struct LifetimeDiffFixture : ::testing::Test {
+    Netlist nl = make_mini_alu();
+    DelayAnnotation base = DelayAnnotation::with_variation(nl, 0.05, 21);
+    StaResult sta = StaEngine(nl, base, 1.6).analyze();
+    MonitorPlacement placement = place_paper_monitors(nl, sta);
+    AgingModel aging{0.4, 0.8, 10.0};
+
+    MarginalDefect make_defect() const {
+        // Put the defect on the critical-path gate so it is monitored.
+        GateId worst = 0;
+        for (GateId id = 0; id < nl.size(); ++id) {
+            if (!is_combinational(nl.gate(id).type)) continue;
+            if (sta.path_through[id] > sta.path_through[worst]) worst = id;
+        }
+        MarginalDefect d;
+        d.site.gate = worst;
+        d.site.pin = FaultSite::kOutputPin;
+        d.delta0 = 1.5;
+        d.growth_per_year = 0.9;
+        d.delta_max = 60.0;
+        return d;
+    }
+};
+
+TEST_F(LifetimeDiffFixture, IncrementalEqualsFullRebuildPoints) {
+    std::vector<double> grid;
+    for (double y = 0.0; y <= 12.0; y += 0.75) grid.push_back(y);
+
+    LifetimeSimulator inc(nl, base, sta.clock_period, aging, 3);
+    LifetimeSimulator full(nl, base, sta.clock_period, aging, 3);
+    inc.add_defect(make_defect());
+    full.add_defect(make_defect());
+    inc.set_sta_mode(LifetimeSimulator::StaMode::Incremental);
+    full.set_sta_mode(LifetimeSimulator::StaMode::FullRebuild);
+
+    const auto a = inc.sweep(grid, placement);
+    const auto b = full.sweep(grid, placement);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i], b[i]) << "grid point " << grid[i];
+    }
+    EXPECT_EQ(inc.first_alert_years(grid, placement),
+              full.first_alert_years(grid, placement));
+}
+
+TEST_F(LifetimeDiffFixture, SharedEngineIsRebasedPerDevice) {
+    // One engine handed to two simulators with different bases, as the
+    // campaign worker does across its device shard.
+    const DelayAnnotation other = DelayAnnotation::with_variation(nl, 0.05, 22);
+    StaEngine engine(nl, base, 1.0, StaEngine::Scope::Arrivals);
+    std::vector<double> grid{0.0, 2.0, 6.0, 10.0};
+
+    LifetimeSimulator first(nl, base, sta.clock_period, aging, 3, &engine);
+    const auto pts_first = first.sweep(grid, placement);
+
+    LifetimeSimulator second(nl, other, sta.clock_period, aging, 3, &engine);
+    const auto pts_second = second.sweep(grid, placement);
+
+    LifetimeSimulator lone(nl, other, sta.clock_period, aging, 3);
+    EXPECT_EQ(pts_second, lone.sweep(grid, placement));
+    // Re-run the first device on the shared engine: rebase restores it.
+    LifetimeSimulator again(nl, base, sta.clock_period, aging, 3, &engine);
+    EXPECT_EQ(pts_first, again.sweep(grid, placement));
+}
+
+TEST_F(LifetimeDiffFixture, DegradationDeltaMatchesDegradedAnnotation) {
+    LifetimeSimulator sim(nl, base, sta.clock_period, aging, 3);
+    sim.add_defect(make_defect());
+    const DelayDelta delta = sim.degradation_delta(5.0);
+    const DelayAnnotation via_delta = base.transformed(delta);
+    const DelayAnnotation via_sim = sim.degraded(5.0);
+    for (GateId id = 0; id < nl.size(); ++id) {
+        const auto fanin = nl.gate(id).fanin.size();
+        for (std::uint32_t p = 0; p < fanin; ++p) {
+            EXPECT_EQ(via_delta.arc(id, p).rise, via_sim.arc(id, p).rise);
+            EXPECT_EQ(via_delta.arc(id, p).fall, via_sim.arc(id, p).fall);
+        }
+    }
+}
+
+}  // namespace
+}  // namespace fastmon

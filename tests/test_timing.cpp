@@ -3,7 +3,7 @@
 #include "netlist/builder.hpp"
 #include "netlist/generator.hpp"
 #include "netlist/iscas_data.hpp"
-#include "timing/sta.hpp"
+#include "timing/sta_engine.hpp"
 
 namespace fastmon {
 namespace {
@@ -95,7 +95,7 @@ TEST(DelayModel, ScaleGateAffectsOnlyThatGate) {
 TEST(Sta, ChainArrivalIsSumOfDelays) {
     const Netlist nl = chain_circuit();
     const DelayAnnotation ann = DelayAnnotation::nominal(nl);
-    const StaResult sta = run_sta(nl, ann);
+    const StaResult sta = StaEngine(nl, ann).analyze();
     const GateId inv1 = nl.find("inv1");
     const GateId inv2 = nl.find("inv2");
     const GateId y = nl.find("y");
@@ -110,7 +110,7 @@ TEST(Sta, ChainArrivalIsSumOfDelays) {
 TEST(Sta, MinArrivalTracksFastestPath) {
     const Netlist nl = chain_circuit();
     const DelayAnnotation ann = DelayAnnotation::nominal(nl);
-    const StaResult sta = run_sta(nl, ann);
+    const StaResult sta = StaEngine(nl, ann).analyze();
     const GateId y2 = nl.find("y2");
     EXPECT_LT(sta.max_arrival[y2], sta.critical_path_length);
     EXPECT_LE(sta.min_arrival[y2], sta.max_arrival[y2]);
@@ -119,7 +119,7 @@ TEST(Sta, MinArrivalTracksFastestPath) {
 TEST(Sta, PathThroughEqualsArrivalPlusDownstream) {
     const Netlist nl = make_s27();
     const DelayAnnotation ann = DelayAnnotation::nominal(nl);
-    const StaResult sta = run_sta(nl, ann);
+    const StaResult sta = StaEngine(nl, ann).analyze();
     for (GateId id = 0; id < nl.size(); ++id) {
         EXPECT_NEAR(sta.path_through[id],
                     sta.max_arrival[id] + sta.downstream[id], 1e-9);
@@ -131,7 +131,7 @@ TEST(Sta, PathThroughNeverExceedsCpl) {
     const Netlist nl = generate_circuit(
         GeneratorConfig{"sta_gen", 400, 40, 10, 10, 12, 0.6, 9});
     const DelayAnnotation ann = DelayAnnotation::nominal(nl);
-    const StaResult sta = run_sta(nl, ann);
+    const StaResult sta = StaEngine(nl, ann).analyze();
     for (GateId id = 0; id < nl.size(); ++id) {
         if (!is_combinational(nl.gate(id).type)) continue;
         EXPECT_LE(sta.path_through[id], sta.critical_path_length + 1e-9)
@@ -145,7 +145,7 @@ TEST(Sta, BruteForceAgreementOnSmallCircuit) {
     // against STA.
     const Netlist nl = make_s27();
     const DelayAnnotation ann = DelayAnnotation::nominal(nl);
-    const StaResult sta = run_sta(nl, ann);
+    const StaResult sta = StaEngine(nl, ann).analyze();
 
     // DFS from each node computing the longest downstream by memo-free
     // recursion (small circuit).
@@ -180,7 +180,7 @@ TEST(Sta, BruteForceAgreementOnSmallCircuit) {
 TEST(Sta, ObservePointsSortedByArrival) {
     const Netlist nl = make_s27();
     const DelayAnnotation ann = DelayAnnotation::nominal(nl);
-    const StaResult sta = run_sta(nl, ann);
+    const StaResult sta = StaEngine(nl, ann).analyze();
     const auto ordered = observe_points_by_path_length(nl, sta);
     ASSERT_EQ(ordered.size(), nl.observe_points().size());
     for (std::size_t i = 1; i < ordered.size(); ++i) {
@@ -192,8 +192,8 @@ TEST(Sta, ObservePointsSortedByArrival) {
 TEST(Sta, ClockMarginParameter) {
     const Netlist nl = make_s27();
     const DelayAnnotation ann = DelayAnnotation::nominal(nl);
-    const StaResult tight = run_sta(nl, ann, 1.0);
-    const StaResult wide = run_sta(nl, ann, 1.6);
+    const StaResult tight = StaEngine(nl, ann, 1.0).analyze();
+    const StaResult wide = StaEngine(nl, ann, 1.6).analyze();
     EXPECT_NEAR(wide.clock_period, 1.6 * tight.clock_period, 1e-9);
     EXPECT_NEAR(tight.clock_period, tight.critical_path_length, 1e-9);
 }

@@ -1,6 +1,6 @@
 #include "sim/wave_sim.hpp"
 
-#include "timing/sta.hpp"
+#include "timing/sta_engine.hpp"
 
 #include <gtest/gtest.h>
 
@@ -140,7 +140,7 @@ TEST(WaveSim, SettleTimesRespectSta) {
     const Netlist nl = generate_circuit(
         GeneratorConfig{"ws_sta", 500, 50, 12, 12, 14, 0.5, 22});
     const DelayAnnotation ann = DelayAnnotation::nominal(nl);
-    const StaResult sta = run_sta(nl, ann);
+    const StaResult sta = StaEngine(nl, ann).analyze();
     const WaveSim sim(nl, ann);
     Prng rng(78);
     const std::size_t n = nl.comb_sources().size();

@@ -57,6 +57,9 @@ void print_usage() {
         "  --checkpoint <path>      resumable snapshot file\n"
         "  --checkpoint-every <n>   devices between snapshots (default 64)\n"
         "  --resume                 resume from --checkpoint if present\n"
+        "  --full-sta               legacy from-scratch STA per grid point\n"
+        "                           (reference for the incremental engine;\n"
+        "                           identical report blocks, slower)\n"
         "\n"
         "output:\n"
         "  --out <path>             campaign report JSON (default\n"
@@ -92,6 +95,8 @@ bool parse_args(int argc, char** argv, CliOptions& opt) {
             std::exit(0);
         } else if (strcmp(arg, "--resume") == 0) {
             opt.config.resume = true;
+        } else if (strcmp(arg, "--full-sta") == 0) {
+            opt.config.full_sta = true;
         } else if (strcmp(arg, "--quiet") == 0) {
             opt.quiet = true;
         } else if (strcmp(arg, "--circuit") == 0) {
