@@ -4,16 +4,21 @@
 // aggregate prediction quality + per-circuit wall time).
 //
 // The "campaign" and "aggregate" blocks of each entry are
-// bit-deterministic for a fixed seed — across runs and thread counts —
-// so perf tracking can diff them; wall times live in the separate
-// "run" blocks.  bench/run_bench.sh validates the artifact schema and
-// fails on a degraded (cancelled / partial) flow status.
+// bit-deterministic for a fixed seed — across runs, thread counts, and
+// batch widths — so perf tracking can diff them; wall times live in
+// the separate "run" blocks.  The demo entry carries a three-way
+// differential (batched SoA vs scalar incremental vs full-STA rebuild)
+// with batch_check/sta_check verdicts and batch_speedup/sta_speedup
+// ratios.  bench/run_bench.sh validates the artifact schema and fails
+// on a degraded (cancelled / partial) flow status or a diverged check.
+#include <cmath>
 #include <iostream>
 #include <string>
 
 #include "bench_common.hpp"
 #include "campaign/campaign.hpp"
 #include "netlist/bench_io.hpp"
+#include "timing/batch_sta_engine.hpp"
 #include "util/atomic_file.hpp"
 #include "util/cancel.hpp"
 
@@ -79,63 +84,99 @@ int main() {
 
     {
         // Untimed warm-up: spin up the shared thread pool and fault the
-        // allocator pools so the first timed entry (the incremental
-        // side of the differential below) isn't charged for it.
+        // allocator pools for BOTH engine paths of the differential
+        // below, at full demo population — the demo circuit is cheap
+        // and the batched-vs-scalar speedup ratio is otherwise skewed
+        // by whichever run happens to go first on cold caches.
         CampaignConfig warm = config;
-        warm.population = 32;
+        (void)run_campaign(targets.front().netlist, warm);
+        warm.batch_width = 1;
         (void)run_campaign(targets.front().netlist, warm);
     }
 
     bool identical = true;
-    double demo_incremental_wall = 0.0;
-    double demo_full_wall = 0.0;
     for (std::size_t t = 0; t < targets.size(); ++t) {
         const Target& target = targets[t];
         std::cout << "campaign on " << target.label << " ("
                   << target.netlist.size() << " gates, population "
-                  << config.population << ")\n";
+                  << config.population << ", batch width " << kBatchWidth
+                  << ")\n";
+        // Default run: the batched SoA engine at the compiled width
+        // (identical to scalar when FASTMON_BATCH_WIDTH=1).
         const CampaignResult result = run_campaign(target.netlist, config);
         const CampaignAggregate& agg = result.aggregate;
+        const double batched_wall = result.total_wall_seconds;
         std::cout << "  " << result.devices_completed << " devices, ROC AUC "
                   << agg.classification.roc_auc << ", AP "
                   << agg.classification.average_precision
                   << ", wide-band lead p50 " << agg.lead_time_wide.p50
-                  << " y, wall " << result.total_wall_seconds << " s\n";
+                  << " y, wall " << batched_wall << " s\n";
         Json entry = result.to_json(config);
         all_complete = all_complete && result.status.complete();
+        entry.set("batch_width",
+                  static_cast<std::int64_t>(result.batch_width));
+        if (batched_wall > 0.0) {
+            entry.set("devices_per_sec",
+                      static_cast<double>(result.devices_completed) /
+                          batched_wall);
+        }
 
         if (t == 0 && !CancelToken::global().cancelled()) {
-            // Differential check on the demo circuit: the legacy
-            // full-STA path must reproduce the incremental engine's
-            // deterministic report blocks bit-for-bit.
-            demo_incremental_wall = result.total_wall_seconds;
+            // Three-way differential on the demo circuit: the batched
+            // SoA engine, the scalar incremental engine, and the legacy
+            // from-scratch STA must all produce bit-identical
+            // deterministic report blocks.
+            auto blocks_match = [&](const Json& a, const Json& b,
+                                    const char* what) {
+                bool ok = true;
+                for (const char* block : {"campaign", "aggregate"}) {
+                    const Json* ja = a.find(block);
+                    const Json* jb = b.find(block);
+                    if (!ja || !jb || !(*ja == *jb)) {
+                        ok = false;
+                        std::cout << "  ERROR: \"" << block
+                                  << "\" diverged between " << what << "\n";
+                    }
+                }
+                return ok;
+            };
+
+            CampaignConfig scalar = config;
+            scalar.batch_width = 1;
+            std::cout << "  scalar incremental reference pass "
+                         "(differential check)\n";
+            const CampaignResult scalar_result =
+                run_campaign(target.netlist, scalar);
+            const double scalar_wall = scalar_result.total_wall_seconds;
+            const bool batch_ok =
+                blocks_match(entry, scalar_result.to_json(scalar),
+                             "batched and scalar incremental");
+
             CampaignConfig reference = config;
             reference.full_sta = true;
             std::cout << "  full-STA reference pass (differential check)\n";
             const CampaignResult full =
                 run_campaign(target.netlist, reference);
-            demo_full_wall = full.total_wall_seconds;
-            const Json full_json = full.to_json(reference);
-            for (const char* block : {"campaign", "aggregate"}) {
-                const Json* a = entry.find(block);
-                const Json* b = full_json.find(block);
-                if (!a || !b || !(*a == *b)) {
-                    identical = false;
-                    std::cout << "  ERROR: \"" << block
-                              << "\" diverged between incremental and "
-                                 "full STA\n";
-                }
-            }
-            const double speedup =
-                demo_incremental_wall > 0.0
-                    ? demo_full_wall / demo_incremental_wall
-                    : 0.0;
-            std::cout << "  incremental wall " << demo_incremental_wall
-                      << " s vs full " << demo_full_wall << " s  ("
-                      << speedup << "x)\n";
-            entry.set("sta_check", identical ? "identical" : "diverged");
-            entry.set("full_sta_wall_seconds", demo_full_wall);
-            entry.set("sta_speedup", speedup);
+            const double full_wall = full.total_wall_seconds;
+            const bool sta_ok =
+                blocks_match(entry, full.to_json(reference),
+                             "batched and full STA");
+            identical = identical && batch_ok && sta_ok;
+
+            const double sta_speedup =
+                scalar_wall > 0.0 ? full_wall / scalar_wall : 0.0;
+            const double batch_speedup =
+                batched_wall > 0.0 ? scalar_wall / batched_wall : 0.0;
+            std::cout << "  batched wall " << batched_wall
+                      << " s vs scalar " << scalar_wall << " s ("
+                      << batch_speedup << "x) vs full " << full_wall
+                      << " s (" << sta_speedup << "x over scalar)\n";
+            entry.set("sta_check", sta_ok ? "identical" : "diverged");
+            entry.set("batch_check", batch_ok ? "identical" : "diverged");
+            entry.set("full_sta_wall_seconds", full_wall);
+            entry.set("scalar_wall_seconds", scalar_wall);
+            entry.set("sta_speedup", sta_speedup);
+            entry.set("batch_speedup", batch_speedup);
         }
         entries.push_back(std::move(entry));
     }
@@ -158,8 +199,8 @@ int main() {
         return 0;
     }
     if (!identical) {
-        std::cout << "ERROR: incremental STA diverged from the full-STA "
-                     "reference\n";
+        std::cout << "ERROR: the batched engine diverged from a reference "
+                     "path (see batch_check / sta_check)\n";
         return 1;
     }
     if (!all_complete) {

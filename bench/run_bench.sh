@@ -82,20 +82,32 @@ for entry in entries:
           f"(pop {entry['campaign']['population']:.0f}, "
           f"ROC AUC {cls['roc_auc']:.3f}, AP {cls['average_precision']:.3f})")
 
-# The demo entry carries the incremental-vs-full STA differential: the
-# deterministic blocks must be identical and the recorded speedup a
-# positive finite ratio (regressions show up here before the aggregate
-# wall time moves).
+# The demo entry carries the three-way differential (batched SoA vs
+# scalar incremental vs full-STA rebuild): the deterministic blocks
+# must be identical and both recorded speedups positive finite ratios
+# (regressions show up here before the aggregate wall time moves).
 demo = entries[0]
-if demo.get("sta_check") != "identical":
-    sys.exit(f"ERROR: incremental vs full STA diverged "
-             f"(sta_check={demo.get('sta_check')!r})")
-speedup = demo.get("sta_speedup")
-if not isinstance(speedup, (int, float)) or not (speedup > 0.0):
-    sys.exit(f"ERROR: demo entry sta_speedup={speedup!r} is not a "
+for check in ("sta_check", "batch_check"):
+    if demo.get(check) != "identical":
+        sys.exit(f"ERROR: campaign differential diverged "
+                 f"({check}={demo.get(check)!r})")
+for key in ("sta_speedup", "batch_speedup"):
+    value = demo.get(key)
+    if not isinstance(value, (int, float)) or not (value > 0.0):
+        sys.exit(f"ERROR: demo entry {key}={value!r} is not a "
+                 "positive number")
+width = demo.get("batch_width")
+if not isinstance(width, int) or width < 1:
+    sys.exit(f"ERROR: demo entry batch_width={width!r} is not a "
+             "positive integer")
+dps = demo.get("devices_per_sec")
+if not isinstance(dps, (int, float)) or not (dps > 0.0):
+    sys.exit(f"ERROR: demo entry devices_per_sec={dps!r} is not a "
              "positive number")
-print(f"sta differential ok: identical blocks, "
-      f"incremental {speedup:.2f}x vs full rebuild")
+print(f"campaign differentials ok: identical blocks at width {width}, "
+      f"batched {demo['batch_speedup']:.2f}x vs scalar, "
+      f"scalar {demo['sta_speedup']:.2f}x vs full rebuild, "
+      f"{dps:.0f} devices/sec")
 EOF
 
 # The manifest must carry the blocks perf tracking relies on.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <optional>
 
@@ -22,6 +23,21 @@ void append_number(std::string& out, double v) {
     char buf[40];
     std::snprintf(buf, sizeof buf, "%.17g;", v);
     out += buf;
+}
+
+// Lanes per batched pass.  Not part of the fingerprint or canonical
+// string: every width (and full_sta) produces bit-identical outcomes.
+std::size_t resolve_batch_width(const CampaignConfig& config) {
+    if (config.full_sta) return 1;  // the from-scratch reference path
+    std::size_t width = config.batch_width;
+    if (width == 0) {
+        width = kBatchWidth;
+        if (const char* env = std::getenv("FASTMON_BATCH_WIDTH")) {
+            const long long v = std::atoll(env);
+            if (v >= 1) width = static_cast<std::size_t>(v);
+        }
+    }
+    return std::clamp<std::size_t>(width, 1, kBatchWidth);
 }
 
 }  // namespace
@@ -97,9 +113,12 @@ Json CampaignResult::to_json(const CampaignConfig& config) const {
     j.set("aggregate", aggregate.to_json());
 
     Json run = Json::object();
-    // sta_mode is run bookkeeping, not campaign identity: both modes
-    // must produce identical "campaign"/"aggregate" blocks.
-    run.set("sta_mode", config.full_sta ? "full_rebuild" : "incremental");
+    // sta_mode/batch_width are run bookkeeping, not campaign identity:
+    // every mode must produce identical "campaign"/"aggregate" blocks.
+    run.set("sta_mode", config.full_sta      ? "full_rebuild"
+                        : batch_width > 1 ? "batched"
+                                          : "incremental");
+    run.set("batch_width", batch_width);
     run.set("devices_completed", devices_completed);
     run.set("devices_resumed", devices_resumed);
     run.set("checkpoints_written", checkpoints_written);
@@ -214,7 +233,11 @@ CampaignResult run_campaign(const Netlist& netlist,
             pool = &ThreadPool::shared();
         }
 
-        const auto roll_range = [&](std::size_t begin, std::size_t end) {
+        const std::size_t batch_width = resolve_batch_width(config);
+        result.batch_width = batch_width;
+
+        const auto roll_range_scalar = [&](std::size_t begin,
+                                           std::size_t end) {
             // One incremental engine per shard: the first device builds
             // the arenas, later devices rebase onto them, and every
             // year-grid point is a cone-limited update.
@@ -240,6 +263,66 @@ CampaignResult run_campaign(const Netlist& netlist,
                     .add(es.nodes_repropagated);
                 metrics.counter("campaign.sta_nodes_pruned")
                     .add(es.nodes_pruned);
+            }
+        };
+
+        const auto roll_range_batched = [&](std::size_t begin,
+                                            std::size_t end) {
+            // One batch engine per shard; lanes cycle through the
+            // shard's pending devices `batch_width` at a time.  Resumed
+            // devices are skipped, so a batch may span non-contiguous
+            // indices — each device is a pure function of its own seed,
+            // so lane placement cannot change its outcome.
+            std::unique_ptr<BatchRollout> rollout;
+            std::vector<DeviceSample> samples;
+            std::vector<DeviceOutcome> outcomes;
+            std::vector<std::size_t> indices;
+            samples.reserve(batch_width);
+            indices.reserve(batch_width);
+            const auto flush = [&] {
+                if (indices.empty()) return;
+                if (!rollout) rollout = std::make_unique<BatchRollout>(ctx);
+                outcomes.resize(indices.size());
+                rollout->roll(samples, outcomes);
+                for (std::size_t k = 0; k < indices.size(); ++k) {
+                    slots[indices[k]] = std::move(outcomes[k]);
+                }
+                samples.clear();
+                indices.clear();
+            };
+            for (std::size_t i = begin; i < end; ++i) {
+                if (token.cancelled()) break;   // batch-boundary poll
+                if (slots[i]) continue;         // resumed from checkpoint
+                samples.push_back(sample_device(
+                    config.model, config.seed,
+                    static_cast<std::uint32_t>(i), sites, ctx.clock_period));
+                indices.push_back(i);
+                if (indices.size() == batch_width) flush();
+            }
+            if (!token.cancelled()) flush();    // ragged shard tail
+            if (rollout) {
+                const BatchRollout::Stats& bs = rollout->stats();
+                metrics.counter("campaign.batch_batches").add(bs.batches);
+                metrics.counter("campaign.batch_devices").add(bs.devices);
+                metrics.counter("campaign.batch_lane_years")
+                    .add(bs.lane_years);
+                metrics.counter("campaign.batch_lanes_settled_early")
+                    .add(bs.lanes_settled_early);
+                const BatchStaEngine::Stats& es = rollout->engine_stats();
+                metrics.counter("campaign.batch_sta_passes")
+                    .add(es.batch_passes);
+                metrics.counter("campaign.batch_sta_lane_loads")
+                    .add(es.lane_loads);
+                metrics.counter("campaign.batch_sta_lanes_retired")
+                    .add(es.lanes_retired);
+            }
+        };
+
+        const auto roll_range = [&](std::size_t begin, std::size_t end) {
+            if (batch_width > 1) {
+                roll_range_batched(begin, end);
+            } else {
+                roll_range_scalar(begin, end);
             }
         };
 

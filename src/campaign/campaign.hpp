@@ -63,6 +63,16 @@ struct CampaignConfig {
     /// what the differential CI check asserts), so checkpoints are
     /// interchangeable.
     bool full_sta = false;
+    /// Devices rolled per batched STA pass.  0 = auto: the compiled
+    /// column width (FASTMON_BATCH_WIDTH, default 8), overridable at
+    /// runtime by a FASTMON_BATCH_WIDTH environment variable.  1 =
+    /// the legacy scalar incremental engine (the reference path for
+    /// the batched differential); larger values clamp to the compiled
+    /// width; full_sta forces 1.  Like full_sta, deliberately NOT
+    /// part of the campaign fingerprint: every width produces
+    /// bit-identical outcomes, so checkpoints are interchangeable
+    /// across widths.
+    std::size_t batch_width = 0;
 };
 
 struct CampaignResult {
@@ -77,6 +87,8 @@ struct CampaignResult {
     std::size_t devices_completed = 0;
     std::size_t devices_resumed = 0;   ///< trusted from the checkpoint
     std::size_t checkpoints_written = 0;
+    /// Resolved lanes per batched pass this run (1 = scalar engine).
+    std::size_t batch_width = 1;
     std::vector<PhaseTime> phases;
     double total_wall_seconds = 0.0;
     FlowStatus status;

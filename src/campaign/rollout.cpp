@@ -1,6 +1,7 @@
 #include "campaign/rollout.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <cstdio>
 
@@ -165,6 +166,168 @@ DeviceOutcome roll_device(const RolloutContext& ctx,
         }
     }
     return out;
+}
+
+BatchRollout::BatchRollout(const RolloutContext& ctx)
+    : ctx_(&ctx),
+      nominal_(DelayAnnotation::nominal(*ctx.netlist)),
+      // The rollout only evaluates max arrivals against the monitor
+      // bands, so min-arrival tracking is dropped entirely.
+      engine_(*ctx.netlist, nominal_, 1.0, /*track_min=*/false) {
+    const auto ops = ctx.netlist->observe_points();
+    const MonitorPlacement& placement = *ctx.placement;
+    for (std::uint32_t oi = 0; oi < ops.size(); ++oi) {
+        if (oi < placement.monitored.size() && placement.monitored[oi]) {
+            monitored_signals_.push_back(ops[oi].signal);
+        }
+    }
+}
+
+void BatchRollout::roll(std::span<const DeviceSample> samples,
+                        std::span<DeviceOutcome> outcomes) {
+    const std::size_t n = samples.size();
+    assert(n >= 1 && n <= kBatchWidth);
+    assert(outcomes.size() >= n);
+    const MonitorPlacement& placement = *ctx_->placement;
+    const std::size_t num_configs = placement.config_delays.size();
+
+    for (std::size_t l = 0; l < n; ++l) {
+        const DeviceSample& sample = samples[l];
+        // Lane column = nominal arcs scaled by the device's variation
+        // factors — the same bits with_lognormal_variation would
+        // produce, without the annotation copy.
+        DelayAnnotation::lognormal_variation_factors(
+            *ctx_->netlist, ctx_->variation_sigma_log, sample.seed, factors_);
+        engine_.load_lane(l, factors_);
+        degradation_[l].reset(*ctx_->netlist, sample.aging, sample.seed);
+        for (const MarginalDefect& defect : sample.defects) {
+            degradation_[l].add_defect(defect);
+        }
+        settled_[l] = 0;
+        DeviceOutcome& out = outcomes[l];
+        out = DeviceOutcome{};
+        out.index = sample.index;
+        out.marginal = sample.marginal();
+        out.num_defects = static_cast<std::uint32_t>(sample.defects.size());
+        out.aging_amplitude = sample.aging.amplitude;
+        out.first_alert_years.assign(num_configs, -1.0);
+    }
+    for (std::size_t l = n; l < kBatchWidth; ++l) {
+        engine_.retire_lane(l);  // ragged final batch
+    }
+
+    // Campaign lanes share the aging exponent and reference time (only
+    // the amplitude is jittered per device), so one pow() per grid year
+    // serves the whole batch.  Fall back to per-lane factors if a
+    // caller ever mixes models.
+    const AgingModel& model0 = degradation_[0].model();
+    bool shared_term = true;
+    for (std::size_t l = 1; l < n; ++l) {
+        const AgingModel& m = degradation_[l].model();
+        if (m.exponent != model0.exponent ||
+            m.t_ref_years != model0.t_ref_years) {
+            shared_term = false;
+            break;
+        }
+    }
+
+    const Time* const arr = engine_.max_arrival_data();
+    for (const double year : ctx_->grid) {
+        batch_delta_.clear();
+        // Every lane's delta comes from the same DeviceDegradation
+        // formula (all combinational gates, ascending), so the engine
+        // may skip its per-update shape detection.
+        batch_delta_.aligned = true;
+        const double pow_term =
+            shared_term && year > 0.0 ? model0.pow_term(year) : 0.0;
+        bool any_active = false;
+        for (std::size_t l = 0; l < n; ++l) {
+            if (settled_[l]) continue;
+            if (shared_term) {
+                degradation_[l].fill_delta(year, lane_delta_[l], pow_term);
+            } else {
+                degradation_[l].fill_delta(year, lane_delta_[l]);
+            }
+            batch_delta_.set(l, &lane_delta_[l]);
+            any_active = true;
+        }
+        if (!any_active) break;  // whole batch settled before horizon
+        engine_.update(batch_delta_);
+
+        // Batch-wide monitored reduction, lane-innermost over the
+        // hoisted signal list: the same max sequence per lane as
+        // evaluate_into's monitored branch (op order preserved), so the
+        // result is bit-identical; settled lanes compute too, unread.
+        Time wm[kBatchWidth];
+        for (std::size_t l = 0; l < kBatchWidth; ++l) wm[l] = 0.0;
+        for (const GateId sig : monitored_signals_) {
+            const Time* const row =
+                arr + static_cast<std::size_t>(sig) * kBatchWidth;
+            for (std::size_t l = 0; l < kBatchWidth; ++l) {
+                wm[l] = std::max(wm[l], row[l]);
+            }
+        }
+        for (std::size_t l = 0; l < n; ++l) {
+            if (settled_[l]) continue;
+            ++stats_.lane_years;
+            // Same formulas and order as LifetimeSimulator's
+            // evaluate_into + roll_device's recording.  The engine's
+            // critical-path refresh already runs evaluate_into's
+            // worst-arrival reduction (same observe points, same order,
+            // same 0.0 seed), so worst is read off the engine.
+            const Time worst_monitored = wm[l];
+            const Time worst = engine_.critical_path_length(l);
+            DeviceOutcome& out = outcomes[l];
+            bool done = true;
+            for (std::size_t c = 1; c < num_configs; ++c) {
+                if (out.first_alert_years[c] < 0.0) {
+                    const bool alert =
+                        worst_monitored >
+                        ctx_->clock_period - placement.config_delays[c];
+                    if (alert) {
+                        out.first_alert_years[c] = year;
+                    } else {
+                        done = false;
+                    }
+                }
+            }
+            if (out.failure_years < 0.0) {
+                if (worst > ctx_->clock_period) {
+                    out.failure_years = year;
+                } else {
+                    done = false;
+                }
+            }
+            if (year == 0.0 && ctx_->clock_period > 0.0) {
+                out.margin_used_t0 = worst_monitored / ctx_->clock_period;
+            }
+            // Every outcome field is recorded at its first trigger and
+            // never rewritten, so once all are set no later grid point
+            // can change this device — the lane retires early without
+            // draining the batch (outcome-identical to evaluating the
+            // remaining years).
+            if (done) {
+                settled_[l] = 1;
+                engine_.retire_lane(l);
+                ++stats_.lanes_settled_early;
+            }
+        }
+    }
+
+    const double window = std::max(ctx_->screen_years, 0.0);
+    for (std::size_t l = 0; l < n; ++l) {
+        DeviceOutcome& out = outcomes[l];
+        for (std::size_t c = 1; c < out.first_alert_years.size(); ++c) {
+            const double first = out.first_alert_years[c];
+            if (first >= 0.0 && first <= window + 1e-9) {
+                const double earliness =
+                    window > 0.0 ? (window - first) / window : 0.0;
+                out.screen_score += 1.0 + std::clamp(earliness, 0.0, 1.0);
+            }
+        }
+    }
+    ++stats_.batches;
+    stats_.devices += n;
 }
 
 }  // namespace fastmon

@@ -10,13 +10,17 @@
 // be checkpointed and resumed.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "campaign/population.hpp"
+#include "monitor/aging.hpp"
 #include "monitor/placement.hpp"
+#include "timing/batch_sta_engine.hpp"
 #include "timing/sta_engine.hpp"
 #include "util/json.hpp"
 
@@ -87,5 +91,59 @@ std::vector<double> make_year_grid(double horizon_years, double step_years);
 DeviceOutcome roll_device(const RolloutContext& ctx,
                           const DeviceSample& sample,
                           std::unique_ptr<StaEngine>* engine_scratch = nullptr);
+
+/// Rolls devices through the lifetime grid in lockstep batches of up
+/// to BatchStaEngine::width() lanes: one shared topological pass per
+/// grid year serves the whole batch, lanes are loaded directly from
+/// each device's variation factors (no per-device DelayAnnotation),
+/// and a lane whose outcome is fully recorded (failure year and every
+/// guard band's first alert) retires early without draining the rest.
+/// Outcomes are bit-identical to roll_device on the same samples —
+/// the batched campaign differential asserts exactly that.
+///
+/// One BatchRollout per worker shard; not thread-safe per instance.
+class BatchRollout {
+public:
+    struct Stats {
+        std::uint64_t batches = 0;
+        std::uint64_t devices = 0;
+        /// Lane-years actually evaluated (vs. grid.size() * devices
+        /// for the scalar path; the gap is early-retirement savings).
+        std::uint64_t lane_years = 0;
+        std::uint64_t lanes_settled_early = 0;
+    };
+
+    explicit BatchRollout(const RolloutContext& ctx);
+
+    /// Rolls samples[i] into outcomes[i].  samples.size() must be in
+    /// [1, width()]; a ragged final batch simply leaves the trailing
+    /// lanes retired.
+    void roll(std::span<const DeviceSample> samples,
+              std::span<DeviceOutcome> outcomes);
+
+    [[nodiscard]] static constexpr std::size_t width() {
+        return BatchStaEngine::width();
+    }
+    [[nodiscard]] const Stats& stats() const { return stats_; }
+    [[nodiscard]] const BatchStaEngine::Stats& engine_stats() const {
+        return engine_.stats();
+    }
+
+private:
+    const RolloutContext* ctx_;
+    /// Campaign-nominal base shared by every lane; lanes scale it by
+    /// their device's variation factors at load time.
+    DelayAnnotation nominal_;
+    BatchStaEngine engine_;
+    std::array<DeviceDegradation, kBatchWidth> degradation_;
+    std::array<DelayDelta, kBatchWidth> lane_delta_;
+    std::array<std::uint8_t, kBatchWidth> settled_{};
+    BatchDelayDelta batch_delta_;
+    std::vector<double> factors_;  ///< per-gate scratch, reused per lane
+    /// Monitored observe-point signals in op order — evaluate_into's
+    /// monitored reduction, with the branch hoisted out of the loop.
+    std::vector<GateId> monitored_signals_;
+    Stats stats_;
+};
 
 }  // namespace fastmon

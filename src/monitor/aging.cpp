@@ -9,7 +9,11 @@ namespace fastmon {
 
 double AgingModel::factor(double years) const {
     if (years <= 0.0) return 1.0;
-    return 1.0 + amplitude * std::pow(years / t_ref_years, exponent);
+    return 1.0 + amplitude * pow_term(years);
+}
+
+double AgingModel::pow_term(double years) const {
+    return std::pow(years / t_ref_years, exponent);
 }
 
 Time MarginalDefect::delta_at(double years) const {
@@ -63,6 +67,66 @@ std::optional<LifetimePoint> LifetimePoint::from_json(const Json& j) {
     return point;
 }
 
+void DeviceDegradation::reset(const Netlist& netlist, AgingModel model,
+                              std::uint64_t seed) {
+    model_ = model;
+    defects_.clear();
+    // Per-gate aging-rate jitter: gates with high switching activity
+    // (HCI) or high duty cycle (BTI) degrade faster; modelled as a
+    // uniform +-50 % spread around the nominal rate.
+    Prng rng(seed ^ 0xA61713ULL);
+    activity_.resize(netlist.size());
+    for (double& a : activity_) a = rng.uniform(0.5, 1.5);
+    comb_gates_.clear();
+    comb_activity_.clear();
+    for (GateId id = 0; id < netlist.size(); ++id) {
+        if (is_combinational(netlist.gate(id).type)) {
+            comb_gates_.push_back(id);
+            comb_activity_.push_back(activity_[id]);
+        }
+    }
+}
+
+void DeviceDegradation::fill_delta(double years, DelayDelta& delta) const {
+    fill_from_factor(years, model_.factor(years), delta);
+}
+
+void DeviceDegradation::fill_delta(double years, DelayDelta& delta,
+                                   double pow_term) const {
+    // Same expression tree as AgingModel::factor, with the caller's
+    // precomputed (t / t_ref)^n — bit-identical when pow_term matches
+    // model().pow_term(years).
+    const double factor =
+        years <= 0.0 ? 1.0 : 1.0 + model_.amplitude * pow_term;
+    fill_from_factor(years, factor, delta);
+}
+
+void DeviceDegradation::fill_from_factor(double years, double factor,
+                                         DelayDelta& delta) const {
+    // In-place refresh instead of clear() + push_back: the scale list's
+    // shape (every combinational gate, ascending) is fixed per device
+    // and this runs once per lane per grid year in the campaign hot
+    // path.  Contents are bit-identical to the rebuild.
+    delta.uniform_scale = 1.0;
+    const double base_factor = factor - 1.0;
+    const std::size_t n = comb_gates_.size();
+    delta.scales.resize(n);
+    DelayDelta::GateScale* const scales = delta.scales.data();
+    for (std::size_t i = 0; i < n; ++i) {
+        scales[i] = DelayDelta::GateScale{
+            comb_gates_[i], 1.0 + base_factor * comb_activity_[i]};
+    }
+    delta.extras.clear();
+    for (const MarginalDefect& defect : defects_) {
+        const Time extra = defect.delta_at(years);
+        if (extra <= 0.0) continue;
+        const std::uint32_t pin = defect.site.pin == FaultSite::kOutputPin
+                                      ? DelayDelta::kAllPins
+                                      : defect.site.pin;
+        delta.add(defect.site.gate, pin, extra);
+    }
+}
+
 LifetimeSimulator::LifetimeSimulator(const Netlist& netlist,
                                      const DelayAnnotation& base,
                                      Time clock_period, AgingModel model,
@@ -70,19 +134,8 @@ LifetimeSimulator::LifetimeSimulator(const Netlist& netlist,
     : netlist_(&netlist),
       base_(&base),
       clock_period_(clock_period),
-      model_(model),
       shared_engine_(engine) {
-    // Per-gate aging-rate jitter: gates with high switching activity
-    // (HCI) or high duty cycle (BTI) degrade faster; modelled as a
-    // uniform +-50 % spread around the nominal rate.
-    Prng rng(seed ^ 0xA61713ULL);
-    activity_.resize(netlist.size());
-    for (double& a : activity_) a = rng.uniform(0.5, 1.5);
-    for (GateId id = 0; id < netlist.size(); ++id) {
-        if (is_combinational(netlist.gate(id).type)) {
-            comb_gates_.push_back(id);
-        }
-    }
+    degradation_.reset(netlist, model, seed);
     if (shared_engine_) shared_engine_->rebase(base);
 }
 
@@ -98,19 +151,7 @@ StaEngine& LifetimeSimulator::engine() const {
 }
 
 void LifetimeSimulator::fill_delta(double years, DelayDelta& delta) const {
-    delta.clear();
-    const double base_factor = model_.factor(years) - 1.0;
-    for (const GateId id : comb_gates_) {
-        delta.scale(id, 1.0 + base_factor * activity_[id]);
-    }
-    for (const MarginalDefect& defect : defects_) {
-        const Time extra = defect.delta_at(years);
-        if (extra <= 0.0) continue;
-        const std::uint32_t pin = defect.site.pin == FaultSite::kOutputPin
-                                      ? DelayDelta::kAllPins
-                                      : defect.site.pin;
-        delta.add(defect.site.gate, pin, extra);
-    }
+    degradation_.fill_delta(years, delta);
 }
 
 DelayDelta LifetimeSimulator::degradation_delta(double years) const {

@@ -34,6 +34,12 @@ struct AgingModel {
     double t_ref_years = 10.0;
 
     [[nodiscard]] double factor(double years) const;
+
+    /// The year-dependent part of factor(): (t / t_ref)^n, meaningful
+    /// for years > 0.  factor(years) == 1 + amplitude * pow_term(years)
+    /// bit-for-bit, so a batch of devices differing only in amplitude
+    /// (the campaign's per-device jitter) can share one pow() per year.
+    [[nodiscard]] double pow_term(double years) const;
 };
 
 /// An early-life marginal defect: initial extra delay delta0 at a fault
@@ -62,6 +68,49 @@ struct LifetimePoint {
                            const LifetimePoint&) = default;
 };
 
+/// Degradation state of one device: its aging model, per-gate
+/// aging-rate jitter, and accumulated marginal defects.  Renders the
+/// state at any lifetime point as a composable DelayDelta on the
+/// device's base annotation — the single formula both the scalar
+/// LifetimeSimulator and the batched campaign rollout evaluate, so the
+/// two paths degrade bit-identically.  reset() reuses the internal
+/// buffers, letting a batch lane cycle through many devices without
+/// reallocating.
+class DeviceDegradation {
+public:
+    /// Re-seeds the state for a new device.  The jitter draw order
+    /// (one uniform per gate, ascending id, stream seed ^ 0xA61713) is
+    /// part of the campaign determinism contract.
+    void reset(const Netlist& netlist, AgingModel model, std::uint64_t seed);
+
+    void add_defect(MarginalDefect defect) { defects_.push_back(defect); }
+
+    /// Overwrites `delta` with the degradation at `years`: per-gate
+    /// aging scales (ascending id) then defect extras (entry order).
+    void fill_delta(double years, DelayDelta& delta) const;
+
+    /// Same, with the caller's precomputed model().pow_term(years):
+    /// lanes of a batch at the same grid year differ only in amplitude
+    /// and jitter, so one pow() serves the whole batch.  Bit-identical
+    /// to the two-argument overload when pow_term matches.
+    void fill_delta(double years, DelayDelta& delta, double pow_term) const;
+
+    [[nodiscard]] const AgingModel& model() const { return model_; }
+    [[nodiscard]] const std::vector<MarginalDefect>& defects() const {
+        return defects_;
+    }
+
+private:
+    void fill_from_factor(double years, double factor,
+                          DelayDelta& delta) const;
+    AgingModel model_;
+    std::vector<double> activity_;    ///< per-gate aging-rate jitter
+    std::vector<GateId> comb_gates_;  ///< aging targets, ascending
+    /// activity_[comb_gates_[i]] packed for the fill loop.
+    std::vector<double> comb_activity_;
+    std::vector<MarginalDefect> defects_;
+};
+
 class LifetimeSimulator {
 public:
     /// How evaluate() obtains arrival times.  Incremental (default)
@@ -80,7 +129,9 @@ public:
                       Time clock_period, AgingModel model,
                       std::uint64_t seed = 1, StaEngine* engine = nullptr);
 
-    void add_defect(MarginalDefect defect) { defects_.push_back(defect); }
+    void add_defect(MarginalDefect defect) {
+        degradation_.add_defect(defect);
+    }
 
     void set_sta_mode(StaMode mode) { sta_mode_ = mode; }
     [[nodiscard]] StaMode sta_mode() const { return sta_mode_; }
@@ -123,10 +174,7 @@ private:
     const Netlist* netlist_;
     const DelayAnnotation* base_;
     Time clock_period_;
-    AgingModel model_;
-    std::vector<double> activity_;  ///< per-gate aging-rate jitter
-    std::vector<GateId> comb_gates_;  ///< aging targets, ascending
-    std::vector<MarginalDefect> defects_;
+    DeviceDegradation degradation_;
     StaMode sta_mode_ = StaMode::Incremental;
     /// Engine shared by the caller (campaign worker shard), or lazily
     /// owned.  Mutated from const evaluate(): the simulator is

@@ -20,21 +20,35 @@ DelayAnnotation DelayAnnotation::with_variation(const Netlist& netlist,
     return build(netlist, lib, sigma_fraction, seed);
 }
 
+void DelayAnnotation::lognormal_variation_factors(
+    const Netlist& netlist, double sigma_log, std::uint64_t seed,
+    std::vector<double>& factors) {
+    factors.assign(netlist.size(), 1.0);
+    if (sigma_log <= 0.0) return;
+    // One normal per combinational gate, ascending id: the draw order
+    // is part of the campaign determinism contract — per-device
+    // annotations are bit-identical across releases and engines.
+    Prng rng = Prng::stream(seed, 0x10C'A15ULL);
+    const double mu = -0.5 * sigma_log * sigma_log;  // E[factor] = 1
+    for (GateId id = 0; id < netlist.size(); ++id) {
+        if (!is_combinational(netlist.gate(id).type)) continue;
+        factors[id] = std::exp(rng.normal(mu, sigma_log));
+    }
+}
+
 DelayAnnotation DelayAnnotation::with_lognormal_variation(
     const Netlist& netlist, double sigma_log, std::uint64_t seed,
     const CellLibrary& lib) {
     DelayAnnotation ann = build(netlist, lib, 0.0, 0);
     if (sigma_log <= 0.0) return ann;
     // Expressed as a DelayDelta so the same composable path covers
-    // process variation, aging, and defects.  The Prng draw order (one
-    // normal per combinational gate, ascending id) is unchanged, so
-    // per-device annotations are bit-identical to earlier releases.
-    Prng rng = Prng::stream(seed, 0x10C'A15ULL);
-    const double mu = -0.5 * sigma_log * sigma_log;  // E[factor] = 1
+    // process variation, aging, and defects.
+    std::vector<double> factors;
+    lognormal_variation_factors(netlist, sigma_log, seed, factors);
     DelayDelta delta;
     for (GateId id = 0; id < netlist.size(); ++id) {
         if (!is_combinational(netlist.gate(id).type)) continue;
-        delta.scale(id, std::exp(rng.normal(mu, sigma_log)));
+        delta.scale(id, factors[id]);
     }
     ann.transform(delta);
     return ann;

@@ -40,6 +40,17 @@ public:
         const Netlist& netlist, double sigma_log, std::uint64_t seed,
         const CellLibrary& lib = CellLibrary::nangate45());
 
+    /// The per-gate factors with_lognormal_variation() would apply,
+    /// written into `factors` (resized to netlist.size(); 1.0 for
+    /// non-combinational gates).  Same Prng stream and draw order, so
+    /// scaling a nominal annotation's arcs by factors[gate] reproduces
+    /// the per-device annotation — the batched campaign engine loads
+    /// its lanes from these without materializing the annotation.
+    static void lognormal_variation_factors(const Netlist& netlist,
+                                            double sigma_log,
+                                            std::uint64_t seed,
+                                            std::vector<double>& factors);
+
     /// Annotated delay of the arc from fanin pin `pin` to the output of
     /// gate `gate`.  Interface nodes (Output pads, DFF D pins) have zero
     /// delay arcs.

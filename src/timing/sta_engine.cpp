@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 #include <limits>
+#include <utility>
 
 #include "util/cancel.hpp"
 
@@ -63,6 +64,69 @@ StaEngine::StaEngine(const Netlist& netlist, const DelayAnnotation& base,
     result_.downstream.assign(n, 0.0);
     result_.path_through.assign(n, 0.0);
     load_base(base);
+}
+
+StaEngine::StaEngine(StaEngine&& other) noexcept
+    : netlist_(std::exchange(other.netlist_, nullptr)),
+      base_(std::exchange(other.base_, nullptr)),
+      margin_(other.margin_),
+      scope_(other.scope_),
+      offset_(std::move(other.offset_)),
+      topo_(std::move(other.topo_)),
+      is_source_(std::move(other.is_source_)),
+      fanin_flat_(std::move(other.fanin_flat_)),
+      base_max_(std::move(other.base_max_)),
+      base_min_(std::move(other.base_min_)),
+      cur_max_(std::move(other.cur_max_)),
+      cur_min_(std::move(other.cur_min_)),
+      cur_uniform_(other.cur_uniform_),
+      dirty_gates_(std::move(other.dirty_gates_)),
+      touch_stamp_(std::move(other.touch_stamp_)),
+      touch_epoch_(other.touch_epoch_),
+      fwd_stamp_(std::move(other.fwd_stamp_)),
+      fwd_epoch_(other.fwd_epoch_),
+      back_stamp_(std::move(other.back_stamp_)),
+      back_epoch_(other.back_epoch_),
+      scratch_touched_(std::move(other.scratch_touched_)),
+      scratch_old_(std::move(other.scratch_old_)),
+      scratch_seeds_(std::move(other.scratch_seeds_)),
+      scratch_dirty_(std::move(other.scratch_dirty_)),
+      result_(std::move(other.result_)),
+      valid_(std::exchange(other.valid_, false)),
+      stats_(other.stats_),
+      poll_counter_(other.poll_counter_) {}
+
+StaEngine& StaEngine::operator=(StaEngine&& other) noexcept {
+    if (this == &other) return *this;
+    netlist_ = std::exchange(other.netlist_, nullptr);
+    base_ = std::exchange(other.base_, nullptr);
+    margin_ = other.margin_;
+    scope_ = other.scope_;
+    offset_ = std::move(other.offset_);
+    topo_ = std::move(other.topo_);
+    is_source_ = std::move(other.is_source_);
+    fanin_flat_ = std::move(other.fanin_flat_);
+    base_max_ = std::move(other.base_max_);
+    base_min_ = std::move(other.base_min_);
+    cur_max_ = std::move(other.cur_max_);
+    cur_min_ = std::move(other.cur_min_);
+    cur_uniform_ = other.cur_uniform_;
+    dirty_gates_ = std::move(other.dirty_gates_);
+    touch_stamp_ = std::move(other.touch_stamp_);
+    touch_epoch_ = other.touch_epoch_;
+    fwd_stamp_ = std::move(other.fwd_stamp_);
+    fwd_epoch_ = other.fwd_epoch_;
+    back_stamp_ = std::move(other.back_stamp_);
+    back_epoch_ = other.back_epoch_;
+    scratch_touched_ = std::move(other.scratch_touched_);
+    scratch_old_ = std::move(other.scratch_old_);
+    scratch_seeds_ = std::move(other.scratch_seeds_);
+    scratch_dirty_ = std::move(other.scratch_dirty_);
+    result_ = std::move(other.result_);
+    valid_ = std::exchange(other.valid_, false);
+    stats_ = other.stats_;
+    poll_counter_ = other.poll_counter_;
+    return *this;
 }
 
 void StaEngine::load_base(const DelayAnnotation& base) {

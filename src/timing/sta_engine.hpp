@@ -58,8 +58,13 @@ public:
 
     StaEngine(const StaEngine&) = delete;
     StaEngine& operator=(const StaEngine&) = delete;
-    StaEngine(StaEngine&&) = default;
-    StaEngine& operator=(StaEngine&&) = default;
+    /// Moves transfer the arenas and null the source's netlist_/base_
+    /// pointers and valid_ flag (a defaulted move would leave them
+    /// pointing at live objects next to empty arenas and a stale
+    /// result_).  A moved-from engine may only be destroyed or
+    /// assigned to; valid() reports false on it.
+    StaEngine(StaEngine&& other) noexcept;
+    StaEngine& operator=(StaEngine&& other) noexcept;
 
     /// Retargets the engine to another annotation of the *same* netlist,
     /// reusing every internal arena.  Invalidates the cached result; the
@@ -88,6 +93,10 @@ public:
     [[nodiscard]] double clock_margin() const { return margin_; }
     [[nodiscard]] Scope scope() const { return scope_; }
     [[nodiscard]] const Stats& stats() const { return stats_; }
+    /// False after construction-from / assignment-from this engine
+    /// (moved-from state) and between a cancelled pass and the next
+    /// successful one; result() is only meaningful when true.
+    [[nodiscard]] bool valid() const { return valid_; }
 
 private:
     void load_base(const DelayAnnotation& base);

@@ -10,6 +10,7 @@
 #include <limits>
 
 #include "netlist/iscas_data.hpp"
+#include "timing/batch_sta_engine.hpp"
 #include "timing/sta.hpp"
 #include "util/cancel.hpp"
 #include "util/diagnostic.hpp"
@@ -219,7 +220,63 @@ TEST_F(CampaignFixture, FullStaMatchesIncremental) {
     ASSERT_NE(jb.find("run"), nullptr);
     ASSERT_NE(jb.find("run")->find("sta_mode"), nullptr);
     EXPECT_EQ(jb.find("run")->find("sta_mode")->as_string(), "full_rebuild");
-    EXPECT_EQ(ja.find("run")->find("sta_mode")->as_string(), "incremental");
+    EXPECT_EQ(ja.find("run")->find("sta_mode")->as_string(),
+              kBatchWidth > 1 ? "batched" : "incremental");
+}
+
+TEST_F(CampaignFixture, BatchedMatchesScalarAcrossWidthsBitwise) {
+    // The tentpole differential: the batched SoA engine must reproduce
+    // the scalar incremental path bit-for-bit at every runtime width
+    // (1 = scalar reference; 4 and the compiled default exercise full
+    // and clamped batches, plus a ragged tail at population 24).
+    CampaignConfig scalar = small_config();
+    scalar.batch_width = 1;
+    const CampaignResult reference = run_campaign(nl, scalar);
+    const Json jref = reference.to_json(scalar);
+
+    for (const std::size_t width : {std::size_t{4}, std::size_t{0}}) {
+        CampaignConfig batched = small_config();
+        batched.batch_width = width;
+        const CampaignResult result = run_campaign(nl, batched);
+        EXPECT_EQ(result.outcomes, reference.outcomes) << "width " << width;
+        const Json jb = result.to_json(batched);
+        for (const char* block : {"campaign", "aggregate"}) {
+            ASSERT_NE(jb.find(block), nullptr);
+            EXPECT_EQ(jb.find(block)->dump(2), jref.find(block)->dump(2))
+                << "width " << width;
+        }
+        // Run-block bookkeeping: resolved width and mode.
+        const Json* run = jb.find("run");
+        ASSERT_NE(run, nullptr);
+        const std::size_t resolved = width == 0 ? kBatchWidth : width;
+        EXPECT_EQ(static_cast<std::size_t>(
+                      run->find("batch_width")->as_number()),
+                  std::min(resolved, kBatchWidth));
+        EXPECT_EQ(run->find("sta_mode")->as_string(),
+                  std::min(resolved, kBatchWidth) > 1 ? "batched"
+                                                      : "incremental");
+    }
+    ASSERT_NE(jref.find("run"), nullptr);
+    EXPECT_EQ(jref.find("run")->find("sta_mode")->as_string(), "incremental");
+}
+
+TEST_F(CampaignFixture, BatchedMultiWorkerMatchesSerialScalar) {
+    // Batched shards on a real pool (TSan job covers this test too):
+    // worker count must not leak into outcomes or aggregate blocks.
+    CampaignConfig scalar = small_config();
+    scalar.batch_width = 1;
+    CampaignConfig batched_pool = small_config();
+    batched_pool.num_threads = 3;
+    batched_pool.batch_width = 0;  // compiled width
+
+    const CampaignResult a = run_campaign(nl, scalar);
+    const CampaignResult b = run_campaign(nl, batched_pool);
+    EXPECT_EQ(a.outcomes, b.outcomes);
+    const Json ja = a.to_json(scalar);
+    const Json jb = b.to_json(batched_pool);
+    for (const char* block : {"campaign", "aggregate"}) {
+        EXPECT_EQ(ja.find(block)->dump(2), jb.find(block)->dump(2));
+    }
 }
 
 TEST_F(CampaignFixture, ScreenScorePredictsEarlyFailures) {

@@ -169,6 +169,41 @@ TEST_F(ResumeFixture, ResumeConvergesToUninterruptedAggregate) {
               reference.to_json(plain).find("aggregate")->dump(2));
 }
 
+TEST_F(ResumeFixture, BatchedResumeCrossesBatchBoundaryBitIdentically) {
+    // Resume with a prefix that is NOT a multiple of the batch width:
+    // the first batch after resume packs the ragged remainder of one
+    // "old" batch together with fresh devices.  Outcomes must still be
+    // bit-identical to an uninterrupted batched run AND to the scalar
+    // reference (batch_width is deliberately outside the fingerprint,
+    // so scalar-written checkpoints resume under the batched engine).
+    CampaignConfig scalar_plain = config("");
+    scalar_plain.batch_width = 1;
+    const CampaignResult reference = run_campaign(nl, scalar_plain);
+
+    CampaignConfig batched_ckpt = config(path("batch_resume.json"));
+    batched_ckpt.batch_width = 0;  // compiled width
+    const CampaignResult full = run_campaign(nl, batched_ckpt);
+    EXPECT_EQ(full.outcomes, reference.outcomes);
+
+    std::string error;
+    auto snapshot = load_checkpoint(path("batch_resume.json"), &error);
+    ASSERT_TRUE(snapshot.has_value()) << error;
+    ASSERT_EQ(snapshot->outcomes.size(), batched_ckpt.population);
+    // 5 completed devices: inside the first batch for every compiled
+    // width >= 2, and not a multiple of 4 or 8.
+    snapshot->outcomes.resize(5);
+    ASSERT_TRUE(save_checkpoint(path("batch_resume.json"), *snapshot));
+
+    CampaignConfig resumed_config = batched_ckpt;
+    resumed_config.resume = true;
+    const CampaignResult resumed = run_campaign(nl, resumed_config);
+    EXPECT_EQ(resumed.devices_resumed, 5u);
+    EXPECT_EQ(resumed.devices_completed, batched_ckpt.population);
+    EXPECT_EQ(resumed.outcomes, reference.outcomes);
+    EXPECT_EQ(resumed.to_json(resumed_config).find("aggregate")->dump(2),
+              reference.to_json(scalar_plain).find("aggregate")->dump(2));
+}
+
 TEST_F(ResumeFixture, MismatchedFingerprintFallsBackToFreshStart) {
     CampaignConfig first = config(path("stale.json"));
     (void)run_campaign(nl, first);

@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <utility>
 #include <vector>
 
 #include "monitor/aging.hpp"
@@ -226,6 +227,37 @@ TEST_F(EngineFixture, TakeResultInvalidatesThenRecovers) {
     DelayDelta delta;
     delta.add(comb[0], DelayDelta::kAllPins, 2.0);
     expect_bitwise_equal(engine.update(delta), reference_sta(nl, base, delta));
+}
+
+TEST_F(EngineFixture, MovedFromEngineIsInvalidAndTargetStaysLive) {
+    StaEngine source(nl, base);
+    const StaResult before = [&] {
+        source.analyze();
+        StaResult copy = source.result();
+        return copy;
+    }();
+
+    // Move construction: the target owns the arenas and the cached
+    // result; the source is left invalid (destroy/assign-only).
+    StaEngine target(std::move(source));
+    EXPECT_FALSE(source.valid());  // NOLINT(bugprone-use-after-move)
+    EXPECT_TRUE(target.valid());
+    expect_bitwise_equal(target.result(), before);
+
+    // The target is fully functional: updates match from-scratch.
+    DelayDelta delta;
+    delta.add(comb[1], DelayDelta::kAllPins, 3.5);
+    expect_bitwise_equal(target.update(delta), reference_sta(nl, base, delta));
+
+    // Move assignment nulls the new source the same way, and a
+    // moved-from engine can be assigned a live one again.
+    StaEngine replacement(nl, base);
+    replacement.analyze();
+    source = std::move(replacement);
+    EXPECT_FALSE(replacement.valid());  // NOLINT(bugprone-use-after-move)
+    EXPECT_TRUE(source.valid());
+    expect_bitwise_equal(source.result(), before);
+    expect_bitwise_equal(source.update(delta), reference_sta(nl, base, delta));
 }
 
 TEST(StaEngineS27, ClockMarginFlowsThroughUpdates) {

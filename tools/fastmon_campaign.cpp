@@ -60,6 +60,10 @@ void print_usage() {
         "  --full-sta               legacy from-scratch STA per grid point\n"
         "                           (reference for the incremental engine;\n"
         "                           identical report blocks, slower)\n"
+        "  --batch-width <n>        devices per batched STA pass (0 = auto\n"
+        "                           from the compiled width, 1 = scalar\n"
+        "                           reference engine; identical report\n"
+        "                           blocks at every width)\n"
         "\n"
         "output:\n"
         "  --out <path>             campaign report JSON (default\n"
@@ -135,6 +139,9 @@ bool parse_args(int argc, char** argv, CliOptions& opt) {
         } else if (strcmp(arg, "--clock-margin") == 0) {
             if (!(v = need_value(i))) return false;
             opt.config.clock_margin = std::atof(v);
+        } else if (strcmp(arg, "--batch-width") == 0) {
+            if (!(v = need_value(i))) return false;
+            opt.config.batch_width = static_cast<std::size_t>(std::atoll(v));
         } else if (strcmp(arg, "--threads") == 0) {
             if (!(v = need_value(i))) return false;
             opt.config.num_threads = static_cast<std::size_t>(std::atoll(v));
