@@ -177,6 +177,44 @@ int main() {
             entry.set("scalar_wall_seconds", scalar_wall);
             entry.set("sta_speedup", sta_speedup);
             entry.set("batch_speedup", batch_speedup);
+
+            // Telemetry differential: the heartbeat sidecar and the
+            // streaming sketches are pure observation, so the
+            // deterministic blocks must stay bit-identical with
+            // telemetry on — at the batched width AND the scalar
+            // width (the two engines instrument different code paths).
+            CampaignConfig telem = config;
+            telem.heartbeat_path = "BENCH_campaign.heartbeat.json";
+            telem.heartbeat_seconds = 0.05;
+            std::cout << "  telemetry-enabled pass (heartbeat sidecar "
+                         "differential)\n";
+            const CampaignResult telem_result =
+                run_campaign(target.netlist, telem);
+            const double telem_wall = telem_result.total_wall_seconds;
+            bool telem_ok =
+                blocks_match(entry, telem_result.to_json(telem),
+                             "telemetry off and on (batched)");
+            {
+                CampaignConfig telem_scalar = telem;
+                telem_scalar.batch_width = 1;
+                telem_scalar.heartbeat_path =
+                    "BENCH_campaign.scalar.heartbeat.json";
+                const CampaignResult scalar_telem =
+                    run_campaign(target.netlist, telem_scalar);
+                telem_ok = blocks_match(scalar_result.to_json(scalar),
+                                        scalar_telem.to_json(telem_scalar),
+                                        "telemetry off and on (scalar)") &&
+                           telem_ok;
+            }
+            identical = identical && telem_ok;
+            const double telem_overhead =
+                batched_wall > 0.0 ? telem_wall / batched_wall - 1.0 : 0.0;
+            std::cout << "  telemetry wall " << telem_wall << " s ("
+                      << telem_overhead * 100.0 << "% vs quiet run)\n";
+            entry.set("telemetry_check",
+                      telem_ok ? "identical" : "diverged");
+            entry.set("telemetry_wall_seconds", telem_wall);
+            entry.set("telemetry_overhead", telem_overhead);
         }
         entries.push_back(std::move(entry));
     }

@@ -16,7 +16,8 @@ repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build-bench}"
 
 cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
-cmake --build "$build_dir" -j"$(nproc)" --target bench_micro bench_fig3 bench_campaign
+cmake --build "$build_dir" -j"$(nproc)" \
+    --target bench_micro bench_fig3 bench_campaign bench_check
 
 cd "$repo_root"
 
@@ -49,6 +50,7 @@ check_json() {
 check_json BENCH_detection.json
 check_json BENCH_manifest.json
 check_json BENCH_campaign.json
+check_json BENCH_campaign.heartbeat.json
 
 # The campaign artifact must carry the prediction-quality blocks and a
 # non-degraded flow status for every entry.
@@ -104,10 +106,36 @@ dps = demo.get("devices_per_sec")
 if not isinstance(dps, (int, float)) or not (dps > 0.0):
     sys.exit(f"ERROR: demo entry devices_per_sec={dps!r} is not a "
              "positive number")
+if demo.get("telemetry_check") != "identical":
+    sys.exit(f"ERROR: telemetry changed the deterministic blocks "
+             f"(telemetry_check={demo.get('telemetry_check')!r})")
 print(f"campaign differentials ok: identical blocks at width {width}, "
       f"batched {demo['batch_speedup']:.2f}x vs scalar, "
       f"scalar {demo['sta_speedup']:.2f}x vs full rebuild, "
       f"{dps:.0f} devices/sec")
+
+# The heartbeat sidecar from the telemetry pass must have reached an
+# honest terminal state covering the whole population, and its sketch
+# telemetry must be embedded in the report's run block.
+with open("BENCH_campaign.heartbeat.json") as f:
+    hb = json.load(f)
+if hb.get("schema") != "fastmon-heartbeat-v1":
+    sys.exit(f"ERROR: unexpected heartbeat schema {hb.get('schema')!r}")
+if hb.get("state") != "finished":
+    sys.exit(f"ERROR: heartbeat ended in state {hb.get('state')!r}, "
+             "expected 'finished'")
+pop = demo["campaign"]["population"]
+if hb.get("devices_done") != pop:
+    sys.exit(f"ERROR: heartbeat devices_done={hb.get('devices_done')!r} "
+             f"!= population {pop}")
+telemetry = demo["run"].get("telemetry", {})
+for key in ("roll_latency_us", "first_alert_years", "failure_years"):
+    sketch = telemetry.get(key, {})
+    if "summary" not in sketch or "sketch" not in sketch:
+        sys.exit(f"ERROR: run.telemetry.{key} missing summary/sketch")
+print(f"heartbeat ok: state={hb['state']}, "
+      f"{hb['devices_done']:.0f}/{hb['devices_total']:.0f} devices, "
+      f"{len(hb.get('workers', []))} worker slot(s)")
 EOF
 
 # The manifest must carry the blocks perf tracking relies on.
@@ -126,3 +154,21 @@ print("manifest ok:", ", ".join(p["name"] for p in m["phases"]),
 EOF
 
 echo "artifacts validated  [OK]"
+
+# --- bench-history regression gate -----------------------------------
+# Gate this run against the trajectory of comparable past runs (same
+# fast flag + batch width) in BENCH_history.jsonl, THEN append it so
+# the ledger only accumulates runs that passed both the schema
+# validation above and the gate itself.  With fewer than three
+# comparable entries the gate passes with a note, so fresh checkouts
+# and regime changes (new width, new fast flag) bootstrap cleanly.
+echo
+echo "== bench history gate (BENCH_history.jsonl) =="
+fast_args=()
+if [[ "${FASTMON_FAST:-0}" == "1" ]]; then
+    fast_args+=(--fast)
+fi
+git_describe="$(git -C "$repo_root" describe --always --dirty 2>/dev/null \
+                || echo unknown)"
+"$build_dir/tools/bench_check" check "${fast_args[@]}"
+"$build_dir/tools/bench_check" append --git "$git_describe" "${fast_args[@]}"

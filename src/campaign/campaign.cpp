@@ -1,9 +1,11 @@
 #include "campaign/campaign.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <mutex>
 #include <optional>
 
 #include "campaign/checkpoint.hpp"
@@ -12,6 +14,8 @@
 #include "util/cancel.hpp"
 #include "util/log.hpp"
 #include "util/metrics.hpp"
+#include "util/progress.hpp"
+#include "util/sketch.hpp"
 #include "util/thread_pool.hpp"
 #include "util/trace.hpp"
 
@@ -23,6 +27,64 @@ void append_number(std::string& out, double v) {
     char buf[40];
     std::snprintf(buf, sizeof buf, "%.17g;", v);
     out += buf;
+}
+
+std::uint64_t telemetry_now_ns() {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+/// Heartbeat period: explicit config wins, then $FASTMON_HEARTBEAT,
+/// then 1 s.
+double resolve_heartbeat_seconds(const CampaignConfig& config) {
+    if (config.heartbeat_seconds > 0.0) return config.heartbeat_seconds;
+    if (const char* env = std::getenv("FASTMON_HEARTBEAT")) {
+        const double v = std::atof(env);
+        if (v > 0.0) return v;
+    }
+    return 1.0;
+}
+
+/// Worker-local streaming sketches, merged into the campaign-level
+/// accumulator at shard boundaries — the same associative fold a
+/// future --shard i/N mode will do across processes.
+struct WorkerSketches {
+    QuantileSketch roll_latency_us;
+    QuantileSketch first_alert_years;
+    QuantileSketch failure_years;
+
+    void record_outcome(const DeviceOutcome& out) {
+        // Widest guard band's first alert; -1 ("never") stays out of
+        // the distribution, so count = devices that alerted/failed.
+        if (!out.first_alert_years.empty() &&
+            out.first_alert_years.back() >= 0.0) {
+            first_alert_years.record(out.first_alert_years.back());
+        }
+        if (out.failure_years >= 0.0) {
+            failure_years.record(out.failure_years);
+        }
+    }
+};
+
+struct CampaignSketches {
+    std::mutex mutex;
+    WorkerSketches merged;
+
+    void merge(const WorkerSketches& local) {
+        const std::lock_guard<std::mutex> lock(mutex);
+        merged.roll_latency_us.merge(local.roll_latency_us);
+        merged.first_alert_years.merge(local.first_alert_years);
+        merged.failure_years.merge(local.failure_years);
+    }
+};
+
+Json sketch_block(const QuantileSketch& sketch) {
+    Json j = Json::object();
+    j.set("summary", sketch.summary());
+    j.set("sketch", sketch.to_json());
+    return j;
 }
 
 // Lanes per batched pass.  Not part of the fingerprint or canonical
@@ -123,6 +185,7 @@ Json CampaignResult::to_json(const CampaignConfig& config) const {
     run.set("devices_resumed", devices_resumed);
     run.set("checkpoints_written", checkpoints_written);
     run.set("total_wall_seconds", total_wall_seconds);
+    if (!telemetry.is_null()) run.set("telemetry", telemetry);
     run.set("status", status.to_json());
     j.set("run", std::move(run));
     return j;
@@ -179,6 +242,22 @@ CampaignResult run_campaign(const Netlist& netlist,
     result.status.phases.push_back(
         PhaseStatus{"campaign_prepare", PhaseOutcome::Ok, ""});
 
+    // Live telemetry: a heartbeat sidecar and/or a throttled stderr
+    // line (both pure observers — report blocks stay bit-identical),
+    // plus mergeable streaming sketches fed at batch boundaries.
+    std::unique_ptr<ProgressReporter> reporter;
+    if (!config.heartbeat_path.empty() || config.progress_stderr) {
+        ProgressConfig pc;
+        pc.path = config.heartbeat_path;
+        pc.interval_seconds = resolve_heartbeat_seconds(config);
+        pc.stderr_line = config.progress_stderr;
+        pc.label = result.circuit;
+        pc.devices_total = config.population;
+        pc.grid_points = ctx.grid.size();
+        reporter = std::make_unique<ProgressReporter>(std::move(pc));
+    }
+    CampaignSketches sketches;
+
     const std::uint64_t fingerprint =
         checkpoint_fingerprint(campaign_canonical(netlist, config));
 
@@ -191,6 +270,7 @@ CampaignResult run_campaign(const Netlist& netlist,
         PhaseStatus st{"campaign_resume", PhaseOutcome::Ok,
                        "resume not requested"};
         if (config.resume && !config.checkpoint_path.empty()) {
+            const TraceSpan span("campaign_checkpoint", "campaign");
             std::string error;
             const auto ckpt = load_checkpoint(config.checkpoint_path, &error);
             if (!ckpt) {
@@ -214,6 +294,7 @@ CampaignResult run_campaign(const Netlist& netlist,
         }
         metrics.counter("campaign.devices_resumed")
             .add(result.devices_resumed);
+        if (reporter) reporter->add_resumed(result.devices_resumed);
         result.phases.push_back(sw.elapsed("campaign_resume"));
         result.status.phases.push_back(std::move(st));
     }
@@ -223,6 +304,7 @@ CampaignResult run_campaign(const Netlist& netlist,
         PhaseStopwatch sw;
         TraceSpan span("campaign_rollout");
         PhaseStatus st{"campaign_rollout", PhaseOutcome::Ok, ""};
+        if (reporter) reporter->start();
 
         std::unique_ptr<ThreadPool> dedicated;
         ThreadPool* pool = nullptr;
@@ -241,15 +323,42 @@ CampaignResult run_campaign(const Netlist& netlist,
             // One incremental engine per shard: the first device builds
             // the arenas, later devices rebase onto them, and every
             // year-grid point is a cone-limited update.
+            const TraceSpan shard_span("campaign_shard", "campaign");
             std::unique_ptr<StaEngine> engine;
+            ProgressReporter::WorkerSlot* slot =
+                reporter ? &reporter->slot_for_this_thread() : nullptr;
+            WorkerSketches local;
+            // The scalar path evaluates the full grid for every device
+            // (no early retirement), so a device is grid.size()
+            // lane-years of progress.
+            const auto grid_years =
+                static_cast<std::uint64_t>(ctx.grid.size());
             for (std::size_t i = begin; i < end; ++i) {
                 if (token.cancelled()) break;   // device-boundary poll
                 if (slots[i]) continue;         // resumed from checkpoint
-                const DeviceSample sample = sample_device(
-                    config.model, config.seed,
-                    static_cast<std::uint32_t>(i), sites, ctx.clock_period);
+                const std::uint64_t t0 = telemetry_now_ns();
+                const DeviceSample sample = [&] {
+                    const TraceSpan pop("campaign_population", "campaign");
+                    return sample_device(config.model, config.seed,
+                                         static_cast<std::uint32_t>(i),
+                                         sites, ctx.clock_period);
+                }();
                 slots[i] = roll_device(ctx, sample, &engine);
+                // Scalar batch = 1 device, so the device boundary IS
+                // the batch boundary the telemetry contract samples at.
+                const std::uint64_t dt = telemetry_now_ns() - t0;
+                local.roll_latency_us.record(
+                    static_cast<double>(dt) * 1e-3);
+                local.record_outcome(*slots[i]);
+                if (slot) {
+                    slot->devices.fetch_add(1, std::memory_order_relaxed);
+                    slot->batches.fetch_add(1, std::memory_order_relaxed);
+                    slot->lane_years.fetch_add(grid_years,
+                                               std::memory_order_relaxed);
+                    slot->busy_ns.fetch_add(dt, std::memory_order_relaxed);
+                }
             }
+            sketches.merge(local);
             if (engine) {
                 const StaEngine::Stats& es = engine->stats();
                 metrics.counter("campaign.sta_full_passes")
@@ -273,33 +382,79 @@ CampaignResult run_campaign(const Netlist& netlist,
             // devices are skipped, so a batch may span non-contiguous
             // indices — each device is a pure function of its own seed,
             // so lane placement cannot change its outcome.
+            const TraceSpan shard_span("campaign_shard", "campaign");
             std::unique_ptr<BatchRollout> rollout;
             std::vector<DeviceSample> samples;
             std::vector<DeviceOutcome> outcomes;
             std::vector<std::size_t> indices;
             samples.reserve(batch_width);
             indices.reserve(batch_width);
+            ProgressReporter::WorkerSlot* slot =
+                reporter ? &reporter->slot_for_this_thread() : nullptr;
+            WorkerSketches local;
+            // Counters are sampled at batch boundaries only — the SoA
+            // lane loops below run untouched — by diffing the rollout's
+            // cumulative stats across flushes.
+            std::uint64_t seen_lane_years = 0;
+            std::uint64_t seen_settled = 0;
             const auto flush = [&] {
                 if (indices.empty()) return;
                 if (!rollout) rollout = std::make_unique<BatchRollout>(ctx);
+                const std::uint64_t t0 = telemetry_now_ns();
                 outcomes.resize(indices.size());
                 rollout->roll(samples, outcomes);
+                const std::uint64_t dt = telemetry_now_ns() - t0;
+                const auto n =
+                    static_cast<std::uint64_t>(indices.size());
+                // Per-device roll latency at batch granularity: the
+                // batch wall split evenly over its lanes.
+                local.roll_latency_us.record(
+                    static_cast<double>(dt) * 1e-3 /
+                        static_cast<double>(n),
+                    n);
                 for (std::size_t k = 0; k < indices.size(); ++k) {
+                    local.record_outcome(outcomes[k]);
                     slots[indices[k]] = std::move(outcomes[k]);
+                }
+                if (slot) {
+                    const BatchRollout::Stats& bs = rollout->stats();
+                    slot->devices.fetch_add(n, std::memory_order_relaxed);
+                    slot->batches.fetch_add(1, std::memory_order_relaxed);
+                    slot->lane_years.fetch_add(
+                        bs.lane_years - seen_lane_years,
+                        std::memory_order_relaxed);
+                    slot->settled_early.fetch_add(
+                        bs.lanes_settled_early - seen_settled,
+                        std::memory_order_relaxed);
+                    slot->busy_ns.fetch_add(dt, std::memory_order_relaxed);
+                    seen_lane_years = bs.lane_years;
+                    seen_settled = bs.lanes_settled_early;
                 }
                 samples.clear();
                 indices.clear();
             };
-            for (std::size_t i = begin; i < end; ++i) {
-                if (token.cancelled()) break;   // batch-boundary poll
-                if (slots[i]) continue;         // resumed from checkpoint
-                samples.push_back(sample_device(
-                    config.model, config.seed,
-                    static_cast<std::uint32_t>(i), sites, ctx.clock_period));
-                indices.push_back(i);
+            // Gather up to one batch of pending samples from [i, end);
+            // one trace span per batch keeps sampling visible without
+            // per-device span noise.
+            const auto gather = [&](std::size_t& i) {
+                const TraceSpan pop("campaign_population", "campaign");
+                for (; i < end && indices.size() < batch_width; ++i) {
+                    if (token.cancelled()) return;  // device-boundary poll
+                    if (slots[i]) continue;  // resumed from checkpoint
+                    samples.push_back(sample_device(
+                        config.model, config.seed,
+                        static_cast<std::uint32_t>(i), sites,
+                        ctx.clock_period));
+                    indices.push_back(i);
+                }
+            };
+            std::size_t i = begin;
+            while (i < end && !token.cancelled()) {
+                gather(i);
                 if (indices.size() == batch_width) flush();
             }
             if (!token.cancelled()) flush();    // ragged shard tail
+            sketches.merge(local);
             if (rollout) {
                 const BatchRollout::Stats& bs = rollout->stats();
                 metrics.counter("campaign.batch_batches").add(bs.batches);
@@ -328,6 +483,7 @@ CampaignResult run_campaign(const Netlist& netlist,
 
         const auto save_snapshot = [&] {
             if (config.checkpoint_path.empty()) return;
+            const TraceSpan ckpt_span("campaign_checkpoint", "campaign");
             CampaignCheckpoint ckpt;
             ckpt.fingerprint = fingerprint;
             ckpt.population = config.population;
@@ -386,8 +542,34 @@ CampaignResult run_campaign(const Netlist& netlist,
                         " of " + std::to_string(config.population) +
                         " devices";
         }
+        if (reporter) {
+            // The final heartbeat carries the honest terminal state and
+            // the same device count the exported report will show.
+            reporter->stop(token.cancelled() ? "cancelled"
+                           : completed < config.population ? "degraded"
+                                                           : "finished");
+        }
         result.phases.push_back(sw.elapsed("campaign_rollout"));
         result.status.phases.push_back(std::move(st));
+    }
+
+    // Fold the merged worker sketches into the global registry (so run
+    // manifests embed the summaries) and the report's run block.
+    {
+        const WorkerSketches& merged = sketches.merged;
+        metrics.histogram("campaign.roll_latency_us")
+            .merge(merged.roll_latency_us);
+        metrics.histogram("campaign.first_alert_years")
+            .merge(merged.first_alert_years);
+        metrics.histogram("campaign.failure_years")
+            .merge(merged.failure_years);
+        Json telemetry = Json::object();
+        telemetry.set("roll_latency_us",
+                      sketch_block(merged.roll_latency_us));
+        telemetry.set("first_alert_years",
+                      sketch_block(merged.first_alert_years));
+        telemetry.set("failure_years", sketch_block(merged.failure_years));
+        result.telemetry = std::move(telemetry);
     }
 
     // --- campaign_aggregate: deterministic fold in device order ------

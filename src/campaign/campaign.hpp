@@ -73,6 +73,18 @@ struct CampaignConfig {
     /// bit-identical outcomes, so checkpoints are interchangeable
     /// across widths.
     std::size_t batch_width = 0;
+    /// Live-telemetry heartbeat sidecar (see util/progress.hpp): when
+    /// non-empty, a sampler thread atomically rewrites this JSON file
+    /// every heartbeat_seconds with devices-done / throughput / ETA /
+    /// per-worker utilization, ending with an honest terminal state.
+    /// Pure observation: the campaign/aggregate blocks are
+    /// bit-identical with telemetry on or off.
+    std::string heartbeat_path;
+    /// Heartbeat period in seconds; <= 0 reads $FASTMON_HEARTBEAT and
+    /// falls back to 1 s.
+    double heartbeat_seconds = 0.0;
+    /// Mirror each heartbeat as a throttled one-line stderr report.
+    bool progress_stderr = false;
 };
 
 struct CampaignResult {
@@ -89,6 +101,12 @@ struct CampaignResult {
     std::size_t checkpoints_written = 0;
     /// Resolved lanes per batched pass this run (1 = scalar engine).
     std::size_t batch_width = 1;
+    /// Streaming-sketch telemetry (per-device roll latency, first-alert
+    /// and failure-year distributions): {summary, sketch} per metric,
+    /// merged from the worker-local sketches.  Lives in the "run"
+    /// block of the report — latency is wall-clock, so this block is
+    /// NOT part of the deterministic campaign/aggregate contract.
+    Json telemetry;
     std::vector<PhaseTime> phases;
     double total_wall_seconds = 0.0;
     FlowStatus status;

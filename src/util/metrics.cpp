@@ -1,101 +1,65 @@
 #include "util/metrics.hpp"
 
-#include <algorithm>
 #include <cstdlib>
-#include <fstream>
 
 #include "util/atomic_file.hpp"
 #include "util/log.hpp"
-#include "util/stats.hpp"
 
 namespace fastmon {
 
 void Histogram::record(double x) {
     const std::lock_guard<std::mutex> lock(mutex_);
-    if (count_ == 0) {
-        min_ = x;
-        max_ = x;
-    } else {
-        min_ = std::min(min_, x);
-        max_ = std::max(max_, x);
-    }
-    ++count_;
-    sum_ += x;
-    if ((count_ & ((1ULL << keep_shift_) - 1)) != 0) return;
-    if (samples_.size() >= kMaxSamples) {
-        // Decimate 2:1; from here on only every 2^(k+1)-th sample is
-        // retained, so the reservoir stays uniform over the stream.
-        std::vector<double> kept;
-        kept.reserve(samples_.size() / 2);
-        for (std::size_t i = 0; i < samples_.size(); i += 2) {
-            kept.push_back(samples_[i]);
-        }
-        samples_ = std::move(kept);
-        ++keep_shift_;
-    }
-    samples_.push_back(x);
+    sketch_.record(x);
+}
+
+void Histogram::merge(const QuantileSketch& sketch) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    sketch_.merge(sketch);
 }
 
 std::uint64_t Histogram::count() const {
     const std::lock_guard<std::mutex> lock(mutex_);
-    return count_;
+    return sketch_.count();
 }
 
 double Histogram::sum() const {
     const std::lock_guard<std::mutex> lock(mutex_);
-    return sum_;
+    return sketch_.sum();
 }
 
 double Histogram::min() const {
     const std::lock_guard<std::mutex> lock(mutex_);
-    return min_;
+    return sketch_.min();
 }
 
 double Histogram::max() const {
     const std::lock_guard<std::mutex> lock(mutex_);
-    return max_;
+    return sketch_.max();
 }
 
 double Histogram::mean() const {
     const std::lock_guard<std::mutex> lock(mutex_);
-    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+    return sketch_.mean();
 }
 
 double Histogram::percentile(double p) const {
-    std::vector<double> copy;
-    {
-        const std::lock_guard<std::mutex> lock(mutex_);
-        copy = samples_;
-    }
-    return fastmon::percentile(std::move(copy), p);
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return sketch_.quantile(p);
 }
 
 void Histogram::reset() {
     const std::lock_guard<std::mutex> lock(mutex_);
-    samples_.clear();
-    count_ = 0;
-    sum_ = 0.0;
-    min_ = 0.0;
-    max_ = 0.0;
-    keep_shift_ = 0;
+    sketch_.reset();
+}
+
+QuantileSketch Histogram::snapshot() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return sketch_;
 }
 
 Json Histogram::to_json() const {
-    Json j = Json::object();
-    std::vector<double> copy;
-    {
-        const std::lock_guard<std::mutex> lock(mutex_);
-        j.set("count", count_);
-        j.set("sum", sum_);
-        j.set("min", min_);
-        j.set("max", max_);
-        j.set("mean", count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_));
-        copy = samples_;
-    }
-    j.set("p50", fastmon::percentile(copy, 50.0));
-    j.set("p90", fastmon::percentile(copy, 90.0));
-    j.set("p99", fastmon::percentile(std::move(copy), 99.0));
-    return j;
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return sketch_.summary();
 }
 
 namespace {

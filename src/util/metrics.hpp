@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "util/json.hpp"
+#include "util/sketch.hpp"
 
 namespace fastmon {
 
@@ -61,34 +62,39 @@ private:
 };
 
 /// Sample distribution with exact count/sum/min/max and percentile
-/// queries.  Samples are kept verbatim up to a cap, then decimated
-/// 2:1 (each survivor stands for 2^k originals), which keeps memory
-/// bounded while percentiles stay representative.
+/// queries, backed by a mergeable QuantileSketch.  The earlier
+/// decimating reservoir dropped tail samples once the cap was hit, so
+/// p99-style summaries silently degraded on long streams; the
+/// log-bucketed sketch bounds memory while keeping every quantile
+/// within a fixed relative error — and lets worker-local sketches fold
+/// straight into a registry histogram via merge().
 class Histogram {
 public:
-    static constexpr std::size_t kMaxSamples = 1 << 14;
-
     void record(double x);
+
+    /// Folds a worker-local sketch into this histogram (same relative
+    /// accuracy required; campaign telemetry uses the shared default).
+    void merge(const QuantileSketch& sketch);
 
     [[nodiscard]] std::uint64_t count() const;
     [[nodiscard]] double sum() const;
     [[nodiscard]] double min() const;
     [[nodiscard]] double max() const;
     [[nodiscard]] double mean() const;
-    /// p in [0, 100], linear interpolation over the retained samples.
+    /// p in [0, 100]; relative error bounded by the sketch alpha.
     [[nodiscard]] double percentile(double p) const;
     void reset();
 
+    /// Copy of the backing sketch (tests, exports).
+    [[nodiscard]] QuantileSketch snapshot() const;
+
+    /// Same keys as the pre-sketch backend: {count, sum, min, max,
+    /// mean, p50, p90, p99}.
     [[nodiscard]] Json to_json() const;
 
 private:
     mutable std::mutex mutex_;
-    std::vector<double> samples_;
-    std::uint64_t count_ = 0;
-    double sum_ = 0.0;
-    double min_ = 0.0;
-    double max_ = 0.0;
-    std::uint32_t keep_shift_ = 0;  ///< record every 2^keep_shift_-th sample
+    QuantileSketch sketch_;
 };
 
 class MetricsRegistry {

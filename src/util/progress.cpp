@@ -1,0 +1,200 @@
+#include "util/progress.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include "util/atomic_file.hpp"
+#include "util/log.hpp"
+
+namespace fastmon {
+
+namespace {
+
+std::uint64_t steady_now_ns() {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+}  // namespace
+
+ProgressReporter::ProgressReporter(ProgressConfig config)
+    : config_(std::move(config)), epoch_ns_(steady_now_ns()) {
+    config_.interval_seconds = std::max(config_.interval_seconds, 1e-3);
+}
+
+ProgressReporter::~ProgressReporter() { stop("finished"); }
+
+ProgressReporter::WorkerSlot& ProgressReporter::slot_for_this_thread() {
+    const std::thread::id id = std::this_thread::get_id();
+    const std::lock_guard<std::mutex> lock(slots_mutex_);
+    auto [it, inserted] = slot_of_thread_.try_emplace(id, slots_.size());
+    if (inserted) slots_.push_back(std::make_unique<WorkerSlot>());
+    return *slots_[it->second];
+}
+
+std::uint64_t ProgressReporter::devices_done() const {
+    std::uint64_t done = resumed_.load(std::memory_order_relaxed);
+    const std::lock_guard<std::mutex> lock(slots_mutex_);
+    for (const auto& slot : slots_) {
+        done += slot->devices.load(std::memory_order_relaxed);
+    }
+    return done;
+}
+
+Json ProgressReporter::snapshot(const std::string& state) {
+    const std::uint64_t now_ns = steady_now_ns();
+    const double elapsed =
+        static_cast<double>(now_ns - epoch_ns_) * 1e-9;
+    const std::uint64_t resumed = resumed_.load(std::memory_order_relaxed);
+
+    std::uint64_t rolled = 0;
+    std::uint64_t lane_years = 0;
+    std::uint64_t settled = 0;
+    std::uint64_t batches = 0;
+    Json workers = Json::array();
+    {
+        const std::lock_guard<std::mutex> lock(slots_mutex_);
+        for (const auto& slot : slots_) {
+            const std::uint64_t d =
+                slot->devices.load(std::memory_order_relaxed);
+            const std::uint64_t ly =
+                slot->lane_years.load(std::memory_order_relaxed);
+            const std::uint64_t se =
+                slot->settled_early.load(std::memory_order_relaxed);
+            const std::uint64_t b =
+                slot->batches.load(std::memory_order_relaxed);
+            const double busy =
+                static_cast<double>(
+                    slot->busy_ns.load(std::memory_order_relaxed)) *
+                1e-9;
+            rolled += d;
+            lane_years += ly;
+            settled += se;
+            batches += b;
+            Json w = Json::object();
+            w.set("devices", d);
+            w.set("lane_years", ly);
+            w.set("batches", b);
+            w.set("busy_seconds", busy);
+            w.set("utilization",
+                  elapsed > 0.0 ? std::min(busy / elapsed, 1.0) : 0.0);
+            workers.push_back(std::move(w));
+        }
+    }
+    const std::uint64_t done = resumed + rolled;
+
+    // Windowed throughput between consecutive snapshots; the first
+    // sample (and stalls) fall back to the cumulative rate.
+    double throughput = elapsed > 0.0
+                            ? static_cast<double>(rolled) / elapsed
+                            : 0.0;
+    if (last_ns_ != 0 && now_ns > last_ns_ && done >= last_done_) {
+        const double window =
+            static_cast<double>(now_ns - last_ns_) * 1e-9;
+        if (window > 0.0) {
+            throughput =
+                static_cast<double>(done - last_done_) / window;
+        }
+    }
+    last_ns_ = now_ns;
+    last_done_ = done;
+
+    // ETA from the cumulative rolled rate (windowed rates gyrate too
+    // much to steer by); -1 = unknown, matching the repo's "never"
+    // sentinel convention.
+    double eta = -1.0;
+    if (rolled > 0 && elapsed > 0.0 && config_.devices_total >= done) {
+        eta = static_cast<double>(config_.devices_total - done) *
+              elapsed / static_cast<double>(rolled);
+    }
+
+    Json j = Json::object();
+    j.set("schema", "fastmon-heartbeat-v1");
+    j.set("label", config_.label);
+    j.set("state", state);
+    j.set("sequence", sequence_.fetch_add(1, std::memory_order_relaxed));
+    j.set("interval_seconds", config_.interval_seconds);
+    j.set("elapsed_seconds", elapsed);
+    j.set("devices_total", config_.devices_total);
+    j.set("devices_done", done);
+    j.set("devices_resumed", resumed);
+    j.set("devices_rolled", rolled);
+    j.set("grid_points", config_.grid_points);
+    j.set("lane_years_done", lane_years);
+    j.set("lane_years_budget",
+          config_.devices_total * config_.grid_points);
+    j.set("lanes_settled_early", settled);
+    j.set("batches", batches);
+    j.set("throughput_devices_per_sec", throughput);
+    j.set("eta_seconds", eta);
+    j.set("workers", std::move(workers));
+    return j;
+}
+
+bool ProgressReporter::write_snapshot(const std::string& state) {
+    const Json j = snapshot(state);
+    bool ok = true;
+    if (!config_.path.empty()) {
+        ok = atomic_write_file(config_.path, j.dump(1) + '\n');
+        if (!ok) {
+            log_warn() << "progress: failed to write heartbeat "
+                       << config_.path;
+        }
+    }
+    if (config_.stderr_line) {
+        const double done = j.find("devices_done")->as_number();
+        const double total = j.find("devices_total")->as_number();
+        const double rate =
+            j.find("throughput_devices_per_sec")->as_number();
+        const double eta = j.find("eta_seconds")->as_number();
+        const double pct = total > 0.0 ? 100.0 * done / total : 0.0;
+        const bool tty = isatty(fileno(stderr)) != 0;
+        std::fprintf(stderr,
+                     "%scampaign %s: %s, %.0f/%.0f devices (%.1f%%), "
+                     "%.0f dev/s, eta %.1f s%s",
+                     tty ? "\r" : "", config_.label.c_str(),
+                     state.c_str(), done, total, pct, rate, eta,
+                     tty && state == "running" ? "   " : "\n");
+        std::fflush(stderr);
+    }
+    return ok;
+}
+
+void ProgressReporter::start() {
+    const std::lock_guard<std::mutex> lock(sampler_mutex_);
+    if (sampler_.joinable() || stopped_) return;
+    sampler_ = std::thread([this] { sampler_loop(); });
+}
+
+void ProgressReporter::sampler_loop() {
+    std::unique_lock<std::mutex> lock(sampler_mutex_);
+    const auto interval = std::chrono::duration<double>(
+        config_.interval_seconds);
+    while (!stop_requested_) {
+        sampler_cv_.wait_for(lock, interval,
+                             [this] { return stop_requested_; });
+        if (stop_requested_) break;
+        lock.unlock();
+        write_snapshot("running");
+        lock.lock();
+    }
+}
+
+void ProgressReporter::stop(const std::string& final_state) {
+    {
+        const std::lock_guard<std::mutex> lock(sampler_mutex_);
+        if (stopped_) return;
+        stopped_ = true;
+        stop_requested_ = true;
+    }
+    sampler_cv_.notify_all();
+    if (sampler_.joinable()) sampler_.join();
+    write_snapshot(final_state);
+}
+
+}  // namespace fastmon

@@ -1,0 +1,209 @@
+#include "util/sketch.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fastmon {
+
+QuantileSketch::QuantileSketch(double alpha) {
+    if (!std::isfinite(alpha) || alpha <= 0.0 || alpha >= 1.0) {
+        throw std::invalid_argument(
+            "QuantileSketch: alpha must be in (0, 1)");
+    }
+    alpha_ = alpha;
+    gamma_ = (1.0 + alpha) / (1.0 - alpha);
+    inv_log_gamma_ = 1.0 / std::log(gamma_);
+}
+
+std::int32_t QuantileSketch::bucket_index(double magnitude) const {
+    // Bucket i covers (gamma^(i-1), gamma^i]; ceil() puts exact powers
+    // of gamma on their lower bucket so the representative stays within
+    // the alpha band.
+    return static_cast<std::int32_t>(
+        std::ceil(std::log(magnitude) * inv_log_gamma_));
+}
+
+double QuantileSketch::bucket_value(std::int32_t index) const {
+    // Midpoint (harmonic) representative of (gamma^(i-1), gamma^i]:
+    // 2 * gamma^i / (gamma + 1), relative error <= alpha for every
+    // value in the bucket.
+    return 2.0 * std::pow(gamma_, static_cast<double>(index)) /
+           (gamma_ + 1.0);
+}
+
+void QuantileSketch::record(double x, std::uint64_t n) {
+    if (n == 0 || !std::isfinite(x)) return;
+    if (count_ == 0) {
+        min_ = x;
+        max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    count_ += n;
+    sum_ += x * static_cast<double>(n);
+    if (x == 0.0) {
+        zero_count_ += n;
+    } else if (x > 0.0) {
+        positive_[bucket_index(x)] += n;
+    } else {
+        negative_[bucket_index(-x)] += n;
+    }
+}
+
+void QuantileSketch::merge(const QuantileSketch& other) {
+    if (alpha_ != other.alpha_) {
+        throw std::invalid_argument(
+            "QuantileSketch::merge: relative accuracies differ");
+    }
+    if (other.count_ == 0) return;
+    if (count_ == 0) {
+        min_ = other.min_;
+        max_ = other.max_;
+    } else {
+        min_ = std::min(min_, other.min_);
+        max_ = std::max(max_, other.max_);
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+    zero_count_ += other.zero_count_;
+    for (const auto& [index, n] : other.positive_) positive_[index] += n;
+    for (const auto& [index, n] : other.negative_) negative_[index] += n;
+}
+
+double QuantileSketch::quantile(double p) const {
+    if (count_ == 0) return 0.0;
+    if (p <= 0.0) return min_;
+    if (p >= 100.0) return max_;
+    // Target rank in [0, count): the sample a non-interpolating
+    // order-statistic query would return.
+    const auto rank = static_cast<std::uint64_t>(
+        p / 100.0 * static_cast<double>(count_ - 1));
+    std::uint64_t seen = 0;
+    // Ascending value order: negatives from largest |x| bucket down,
+    // then zero, then positives from the smallest bucket up.
+    for (auto it = negative_.rbegin(); it != negative_.rend(); ++it) {
+        seen += it->second;
+        if (seen > rank) {
+            return std::clamp(-bucket_value(it->first), min_, max_);
+        }
+    }
+    seen += zero_count_;
+    if (seen > rank) return std::clamp(0.0, min_, max_);
+    for (const auto& [index, n] : positive_) {
+        seen += n;
+        if (seen > rank) {
+            return std::clamp(bucket_value(index), min_, max_);
+        }
+    }
+    return max_;  // unreachable unless counts desynchronize
+}
+
+void QuantileSketch::reset() {
+    count_ = 0;
+    sum_ = 0.0;
+    min_ = 0.0;
+    max_ = 0.0;
+    zero_count_ = 0;
+    positive_.clear();
+    negative_.clear();
+}
+
+namespace {
+
+Json buckets_to_json(const std::map<std::int32_t, std::uint64_t>& buckets) {
+    // [[index, count], ...] in ascending index order (std::map order),
+    // so serialization is deterministic.
+    Json out = Json::array();
+    for (const auto& [index, n] : buckets) {
+        Json pair = Json::array();
+        pair.push_back(index);
+        pair.push_back(n);
+        out.push_back(std::move(pair));
+    }
+    return out;
+}
+
+bool buckets_from_json(const Json* j,
+                       std::map<std::int32_t, std::uint64_t>& out) {
+    if (j == nullptr || !j->is_array()) return false;
+    for (const Json& pair : j->as_array()) {
+        if (!pair.is_array() || pair.as_array().size() != 2 ||
+            !pair.as_array()[0].is_number() ||
+            !pair.as_array()[1].is_number()) {
+            return false;
+        }
+        const auto index =
+            static_cast<std::int32_t>(pair.as_array()[0].as_number());
+        const auto n =
+            static_cast<std::uint64_t>(pair.as_array()[1].as_number());
+        out[index] += n;
+    }
+    return true;
+}
+
+}  // namespace
+
+Json QuantileSketch::to_json() const {
+    Json j = Json::object();
+    j.set("alpha", alpha_);
+    j.set("count", count_);
+    j.set("sum", sum_);
+    j.set("min", min_);
+    j.set("max", max_);
+    j.set("zero_count", zero_count_);
+    j.set("positive", buckets_to_json(positive_));
+    j.set("negative", buckets_to_json(negative_));
+    return j;
+}
+
+std::optional<QuantileSketch> QuantileSketch::from_json(const Json& j) {
+    if (!j.is_object()) return std::nullopt;
+    const Json* alpha = j.find("alpha");
+    const Json* count = j.find("count");
+    const Json* sum = j.find("sum");
+    const Json* min = j.find("min");
+    const Json* max = j.find("max");
+    const Json* zero = j.find("zero_count");
+    if (!alpha || !alpha->is_number() || !count || !count->is_number() ||
+        !sum || !sum->is_number() || !min || !min->is_number() || !max ||
+        !max->is_number() || !zero || !zero->is_number()) {
+        return std::nullopt;
+    }
+    const double a = alpha->as_number();
+    if (!std::isfinite(a) || a <= 0.0 || a >= 1.0) return std::nullopt;
+    QuantileSketch sketch(a);
+    sketch.count_ = static_cast<std::uint64_t>(count->as_number());
+    sketch.sum_ = sum->as_number();
+    sketch.min_ = min->as_number();
+    sketch.max_ = max->as_number();
+    sketch.zero_count_ = static_cast<std::uint64_t>(zero->as_number());
+    if (!buckets_from_json(j.find("positive"), sketch.positive_) ||
+        !buckets_from_json(j.find("negative"), sketch.negative_)) {
+        return std::nullopt;
+    }
+    return sketch;
+}
+
+Json QuantileSketch::summary() const {
+    Json j = Json::object();
+    j.set("count", count_);
+    j.set("sum", sum_);
+    j.set("min", min());
+    j.set("max", max());
+    j.set("mean", mean());
+    j.set("p50", quantile(50.0));
+    j.set("p90", quantile(90.0));
+    j.set("p99", quantile(99.0));
+    return j;
+}
+
+bool operator==(const QuantileSketch& a, const QuantileSketch& b) {
+    return a.alpha_ == b.alpha_ && a.count_ == b.count_ &&
+           a.sum_ == b.sum_ && a.min_ == b.min_ && a.max_ == b.max_ &&
+           a.zero_count_ == b.zero_count_ && a.positive_ == b.positive_ &&
+           a.negative_ == b.negative_;
+}
+
+}  // namespace fastmon

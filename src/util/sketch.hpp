@@ -1,0 +1,96 @@
+// Mergeable streaming quantile sketch (DDSketch-style).
+//
+// The campaign engine needs distribution summaries (per-device roll
+// latency, first-alert years, failure years) that (a) never drop tail
+// samples the way the old decimating histogram reservoir did, (b) can
+// be merged associatively across worker shards — the aggregate
+// primitive a future `--shard i/N` fleet mode needs — and (c) survive
+// a JSON round trip bit-for-bit so sketches can ride in checkpoints
+// and heartbeat sidecars.
+//
+// The sketch buckets values logarithmically: bucket i covers
+// (gamma^(i-1), gamma^i] with gamma = (1 + alpha) / (1 - alpha), so
+// any quantile estimate carries a relative error of at most `alpha`
+// regardless of how many samples streamed through.  Counts are exact
+// integers, so merge() is associative and commutative on the bucket
+// contents (the tracked `sum` is a double and associative only up to
+// floating-point addition order).  Memory is O(buckets touched):
+// ~log(max/min)/log(gamma) entries, a few thousand even across
+// eighteen decades at the default alpha.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "util/json.hpp"
+
+namespace fastmon {
+
+class QuantileSketch {
+public:
+    /// Default relative accuracy: 0.5 %, tight enough that p50 of a
+    /// 1..100 stream lands within the old exact-histogram tolerances.
+    static constexpr double kDefaultAlpha = 0.005;
+
+    explicit QuantileSketch(double alpha = kDefaultAlpha);
+
+    /// Records `n` occurrences of x.  Non-finite values are ignored
+    /// (the percentile helpers reject NaN the same way); negatives go
+    /// to a mirrored store, zero to a dedicated bucket.
+    void record(double x, std::uint64_t n = 1);
+
+    /// Folds `other` into this sketch.  Associative and commutative on
+    /// counts/min/max (sum is FP-addition-order sensitive).  Throws
+    /// std::invalid_argument when the relative accuracies differ.
+    void merge(const QuantileSketch& other);
+
+    [[nodiscard]] std::uint64_t count() const { return count_; }
+    [[nodiscard]] double sum() const { return sum_; }
+    [[nodiscard]] double min() const { return count_ ? min_ : 0.0; }
+    [[nodiscard]] double max() const { return count_ ? max_ : 0.0; }
+    [[nodiscard]] double mean() const {
+        return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+    }
+    [[nodiscard]] double alpha() const { return alpha_; }
+
+    /// Value at percentile p in [0, 100] with relative error <= alpha
+    /// (clamped to the exact [min, max] envelope; 0 on an empty
+    /// sketch).  p <= 0 returns min, p >= 100 returns max.
+    [[nodiscard]] double quantile(double p) const;
+
+    void reset();
+
+    /// Exact serialization: to_json -> parse -> from_json -> to_json
+    /// is bit-stable, and a deserialized sketch merges/quantiles
+    /// identically to the original.
+    [[nodiscard]] Json to_json() const;
+    static std::optional<QuantileSketch> from_json(const Json& j);
+
+    /// {count, sum, min, max, mean, p50, p90, p99} — the summary shape
+    /// manifests and heartbeat sidecars embed.
+    [[nodiscard]] Json summary() const;
+
+    /// Deep equality on alpha + every bucket + exact stats (doubles
+    /// compare bitwise, matching the JSON round-trip contract).
+    friend bool operator==(const QuantileSketch& a, const QuantileSketch& b);
+
+private:
+    using Buckets = std::map<std::int32_t, std::uint64_t>;
+
+    [[nodiscard]] std::int32_t bucket_index(double magnitude) const;
+    [[nodiscard]] double bucket_value(std::int32_t index) const;
+
+    double alpha_ = kDefaultAlpha;
+    double gamma_ = 0.0;          ///< (1 + alpha) / (1 - alpha)
+    double inv_log_gamma_ = 0.0;  ///< 1 / log(gamma)
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    std::uint64_t zero_count_ = 0;
+    Buckets positive_;  ///< index -> count for x > 0
+    Buckets negative_;  ///< index -> count for |x|, x < 0
+};
+
+}  // namespace fastmon

@@ -195,14 +195,38 @@ TEST(Metrics, HistogramPercentiles) {
     EXPECT_DOUBLE_EQ(h.percentile(100.0), 100.0);
 }
 
-TEST(Metrics, HistogramDecimationKeepsShape) {
+TEST(Metrics, HistogramKeepsShapeAtScale) {
+    // The sketch backend replaced the old decimating reservoir: no
+    // sample is ever dropped, so the shape holds at any stream length
+    // within the same tolerances the reservoir test used.
     Histogram h;
-    const auto n = static_cast<int>(Histogram::kMaxSamples) * 4;
+    const int n = 16384 * 4;
     for (int i = 0; i < n; ++i) h.record(static_cast<double>(i % 1000));
     EXPECT_EQ(h.count(), static_cast<std::uint64_t>(n));
     // Percentiles stay representative of the uniform 0..999 stream.
     EXPECT_NEAR(h.percentile(50.0), 500.0, 60.0);
     EXPECT_NEAR(h.percentile(99.0), 990.0, 15.0);
+}
+
+TEST(Metrics, HistogramMergesWorkerSketches) {
+    // The campaign folds worker-local QuantileSketches into registry
+    // histograms; the merged histogram must match recording the same
+    // stream directly.
+    Histogram direct;
+    QuantileSketch worker_a, worker_b;
+    for (int i = 1; i <= 500; ++i) {
+        direct.record(static_cast<double>(i));
+        (i % 2 == 0 ? worker_a : worker_b)
+            .record(static_cast<double>(i));
+    }
+    Histogram merged;
+    merged.merge(worker_a);
+    merged.merge(worker_b);
+    EXPECT_EQ(merged.count(), direct.count());
+    EXPECT_DOUBLE_EQ(merged.min(), direct.min());
+    EXPECT_DOUBLE_EQ(merged.max(), direct.max());
+    EXPECT_DOUBLE_EQ(merged.percentile(50.0), direct.percentile(50.0));
+    EXPECT_DOUBLE_EQ(merged.percentile(99.0), direct.percentile(99.0));
 }
 
 TEST(Metrics, ConcurrentCountersFromPool) {

@@ -1,0 +1,259 @@
+// Tests of the mergeable streaming quantile sketch: the algebraic
+// properties the campaign telemetry relies on (merge associativity and
+// commutativity on bucket contents), the advertised relative-error
+// bound against exact order statistics, and the bit-stable JSON round
+// trip that lets sketches ride in manifests and heartbeat sidecars.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/json.hpp"
+#include "util/prng.hpp"
+#include "util/sketch.hpp"
+
+namespace fastmon {
+namespace {
+
+// ------------------------------------------------------ basic contract
+
+TEST(QuantileSketch, EmptySketchIsZero) {
+    const QuantileSketch s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.sum(), 0.0);
+    EXPECT_EQ(s.min(), 0.0);
+    EXPECT_EQ(s.max(), 0.0);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.quantile(50.0), 0.0);
+}
+
+TEST(QuantileSketch, SingleSampleIsExactEverywhere) {
+    QuantileSketch s;
+    s.record(4.0);
+    // The log-bucket representative is only alpha-close to 4.0, but the
+    // [min, max] clamp makes a single-sample sketch exact — the same
+    // contract the old exact-reservoir histogram exposed.
+    EXPECT_EQ(s.quantile(0.0), 4.0);
+    EXPECT_EQ(s.quantile(50.0), 4.0);
+    EXPECT_EQ(s.quantile(100.0), 4.0);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_EQ(s.mean(), 4.0);
+}
+
+TEST(QuantileSketch, HandlesNegativesAndZero) {
+    QuantileSketch s;
+    for (const double x : {-10.0, -1.0, 0.0, 1.0, 10.0}) s.record(x);
+    EXPECT_EQ(s.count(), 5u);
+    EXPECT_EQ(s.min(), -10.0);
+    EXPECT_EQ(s.max(), 10.0);
+    // The median of a symmetric set is the zero bucket, exactly.
+    EXPECT_EQ(s.quantile(50.0), 0.0);
+    EXPECT_LT(s.quantile(10.0), 0.0);
+    EXPECT_GT(s.quantile(90.0), 0.0);
+}
+
+TEST(QuantileSketch, IgnoresNonFiniteSamples) {
+    QuantileSketch s;
+    s.record(std::nan(""));
+    s.record(std::numeric_limits<double>::infinity());
+    s.record(-std::numeric_limits<double>::infinity());
+    EXPECT_EQ(s.count(), 0u);
+    s.record(2.0);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_EQ(s.quantile(50.0), 2.0);
+}
+
+TEST(QuantileSketch, WeightedRecordMatchesRepeatedRecord) {
+    QuantileSketch a, b;
+    a.record(3.0, 1000);
+    for (int i = 0; i < 1000; ++i) b.record(3.0);
+    EXPECT_EQ(a, b);
+}
+
+TEST(QuantileSketch, RejectsInvalidAlpha) {
+    EXPECT_THROW(QuantileSketch(0.0), std::invalid_argument);
+    EXPECT_THROW(QuantileSketch(1.0), std::invalid_argument);
+    EXPECT_THROW(QuantileSketch(-0.1), std::invalid_argument);
+}
+
+// -------------------------------------------------- relative error bound
+
+TEST(QuantileSketch, QuantileWithinRelativeErrorOfExact) {
+    // Log-uniform samples across five decades: the regime the
+    // per-device roll-latency sketch actually sees.
+    Prng prng(1234);
+    std::vector<double> samples;
+    QuantileSketch s;
+    for (int i = 0; i < 20000; ++i) {
+        const double x = std::pow(10.0, prng.uniform(-2.0, 3.0));
+        samples.push_back(x);
+        s.record(x);
+    }
+    std::sort(samples.begin(), samples.end());
+    for (const double p : {1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0}) {
+        const double exact = samples[static_cast<std::size_t>(
+            p / 100.0 * static_cast<double>(samples.size() - 1))];
+        const double approx = s.quantile(p);
+        // 2*alpha headroom: alpha for the bucket representative plus
+        // the rank landing one order statistic off in a dense region.
+        EXPECT_NEAR(approx / exact, 1.0, 2.0 * s.alpha())
+            << "p" << p << ": exact " << exact << " approx " << approx;
+    }
+}
+
+TEST(QuantileSketch, MedianOfSmallIntegerStreamIsTight) {
+    // The tolerance the metrics-histogram tests rely on: p50 of 1..100
+    // within the old decimating reservoir's accuracy.
+    QuantileSketch s;
+    for (int i = 1; i <= 100; ++i) s.record(i);
+    EXPECT_NEAR(s.quantile(50.0), 50.5, 1.0);
+    EXPECT_EQ(s.quantile(0.0), 1.0);
+    EXPECT_EQ(s.quantile(100.0), 100.0);
+}
+
+// ------------------------------------------------------- merge algebra
+
+// Merge-associativity tests use exactly-representable values (powers
+// of two times small integers) so even the tracked `sum` double is
+// immune to FP addition order; bucket counts are exact integers and
+// need no such care.
+QuantileSketch make_sketch(std::uint64_t seed, int n) {
+    Prng prng(seed);
+    QuantileSketch s;
+    for (int i = 0; i < n; ++i) {
+        const double mantissa =
+            static_cast<double>(1 + (prng.next_u64() % 8));  // 1..8
+        const int exponent = static_cast<int>(prng.next_u64() % 10) - 4;
+        s.record(std::ldexp(mantissa, exponent));
+    }
+    return s;
+}
+
+TEST(QuantileSketch, MergeIsCommutative) {
+    const QuantileSketch a = make_sketch(1, 500);
+    const QuantileSketch b = make_sketch(2, 700);
+    QuantileSketch ab = a;
+    ab.merge(b);
+    QuantileSketch ba = b;
+    ba.merge(a);
+    EXPECT_EQ(ab, ba);
+}
+
+TEST(QuantileSketch, MergeIsAssociative) {
+    const QuantileSketch a = make_sketch(3, 400);
+    const QuantileSketch b = make_sketch(4, 600);
+    const QuantileSketch c = make_sketch(5, 800);
+    QuantileSketch left = a;   // (a + b) + c
+    left.merge(b);
+    left.merge(c);
+    QuantileSketch bc = b;     // a + (b + c)
+    bc.merge(c);
+    QuantileSketch right = a;
+    right.merge(bc);
+    EXPECT_EQ(left, right);
+}
+
+TEST(QuantileSketch, MergeMatchesSingleStream) {
+    // Sharding a stream then folding the shards must reproduce the
+    // unsharded sketch — the property the per-worker campaign sketches
+    // depend on.
+    QuantileSketch whole;
+    std::vector<QuantileSketch> shards(4);
+    Prng prng(99);
+    for (int i = 0; i < 4000; ++i) {
+        const double x = std::ldexp(
+            static_cast<double>(1 + (prng.next_u64() % 16)),
+            static_cast<int>(prng.next_u64() % 6) - 3);
+        whole.record(x);
+        shards[static_cast<std::size_t>(i) % shards.size()].record(x);
+    }
+    QuantileSketch folded;
+    for (const QuantileSketch& shard : shards) folded.merge(shard);
+    EXPECT_EQ(folded, whole);
+}
+
+TEST(QuantileSketch, MergeRejectsMismatchedAlpha) {
+    QuantileSketch coarse(0.05);
+    const QuantileSketch fine(0.005);
+    EXPECT_THROW(coarse.merge(fine), std::invalid_argument);
+}
+
+TEST(QuantileSketch, MergeEmptyIsIdentity) {
+    const QuantileSketch a = make_sketch(7, 300);
+    QuantileSketch merged = a;
+    merged.merge(QuantileSketch());
+    EXPECT_EQ(merged, a);
+    QuantileSketch empty;
+    empty.merge(a);
+    EXPECT_EQ(empty, a);
+}
+
+// --------------------------------------------------- JSON round trip
+
+TEST(QuantileSketch, JsonRoundTripIsBitStable) {
+    const QuantileSketch original = make_sketch(11, 2000);
+    const std::string dumped = original.to_json().dump();
+
+    std::string err;
+    const auto parsed = Json::parse(dumped, &err);
+    ASSERT_TRUE(parsed.has_value()) << err;
+    const auto restored = QuantileSketch::from_json(*parsed);
+    ASSERT_TRUE(restored.has_value());
+
+    // Bit-stable: dump -> parse -> from_json -> dump is the identical
+    // string, and the restored sketch is deep-equal (doubles bitwise).
+    EXPECT_EQ(restored->to_json().dump(), dumped);
+    EXPECT_EQ(*restored, original);
+    EXPECT_EQ(restored->quantile(50.0), original.quantile(50.0));
+    EXPECT_EQ(restored->quantile(99.0), original.quantile(99.0));
+}
+
+TEST(QuantileSketch, JsonRoundTripPreservesNegativesAndZero) {
+    QuantileSketch original;
+    for (const double x : {-3.5, -0.25, 0.0, 0.0, 1.75, 42.0}) {
+        original.record(x);
+    }
+    const auto restored = QuantileSketch::from_json(original.to_json());
+    ASSERT_TRUE(restored.has_value());
+    EXPECT_EQ(*restored, original);
+}
+
+TEST(QuantileSketch, RestoredSketchMergesLikeTheOriginal) {
+    // A deserialized sketch is a first-class shard: folding it must
+    // equal folding the live original (checkpoint/resume of telemetry).
+    const QuantileSketch a = make_sketch(13, 500);
+    const QuantileSketch b = make_sketch(17, 500);
+    const auto a_restored = QuantileSketch::from_json(a.to_json());
+    ASSERT_TRUE(a_restored.has_value());
+    QuantileSketch live = b;
+    live.merge(a);
+    QuantileSketch thawed = b;
+    thawed.merge(*a_restored);
+    EXPECT_EQ(live, thawed);
+}
+
+TEST(QuantileSketch, FromJsonRejectsGarbage) {
+    EXPECT_FALSE(QuantileSketch::from_json(Json()).has_value());
+    EXPECT_FALSE(QuantileSketch::from_json(Json::array()).has_value());
+    Json j = Json::object();
+    j.set("alpha", -1.0);
+    EXPECT_FALSE(QuantileSketch::from_json(j).has_value());
+}
+
+TEST(QuantileSketch, SummaryCarriesTheManifestShape) {
+    QuantileSketch s;
+    for (int i = 1; i <= 10; ++i) s.record(i);
+    const Json summary = s.summary();
+    for (const char* key :
+         {"count", "sum", "min", "max", "mean", "p50", "p90", "p99"}) {
+        ASSERT_NE(summary.find(key), nullptr) << key;
+        EXPECT_TRUE(summary.find(key)->is_number()) << key;
+    }
+    EXPECT_EQ(summary.find("count")->as_number(), 10.0);
+    EXPECT_EQ(summary.find("min")->as_number(), 1.0);
+    EXPECT_EQ(summary.find("max")->as_number(), 10.0);
+}
+
+}  // namespace
+}  // namespace fastmon

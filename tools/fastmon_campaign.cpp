@@ -69,7 +69,15 @@ void print_usage() {
         "  --out <path>             campaign report JSON (default\n"
         "                           campaign_report.json)\n"
         "  --csv <path>             per-device outcomes CSV (optional)\n"
-        "  --quiet                  suppress the summary tables\n";
+        "  --quiet                  suppress the summary tables\n"
+        "\n"
+        "live telemetry (see also fastmon_status):\n"
+        "  --progress               throttled one-line progress on stderr\n"
+        "  --heartbeat <path>       live heartbeat sidecar, atomically\n"
+        "                           rewritten every FASTMON_HEARTBEAT\n"
+        "                           seconds (default 1); setting the\n"
+        "                           FASTMON_HEARTBEAT env var alone\n"
+        "                           derives <out>.heartbeat.json\n";
 }
 
 struct CliOptions {
@@ -103,6 +111,11 @@ bool parse_args(int argc, char** argv, CliOptions& opt) {
             opt.config.full_sta = true;
         } else if (strcmp(arg, "--quiet") == 0) {
             opt.quiet = true;
+        } else if (strcmp(arg, "--progress") == 0) {
+            opt.config.progress_stderr = true;
+        } else if (strcmp(arg, "--heartbeat") == 0) {
+            if (!(v = need_value(i))) return false;
+            opt.config.heartbeat_path = v;
         } else if (strcmp(arg, "--circuit") == 0) {
             if (!(v = need_value(i))) return false;
             opt.circuit_path = v;
@@ -221,6 +234,22 @@ int main(int argc, char** argv) {
     using namespace fastmon;
     CliOptions opt;
     if (!parse_args(argc, argv, opt)) return 2;
+
+    // FASTMON_HEARTBEAT alone turns the sidecar on, next to the report
+    // (run_campaign reads the env var again for the interval).
+    if (opt.config.heartbeat_path.empty()) {
+        if (const char* env = std::getenv("FASTMON_HEARTBEAT");
+            env != nullptr && std::atof(env) > 0.0) {
+            std::string path = opt.out_path;
+            const std::string suffix = ".json";
+            if (path.size() >= suffix.size() &&
+                path.compare(path.size() - suffix.size(), suffix.size(),
+                             suffix) == 0) {
+                path.resize(path.size() - suffix.size());
+            }
+            opt.config.heartbeat_path = path + ".heartbeat.json";
+        }
+    }
 
     CancelToken::global().install_signal_handlers();
 
