@@ -8,10 +8,13 @@
 #include <mutex>
 #include <optional>
 
+#include <thread>
+
 #include "campaign/checkpoint.hpp"
 #include "monitor/placement.hpp"
 #include "timing/sta_engine.hpp"
 #include "util/cancel.hpp"
+#include "util/fault_inject.hpp"
 #include "util/log.hpp"
 #include "util/metrics.hpp"
 #include "util/progress.hpp"
@@ -102,7 +105,34 @@ std::size_t resolve_batch_width(const CampaignConfig& config) {
     return std::clamp<std::size_t>(width, 1, kBatchWidth);
 }
 
+/// Shard fault-injection poll at device boundaries.  `shard.crash`
+/// simulates a hard process death (no unwinding, no atexit — exactly
+/// what the fleet supervisor must recover from); `shard.hang`
+/// simulates a wedged worker that only SIGKILL gets unstuck.  Both
+/// cost one relaxed load per device when the injector is idle.
+void poll_shard_faults() {
+    FaultInjector& injector = FaultInjector::global();
+    if (injector.trip("shard.crash")) {
+        std::_Exit(70);
+    }
+    if (injector.trip("shard.hang")) {
+        for (;;) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        }
+    }
+}
+
 }  // namespace
+
+std::pair<std::size_t, std::size_t> shard_device_range(
+    std::size_t population, std::size_t index, std::size_t count) {
+    if (count <= 1) return {0, population};
+    if (index >= count) return {population, population};  // empty
+    const auto pop = static_cast<std::uint64_t>(population);
+    const auto begin = static_cast<std::size_t>(pop * index / count);
+    const auto end = static_cast<std::size_t>(pop * (index + 1) / count);
+    return {begin, end};
+}
 
 std::string campaign_canonical(const Netlist& netlist,
                                const CampaignConfig& config) {
@@ -181,6 +211,13 @@ Json CampaignResult::to_json(const CampaignConfig& config) const {
                         : batch_width > 1 ? "batched"
                                           : "incremental");
     run.set("batch_width", batch_width);
+    if (config.shard_count > 1) {
+        run.set("shard_index", config.shard_index);
+        run.set("shard_count", config.shard_count);
+        run.set("range_begin", range_begin);
+        run.set("range_end", range_end);
+    }
+    run.set("devices_expected", devices_expected);
     run.set("devices_completed", devices_completed);
     run.set("devices_resumed", devices_resumed);
     run.set("checkpoints_written", checkpoints_written);
@@ -199,6 +236,14 @@ CampaignResult run_campaign(const Netlist& netlist,
     CampaignResult result;
     result.circuit = netlist.name();
     result.num_gates = netlist.size();
+    // Shard coordinates: this process owns [range_begin, range_end).
+    const auto [range_begin, range_end] = shard_device_range(
+        config.population, config.shard_index,
+        std::max<std::size_t>(config.shard_count, 1));
+    result.range_begin = range_begin;
+    result.range_end = range_end;
+    result.devices_expected = range_end - range_begin;
+    const std::size_t expected = result.devices_expected;
 
     // --- campaign_prepare: design-time artifacts, shared fleet-wide ---
     PhaseStopwatch prepare_sw;
@@ -252,7 +297,7 @@ CampaignResult run_campaign(const Netlist& netlist,
         pc.interval_seconds = resolve_heartbeat_seconds(config);
         pc.stderr_line = config.progress_stderr;
         pc.label = result.circuit;
-        pc.devices_total = config.population;
+        pc.devices_total = expected;
         pc.grid_points = ctx.grid.size();
         reporter = std::make_unique<ProgressReporter>(std::move(pc));
     }
@@ -283,7 +328,14 @@ CampaignResult run_campaign(const Netlist& netlist,
                 st.detail =
                     "checkpoint belongs to a different campaign; fresh start";
             } else {
+                // Trust only outcomes inside this shard's range: a
+                // checkpoint written by a sibling shard shares the
+                // campaign fingerprint, and folding its devices in
+                // here would double-count them at merge time.
                 for (const DeviceOutcome& out : ckpt->outcomes) {
+                    if (out.index < range_begin || out.index >= range_end) {
+                        continue;
+                    }
                     slots[out.index] = out;
                     ++result.devices_resumed;
                 }
@@ -335,6 +387,7 @@ CampaignResult run_campaign(const Netlist& netlist,
                 static_cast<std::uint64_t>(ctx.grid.size());
             for (std::size_t i = begin; i < end; ++i) {
                 if (token.cancelled()) break;   // device-boundary poll
+                poll_shard_faults();
                 if (slots[i]) continue;         // resumed from checkpoint
                 const std::uint64_t t0 = telemetry_now_ns();
                 const DeviceSample sample = [&] {
@@ -440,6 +493,7 @@ CampaignResult run_campaign(const Netlist& netlist,
                 const TraceSpan pop("campaign_population", "campaign");
                 for (; i < end && indices.size() < batch_width; ++i) {
                     if (token.cancelled()) return;  // device-boundary poll
+                    poll_shard_faults();
                     if (slots[i]) continue;  // resumed from checkpoint
                     samples.push_back(sample_device(
                         config.model, config.seed,
@@ -501,14 +555,12 @@ CampaignResult run_campaign(const Netlist& netlist,
 
         const std::size_t block =
             config.checkpoint_path.empty()
-                ? std::max<std::size_t>(config.population, 1)
+                ? std::max<std::size_t>(expected, 1)
                 : std::max<std::size_t>(config.checkpoint_every, 1);
         try {
-            for (std::size_t begin = 0;
-                 begin < config.population && !token.cancelled();
-                 begin += block) {
-                const std::size_t end =
-                    std::min(config.population, begin + block);
+            for (std::size_t begin = range_begin;
+                 begin < range_end && !token.cancelled(); begin += block) {
+                const std::size_t end = std::min(range_end, begin + block);
                 if (pool) {
                     pool->parallel_chunks(
                         end - begin, 0, [&](std::size_t b, std::size_t e) {
@@ -517,7 +569,7 @@ CampaignResult run_campaign(const Netlist& netlist,
                 } else {
                     roll_range(begin, end);
                 }
-                if (end < config.population || token.cancelled()) {
+                if (end < range_end || token.cancelled()) {
                     save_snapshot();
                 }
             }
@@ -539,15 +591,14 @@ CampaignResult run_campaign(const Netlist& netlist,
             result.status.cancel_cause = token.cause();
             st.outcome = PhaseOutcome::Degraded;
             st.detail = "cancelled after " + std::to_string(completed) +
-                        " of " + std::to_string(config.population) +
-                        " devices";
+                        " of " + std::to_string(expected) + " devices";
         }
         if (reporter) {
             // The final heartbeat carries the honest terminal state and
             // the same device count the exported report will show.
-            reporter->stop(token.cancelled() ? "cancelled"
-                           : completed < config.population ? "degraded"
-                                                           : "finished");
+            reporter->stop(token.cancelled()          ? "cancelled"
+                           : completed < expected ? "degraded"
+                                                  : "finished");
         }
         result.phases.push_back(sw.elapsed("campaign_rollout"));
         result.status.phases.push_back(std::move(st));
@@ -583,11 +634,11 @@ CampaignResult run_campaign(const Netlist& netlist,
         }
         result.aggregate = aggregate_outcomes(result.outcomes,
                                               config.aggregate);
-        if (result.devices_completed < config.population) {
+        if (result.devices_completed < expected) {
             st.outcome = PhaseOutcome::Degraded;
             st.detail = "aggregate over " +
                         std::to_string(result.devices_completed) + " of " +
-                        std::to_string(config.population) + " devices";
+                        std::to_string(expected) + " devices";
         }
         result.phases.push_back(sw.elapsed("campaign_aggregate"));
         result.status.phases.push_back(std::move(st));

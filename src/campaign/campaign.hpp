@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "campaign/aggregate.hpp"
@@ -85,7 +86,22 @@ struct CampaignConfig {
     double heartbeat_seconds = 0.0;
     /// Mirror each heartbeat as a throttled one-line stderr report.
     bool progress_stderr = false;
+    /// Shard coordinates for multi-process fleet execution: this run
+    /// rolls only the devices in shard_device_range(population,
+    /// shard_index, shard_count).  shard_count <= 1 means unsharded.
+    /// Deliberately NOT part of the campaign fingerprint or canonical
+    /// string: every shard of one campaign (and the unsharded run)
+    /// shares the fingerprint, which is exactly what lets the merge
+    /// tool verify that shard artifacts belong together.
+    std::size_t shard_index = 0;
+    std::size_t shard_count = 1;
 };
+
+/// Contiguous device range [begin, end) owned by shard `index` of
+/// `count` over `population` devices.  Ranges partition [0, population)
+/// exactly (sizes differ by at most one device).
+[[nodiscard]] std::pair<std::size_t, std::size_t> shard_device_range(
+    std::size_t population, std::size_t index, std::size_t count);
 
 struct CampaignResult {
     std::string circuit;
@@ -98,6 +114,12 @@ struct CampaignResult {
     CampaignAggregate aggregate;
     std::size_t devices_completed = 0;
     std::size_t devices_resumed = 0;   ///< trusted from the checkpoint
+    /// Device range this run was responsible for ([0, population) when
+    /// unsharded) and its size; devices_completed == devices_expected
+    /// on an uncancelled run.
+    std::size_t range_begin = 0;
+    std::size_t range_end = 0;
+    std::size_t devices_expected = 0;
     std::size_t checkpoints_written = 0;
     /// Resolved lanes per batched pass this run (1 = scalar engine).
     std::size_t batch_width = 1;

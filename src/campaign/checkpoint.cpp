@@ -5,13 +5,10 @@
 #include <sstream>
 
 #include "util/atomic_file.hpp"
+#include "util/diagnostic.hpp"
 
 namespace fastmon {
 
-namespace {
-
-/// Fingerprints are 64-bit; JSON numbers are doubles, so the value is
-/// stored as a hex string to survive the round trip losslessly.
 std::string fingerprint_hex(std::uint64_t fp) {
     char buf[24];
     std::snprintf(buf, sizeof buf, "%016llx",
@@ -19,7 +16,7 @@ std::string fingerprint_hex(std::uint64_t fp) {
     return buf;
 }
 
-std::optional<std::uint64_t> parse_fingerprint(const std::string& hex) {
+std::optional<std::uint64_t> parse_fingerprint_hex(std::string_view hex) {
     if (hex.size() != 16) return std::nullopt;
     std::uint64_t value = 0;
     for (char c : hex) {
@@ -35,8 +32,6 @@ std::optional<std::uint64_t> parse_fingerprint(const std::string& hex) {
     return value;
 }
 
-}  // namespace
-
 std::uint64_t checkpoint_fingerprint(std::string_view canonical) {
     std::uint64_t hash = 0xCBF29CE484222325ULL;
     for (const char c : canonical) {
@@ -48,38 +43,71 @@ std::uint64_t checkpoint_fingerprint(std::string_view canonical) {
 
 Json CampaignCheckpoint::to_json() const {
     Json j = Json::object();
-    j.set("format", 1);
+    j.set("format", 2);
     j.set("fingerprint", fingerprint_hex(fingerprint));
     j.set("population", population);
     Json out = Json::array();
     for (const DeviceOutcome& o : outcomes) out.push_back(o.to_json());
+    // The checksum binds the device payload itself; the fingerprint
+    // above only binds the campaign *configuration*.  A torn write or
+    // a flipped bit inside an outcome changes the compact dump of the
+    // array and is caught on load.
+    j.set("checksum",
+          fingerprint_hex(checkpoint_fingerprint(out.dump(0))));
     j.set("outcomes", std::move(out));
     return j;
 }
 
-std::optional<CampaignCheckpoint> CampaignCheckpoint::from_json(const Json& j) {
-    if (!j.is_object()) return std::nullopt;
+std::optional<CampaignCheckpoint> CampaignCheckpoint::from_json(
+    const Json& j, std::string* error) {
+    const auto reject = [&](const char* why) {
+        if (error) *error = why;
+        return std::nullopt;
+    };
+    if (!j.is_object()) return reject("checkpoint is not a JSON object");
     const Json* format = j.find("format");
     const Json* fingerprint = j.find("fingerprint");
     const Json* population = j.find("population");
+    const Json* checksum = j.find("checksum");
     const Json* outcomes = j.find("outcomes");
-    if (!format || !format->is_number() || format->as_number() != 1.0 ||
-        !fingerprint || !fingerprint->is_string() || !population ||
-        !population->is_number() || !outcomes || !outcomes->is_array()) {
-        return std::nullopt;
+    if (!format || !format->is_number()) {
+        return reject("checkpoint has no format field");
     }
-    const auto fp = parse_fingerprint(fingerprint->as_string());
-    if (!fp) return std::nullopt;
+    if (format->as_number() != 2.0) {
+        return reject("unsupported checkpoint format (expected 2)");
+    }
+    if (!fingerprint || !fingerprint->is_string() || !population ||
+        !population->is_number() || !outcomes || !outcomes->is_array()) {
+        return reject("checkpoint has an invalid structure");
+    }
+    if (!checksum || !checksum->is_string()) {
+        return reject("checkpoint has no payload checksum");
+    }
+    // Recompute over the re-serialized payload: the JSON dump is a
+    // deterministic function of the parsed values (numbers print the
+    // same %.17g both times), so any corruption that survived the
+    // parse still changes the digest.
+    const auto stored = parse_fingerprint_hex(checksum->as_string());
+    if (!stored ||
+        *stored != checkpoint_fingerprint(outcomes->dump(0))) {
+        return reject(
+            "checkpoint payload checksum mismatch (torn or corrupt)");
+    }
+    const auto fp = parse_fingerprint_hex(fingerprint->as_string());
+    if (!fp) return reject("checkpoint fingerprint is malformed");
     CampaignCheckpoint ckpt;
     ckpt.fingerprint = *fp;
     ckpt.population = static_cast<std::uint64_t>(population->as_number());
     std::uint32_t prev_index = 0;
     for (const Json& o : outcomes->as_array()) {
         auto outcome = DeviceOutcome::from_json(o);
-        if (!outcome) return std::nullopt;
-        if (outcome->index >= ckpt.population) return std::nullopt;
+        if (!outcome) return reject("checkpoint has a malformed outcome");
+        if (outcome->index >= ckpt.population) {
+            return reject("checkpoint outcome index out of range");
+        }
         if (!ckpt.outcomes.empty() && outcome->index <= prev_index) {
-            return std::nullopt;  // must be strictly ascending
+            // Must be strictly ascending.
+            return reject("checkpoint outcomes are not strictly ascending");
         }
         prev_index = outcome->index;
         ckpt.outcomes.push_back(std::move(*outcome));
@@ -101,11 +129,20 @@ std::optional<CampaignCheckpoint> load_checkpoint(const std::string& path,
     std::string parse_error;
     const auto j = Json::parse(buffer.str(), &parse_error);
     if (!j) {
-        if (error) *error = "checkpoint is not valid JSON: " + parse_error;
+        if (error) {
+            *error = Diagnostic("checkpoint", path, 0, 0,
+                                "checkpoint is not valid JSON: " +
+                                    parse_error,
+                                "")
+                         .what();
+        }
         return std::nullopt;
     }
-    auto ckpt = CampaignCheckpoint::from_json(*j);
-    if (!ckpt && error) *error = "checkpoint has an invalid structure";
+    std::string why;
+    auto ckpt = CampaignCheckpoint::from_json(*j, &why);
+    if (!ckpt && error) {
+        *error = Diagnostic("checkpoint", path, 0, 0, why, "").what();
+    }
     return ckpt;
 }
 

@@ -2,13 +2,16 @@
 //
 // Every N devices the engine atomically rewrites a JSON snapshot of
 // the outcomes computed so far, stamped with a fingerprint of the
-// campaign inputs (circuit, population, seed, sampling model, grid).
-// A campaign killed by SIGINT or a deadline resumes from the snapshot:
+// campaign inputs (circuit, population, seed, sampling model, grid)
+// AND a content checksum over the canonical device payload.  A
+// campaign killed by SIGINT or a deadline resumes from the snapshot:
 // completed devices are trusted verbatim, the rest are recomputed from
 // their per-device streams — so the resumed aggregate is bit-identical
 // to an uninterrupted run.  A fingerprint mismatch (different circuit,
 // seed, or model) rejects the snapshot instead of silently mixing two
-// campaigns.
+// campaigns; a checksum mismatch (torn write, bit rot, hand edit)
+// rejects it instead of silently trusting damaged outcomes — both
+// degrade to an honest fresh start, never a crash.
 #pragma once
 
 #include <cstdint>
@@ -27,12 +30,27 @@ struct CampaignCheckpoint {
     /// Completed outcomes, ascending device index (any subset).
     std::vector<DeviceOutcome> outcomes;
 
+    /// Format 2: {format, fingerprint, population, checksum, outcomes}
+    /// where `checksum` is the FNV-1a of the compact serialization of
+    /// the outcomes array — the canonical device payload.
     [[nodiscard]] Json to_json() const;
-    static std::optional<CampaignCheckpoint> from_json(const Json& j);
+    /// std::nullopt on structural damage, a missing/mismatched
+    /// checksum, or an unknown format; `error` (when given) receives
+    /// the specific reason.
+    static std::optional<CampaignCheckpoint> from_json(
+        const Json& j, std::string* error = nullptr);
 };
 
 /// FNV-1a over a canonical description string; the campaign fingerprint.
 [[nodiscard]] std::uint64_t checkpoint_fingerprint(std::string_view canonical);
+
+/// 16-hex-digit rendering of a fingerprint/checksum (JSON numbers are
+/// doubles; 64-bit values ride as strings to survive the round trip).
+[[nodiscard]] std::string fingerprint_hex(std::uint64_t fp);
+/// Inverse of fingerprint_hex; std::nullopt unless exactly 16
+/// lower-case hex digits.
+[[nodiscard]] std::optional<std::uint64_t> parse_fingerprint_hex(
+    std::string_view hex);
 
 /// Atomically writes the checkpoint (temp file + rename); false on I/O
 /// failure.

@@ -16,6 +16,12 @@
 //   pool.task                    -> exception from inside a pool task
 //   cancel.<phase>               -> cancellation request at phase entry
 //   cancel.fault_sim_mid         -> cancellation mid fault-simulation
+//   shard.crash                  -> hard process exit (code 70) at a
+//                                   campaign device boundary
+//   shard.hang                   -> infinite stall at a device boundary
+//                                   (the supervisor must detect + kill)
+//   shard.corrupt_artifact       -> one flipped digit in the shard
+//                                   artifact (checksum must catch it)
 //
 // `fire()` throws InjectedFault at the armed hit; `trip()` reports the
 // hit without throwing, for points that model state (e.g. budget

@@ -1,0 +1,61 @@
+#include "util/file_lock.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
+namespace fastmon {
+
+FileLock& FileLock::operator=(FileLock&& other) noexcept {
+    if (this != &other) {
+        if (fd_ >= 0) ::close(fd_);
+        fd_ = other.fd_;
+        other.fd_ = -1;
+    }
+    return *this;
+}
+
+FileLock::~FileLock() {
+    // close() drops the flock held through this descriptor.
+    if (fd_ >= 0) ::close(fd_);
+}
+
+std::optional<FileLock> FileLock::acquire(const std::string& path,
+                                          bool block, std::string* error) {
+    const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+    if (fd < 0) {
+        if (error) {
+            *error = "cannot open lock file " + path + ": " +
+                     std::strerror(errno);
+        }
+        return std::nullopt;
+    }
+    int flags = LOCK_EX;
+    if (!block) flags |= LOCK_NB;
+    while (::flock(fd, flags) != 0) {
+        if (errno == EINTR) continue;
+        if (error) {
+            *error = (!block && errno == EWOULDBLOCK)
+                         ? "lock on " + path + " held elsewhere"
+                         : "flock " + path + ": " + std::strerror(errno);
+        }
+        ::close(fd);
+        return std::nullopt;
+    }
+    return FileLock(fd);
+}
+
+std::optional<FileLock> FileLock::exclusive(const std::string& path,
+                                            std::string* error) {
+    return acquire(path, /*block=*/true, error);
+}
+
+std::optional<FileLock> FileLock::try_exclusive(const std::string& path,
+                                                std::string* error) {
+    return acquire(path, /*block=*/false, error);
+}
+
+}  // namespace fastmon

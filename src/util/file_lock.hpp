@@ -1,0 +1,45 @@
+// Advisory exclusive file locking (flock).
+//
+// The bench-history ledger is a read-check-append file: two concurrent
+// bench runs interleaving their appends would corrupt the JSONL stream
+// that every future regression gate depends on.  FileLock wraps
+// flock(2) in an RAII type — the lock is released when the object is
+// destroyed (or the process dies, which is what makes flock the right
+// primitive: a crashed holder can never wedge the ledger).  Locks are
+// advisory: every writer must take one, readers of atomically-renamed
+// artifacts need none.
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace fastmon {
+
+class FileLock {
+public:
+    /// Blocks until the exclusive lock on `path` is held (the file is
+    /// created if missing).  std::nullopt (and a reason in `error`)
+    /// when the lock file cannot be opened.
+    static std::optional<FileLock> exclusive(const std::string& path,
+                                             std::string* error = nullptr);
+
+    /// Non-blocking variant: std::nullopt when another holder has the
+    /// lock (error, when given, then says "held elsewhere").
+    static std::optional<FileLock> try_exclusive(
+        const std::string& path, std::string* error = nullptr);
+
+    FileLock(FileLock&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+    FileLock& operator=(FileLock&& other) noexcept;
+    FileLock(const FileLock&) = delete;
+    FileLock& operator=(const FileLock&) = delete;
+    ~FileLock();
+
+private:
+    explicit FileLock(int fd) : fd_(fd) {}
+    static std::optional<FileLock> acquire(const std::string& path,
+                                           bool block, std::string* error);
+
+    int fd_ = -1;
+};
+
+}  // namespace fastmon

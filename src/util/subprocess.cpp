@@ -1,0 +1,126 @@
+#include "util/subprocess.hpp"
+
+#include <cerrno>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace fastmon {
+
+namespace {
+
+/// waitpid status -> shell-style exit code (128 + N for signal N).
+int encode_status(int raw) {
+    if (WIFEXITED(raw)) return WEXITSTATUS(raw);
+    if (WIFSIGNALED(raw)) return 128 + WTERMSIG(raw);
+    return 128;  // stopped/continued never reach here (no WUNTRACED)
+}
+
+}  // namespace
+
+Subprocess::Subprocess(Subprocess&& other) noexcept
+    : pid_(other.pid_), status_(other.status_) {
+    other.pid_ = -1;
+    other.status_ = 0;  // moved-from: nothing left to reap
+}
+
+Subprocess& Subprocess::operator=(Subprocess&& other) noexcept {
+    if (this != &other) {
+        if (pid_ > 0 && !status_) {
+            ::kill(pid_, SIGKILL);
+            int raw = 0;
+            (void)::waitpid(pid_, &raw, 0);
+        }
+        pid_ = other.pid_;
+        status_ = other.status_;
+        other.pid_ = -1;
+        other.status_ = 0;
+    }
+    return *this;
+}
+
+Subprocess::~Subprocess() {
+    if (pid_ > 0 && !status_) {
+        ::kill(pid_, SIGKILL);
+        int raw = 0;
+        (void)::waitpid(pid_, &raw, 0);
+    }
+}
+
+std::optional<Subprocess> Subprocess::spawn(
+    const std::vector<std::string>& argv, const SpawnOptions& options,
+    std::string* error) {
+    if (argv.empty()) {
+        if (error) *error = "empty argv";
+        return std::nullopt;
+    }
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+        if (error) *error = std::string("fork: ") + std::strerror(errno);
+        return std::nullopt;
+    }
+    if (pid == 0) {
+        // Child.  Only async-signal-unsafe work that cannot corrupt the
+        // parent happens here (we exec or _exit immediately after).
+        for (const auto& [key, value] : options.env) {
+            ::setenv(key.c_str(), value.c_str(), /*overwrite=*/1);
+        }
+        if (!options.output_path.empty()) {
+            const int fd = ::open(options.output_path.c_str(),
+                                  O_WRONLY | O_CREAT | O_APPEND, 0644);
+            if (fd >= 0) {
+                ::dup2(fd, STDOUT_FILENO);
+                ::dup2(fd, STDERR_FILENO);
+                if (fd > STDERR_FILENO) ::close(fd);
+            }
+        }
+        std::vector<char*> cargv;
+        cargv.reserve(argv.size() + 1);
+        for (const std::string& a : argv) {
+            cargv.push_back(const_cast<char*>(a.c_str()));
+        }
+        cargv.push_back(nullptr);
+        ::execvp(cargv[0], cargv.data());
+        ::_exit(127);  // exec failed; 127 is the shell convention
+    }
+    Subprocess proc;
+    proc.pid_ = pid;
+    return proc;
+}
+
+std::optional<int> Subprocess::poll() {
+    if (status_) return status_;
+    if (pid_ <= 0) return status_;
+    int raw = 0;
+    const pid_t r = ::waitpid(pid_, &raw, WNOHANG);
+    if (r == pid_) {
+        status_ = encode_status(raw);
+    } else if (r < 0 && errno == ECHILD) {
+        status_ = 128;  // reaped elsewhere; treat as abnormal
+    }
+    return status_;
+}
+
+int Subprocess::exit_code() {
+    if (status_) return *status_;
+    int raw = 0;
+    while (::waitpid(pid_, &raw, 0) < 0) {
+        if (errno != EINTR) {
+            status_ = 128;
+            return *status_;
+        }
+    }
+    status_ = encode_status(raw);
+    return *status_;
+}
+
+bool Subprocess::kill(int sig) {
+    if (status_ || pid_ <= 0) return false;
+    return ::kill(pid_, sig) == 0;
+}
+
+}  // namespace fastmon

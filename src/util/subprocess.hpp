@@ -1,0 +1,71 @@
+// Minimal POSIX subprocess control for the fleet supervisor.
+//
+// The fleet campaign service launches shard workers as real processes
+// (so a crashed or SIGKILL'd shard cannot take the supervisor down)
+// and needs exactly three capabilities: spawn with per-child
+// environment overrides, non-blocking liveness polls, and a kill
+// switch for hung workers.  This wraps fork/execvp/waitpid behind a
+// value type; it deliberately does not do pipes or ptys — shard
+// workers communicate through crash-safe artifact files, never stdout.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <sys/types.h>
+
+namespace fastmon {
+
+struct SpawnOptions {
+    /// Environment overrides added on top of the inherited environ
+    /// (e.g. {"FASTMON_FAULT_INJECT", "shard.crash@10"}).
+    std::vector<std::pair<std::string, std::string>> env;
+    /// When non-empty, the child's stdout AND stderr are appended to
+    /// this file (the supervisor keeps one log per shard attempt).
+    std::string output_path;
+};
+
+/// One spawned child process.  Movable, not copyable; the destructor
+/// reaps a still-running child (SIGKILL + wait) so the supervisor's
+/// error paths can never leak zombies.
+class Subprocess {
+public:
+    Subprocess(Subprocess&& other) noexcept;
+    Subprocess& operator=(Subprocess&& other) noexcept;
+    Subprocess(const Subprocess&) = delete;
+    Subprocess& operator=(const Subprocess&) = delete;
+    ~Subprocess();
+
+    /// Forks and execvp's argv[0] with the given arguments.  Returns
+    /// std::nullopt (and a reason in `error`) when the fork fails; an
+    /// exec failure inside the child surfaces as exit code 127.
+    static std::optional<Subprocess> spawn(
+        const std::vector<std::string>& argv,
+        const SpawnOptions& options = {}, std::string* error = nullptr);
+
+    [[nodiscard]] pid_t pid() const { return pid_; }
+
+    /// Non-blocking: std::nullopt while the child runs, otherwise the
+    /// shell-style status (exit code, or 128 + signal number when the
+    /// child died on a signal).  Idempotent after the child is reaped.
+    std::optional<int> poll();
+
+    /// Blocks until the child exits; returns the same encoding.
+    int exit_code();
+
+    /// Sends `sig` (default SIGKILL).  False when the child is already
+    /// reaped.  The caller still polls/waits to reap.
+    bool kill(int sig = 9);
+
+    [[nodiscard]] bool running() { return !poll().has_value(); }
+
+private:
+    Subprocess() = default;
+
+    pid_t pid_ = -1;
+    std::optional<int> status_;  ///< cached once reaped
+};
+
+}  // namespace fastmon

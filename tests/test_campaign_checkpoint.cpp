@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
 
@@ -94,9 +95,44 @@ TEST_F(CheckpointTest, RejectsCorruptAndInvalidSnapshots) {
     ckpt.outcomes = {make_outcome(1), make_outcome(9)};  // out of range
     EXPECT_FALSE(CampaignCheckpoint::from_json(ckpt.to_json()).has_value());
 
+    ckpt.outcomes = {make_outcome(1), make_outcome(2)};  // valid again
     Json bad_format = ckpt.to_json();
-    bad_format.set("format", 2);
-    EXPECT_FALSE(CampaignCheckpoint::from_json(bad_format).has_value());
+    bad_format.set("format", 3);  // from the future
+    std::string why;
+    EXPECT_FALSE(
+        CampaignCheckpoint::from_json(bad_format, &why).has_value());
+    EXPECT_NE(why.find("format"), std::string::npos) << why;
+}
+
+TEST_F(CheckpointTest, ChecksumRejectsATamperedOutcome) {
+    CampaignCheckpoint ckpt;
+    ckpt.fingerprint = checkpoint_fingerprint("campaign");
+    ckpt.population = 5;
+    ckpt.outcomes = {make_outcome(1), make_outcome(2)};
+    Json doc = ckpt.to_json();
+    ASSERT_TRUE(CampaignCheckpoint::from_json(doc).has_value());
+
+    // Flip one trusted value without touching the stored checksum —
+    // the canonical-payload recomputation must notice.
+    Json outcomes = *doc.find("outcomes");
+    outcomes.as_array()[0].set("failure_years", 99.0);
+    doc.set("outcomes", std::move(outcomes));
+    std::string error;
+    EXPECT_FALSE(CampaignCheckpoint::from_json(doc, &error).has_value());
+    EXPECT_NE(error.find("checksum"), std::string::npos) << error;
+
+    // A checkpoint missing its checksum entirely is also rejected
+    // (pre-checksum snapshots are not silently trusted).
+    Json stripped = ckpt.to_json();
+    JsonObject& obj = stripped.as_object();
+    obj.erase(std::remove_if(obj.begin(), obj.end(),
+                             [](const auto& kv) {
+                                 return kv.first == "checksum";
+                             }),
+              obj.end());
+    error.clear();
+    EXPECT_FALSE(
+        CampaignCheckpoint::from_json(stripped, &error).has_value());
 }
 
 TEST(CheckpointFingerprint, SensitiveToEveryConfigKnob) {
@@ -228,6 +264,50 @@ TEST_F(ResumeFixture, MismatchedFingerprintFallsBackToFreshStart) {
     plain.resume = false;
     const CampaignResult reference = run_campaign(nl, plain);
     EXPECT_EQ(result.outcomes, reference.outcomes);
+}
+
+TEST_F(ResumeFixture, CorruptedSnapshotOnDiskFallsBackToFreshStart) {
+    // A full checkpointed run, then flip one digit inside the snapshot
+    // on disk — still valid JSON, so only the payload checksum can
+    // catch it.
+    CampaignConfig ckpt_config = config(path("bitrot.json"));
+    (void)run_campaign(nl, ckpt_config);
+    {
+        std::ifstream is(path("bitrot.json"), std::ios::binary);
+        std::string text((std::istreambuf_iterator<char>(is)),
+                         std::istreambuf_iterator<char>());
+        is.close();
+        const std::size_t at = text.find("\"outcomes\"");
+        ASSERT_NE(at, std::string::npos);
+        for (std::size_t i = at; i < text.size(); ++i) {
+            if (text[i] >= '1' && text[i] <= '8') {
+                ++text[i];
+                break;
+            }
+        }
+        std::ofstream(path("bitrot.json"), std::ios::binary) << text;
+    }
+
+    CampaignConfig resumed_config = ckpt_config;
+    resumed_config.resume = true;
+    const CampaignResult result = run_campaign(nl, resumed_config);
+
+    // Honest degradation: nothing resumed, the reason names the
+    // checksum, and the fresh run converges to the reference.
+    EXPECT_EQ(result.devices_resumed, 0u);
+    EXPECT_EQ(result.devices_completed, resumed_config.population);
+    const PhaseStatus* resume_phase = result.status.find("campaign_resume");
+    ASSERT_NE(resume_phase, nullptr);
+    EXPECT_EQ(resume_phase->outcome, PhaseOutcome::Degraded);
+    EXPECT_NE(resume_phase->detail.find("checksum"), std::string::npos)
+        << resume_phase->detail;
+    EXPECT_NE(resume_phase->detail.find("fresh start"), std::string::npos);
+
+    CampaignConfig plain = config("");
+    const CampaignResult reference = run_campaign(nl, plain);
+    EXPECT_EQ(result.outcomes, reference.outcomes);
+    EXPECT_EQ(result.to_json(resumed_config).find("aggregate")->dump(2),
+              reference.to_json(plain).find("aggregate")->dump(2));
 }
 
 }  // namespace

@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "util/file_lock.hpp"
 #include "util/json.hpp"
 
 namespace {
@@ -220,6 +221,16 @@ bool parse_args(int argc, char** argv, Options& opt) {
 
 int run_append(const Options& opt) {
     std::string error;
+    // Exclusive ledger lock: two concurrent bench runs must not
+    // interleave their read-check-append cycles (flock is advisory and
+    // auto-released if the holder crashes, so a dead run never wedges
+    // the ledger).
+    const auto lock =
+        fastmon::FileLock::exclusive(opt.history + ".lock", &error);
+    if (!lock) {
+        std::cerr << "error: " << error << "\n";
+        return 2;
+    }
     const std::optional<DemoPerf> perf = read_demo_perf(opt.artifact, error);
     if (!perf) {
         std::cerr << "error: " << error << "\n";
@@ -246,6 +257,14 @@ int run_append(const Options& opt) {
 
 int run_check(const Options& opt) {
     std::string error;
+    // Same lock as append: a check racing another run's append must see
+    // either the full new line or none of it, never a partial write.
+    const auto lock =
+        fastmon::FileLock::exclusive(opt.history + ".lock", &error);
+    if (!lock) {
+        std::cerr << "error: " << error << "\n";
+        return 2;
+    }
     const std::optional<DemoPerf> perf = read_demo_perf(opt.artifact, error);
     if (!perf) {
         std::cerr << "error: " << error << "\n";

@@ -20,6 +20,7 @@
 #include <string>
 
 #include "campaign/campaign.hpp"
+#include "campaign/shard.hpp"
 #include "netlist/bench_io.hpp"
 #include "netlist/generator.hpp"
 #include "netlist/iscas_data.hpp"
@@ -65,6 +66,15 @@ void print_usage() {
         "                           reference engine; identical report\n"
         "                           blocks at every width)\n"
         "\n"
+        "fleet sharding (see also fastmon_fleet / fastmon_merge):\n"
+        "  --shard <i>/<n>          roll only shard i of n (0-based); the\n"
+        "                           merged shard artifacts are bit-identical\n"
+        "                           to the unsharded campaign\n"
+        "  --shard-out <path>       mergeable shard artifact (default\n"
+        "                           <out-stem>.shard.json when sharded;\n"
+        "                           also usable without --shard to emit a\n"
+        "                           1-shard artifact)\n"
+        "\n"
         "output:\n"
         "  --out <path>             campaign report JSON (default\n"
         "                           campaign_report.json)\n"
@@ -86,9 +96,24 @@ struct CliOptions {
     double scale = 1.0;
     std::string out_path = "campaign_report.json";
     std::string csv_path;
+    std::string shard_out_path;
     bool quiet = false;
     fastmon::CampaignConfig config;
 };
+
+/// Parses "--shard i/n" ("2/4"); false on anything else.
+bool parse_shard_spec(const char* text, fastmon::CampaignConfig& config) {
+    const char* slash = std::strchr(text, '/');
+    if (!slash || slash == text || *(slash + 1) == '\0') return false;
+    char* end = nullptr;
+    const long long index = std::strtoll(text, &end, 10);
+    if (end != slash || index < 0) return false;
+    const long long count = std::strtoll(slash + 1, &end, 10);
+    if (*end != '\0' || count <= 0 || index >= count) return false;
+    config.shard_index = static_cast<std::size_t>(index);
+    config.shard_count = static_cast<std::size_t>(count);
+    return true;
+}
 
 bool parse_args(int argc, char** argv, CliOptions& opt) {
     using std::strcmp;
@@ -165,6 +190,15 @@ bool parse_args(int argc, char** argv, CliOptions& opt) {
             if (!(v = need_value(i))) return false;
             opt.config.checkpoint_every =
                 static_cast<std::size_t>(std::atoll(v));
+        } else if (strcmp(arg, "--shard") == 0) {
+            if (!(v = need_value(i))) return false;
+            if (!parse_shard_spec(v, opt.config)) {
+                std::cerr << "error: --shard expects i/n with 0 <= i < n\n";
+                return false;
+            }
+        } else if (strcmp(arg, "--shard-out") == 0) {
+            if (!(v = need_value(i))) return false;
+            opt.shard_out_path = v;
         } else if (strcmp(arg, "--out") == 0) {
             if (!(v = need_value(i))) return false;
             opt.out_path = v;
@@ -275,6 +309,28 @@ int main(int argc, char** argv) {
         !atomic_write_file(opt.csv_path, outcomes_csv(result.outcomes))) {
         std::cerr << "error: cannot write " << opt.csv_path << "\n";
         return 1;
+    }
+
+    // Mergeable shard artifact: always when sharded, on request for an
+    // unsharded run (a 1-shard artifact merges to the same report).
+    if (opt.config.shard_count > 1 || !opt.shard_out_path.empty()) {
+        std::string shard_path = opt.shard_out_path;
+        if (shard_path.empty()) {
+            shard_path = opt.out_path;
+            const std::string suffix = ".json";
+            if (shard_path.size() >= suffix.size() &&
+                shard_path.compare(shard_path.size() - suffix.size(),
+                                   suffix.size(), suffix) == 0) {
+                shard_path.resize(shard_path.size() - suffix.size());
+            }
+            shard_path += ".shard.json";
+        }
+        const ShardResult shard =
+            make_shard_result(netlist, opt.config, result);
+        if (!save_shard_result(shard_path, shard)) {
+            std::cerr << "error: cannot write " << shard_path << "\n";
+            return 1;
+        }
     }
 
     if (!opt.quiet) {

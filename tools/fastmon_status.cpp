@@ -8,6 +8,7 @@
 // than "running").  Because the writer uses write-to-temp-then-rename,
 // a reader never sees a torn file — at worst a transiently missing
 // one, which --follow tolerates.
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -33,11 +34,19 @@ void print_usage() {
         "  --follow           poll until the campaign reports a terminal\n"
         "                     state (finished / cancelled / degraded)\n"
         "  --interval <sec>   polling period for --follow (default 1)\n"
+        "  --stale-after <s>  with --follow, report `stale` and exit 3\n"
+        "                     when the heartbeat stops advancing (or the\n"
+        "                     file stays unreadable) for this long\n"
+        "                     (default 10; 0 waits forever)\n"
         "\n"
         "Reads the heartbeat sidecar written by a fastmon_campaign run\n"
         "with --heartbeat or FASTMON_HEARTBEAT set.  The sidecar is\n"
         "atomically replaced, so a concurrent read never sees a torn\n"
-        "file; with --follow a transiently missing file is retried.\n";
+        "file; with --follow a transiently missing file is retried (the\n"
+        "file is reopened by path on every poll, so checkpoint/rename\n"
+        "cycles and log rotation never wedge the follower).  A writer\n"
+        "that dies without a terminal state surfaces as `stale` instead\n"
+        "of an infinite wait or a read-error exit.\n";
 }
 
 std::optional<Json> read_heartbeat(const std::string& path,
@@ -133,6 +142,7 @@ int main(int argc, char** argv) {
     std::string path;
     bool follow = false;
     double interval = 1.0;
+    double stale_after = 10.0;
     for (int i = 1; i < argc; ++i) {
         const char* arg = argv[i];
         if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
@@ -147,6 +157,13 @@ int main(int argc, char** argv) {
             }
             interval = std::atof(argv[++i]);
             if (interval <= 0.0) interval = 1.0;
+        } else if (std::strcmp(arg, "--stale-after") == 0) {
+            if (i + 1 >= argc) {
+                std::cerr << "error: --stale-after needs a value\n";
+                return 2;
+            }
+            stale_after = std::atof(argv[++i]);
+            if (stale_after < 0.0) stale_after = 0.0;
         } else if (arg[0] == '-') {
             std::cerr << "error: unknown option " << arg
                       << " (--help for usage)\n";
@@ -164,21 +181,41 @@ int main(int argc, char** argv) {
     }
 
     bool printed = false;
+    // Staleness: the sidecar's own sequence counter is the liveness
+    // signal.  A writer that died leaves a frozen (or missing) file;
+    // after stale_after seconds without a new sequence the follower
+    // reports `stale` and exits 3 instead of waiting forever.
+    double last_sequence = -1.0;
+    auto last_advance = std::chrono::steady_clock::now();
     for (;;) {
         std::string error;
         std::optional<Json> hb = read_heartbeat(path, error);
-        if (!hb) {
-            if (!follow) {
-                std::cerr << "error: " << error << "\n";
-                return 1;
+        const auto now = std::chrono::steady_clock::now();
+        if (hb) {
+            const double sequence = num(*hb, "sequence", -1.0);
+            if (sequence != last_sequence) {
+                last_sequence = sequence;
+                last_advance = now;
             }
-            // Transient: the writer may not have produced the first
-            // snapshot yet, or is mid-rename.  Keep polling.
-        } else {
             if (printed) std::printf("\n");
             print_heartbeat(*hb);
             printed = true;
             if (!follow || str(*hb, "state") != "running") return 0;
+        } else if (!follow) {
+            std::cerr << "error: " << error << "\n";
+            return 1;
+        }
+        // else: transient — the writer may not have produced the first
+        // snapshot yet, or is mid-rename.  Keep polling (by path: a
+        // fresh open every round, never a cached descriptor).
+        const double silent =
+            std::chrono::duration<double>(now - last_advance).count();
+        if (stale_after > 0.0 && silent > stale_after) {
+            std::printf("campaign ?: stale — %s for %.0f s%s\n",
+                        printed ? "heartbeat frozen"
+                                : "no readable heartbeat",
+                        silent, printed ? " (writer died?)" : "");
+            return 3;
         }
         std::this_thread::sleep_for(
             std::chrono::duration<double>(interval));
