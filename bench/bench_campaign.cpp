@@ -215,6 +215,86 @@ int main() {
                       telem_ok ? "identical" : "diverged");
             entry.set("telemetry_wall_seconds", telem_wall);
             entry.set("telemetry_overhead", telem_overhead);
+
+            // Mission-profile comparison: every built-in deployment on
+            // the demo circuit, each with a scalar-vs-batched
+            // differential, plus a separation gate — two contrasting
+            // profiles must produce measurably different failure-year
+            // distributions and screen ROC curves, or the wear-out
+            // physics has collapsed into a no-op.
+            Json missions = Json::object();
+            bool mission_ok = true;
+            double server_auc = 0.0, server_p50 = 0.0;
+            double mobile_auc = 0.0, mobile_p50 = 0.0;
+            for (const MissionProfile& profile :
+                 builtin_mission_profiles()) {
+                CampaignConfig mission = config;
+                mission.wearout.enabled = true;
+                mission.wearout.mission = profile;
+                std::cout << "  mission profile " << profile.name << "\n";
+                const CampaignResult mres =
+                    run_campaign(target.netlist, mission);
+                CampaignConfig mscalar = mission;
+                mscalar.batch_width = 1;
+                const CampaignResult msc =
+                    run_campaign(target.netlist, mscalar);
+                mission_ok =
+                    blocks_match(mres.to_json(mission),
+                                 msc.to_json(mscalar),
+                                 ("batched and scalar (" + profile.name +
+                                  ")").c_str()) &&
+                    mission_ok;
+                const CampaignAggregate& magg = mres.aggregate;
+                Json row = Json::object();
+                row.set("roc_auc", magg.classification.roc_auc);
+                row.set("average_precision",
+                        magg.classification.average_precision);
+                row.set("failed",
+                        static_cast<std::int64_t>(magg.failed));
+                row.set("early_failures",
+                        static_cast<std::int64_t>(magg.early_failures));
+                row.set("failure_p50", magg.wearout_failure_years.p50);
+                row.set("lead_wide_p50", magg.lead_time_wide.p50);
+                Json mechs = Json::object();
+                for (const auto& [name, count] :
+                     magg.failed_by_mechanism) {
+                    mechs.set(name, static_cast<std::int64_t>(count));
+                }
+                row.set("failed_by_mechanism", std::move(mechs));
+                row.set("wall_seconds", mres.total_wall_seconds);
+                std::cout << "    AUC " << magg.classification.roc_auc
+                          << ", failure p50 "
+                          << magg.wearout_failure_years.p50
+                          << " y, failed " << magg.failed << "/"
+                          << result.devices_completed << "\n";
+                if (profile.name == "server_247") {
+                    server_auc = magg.classification.roc_auc;
+                    server_p50 = magg.wearout_failure_years.p50;
+                } else if (profile.name == "mobile_bursty") {
+                    mobile_auc = magg.classification.roc_auc;
+                    mobile_p50 = magg.wearout_failure_years.p50;
+                }
+                missions.set(profile.name, std::move(row));
+            }
+            // 24/7 server stress vs mostly-idle mobile deployment: the
+            // failure-year medians must be years apart and the screen
+            // ROC visibly different.
+            const bool distinct =
+                std::abs(server_p50 - mobile_p50) > 1.0 &&
+                std::abs(server_auc - mobile_auc) > 0.01;
+            if (!distinct) {
+                std::cout << "  ERROR: server_247 and mobile_bursty are "
+                             "indistinguishable (p50 "
+                          << server_p50 << " vs " << mobile_p50
+                          << " y, AUC " << server_auc << " vs "
+                          << mobile_auc << ")\n";
+            }
+            identical = identical && mission_ok && distinct;
+            entry.set("mission_profiles", std::move(missions));
+            entry.set("mission_check",
+                      mission_ok ? "identical" : "diverged");
+            entry.set("profiles_distinct",
+                      distinct ? "distinct" : "indistinct");
         }
         entries.push_back(std::move(entry));
     }
@@ -237,8 +317,9 @@ int main() {
         return 0;
     }
     if (!identical) {
-        std::cout << "ERROR: the batched engine diverged from a reference "
-                     "path (see batch_check / sta_check)\n";
+        std::cout << "ERROR: a differential or separation gate failed "
+                     "(see batch_check / sta_check / mission_check / "
+                     "profiles_distinct)\n";
         return 1;
     }
     if (!all_complete) {

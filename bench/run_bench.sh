@@ -109,6 +109,28 @@ if not isinstance(dps, (int, float)) or not (dps > 0.0):
 if demo.get("telemetry_check") != "identical":
     sys.exit(f"ERROR: telemetry changed the deterministic blocks "
              f"(telemetry_check={demo.get('telemetry_check')!r})")
+
+# Mission-profile section: every built-in deployment ran its own
+# scalar-vs-batched differential, and contrasting profiles must keep
+# producing separated failure-year / ROC distributions.
+if demo.get("mission_check") != "identical":
+    sys.exit(f"ERROR: mission-profile differential diverged "
+             f"(mission_check={demo.get('mission_check')!r})")
+if demo.get("profiles_distinct") != "distinct":
+    sys.exit(f"ERROR: built-in mission profiles no longer separate "
+             f"(profiles_distinct={demo.get('profiles_distinct')!r})")
+missions = demo.get("mission_profiles", {})
+for name in ("server_247", "automotive_thermal_cycling", "mobile_bursty"):
+    row = missions.get(name)
+    if not row:
+        sys.exit(f"ERROR: demo entry missing mission_profiles[{name!r}]")
+    for key in ("roc_auc", "failure_p50", "lead_wide_p50", "failed",
+                "failed_by_mechanism"):
+        if key not in row:
+            sys.exit(f"ERROR: mission_profiles[{name!r}] missing {key!r}")
+    print(f"mission ok: {name} (ROC AUC {row['roc_auc']:.3f}, "
+          f"failure p50 {row['failure_p50']:.2f} y, "
+          f"failed {row['failed']:.0f})")
 print(f"campaign differentials ok: identical blocks at width {width}, "
       f"batched {demo['batch_speedup']:.2f}x vs scalar, "
       f"scalar {demo['sta_speedup']:.2f}x vs full rebuild, "

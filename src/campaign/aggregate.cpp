@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <map>
 
 namespace fastmon {
 
@@ -104,6 +105,20 @@ Json CampaignAggregate::to_json() const {
     }
     wearout.set("failure_year_percentiles", std::move(curve));
     wearout.set("failure_years", wearout_failure_years.to_json());
+    if (!failed_by_mechanism.empty() || !survived_by_mechanism.empty()) {
+        // Dominant-mechanism breakdown exists only on mission-profile
+        // campaigns, so legacy aggregates stay byte-identical.
+        Json failed_counts = Json::object();
+        for (const auto& [name, count] : failed_by_mechanism) {
+            failed_counts.set(name, count);
+        }
+        wearout.set("failed_by_mechanism", std::move(failed_counts));
+        Json survived_counts = Json::object();
+        for (const auto& [name, count] : survived_by_mechanism) {
+            survived_counts.set(name, count);
+        }
+        wearout.set("survived_by_mechanism", std::move(survived_counts));
+    }
     j.set("wearout", std::move(wearout));
     return j;
 }
@@ -164,6 +179,22 @@ CampaignAggregate aggregate_outcomes(std::span<const DeviceOutcome> outcomes,
         cls.recall = static_cast<double>(cls.true_positives) /
                      static_cast<double>(cls.positives);
     }
+
+    // Dominant-mechanism counts in name-sorted order: a pure fold over
+    // the outcomes, so every shard/resume/width reproduces it.
+    std::map<std::string, std::size_t> failed_mechs;
+    std::map<std::string, std::size_t> survived_mechs;
+    for (const DeviceOutcome& out : outcomes) {
+        if (out.dominant_mechanism.empty()) continue;
+        if (out.failure_years >= 0.0) {
+            ++failed_mechs[out.dominant_mechanism];
+        } else {
+            ++survived_mechs[out.dominant_mechanism];
+        }
+    }
+    agg.failed_by_mechanism.assign(failed_mechs.begin(), failed_mechs.end());
+    agg.survived_by_mechanism.assign(survived_mechs.begin(),
+                                     survived_mechs.end());
 
     agg.lead_time_wide = summarize(wide_leads);
     agg.lead_time_imminent = summarize(imminent_leads);

@@ -77,6 +77,12 @@ struct CampaignAggregate {
     /// (non-marginal) devices: {p, year} pairs for the standard grid.
     std::vector<std::pair<double, double>> wearout_failure_percentiles;
     DistributionSummary wearout_failure_years;
+    /// Mission-profile campaigns only: devices per dominant failure
+    /// mechanism (name-sorted for determinism), split into devices
+    /// that failed within the horizon and survivors.  Empty — and
+    /// absent from the JSON — on legacy campaigns.
+    std::vector<std::pair<std::string, std::size_t>> failed_by_mechanism;
+    std::vector<std::pair<std::string, std::size_t>> survived_by_mechanism;
 
     [[nodiscard]] Json to_json() const;
 };

@@ -164,6 +164,11 @@ std::string campaign_canonical(const Netlist& netlist,
     append_number(canonical, config.step_years);
     append_number(canonical, config.screen_years);
     append_number(canonical, config.aggregate.early_fail_years);
+    // Wear-out terms join the canonical string only when enabled:
+    // legacy fingerprints — and every existing checkpoint — stay
+    // valid, while mission-profile checkpoints never cross-resume into
+    // a different mission or mechanism registry.
+    if (config.wearout.enabled) config.wearout.append_canonical(canonical);
     return canonical;
 }
 
@@ -194,6 +199,21 @@ Json CampaignResult::to_json(const CampaignConfig& config) const {
     model.set("aging_amplitude_sigma_log",
               config.model.aging.amplitude_sigma_log);
     campaign.set("model", std::move(model));
+    if (config.wearout.enabled) {
+        // Key exists only on mission-profile campaigns, keeping the
+        // default report byte-identical to pre-wearout builds.
+        Json wearout = Json::object();
+        wearout.set("mission", config.wearout.mission.to_json());
+        wearout.set("reference", config.wearout.reference.to_json());
+        wearout.set("activity", config.wearout.activity.to_json());
+        Json mechs = Json::array();
+        for (const MechanismConfig& m :
+             config.wearout.resolved_mechanisms()) {
+            mechs.push_back(m.to_json());
+        }
+        wearout.set("mechanisms", std::move(mechs));
+        campaign.set("wearout", std::move(wearout));
+    }
     campaign.set("clock_margin", config.clock_margin);
     campaign.set("monitor_fraction", config.monitor_fraction);
     campaign.set("horizon_years", config.horizon_years);
@@ -250,6 +270,7 @@ CampaignResult run_campaign(const Netlist& netlist,
     RolloutContext ctx;
     MonitorPlacement placement;
     std::vector<GateId> sites;
+    std::unique_ptr<WearoutModel> wearout;
     try {
         TraceSpan span("campaign_prepare");
         const DelayAnnotation nominal = DelayAnnotation::nominal(netlist);
@@ -265,6 +286,14 @@ CampaignResult run_campaign(const Netlist& netlist,
         ctx.screen_years = config.screen_years;
         ctx.variation_sigma_log = config.model.variation.sigma_log;
         ctx.full_sta = config.full_sta;
+        if (config.wearout.enabled) {
+            // Design-time characterization (activity extraction over
+            // the nominal annotation) plus mission-rate resolution —
+            // one shared immutable artifact for every device.
+            wearout = std::make_unique<WearoutModel>(netlist, nominal,
+                                                     config.wearout);
+            ctx.wearout = wearout.get();
+        }
         sites = combinational_sites(netlist);
     } catch (const std::exception& e) {
         // Invalid configuration (e.g. a rejected year grid) yields an
@@ -634,6 +663,17 @@ CampaignResult run_campaign(const Netlist& netlist,
         }
         result.aggregate = aggregate_outcomes(result.outcomes,
                                               config.aggregate);
+        // Per-mechanism breakdown counters (mission-profile campaigns
+        // only): campaign.wearout_failed_<mechanism> and the survivor
+        // counterpart, mirroring the aggregate's attribution fold.
+        for (const auto& [name, count] :
+             result.aggregate.failed_by_mechanism) {
+            metrics.counter("campaign.wearout_failed_" + name).add(count);
+        }
+        for (const auto& [name, count] :
+             result.aggregate.survived_by_mechanism) {
+            metrics.counter("campaign.wearout_survived_" + name).add(count);
+        }
         if (result.devices_completed < expected) {
             st.outcome = PhaseOutcome::Degraded;
             st.detail = "aggregate over " +
@@ -642,6 +682,26 @@ CampaignResult run_campaign(const Netlist& netlist,
         }
         result.phases.push_back(sw.elapsed("campaign_aggregate"));
         result.status.phases.push_back(std::move(st));
+    }
+
+    if (config.wearout.enabled && !result.telemetry.is_null()) {
+        // Mirror the dominant-mechanism breakdown into the live
+        // telemetry block so dashboards see it without parsing the
+        // aggregate; key exists only on mission-profile campaigns.
+        Json breakdown = Json::object();
+        Json failed_counts = Json::object();
+        for (const auto& [name, count] :
+             result.aggregate.failed_by_mechanism) {
+            failed_counts.set(name, count);
+        }
+        breakdown.set("failed", std::move(failed_counts));
+        Json survived_counts = Json::object();
+        for (const auto& [name, count] :
+             result.aggregate.survived_by_mechanism) {
+            survived_counts.set(name, count);
+        }
+        breakdown.set("survived", std::move(survived_counts));
+        result.telemetry.set("dominant_mechanisms", std::move(breakdown));
     }
 
     result.total_wall_seconds =

@@ -26,6 +26,7 @@
 #include "campaign/rollout.hpp"
 #include "flow/flow_status.hpp"
 #include "util/manifest.hpp"
+#include "wearout/wearout.hpp"
 
 namespace fastmon {
 
@@ -86,6 +87,14 @@ struct CampaignConfig {
     double heartbeat_seconds = 0.0;
     /// Mirror each heartbeat as a throttled one-line stderr report.
     bool progress_stderr = false;
+    /// Physics-grounded multi-mechanism wear-out (mission profiles,
+    /// NBTI/HCI/EM/TDDB + the legacy knob, activity-driven stress).
+    /// Disabled by default: the legacy single-knob path runs untouched
+    /// and every artifact — report, checkpoint, shard — is
+    /// byte-identical to a pre-wearout build.  When enabled the
+    /// wear-out fields join the canonical string, so checkpoints from
+    /// different missions never cross-resume.
+    WearoutConfig wearout;
     /// Shard coordinates for multi-process fleet execution: this run
     /// rolls only the devices in shard_device_range(population,
     /// shard_index, shard_count).  shard_count <= 1 means unsharded.

@@ -17,6 +17,23 @@ double lead_between(double alert, double failure) {
     return failure - alert;
 }
 
+/// Wear-out attribution, evaluated at the failure year (or the horizon
+/// for survivors).  Identical inputs on the scalar and batched paths,
+/// so the recorded attribution is part of the bit-identity contract.
+void record_attribution(const RolloutContext& ctx,
+                        const DeviceDegradation& degradation,
+                        DeviceOutcome& out) {
+    if (!ctx.wearout || ctx.grid.empty()) return;
+    const double at_years =
+        out.failure_years >= 0.0 ? out.failure_years : ctx.grid.back();
+    double share = 0.0;
+    if (const char* name =
+            degradation.dominant_mechanism(at_years, &share)) {
+        out.dominant_mechanism = name;
+        out.dominant_share = share;
+    }
+}
+
 }  // namespace
 
 double DeviceOutcome::lead_time_years() const {
@@ -41,6 +58,13 @@ Json DeviceOutcome::to_json() const {
     j.set("failure_years", failure_years);
     j.set("margin_used_t0", margin_used_t0);
     j.set("screen_score", screen_score);
+    // Wear-out attribution keys only exist on mission-profile
+    // campaigns: legacy artifacts (and their checkpoints) stay
+    // byte-identical.
+    if (!dominant_mechanism.empty()) {
+        j.set("dominant_mechanism", dominant_mechanism);
+        j.set("dominant_share", dominant_share);
+    }
     return j;
 }
 
@@ -73,6 +97,14 @@ std::optional<DeviceOutcome> DeviceOutcome::from_json(const Json& j) {
     out.failure_years = failure->as_number();
     out.margin_used_t0 = margin->as_number();
     out.screen_score = score->as_number();
+    if (const Json* mech = j.find("dominant_mechanism")) {
+        const Json* mech_share = j.find("dominant_share");
+        if (!mech->is_string() || !mech_share || !mech_share->is_number()) {
+            return std::nullopt;
+        }
+        out.dominant_mechanism = mech->as_string();
+        out.dominant_share = mech_share->as_number();
+    }
     return out;
 }
 
@@ -127,7 +159,7 @@ DeviceOutcome roll_device(const RolloutContext& ctx,
         engine = engine_scratch->get();
     }
     LifetimeSimulator sim(*ctx.netlist, annotation, ctx.clock_period,
-                          sample.aging, sample.seed, engine);
+                          sample.aging, sample.seed, engine, ctx.wearout);
     if (ctx.full_sta) sim.set_sta_mode(LifetimeSimulator::StaMode::FullRebuild);
     for (const MarginalDefect& defect : sample.defects) {
         sim.add_defect(defect);
@@ -165,6 +197,7 @@ DeviceOutcome roll_device(const RolloutContext& ctx,
             out.screen_score += 1.0 + std::clamp(earliness, 0.0, 1.0);
         }
     }
+    record_attribution(ctx, sim.degradation(), out);
     return out;
 }
 
@@ -199,7 +232,8 @@ void BatchRollout::roll(std::span<const DeviceSample> samples,
         DelayAnnotation::lognormal_variation_factors(
             *ctx_->netlist, ctx_->variation_sigma_log, sample.seed, factors_);
         engine_.load_lane(l, factors_);
-        degradation_[l].reset(*ctx_->netlist, sample.aging, sample.seed);
+        degradation_[l].reset(*ctx_->netlist, sample.aging, sample.seed,
+                              ctx_->wearout);
         for (const MarginalDefect& defect : sample.defects) {
             degradation_[l].add_defect(defect);
         }
@@ -219,9 +253,12 @@ void BatchRollout::roll(std::span<const DeviceSample> samples,
     // Campaign lanes share the aging exponent and reference time (only
     // the amplitude is jittered per device), so one pow() per grid year
     // serves the whole batch.  Fall back to per-lane factors if a
-    // caller ever mixes models.
+    // caller ever mixes models — or under wear-out, whose mechanism
+    // curves are per-device (Weibull severities, mission stress), so
+    // every lane funnels through the same fill_delta(years, delta) the
+    // scalar path uses.
     const AgingModel& model0 = degradation_[0].model();
-    bool shared_term = true;
+    bool shared_term = ctx_->wearout == nullptr;
     for (std::size_t l = 1; l < n; ++l) {
         const AgingModel& m = degradation_[l].model();
         if (m.exponent != model0.exponent ||
@@ -325,6 +362,7 @@ void BatchRollout::roll(std::span<const DeviceSample> samples,
                 out.screen_score += 1.0 + std::clamp(earliness, 0.0, 1.0);
             }
         }
+        record_attribution(*ctx_, degradation_[l], out);
     }
     ++stats_.batches;
     stats_.devices += n;

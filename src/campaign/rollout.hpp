@@ -45,6 +45,9 @@ struct RolloutContext {
     /// for the bit-identity check.  Not part of the campaign
     /// fingerprint: both modes produce identical outcomes.
     bool full_sta = false;
+    /// Multi-mechanism wear-out model (mission profile campaigns);
+    /// null = the legacy single-knob aging path.
+    const WearoutModel* wearout = nullptr;
 };
 
 /// Everything measured on one rolled-out device.
@@ -63,6 +66,13 @@ struct DeviceOutcome {
     /// alerting inside the screen window of (1 + earliness); 0 = clean
     /// screen.  Higher = stronger early-life signature.
     double screen_score = 0.0;
+    /// Wear-out attribution (mission-profile campaigns only): the
+    /// mechanism contributing the most delay degradation at the
+    /// failure year (or the horizon for survivors) and its share of
+    /// the total.  Empty when wear-out is off — the JSON keys are
+    /// omitted then, keeping legacy artifacts byte-identical.
+    std::string dominant_mechanism;
+    double dominant_share = 0.0;
 
     /// Early warning between the widest band's first alert and the
     /// failure (-1 when either never happened).

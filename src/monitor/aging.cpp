@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/prng.hpp"
+#include "wearout/wearout.hpp"
 
 namespace fastmon {
 
@@ -13,6 +14,11 @@ double AgingModel::factor(double years) const {
 }
 
 double AgingModel::pow_term(double years) const {
+    // Anchored at exactly 0.0 for years <= 0 (and NaN, via the negated
+    // comparison): pow() of a negative ratio is NaN and pow(0, n) is 1
+    // or inf for n <= 0 — none of which a phase boundary at t = 0
+    // should ever observe.
+    if (!(years > 0.0)) return 0.0;
     return std::pow(years / t_ref_years, exponent);
 }
 
@@ -68,7 +74,8 @@ std::optional<LifetimePoint> LifetimePoint::from_json(const Json& j) {
 }
 
 void DeviceDegradation::reset(const Netlist& netlist, AgingModel model,
-                              std::uint64_t seed) {
+                              std::uint64_t seed,
+                              const WearoutModel* wearout) {
     model_ = model;
     defects_.clear();
     // Per-gate aging-rate jitter: gates with high switching activity
@@ -85,20 +92,115 @@ void DeviceDegradation::reset(const Netlist& netlist, AgingModel model,
             comb_activity_.push_back(activity_[id]);
         }
     }
+    wearout_ = wearout;
+    mech_stress_.clear();
+    mech_stress_sum_.clear();
+    device_scale_.clear();
+    if (!wearout_) return;
+    // Pack mechanism stress in comb-gate order on top of the legacy
+    // jitter (so a constant activity profile degenerates to exactly
+    // the jitter, and waveform-derived stress rides on it).
+    const std::size_t n = comb_gates_.size();
+    const std::size_t num_mechs = wearout_->num_mechanisms();
+    mech_stress_.resize(num_mechs * n);
+    mech_stress_sum_.assign(num_mechs, 0.0);
+    for (std::size_t m = 0; m < num_mechs; ++m) {
+        const std::vector<double>& gate_stress = wearout_->gate_stress(m);
+        double sum = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            const double s = gate_stress[comb_gates_[i]] * comb_activity_[i];
+            mech_stress_[m * n + i] = s;
+            sum += s;
+        }
+        mech_stress_sum_[m] = sum;
+    }
+    wearout_->device_scales(seed, device_scale_);
 }
 
 void DeviceDegradation::fill_delta(double years, DelayDelta& delta) const {
+    if (wearout_) {
+        fill_wearout(years, delta);
+        return;
+    }
     fill_from_factor(years, model_.factor(years), delta);
 }
 
 void DeviceDegradation::fill_delta(double years, DelayDelta& delta,
                                    double pow_term) const {
+    if (wearout_) {
+        // Mechanism curves are per-device (Weibull scales, mission
+        // stress), so the batch-shared hint does not apply.
+        fill_wearout(years, delta);
+        return;
+    }
     // Same expression tree as AgingModel::factor, with the caller's
     // precomputed (t / t_ref)^n — bit-identical when pow_term matches
     // model().pow_term(years).
     const double factor =
         years <= 0.0 ? 1.0 : 1.0 + model_.amplitude * pow_term;
     fill_from_factor(years, factor, delta);
+}
+
+double DeviceDegradation::mechanism_coefficient(std::size_t m,
+                                                double years) const {
+    const MechanismConfig& cfg = wearout_->mechanism(m);
+    const double tau = wearout_->equivalent_years(m, years);
+    if (!(tau > 0.0)) return 0.0;
+    if (cfg.kind == MechanismKind::LegacyPowerLaw) {
+        // The legacy knob rides the device's sampled AgingModel, and
+        // reproduces fill_from_factor's rounding exactly — (1 + A*S) -
+        // 1, not A*S — so a unit-rate mission with constant activity
+        // is bit-identical to the profile-free path.
+        return (1.0 + model_.amplitude * model_.pow_term(tau)) - 1.0;
+    }
+    return cfg.amplitude * device_scale_[m] * cfg.stress_integral(tau);
+}
+
+void DeviceDegradation::fill_wearout(double years, DelayDelta& delta) const {
+    delta.uniform_scale = 1.0;
+    const std::size_t n = comb_gates_.size();
+    const std::size_t num_mechs = wearout_->num_mechanisms();
+    coef_.resize(num_mechs);
+    for (std::size_t m = 0; m < num_mechs; ++m) {
+        coef_[m] = mechanism_coefficient(m, years);
+    }
+    delta.scales.resize(n);
+    DelayDelta::GateScale* const scales = delta.scales.data();
+    for (std::size_t i = 0; i < n; ++i) {
+        // Contributions compose additively in registry order before
+        // the single per-gate scale is formed (DESIGN.md section 12).
+        double sum = 0.0;
+        for (std::size_t m = 0; m < num_mechs; ++m) {
+            sum += coef_[m] * mech_stress_[m * n + i];
+        }
+        scales[i] = DelayDelta::GateScale{comb_gates_[i], 1.0 + sum};
+    }
+    append_defects(years, delta);
+}
+
+const char* DeviceDegradation::dominant_mechanism(double years,
+                                                  double* share) const {
+    if (share) *share = 0.0;
+    if (!wearout_) return nullptr;
+    const std::size_t num_mechs = wearout_->num_mechanisms();
+    double total = 0.0;
+    double best = 0.0;
+    std::size_t best_m = num_mechs;
+    for (std::size_t m = 0; m < num_mechs; ++m) {
+        // Total-delay attribution: coefficient x summed gate stress is
+        // each mechanism's aggregate contribution to the device's
+        // degradation at `years`.
+        const double w = mechanism_coefficient(m, years) *
+                         mech_stress_sum_[m];
+        total += w;
+        if (w > best) {
+            best = w;
+            best_m = m;
+        }
+    }
+    if (best_m == num_mechs || !(total > 0.0)) return nullptr;
+    if (share) *share = best / total;
+    return mechanism_name(wearout_->mechanism(best_m).kind);
 }
 
 void DeviceDegradation::fill_from_factor(double years, double factor,
@@ -116,6 +218,11 @@ void DeviceDegradation::fill_from_factor(double years, double factor,
         scales[i] = DelayDelta::GateScale{
             comb_gates_[i], 1.0 + base_factor * comb_activity_[i]};
     }
+    append_defects(years, delta);
+}
+
+void DeviceDegradation::append_defects(double years,
+                                       DelayDelta& delta) const {
     delta.extras.clear();
     for (const MarginalDefect& defect : defects_) {
         const Time extra = defect.delta_at(years);
@@ -130,12 +237,13 @@ void DeviceDegradation::fill_from_factor(double years, double factor,
 LifetimeSimulator::LifetimeSimulator(const Netlist& netlist,
                                      const DelayAnnotation& base,
                                      Time clock_period, AgingModel model,
-                                     std::uint64_t seed, StaEngine* engine)
+                                     std::uint64_t seed, StaEngine* engine,
+                                     const WearoutModel* wearout)
     : netlist_(&netlist),
       base_(&base),
       clock_period_(clock_period),
       shared_engine_(engine) {
-    degradation_.reset(netlist, model, seed);
+    degradation_.reset(netlist, model, seed, wearout);
     if (shared_engine_) shared_engine_->rebase(base);
 }
 

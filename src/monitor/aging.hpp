@@ -25,6 +25,8 @@
 
 namespace fastmon {
 
+class WearoutModel;
+
 /// Power-law delay degradation: factor(t) = 1 + A * (t / t_ref)^n.
 /// Typical BTI fits use n around 0.2-0.3 and A around 10 % at ten
 /// years [1].
@@ -35,10 +37,13 @@ struct AgingModel {
 
     [[nodiscard]] double factor(double years) const;
 
-    /// The year-dependent part of factor(): (t / t_ref)^n, meaningful
-    /// for years > 0.  factor(years) == 1 + amplitude * pow_term(years)
-    /// bit-for-bit, so a batch of devices differing only in amplitude
-    /// (the campaign's per-device jitter) can share one pow() per year.
+    /// The year-dependent part of factor(): (t / t_ref)^n for
+    /// years > 0, exactly 0.0 at years <= 0 (and NaN) — so mission
+    /// phases anchored at t = 0 and pre-deployment queries are safe
+    /// for every exponent.  factor(years) == 1 + amplitude *
+    /// pow_term(years) bit-for-bit, so a batch of devices differing
+    /// only in amplitude (the campaign's per-device jitter) can share
+    /// one pow() per year.
     [[nodiscard]] double pow_term(double years) const;
 };
 
@@ -80,22 +85,39 @@ class DeviceDegradation {
 public:
     /// Re-seeds the state for a new device.  The jitter draw order
     /// (one uniform per gate, ascending id, stream seed ^ 0xA61713) is
-    /// part of the campaign determinism contract.
-    void reset(const Netlist& netlist, AgingModel model, std::uint64_t seed);
+    /// part of the campaign determinism contract.  A non-null
+    /// `wearout` switches the fill to the multi-mechanism path: the
+    /// jitter draw is unchanged, per-mechanism stress is packed on top
+    /// of it, and the device's Weibull severity scales are drawn from
+    /// their own substreams (seed, wearout tag + mechanism).
+    void reset(const Netlist& netlist, AgingModel model, std::uint64_t seed,
+               const WearoutModel* wearout = nullptr);
 
     void add_defect(MarginalDefect defect) { defects_.push_back(defect); }
 
     /// Overwrites `delta` with the degradation at `years`: per-gate
     /// aging scales (ascending id) then defect extras (entry order).
+    /// With wear-out enabled the per-gate factor composes every
+    /// mechanism: 1 + sum_m coef_m(t) * stress_m[gate].
     void fill_delta(double years, DelayDelta& delta) const;
 
     /// Same, with the caller's precomputed model().pow_term(years):
     /// lanes of a batch at the same grid year differ only in amplitude
     /// and jitter, so one pow() serves the whole batch.  Bit-identical
-    /// to the two-argument overload when pow_term matches.
+    /// to the two-argument overload when pow_term matches.  Under
+    /// wear-out the hint is ignored (mechanism curves are per-device);
+    /// BatchRollout disables its shared-term shortcut accordingly.
     void fill_delta(double years, DelayDelta& delta, double pow_term) const;
 
+    /// Name of the mechanism contributing the largest total delay
+    /// degradation at `years` (coef_m(t) x summed gate stress), with
+    /// its contribution share in `share` if non-null.  nullptr when
+    /// wear-out is off or nothing has degraded yet.
+    [[nodiscard]] const char* dominant_mechanism(
+        double years, double* share = nullptr) const;
+
     [[nodiscard]] const AgingModel& model() const { return model_; }
+    [[nodiscard]] const WearoutModel* wearout() const { return wearout_; }
     [[nodiscard]] const std::vector<MarginalDefect>& defects() const {
         return defects_;
     }
@@ -103,12 +125,24 @@ public:
 private:
     void fill_from_factor(double years, double factor,
                           DelayDelta& delta) const;
+    void fill_wearout(double years, DelayDelta& delta) const;
+    void append_defects(double years, DelayDelta& delta) const;
+    [[nodiscard]] double mechanism_coefficient(std::size_t m,
+                                               double years) const;
     AgingModel model_;
     std::vector<double> activity_;    ///< per-gate aging-rate jitter
     std::vector<GateId> comb_gates_;  ///< aging targets, ascending
     /// activity_[comb_gates_[i]] packed for the fill loop.
     std::vector<double> comb_activity_;
     std::vector<MarginalDefect> defects_;
+    /// Multi-mechanism wear-out state (null = legacy single-knob path).
+    const WearoutModel* wearout_ = nullptr;
+    /// Mechanism m's stress at packed gate i (gate stress x jitter),
+    /// at [m * comb_gates_.size() + i].
+    std::vector<double> mech_stress_;
+    std::vector<double> mech_stress_sum_;  ///< per-mechanism attribution
+    std::vector<double> device_scale_;     ///< per-mechanism Weibull draw
+    mutable std::vector<double> coef_;     ///< per-fill scratch
 };
 
 class LifetimeSimulator {
@@ -124,10 +158,13 @@ public:
     /// `clock_period` stays fixed over the lifetime (the deployed f_nom).
     /// A non-null `engine` (constructed for the same netlist, margin
     /// 1.0) is rebased to `base` and reused — the campaign shares one
-    /// engine per worker across its whole device shard.
+    /// engine per worker across its whole device shard.  A non-null
+    /// `wearout` degrades via the multi-mechanism registry instead of
+    /// the single power-law knob.
     LifetimeSimulator(const Netlist& netlist, const DelayAnnotation& base,
                       Time clock_period, AgingModel model,
-                      std::uint64_t seed = 1, StaEngine* engine = nullptr);
+                      std::uint64_t seed = 1, StaEngine* engine = nullptr,
+                      const WearoutModel* wearout = nullptr);
 
     void add_defect(MarginalDefect defect) {
         degradation_.add_defect(defect);
@@ -166,6 +203,9 @@ public:
         const MonitorPlacement& placement) const;
 
     [[nodiscard]] Time clock_period() const { return clock_period_; }
+    [[nodiscard]] const DeviceDegradation& degradation() const {
+        return degradation_;
+    }
 
 private:
     void fill_delta(double years, DelayDelta& delta) const;

@@ -1,0 +1,90 @@
+// Per-gate activity extraction from the waveform simulator.
+//
+// A mechanism's per-gate stress is not uniform: hot-carrier damage
+// follows switching activity, bias-temperature instability follows the
+// fraction of time a node holds its stressed level.  This module runs
+// the timing-accurate WaveSim over a deterministic set of random
+// pattern pairs (a design-time characterization, one per campaign) and
+// distills two per-gate statistics: a toggle rate and a static
+// output-high probability, each normalized to mean 1.0 over the
+// combinational gates so mechanism amplitudes keep their calibrated
+// meaning regardless of circuit size or pattern count.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "sim/logic_sim.hpp"
+#include "timing/delay_model.hpp"
+#include "util/json.hpp"
+
+namespace fastmon {
+
+struct ActivityConfig {
+    enum class Mode : std::uint8_t {
+        /// Characterize with WaveSim over random pattern pairs.
+        Waveform,
+        /// Unit stress on every gate: mechanisms differ only in their
+        /// time/temperature laws.  With only the legacy mechanism this
+        /// reproduces the profile-free degradation bit-for-bit.
+        Constant,
+    };
+
+    Mode mode = Mode::Waveform;
+    /// Pattern pairs simulated in Waveform mode.  A design-time cost
+    /// paid once per campaign, not per device.
+    std::size_t num_pattern_pairs = 32;
+    /// Root of the characterization pattern stream — deliberately
+    /// separate from the campaign seed so changing the population does
+    /// not re-characterize the design.
+    std::uint64_t seed = 0xAC71F1ULL;
+
+    [[nodiscard]] Json to_json() const;
+    static std::optional<ActivityConfig> from_json(const Json& j);
+
+    friend bool operator==(const ActivityConfig&,
+                           const ActivityConfig&) = default;
+};
+
+/// One explicit characterization stimulus (both vectors indexed like
+/// Netlist::comb_sources()).
+struct ActivityPattern {
+    std::vector<Bit> v1;
+    std::vector<Bit> v2;
+};
+
+/// Raw per-gate counters over a pattern set — the unit-testable core.
+struct ActivityCounts {
+    /// Waveform transitions per gate (netlist id), summed over pairs.
+    std::vector<std::uint64_t> toggles;
+    /// Pairs whose settled gate value was 1.
+    std::vector<std::uint64_t> ones;
+    std::size_t num_pairs = 0;
+};
+
+/// Simulates each pattern pair and counts toggles / settled ones for
+/// every node.
+[[nodiscard]] ActivityCounts count_activity(
+    const Netlist& netlist, const DelayAnnotation& delays,
+    std::span<const ActivityPattern> patterns);
+
+/// Normalized per-gate stress factors (indexed by netlist gate id;
+/// non-combinational nodes carry 1.0 and are never read).
+struct ActivityProfile {
+    std::vector<double> toggle_rate;  ///< mean 1.0 over comb gates
+    std::vector<double> static_prob;  ///< mean 1.0 over comb gates
+};
+
+/// Derives the profile for a design: Constant mode yields all-ones;
+/// Waveform mode generates `num_pattern_pairs` random pairs from
+/// Prng::stream(seed, pair_index), counts, and normalizes.  A
+/// statistic that never fires anywhere (e.g. a constant circuit)
+/// degrades to all-ones rather than dividing by zero.
+[[nodiscard]] ActivityProfile extract_activity(const Netlist& netlist,
+                                               const DelayAnnotation& delays,
+                                               const ActivityConfig& config);
+
+}  // namespace fastmon

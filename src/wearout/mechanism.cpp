@@ -1,0 +1,168 @@
+#include "wearout/mechanism.hpp"
+
+#include <cmath>
+
+namespace fastmon {
+
+namespace {
+
+constexpr double kBoltzmannEv = 8.617333262e-5;  // eV / K
+constexpr double kCelsiusToKelvin = 273.15;
+
+bool finite_number(const Json* j) { return j && j->is_number() &&
+                                           std::isfinite(j->as_number()); }
+
+}  // namespace
+
+const char* mechanism_name(MechanismKind kind) {
+    switch (kind) {
+        case MechanismKind::LegacyPowerLaw: return "legacy_powerlaw";
+        case MechanismKind::Nbti: return "nbti";
+        case MechanismKind::Hci: return "hci";
+        case MechanismKind::Em: return "em";
+        case MechanismKind::Tddb: return "tddb";
+    }
+    return "unknown";
+}
+
+std::optional<MechanismKind> mechanism_from_name(std::string_view name) {
+    for (const MechanismKind kind :
+         {MechanismKind::LegacyPowerLaw, MechanismKind::Nbti,
+          MechanismKind::Hci, MechanismKind::Em, MechanismKind::Tddb}) {
+        if (name == mechanism_name(kind)) return kind;
+    }
+    return std::nullopt;
+}
+
+MechanismConfig MechanismConfig::defaults(MechanismKind kind) {
+    MechanismConfig cfg;
+    cfg.kind = kind;
+    switch (kind) {
+        case MechanismKind::LegacyPowerLaw:
+            // Curve parameters live on the device's AgingModel; only
+            // the duty-cycle rate scaling applies.
+            cfg.amplitude = 0.0;
+            cfg.ea_ev = 0.0;
+            cfg.voltage_gamma = 0.0;
+            break;
+        case MechanismKind::Nbti:
+            // Classic ~t^0.35 threshold-shift fit; strongly thermally
+            // and voltage accelerated, stressed while the output holds.
+            cfg.amplitude = 0.22;
+            cfg.time_exponent = 0.35;
+            cfg.ea_ev = 0.55;
+            cfg.voltage_gamma = 6.0;
+            break;
+        case MechanismKind::Hci:
+            // Switching-edge damage; mildly *anti*-Arrhenius (worst at
+            // cold), strongly voltage-driven, scales with clock rate.
+            cfg.amplitude = 0.12;
+            cfg.time_exponent = 0.50;
+            cfg.ea_ev = -0.10;
+            cfg.voltage_gamma = 8.0;
+            break;
+        case MechanismKind::Em:
+            // Current-density driven (Black's equation flavor):
+            // near-linear in stress time, hot interconnect dominated.
+            cfg.amplitude = 0.08;
+            cfg.time_exponent = 1.0;
+            cfg.ea_ev = 0.80;
+            cfg.voltage_gamma = 0.0;
+            break;
+        case MechanismKind::Tddb:
+            // Oxide wear-out: field (voltage) dominated with thermal
+            // acceleration; static-bias stressed.
+            cfg.amplitude = 0.10;
+            cfg.time_exponent = 0.40;
+            cfg.ea_ev = 0.60;
+            cfg.voltage_gamma = 10.0;
+            break;
+    }
+    return cfg;
+}
+
+double MechanismConfig::rate(const OperatingPoint& op,
+                             const OperatingPoint& ref) const {
+    // Rate 1 at the reference point by construction: every factor
+    // below evaluates to exactly 1.0 when op == ref (duty included),
+    // which is what keeps a reference-pinned mission bit-identical to
+    // the profile-free path.
+    if (kind == MechanismKind::LegacyPowerLaw) return op.duty_cycle;
+    double r = op.duty_cycle;
+    if (ea_ev != 0.0) {
+        const double t_op = op.temperature_c + kCelsiusToKelvin;
+        const double t_ref = ref.temperature_c + kCelsiusToKelvin;
+        r *= std::exp((ea_ev / kBoltzmannEv) * (1.0 / t_ref - 1.0 / t_op));
+    }
+    if (voltage_gamma != 0.0) {
+        r *= std::exp(voltage_gamma * (op.vdd - ref.vdd));
+    }
+    if (kind == MechanismKind::Hci || kind == MechanismKind::Em) {
+        r *= op.frequency_ghz / ref.frequency_ghz;
+    }
+    return r;
+}
+
+double MechanismConfig::stress_integral(double tau) const {
+    if (!(tau > 0.0)) return 0.0;
+    return std::pow(tau / t_ref_years, time_exponent);
+}
+
+StressKind MechanismConfig::stress_kind() const {
+    switch (kind) {
+        case MechanismKind::Nbti:
+        case MechanismKind::Tddb:
+            return StressKind::Static;
+        case MechanismKind::LegacyPowerLaw:
+        case MechanismKind::Hci:
+        case MechanismKind::Em:
+            break;
+    }
+    return StressKind::Toggle;
+}
+
+Json MechanismConfig::to_json() const {
+    Json j = Json::object();
+    j.set("kind", mechanism_name(kind));
+    j.set("amplitude", amplitude);
+    j.set("time_exponent", time_exponent);
+    j.set("t_ref_years", t_ref_years);
+    j.set("ea_ev", ea_ev);
+    j.set("voltage_gamma", voltage_gamma);
+    j.set("weibull_beta", weibull_beta);
+    return j;
+}
+
+std::optional<MechanismConfig> MechanismConfig::from_json(const Json& j) {
+    if (!j.is_object()) return std::nullopt;
+    const Json* kind = j.find("kind");
+    const Json* amplitude = j.find("amplitude");
+    const Json* exponent = j.find("time_exponent");
+    const Json* t_ref = j.find("t_ref_years");
+    const Json* ea = j.find("ea_ev");
+    const Json* gamma = j.find("voltage_gamma");
+    const Json* beta = j.find("weibull_beta");
+    if (!kind || !kind->is_string() || !finite_number(amplitude) ||
+        !finite_number(exponent) || !finite_number(t_ref) ||
+        !finite_number(ea) || !finite_number(gamma) ||
+        !finite_number(beta)) {
+        return std::nullopt;
+    }
+    const auto parsed_kind = mechanism_from_name(kind->as_string());
+    if (!parsed_kind) return std::nullopt;
+    MechanismConfig cfg;
+    cfg.kind = *parsed_kind;
+    cfg.amplitude = amplitude->as_number();
+    cfg.time_exponent = exponent->as_number();
+    cfg.t_ref_years = t_ref->as_number();
+    cfg.ea_ev = ea->as_number();
+    cfg.voltage_gamma = gamma->as_number();
+    cfg.weibull_beta = beta->as_number();
+    if (cfg.amplitude < 0.0 || cfg.t_ref_years <= 0.0 ||
+        cfg.weibull_beta <= 0.0) {
+        return std::nullopt;
+    }
+    return cfg;
+}
+
+}  // namespace fastmon

@@ -1,0 +1,88 @@
+// Failure-mechanism registry: NBTI, HCI, EM, TDDB, and the legacy
+// power-law knob as a fifth registered mechanism.
+//
+// Follows the classic reliability formulations (the oldspot shape):
+// each mechanism turns an OperatingPoint into a stress rate relative
+// to the calibration reference — Arrhenius temperature acceleration,
+// exponential voltage acceleration, duty-cycle (and, for hot-carrier /
+// electromigration, switching-frequency) scaling — and integrates that
+// rate over the mission into an equivalent stress time tau.  The
+// delay-degradation contribution is then a power law in tau with a
+// per-device mean-one Weibull severity scale (device-to-device TTF
+// variation, beta = 2 by default).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "util/json.hpp"
+#include "wearout/mission.hpp"
+
+namespace fastmon {
+
+enum class MechanismKind : std::uint8_t {
+    /// The pre-mission-profile aging knob (AgingModel): amplitude and
+    /// exponent come from the device's sampled AgingModel, severity
+    /// spread from the population's amplitude jitter (no Weibull draw).
+    /// Responds to duty cycle only, so a duty-1 reference mission
+    /// reproduces the legacy degradation bit-for-bit.
+    LegacyPowerLaw,
+    Nbti,  ///< negative-bias temperature instability (static stress)
+    Hci,   ///< hot-carrier injection (switching stress)
+    Em,    ///< electromigration (switching stress)
+    Tddb,  ///< gate-oxide time-dependent dielectric breakdown
+};
+
+/// Which per-gate activity statistic scales a mechanism's stress.
+enum class StressKind : std::uint8_t {
+    Toggle,  ///< normalized toggle rate (HCI, EM, legacy)
+    Static,  ///< normalized output-high probability (NBTI, TDDB)
+};
+
+/// Stable lowercase identifier ("nbti", "hci", ... / "legacy_powerlaw").
+[[nodiscard]] const char* mechanism_name(MechanismKind kind);
+[[nodiscard]] std::optional<MechanismKind> mechanism_from_name(
+    std::string_view name);
+
+struct MechanismConfig {
+    MechanismKind kind = MechanismKind::Nbti;
+    /// Delay-degradation coefficient at tau = t_ref under unit device
+    /// scale and unit gate stress.  Ignored for LegacyPowerLaw (the
+    /// device's AgingModel amplitude is used instead).
+    double amplitude = 0.0;
+    /// Power-law time exponent n; ignored for LegacyPowerLaw.
+    double time_exponent = 0.5;
+    double t_ref_years = 10.0;
+    /// Arrhenius activation energy in eV (0 = temperature-insensitive).
+    double ea_ev = 0.0;
+    /// Exponential voltage acceleration: exp(gamma * (Vdd - Vref)).
+    double voltage_gamma = 0.0;
+    /// Weibull shape of the per-device severity scale (mean one).
+    double weibull_beta = 2.0;
+
+    /// Literature-flavored defaults per mechanism, calibrated so the
+    /// built-in profiles produce distinct failure-year distributions
+    /// within a 15-year horizon (see DESIGN.md section 12).
+    [[nodiscard]] static MechanismConfig defaults(MechanismKind kind);
+
+    /// Equivalent-stress-time rate at `op` relative to `ref` (rate 1 at
+    /// the reference point): Arrhenius x voltage x duty, and for
+    /// switching-driven mechanisms (HCI, EM) x frequency ratio.
+    [[nodiscard]] double rate(const OperatingPoint& op,
+                              const OperatingPoint& ref) const;
+
+    /// Power-law stress integral (tau / t_ref)^n; 0 for tau <= 0.
+    /// Ignores the legacy kind (whose curve lives on AgingModel).
+    [[nodiscard]] double stress_integral(double tau) const;
+
+    [[nodiscard]] StressKind stress_kind() const;
+
+    [[nodiscard]] Json to_json() const;
+    static std::optional<MechanismConfig> from_json(const Json& j);
+
+    friend bool operator==(const MechanismConfig&,
+                           const MechanismConfig&) = default;
+};
+
+}  // namespace fastmon

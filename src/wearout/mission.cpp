@@ -1,0 +1,269 @@
+#include "wearout/mission.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/diagnostic.hpp"
+
+namespace fastmon {
+
+namespace {
+
+bool finite_number(const Json* j) { return j && j->is_number() &&
+                                           std::isfinite(j->as_number()); }
+
+[[noreturn]] void reject(const std::string& what) {
+    throw DiagnosticBuilder("wearout").message(what).build();
+}
+
+}  // namespace
+
+Json OperatingPoint::to_json() const {
+    Json j = Json::object();
+    j.set("temperature_c", temperature_c);
+    j.set("vdd", vdd);
+    j.set("frequency_ghz", frequency_ghz);
+    j.set("duty_cycle", duty_cycle);
+    return j;
+}
+
+std::optional<OperatingPoint> OperatingPoint::from_json(const Json& j) {
+    if (!j.is_object()) return std::nullopt;
+    const Json* temp = j.find("temperature_c");
+    const Json* vdd = j.find("vdd");
+    const Json* freq = j.find("frequency_ghz");
+    const Json* duty = j.find("duty_cycle");
+    if (!finite_number(temp) || !finite_number(vdd) || !finite_number(freq) ||
+        !finite_number(duty)) {
+        return std::nullopt;
+    }
+    OperatingPoint op;
+    op.temperature_c = temp->as_number();
+    op.vdd = vdd->as_number();
+    op.frequency_ghz = freq->as_number();
+    op.duty_cycle = duty->as_number();
+    // Physical sanity: temperatures below absolute zero, non-positive
+    // rails/clocks, or duty outside [0, 1] are config bugs, not data.
+    if (op.temperature_c <= -273.15 || op.vdd <= 0.0 ||
+        op.frequency_ghz <= 0.0 || op.duty_cycle < 0.0 ||
+        op.duty_cycle > 1.0) {
+        return std::nullopt;
+    }
+    return op;
+}
+
+Json MissionPhase::to_json() const {
+    Json j = Json::object();
+    j.set("name", name);
+    j.set("duration_years", duration_years);
+    j.set("op", op.to_json());
+    return j;
+}
+
+std::optional<MissionPhase> MissionPhase::from_json(const Json& j) {
+    if (!j.is_object()) return std::nullopt;
+    const Json* name = j.find("name");
+    const Json* duration = j.find("duration_years");
+    const Json* op = j.find("op");
+    if (!name || !name->is_string() || !finite_number(duration) || !op) {
+        return std::nullopt;
+    }
+    MissionPhase phase;
+    phase.name = name->as_string();
+    phase.duration_years = duration->as_number();
+    if (phase.duration_years <= 0.0) return std::nullopt;
+    const auto parsed = OperatingPoint::from_json(*op);
+    if (!parsed) return std::nullopt;
+    phase.op = *parsed;
+    return phase;
+}
+
+double MissionProfile::cycle_years() const {
+    double total = 0.0;
+    for (const MissionPhase& p : phases) total += p.duration_years;
+    return total;
+}
+
+double MissionProfile::equivalent_years(
+    double years, std::span<const double> phase_rates) const {
+    if (!(years > 0.0) || phases.empty()) return 0.0;
+    double acc = 0.0;
+    double remaining = years;
+    if (cycle) {
+        const double period = cycle_years();
+        if (period > 0.0) {
+            // Fold whole schedule repetitions in closed form; the walk
+            // below only covers the final partial cycle.
+            const double full = std::floor(years / period);
+            if (full >= 1.0) {
+                double per_cycle = 0.0;
+                for (std::size_t i = 0; i < phases.size(); ++i) {
+                    per_cycle += phases[i].duration_years * phase_rates[i];
+                }
+                acc = full * per_cycle;
+                remaining = years - full * period;
+            }
+        }
+    }
+    for (std::size_t i = 0; i < phases.size() && remaining > 0.0; ++i) {
+        const bool open_tail = !cycle && i + 1 == phases.size();
+        const double dt = open_tail
+                              ? remaining
+                              : std::min(remaining, phases[i].duration_years);
+        acc += dt * phase_rates[i];
+        remaining -= dt;
+    }
+    if (remaining > 0.0) {
+        // Floating-point sliver past the folded cycles lands at the
+        // start of the next repetition.
+        acc += remaining * phase_rates[0];
+    }
+    return acc;
+}
+
+const OperatingPoint& MissionProfile::at(double years) const {
+    static const OperatingPoint kReference{};
+    if (phases.empty()) return kReference;
+    double t = std::max(years, 0.0);
+    const double period = cycle_years();
+    if (cycle && period > 0.0) t -= std::floor(t / period) * period;
+    double edge = 0.0;
+    for (const MissionPhase& p : phases) {
+        edge += p.duration_years;
+        if (t < edge) return p.op;
+    }
+    return phases.back().op;
+}
+
+Json MissionProfile::to_json() const {
+    Json j = Json::object();
+    j.set("name", name);
+    j.set("cycle", cycle);
+    Json arr = Json::array();
+    for (const MissionPhase& p : phases) arr.push_back(p.to_json());
+    j.set("phases", std::move(arr));
+    return j;
+}
+
+std::optional<MissionProfile> MissionProfile::from_json(const Json& j) {
+    if (!j.is_object()) return std::nullopt;
+    const Json* name = j.find("name");
+    const Json* cycle = j.find("cycle");
+    const Json* phases = j.find("phases");
+    if (!name || !name->is_string() || !cycle || !cycle->is_bool() ||
+        !phases || !phases->is_array() || phases->as_array().empty()) {
+        return std::nullopt;
+    }
+    MissionProfile profile;
+    profile.name = name->as_string();
+    profile.cycle = cycle->as_bool();
+    for (const Json& p : phases->as_array()) {
+        const auto parsed = MissionPhase::from_json(p);
+        if (!parsed) return std::nullopt;
+        profile.phases.push_back(*parsed);
+    }
+    return profile;
+}
+
+std::span<const MissionProfile> builtin_mission_profiles() {
+    // One-year schedules, repeated over the horizon.  Operating points
+    // are relative to the calibration reference (55 C, 0.80 V, 1 GHz,
+    // duty 1): the server barely leaves it, the automotive profile
+    // thermal-cycles far above it, the mobile profile idles far below.
+    static const std::vector<MissionProfile> kBuiltins = {
+        MissionProfile{
+            "server_247",
+            {
+                MissionPhase{"production", 0.75,
+                             OperatingPoint{65.0, 0.80, 1.0, 0.95}},
+                MissionPhase{"maintenance", 0.25,
+                             OperatingPoint{45.0, 0.80, 1.0, 0.30}},
+            },
+            true},
+        MissionProfile{
+            "automotive_thermal_cycling",
+            {
+                MissionPhase{"cold_start", 0.05,
+                             OperatingPoint{-20.0, 0.85, 1.0, 0.60}},
+                MissionPhase{"highway", 0.10,
+                             OperatingPoint{105.0, 0.85, 1.0, 0.90}},
+                MissionPhase{"city", 0.15,
+                             OperatingPoint{85.0, 0.85, 1.0, 0.70}},
+                MissionPhase{"parked", 0.70,
+                             OperatingPoint{30.0, 0.85, 1.0, 0.02}},
+            },
+            true},
+        MissionProfile{
+            "mobile_bursty",
+            {
+                MissionPhase{"burst", 0.05,
+                             OperatingPoint{85.0, 0.90, 1.5, 1.00}},
+                MissionPhase{"active", 0.20,
+                             OperatingPoint{45.0, 0.80, 1.0, 0.50}},
+                MissionPhase{"idle", 0.75,
+                             OperatingPoint{30.0, 0.70, 0.3, 0.05}},
+            },
+            true},
+    };
+    return kBuiltins;
+}
+
+const MissionProfile* find_mission_profile(std::string_view name) {
+    for (const MissionProfile& p : builtin_mission_profiles()) {
+        if (p.name == name) return &p;
+    }
+    return nullptr;
+}
+
+MissionProfile load_mission_profile(const std::string& spec) {
+    if (const MissionProfile* builtin = find_mission_profile(spec)) {
+        return *builtin;
+    }
+    std::ifstream in(spec);
+    if (!in) {
+        reject("unknown mission profile '" + spec +
+               "' (not a built-in name or readable JSON file; "
+               "see --list-profiles)");
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    std::string error;
+    const auto parsed = Json::parse(text.str(), &error);
+    if (!parsed) {
+        reject("mission profile file '" + spec + "': " + error);
+    }
+    const auto profile = MissionProfile::from_json(*parsed);
+    if (!profile) {
+        reject("mission profile file '" + spec +
+               "': not a valid profile (need name, cycle, and a "
+               "non-empty phases array of positive durations)");
+    }
+    return *profile;
+}
+
+std::string describe_mission_profiles() {
+    std::string out;
+    for (const MissionProfile& p : builtin_mission_profiles()) {
+        char line[160];
+        std::snprintf(line, sizeof line, "%s (%s, %.2f-year schedule)\n",
+                      p.name.c_str(),
+                      p.cycle ? "cycling" : "holds last phase",
+                      p.cycle_years());
+        out += line;
+        for (const MissionPhase& phase : p.phases) {
+            std::snprintf(line, sizeof line,
+                          "  %-12s %5.2f y  T=%6.1fC  Vdd=%.2fV  "
+                          "f=%.2fGHz  duty=%.2f\n",
+                          phase.name.c_str(), phase.duration_years,
+                          phase.op.temperature_c, phase.op.vdd,
+                          phase.op.frequency_ghz, phase.op.duty_cycle);
+            out += line;
+        }
+    }
+    return out;
+}
+
+}  // namespace fastmon

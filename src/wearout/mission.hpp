@@ -1,0 +1,102 @@
+// Mission profiles: operating-condition schedules over a device's
+// deployed lifetime.
+//
+// A wear-out mechanism's stress rate depends on where the silicon is
+// deployed — a 24/7 server at a steady 65 C ages differently from an
+// automotive ECU thermal-cycling between -40 C and 105 C or a mobile
+// SoC that is mostly idle.  A MissionProfile sequences OperatingPoints
+// (temperature, voltage, frequency, duty cycle) over calendar time;
+// each mechanism integrates its stress rate over the schedule into an
+// equivalent stress time, which then drives its power-law degradation.
+// Profiles are pure data (JSON round-trippable) so campaigns can load
+// custom schedules from disk next to the built-in trio.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace fastmon {
+
+/// One steady operating condition.  The reference point (defaults) is
+/// the condition mechanism amplitudes are calibrated at: stress rates
+/// are relative to it, so a profile pinned at the reference point ages
+/// exactly like the profile-free legacy model.
+struct OperatingPoint {
+    double temperature_c = 55.0;  ///< junction temperature
+    double vdd = 0.80;            ///< supply voltage in volts
+    double frequency_ghz = 1.0;   ///< operating clock
+    double duty_cycle = 1.0;      ///< active fraction of wall time
+
+    [[nodiscard]] Json to_json() const;
+    static std::optional<OperatingPoint> from_json(const Json& j);
+
+    friend bool operator==(const OperatingPoint&,
+                           const OperatingPoint&) = default;
+};
+
+/// A named stretch of the mission at one operating point.
+struct MissionPhase {
+    std::string name;
+    double duration_years = 1.0;
+    OperatingPoint op;
+
+    [[nodiscard]] Json to_json() const;
+    static std::optional<MissionPhase> from_json(const Json& j);
+
+    friend bool operator==(const MissionPhase&,
+                           const MissionPhase&) = default;
+};
+
+/// A phase schedule over the lifetime.  With `cycle` set the schedule
+/// repeats end-to-end (thermal cycling, diurnal load); otherwise the
+/// final phase holds for the rest of the horizon.
+struct MissionProfile {
+    std::string name;
+    std::vector<MissionPhase> phases;
+    bool cycle = true;
+
+    /// Wall-clock length of one pass through the schedule.
+    [[nodiscard]] double cycle_years() const;
+
+    /// Equivalent stress time accumulated by `years` given one
+    /// per-phase stress rate (years of reference-condition stress per
+    /// wall-clock year in that phase).  phase_rates.size() must equal
+    /// phases.size().  Full cycles are folded in closed form so a
+    /// 15-year horizon over a week-scale schedule stays O(phases).
+    [[nodiscard]] double equivalent_years(
+        double years, std::span<const double> phase_rates) const;
+
+    /// The operating point active at `years` (first phase at t = 0;
+    /// boundaries belong to the later phase).
+    [[nodiscard]] const OperatingPoint& at(double years) const;
+
+    [[nodiscard]] Json to_json() const;
+    static std::optional<MissionProfile> from_json(const Json& j);
+
+    friend bool operator==(const MissionProfile&,
+                           const MissionProfile&) = default;
+};
+
+/// The built-in profiles (server_247, automotive_thermal_cycling,
+/// mobile_bursty), in a fixed presentation order.
+[[nodiscard]] std::span<const MissionProfile> builtin_mission_profiles();
+
+/// Built-in profile by name; nullptr when unknown.
+[[nodiscard]] const MissionProfile* find_mission_profile(
+    std::string_view name);
+
+/// Resolves `spec` to a profile: a built-in name, or a path to a JSON
+/// profile file.  Throws a Diagnostic ("wearout" source) when the spec
+/// matches neither, the file is unreadable, or the JSON is malformed.
+[[nodiscard]] MissionProfile load_mission_profile(const std::string& spec);
+
+/// Human-readable catalog of the built-ins (--list-profiles output):
+/// one block per profile with its phase schedule.
+[[nodiscard]] std::string describe_mission_profiles();
+
+}  // namespace fastmon

@@ -27,6 +27,31 @@ TEST(AgingModel, FactorMonotoneAndAnchored) {
     }
 }
 
+TEST(AgingModel, PowTermIsZeroAtAndBeforeDeployment) {
+    AgingModel m;
+    m.amplitude = 0.2;
+    m.exponent = 0.3;
+    m.t_ref_years = 10.0;
+    // years <= 0 must be exactly 0.0 for every exponent: pow(0, n)
+    // raises domain errors for n < 0 and pow(negative, 0.3) is NaN, so
+    // the mission-profile path (which queries tau = 0 at deployment)
+    // relies on the explicit guard.
+    EXPECT_EQ(m.pow_term(0.0), 0.0);
+    EXPECT_EQ(m.pow_term(-5.0), 0.0);
+    EXPECT_EQ(m.pow_term(std::numeric_limits<double>::quiet_NaN()), 0.0);
+    AgingModel inverse = m;
+    inverse.exponent = -0.5;
+    EXPECT_EQ(inverse.pow_term(0.0), 0.0);
+    EXPECT_TRUE(std::isfinite(inverse.pow_term(0.0)));
+    // The factor identity holds bit-for-bit on the positive branch...
+    for (double y : {0.25, 1.0, 7.5, 10.0, 14.75}) {
+        EXPECT_EQ(m.factor(y), 1.0 + m.amplitude * m.pow_term(y));
+    }
+    // ...and anchors at exactly 1 at t_ref and 1.0 flat before t = 0.
+    EXPECT_DOUBLE_EQ(m.pow_term(10.0), 1.0);
+    EXPECT_EQ(m.factor(-1.0), 1.0);
+}
+
 TEST(AgingModel, SublinearExponentFrontLoads) {
     AgingModel m;
     m.amplitude = 0.2;

@@ -11,6 +11,9 @@
 #include "flow/hdf_flow.hpp"
 #include "monitor/aging.hpp"
 #include "util/json.hpp"
+#include "wearout/activity.hpp"
+#include "wearout/mechanism.hpp"
+#include "wearout/mission.hpp"
 
 namespace fastmon {
 namespace {
@@ -83,6 +86,127 @@ TEST(JsonRoundtrip, CoverageRow) {
     r.reduction_percent = 64.58333333333333;
     expect_roundtrip(r);
     expect_roundtrip(CoverageRow{});
+}
+
+TEST(JsonRoundtrip, DeviceOutcomeWithAttribution) {
+    DeviceOutcome out;
+    out.index = 3;
+    out.failure_years = 6.5;
+    out.first_alert_years = {-1.0, 4.0};
+    out.dominant_mechanism = "nbti";
+    out.dominant_share = 0.625;
+    expect_roundtrip(out);
+}
+
+TEST(JsonRoundtrip, OperatingPoint) {
+    OperatingPoint op;
+    op.temperature_c = 105.0;
+    op.vdd = 0.85;
+    op.frequency_ghz = 1.5;
+    op.duty_cycle = 0.75;
+    expect_roundtrip(op);
+    expect_roundtrip(OperatingPoint{});
+}
+
+TEST(JsonRoundtrip, MissionPhaseAndProfile) {
+    MissionPhase phase;
+    phase.name = "highway";
+    phase.duration_years = 0.125;
+    phase.op.temperature_c = 105.0;
+    expect_roundtrip(phase);
+
+    // Every builtin profile survives the disk round trip — this is the
+    // path custom --mission-profile JSON files take.
+    for (const MissionProfile& p : builtin_mission_profiles()) {
+        expect_roundtrip(p);
+    }
+    MissionProfile hold;
+    hold.name = "hold";
+    hold.cycle = false;
+    hold.phases = {phase};
+    expect_roundtrip(hold);
+}
+
+TEST(JsonRoundtrip, MechanismConfig) {
+    for (const MechanismKind kind :
+         {MechanismKind::LegacyPowerLaw, MechanismKind::Nbti,
+          MechanismKind::Hci, MechanismKind::Em, MechanismKind::Tddb}) {
+        expect_roundtrip(MechanismConfig::defaults(kind));
+    }
+    MechanismConfig custom = MechanismConfig::defaults(MechanismKind::Hci);
+    custom.amplitude = 0.0625;
+    custom.weibull_beta = 1.5;
+    expect_roundtrip(custom);
+}
+
+TEST(JsonRoundtrip, ActivityConfig) {
+    expect_roundtrip(ActivityConfig{});
+    ActivityConfig constant;
+    constant.mode = ActivityConfig::Mode::Constant;
+    constant.num_pattern_pairs = 8;
+    constant.seed = 99;
+    expect_roundtrip(constant);
+}
+
+TEST(JsonRoundtrip, WearoutRejectsUnphysicalValues) {
+    // Operating point: below absolute zero, dead rail, duty > 1.
+    OperatingPoint op;
+    Json j = op.to_json();
+    j.set("temperature_c", -300.0);
+    expect_rejected<OperatingPoint>(j);
+    j = op.to_json();
+    j.set("vdd", 0.0);
+    expect_rejected<OperatingPoint>(j);
+    j = op.to_json();
+    j.set("duty_cycle", 1.5);
+    expect_rejected<OperatingPoint>(j);
+
+    // Phase: non-positive duration.
+    MissionPhase phase;
+    phase.name = "p";
+    Json jp = phase.to_json();
+    jp.set("duration_years", 0.0);
+    expect_rejected<MissionPhase>(jp);
+
+    // Profile: empty phase array, missing cycle flag.
+    MissionProfile profile;
+    profile.name = "x";
+    profile.phases = {phase};
+    Json jm = profile.to_json();
+    jm.set("phases", Json::array());
+    expect_rejected<MissionProfile>(jm);
+    jm = profile.to_json();
+    jm.set("cycle", Json());
+    expect_rejected<MissionProfile>(jm);
+
+    // Mechanism: unknown kind, negative amplitude, degenerate Weibull.
+    MechanismConfig mech = MechanismConfig::defaults(MechanismKind::Em);
+    Json jk = mech.to_json();
+    jk.set("kind", "rust");
+    expect_rejected<MechanismConfig>(jk);
+    jk = mech.to_json();
+    jk.set("amplitude", -0.1);
+    expect_rejected<MechanismConfig>(jk);
+    jk = mech.to_json();
+    jk.set("weibull_beta", 0.0);
+    expect_rejected<MechanismConfig>(jk);
+
+    // Activity: unknown mode, zero pattern pairs.
+    ActivityConfig act;
+    Json ja = act.to_json();
+    ja.set("mode", "psychic");
+    expect_rejected<ActivityConfig>(ja);
+    ja = act.to_json();
+    ja.set("num_pattern_pairs", 0);
+    expect_rejected<ActivityConfig>(ja);
+
+    // Outcome: attribution share without a mechanism name is malformed.
+    DeviceOutcome out;
+    out.dominant_mechanism = "nbti";
+    out.dominant_share = 0.5;
+    Json jo = out.to_json();
+    jo.set("dominant_mechanism", 7.0);
+    expect_rejected<DeviceOutcome>(jo);
 }
 
 TEST(JsonRoundtrip, RejectsWrongShapes) {

@@ -53,6 +53,18 @@ void print_usage() {
         "  --early-fail <years>     early-life-failure cutoff (default 3)\n"
         "  --clock-margin <m>       deployed clk = m * cpl (default 1.6)\n"
         "\n"
+        "wear-out (default: legacy single-knob aging, bit-identical to\n"
+        "previous releases):\n"
+        "  --mission-profile <p>    enable multi-mechanism wear-out\n"
+        "                           (NBTI/HCI/EM/TDDB + legacy knob) under\n"
+        "                           a mission profile: a built-in name or\n"
+        "                           a profile JSON file\n"
+        "  --activity-patterns <n>  pattern pairs for waveform activity\n"
+        "                           characterization (default 32;\n"
+        "                           0 = constant unit activity)\n"
+        "  --list-profiles          print the built-in mission profiles\n"
+        "                           and their phase schedules, then exit\n"
+        "\n"
         "execution:\n"
         "  --threads <n>            0 = shared pool, 1 = serial (default 0)\n"
         "  --checkpoint <path>      resumable snapshot file\n"
@@ -130,6 +142,32 @@ bool parse_args(int argc, char** argv, CliOptions& opt) {
         if (strcmp(arg, "--help") == 0 || strcmp(arg, "-h") == 0) {
             print_usage();
             std::exit(0);
+        } else if (strcmp(arg, "--list-profiles") == 0) {
+            std::cout << fastmon::describe_mission_profiles();
+            std::exit(0);
+        } else if (strcmp(arg, "--mission-profile") == 0) {
+            if (!(v = need_value(i))) return false;
+            // Resolve now (built-in name or JSON file): run_campaign
+            // and the canonical fingerprint only ever see the resolved
+            // profile, never a path.
+            try {
+                opt.config.wearout.mission =
+                    fastmon::load_mission_profile(v);
+            } catch (const std::exception& e) {
+                std::cerr << "error: " << e.what() << "\n";
+                return false;
+            }
+            opt.config.wearout.enabled = true;
+        } else if (strcmp(arg, "--activity-patterns") == 0) {
+            if (!(v = need_value(i))) return false;
+            const long long n = std::atoll(v);
+            if (n <= 0) {
+                opt.config.wearout.activity.mode =
+                    fastmon::ActivityConfig::Mode::Constant;
+            } else {
+                opt.config.wearout.activity.num_pattern_pairs =
+                    static_cast<std::size_t>(n);
+            }
         } else if (strcmp(arg, "--resume") == 0) {
             opt.config.resume = true;
         } else if (strcmp(arg, "--full-sta") == 0) {
@@ -255,6 +293,14 @@ void print_summary(const fastmon::CampaignResult& result) {
     lead_row("imminent band -> failure", agg.lead_time_imminent);
     lead_row("wear-out failure year", agg.wearout_failure_years);
     leads.print(std::cout);
+
+    if (!agg.failed_by_mechanism.empty()) {
+        std::printf("dominant mechanism of failures:");
+        for (const auto& [name, count] : agg.failed_by_mechanism) {
+            std::printf(" %s=%zu", name.c_str(), count);
+        }
+        std::printf("\n");
+    }
 
     if (result.status.cancelled) {
         std::printf("NOTE: campaign cancelled (%s) — partial aggregate\n",
