@@ -33,7 +33,7 @@ int main() {
     config.seed = 4711;
     config.max_simulated_faults = settings.fast ? 800 : 2000;
     config.atpg.max_random_batches = settings.fast ? 30 : 100;
-    config.atpg.max_podem_faults = 200;
+    config.atpg.max_deterministic_faults = 200;
 
     // --- A: pulse filtering --------------------------------------------
     std::printf("\n[A] pessimistic pulse filtering (Sec. II-A)\n");

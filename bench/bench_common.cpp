@@ -80,7 +80,7 @@ HdfFlowConfig bench_flow_config(const BenchSettings& settings,
     config.seed = profile.seed;
     config.max_simulated_faults = settings.max_faults;
     config.atpg.seed = profile.seed;
-    config.atpg.max_podem_faults = settings.fast ? 0 : 400;
+    config.atpg.max_deterministic_faults = settings.fast ? 0 : 400;
     config.atpg.deterministic_phase = !settings.fast;
     config.atpg.max_random_batches = settings.fast ? 40 : 150;
     config.solver.time_limit_sec = settings.fast ? 2.0 : 10.0;

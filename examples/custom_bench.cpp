@@ -5,7 +5,7 @@
 #include <iostream>
 
 #include "flow/hdf_flow.hpp"
-#include "netlist/bench_io.hpp"
+#include "netlist/netlist_io.hpp"
 #include "timing/sdf.hpp"
 #include "timing/sta_engine.hpp"
 
@@ -35,14 +35,15 @@ z  = XOR(r0, r1)
 int main() {
     using namespace fastmon;
 
-    // 1. Write the .bench file and parse it back (any external file
-    //    works with read_bench_file directly).
+    // 1. Write the .bench file and parse it back.  read_netlist
+    //    dispatches on the extension, so the same call also accepts
+    //    .v structural Verilog and .aag/.aig AIGER files.
     const std::string bench_path = "demo_pipeline.bench";
     {
         std::ofstream out(bench_path);
         out << kDemoBench;
     }
-    const Netlist netlist = read_bench_file(bench_path);
+    const Netlist netlist = read_netlist(bench_path);
     std::cout << "parsed " << netlist.name() << ": "
               << netlist.num_comb_gates() << " gates, "
               << netlist.flip_flops().size() << " FFs\n";

@@ -14,8 +14,8 @@
 int main() {
     using namespace fastmon;
 
-    // 1. The embedded s27 netlist (any .bench file works the same way
-    //    through read_bench_file()).
+    // 1. The embedded s27 netlist (any .bench/.v/.aag/.aig file works
+    //    the same way through read_netlist()).
     const Netlist netlist = make_s27();
     std::cout << "circuit " << netlist.name() << ": "
               << netlist.num_comb_gates() << " gates, "

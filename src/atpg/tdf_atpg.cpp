@@ -114,10 +114,11 @@ AtpgResult generate_tdf_tests(const Netlist& netlist,
 
     random_span.end();
 
-    // --- Phase 2: deterministic PODEM ---------------------------------
+    // --- Phase 2: deterministic engine (PODEM / SAT / auto) -----------
     TraceSpan podem_span("atpg_podem", "atpg");
     if (config.deterministic_phase && !result.interrupted) {
-        const Podem podem(netlist, config.podem_backtrack_limit);
+        const std::unique_ptr<AtpgEngine> engine =
+            make_atpg_engine(netlist, config);
         std::size_t targeted = 0;
         for (std::size_t fi = 0; fi < faults.size(); ++fi) {
             if (cancel.cancelled()) {
@@ -127,44 +128,22 @@ AtpgResult generate_tdf_tests(const Netlist& netlist,
                 break;
             }
             if (detected[fi]) continue;
-            if (config.max_podem_faults != 0 &&
-                targeted >= config.max_podem_faults) {
+            if (config.max_deterministic_faults != 0 &&
+                targeted >= config.max_deterministic_faults) {
                 break;
             }
             ++targeted;
-            const TdfFault& f = faults[fi];
-            // v2 must detect "site stuck at the initial value".
-            const bool initial = !f.slow_rising;  // STR: 0 -> 1
-            const PodemResult v2 = podem.generate_test(f.site, initial);
-            total_backtracks += v2.backtracks;
-            if (v2.status == PodemStatus::Untestable) {
+            AtpgFaultResult target = engine->generate(faults[fi], rng);
+            total_backtracks += target.effort;
+            if (target.verdict == AtpgVerdict::Untestable) {
                 ++result.num_untestable;
                 continue;
             }
-            if (v2.status == PodemStatus::Aborted) {
+            if (target.verdict == AtpgVerdict::Aborted) {
                 ++result.num_aborted;
                 continue;
             }
-            // v1 must set the site to the initial value.
-            const PodemResult v1 = podem.justify(f.site, initial);
-            total_backtracks += v1.backtracks;
-            if (v1.status == PodemStatus::Untestable) {
-                ++result.num_untestable;
-                continue;
-            }
-            if (v1.status == PodemStatus::Aborted) {
-                ++result.num_aborted;
-                continue;
-            }
-            PatternPair p;
-            p.v1.resize(n_src);
-            p.v2.resize(n_src);
-            for (std::size_t s = 0; s < n_src; ++s) {
-                p.v1[s] = v1.assigned[s] ? v1.vector[s]
-                                         : (rng.chance(0.5) ? 1 : 0);
-                p.v2[s] = v2.assigned[s] ? v2.vector[s]
-                                         : (rng.chance(0.5) ? 1 : 0);
-            }
+            PatternPair p = std::move(target.pattern);
             // Confirm and drop any other faults the pattern catches.
             const std::vector<PatternPair> one{p};
             const auto batch = sim.pack(one, 0);

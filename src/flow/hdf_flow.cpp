@@ -136,6 +136,12 @@ void HdfFlow::fill_config(RunManifest& m) const {
     m.set_config("max_simulated_faults", config_.max_simulated_faults);
     m.set_config("num_threads", config_.num_threads);
     m.set_config("glitch_threshold", config_.glitch_threshold);
+    m.set_config("atpg_engine",
+                 std::string(atpg_engine_kind_name(config_.atpg.engine)));
+    m.set_config("atpg_podem_backtrack_limit",
+                 config_.atpg.podem_backtrack_limit);
+    m.set_config("atpg_sat_conflict_budget", config_.atpg.sat_conflict_budget);
+    m.set_config("atpg_sat_restart_period", config_.atpg.sat_restart_period);
 }
 
 void HdfFlow::flush_manifest(const char* outcome) const {

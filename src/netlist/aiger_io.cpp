@@ -1,0 +1,623 @@
+#include "netlist/aiger_io.hpp"
+
+#include <cctype>
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "util/diagnostic.hpp"
+#include "util/fault_inject.hpp"
+
+namespace fastmon {
+
+namespace {
+
+// Upper bound on any single header count.  AIGER headers are attacker
+// (or fuzzer) controlled; without a cap a mutated count would drive a
+// multi-gigabyte allocation before the first literal is even read.
+constexpr std::uint64_t kMaxCount = 10'000'000;
+
+struct AigLatch {
+    std::uint64_t lhs = 0;   ///< current-state literal (even)
+    std::uint64_t next = 0;  ///< next-state literal
+};
+
+struct AigAnd {
+    std::uint64_t lhs = 0;
+    std::uint64_t rhs0 = 0;
+    std::uint64_t rhs1 = 0;
+};
+
+/// Raw parse of an AIGER file, before netlist construction.
+struct AigFile {
+    std::uint64_t max_var = 0;
+    std::vector<std::uint64_t> inputs;  ///< even literals
+    std::vector<AigLatch> latches;
+    std::vector<std::uint64_t> outputs;  ///< arbitrary literals
+    std::vector<AigAnd> ands;
+    std::unordered_map<std::size_t, std::string> input_names;
+    std::unordered_map<std::size_t, std::string> latch_names;
+    std::unordered_map<std::size_t, std::string> output_names;
+};
+
+class AigerParser {
+public:
+    AigerParser(std::string data, const std::string& file_path)
+        : data_(std::move(data)), file_path_(file_path) {}
+
+    AigFile parse() {
+        AigFile aig;
+        parse_header();
+        aig.max_var = m_;
+        if (binary_) {
+            parse_binary_body(aig);
+        } else {
+            parse_ascii_body(aig);
+        }
+        parse_symbols(aig);
+        return aig;
+    }
+
+private:
+    [[noreturn]] void fail(const std::string& msg,
+                           const std::string& excerpt = {}) const {
+        throw Diagnostic("aiger", file_path_, line_no_, 0, msg, excerpt);
+    }
+
+    [[nodiscard]] bool at_end() const { return pos_ >= data_.size(); }
+
+    /// Next '\n'-terminated line (CR stripped); fails when `required`
+    /// and the data is exhausted.
+    std::string next_line(const char* what) {
+        if (at_end()) fail(std::string("unexpected end of file: expected ") + what);
+        ++line_no_;
+        const auto nl = data_.find('\n', pos_);
+        std::string line = nl == std::string::npos
+                               ? data_.substr(pos_)
+                               : data_.substr(pos_, nl - pos_);
+        pos_ = nl == std::string::npos ? data_.size() : nl + 1;
+        if (!line.empty() && line.back() == '\r') line.pop_back();
+        return line;
+    }
+
+    /// Splits a line into whitespace-separated unsigned integers.
+    std::vector<std::uint64_t> parse_uints(const std::string& line,
+                                           std::size_t min_count,
+                                           std::size_t max_count,
+                                           const char* what) {
+        std::vector<std::uint64_t> out;
+        std::size_t i = 0;
+        while (i < line.size()) {
+            while (i < line.size() &&
+                   std::isspace(static_cast<unsigned char>(line[i]))) {
+                ++i;
+            }
+            if (i >= line.size()) break;
+            if (!std::isdigit(static_cast<unsigned char>(line[i]))) {
+                fail(std::string("expected unsigned integer in ") + what, line);
+            }
+            std::uint64_t v = 0;
+            while (i < line.size() &&
+                   std::isdigit(static_cast<unsigned char>(line[i]))) {
+                v = v * 10 + static_cast<std::uint64_t>(line[i] - '0');
+                if (v > (std::uint64_t(1) << 40)) {
+                    fail(std::string("integer out of range in ") + what, line);
+                }
+                ++i;
+            }
+            out.push_back(v);
+        }
+        if (out.size() < min_count || out.size() > max_count) {
+            fail(std::string("wrong field count in ") + what, line);
+        }
+        return out;
+    }
+
+    void parse_header() {
+        const std::string line = next_line("header");
+        std::istringstream hs(line);
+        std::string magic;
+        hs >> magic;
+        if (magic == "aig") {
+            binary_ = true;
+        } else if (magic != "aag") {
+            fail("not an AIGER file: header must start with 'aag' or 'aig'",
+                 line);
+        }
+        const auto counts = parse_uints(line.substr(magic.size()), 5, 5,
+                                        "header (need M I L O A)");
+        m_ = counts[0];
+        i_ = counts[1];
+        l_ = counts[2];
+        o_ = counts[3];
+        a_ = counts[4];
+        for (std::uint64_t c : {m_, i_, l_, o_, a_}) {
+            if (c > kMaxCount) fail("header count too large", line);
+        }
+        if (i_ + l_ + a_ > m_) {
+            fail("inconsistent header: I + L + A exceeds M", line);
+        }
+        if (binary_ && i_ + l_ + a_ != m_) {
+            fail("inconsistent binary header: M must equal I + L + A", line);
+        }
+    }
+
+    void check_literal(std::uint64_t lit, const std::string& line) {
+        if (lit > 2 * m_ + 1) {
+            fail("literal " + std::to_string(lit) + " exceeds maxvar " +
+                     std::to_string(m_),
+                 line);
+        }
+    }
+
+    void parse_latch_fields(const std::vector<std::uint64_t>& fields,
+                            std::size_t lhs_field, std::uint64_t implicit_lhs,
+                            const std::string& line, AigFile& aig) {
+        AigLatch latch;
+        latch.lhs = lhs_field < fields.size() ? fields[lhs_field] : implicit_lhs;
+        latch.next = fields[lhs_field < fields.size() ? lhs_field + 1 : 0];
+        check_literal(latch.lhs, line);
+        check_literal(latch.next, line);
+        if ((latch.lhs & 1) != 0 || latch.lhs == 0) {
+            fail("latch literal must be a positive even literal", line);
+        }
+        // AIGER 1.9 optional reset value: only the default (0) is
+        // representable as a netlist DFF.
+        const std::size_t reset_field =
+            lhs_field < fields.size() ? lhs_field + 2 : 1;
+        if (fields.size() > reset_field && fields[reset_field] != 0) {
+            fail("unsupported non-zero latch reset value", line);
+        }
+        aig.latches.push_back(latch);
+    }
+
+    void parse_ascii_body(AigFile& aig) {
+        for (std::uint64_t k = 0; k < i_; ++k) {
+            const std::string line = next_line("input definition");
+            const auto f = parse_uints(line, 1, 1, "input definition");
+            check_literal(f[0], line);
+            if ((f[0] & 1) != 0 || f[0] == 0) {
+                fail("input literal must be a positive even literal", line);
+            }
+            aig.inputs.push_back(f[0]);
+        }
+        for (std::uint64_t k = 0; k < l_; ++k) {
+            const std::string line = next_line("latch definition");
+            const auto f = parse_uints(line, 2, 3, "latch definition");
+            parse_latch_fields(f, 0, 0, line, aig);
+        }
+        for (std::uint64_t k = 0; k < o_; ++k) {
+            const std::string line = next_line("output definition");
+            const auto f = parse_uints(line, 1, 1, "output definition");
+            check_literal(f[0], line);
+            aig.outputs.push_back(f[0]);
+        }
+        for (std::uint64_t k = 0; k < a_; ++k) {
+            const std::string line = next_line("and definition");
+            const auto f = parse_uints(line, 3, 3, "and definition");
+            for (std::uint64_t lit : f) check_literal(lit, line);
+            if ((f[0] & 1) != 0 || f[0] == 0) {
+                fail("and literal must be a positive even literal", line);
+            }
+            aig.ands.push_back(AigAnd{f[0], f[1], f[2]});
+        }
+    }
+
+    /// LEB128-style delta decode of the binary AND section.
+    std::uint64_t decode_varint() {
+        std::uint64_t x = 0;
+        unsigned shift = 0;
+        while (true) {
+            if (at_end()) fail("truncated binary and section (EOF mid-varint)");
+            const auto ch = static_cast<unsigned char>(data_[pos_++]);
+            x |= static_cast<std::uint64_t>(ch & 0x7F) << shift;
+            if ((ch & 0x80) == 0) break;
+            shift += 7;
+            if (shift > 42) fail("varint overflow in binary and section");
+        }
+        return x;
+    }
+
+    void parse_binary_body(AigFile& aig) {
+        for (std::uint64_t k = 0; k < i_; ++k) {
+            aig.inputs.push_back(2 * (k + 1));
+        }
+        for (std::uint64_t k = 0; k < l_; ++k) {
+            const std::string line = next_line("latch definition");
+            const auto f = parse_uints(line, 1, 2, "latch definition");
+            parse_latch_fields(f, f.size(), 2 * (i_ + k + 1), line, aig);
+        }
+        for (std::uint64_t k = 0; k < o_; ++k) {
+            const std::string line = next_line("output definition");
+            const auto f = parse_uints(line, 1, 1, "output definition");
+            check_literal(f[0], line);
+            aig.outputs.push_back(f[0]);
+        }
+        for (std::uint64_t k = 0; k < a_; ++k) {
+            const std::uint64_t lhs = 2 * (i_ + l_ + k + 1);
+            const std::uint64_t delta0 = decode_varint();
+            if (delta0 > lhs) {
+                fail("binary and node " + std::to_string(lhs) +
+                     ": delta exceeds lhs (corrupt ordering)");
+            }
+            const std::uint64_t rhs0 = lhs - delta0;
+            const std::uint64_t delta1 = decode_varint();
+            if (delta1 > rhs0) {
+                fail("binary and node " + std::to_string(lhs) +
+                     ": second delta exceeds first rhs");
+            }
+            aig.ands.push_back(AigAnd{lhs, rhs0, rhs0 - delta1});
+        }
+    }
+
+    void parse_symbols(AigFile& aig) {
+        while (!at_end()) {
+            const std::string line = next_line("symbol table");
+            if (line.empty()) continue;
+            if (line[0] == 'c') return;  // comment section: ignore the rest
+            const char kind = line[0];
+            if (kind != 'i' && kind != 'l' && kind != 'o') {
+                fail("expected symbol entry (i/l/o) or comment section", line);
+            }
+            std::size_t i = 1, index = 0;
+            if (i >= line.size() ||
+                !std::isdigit(static_cast<unsigned char>(line[i]))) {
+                fail("malformed symbol entry", line);
+            }
+            while (i < line.size() &&
+                   std::isdigit(static_cast<unsigned char>(line[i]))) {
+                index = index * 10 + static_cast<std::size_t>(line[i] - '0');
+                if (index > kMaxCount) fail("symbol index out of range", line);
+                ++i;
+            }
+            if (i >= line.size() || line[i] != ' ') {
+                fail("malformed symbol entry", line);
+            }
+            const std::string name = line.substr(i + 1);
+            if (name.empty()) fail("empty symbol name", line);
+            const std::size_t limit = kind == 'i'   ? aig.inputs.size()
+                                      : kind == 'l' ? aig.latches.size()
+                                                    : aig.outputs.size();
+            if (index >= limit) {
+                fail("symbol index out of range for '" + std::string(1, kind) +
+                         "' section",
+                     line);
+            }
+            auto& table = kind == 'i'   ? aig.input_names
+                          : kind == 'l' ? aig.latch_names
+                                        : aig.output_names;
+            table[index] = name;
+        }
+    }
+
+    std::string data_;
+    const std::string& file_path_;
+    std::size_t pos_ = 0;
+    std::size_t line_no_ = 0;
+    bool binary_ = false;
+    std::uint64_t m_ = 0, i_ = 0, l_ = 0, o_ = 0, a_ = 0;
+};
+
+/// Builds a Netlist from a parsed AIG.  All structural errors surface
+/// as Diagnostic, including those detected by the netlist itself
+/// (duplicate names, cycles).
+class NetlistBuilder {
+public:
+    NetlistBuilder(const AigFile& aig, std::string circuit_name,
+                   const std::string& file_path)
+        : aig_(aig),
+          netlist_(std::move(circuit_name)),
+          file_path_(file_path),
+          var_gate_(aig.max_var + 1, kNoGate),
+          inv_gate_(aig.max_var + 1, kNoGate) {}
+
+    Netlist build() {
+        declare_inputs();
+        declare_latches();
+        declare_ands();
+        wire_ands();
+        wire_latches();
+        wire_outputs();
+        try {
+            netlist_.finalize();
+        } catch (const std::exception& e) {
+            fail(std::string("invalid AIG structure: ") + e.what());
+        }
+        return std::move(netlist_);
+    }
+
+private:
+    [[noreturn]] void fail(const std::string& msg) const {
+        throw Diagnostic("aiger", file_path_, 0, 0, msg, "");
+    }
+
+    GateId add_gate(CellType type, std::string name,
+                    std::vector<GateId> fanin) {
+        try {
+            return netlist_.add_gate(type, std::move(name), std::move(fanin));
+        } catch (const Diagnostic&) {
+            throw;
+        } catch (const std::exception& e) {
+            fail(e.what());
+        }
+    }
+
+    std::string symbol_or(const std::unordered_map<std::size_t, std::string>& table,
+                          std::size_t index, const std::string& fallback) {
+        auto it = table.find(index);
+        return it == table.end() ? fallback : it->second;
+    }
+
+    void define_var(std::uint64_t lit, GateId id) {
+        const std::uint64_t var = lit >> 1;
+        if (var_gate_[var] != kNoGate) {
+            fail("literal " + std::to_string(lit) + " defined twice");
+        }
+        var_gate_[var] = id;
+    }
+
+    void declare_inputs() {
+        for (std::size_t k = 0; k < aig_.inputs.size(); ++k) {
+            const GateId id = add_gate(
+                CellType::Input,
+                symbol_or(aig_.input_names, k, "i" + std::to_string(k)), {});
+            define_var(aig_.inputs[k], id);
+        }
+    }
+
+    void declare_latches() {
+        for (std::size_t k = 0; k < aig_.latches.size(); ++k) {
+            const GateId id = add_gate(
+                CellType::Dff,
+                symbol_or(aig_.latch_names, k, "l" + std::to_string(k)), {});
+            define_var(aig_.latches[k].lhs, id);
+        }
+    }
+
+    void declare_ands() {
+        for (const AigAnd& a : aig_.ands) {
+            const GateId id = add_gate(
+                CellType::And, "a" + std::to_string(a.lhs >> 1), {});
+            define_var(a.lhs, id);
+        }
+    }
+
+    /// Gate driving `lit`, creating the shared INV node (or a constant
+    /// synthesis) on demand.
+    GateId resolve(std::uint64_t lit) {
+        if (lit <= 1) return constant_gate(lit == 1);
+        const std::uint64_t var = lit >> 1;
+        const GateId base = var_gate_[var];
+        if (base == kNoGate) {
+            fail("dangling literal " + std::to_string(lit) +
+                 ": variable never defined as input, latch or and");
+        }
+        if ((lit & 1) == 0) return base;
+        if (inv_gate_[var] == kNoGate) {
+            inv_gate_[var] = add_gate(
+                CellType::Inv, "n" + std::to_string(var) + "$inv", {base});
+        }
+        return inv_gate_[var];
+    }
+
+    /// AIGER constant literals have no netlist cell; XOR/XNOR of any
+    /// source with itself produces the value structurally.
+    GateId constant_gate(bool one) {
+        GateId& cached = one ? const1_ : const0_;
+        if (cached != kNoGate) return cached;
+        GateId seed = kNoGate;
+        if (!netlist_.primary_inputs().empty()) {
+            seed = netlist_.primary_inputs().front();
+        } else if (!netlist_.flip_flops().empty()) {
+            seed = netlist_.flip_flops().front();
+        } else {
+            fail("constant literal in a circuit without inputs or latches");
+        }
+        cached = add_gate(one ? CellType::Xnor : CellType::Xor,
+                          one ? "$const1" : "$const0", {seed, seed});
+        return cached;
+    }
+
+    void wire_ands() {
+        for (const AigAnd& a : aig_.ands) {
+            const GateId id = var_gate_[a.lhs >> 1];
+            netlist_.append_fanin(id, resolve(a.rhs0));
+            netlist_.append_fanin(id, resolve(a.rhs1));
+        }
+    }
+
+    void wire_latches() {
+        for (std::size_t k = 0; k < aig_.latches.size(); ++k) {
+            const GateId id = var_gate_[aig_.latches[k].lhs >> 1];
+            netlist_.append_fanin(id, resolve(aig_.latches[k].next));
+        }
+    }
+
+    void wire_outputs() {
+        for (std::size_t k = 0; k < aig_.outputs.size(); ++k) {
+            const std::string name =
+                symbol_or(aig_.output_names, k, "o" + std::to_string(k));
+            add_gate(CellType::Output, name + "$po",
+                     {resolve(aig_.outputs[k])});
+        }
+    }
+
+    const AigFile& aig_;
+    Netlist netlist_;
+    const std::string& file_path_;
+    std::vector<GateId> var_gate_;  ///< per AIG variable
+    std::vector<GateId> inv_gate_;  ///< shared inverter per variable
+    GateId const0_ = kNoGate;
+    GateId const1_ = kNoGate;
+};
+
+}  // namespace
+
+Netlist read_aiger(std::istream& is, std::string circuit_name,
+                   const std::string& file_path) {
+    FaultInjector::global().fire("parser.aiger");
+    std::string data((std::istreambuf_iterator<char>(is)),
+                     std::istreambuf_iterator<char>());
+    AigerParser parser(std::move(data), file_path);
+    const AigFile aig = parser.parse();
+    NetlistBuilder builder(aig, std::move(circuit_name), file_path);
+    return builder.build();
+}
+
+Netlist read_aiger_file(const std::string& path) {
+    std::ifstream is(path, std::ios::binary);
+    if (!is) {
+        throw Diagnostic("aiger", path, 0, 0, "cannot open file", "");
+    }
+    auto slash = path.find_last_of('/');
+    std::string base = slash == std::string::npos ? path : path.substr(slash + 1);
+    if (auto dot = base.find_last_of('.'); dot != std::string::npos) {
+        base.erase(dot);
+    }
+    return read_aiger(is, base, path);
+}
+
+Netlist read_aiger_string(const std::string& text, std::string circuit_name) {
+    std::istringstream is(text);
+    return read_aiger(is, std::move(circuit_name));
+}
+
+namespace {
+
+/// AND-graph construction state of write_aag.
+struct AigWriter {
+    std::uint64_t next_var;
+    std::vector<AigAnd> ands;
+
+    std::uint64_t mk_and(std::uint64_t a, std::uint64_t b) {
+        if (a == 0 || b == 0) return 0;
+        if (a == 1) return b;
+        if (b == 1) return a;
+        if (a == b) return a;
+        if (a == (b ^ 1)) return 0;
+        const std::uint64_t lhs = 2 * next_var++;
+        if (a < b) std::swap(a, b);
+        ands.push_back(AigAnd{lhs, a, b});
+        return lhs;
+    }
+
+    std::uint64_t mk_or(std::uint64_t a, std::uint64_t b) {
+        return mk_and(a ^ 1, b ^ 1) ^ 1;
+    }
+
+    std::uint64_t mk_xor(std::uint64_t a, std::uint64_t b) {
+        return mk_or(mk_and(a, b ^ 1), mk_and(a ^ 1, b));
+    }
+};
+
+}  // namespace
+
+void write_aag(std::ostream& os, const Netlist& netlist) {
+    if (!netlist.finalized()) {
+        throw std::runtime_error("write_aag requires a finalized netlist");
+    }
+    const auto pis = netlist.primary_inputs();
+    const auto dffs = netlist.flip_flops();
+
+    std::vector<std::uint64_t> lit(netlist.size(), UINT64_MAX);
+    AigWriter w{pis.size() + dffs.size() + 1, {}};
+    std::uint64_t next_input = 2;
+    for (GateId id : pis) lit[id] = next_input, next_input += 2;
+    for (GateId id : dffs) lit[id] = next_input, next_input += 2;
+
+    for (GateId id : netlist.topo_order()) {
+        const Gate& g = netlist.gate(id);
+        if (!is_combinational(g.type)) continue;
+        std::vector<std::uint64_t> in;
+        in.reserve(g.fanin.size());
+        for (GateId f : g.fanin) in.push_back(lit[f]);
+        std::uint64_t out = 0;
+        switch (g.type) {
+            case CellType::Buf:
+                out = in[0];
+                break;
+            case CellType::Inv:
+                out = in[0] ^ 1;
+                break;
+            case CellType::And:
+            case CellType::Nand: {
+                out = in[0];
+                for (std::size_t i = 1; i < in.size(); ++i) {
+                    out = w.mk_and(out, in[i]);
+                }
+                if (g.type == CellType::Nand) out ^= 1;
+                break;
+            }
+            case CellType::Or:
+            case CellType::Nor: {
+                out = in[0];
+                for (std::size_t i = 1; i < in.size(); ++i) {
+                    out = w.mk_or(out, in[i]);
+                }
+                if (g.type == CellType::Nor) out ^= 1;
+                break;
+            }
+            case CellType::Xor:
+            case CellType::Xnor: {
+                out = in[0];
+                for (std::size_t i = 1; i < in.size(); ++i) {
+                    out = w.mk_xor(out, in[i]);
+                }
+                if (g.type == CellType::Xnor) out ^= 1;
+                break;
+            }
+            case CellType::Mux2:
+                out = w.mk_or(w.mk_and(in[0] ^ 1, in[1]),
+                              w.mk_and(in[0], in[2]));
+                break;
+            case CellType::Aoi21:
+                out = w.mk_or(w.mk_and(in[0], in[1]), in[2]) ^ 1;
+                break;
+            case CellType::Oai21:
+                out = w.mk_and(w.mk_or(in[0], in[1]), in[2]) ^ 1;
+                break;
+            default:
+                throw std::runtime_error("write_aag: unsupported cell type");
+        }
+        lit[id] = out;
+    }
+
+    const auto pos = netlist.primary_outputs();
+    os << "aag " << (w.next_var - 1) << ' ' << pis.size() << ' '
+       << dffs.size() << ' ' << pos.size() << ' ' << w.ands.size() << '\n';
+    for (GateId id : pis) os << lit[id] << '\n';
+    for (GateId id : dffs) {
+        os << lit[id] << ' ' << lit[netlist.gate(id).fanin[0]] << '\n';
+    }
+    for (GateId id : pos) {
+        os << lit[netlist.gate(id).fanin[0]] << '\n';
+    }
+    for (const AigAnd& a : w.ands) {
+        os << a.lhs << ' ' << a.rhs0 << ' ' << a.rhs1 << '\n';
+    }
+    for (std::size_t k = 0; k < pis.size(); ++k) {
+        os << 'i' << k << ' ' << netlist.gate(pis[k]).name << '\n';
+    }
+    for (std::size_t k = 0; k < dffs.size(); ++k) {
+        os << 'l' << k << ' ' << netlist.gate(dffs[k]).name << '\n';
+    }
+    for (std::size_t k = 0; k < pos.size(); ++k) {
+        std::string name = netlist.gate(pos[k]).name;
+        if (name.size() > 3 && name.ends_with("$po")) {
+            name.erase(name.size() - 3);
+        }
+        os << 'o' << k << ' ' << name << '\n';
+    }
+    os << "c\n" << netlist.name() << " — written by fastmon\n";
+}
+
+std::string write_aag_string(const Netlist& netlist) {
+    std::ostringstream os;
+    write_aag(os, netlist);
+    return os.str();
+}
+
+}  // namespace fastmon

@@ -1,0 +1,45 @@
+// Reader/writer for the AIGER and-inverter-graph format.
+//
+// Both encodings are supported on the read side:
+//   .aag — ASCII ("aag M I L O A" header, one definition per line),
+//   .aig — binary (implicit input/AND numbering, delta-compressed
+//          AND pairs as 7-bit varints).
+//
+// AND nodes map to CellType::And, negated literal uses materialize one
+// shared CellType::Inv node per variable, and latches become
+// CellType::Dff nodes (Q as pseudo primary input, next-state literal as
+// the D fanin — AIGER's latch semantics match the netlist's scan view).
+// Constant literals (0/1) are synthesized as XOR/XNOR of an existing
+// source with itself.  Symbol-table names are honoured when present.
+//
+// The writer emits ASCII .aag for any finalized netlist by
+// tech-mapping every library cell onto AND/INV structure; reading the
+// result back therefore yields an equivalent (not structurally
+// identical) netlist, while .aag produced by write_aag round-trips to
+// an identical AIG.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace fastmon {
+
+/// Parses an AIGER description (ASCII or binary, detected from the
+/// header).  Throws Diagnostic (a std::runtime_error subclass carrying
+/// file/line/excerpt) on malformed input.  `file_path` only labels
+/// diagnostics and may be empty.  The stream must have been opened in
+/// binary mode for .aig inputs.
+Netlist read_aiger(std::istream& is, std::string circuit_name,
+                   const std::string& file_path = {});
+Netlist read_aiger_file(const std::string& path);
+Netlist read_aiger_string(const std::string& text, std::string circuit_name);
+
+/// Writes `netlist` as ASCII AIGER (.aag), decomposing every
+/// combinational cell into AND/INV nodes.  Requires a finalized
+/// netlist.
+void write_aag(std::ostream& os, const Netlist& netlist);
+std::string write_aag_string(const Netlist& netlist);
+
+}  // namespace fastmon

@@ -1,0 +1,399 @@
+#include "sat/solver.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/fault_inject.hpp"
+
+namespace fastmon::sat {
+
+namespace {
+
+/// Luby restart sequence: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
+std::uint64_t luby(std::uint64_t i) {
+    std::uint64_t k = 1;
+    while ((1ULL << (k + 1)) <= i + 1) ++k;
+    while ((1ULL << k) - 1 != i + 1) {
+        i -= (1ULL << k) - 1;
+        k = 1;
+        while ((1ULL << (k + 1)) <= i + 1) ++k;
+    }
+    return 1ULL << (k - 1);
+}
+
+constexpr double kActivityDecay = 1.0 / 0.95;
+constexpr double kActivityRescale = 1e100;
+constexpr std::uint64_t kRestartBase = 100;
+
+}  // namespace
+
+Solver::Solver() = default;
+
+Var Solver::new_var() {
+    const auto v = static_cast<Var>(var_count_++);
+    watches_.emplace_back();
+    watches_.emplace_back();
+    assign_.push_back(kUndef);
+    phase_.push_back(1);  // default polarity: false (matches minisat)
+    reason_.push_back(kNoClause);
+    level_.push_back(0);
+    activity_.push_back(0.0);
+    heap_pos_.push_back(UINT32_MAX);
+    seen_.push_back(0);
+    model_.push_back(0);
+    heap_insert(v);
+    return v;
+}
+
+// --- activity heap (indexed binary max-heap over activity_) ----------
+
+void Solver::heap_insert(Var v) {
+    if (heap_pos_[v] != UINT32_MAX) return;
+    heap_pos_[v] = static_cast<std::uint32_t>(heap_.size());
+    heap_.push_back(v);
+    heap_sift_up(heap_.size() - 1);
+}
+
+void Solver::heap_sift_up(std::size_t i) {
+    const Var v = heap_[i];
+    while (i > 0) {
+        const std::size_t parent = (i - 1) / 2;
+        if (activity_[heap_[parent]] >= activity_[v]) break;
+        heap_[i] = heap_[parent];
+        heap_pos_[heap_[i]] = static_cast<std::uint32_t>(i);
+        i = parent;
+    }
+    heap_[i] = v;
+    heap_pos_[v] = static_cast<std::uint32_t>(i);
+}
+
+void Solver::heap_sift_down(std::size_t i) {
+    const Var v = heap_[i];
+    const std::size_t n = heap_.size();
+    for (;;) {
+        std::size_t child = 2 * i + 1;
+        if (child >= n) break;
+        if (child + 1 < n &&
+            activity_[heap_[child + 1]] > activity_[heap_[child]]) {
+            ++child;
+        }
+        if (activity_[heap_[child]] <= activity_[v]) break;
+        heap_[i] = heap_[child];
+        heap_pos_[heap_[i]] = static_cast<std::uint32_t>(i);
+        i = child;
+    }
+    heap_[i] = v;
+    heap_pos_[v] = static_cast<std::uint32_t>(i);
+}
+
+Var Solver::heap_pop() {
+    const Var top = heap_[0];
+    heap_pos_[top] = UINT32_MAX;
+    heap_[0] = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) {
+        heap_pos_[heap_[0]] = 0;
+        heap_sift_down(0);
+    }
+    return top;
+}
+
+void Solver::bump_var(Var v) {
+    activity_[v] += var_inc_;
+    if (activity_[v] > kActivityRescale) {
+        for (double& a : activity_) a *= 1.0 / kActivityRescale;
+        var_inc_ *= 1.0 / kActivityRescale;
+    }
+    if (heap_pos_[v] != UINT32_MAX) heap_sift_up(heap_pos_[v]);
+}
+
+void Solver::decay_activities() { var_inc_ *= kActivityDecay; }
+
+// --- clause management ------------------------------------------------
+
+void Solver::attach_clause(ClauseRef cr) {
+    const Clause& c = clauses_[cr];
+    assert(c.lits.size() >= 2);
+    watches_[(~c.lits[0]).code].push_back(Watcher{cr, c.lits[1]});
+    watches_[(~c.lits[1]).code].push_back(Watcher{cr, c.lits[0]});
+}
+
+bool Solver::add_clause(std::span<const Lit> lits) {
+    if (unsat_) return false;
+    assert(trail_lim_.empty() && "add_clause only between solves");
+
+    // Simplify against top-level facts; drop duplicates and tautologies.
+    std::vector<Lit> c(lits.begin(), lits.end());
+    std::sort(c.begin(), c.end(),
+              [](Lit a, Lit b) { return a.code < b.code; });
+    std::vector<Lit> out;
+    for (std::size_t i = 0; i < c.size(); ++i) {
+        const Lit l = c[i];
+        if (i + 1 < c.size() && c[i + 1] == ~l) return true;  // tautology
+        if (i > 0 && c[i - 1] == l) continue;                 // duplicate
+        const std::uint8_t v = value(l);
+        if (v == kTrue) return true;    // already satisfied at level 0
+        if (v == kFalse) continue;      // falsified fact: drop literal
+        out.push_back(l);
+    }
+
+    if (out.empty()) {
+        unsat_ = true;
+        return false;
+    }
+    if (out.size() == 1) {
+        enqueue(out[0], kNoClause);
+        if (propagate() != kNoClause) {
+            unsat_ = true;
+            return false;
+        }
+        return true;
+    }
+    const auto cr = static_cast<ClauseRef>(clauses_.size());
+    clauses_.push_back(Clause{std::move(out)});
+    attach_clause(cr);
+    return true;
+}
+
+// --- trail ------------------------------------------------------------
+
+void Solver::enqueue(Lit l, ClauseRef reason) {
+    const Var v = l.var();
+    assert(assign_[v] == kUndef);
+    assign_[v] = l.sign() ? kFalse : kTrue;
+    phase_[v] = l.sign() ? 1 : 0;
+    reason_[v] = reason;
+    level_[v] = static_cast<std::uint32_t>(trail_lim_.size());
+    trail_.push_back(l);
+}
+
+void Solver::backtrack(int target_level) {
+    if (static_cast<int>(trail_lim_.size()) <= target_level) return;
+    const std::uint32_t bound = trail_lim_[static_cast<std::size_t>(target_level)];
+    for (std::size_t i = trail_.size(); i > bound; --i) {
+        const Var v = trail_[i - 1].var();
+        assign_[v] = kUndef;
+        reason_[v] = kNoClause;
+        heap_insert(v);
+    }
+    trail_.resize(bound);
+    trail_lim_.resize(static_cast<std::size_t>(target_level));
+    qhead_ = trail_.size();
+}
+
+Solver::ClauseRef Solver::propagate() {
+    while (qhead_ < trail_.size()) {
+        const Lit p = trail_[qhead_++];
+        ++stats_.propagations;
+        std::vector<Watcher>& ws = watches_[p.code];  // clauses watching ~p
+        std::size_t i = 0;
+        std::size_t j = 0;
+        const std::size_t n = ws.size();
+        while (i < n) {
+            Watcher w = ws[i++];
+            if (value(w.blocker) == kTrue) {
+                ws[j++] = w;
+                continue;
+            }
+            Clause& c = clauses_[w.clause];
+            const Lit false_lit = ~p;
+            if (c.lits[0] == false_lit) std::swap(c.lits[0], c.lits[1]);
+            assert(c.lits[1] == false_lit);
+            const Lit first = c.lits[0];
+            if (first != w.blocker && value(first) == kTrue) {
+                ws[j++] = Watcher{w.clause, first};
+                continue;
+            }
+            bool moved = false;
+            for (std::size_t k = 2; k < c.lits.size(); ++k) {
+                if (value(c.lits[k]) != kFalse) {
+                    std::swap(c.lits[1], c.lits[k]);
+                    watches_[(~c.lits[1]).code].push_back(
+                        Watcher{w.clause, first});
+                    moved = true;
+                    break;
+                }
+            }
+            if (moved) continue;
+            // Unit or conflicting.
+            ws[j++] = Watcher{w.clause, first};
+            if (value(first) == kFalse) {
+                // Conflict: keep the remaining watchers and bail out.
+                while (i < n) ws[j++] = ws[i++];
+                ws.resize(j);
+                qhead_ = trail_.size();
+                return w.clause;
+            }
+            enqueue(first, w.clause);
+        }
+        ws.resize(j);
+    }
+    return kNoClause;
+}
+
+// --- conflict analysis (first UIP) -----------------------------------
+
+void Solver::analyze(ClauseRef confl, std::vector<Lit>& learnt,
+                     int& backjump) {
+    learnt.clear();
+    learnt.push_back(Lit());  // slot for the asserting literal
+    const auto current_level = static_cast<std::uint32_t>(trail_lim_.size());
+
+    std::size_t counter = 0;
+    Lit p;
+    bool have_p = false;
+    std::size_t index = trail_.size();
+
+    for (;;) {
+        assert(confl != kNoClause);
+        const Clause& c = clauses_[confl];
+        for (const Lit q : c.lits) {
+            if (have_p && q == p) continue;
+            const Var v = q.var();
+            if (seen_[v] != 0 || level_[v] == 0) continue;
+            seen_[v] = 1;
+            bump_var(v);
+            if (level_[v] >= current_level) {
+                ++counter;
+            } else {
+                learnt.push_back(q);
+            }
+        }
+        // Next trail literal marked seen (walk back to the UIP).
+        while (seen_[trail_[index - 1].var()] == 0) --index;
+        --index;
+        p = trail_[index];
+        have_p = true;
+        seen_[p.var()] = 0;
+        --counter;
+        if (counter == 0) break;
+        confl = reason_[p.var()];
+    }
+    learnt[0] = ~p;
+
+    // Backjump level: highest level among the non-asserting literals
+    // (that literal is moved to slot 1 so attach_clause watches it).
+    if (learnt.size() == 1) {
+        backjump = 0;
+    } else {
+        std::size_t max_i = 1;
+        for (std::size_t i = 2; i < learnt.size(); ++i) {
+            if (level_[learnt[i].var()] > level_[learnt[max_i].var()]) {
+                max_i = i;
+            }
+        }
+        std::swap(learnt[1], learnt[max_i]);
+        backjump = static_cast<int>(level_[learnt[1].var()]);
+    }
+    for (std::size_t i = 1; i < learnt.size(); ++i) seen_[learnt[i].var()] = 0;
+}
+
+// --- branching --------------------------------------------------------
+
+Lit Solver::pick_branch() {
+    while (!heap_.empty()) {
+        const Var v = heap_pop();
+        if (assign_[v] == kUndef) {
+            return Lit(v, phase_[v] != 0);
+        }
+    }
+    Lit none;
+    none.code = UINT32_MAX;  // heap exhausted: full assignment
+    return none;
+}
+
+// --- main search ------------------------------------------------------
+
+SolveStatus Solver::solve(std::span<const Lit> assumptions) {
+    ++stats_.solves;
+    if (unsat_) return SolveStatus::Unsat;
+    // Test hook: forced budget exhaustion, exercising the Unknown path.
+    if (FaultInjector::global().trip("solver.sat_budget")) {
+        return SolveStatus::Unknown;
+    }
+
+    backtrack(0);
+    if (propagate() != kNoClause) {
+        unsat_ = true;
+        return SolveStatus::Unsat;
+    }
+
+    std::uint64_t conflicts_this_solve = 0;
+    std::uint64_t restart_seq = 0;
+    std::uint64_t restart_limit = kRestartBase * luby(restart_seq);
+    std::vector<Lit> learnt;
+
+    for (;;) {
+        const ClauseRef confl = propagate();
+        if (confl != kNoClause) {
+            ++stats_.conflicts;
+            ++conflicts_this_solve;
+            if (trail_lim_.empty()) {
+                unsat_ = true;
+                return SolveStatus::Unsat;
+            }
+            // Conflict inside the assumption prefix: no model can exist
+            // under these assumptions (every decision so far is forced).
+            if (trail_lim_.size() <= assumptions.size()) {
+                backtrack(0);
+                return SolveStatus::Unsat;
+            }
+            int backjump = 0;
+            analyze(confl, learnt, backjump);
+            // Never jump into the middle of the assumption prefix with a
+            // pending asserting literal: land at the prefix boundary and
+            // let the outer loop re-establish assumptions.
+            backtrack(backjump);
+            if (learnt.size() == 1) {
+                enqueue(learnt[0], kNoClause);  // backjump was 0
+            } else {
+                const auto cr = static_cast<ClauseRef>(clauses_.size());
+                clauses_.push_back(Clause{learnt});
+                attach_clause(cr);
+                ++stats_.learned_clauses;
+                enqueue(learnt[0], cr);
+            }
+            decay_activities();
+            if (budget_ != 0 && conflicts_this_solve >= budget_) {
+                backtrack(0);
+                return SolveStatus::Unknown;
+            }
+            if (conflicts_this_solve >= restart_limit) {
+                ++stats_.restarts;
+                ++restart_seq;
+                restart_limit =
+                    conflicts_this_solve + kRestartBase * luby(restart_seq);
+                backtrack(0);
+            }
+            continue;
+        }
+
+        // Establish the next pending assumption as a forced decision.
+        if (trail_lim_.size() < assumptions.size()) {
+            const Lit a = assumptions[trail_lim_.size()];
+            const std::uint8_t v = value(a);
+            if (v == kFalse) {
+                backtrack(0);
+                return SolveStatus::Unsat;
+            }
+            trail_lim_.push_back(static_cast<std::uint32_t>(trail_.size()));
+            if (v == kUndef) enqueue(a, kNoClause);
+            continue;
+        }
+
+        const Lit next = pick_branch();
+        if (next.code == UINT32_MAX) {
+            // Full assignment: record the model.
+            for (Var v = 0; v < var_count_; ++v) {
+                model_[v] = assign_[v] == kTrue ? 1 : 0;
+            }
+            backtrack(0);
+            return SolveStatus::Sat;
+        }
+        ++stats_.decisions;
+        trail_lim_.push_back(static_cast<std::uint32_t>(trail_.size()));
+        enqueue(next, kNoClause);
+    }
+}
+
+}  // namespace fastmon::sat

@@ -1,0 +1,164 @@
+// Small incremental CDCL SAT solver (minisat lineage).
+//
+// Built for the SAT-based transition-fault ATPG (atpg/sat_atpg.hpp):
+// the circuit CNF is encoded once, then thousands of per-fault queries
+// run as solve(assumptions) calls against the same instance, each fault
+// differing only in its assumption literals.  Learned clauses therefore
+// persist and transfer across the whole fault list — the incremental
+// idiom of SAT-based model checkers over AIGs.
+//
+// Feature set (deliberately lean):
+//   * two-watched-literal unit propagation,
+//   * first-UIP conflict analysis with non-chronological backjumping,
+//   * exponential VSIDS variable activities with phase saving,
+//   * Luby-sequence restarts,
+//   * assumption-based solving (no clause removal; callers deactivate
+//     clause groups by dropping the group's selector assumption),
+//   * a per-solve conflict budget that returns Unknown instead of
+//     looping forever (the ATPG maps Unknown to "aborted", exactly like
+//     PODEM's backtrack limit).
+//
+// Not thread-safe: one Solver per thread.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace fastmon::sat {
+
+/// 0-based variable index.
+using Var = std::uint32_t;
+
+/// Literal encoded as 2*var + sign (sign 1 = negated), minisat-style.
+struct Lit {
+    std::uint32_t code = 0;
+
+    Lit() = default;
+    Lit(Var v, bool negated) : code(2 * v + (negated ? 1U : 0U)) {}
+
+    [[nodiscard]] Var var() const { return code >> 1; }
+    [[nodiscard]] bool sign() const { return (code & 1U) != 0; }
+    [[nodiscard]] Lit operator~() const {
+        Lit l;
+        l.code = code ^ 1U;
+        return l;
+    }
+    friend bool operator==(const Lit&, const Lit&) = default;
+};
+
+/// Positive literal of `v`.
+inline Lit mk_lit(Var v) { return Lit(v, false); }
+
+enum class SolveStatus : std::uint8_t {
+    Sat,      ///< model available via model_value()
+    Unsat,    ///< no model under the given assumptions
+    Unknown,  ///< conflict budget exhausted before a verdict
+};
+
+struct SolverStats {
+    std::uint64_t decisions = 0;
+    std::uint64_t propagations = 0;
+    std::uint64_t conflicts = 0;
+    std::uint64_t learned_clauses = 0;
+    std::uint64_t restarts = 0;
+    std::uint64_t solves = 0;
+};
+
+class Solver {
+public:
+    Solver();
+
+    /// Adds a fresh variable and returns it.
+    Var new_var();
+
+    [[nodiscard]] std::size_t num_vars() const { return var_count_; }
+    [[nodiscard]] std::size_t num_clauses() const { return clauses_.size(); }
+
+    /// Adds a clause over existing variables.  Returns false when the
+    /// clause (after simplification against top-level facts) makes the
+    /// formula trivially unsatisfiable; the solver is then permanently
+    /// UNSAT.  Duplicate literals are merged; tautologies are dropped.
+    bool add_clause(std::span<const Lit> lits);
+    bool add_clause(std::initializer_list<Lit> lits) {
+        return add_clause(std::span<const Lit>(lits.begin(), lits.size()));
+    }
+
+    /// Per-solve conflict cap; 0 = unlimited.  Exhaustion yields
+    /// SolveStatus::Unknown.
+    void set_conflict_budget(std::uint64_t budget) { budget_ = budget; }
+
+    /// Solves under the given assumption literals.  The instance stays
+    /// valid afterwards (learned clauses are kept) whatever the result.
+    [[nodiscard]] SolveStatus solve(std::span<const Lit> assumptions);
+    [[nodiscard]] SolveStatus solve() { return solve({}); }
+
+    /// Model value of `v` after a Sat result.
+    [[nodiscard]] bool model_value(Var v) const { return model_[v] != 0; }
+
+    [[nodiscard]] const SolverStats& stats() const { return stats_; }
+
+private:
+    // Truth values of the trail: 0 = true, 1 = false, 2 = unassigned
+    // (lbool encoding: value(lit) = assign[var] ^ sign).
+    static constexpr std::uint8_t kTrue = 0;
+    static constexpr std::uint8_t kFalse = 1;
+    static constexpr std::uint8_t kUndef = 2;
+
+    using ClauseRef = std::uint32_t;
+    static constexpr ClauseRef kNoClause = UINT32_MAX;
+
+    struct Clause {
+        std::vector<Lit> lits;
+    };
+
+    struct Watcher {
+        ClauseRef clause;
+        Lit blocker;  ///< some other literal of the clause, checked first
+    };
+
+    [[nodiscard]] std::uint8_t value(Lit l) const {
+        const std::uint8_t a = assign_[l.var()];
+        return a == kUndef ? kUndef : static_cast<std::uint8_t>(a ^ (l.sign() ? 1 : 0));
+    }
+
+    void enqueue(Lit l, ClauseRef reason);
+    [[nodiscard]] ClauseRef propagate();
+    void analyze(ClauseRef confl, std::vector<Lit>& learnt, int& backjump);
+    void backtrack(int level);
+    [[nodiscard]] Lit pick_branch();
+    void bump_var(Var v);
+    void decay_activities();
+    void attach_clause(ClauseRef cr);
+
+    std::size_t var_count_ = 0;
+    std::vector<Clause> clauses_;
+    std::vector<std::vector<Watcher>> watches_;  ///< indexed by lit code
+
+    std::vector<std::uint8_t> assign_;   ///< per var: kTrue/kFalse/kUndef
+    std::vector<std::uint8_t> phase_;    ///< saved phase per var
+    std::vector<ClauseRef> reason_;      ///< per var
+    std::vector<std::uint32_t> level_;   ///< per var
+    std::vector<Lit> trail_;
+    std::vector<std::uint32_t> trail_lim_;  ///< trail index per decision level
+    std::size_t qhead_ = 0;
+
+    std::vector<double> activity_;
+    double var_inc_ = 1.0;
+    // Binary-heap order index for branching (lazy: rebuilt per solve).
+    std::vector<Var> heap_;
+    std::vector<std::uint32_t> heap_pos_;
+    void heap_insert(Var v);
+    void heap_sift_up(std::size_t i);
+    void heap_sift_down(std::size_t i);
+    [[nodiscard]] Var heap_pop();
+
+    std::vector<std::uint8_t> seen_;  ///< scratch of analyze()
+    std::vector<std::uint8_t> model_;
+
+    bool unsat_ = false;  ///< top-level (assumption-free) contradiction
+    std::uint64_t budget_ = 0;
+    SolverStats stats_;
+};
+
+}  // namespace fastmon::sat

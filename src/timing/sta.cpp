@@ -2,19 +2,7 @@
 
 #include <algorithm>
 
-#include "timing/sta_engine.hpp"
-
 namespace fastmon {
-
-// Deprecated compatibility shim: one full engine pass, result moved out.
-// Bit-identical to the pre-engine implementation (same arithmetic, same
-// operation order, same cancellation cadence).
-StaResult run_sta(const Netlist& netlist, const DelayAnnotation& delays,
-                  double clock_margin) {
-    StaEngine engine(netlist, delays, clock_margin, StaEngine::Scope::Full);
-    engine.analyze();
-    return engine.take_result();
-}
 
 std::vector<ObservePoint> observe_points_by_path_length(
     const Netlist& netlist, const StaResult& sta) {

@@ -37,19 +37,6 @@ struct StaResult {
     }
 };
 
-/// Runs STA from scratch.  `clock_margin` is the factor applied to the
-/// critical path length to obtain the nominal clock (paper: 1.05).
-///
-/// Compatibility shim over StaEngine (timing/sta_engine.hpp) — one
-/// release of grace before removal.  New code should construct an
-/// engine and call analyze() (and update() for perturbation sweeps):
-///
-///   old: StaResult sta = run_sta(nl, delays, margin);
-///   new: StaResult sta = StaEngine(nl, delays, margin).analyze();
-[[deprecated("use StaEngine::analyze() (timing/sta_engine.hpp)")]]
-StaResult run_sta(const Netlist& netlist, const DelayAnnotation& delays,
-                  double clock_margin = 1.05);
-
 /// Observation points sorted by decreasing arrival time ("long path
 /// ends" [25]); the head of this order is where monitors are placed.
 std::vector<ObservePoint> observe_points_by_path_length(

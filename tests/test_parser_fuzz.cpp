@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "atpg/pattern.hpp"
+#include "netlist/aiger_io.hpp"
 #include "netlist/bench_io.hpp"
 #include "netlist/iscas_data.hpp"
 #include "netlist/verilog_io.hpp"
@@ -58,6 +59,26 @@ const char* kPatternSeed =
     "# two patterns\n"
     "0101 1010\n"
     "1111 0000\n";
+
+// Half adder with a latch (see test_aiger_io.cpp for the literal map).
+const char* kAagSeed =
+    "aag 7 2 1 2 4\n"
+    "2\n4\n"
+    "6 10\n"
+    "12\n6\n"
+    "10 2 4\n"
+    "8 3 5\n"
+    "12 9 11\n"
+    "14 2 5\n"
+    "i0 a\ni1 b\nl0 q\no0 sum\nc\nfuzz seed\n";
+
+// Binary AIGER: single AND gate 6 = 2 & 4, delta bytes \x02\x02.
+std::string aig_seed() {
+    std::string s = "aig 3 2 0 1 1\n6\n";
+    s.push_back(char(2));
+    s.push_back(char(2));
+    return s;
+}
 
 const char* kJsonSeed =
     "{\"tool\": {\"name\": \"fastmon\"}, \"phases\": [1, 2.5, true, null],"
@@ -139,6 +160,30 @@ TEST(ParserFuzz, PatternNeverCrashes) {
     fuzz_parser("pattern", kPatternSeed, 400, [](const std::string& text) {
         (void)read_patterns_string(text, 4);
     });
+}
+
+TEST(ParserFuzz, AigerAsciiNeverCrashes) {
+    fuzz_parser("aiger", kAagSeed, 400, [](const std::string& text) {
+        (void)read_aiger_string(text, "fuzz");
+    });
+}
+
+TEST(ParserFuzz, AigerBinaryNeverCrashes) {
+    // The binary decoder walks raw delta-varints; mutations hit the
+    // mid-stream truncation and overflow paths ASCII fuzzing cannot.
+    fuzz_parser("aiger", aig_seed(), 400, [](const std::string& text) {
+        (void)read_aiger_string(text, "fuzz");
+    });
+}
+
+TEST(ParserFuzz, AigerHugeHeaderIsRejectedNotAllocated) {
+    // A lying header must be a Diagnostic before any node allocation.
+    EXPECT_THROW(
+        (void)read_aiger_string("aag 4294967295 4294967295 0 0 0\n", "x"),
+        Diagnostic);
+    EXPECT_THROW(
+        (void)read_aiger_string("aig 4294967295 4294967295 0 0 0\n", "x"),
+        Diagnostic);
 }
 
 TEST(ParserFuzz, JsonNeverCrashes) {

@@ -58,14 +58,15 @@ struct EngineFixture : ::testing::Test {
     }();
 };
 
-TEST_F(EngineFixture, AnalyzeMatchesDeprecatedRunSta) {
+TEST_F(EngineFixture, AnalyzeMatchesFullScopeFromScratch) {
     StaEngine engine(nl, base);
     const StaResult& got = engine.analyze();
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-    const StaResult legacy = run_sta(nl, base);
-#pragma GCC diagnostic pop
-    expect_bitwise_equal(got, legacy);
+    // A full-scope single-pass engine is the reference the removed
+    // run_sta() shim used to wrap; analyze() must match it bitwise.
+    StaEngine full(nl, base, 1.05, StaEngine::Scope::Full);
+    full.analyze();
+    const StaResult reference = full.take_result();
+    expect_bitwise_equal(got, reference);
     EXPECT_EQ(engine.stats().full_passes, 1u);
 }
 

@@ -21,8 +21,8 @@
 
 #include "campaign/campaign.hpp"
 #include "campaign/shard.hpp"
-#include "netlist/bench_io.hpp"
 #include "netlist/generator.hpp"
+#include "netlist/netlist_io.hpp"
 #include "netlist/iscas_data.hpp"
 #include "util/atomic_file.hpp"
 #include "util/cancel.hpp"
@@ -36,7 +36,7 @@ void print_usage() {
         "usage: fastmon_campaign [options]\n"
         "\n"
         "circuit selection (default: built-in mini-alu):\n"
-        "  --circuit <file.bench>   read an ISCAS'89 .bench netlist\n"
+        "  --circuit <file>         read a netlist (.bench/.v/.aag/.aig)\n"
         "  --profile <name>         generate a paper benchmark profile\n"
         "  --scale <s>              scale factor for --profile (default 1)\n"
         "\n"
@@ -335,7 +335,7 @@ int main(int argc, char** argv) {
 
     Netlist netlist = [&] {
         if (!opt.circuit_path.empty()) {
-            return read_bench_file(opt.circuit_path);
+            return read_netlist(opt.circuit_path);
         }
         if (!opt.profile.empty()) {
             return generate_circuit(

@@ -16,6 +16,9 @@
 //
 //   fastmon_fleet --root /tmp/fleet --shards 4 --
 //       --circuit s9234.bench --population 400 --seed 7 --quiet
+//
+// `--circuit` accepts any read_netlist format (.bench/.v/.aag/.aig);
+// the shard subprocesses load it through the same front end.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
